@@ -1,0 +1,85 @@
+"""Shared benchmark helpers.
+
+All benchmarks measure two things:
+
+* **wall-clock** via ``pytest-benchmark`` (the usual timing table), and
+* **shape** via the library's machine-independent work counters
+  (entries touched), asserted inside the tests so a regression in
+  asymptotics fails the run rather than just looking slow.
+
+Instances are cached per size so the timing loops measure checking, not
+generation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.workloads import (
+    den_schema,
+    generate_den,
+    generate_whitepages,
+    whitepages_schema,
+)
+
+#: (orgs, units_per_level, depth, persons_per_unit) per size tier.
+WHITEPAGES_TIERS = {
+    "small": (1, 3, 1, 3),
+    "medium": (2, 3, 2, 3),
+    "large": (3, 4, 2, 4),
+    "xlarge": (4, 4, 3, 4),
+}
+
+
+@lru_cache(maxsize=None)
+def whitepages_instance(tier: str):
+    """A cached legal white-pages instance of the given tier."""
+    orgs, units, depth, persons = WHITEPAGES_TIERS[tier]
+    return generate_whitepages(
+        orgs=orgs, units_per_level=units, depth=depth,
+        persons_per_unit=persons, seed=42,
+    )
+
+
+@lru_cache(maxsize=None)
+def wp_schema():
+    return whitepages_schema()
+
+
+@lru_cache(maxsize=None)
+def den_instance(scale: int):
+    return generate_den(
+        sites=scale, devices_per_site=4, interfaces_per_device=3,
+        domains=scale, policies_per_domain=5, seed=42,
+    )
+
+
+@lru_cache(maxsize=None)
+def den_schema_cached():
+    return den_schema()
+
+
+def fit_growth(sizes: List[int], costs: List[int]) -> float:
+    """Estimated polynomial degree of cost growth: the slope of
+    log(cost) against log(size), via least squares.  ~1 means linear,
+    ~2 quadratic."""
+    import math
+
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(c, 1)) for c in costs]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def print_series(title: str, rows: List[Tuple]) -> None:
+    """Print a labelled series (shows under ``pytest -s`` and in the
+    captured bench log)."""
+    print()
+    print(f"--- {title}")
+    for row in rows:
+        print("   ", *row)

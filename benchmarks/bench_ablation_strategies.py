@@ -1,0 +1,144 @@
+"""Ablation — the evaluator's adaptive strategies and the schema-aware
+optimizer.
+
+DESIGN.md calls out two design choices worth quantifying:
+
+1. **Adaptive evaluation** (semi-joins from the small side, interval
+   bisection, ancestor walks) vs. a non-adaptive baseline that always
+   materializes both operands and runs whole-forest flag passes.  The
+   adaptive paths are what make Figure 5's Δ-scoped checks O(|Δ|); this
+   ablation measures how much they matter (and verifies both modes
+   agree).
+2. **Schema-aware optimization** (the paper's future-work suggestion):
+   evaluation cost of the Figure 4 queries with and without
+   constant-folding against the schema closure.
+"""
+
+import random
+
+import pytest
+
+from repro.query.ast import SCOPE_DELTA, SCOPE_NEW, HSelect, Minus
+from repro.query.evaluator import QueryEvaluator
+from repro.query.optimizer import SchemaAwareOptimizer
+from repro.query.translate import class_selection, translate_element
+from repro.axes import Axis
+
+from _helpers import WHITEPAGES_TIERS, fit_growth, print_series, whitepages_instance, wp_schema
+
+
+def delta_scoped_query():
+    """A representative Figure 5 insertion Δ-query (required ancestor)."""
+    source = class_selection("person").scoped(SCOPE_DELTA)
+    target = class_selection("organization").scoped(SCOPE_NEW)
+    return Minus(source, HSelect(Axis.ANCESTOR, source, target))
+
+
+def scopes_for(instance, delta_size=3):
+    ids = sorted(instance.all_entry_id_set())
+    delta = set(ids[-delta_size:])
+    return {SCOPE_DELTA: delta, SCOPE_NEW: set(ids)}
+
+
+@pytest.mark.parametrize("adaptive", [True, False], ids=["adaptive", "baseline"])
+def test_delta_query_evaluation(benchmark, adaptive):
+    """Wall-clock for one Δ-scoped query on the large tier."""
+    instance = whitepages_instance("large")
+    scopes = scopes_for(instance)
+    benchmark.extra_info["adaptive"] = adaptive
+
+    def run():
+        return QueryEvaluator(instance, scopes, adaptive=adaptive).evaluate(
+            delta_scoped_query()
+        )
+
+    benchmark(run)
+
+
+def test_modes_agree_and_adaptive_is_flat(benchmark):
+    """Both modes compute identical results; only the adaptive mode's
+    work stays flat as |D| grows."""
+    sizes, adaptive_costs, baseline_costs = [], [], []
+    for tier in WHITEPAGES_TIERS:
+        instance = whitepages_instance(tier)
+        scopes = scopes_for(instance)
+        query = delta_scoped_query()
+
+        adaptive = QueryEvaluator(instance, scopes, adaptive=True)
+        baseline = QueryEvaluator(instance, scopes, adaptive=False)
+        assert adaptive.evaluate(query) == baseline.evaluate(query)
+
+        sizes.append(len(instance))
+        adaptive_costs.append(max(1, adaptive.cost))
+        baseline_costs.append(max(1, baseline.cost))
+
+    adaptive_exp = fit_growth(sizes, adaptive_costs)
+    baseline_exp = fit_growth(sizes, baseline_costs)
+    print_series(
+        "ABLATION: adaptive vs baseline work on a Δ-query",
+        [
+            (f"|D|={s}", f"adaptive={a}", f"baseline={b}")
+            for s, a, b in zip(sizes, adaptive_costs, baseline_costs)
+        ]
+        + [(f"exponents: adaptive={adaptive_exp:.2f}",
+            f"baseline={baseline_exp:.2f}")],
+    )
+    benchmark.extra_info["adaptive_exponent"] = round(adaptive_exp, 3)
+    benchmark.extra_info["baseline_exponent"] = round(baseline_exp, 3)
+    assert adaptive_exp < 0.5, f"adaptive should be ~flat: {adaptive_exp:.2f}"
+    assert baseline_exp > 0.6, f"baseline should grow with |D|: {baseline_exp:.2f}"
+
+    instance = whitepages_instance("medium")
+    scopes = scopes_for(instance)
+    benchmark(
+        lambda: QueryEvaluator(instance, scopes).evaluate(delta_scoped_query())
+    )
+
+
+def test_random_queries_agree_across_modes(benchmark):
+    """Differential: on random class pairs and axes, both modes give
+    identical results (timed on the adaptive mode)."""
+    instance = whitepages_instance("medium")
+    rng = random.Random(3)
+    classes = ["person", "orgUnit", "organization", "orgGroup", "top"]
+    queries = [
+        HSelect(
+            rng.choice(list(Axis)),
+            class_selection(rng.choice(classes)),
+            class_selection(rng.choice(classes)),
+        )
+        for _ in range(20)
+    ]
+    for query in queries:
+        a = QueryEvaluator(instance, adaptive=True).evaluate(query)
+        b = QueryEvaluator(instance, adaptive=False).evaluate(query)
+        assert a == b, str(query)
+
+    benchmark(
+        lambda: [QueryEvaluator(instance).evaluate(q) for q in queries[:5]]
+    )
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["plain", "optimized"])
+def test_figure4_suite_with_optimizer(benchmark, optimized):
+    """Evaluating all Figure 4 violation queries, with and without
+    schema-aware constant folding.  On legal instances the folds reduce
+    the whole suite to empty selections."""
+    schema = wp_schema()
+    instance = whitepages_instance("large")
+    checks = [
+        translate_element(e)
+        for e in schema.structure_schema.relationship_elements()
+    ]
+    queries = [c.query for c in checks]
+    if optimized:
+        optimizer = SchemaAwareOptimizer(schema)
+        queries = [optimizer.optimize(q).query for q in queries]
+    benchmark.extra_info["optimized"] = optimized
+
+    def run():
+        evaluator = QueryEvaluator(instance)
+        return [evaluator.evaluate(q) for q in queries]
+
+    results = benchmark(run)
+    assert all(not r for r in results)  # instance is legal

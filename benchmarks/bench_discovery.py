@@ -1,0 +1,53 @@
+"""Extension benchmark — bounding-schema discovery.
+
+Not a paper artifact (the paper's Section 6.2 points at descriptive
+schema work as complementary); measured here because the discovered
+schemas feed the prescriptive machinery.  Claims under test:
+
+* discovery cost grows near-linearly with |D| for a fixed class
+  universe (the per-pair checks reuse the linear Figure 4 machinery);
+* every discovered schema accepts its training instance and passes the
+  consistency check — on every tier (a semantic cross-validation of the
+  Section 5 rules at benchmark scale).
+"""
+
+import pytest
+
+from repro.consistency.checker import check_consistency
+from repro.legality.checker import LegalityChecker
+from repro.schema.discovery import discover_schema
+
+from _helpers import WHITEPAGES_TIERS, fit_growth, print_series, whitepages_instance
+
+
+@pytest.mark.parametrize("tier", ["small", "medium", "large"])
+def test_discover(benchmark, tier):
+    instance = whitepages_instance(tier)
+    benchmark.extra_info["entries"] = len(instance)
+    result = benchmark(lambda: discover_schema(instance))
+    assert LegalityChecker(result.schema).is_legal(instance)
+
+
+def test_discovery_scales_and_cross_validates(benchmark):
+    import time
+
+    sizes, times = [], []
+    for tier in WHITEPAGES_TIERS:
+        instance = whitepages_instance(tier)
+        start = time.perf_counter()
+        result = discover_schema(instance)
+        times.append(time.perf_counter() - start)
+        sizes.append(len(instance))
+        assert LegalityChecker(result.schema).is_legal(instance)
+        assert check_consistency(result.schema).consistent
+    exponent = fit_growth(sizes, [int(t * 1e9) for t in times])
+    print_series(
+        "DISCOVERY: time vs |D|",
+        [(f"|D|={s}", f"{t:.4f}s") for s, t in zip(sizes, times)]
+        + [(f"exponent={exponent:.2f}",)],
+    )
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    assert exponent < 1.6, f"should stay near-linear: {exponent:.2f}"
+
+    instance = whitepages_instance("medium")
+    benchmark(lambda: discover_schema(instance))

@@ -1,0 +1,91 @@
+"""Experiment FIG2 — the Figure 2 class schema and content checking.
+
+Section 3.1 bounds per-entry class-schema checking by
+``O(|class(e)| + max|Aux(c)| * depth(H))`` and attribute checking by
+``O(|val(e)| + Σ|a(c)|)``.  This bench measures content checking on the
+Figure 2 schema and verifies the shape: per-entry work stays flat as the
+*instance* grows (content checks are per-entry and independent), and
+total work grows linearly.
+"""
+
+import pytest
+
+from repro.legality.content import ContentChecker
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.structure_schema import StructureSchema
+from repro.model.instance import DirectoryInstance
+
+from _helpers import WHITEPAGES_TIERS, fit_growth, print_series, whitepages_instance, wp_schema
+
+
+@pytest.mark.parametrize("tier", list(WHITEPAGES_TIERS))
+def test_content_check(benchmark, tier):
+    """Content checking per tier (the FIG2 series)."""
+    checker = ContentChecker(wp_schema())
+    instance = whitepages_instance(tier)
+    benchmark.extra_info["entries"] = len(instance)
+    assert benchmark(lambda: checker.check(instance).is_legal)
+
+
+def test_single_entry_check(benchmark):
+    """Per-entry cost on the busiest Figure 1 entry (laks: 5 classes,
+    multi-valued mail)."""
+    from repro.workloads import figure1_instance
+
+    checker = ContentChecker(wp_schema())
+    instance = figure1_instance()
+    entry = instance.entry("uid=laks,ou=databases,ou=attLabs,o=att")
+    violations = benchmark(lambda: checker.check_entry(entry))
+    assert violations == []
+
+
+def _deep_schema(depth: int) -> DirectorySchema:
+    classes = ClassSchema()
+    parent = "top"
+    for level in range(depth):
+        classes.add_core(f"level{level}", parent=parent)
+        parent = f"level{level}"
+    attributes = AttributeSchema()
+    for level in range(depth):
+        attributes.declare(f"level{level}")
+    return DirectorySchema(attributes, classes, StructureSchema()).validate()
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_hierarchy_depth_scaling(benchmark, depth):
+    """Checking an entry of the deepest class scales with depth(H) —
+    the chain test walks one superclass chain, not all class pairs."""
+    schema = _deep_schema(depth)
+    checker = ContentChecker(schema)
+    instance = DirectoryInstance()
+    chain = [f"level{i}" for i in range(depth)] + ["top"]
+    entry = instance.add_entry(None, "cn=deep", chain)
+    benchmark.extra_info["depth"] = depth
+    violations = benchmark(lambda: checker.check_entry(entry))
+    assert violations == []
+
+
+def test_content_work_is_linear_in_instance(benchmark):
+    """Total content-check time across tiers fits a linear growth
+    exponent (measured by timing small/large once, coarse but stable
+    because the per-entry work is constant for this workload)."""
+    import time
+
+    checker = ContentChecker(wp_schema())
+    sizes, costs = [], []
+    for tier in WHITEPAGES_TIERS:
+        instance = whitepages_instance(tier)
+        start = time.perf_counter()
+        for _ in range(3):
+            checker.check(instance)
+        elapsed = time.perf_counter() - start
+        sizes.append(len(instance))
+        costs.append(max(1, int(elapsed * 1e7)))
+    exponent = fit_growth(sizes, costs)
+    print_series("FIG2: content-check time vs |D|", list(zip(sizes, costs)))
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    assert 0.7 <= exponent <= 1.4, f"not linear: exponent {exponent:.2f}"
+    instance = whitepages_instance("medium")
+    benchmark(lambda: checker.check(instance).is_legal)

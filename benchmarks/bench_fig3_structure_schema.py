@@ -1,0 +1,66 @@
+"""Experiment FIG3 — the Figure 3 structure schema.
+
+Checks the running example's structure bound (required classes,
+``orgGroup →→ person``, ``organization → orgUnit``,
+``orgUnit ← orgGroup``, ``person ↛ top``, ``top ↛ organization``)
+element by element and as a whole, across instance tiers.  Shape claim:
+per-element work is linear in |D| (one Figure 4 query each).
+"""
+
+import pytest
+
+from repro.legality.structure import QueryStructureChecker
+from repro.query.evaluator import QueryEvaluator
+from repro.query.translate import translate_element
+
+from _helpers import WHITEPAGES_TIERS, fit_growth, print_series, whitepages_instance, wp_schema
+
+
+@pytest.mark.parametrize("tier", list(WHITEPAGES_TIERS))
+def test_structure_check(benchmark, tier):
+    """Whole structure-schema check per tier (the FIG3 series)."""
+    checker = QueryStructureChecker(wp_schema().structure_schema)
+    instance = whitepages_instance(tier)
+    benchmark.extra_info["entries"] = len(instance)
+    assert benchmark(lambda: checker.check(instance).is_legal)
+
+
+@pytest.mark.parametrize(
+    "label",
+    [str(e) for e in wp_schema().structure_schema.elements()],
+)
+def test_per_element_check(benchmark, label):
+    """Each Figure 3 element individually, on the medium tier."""
+    element = next(
+        e for e in wp_schema().structure_schema.elements() if str(e) == label
+    )
+    check = translate_element(element)
+    instance = whitepages_instance("medium")
+    benchmark.extra_info["entries"] = len(instance)
+    assert benchmark(lambda: check.is_legal(instance))
+
+
+def test_per_element_linearity(benchmark):
+    """Per-element work counters grow linearly across tiers for every
+    Figure 3 element."""
+    exponents = []
+    rows = []
+    for element in wp_schema().structure_schema.elements():
+        check = translate_element(element)
+        sizes, costs = [], []
+        for tier in WHITEPAGES_TIERS:
+            instance = whitepages_instance(tier)
+            evaluator = QueryEvaluator(instance)
+            evaluator.evaluate(check.query)
+            sizes.append(len(instance))
+            costs.append(max(1, evaluator.cost))
+        exponent = fit_growth(sizes, costs)
+        exponents.append(exponent)
+        rows.append((str(element), [f"{c}" for c in costs], f"exp={exponent:.2f}"))
+    print_series("FIG3: per-element work vs |D|", rows)
+    benchmark.extra_info["exponents"] = [round(e, 3) for e in exponents]
+    assert all(e <= 1.3 for e in exponents), exponents
+
+    checker = QueryStructureChecker(wp_schema().structure_schema)
+    instance = whitepages_instance("medium")
+    benchmark(lambda: checker.check(instance).is_legal)

@@ -1,0 +1,158 @@
+"""Experiment FIG4 — the query reduction vs. the naive pairwise check.
+
+Section 3.2 motivates the Figure 4 reduction by contrasting it with the
+"straightforward approach" that compares every (parent, child) and
+(ancestor, descendant) pair against the structure schema:
+``O((|Er|+|Ef|) * |D|^2)`` versus ``O(|S| * |D|)``.
+
+This bench reproduces that contrast: identical verdicts, wall-clock
+series for both checkers across tiers, and the shape assertion that the
+naive/query cost *ratio grows with |D|* (the paper's claimed asymptotic
+separation — who wins, and by a factor that widens linearly).
+"""
+
+import time
+
+import pytest
+
+from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+
+from _helpers import WHITEPAGES_TIERS, fit_growth, print_series, whitepages_instance, wp_schema
+
+
+@pytest.mark.parametrize("tier", ["small", "medium", "large"])
+def test_query_reduction(benchmark, tier):
+    """The paper's checker (Figure 4 reduction)."""
+    checker = QueryStructureChecker(wp_schema().structure_schema)
+    instance = whitepages_instance(tier)
+    benchmark.extra_info["entries"] = len(instance)
+    benchmark.group = f"fig4-{tier}"
+    assert benchmark(lambda: checker.check(instance).is_legal)
+
+
+@pytest.mark.parametrize("tier", ["small", "medium", "large"])
+def test_naive_pairwise(benchmark, tier):
+    """The strawman baseline (quadratic pairwise scan)."""
+    checker = NaiveStructureChecker(wp_schema().structure_schema)
+    instance = whitepages_instance(tier)
+    benchmark.extra_info["entries"] = len(instance)
+    benchmark.group = f"fig4-{tier}"
+    assert benchmark(lambda: checker.check(instance).is_legal)
+
+
+def _deep_chain(units: int):
+    """A chain-shaped white-pages instance: nested orgUnits, one person
+    per unit.  Depth grows with |D|, which is where the naive pairwise
+    scan's Θ(|D|²) worst case lives."""
+    from repro.model.instance import DirectoryInstance
+    from repro.workloads import whitepages_registry
+
+    instance = DirectoryInstance(attributes=whitepages_registry())
+    cursor = instance.add_entry(
+        None, "o=chain", ["organization", "orgGroup", "top"], {"o": ["chain"]}
+    )
+    for i in range(units):
+        cursor = instance.add_entry(
+            cursor, f"ou=u{i}", ["orgUnit", "orgGroup", "top"], {"ou": [f"u{i}"]}
+        )
+        instance.add_entry(
+            cursor, f"uid=p{i}", ["person", "top"],
+            {"uid": [f"p{i}"], "name": [f"p {i}"]},
+        )
+    return instance
+
+
+def _measure(checker, instance, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        checker.check(instance)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_separation_on_bushy_instances(benchmark):
+    """On bushy trees (depth bounded) the naive scan is only
+    Θ(|D| · depth); the ratio still widens with |D|, but mildly."""
+    structure = wp_schema().structure_schema
+    query_checker = QueryStructureChecker(structure)
+    naive_checker = NaiveStructureChecker(structure)
+
+    sizes, query_times, naive_times, ratios = [], [], [], []
+    for tier in WHITEPAGES_TIERS:
+        instance = whitepages_instance(tier)
+        query_time = _measure(query_checker, instance)
+        naive_time = _measure(naive_checker, instance)
+        sizes.append(len(instance))
+        query_times.append(query_time)
+        naive_times.append(naive_time)
+        ratios.append(naive_time / query_time)
+
+    query_exp = fit_growth(sizes, [int(t * 1e9) for t in query_times])
+    naive_exp = fit_growth(sizes, [int(t * 1e9) for t in naive_times])
+    print_series(
+        "FIG4 (bushy): naive vs query-reduction (seconds, ratio)",
+        [
+            (f"|D|={s}", f"query={q:.5f}", f"naive={n:.5f}", f"ratio={r:.1f}x")
+            for s, q, n, r in zip(sizes, query_times, naive_times, ratios)
+        ]
+        + [(f"growth exponents: query={query_exp:.2f}", f"naive={naive_exp:.2f}")],
+    )
+    benchmark.extra_info["ratios"] = [round(r, 2) for r in ratios]
+    assert naive_times[-1] > query_times[-1], "query reduction should win"
+
+    instance = whitepages_instance("medium")
+    benchmark(lambda: query_checker.check(instance).is_legal)
+
+
+def test_separation_on_deep_chains(benchmark):
+    """On deep chains the asymptotic gap is fully visible: the naive
+    pairwise scan goes quadratic while the query reduction stays
+    linear (Theorem 3.1 vs the Section 3.2 strawman)."""
+    structure = wp_schema().structure_schema
+    query_checker = QueryStructureChecker(structure)
+    naive_checker = NaiveStructureChecker(structure)
+
+    sizes, query_times, naive_times, ratios = [], [], [], []
+    for units in (50, 100, 200, 400):
+        instance = _deep_chain(units)
+        query_time = _measure(query_checker, instance)
+        naive_time = _measure(naive_checker, instance)
+        sizes.append(len(instance))
+        query_times.append(query_time)
+        naive_times.append(naive_time)
+        ratios.append(naive_time / query_time)
+
+    query_exp = fit_growth(sizes, [int(t * 1e9) for t in query_times])
+    naive_exp = fit_growth(sizes, [int(t * 1e9) for t in naive_times])
+    print_series(
+        "FIG4 (deep): naive vs query-reduction (seconds, ratio)",
+        [
+            (f"|D|={s}", f"query={q:.5f}", f"naive={n:.5f}", f"ratio={r:.1f}x")
+            for s, q, n, r in zip(sizes, query_times, naive_times, ratios)
+        ]
+        + [(f"growth exponents: query={query_exp:.2f}", f"naive={naive_exp:.2f}")],
+    )
+    benchmark.extra_info["query_exponent"] = round(query_exp, 3)
+    benchmark.extra_info["naive_exponent"] = round(naive_exp, 3)
+
+    assert ratios[-1] > 3 * ratios[0], "separation should widen sharply"
+    assert naive_exp > 1.6, f"naive should be ~quadratic, got {naive_exp:.2f}"
+    assert query_exp < 1.35, f"query should stay ~linear, got {query_exp:.2f}"
+
+    instance = _deep_chain(100)
+    benchmark(lambda: query_checker.check(instance).is_legal)
+
+
+def test_verdict_equivalence(benchmark):
+    """Both checkers agree on every tier (the reduction's correctness
+    contract, Section 3.2) — timed on the agreement check itself."""
+    structure = wp_schema().structure_schema
+    query_checker = QueryStructureChecker(structure)
+    naive_checker = NaiveStructureChecker(structure)
+
+    def agree() -> bool:
+        instance = whitepages_instance("small")
+        return query_checker.is_legal(instance) == naive_checker.is_legal(instance)
+
+    assert benchmark(agree)

@@ -1,0 +1,108 @@
+"""Experiment FIG6 — the cycle-detection inference rules.
+
+Reproduces Figure 6's behaviour on schema families built around cycles:
+
+* pure structure-schema cycles of growing length (the Section 5.1
+  pattern ``c1 □, c1 → c2, ..., cn →→ c1``);
+* cycles that only arise through the class hierarchy (the Section 5.1
+  subclass-interaction example, scaled);
+
+and measures closure time as the family grows.  Shape claim: polynomial
+(in fact near-quadratic or better here, since transitivity closes a
+cycle of n classes with O(n²) facts) — asserted via the growth exponent.
+"""
+
+import pytest
+
+from repro.axes import Axis
+from repro.consistency.engine import close
+from repro.schema.elements import RequiredClass, RequiredEdge, Subclass
+
+from _helpers import fit_growth, print_series
+
+
+def cycle_elements(n: int):
+    """``c0 □`` plus a required-descendant cycle c0 → c1 → ... → c0."""
+    elements = [RequiredClass("c0")]
+    for i in range(n):
+        elements.append(
+            RequiredEdge(Axis.DESCENDANT, f"c{i}", f"c{(i + 1) % n}")
+        )
+    return elements
+
+
+def hierarchy_cycle_elements(n: int):
+    """The Section 5.1 subclass-interaction pattern, scaled: edges jump
+    between hierarchy levels so the cycle only closes through ⊑."""
+    elements = [RequiredClass("a0")]
+    for i in range(n):
+        # a_i ⊑ b_i ; b_i → a_{i+1 mod n} : a chain only via subclassing
+        elements.append(Subclass(f"a{i}", f"b{i}"))
+        elements.append(
+            RequiredEdge(Axis.CHILD, f"b{i}", f"a{(i + 1) % n}")
+        )
+    return elements
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_structure_cycle_detection(benchmark, n):
+    """Closure on a length-n required cycle (must derive ⊥)."""
+    elements = cycle_elements(n)
+    benchmark.extra_info["cycle_length"] = n
+    closure = benchmark(lambda: close(elements))
+    assert not closure.consistent
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_hierarchy_cycle_detection(benchmark, n):
+    """Closure on a hierarchy-mediated cycle (must derive ⊥)."""
+    elements = hierarchy_cycle_elements(n)
+    benchmark.extra_info["cycle_length"] = n
+    closure = benchmark(lambda: close(elements))
+    assert not closure.consistent
+
+
+def test_paper_example_cycle(benchmark):
+    """The exact Section 5.1 example, as a timing anchor."""
+    elements = [
+        RequiredClass("c1"),
+        RequiredEdge(Axis.CHILD, "c2", "c3"),
+        RequiredEdge(Axis.DESCENDANT, "c4", "c5"),
+        Subclass("c1", "c2"),
+        Subclass("c3", "c4"),
+        Subclass("c5", "c1"),
+    ]
+    closure = benchmark(lambda: close(elements))
+    assert not closure.consistent
+    assert "∅ □" in closure.proof_of_inconsistency()
+
+
+def test_polynomial_shape(benchmark):
+    """Closure work (derived-fact count) on growing cycles stays
+    polynomial — exponent well under cubic."""
+    import time
+
+    sizes, facts, times = [], [], []
+    for n in (8, 16, 32, 64):
+        elements = cycle_elements(n)
+        start = time.perf_counter()
+        closure = close(elements)
+        times.append(time.perf_counter() - start)
+        sizes.append(n)
+        facts.append(len(closure))
+    fact_exp = fit_growth(sizes, facts)
+    time_exp = fit_growth(sizes, [max(1, int(t * 1e9)) for t in times])
+    print_series(
+        "FIG6: closure growth on length-n cycles",
+        [
+            (f"n={s}", f"facts={f}", f"time={t:.4f}s")
+            for s, f, t in zip(sizes, facts, times)
+        ]
+        + [(f"exponents: facts={fact_exp:.2f}", f"time={time_exp:.2f}")],
+    )
+    benchmark.extra_info["fact_exponent"] = round(fact_exp, 3)
+    benchmark.extra_info["time_exponent"] = round(time_exp, 3)
+    assert fact_exp < 2.6, f"fact count should be ~quadratic, got {fact_exp:.2f}"
+    assert time_exp < 3.2, f"closure time should stay polynomial, got {time_exp:.2f}"
+
+    benchmark(lambda: close(cycle_elements(32)))

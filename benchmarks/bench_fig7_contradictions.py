@@ -1,0 +1,122 @@
+"""Experiment FIG7 — the contradiction-detection inference rules.
+
+Reproduces Figure 7's behaviour on contradiction families:
+
+* the direct Section 5.2 pattern (``c □, c →→ d, c ↛↛ d``) buried at a
+  random position inside an otherwise-consistent random schema of
+  growing size;
+* hierarchy-mediated contradictions (forbidden at a superclass,
+  required at a subclass);
+* top-interaction contradictions (leaf classes required to have
+  children; root classes required to have parents).
+
+Shape claim: detection cost stays polynomial in schema size, and the
+verdict is always ⊥ no matter where the contradiction hides.
+"""
+
+import pytest
+
+from repro.axes import Axis
+from repro.consistency.checker import check_consistency
+from repro.consistency.engine import close
+from repro.schema.elements import (
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    Subclass,
+)
+from repro.workloads import random_schema
+
+from _helpers import fit_growth, print_series
+
+
+def test_direct_contradiction(benchmark):
+    """The exact Section 5.2 pattern."""
+    elements = [
+        RequiredClass("c1"),
+        RequiredEdge(Axis.DESCENDANT, "c1", "c2"),
+        ForbiddenEdge(Axis.DESCENDANT, "c1", "c2"),
+    ]
+    closure = benchmark(lambda: close(elements))
+    assert not closure.consistent
+
+
+def test_hierarchy_mediated_contradiction(benchmark):
+    """Forbidden at the superclass, required at the subclass."""
+    elements = [
+        RequiredClass("sub"),
+        Subclass("sub", "sup"),
+        RequiredEdge(Axis.DESCENDANT, "sub", "x"),
+        ForbiddenEdge(Axis.DESCENDANT, "sup", "x"),
+    ]
+    closure = benchmark(lambda: close(elements))
+    assert not closure.consistent
+
+
+def test_top_interaction_contradiction(benchmark):
+    """A leaf class (``c ↛ top``) that must have children."""
+    elements = [
+        RequiredClass("c"),
+        ForbiddenEdge(Axis.CHILD, "c", "top"),
+        RequiredEdge(Axis.CHILD, "c", "d"),
+    ]
+    closure = benchmark(lambda: close(elements))
+    assert not closure.consistent
+
+
+@pytest.mark.parametrize("n_classes", [6, 12, 24])
+def test_hidden_contradiction_in_random_schema(benchmark, n_classes):
+    """A contradiction injected into a random consistent schema of
+    growing size is always found."""
+    schema = random_schema(
+        n_classes=n_classes,
+        n_required=n_classes // 2,
+        n_forbidden=n_classes // 3,
+        seed=99,
+        mode="contradictory",
+    )
+    benchmark.extra_info["classes"] = n_classes
+    result = benchmark(lambda: check_consistency(schema))
+    assert not result.consistent
+
+
+def test_detection_cost_scales_polynomially(benchmark):
+    """Closure time on growing contradictory schemas — polynomial
+    exponent asserted."""
+    import time
+
+    sizes, times = [], []
+    for n in (6, 12, 24, 48):
+        schema = random_schema(
+            n_classes=n, n_required=n // 2, n_forbidden=n // 3,
+            seed=5, mode="contradictory",
+        )
+        elements = list(schema.all_elements())
+        start = time.perf_counter()
+        closure = close(elements)
+        times.append(time.perf_counter() - start)
+        sizes.append(n)
+        assert not closure.consistent
+    exponent = fit_growth(sizes, [max(1, int(t * 1e9)) for t in times])
+    print_series(
+        "FIG7: detection time vs #classes",
+        [(f"n={s}", f"time={t:.4f}s") for s, t in zip(sizes, times)]
+        + [(f"time exponent={exponent:.2f}",)],
+    )
+    benchmark.extra_info["time_exponent"] = round(exponent, 3)
+    assert exponent < 3.6, f"should stay polynomial, got {exponent:.2f}"
+
+    schema = random_schema(n_classes=12, n_required=6, n_forbidden=4,
+                           seed=5, mode="contradictory")
+    elements = list(schema.all_elements())
+    benchmark(lambda: close(elements))
+
+
+def test_proof_reconstruction(benchmark):
+    """Building the ⊥ proof tree (the explain path) is cheap."""
+    schema = random_schema(n_classes=12, n_required=6, n_forbidden=4,
+                           seed=7, mode="contradictory")
+    closure = close(schema.all_elements())
+    assert not closure.consistent
+    proof = benchmark(closure.proof_of_inconsistency)
+    assert "∅ □" in proof

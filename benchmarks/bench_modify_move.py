@@ -1,0 +1,149 @@
+"""Extension benchmark — incremental modify and move.
+
+The library extends Figure 5's derivation to in-place modification and
+subtree moves (DESIGN.md §7).  Shape claims mirroring FIG5:
+
+* attribute-only modification costs O(1) in |D| (per-entry content
+  re-check only);
+* class-addition modification stays flat in |D| (Δ = {entry} scoped
+  queries);
+* a guarded move costs the insertion checks at the destination plus the
+  non-skippable deletion rows — bounded by one full pass, far below
+  apply-then-recheck for transactions of many moves.
+"""
+
+import pytest
+
+from repro.updates.incremental import IncrementalChecker
+
+from _helpers import WHITEPAGES_TIERS, fit_growth, print_series, whitepages_instance, wp_schema
+
+
+def _guard(tier):
+    return IncrementalChecker(wp_schema(), whitepages_instance(tier).copy(),
+                              assume_legal=True)
+
+
+def _some_person(guard):
+    """Any person entry (used for attribute-only modification)."""
+    return str(
+        guard.instance.dn_of(sorted(guard.instance.entries_with_class("person"))[0])
+    )
+
+
+def _toggleable_person(guard):
+    """A staff member or researcher without the ``consultant``
+    auxiliary, which can be toggled freely (no attributes ride on it)."""
+    for name in ("staffMember", "researcher"):
+        for eid in sorted(guard.instance.entries_with_class(name)):
+            entry = guard.instance.entry(eid)
+            if not entry.belongs_to("consultant"):
+                return str(guard.instance.dn_of(eid))
+    raise AssertionError("workload should contain a non-consultant staffer")
+
+
+@pytest.mark.parametrize("tier", ["small", "medium", "large"])
+def test_attribute_modify(benchmark, tier):
+    guard = _guard(tier)
+    person = _some_person(guard)
+    benchmark.extra_info["entries"] = len(guard.instance)
+    counter = [0]
+
+    def modify():
+        counter[0] += 1
+        outcome = guard.try_modify(
+            person, replace_attributes={"telephoneNumber": [f"+1 555 {counter[0] % 10000:04d}"]}
+        )
+        assert outcome.applied
+
+    benchmark(modify)
+
+
+@pytest.mark.parametrize("tier", ["small", "medium", "large"])
+def test_class_addition_modify(benchmark, tier):
+    guard = _guard(tier)
+    person = _toggleable_person(guard)
+    benchmark.extra_info["entries"] = len(guard.instance)
+    state = [False]
+
+    def toggle_consultant():
+        if state[0]:
+            outcome = guard.try_modify(person, remove_classes=["consultant"])
+        else:
+            outcome = guard.try_modify(person, add_classes=["consultant"])
+        assert outcome.applied, str(outcome.report)
+        state[0] = not state[0]
+
+    benchmark(toggle_consultant)
+
+
+def test_modify_cost_flat_in_instance_size(benchmark):
+    """Class-addition work is independent of |D| (the Δ={entry}
+    property)."""
+    sizes, costs = [], []
+    for tier in WHITEPAGES_TIERS:
+        guard = _guard(tier)
+        person = _toggleable_person(guard)
+        outcome = guard.try_modify(person, add_classes=["consultant"])
+        assert outcome.applied
+        sizes.append(len(guard.instance))
+        costs.append(max(1, outcome.cost))
+    exponent = fit_growth(sizes, costs)
+    print_series(
+        "MODIFY: class-addition work vs |D|",
+        [(f"|D|={s}", f"work={c}") for s, c in zip(sizes, costs)]
+        + [(f"exponent={exponent:.2f}",)],
+    )
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    assert exponent < 0.4, f"modify should be ~flat in |D|: {exponent:.2f}"
+
+    guard = _guard("medium")
+    person = _toggleable_person(guard)
+    state = [False]
+
+    def kernel():
+        if state[0]:
+            guard.try_modify(person, remove_classes=["consultant"])
+        else:
+            guard.try_modify(person, add_classes=["consultant"])
+        state[0] = not state[0]
+
+    benchmark(kernel)
+
+
+@pytest.mark.parametrize("tier", ["small", "medium"])
+def test_guarded_move(benchmark, tier):
+    """Move a person back and forth between two units."""
+    guard = _guard(tier)
+    instance = guard.instance
+    units = sorted(
+        str(instance.dn_of(e)) for e in instance.entries_with_class("orgUnit")
+    )
+    # pick a person whose unit keeps another person (so the move is legal)
+    person = None
+    for eid in sorted(instance.entries_with_class("person")):
+        entry = instance.entry(eid)
+        parent = instance.parent_of(entry)
+        if parent is None:
+            continue
+        siblings = [
+            c for c in instance.children_of(parent)
+            if c.belongs_to("person") and c.eid != eid
+        ]
+        if siblings:
+            person = str(instance.dn_of(entry))
+            home = str(parent.dn)
+            break
+    assert person is not None
+    away = next(u for u in units if u != home)
+    benchmark.extra_info["entries"] = len(instance)
+    location = [person, home, away]
+
+    def move_back_and_forth():
+        outcome = guard.try_move(location[0], new_parent=location[2])
+        assert outcome.applied, str(outcome.report)
+        rdn = location[0].split(",", 1)[0]
+        location[0] = f"{rdn},{location[2]}"
+        location[1], location[2] = location[2], location[1]
+
+    benchmark(move_back_and_forth)

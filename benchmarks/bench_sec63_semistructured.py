@@ -1,0 +1,145 @@
+"""Experiment SEC63 — bounding-schemas on semi-structured data.
+
+Reproduces the Section 6.3 applicability claim as measurements:
+
+* graph-constraint validation cost vs graph size for the two paper
+  constraint families (person →→ name; country ↛↛ country), on random
+  tree-shaped and DAG-shaped catalogs;
+* the bridge: on tree-shaped graphs the directory reduction gives the
+  same verdicts; its cost is compared with the native graph checker.
+"""
+
+import random
+
+import pytest
+
+from repro.legality.structure import QueryStructureChecker
+from repro.semistructured import (
+    DataGraph,
+    GraphConstraints,
+    GraphValidator,
+    constraints_to_structure_schema,
+    graph_to_instance,
+)
+
+from _helpers import fit_growth, print_series
+
+
+def catalog_constraints() -> GraphConstraints:
+    return (
+        GraphConstraints()
+        .require_label("person")
+        .require_descendant("person", "name")
+        .forbid_descendant("country", "country")
+    )
+
+
+def random_catalog(n: int, seed: int = 0, sharing: float = 0.0) -> DataGraph:
+    """A random legal catalog of ~n nodes (countries, corporations,
+    persons with name children); with ``sharing > 0`` some persons get
+    extra parents (DAG shape)."""
+    rng = random.Random(seed)
+    g = DataGraph()
+    g.add_node("world", "root")
+    containers = ["world"]
+    # Containers with no country anywhere on their ancestor path — the
+    # only places a new country may legally go.
+    country_free = ["world"]
+    i = 0
+    while len(g) < n:
+        i += 1
+        kind = rng.random()
+        if kind < 0.25:
+            parent = rng.choice(country_free)
+            node = g.add_child(parent, f"c{i}", "country")
+            containers.append(node)  # a country may hold corporations
+        elif kind < 0.55:
+            parent = rng.choice(containers)
+            node = g.add_child(parent, f"corp{i}", "corporation")
+            containers.append(node)
+            if parent in country_free:
+                country_free.append(node)
+        else:
+            parent = rng.choice(containers)
+            person = g.add_child(parent, f"p{i}", "person")
+            g.add_child(person, f"n{i}", "name", f"name {i}")
+            if sharing and rng.random() < sharing and len(containers) > 1:
+                other = rng.choice(containers)
+                if other != parent:
+                    g.add_edge(other, person)
+    return g
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+def test_tree_catalog_validation(benchmark, n):
+    """Graph validation per size on tree-shaped catalogs."""
+    graph = random_catalog(n, seed=1)
+    validator = GraphValidator(catalog_constraints())
+    benchmark.extra_info["nodes"] = len(graph)
+    assert benchmark(lambda: validator.is_legal(graph))
+
+
+def test_dag_catalog_validation(benchmark):
+    """Sharing (DAG shape) is handled natively — no LDAP embedding
+    exists, but validation still works."""
+    graph = random_catalog(400, seed=2, sharing=0.3)
+    assert not graph.is_tree_shaped()
+    validator = GraphValidator(catalog_constraints())
+    assert benchmark(lambda: validator.is_legal(graph))
+
+
+def test_bridge_equivalence_and_cost(benchmark):
+    """On tree catalogs, the native checker and the LDAP reduction give
+    the same verdicts at every size — with comparable growth."""
+    import time
+
+    constraints = catalog_constraints()
+    validator = GraphValidator(constraints)
+    structure = constraints_to_structure_schema(constraints)
+    directory_checker = QueryStructureChecker(structure)
+
+    sizes, graph_times, dir_times = [], [], []
+    for n in (100, 400, 1600):
+        graph = random_catalog(n, seed=3)
+        instance = graph_to_instance(graph)
+
+        start = time.perf_counter()
+        graph_verdict = validator.is_legal(graph)
+        graph_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        dir_verdict = directory_checker.is_legal(instance)
+        dir_times.append(time.perf_counter() - start)
+
+        assert graph_verdict == dir_verdict is True
+        sizes.append(len(graph))
+
+    graph_exp = fit_growth(sizes, [int(t * 1e9) for t in graph_times])
+    dir_exp = fit_growth(sizes, [int(t * 1e9) for t in dir_times])
+    print_series(
+        "SEC63: native graph checker vs LDAP reduction (seconds)",
+        [
+            (f"|G|={s}", f"graph={g:.5f}", f"directory={d:.5f}")
+            for s, g, d in zip(sizes, graph_times, dir_times)
+        ]
+        + [(f"exponents: graph={graph_exp:.2f}", f"directory={dir_exp:.2f}")],
+    )
+    benchmark.extra_info["graph_exponent"] = round(graph_exp, 3)
+    benchmark.extra_info["directory_exponent"] = round(dir_exp, 3)
+    assert dir_exp < 1.5, f"reduction should stay near-linear: {dir_exp:.2f}"
+
+    graph = random_catalog(400, seed=3)
+    benchmark(lambda: validator.is_legal(graph))
+
+
+def test_violation_detection(benchmark):
+    """A planted country-under-country violation is found at any size
+    (timing the failing check)."""
+    graph = random_catalog(400, seed=4)
+    # plant: hang a country under an existing country's corporation
+    country = sorted(graph.nodes_with_label("country"))[0]
+    corp = graph.add_child(country, "planted-corp", "corporation")
+    graph.add_child(corp, "planted-country", "country")
+    validator = GraphValidator(catalog_constraints())
+    report = benchmark(lambda: validator.check(graph))
+    assert any(v.kind == "forbidden-relationship" for v in report)

@@ -1,0 +1,106 @@
+"""Extension benchmark — the durable store (snapshot + journal).
+
+Claims under test: guarded-commit throughput is dominated by the
+incremental check plus one fsync (flat in |D|), and recovery replay is
+linear in journal length.
+"""
+
+import random
+
+import pytest
+
+from repro.store import DirectoryStore
+from repro.workloads import (
+    generate_whitepages,
+    random_transaction,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+from _helpers import fit_growth, print_series
+
+
+def fresh_store(tmp_path, name, orgs=1):
+    schema = whitepages_schema()
+    instance = generate_whitepages(orgs=orgs, units_per_level=2, depth=1,
+                                   persons_per_unit=2, seed=8)
+    return DirectoryStore.create(str(tmp_path / name), schema, instance)
+
+
+def test_guarded_commit(benchmark, tmp_path):
+    """One transaction end-to-end: check + journal append + fsync."""
+    store = fresh_store(tmp_path, "commit")
+    counter = [0]
+
+    def commit():
+        counter[0] += 1
+        tx = random_transaction(store.instance, inserts=1, seed=counter[0])
+        outcome = store.apply(tx)
+        assert outcome.applied
+
+    benchmark(commit)
+
+
+def test_recovery_replay(benchmark, tmp_path):
+    """Reopening a store with a 20-transaction journal."""
+    store = fresh_store(tmp_path, "replay")
+    for seed in range(20):
+        assert store.apply(
+            random_transaction(store.instance, inserts=1, seed=1000 + seed)
+        ).applied
+    schema = whitepages_schema()
+    path = str(tmp_path / "replay")
+
+    reopened = benchmark(
+        lambda: DirectoryStore.open(path, schema, registry=whitepages_registry())
+    )
+    assert reopened.journal_length == 20
+    assert len(reopened.instance) == len(store.instance)
+
+
+def test_compaction(benchmark, tmp_path):
+    """Journal-into-snapshot folding."""
+    store = fresh_store(tmp_path, "compact")
+    counter = [0]
+
+    def fill_and_compact():
+        counter[0] += 1
+        assert store.apply(
+            random_transaction(store.instance, inserts=1, seed=5000 + counter[0])
+        ).applied
+        store.compact()
+        assert store.journal_length == 0
+
+    benchmark(fill_and_compact)
+
+
+def test_replay_linear_in_journal_length(benchmark, tmp_path):
+    import time
+
+    schema = whitepages_schema()
+    sizes, times = [], []
+    for n in (5, 10, 20, 40):
+        store = fresh_store(tmp_path, f"lin{n}")
+        for seed in range(n):
+            assert store.apply(
+                random_transaction(store.instance, inserts=1, seed=7000 + seed)
+            ).applied
+        path = str(tmp_path / f"lin{n}")
+        start = time.perf_counter()
+        DirectoryStore.open(path, schema, registry=whitepages_registry())
+        times.append(time.perf_counter() - start)
+        sizes.append(n)
+    exponent = fit_growth(sizes, [int(t * 1e9) for t in times])
+    print_series(
+        "STORE: recovery time vs journal length",
+        [(f"txs={s}", f"{t:.4f}s") for s, t in zip(sizes, times)]
+        + [(f"exponent={exponent:.2f}",)],
+    )
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    assert exponent < 1.6, f"replay should be ~linear: {exponent:.2f}"
+
+    store = fresh_store(tmp_path, "kernel")
+    assert store.apply(random_transaction(store.instance, inserts=1, seed=9)).applied
+    path = str(tmp_path / "kernel")
+    benchmark(lambda: DirectoryStore.open(path, schema,
+                                          registry=whitepages_registry()))

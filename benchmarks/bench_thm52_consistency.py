@@ -1,0 +1,125 @@
+"""Experiment THM52 — polynomial-time consistency checking.
+
+Theorem 5.2: consistency of ``S`` is decidable in time polynomial in the
+size of the schema.  Series produced:
+
+* closure time vs. number of classes (fixed edge density) on consistent,
+  cyclic-inconsistent, and contradictory schema families;
+* closure time vs. number of edges (fixed classes);
+* witness-synthesis time on consistent schemas.
+
+Shape claims: fitted time exponents stay well below any exponential
+escape (we assert ≲ cubic in classes; fact counts ≲ quadratic), and the
+verdicts match the family labels at every size.
+"""
+
+import time
+
+import pytest
+
+from repro.consistency.checker import check_consistency
+from repro.consistency.engine import close
+from repro.workloads import random_schema
+
+from _helpers import fit_growth, print_series
+
+
+@pytest.mark.parametrize("mode", ["consistent", "cyclic", "contradictory"])
+def test_verdicts_per_family(benchmark, mode):
+    """Timing one mid-size check per family; verdicts must match."""
+    schema = random_schema(n_classes=12, n_required=6, n_forbidden=4,
+                           seed=1, mode=mode)
+    result = benchmark(lambda: check_consistency(schema))
+    assert result.consistent == (mode == "consistent")
+
+
+@pytest.mark.parametrize("n_classes", [8, 16, 32])
+def test_scaling_in_classes(benchmark, n_classes):
+    """The headline series: classes grow, edges grow proportionally."""
+    schema = random_schema(
+        n_classes=n_classes, n_required=n_classes // 2,
+        n_forbidden=n_classes // 4, seed=2, mode="consistent",
+    )
+    elements = list(schema.all_elements())
+    benchmark.extra_info["classes"] = n_classes
+    benchmark.extra_info["elements"] = len(elements)
+    closure = benchmark(lambda: close(elements))
+    assert closure.consistent
+
+
+def test_polynomial_in_classes(benchmark):
+    """Fitted exponent of closure time vs #classes stays polynomial."""
+    sizes, times, facts = [], [], []
+    for n in (8, 16, 32, 64):
+        schema = random_schema(
+            n_classes=n, n_required=n // 2, n_forbidden=n // 4,
+            seed=3, mode="consistent",
+        )
+        elements = list(schema.all_elements())
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            closure = close(elements)
+            best = min(best, time.perf_counter() - start)
+        sizes.append(n)
+        times.append(best)
+        facts.append(len(closure))
+    time_exp = fit_growth(sizes, [int(t * 1e9) for t in times])
+    fact_exp = fit_growth(sizes, facts)
+    print_series(
+        "THM52: closure vs #classes",
+        [
+            (f"n={s}", f"time={t:.4f}s", f"facts={f}")
+            for s, t, f in zip(sizes, times, facts)
+        ]
+        + [(f"exponents: time={time_exp:.2f}", f"facts={fact_exp:.2f}")],
+    )
+    benchmark.extra_info["time_exponent"] = round(time_exp, 3)
+    benchmark.extra_info["fact_exponent"] = round(fact_exp, 3)
+    assert fact_exp < 2.5, f"fact growth should be ≲ quadratic: {fact_exp:.2f}"
+    assert time_exp < 3.5, f"time should stay polynomial: {time_exp:.2f}"
+
+    schema = random_schema(n_classes=16, n_required=8, n_forbidden=4,
+                           seed=3, mode="consistent")
+    elements = list(schema.all_elements())
+    benchmark(lambda: close(elements))
+
+
+def test_polynomial_in_edges(benchmark):
+    """Closure time vs #structure-edges for a fixed class universe."""
+    sizes, times = [], []
+    for edges in (4, 8, 16, 32):
+        schema = random_schema(
+            n_classes=16, n_required=edges, n_forbidden=edges // 2,
+            seed=4, mode="any",
+        )
+        elements = list(schema.all_elements())
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            close(elements)
+            best = min(best, time.perf_counter() - start)
+        sizes.append(edges)
+        times.append(best)
+    exponent = fit_growth(sizes, [int(t * 1e9) for t in times])
+    print_series(
+        "THM52: closure time vs #edges (16 classes)",
+        [(f"edges={s}", f"{t:.4f}s") for s, t in zip(sizes, times)]
+        + [(f"exponent={exponent:.2f}",)],
+    )
+    benchmark.extra_info["exponent"] = round(exponent, 3)
+    assert exponent < 2.5, f"should stay polynomial in edges: {exponent:.2f}"
+
+    schema = random_schema(n_classes=16, n_required=16, n_forbidden=8,
+                           seed=4, mode="any")
+    elements = list(schema.all_elements())
+    benchmark(lambda: close(elements))
+
+
+def test_witness_synthesis(benchmark):
+    """Constructive consistency: witness synthesis on a consistent
+    schema (Theorem 5.2 made executable)."""
+    schema = random_schema(n_classes=12, n_required=6, n_forbidden=3,
+                           seed=6, mode="consistent")
+    result = benchmark(lambda: check_consistency(schema, synthesize=True))
+    assert result.consistent and result.witness is not None

@@ -1,0 +1,83 @@
+"""Quickstart: define a bounding-schema, validate a directory, catch a
+violation.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AttributeSchema,
+    ClassSchema,
+    DirectoryInstance,
+    DirectorySchema,
+    LegalityChecker,
+    StructureSchema,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A bounding-schema: lower and upper bounds on content and shape.
+    # ------------------------------------------------------------------
+    classes = (
+        ClassSchema()
+        .add_core("orgUnit")
+        .add_core("person")
+        .add_auxiliary("online")
+        .allow_auxiliary("person", "online")
+    )
+    attributes = (
+        AttributeSchema()
+        .declare("top")
+        .declare("orgUnit", required=("ou",))
+        .declare("person", required=("name", "uid"))
+        .declare("online", allowed=("mail",))
+    )
+    structure = (
+        StructureSchema()
+        .require_class("orgUnit")               # orgUnit □
+        .require_descendant("orgUnit", "person")  # orgUnit →→ person
+        .forbid_child("person", "top")            # person ↛ top (leaves)
+    )
+    schema = DirectorySchema(attributes, classes, structure).validate()
+
+    # ------------------------------------------------------------------
+    # 2. A directory instance (a forest of multi-class entries).
+    # ------------------------------------------------------------------
+    directory = DirectoryInstance()
+    labs = directory.add_entry(None, "ou=labs", ["orgUnit", "top"], {"ou": ["labs"]})
+    directory.add_entry(
+        labs,
+        "uid=amy",
+        ["person", "online", "top"],
+        {"uid": ["amy"], "name": ["Amy Stone"], "mail": ["amy@example.com"]},
+    )
+    directory.add_entry(
+        labs,
+        "uid=dan",
+        ["person", "top"],                      # heterogeneity: no mail
+        {"uid": ["dan"], "name": ["Dan Suciu"]},
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Legality testing (Section 3 of the paper).
+    # ------------------------------------------------------------------
+    checker = LegalityChecker(schema)
+    report = checker.check(directory)
+    print(f"directory with {len(directory)} entries: "
+          f"{'LEGAL' if report.is_legal else 'ILLEGAL'}")
+
+    # ------------------------------------------------------------------
+    # 4. Violations are structured and explain themselves.
+    # ------------------------------------------------------------------
+    directory.add_entry(labs, "ou=empty", ["orgUnit", "top"], {"ou": ["empty"]})
+    report = checker.check(directory)
+    print(f"after adding an empty orgUnit: "
+          f"{'LEGAL' if report.is_legal else 'ILLEGAL'}")
+    for violation in report:
+        print(f"  {violation}")
+
+
+if __name__ == "__main__":
+    main()

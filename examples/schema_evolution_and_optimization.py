@@ -1,0 +1,85 @@
+"""Schema evolution and schema-aware query optimization.
+
+Two things bounding-schemas enable beyond validation:
+
+1. **Evolution analysis** (Section 6.2): the paper stresses that many
+   schema changes are "extremely lightweight, involving no modifications
+   to existing directory entries".  The analyzer classifies a diff
+   between two schema versions into relaxing vs narrowing changes and
+   tells the operator whether re-validation is needed.
+
+2. **Query optimization** (the paper's future work): the consistency
+   closure knows facts every legal instance satisfies, which lets a
+   query processor constant-fold hierarchical queries.
+
+Run with::
+
+    python examples/schema_evolution_and_optimization.py
+"""
+
+from repro.axes import Axis
+from repro.query.ast import HSelect
+from repro.query.optimizer import SchemaAwareOptimizer
+from repro.query.translate import class_selection
+from repro.schema.evolution import EvolutionAnalyzer
+from repro.workloads import figure1_instance, whitepages_schema
+
+
+def show(title: str) -> None:
+    print()
+    print(f"=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Evolution, round 1: a lightweight release.
+    # ------------------------------------------------------------------
+    show("v2: add a vpnUser auxiliary and allow pagers — lightweight")
+    v1 = whitepages_schema()
+    v2 = whitepages_schema()
+    v2.class_schema.add_auxiliary("vpnUser")
+    v2.class_schema.allow_auxiliary("person", "vpnUser")
+    v2.attribute_schema._allowed["person"] = (
+        v2.attribute_schema.allowed("person") | {"pager"}
+    )
+    analyzer = EvolutionAnalyzer(v1, v2)
+    print(analyzer.analyze())
+    directory = figure1_instance()
+    print(f"  Figure 1 data under v2 without any migration: "
+          f"{'LEGAL' if analyzer.revalidate(directory).is_legal else 'ILLEGAL'}")
+
+    # ------------------------------------------------------------------
+    # Evolution, round 2: a narrowing release.
+    # ------------------------------------------------------------------
+    show("v3: every orgUnit must now record a location — narrowing")
+    v3 = whitepages_schema()
+    v3.attribute_schema._required["orgUnit"] = frozenset({"ou", "location"})
+    analyzer = EvolutionAnalyzer(v1, v3)
+    print(analyzer.analyze())
+    report = analyzer.revalidate(directory)
+    print("  re-validation of the Figure 1 data:")
+    for violation in report:
+        print(f"    {violation}")
+
+    # ------------------------------------------------------------------
+    # Schema-aware query optimization.
+    # ------------------------------------------------------------------
+    show("Optimizer: folding queries with schema facts")
+    optimizer = SchemaAwareOptimizer(v1)
+    examples = [
+        HSelect(Axis.CHILD, class_selection("person"), class_selection("top")),
+        HSelect(Axis.CHILD, class_selection("organization"),
+                class_selection("orgUnit")),
+        HSelect(Axis.ANCESTOR, class_selection("organization"),
+                class_selection("orgGroup")),
+    ]
+    for query in examples:
+        result = optimizer.optimize(query)
+        print(f"  {query}")
+        print(f"    → {result.query}")
+        for note in result.notes:
+            print(f"      because {note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pyproject.toml`` is the authoritative metadata; this file exists so
+fully-offline environments without the ``wheel`` package can still do a
+development install via ``python setup.py develop`` (modern
+``pip install -e .`` builds an editable wheel, which needs ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

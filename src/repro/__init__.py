@@ -1,0 +1,215 @@
+"""Bounding-schemas for LDAP directories.
+
+A faithful, from-scratch reproduction of *"On Bounding-Schemas for LDAP
+Directories"* (Amer-Yahia, Jagadish, Lakshmanan, Srivastava; EDBT 2000):
+
+* a directory data model (forests of multi-class, multi-valued entries),
+* bounding-schemas — lower/upper bounds on content and structure,
+* linear-time legality testing via hierarchical query reduction,
+* incremental legality testing under subtree updates, and
+* a polynomial-time schema-consistency decision procedure with witness
+  synthesis.
+
+Quickstart::
+
+    from repro import (
+        AttributeSchema, ClassSchema, StructureSchema, DirectorySchema,
+        DirectoryInstance, LegalityChecker,
+    )
+
+    classes = ClassSchema().add_core("person").add_core("orgUnit")
+    structure = StructureSchema().forbid_child("person", "top")
+    schema = DirectorySchema(
+        AttributeSchema().declare("person", required=("name", "uid")),
+        classes,
+        structure,
+    ).validate()
+
+    directory = DirectoryInstance()
+    unit = directory.add_entry(None, "ou=labs", ["orgUnit", "top"])
+    directory.add_entry(unit, "uid=amy", ["person", "top"],
+                        {"name": ["Amy"], "uid": ["amy"]})
+
+    report = LegalityChecker(schema).check(directory)
+    assert report.is_legal
+"""
+
+from repro.axes import Axis
+from repro.errors import (
+    BoundingSchemaError,
+    ConsistencyError,
+    DslError,
+    FilterSyntaxError,
+    IllegalUpdateError,
+    InconsistentSchemaError,
+    LdifError,
+    ModelError,
+    QueryError,
+    SchemaError,
+    UpdateError,
+)
+from repro.legality import (
+    ContentChecker,
+    Kind,
+    LegalityChecker,
+    LegalityReport,
+    NaiveStructureChecker,
+    QueryStructureChecker,
+    Violation,
+)
+from repro.ldif import dump_ldif, load_ldif, parse_ldif, serialize_ldif
+from repro.model import (
+    DN,
+    OBJECT_CLASS,
+    RDN,
+    AttributeRegistry,
+    DirectoryInstance,
+    Entry,
+    TypeRegistry,
+    parse_dn,
+    parse_rdn,
+)
+from repro.consistency import (
+    ConsistencyChecker,
+    ConsistencyResult,
+    check_consistency,
+    suggest_repairs,
+    synthesize_witness,
+)
+from repro.query import (
+    HSelect,
+    Minus,
+    Query,
+    QueryEvaluator,
+    SchemaAwareOptimizer,
+    SearchScope,
+    Select,
+    TranslatedCheck,
+    evaluate,
+    parse_filter,
+    parse_query,
+    search,
+    translate_element,
+)
+from repro.stats import InstanceStats, collect_stats
+from repro.store import DirectoryStore
+from repro.updates import (
+    IncrementalChecker,
+    UpdateOutcome,
+    UpdateTransaction,
+    decompose,
+)
+from repro.schema import (
+    BOTTOM,
+    EMPTY_CLASS,
+    TOP,
+    AttributeSchema,
+    ClassSchema,
+    DirectorySchema,
+    Disjoint,
+    EvolutionAnalyzer,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    SchemaElement,
+    SchemaExtras,
+    StructureSchema,
+    Subclass,
+    discover_schema,
+)
+from repro.schema.dsl import dump_dsl, load_dsl, parse_dsl, serialize_dsl
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # axes
+    "Axis",
+    # errors
+    "BoundingSchemaError",
+    "ModelError",
+    "SchemaError",
+    "QueryError",
+    "FilterSyntaxError",
+    "UpdateError",
+    "IllegalUpdateError",
+    "ConsistencyError",
+    "InconsistentSchemaError",
+    "LdifError",
+    "DslError",
+    # model
+    "DirectoryInstance",
+    "Entry",
+    "DN",
+    "RDN",
+    "parse_dn",
+    "parse_rdn",
+    "AttributeRegistry",
+    "TypeRegistry",
+    "OBJECT_CLASS",
+    # ldif
+    "parse_ldif",
+    "serialize_ldif",
+    "load_ldif",
+    "dump_ldif",
+    # query
+    "Query",
+    "Select",
+    "HSelect",
+    "Minus",
+    "QueryEvaluator",
+    "evaluate",
+    "parse_filter",
+    "translate_element",
+    "TranslatedCheck",
+    # schema
+    "AttributeSchema",
+    "ClassSchema",
+    "StructureSchema",
+    "DirectorySchema",
+    "SchemaExtras",
+    "TOP",
+    "EMPTY_CLASS",
+    "BOTTOM",
+    "SchemaElement",
+    "RequiredClass",
+    "RequiredEdge",
+    "ForbiddenEdge",
+    "Subclass",
+    "Disjoint",
+    # legality
+    "LegalityChecker",
+    "ContentChecker",
+    "QueryStructureChecker",
+    "NaiveStructureChecker",
+    "LegalityReport",
+    "Violation",
+    "Kind",
+    # updates
+    "IncrementalChecker",
+    "UpdateOutcome",
+    "UpdateTransaction",
+    "decompose",
+    # consistency
+    "ConsistencyChecker",
+    "ConsistencyResult",
+    "check_consistency",
+    "synthesize_witness",
+    "suggest_repairs",
+    # query extensions
+    "search",
+    "SearchScope",
+    "parse_query",
+    "SchemaAwareOptimizer",
+    # schema extensions
+    "EvolutionAnalyzer",
+    "discover_schema",
+    "parse_dsl",
+    "serialize_dsl",
+    "load_dsl",
+    "dump_dsl",
+    # stats and storage
+    "InstanceStats",
+    "collect_stats",
+    "DirectoryStore",
+]

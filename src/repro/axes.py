@@ -1,0 +1,66 @@
+"""Hierarchical axes shared by the query language and the structure schema.
+
+The structure schema (Definition 2.4) relates object classes along four
+axes — child, descendant, parent, ancestor — and the hierarchical selection
+queries of [9] select along the same four axes.  Both subsystems use this
+enum so that the Figure 4 translation is a one-to-one mapping.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Axis"]
+
+
+class Axis(str, Enum):
+    """One of the four hierarchical axes.
+
+    The value is the single-letter code used in the paper's query syntax
+    (``c``, ``p``, ``d``, ``a``).
+    """
+
+    CHILD = "c"
+    PARENT = "p"
+    DESCENDANT = "d"
+    ANCESTOR = "a"
+
+    @property
+    def downward(self) -> bool:
+        """Whether the axis points from an entry towards its subtree."""
+        return self in (Axis.CHILD, Axis.DESCENDANT)
+
+    @property
+    def transitive(self) -> "Axis":
+        """The transitive closure of the axis (child -> descendant,
+        parent -> ancestor); descendant/ancestor map to themselves."""
+        if self is Axis.CHILD:
+            return Axis.DESCENDANT
+        if self is Axis.PARENT:
+            return Axis.ANCESTOR
+        return self
+
+    @property
+    def inverse(self) -> "Axis":
+        """The axis seen from the other endpoint."""
+        return _INVERSE[self]
+
+    @property
+    def arrow(self) -> str:
+        """Unicode arrow used in element notation (matching the paper)."""
+        return _ARROWS[self]
+
+
+_INVERSE = {
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.DESCENDANT: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.DESCENDANT,
+}
+
+_ARROWS = {
+    Axis.CHILD: "→",        # ->
+    Axis.DESCENDANT: "→→",  # ->>
+    Axis.PARENT: "←",       # <-
+    Axis.ANCESTOR: "←←",    # <<-
+}

@@ -1,0 +1,352 @@
+"""Command-line interface.
+
+Usage::
+
+    bounding-schemas validate    --schema S.dsl --data D.ldif [--structure query|naive]
+    bounding-schemas consistency --schema S.dsl [--witness OUT.ldif] [--proof]
+                                 [--repair]
+    bounding-schemas query       --data D.ldif --filter '(objectClass=person)'
+    bounding-schemas translate   --schema S.dsl
+    bounding-schemas generate    --workload whitepages|den --scale N --out D.ldif
+                                 [--schema-out S.dsl] [--seed N]
+    bounding-schemas apply       --schema S.dsl --data D.ldif --changes C.ldif
+                                 [--out NEW.ldif]
+    bounding-schemas discover    --data D.ldif [--out S.dsl]
+                                 [--min-forbidden-support N]
+
+``validate``/``apply`` exit 0 when the (resulting) instance is legal and
+1 otherwise; ``consistency`` exits 0 when the schema is consistent —
+all suitable for CI pipelines guarding directory content.  ``apply``
+runs LDIF change records (``changetype: add``/``delete``) through the
+Section 4 incremental checker: the whole transaction is applied or,
+on any violation, rolled back with an explanation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.legality.checker import LegalityChecker
+from repro.ldif.reader import load_ldif
+from repro.ldif.writer import dump_ldif, serialize_ldif
+from repro.query.evaluator import QueryEvaluator
+from repro.query.ast import Select
+from repro.query.filter_parser import parse_filter
+from repro.query.translate import translate_element
+from repro.schema.dsl import dump_dsl, load_dsl
+
+__all__ = ["main"]
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    schema = load_dsl(args.schema)
+    instance = load_ldif(args.data)
+    checker = LegalityChecker(schema, structure=args.structure)
+    report = checker.check(instance)
+    if report.is_legal:
+        print(f"LEGAL: {len(instance)} entries satisfy {args.schema}")
+        return 0
+    print(f"ILLEGAL: {len(report)} violation(s)")
+    for violation in report:
+        print(f"  {violation}")
+    return 1
+
+
+def _cmd_apply(args: argparse.Namespace) -> int:
+    from repro.ldif.changes import load_changes
+    from repro.updates.incremental import IncrementalChecker
+
+    schema = load_dsl(args.schema)
+    instance = load_ldif(args.data)
+    transaction = load_changes(args.changes)
+    guard = IncrementalChecker(schema, instance)
+    outcome = guard.apply_transaction(transaction)
+    if outcome.applied:
+        print(
+            f"APPLIED: {len(transaction)} operation(s); instance now has "
+            f"{len(instance)} entries (work: {outcome.cost} entries touched)"
+        )
+        if args.out:
+            dump_ldif(instance, args.out)
+            print(f"wrote updated instance to {args.out}")
+        return 0
+    print("REJECTED (rolled back):")
+    for violation in outcome.report:
+        print(f"  {violation}")
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.stats import collect_stats
+
+    instance = load_ldif(args.data)
+    print(collect_stats(instance))
+    return 0
+
+
+def _cmd_modify(args: argparse.Namespace) -> int:
+    from repro.ldif.modify import apply_modification, parse_modifications
+    from repro.updates.incremental import IncrementalChecker
+
+    schema = load_dsl(args.schema)
+    instance = load_ldif(args.data)
+    with open(args.changes, "r", encoding="utf-8") as handle:
+        records = parse_modifications(handle.read())
+    guard = IncrementalChecker(schema, instance)
+    for record in records:
+        outcome = apply_modification(guard, record)
+        if not outcome.applied:
+            print(f"REJECTED at {record.dn} (earlier records kept):")
+            for violation in outcome.report:
+                print(f"  {violation}")
+            return 1
+        print(f"modified {record.dn}")
+    if args.out:
+        dump_ldif(instance, args.out)
+        print(f"wrote updated instance to {args.out}")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.schema.discovery import DiscoveryOptions, discover_schema
+    from repro.schema.dsl import serialize_dsl
+
+    instance = load_ldif(args.data)
+    options = DiscoveryOptions(
+        min_forbidden_support=args.min_forbidden_support,
+    )
+    result = discover_schema(instance, options)
+    print(
+        f"discovered from {len(instance)} entries: "
+        f"{len(result.core_classes)} core / "
+        f"{len(result.auxiliary_classes)} auxiliary classes, "
+        f"{result.required_edges} required and "
+        f"{result.forbidden_edges} forbidden relationships",
+        file=sys.stderr,
+    )
+    for note in result.notes:
+        print(f"note: {note}", file=sys.stderr)
+    text = serialize_dsl(result.schema)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote schema to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_consistency(args: argparse.Namespace) -> int:
+    schema = load_dsl(args.schema)
+    checker = ConsistencyChecker(schema)
+    result = checker.check(synthesize=args.witness is not None)
+    if result.consistent:
+        print(f"CONSISTENT ({len(result.closure)} facts in the closure)")
+        empties = result.empty_classes()
+        if empties:
+            print(
+                "warning: these classes can never be populated: "
+                + ", ".join(sorted(empties))
+            )
+        if args.witness is not None:
+            if result.witness is not None:
+                dump_ldif(result.witness, args.witness)
+                print(f"witness instance ({len(result.witness)} entries) "
+                      f"written to {args.witness}")
+            else:
+                print(f"witness synthesis failed: {result.witness_error}")
+        return 0
+    print("INCONSISTENT")
+    if args.proof:
+        print(result.proof())
+    else:
+        print("(re-run with --proof for the derivation of ∅ □)")
+    if args.repair:
+        from repro.consistency.repair import suggest_repairs
+
+        suggestions = suggest_repairs(schema)
+        if suggestions:
+            print("repair suggestions (smallest first):")
+            for suggestion in suggestions:
+                print(f"  {suggestion}")
+        else:
+            print("no repair of up to 3 structure-element removals exists")
+    return 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.query.query_parser import parse_query
+
+    instance = load_ldif(args.data)
+    if args.hquery:
+        query = parse_query(args.hquery)
+    else:
+        query = Select(parse_filter(args.filter))
+    result = QueryEvaluator(instance).evaluate(query)
+    for eid in sorted(result, key=lambda e: str(instance.dn_of(e))):
+        print(instance.dn_of(eid))
+    print(f"({len(result)} entries)", file=sys.stderr)
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    schema = load_dsl(args.schema)
+    print("# Figure 4: structure elements and their hierarchical queries")
+    for element in schema.structure_schema.elements():
+        print(translate_element(element))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        den_schema,
+        generate_den,
+        generate_whitepages,
+        whitepages_schema,
+    )
+
+    if args.workload == "whitepages":
+        schema = whitepages_schema()
+        instance = generate_whitepages(
+            orgs=max(1, args.scale),
+            units_per_level=3,
+            depth=2,
+            persons_per_unit=4,
+            seed=args.seed,
+        )
+    else:
+        schema = den_schema()
+        instance = generate_den(
+            sites=max(1, args.scale),
+            devices_per_site=4,
+            interfaces_per_device=3,
+            domains=max(1, args.scale),
+            policies_per_domain=5,
+            seed=args.seed,
+        )
+    if args.out:
+        dump_ldif(instance, args.out)
+        print(f"wrote {len(instance)} entries to {args.out}")
+    else:
+        print(serialize_ldif(instance))
+    if args.schema_out:
+        dump_dsl(schema, args.schema_out)
+        print(f"wrote schema to {args.schema_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="bounding-schemas",
+        description="Bounding-schemas for LDAP directories (EDBT 2000).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="test an LDIF instance for legality")
+    validate.add_argument("--schema", required=True, help="bounding-schema DSL file")
+    validate.add_argument("--data", required=True, help="LDIF instance file")
+    validate.add_argument(
+        "--structure",
+        choices=("query", "naive"),
+        default="query",
+        help="structure-checking strategy (default: the Figure 4 reduction)",
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    consistency = sub.add_parser("consistency", help="decide schema consistency")
+    consistency.add_argument("--schema", required=True)
+    consistency.add_argument(
+        "--witness", metavar="OUT.ldif", help="synthesize a legal witness instance"
+    )
+    consistency.add_argument(
+        "--proof", action="store_true", help="print the ∅ □ derivation when inconsistent"
+    )
+    consistency.add_argument(
+        "--repair",
+        action="store_true",
+        help="suggest minimal structure-element removals when inconsistent",
+    )
+    consistency.set_defaults(func=_cmd_consistency)
+
+    apply = sub.add_parser(
+        "apply",
+        help="apply LDIF change records through the incremental checker",
+    )
+    apply.add_argument("--schema", required=True)
+    apply.add_argument("--data", required=True, help="current instance (LDIF)")
+    apply.add_argument("--changes", required=True, help="LDIF change records")
+    apply.add_argument("--out", help="write the updated instance here")
+    apply.set_defaults(func=_cmd_apply)
+
+    discover = sub.add_parser(
+        "discover",
+        help="induce the tightest bounding-schema an LDIF instance satisfies",
+    )
+    discover.add_argument("--data", required=True)
+    discover.add_argument("--out", help="DSL output path (default: stdout)")
+    discover.add_argument(
+        "--min-forbidden-support",
+        type=int,
+        default=2,
+        help="emit forbidden edges only between classes with this many members",
+    )
+    discover.set_defaults(func=_cmd_discover)
+
+    modify = sub.add_parser(
+        "modify",
+        help="apply changetype:modify records through the incremental checker",
+    )
+    modify.add_argument("--schema", required=True)
+    modify.add_argument("--data", required=True)
+    modify.add_argument("--changes", required=True, help="LDIF modify records")
+    modify.add_argument("--out", help="write the updated instance here")
+    modify.set_defaults(func=_cmd_modify)
+
+    stats = sub.add_parser("stats", help="structural summary of an LDIF instance")
+    stats.add_argument("--data", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser(
+        "query", help="run an LDAP filter or hierarchical query against an instance"
+    )
+    query.add_argument("--data", required=True)
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--filter", help="RFC 2254 filter string")
+    group.add_argument(
+        "--hquery",
+        help="hierarchical query, e.g. '(d (objectClass=orgGroup) (objectClass=person))'",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    translate = sub.add_parser(
+        "translate", help="show the Figure 4 query for every structure element"
+    )
+    translate.add_argument("--schema", required=True)
+    translate.set_defaults(func=_cmd_translate)
+
+    generate = sub.add_parser("generate", help="generate a sample directory")
+    generate.add_argument(
+        "--workload", choices=("whitepages", "den"), default="whitepages"
+    )
+    generate.add_argument("--scale", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", help="LDIF output path (default: stdout)")
+    generate.add_argument("--schema-out", help="also write the workload schema DSL")
+    generate.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Schema-consistency checking (Theorem 5.2).
+
+:class:`ConsistencyChecker` packages the Section 5 procedure:
+
+1. collect the element set ``Γ`` of the schema (structure elements plus
+   the class-hierarchy elements);
+2. close ``Γ`` under the Figures 6-7 inference rules;
+3. the schema is consistent iff ``∅ □`` is not derived.
+
+The result carries the closure, so callers can ask *why* a schema is
+inconsistent (:meth:`ConsistencyResult.proof`) or which classes the
+schema forces to stay empty — a useful lint even for consistent schemas.
+
+With ``synthesize=True`` the checker additionally runs the constructive
+backstop: for a ⊬-consistent schema it attempts to build a legal witness
+instance (:mod:`repro.consistency.witness`), turning Theorem 5.2's
+"there exists a legal instance" into an actual instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.consistency.engine import Closure, close
+from repro.consistency.witness import WitnessSynthesisError, synthesize_witness
+from repro.errors import InconsistentSchemaError
+from repro.model.instance import DirectoryInstance
+from repro.schema.directory_schema import DirectorySchema
+
+__all__ = ["ConsistencyResult", "ConsistencyChecker", "check_consistency"]
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of a consistency check.
+
+    Attributes
+    ----------
+    consistent:
+        The Theorem 5.2 verdict of the inference system.
+    closure:
+        The full deductive closure (for proofs and diagnostics).
+    witness:
+        A legal instance, when synthesis was requested and succeeded.
+    witness_error:
+        Why synthesis failed, when it was requested and did not succeed
+        (the documented completeness backstop: a consistent-per-rules
+        schema for which no witness could be constructed).
+    """
+
+    consistent: bool
+    closure: Closure
+    witness: Optional[DirectoryInstance] = None
+    witness_error: Optional[str] = None
+
+    def proof(self) -> Optional[str]:
+        """The derivation of ``∅ □`` when inconsistent, else ``None``."""
+        return self.closure.proof_of_inconsistency()
+
+    def empty_classes(self) -> Set[str]:
+        """Classes no legal instance can populate.  Non-empty sets on a
+        *consistent* schema usually indicate a modelling bug worth
+        surfacing to the schema author."""
+        return self.closure.empty_classes()
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+class ConsistencyChecker:
+    """Decides consistency of bounding-schemas (Section 5)."""
+
+    def __init__(self, schema: DirectorySchema) -> None:
+        self.schema = schema
+
+    def check(self, synthesize: bool = False) -> ConsistencyResult:
+        """Run the inference procedure; optionally build a witness."""
+        closure = close(
+            self.schema.all_elements(),
+            universe=self.schema.class_schema.core_classes(),
+        )
+        result = ConsistencyResult(consistent=closure.consistent, closure=closure)
+        if synthesize and result.consistent:
+            try:
+                result.witness = synthesize_witness(self.schema, closure)
+            except WitnessSynthesisError as exc:
+                result.witness_error = str(exc)
+        return result
+
+    def require_consistent(self) -> Closure:
+        """Raise :class:`InconsistentSchemaError` (with the proof) if the
+        schema is inconsistent; otherwise return the closure."""
+        result = self.check()
+        if not result.consistent:
+            raise InconsistentSchemaError(
+                "schema is inconsistent:\n" + (result.proof() or "")
+            )
+        return result.closure
+
+
+def check_consistency(
+    schema: DirectorySchema, synthesize: bool = False
+) -> ConsistencyResult:
+    """Convenience wrapper around :class:`ConsistencyChecker`."""
+    return ConsistencyChecker(schema).check(synthesize=synthesize)

@@ -1,0 +1,788 @@
+"""The inference engine: fixpoint closure and consistency (Section 5).
+
+:func:`close` computes the deductive closure of a set of schema elements
+under the Figures 6-7 rules (as catalogued in
+:mod:`repro.consistency.rules`), recording for every derived fact the
+rule and premises of its first derivation so that proofs can be
+reconstructed (:meth:`Closure.explain`).
+
+The closure runs as a semi-naive worklist fixpoint: every fact is joined
+against index structures exactly when it is first derived, so total work
+is polynomial in the number of classes — the complexity claim of
+Theorem 5.2, measured by the THM52 benchmark.
+
+By Theorem 5.2 the schema is consistent iff the closure does not contain
+the falsum element ``∅ □`` (:data:`repro.schema.elements.BOTTOM`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.axes import Axis
+from repro.schema.class_schema import TOP
+from repro.schema.elements import (
+    BOTTOM,
+    EMPTY_CLASS,
+    Disjoint,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    SchemaElement,
+    Subclass,
+)
+
+__all__ = ["Derivation", "Closure", "close"]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """How a fact entered the closure: by which rule, from which
+    premises.  Axiom facts use rule ``"axiom"`` and no premises."""
+
+    fact: SchemaElement
+    rule: str
+    premises: Tuple[SchemaElement, ...] = ()
+
+
+@dataclass
+class Closure:
+    """The result of :func:`close`.
+
+    Attributes
+    ----------
+    facts:
+        Every element in the closure, mapped to its first derivation.
+    universe:
+        All class names the closure ranges over (including ``top`` and
+        ``∅``).
+    """
+
+    facts: Dict[SchemaElement, Derivation] = field(default_factory=dict)
+    universe: Set[str] = field(default_factory=set)
+
+    def __contains__(self, fact: SchemaElement) -> bool:
+        if isinstance(fact, Disjoint):
+            fact = fact.normalized()
+        return fact in self.facts
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    @property
+    def consistent(self) -> bool:
+        """Theorem 5.2: consistent iff ``∅ □`` was not derived."""
+        return BOTTOM not in self.facts
+
+    def empty_classes(self) -> Set[str]:
+        """Classes proved unpopulatable: those with a derived
+        ``c →de ∅`` or ``c →an ∅`` element (Section 5's encoding of
+        "no legal instance contains a ``c`` entry")."""
+        empties = set()
+        for fact in self.facts:
+            if (
+                isinstance(fact, RequiredEdge)
+                and fact.target == EMPTY_CLASS
+                and fact.source != EMPTY_CLASS
+            ):
+                empties.add(fact.source)
+        return empties
+
+    def derivation(self, fact: SchemaElement) -> Optional[Derivation]:
+        """The first derivation of ``fact`` (``None`` if underived)."""
+        if isinstance(fact, Disjoint):
+            fact = fact.normalized()
+        return self.facts.get(fact)
+
+    def explain(self, fact: SchemaElement, _depth: int = 0) -> str:
+        """A human-readable proof tree for ``fact``."""
+        derivation = self.derivation(fact)
+        pad = "  " * _depth
+        if derivation is None:
+            return f"{pad}{fact}  (not derived)"
+        if derivation.rule == "axiom":
+            return f"{pad}{fact}  [axiom]"
+        lines = [f"{pad}{fact}  [{derivation.rule}]"]
+        for premise in derivation.premises:
+            lines.append(self.explain(premise, _depth + 1))
+        return "\n".join(lines)
+
+    def proof_of_inconsistency(self) -> Optional[str]:
+        """The proof tree of ``∅ □`` when inconsistent, else ``None``."""
+        if self.consistent:
+            return None
+        return self.explain(BOTTOM)
+
+
+class _Engine:
+    """Worklist fixpoint over the rule catalog."""
+
+    def __init__(self, universe: Set[str]) -> None:
+        self.universe = universe
+        self.facts: Dict[SchemaElement, Derivation] = {}
+        self.work: List[SchemaElement] = []
+        # Indexes
+        self.ne: Set[str] = set()
+        self.req_src: Dict[Tuple[Axis, str], Set[str]] = {}
+        self.req_tgt: Dict[Tuple[Axis, str], Set[str]] = {}
+        self.forb_src: Dict[Tuple[Axis, str], Set[str]] = {}
+        self.forb_tgt: Dict[Tuple[Axis, str], Set[str]] = {}
+        self.sub_up: Dict[str, Set[str]] = {}
+        self.sub_down: Dict[str, Set[str]] = {}
+        self.disj_of: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        fact: SchemaElement,
+        rule: str = "axiom",
+        premises: Tuple[SchemaElement, ...] = (),
+    ) -> None:
+        if isinstance(fact, Disjoint):
+            fact = fact.normalized()
+        if fact in self.facts:
+            return
+        self.facts[fact] = Derivation(fact, rule, premises)
+        self.work.append(fact)
+        if isinstance(fact, RequiredClass):
+            self.ne.add(fact.object_class)
+        elif isinstance(fact, RequiredEdge):
+            self.req_src.setdefault((fact.axis, fact.source), set()).add(fact.target)
+            self.req_tgt.setdefault((fact.axis, fact.target), set()).add(fact.source)
+        elif isinstance(fact, ForbiddenEdge):
+            self.forb_src.setdefault((fact.axis, fact.source), set()).add(fact.target)
+            self.forb_tgt.setdefault((fact.axis, fact.target), set()).add(fact.source)
+        elif isinstance(fact, Subclass):
+            self.sub_up.setdefault(fact.sub, set()).add(fact.sup)
+            self.sub_down.setdefault(fact.sup, set()).add(fact.sub)
+        elif isinstance(fact, Disjoint):
+            self.disj_of.setdefault(fact.a, set()).add(fact.b)
+            self.disj_of.setdefault(fact.b, set()).add(fact.a)
+
+    # Index lookups -----------------------------------------------------
+    def req(self, axis: Axis, source: str) -> Set[str]:
+        return self.req_src.get((axis, source), set())
+
+    def req_sources(self, axis: Axis, target: str) -> Set[str]:
+        return self.req_tgt.get((axis, target), set())
+
+    def has_req(self, axis: Axis, source: str, target: str) -> bool:
+        return target in self.req_src.get((axis, source), ())
+
+    def forb(self, axis: Axis, source: str) -> Set[str]:
+        return self.forb_src.get((axis, source), set())
+
+    def forb_sources(self, axis: Axis, target: str) -> Set[str]:
+        return self.forb_tgt.get((axis, target), set())
+
+    def has_forb(self, axis: Axis, source: str, target: str) -> bool:
+        return target in self.forb_src.get((axis, source), ())
+
+    def subs_of(self, sup: str) -> Set[str]:
+        return self.sub_down.get(sup, set())
+
+    def sups_of(self, sub: str) -> Set[str]:
+        return self.sub_up.get(sub, set())
+
+    def disjoint_with(self, name: str) -> Set[str]:
+        return self.disj_of.get(name, set())
+
+    def is_disjoint(self, a: str, b: str) -> bool:
+        return b in self.disj_of.get(a, ())
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while self.work:
+            fact = self.work.pop()
+            if isinstance(fact, RequiredClass):
+                self._on_nonempty(fact)
+            elif isinstance(fact, RequiredEdge):
+                self._on_required(fact)
+            elif isinstance(fact, ForbiddenEdge):
+                self._on_forbidden(fact)
+            elif isinstance(fact, Subclass):
+                self._on_subclass(fact)
+            elif isinstance(fact, Disjoint):
+                self._on_disjoint(fact)
+
+    # ------------------------------------------------------------------
+    # triggers per fact kind
+    # ------------------------------------------------------------------
+    def _on_nonempty(self, fact: RequiredClass) -> None:
+        c = fact.object_class
+        # nodes-and-edges: ci□, ci →ax cj ⊢ cj□
+        for axis in Axis:
+            for target in list(self.req(axis, c)):
+                self.add(
+                    RequiredClass(target),
+                    f"ne-{_axis_word(axis)}",
+                    (fact, RequiredEdge(axis, c, target)),
+                )
+        # membership: ci□, ci ⊑ cj ⊢ cj□
+        for sup in list(self.sups_of(c)):
+            if sup != c:
+                self.add(RequiredClass(sup), "ne-sub", (fact, Subclass(c, sup)))
+
+    def _on_required(self, fact: RequiredEdge) -> None:
+        axis, ci, cj = fact.axis, fact.source, fact.target
+        # nodes-and-edges (triggered from the edge side)
+        if ci in self.ne:
+            self.add(
+                RequiredClass(cj),
+                f"ne-{_axis_word(axis)}",
+                (RequiredClass(ci), fact),
+            )
+        # paths: →ch ⊢ →de, →pa ⊢ →an
+        if axis in (Axis.CHILD, Axis.PARENT):
+            self.add(
+                RequiredEdge(axis.transitive, ci, cj),
+                "path-child-desc" if axis is Axis.CHILD else "path-parent-anc",
+                (fact,),
+            )
+        # transitivity on →de / →an
+        if axis in (Axis.DESCENDANT, Axis.ANCESTOR):
+            word = _axis_word(axis)
+            for ck in list(self.req(axis, cj)):
+                self.add(
+                    RequiredEdge(axis, ci, ck),
+                    f"trans-{word}",
+                    (fact, RequiredEdge(axis, cj, ck)),
+                )
+            for ch in list(self.req_sources(axis, ci)):
+                self.add(
+                    RequiredEdge(axis, ch, cj),
+                    f"trans-{word}",
+                    (RequiredEdge(axis, ch, ci), fact),
+                )
+            # loops: ci →de ci ⊢ ci →de ∅
+            if ci == cj and ci != EMPTY_CLASS:
+                self.add(
+                    RequiredEdge(axis, ci, EMPTY_CLASS), f"loop-{word}", (fact,)
+                )
+        # source specialization: ci' ⊑ ci
+        for sub in list(self.subs_of(ci)):
+            if sub != ci:
+                self.add(
+                    RequiredEdge(axis, sub, cj),
+                    f"source-{_axis_word(axis)}",
+                    (fact, Subclass(sub, ci)),
+                )
+        # target generalization: cj ⊑ cj'
+        for sup in list(self.sups_of(cj)):
+            if sup != cj:
+                self.add(
+                    RequiredEdge(axis, ci, sup),
+                    f"target-{_axis_word(axis)}",
+                    (fact, Subclass(cj, sup)),
+                )
+        # Figure 7 top-paths: →de top ⊢ →ch top; →an top ⊢ →pa top
+        if cj == TOP:
+            if axis is Axis.DESCENDANT:
+                self.add(RequiredEdge(Axis.CHILD, ci, TOP), "top-desc-child", (fact,))
+            elif axis is Axis.ANCESTOR:
+                self.add(RequiredEdge(Axis.PARENT, ci, TOP), "top-anc-parent", (fact,))
+        # direct conflicts
+        if axis is Axis.DESCENDANT and self.has_forb(Axis.DESCENDANT, ci, cj):
+            self.add(
+                RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                "conflict-desc",
+                (fact, ForbiddenEdge(Axis.DESCENDANT, ci, cj)),
+            )
+        if axis is Axis.CHILD and self.has_forb(Axis.CHILD, ci, cj):
+            self.add(
+                RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                "conflict-child",
+                (fact, ForbiddenEdge(Axis.CHILD, ci, cj)),
+            )
+        if axis is Axis.ANCESTOR and self.has_forb(Axis.DESCENDANT, cj, ci):
+            self.add(
+                RequiredEdge(Axis.ANCESTOR, ci, EMPTY_CLASS),
+                "conflict-anc",
+                (fact, ForbiddenEdge(Axis.DESCENDANT, cj, ci)),
+            )
+        if axis is Axis.PARENT and self.has_forb(Axis.CHILD, cj, ci):
+            self.add(
+                RequiredEdge(Axis.ANCESTOR, ci, EMPTY_CLASS),
+                "conflict-parent",
+                (fact, ForbiddenEdge(Axis.CHILD, cj, ci)),
+            )
+        # parenthood / ancestorhood (derive forbidden facts)
+        if axis is Axis.PARENT:
+            for ck in list(self.forb_sources(Axis.DESCENDANT, cj)):
+                if self.is_disjoint(cj, ck):
+                    self.add(
+                        ForbiddenEdge(Axis.DESCENDANT, ck, ci),
+                        "parenthood",
+                        (
+                            fact,
+                            ForbiddenEdge(Axis.DESCENDANT, ck, cj),
+                            Disjoint(cj, ck).normalized(),
+                        ),
+                    )
+            # unique-parent: two disjoint required parents
+            for ck in list(self.req(Axis.PARENT, ci)):
+                if ck != cj and self.is_disjoint(cj, ck):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, ci, EMPTY_CLASS),
+                        "unique-parent",
+                        (
+                            fact,
+                            RequiredEdge(Axis.PARENT, ci, ck),
+                            Disjoint(cj, ck).normalized(),
+                        ),
+                    )
+        if axis is Axis.ANCESTOR:
+            for ck in list(self.forb_sources(Axis.DESCENDANT, cj)):
+                if self.is_disjoint(cj, ck) and self.has_forb(Axis.DESCENDANT, cj, ck):
+                    self.add(
+                        ForbiddenEdge(Axis.DESCENDANT, ck, ci),
+                        "ancestorhood",
+                        (
+                            fact,
+                            ForbiddenEdge(Axis.DESCENDANT, ck, cj),
+                            ForbiddenEdge(Axis.DESCENDANT, cj, ck),
+                            Disjoint(cj, ck).normalized(),
+                        ),
+                    )
+            # anc-exclusion: two required ancestors that cannot share a path
+            for ck in list(self.req(Axis.ANCESTOR, ci)):
+                if (
+                    ck != cj
+                    and self.is_disjoint(cj, ck)
+                    and self.has_forb(Axis.DESCENDANT, cj, ck)
+                    and self.has_forb(Axis.DESCENDANT, ck, cj)
+                ):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, ci, EMPTY_CLASS),
+                        "anc-exclusion",
+                        (
+                            fact,
+                            RequiredEdge(Axis.ANCESTOR, ci, ck),
+                            Disjoint(cj, ck).normalized(),
+                            ForbiddenEdge(Axis.DESCENDANT, cj, ck),
+                            ForbiddenEdge(Axis.DESCENDANT, ck, cj),
+                        ),
+                    )
+        # sandwich: ci →an cp, ci →de cc, cp ↛de cc ⊢ ci →de ∅
+        # (a required descendant of ci is also a descendant of every
+        # required ancestor of ci — forbidden there means ci is empty)
+        if axis is Axis.ANCESTOR and cj != EMPTY_CLASS:
+            for cc in list(self.req(Axis.DESCENDANT, ci)):
+                if cc != EMPTY_CLASS and self.has_forb(Axis.DESCENDANT, cj, cc):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                        "sandwich",
+                        (
+                            fact,
+                            RequiredEdge(Axis.DESCENDANT, ci, cc),
+                            ForbiddenEdge(Axis.DESCENDANT, cj, cc),
+                        ),
+                    )
+        if axis is Axis.DESCENDANT and cj != EMPTY_CLASS:
+            for cp in list(self.req(Axis.ANCESTOR, ci)):
+                if cp != EMPTY_CLASS and self.has_forb(Axis.DESCENDANT, cp, cj):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                        "sandwich",
+                        (
+                            RequiredEdge(Axis.ANCESTOR, ci, cp),
+                            fact,
+                            ForbiddenEdge(Axis.DESCENDANT, cp, cj),
+                        ),
+                    )
+        # child-parent handshake and subsumption: the required cj-child of
+        # a ci-entry has that very entry as its parent, so every ci-entry
+        # must belong to every required-parent class of cj.
+        if axis is Axis.CHILD:
+            for ck in list(self.req(Axis.PARENT, cj)):
+                premises = (fact, RequiredEdge(Axis.PARENT, cj, ck))
+                if ck != EMPTY_CLASS and ci != ck:
+                    self.add(
+                        Subclass(ci, ck), "child-parent-subsumption", premises
+                    )
+                if self.is_disjoint(ci, ck):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                        "child-parent-handshake",
+                        premises + (Disjoint(ci, ck).normalized(),),
+                    )
+        if axis is Axis.PARENT:
+            for ch in list(self.req_sources(Axis.CHILD, ci)):
+                premises = (RequiredEdge(Axis.CHILD, ch, ci), fact)
+                if cj != EMPTY_CLASS and ch != cj:
+                    self.add(
+                        Subclass(ch, cj), "child-parent-subsumption", premises
+                    )
+                if self.is_disjoint(ch, cj):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, ch, EMPTY_CLASS),
+                        "child-parent-handshake",
+                        premises + (Disjoint(ch, cj).normalized(),),
+                    )
+        # child-anc-lift: the required cj-child of a ci-entry has exactly
+        # ci-entry and its ancestors as ancestors; with ci ⊥ ck the
+        # child's required ck-ancestor must lie strictly above ci.
+        if axis is Axis.CHILD:
+            for ck in list(self.req(Axis.ANCESTOR, cj)):
+                if ck != EMPTY_CLASS and self.is_disjoint(ci, ck):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, ci, ck),
+                        "child-anc-lift",
+                        (
+                            fact,
+                            RequiredEdge(Axis.ANCESTOR, cj, ck),
+                            Disjoint(ci, ck).normalized(),
+                        ),
+                    )
+        if axis is Axis.ANCESTOR and cj != EMPTY_CLASS:
+            for ch in list(self.req_sources(Axis.CHILD, ci)):
+                if self.is_disjoint(ch, cj):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, ch, cj),
+                        "child-anc-lift",
+                        (
+                            RequiredEdge(Axis.CHILD, ch, ci),
+                            fact,
+                            Disjoint(ch, cj).normalized(),
+                        ),
+                    )
+        # desc-parent-lift (mirror of child-anc-lift): the required
+        # cj-descendant of a ci-entry has a ck parent on the path at or
+        # below ci; with ci ⊥ ck that parent is a strict descendant.
+        if axis is Axis.DESCENDANT and cj != EMPTY_CLASS:
+            for ck in list(self.req(Axis.PARENT, cj)):
+                if ck != EMPTY_CLASS and self.is_disjoint(ci, ck):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, ci, ck),
+                        "desc-parent-lift",
+                        (
+                            fact,
+                            RequiredEdge(Axis.PARENT, cj, ck),
+                            Disjoint(ci, ck).normalized(),
+                        ),
+                    )
+        if axis is Axis.PARENT and cj != EMPTY_CLASS:
+            for ch in list(self.req_sources(Axis.DESCENDANT, ci)):
+                if self.is_disjoint(ch, cj):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, ch, cj),
+                        "desc-parent-lift",
+                        (
+                            RequiredEdge(Axis.DESCENDANT, ch, ci),
+                            fact,
+                            Disjoint(ch, cj).normalized(),
+                        ),
+                    )
+
+    def _on_forbidden(self, fact: ForbiddenEdge) -> None:
+        axis, ci, cj = fact.axis, fact.source, fact.target
+        # forb-paths: ↛de ⊢ ↛ch
+        if axis is Axis.DESCENDANT:
+            self.add(ForbiddenEdge(Axis.CHILD, ci, cj), "forb-desc-child", (fact,))
+        # top-paths
+        if axis is Axis.CHILD and cj == TOP:
+            self.add(
+                ForbiddenEdge(Axis.DESCENDANT, ci, TOP), "top-forb-child-desc", (fact,)
+            )
+        if axis is Axis.CHILD and ci == TOP:
+            self.add(ForbiddenEdge(Axis.DESCENDANT, TOP, cj), "top-forb-root", (fact,))
+        # propagation to subclasses (both arguments)
+        for sub in list(self.subs_of(ci)):
+            if sub != ci:
+                self.add(
+                    ForbiddenEdge(axis, sub, cj),
+                    f"forb-source-{_axis_word(axis)}",
+                    (fact, Subclass(sub, ci)),
+                )
+        for sub in list(self.subs_of(cj)):
+            if sub != cj:
+                self.add(
+                    ForbiddenEdge(axis, ci, sub),
+                    f"forb-target-{_axis_word(axis)}",
+                    (fact, Subclass(sub, cj)),
+                )
+        # direct conflicts (triggered from the forbidden side)
+        if axis is Axis.DESCENDANT and self.has_req(Axis.DESCENDANT, ci, cj):
+            self.add(
+                RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                "conflict-desc",
+                (RequiredEdge(Axis.DESCENDANT, ci, cj), fact),
+            )
+        if axis is Axis.CHILD and self.has_req(Axis.CHILD, ci, cj):
+            self.add(
+                RequiredEdge(Axis.DESCENDANT, ci, EMPTY_CLASS),
+                "conflict-child",
+                (RequiredEdge(Axis.CHILD, ci, cj), fact),
+            )
+        if axis is Axis.DESCENDANT and self.has_req(Axis.ANCESTOR, cj, ci):
+            self.add(
+                RequiredEdge(Axis.ANCESTOR, cj, EMPTY_CLASS),
+                "conflict-anc",
+                (RequiredEdge(Axis.ANCESTOR, cj, ci), fact),
+            )
+        if axis is Axis.CHILD and self.has_req(Axis.PARENT, cj, ci):
+            self.add(
+                RequiredEdge(Axis.ANCESTOR, cj, EMPTY_CLASS),
+                "conflict-parent",
+                (RequiredEdge(Axis.PARENT, cj, ci), fact),
+            )
+        # sandwich (triggered from the forbidden side)
+        if axis is Axis.DESCENDANT and ci != EMPTY_CLASS and cj != EMPTY_CLASS:
+            for middle in list(self.req_sources(Axis.ANCESTOR, ci)):
+                if cj in self.req(Axis.DESCENDANT, middle):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, middle, EMPTY_CLASS),
+                        "sandwich",
+                        (
+                            RequiredEdge(Axis.ANCESTOR, middle, ci),
+                            RequiredEdge(Axis.DESCENDANT, middle, cj),
+                            fact,
+                        ),
+                    )
+        # parenthood / ancestorhood (triggered from the forbidden side)
+        if axis is Axis.DESCENDANT:
+            for target in list(self.req_sources(Axis.PARENT, cj)):
+                if self.is_disjoint(cj, ci):
+                    self.add(
+                        ForbiddenEdge(Axis.DESCENDANT, ci, target),
+                        "parenthood",
+                        (
+                            RequiredEdge(Axis.PARENT, target, cj),
+                            fact,
+                            Disjoint(cj, ci).normalized(),
+                        ),
+                    )
+            for target in list(self.req_sources(Axis.ANCESTOR, cj)):
+                if self.is_disjoint(cj, ci) and self.has_forb(
+                    Axis.DESCENDANT, cj, ci
+                ):
+                    self.add(
+                        ForbiddenEdge(Axis.DESCENDANT, ci, target),
+                        "ancestorhood",
+                        (
+                            RequiredEdge(Axis.ANCESTOR, target, cj),
+                            fact,
+                            ForbiddenEdge(Axis.DESCENDANT, cj, ci),
+                            Disjoint(cj, ci).normalized(),
+                        ),
+                    )
+
+    def _on_subclass(self, fact: Subclass) -> None:
+        sub, sup = fact.sub, fact.sup
+        if sub == sup:
+            return
+        # sub-transitivity (both directions of the join)
+        for higher in list(self.sups_of(sup)):
+            if higher != sup:
+                self.add(
+                    Subclass(sub, higher), "sub-trans", (fact, Subclass(sup, higher))
+                )
+        for lower in list(self.subs_of(sub)):
+            if lower != sub:
+                self.add(
+                    Subclass(lower, sup), "sub-trans", (Subclass(lower, sub), fact)
+                )
+        # membership
+        if sub in self.ne:
+            self.add(RequiredClass(sup), "ne-sub", (RequiredClass(sub), fact))
+        # re-fire source/target/forb propagation for edges touching sup/sub
+        for axis in Axis:
+            for target in list(self.req(axis, sup)):
+                self.add(
+                    RequiredEdge(axis, sub, target),
+                    f"source-{_axis_word(axis)}",
+                    (RequiredEdge(axis, sup, target), fact),
+                )
+            for source in list(self.req_sources(axis, sub)):
+                self.add(
+                    RequiredEdge(axis, source, sup),
+                    f"target-{_axis_word(axis)}",
+                    (RequiredEdge(axis, source, sub), fact),
+                )
+        for axis in (Axis.CHILD, Axis.DESCENDANT):
+            for target in list(self.forb(axis, sup)):
+                self.add(
+                    ForbiddenEdge(axis, sub, target),
+                    f"forb-source-{_axis_word(axis)}",
+                    (ForbiddenEdge(axis, sup, target), fact),
+                )
+            for source in list(self.forb_sources(axis, sup)):
+                self.add(
+                    ForbiddenEdge(axis, source, sub),
+                    f"forb-target-{_axis_word(axis)}",
+                    (ForbiddenEdge(axis, source, sup), fact),
+                )
+        # sub-conflict: c ⊑ a, c ⊑ b, a ⊥ b
+        for other in list(self.sups_of(sub)):
+            if other != sup and self.is_disjoint(sup, other):
+                self.add(
+                    RequiredEdge(Axis.DESCENDANT, sub, EMPTY_CLASS),
+                    "sub-conflict",
+                    (fact, Subclass(sub, other), Disjoint(sup, other).normalized()),
+                )
+
+    def _on_disjoint(self, fact: Disjoint) -> None:
+        for a, b in ((fact.a, fact.b), (fact.b, fact.a)):
+            # unique-parent
+            for ci in list(self.req_sources(Axis.PARENT, a)):
+                if b in self.req(Axis.PARENT, ci):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, ci, EMPTY_CLASS),
+                        "unique-parent",
+                        (
+                            RequiredEdge(Axis.PARENT, ci, a),
+                            RequiredEdge(Axis.PARENT, ci, b),
+                            fact,
+                        ),
+                    )
+            # anc-exclusion
+            for ci in list(self.req_sources(Axis.ANCESTOR, a)):
+                if (
+                    b in self.req(Axis.ANCESTOR, ci)
+                    and self.has_forb(Axis.DESCENDANT, a, b)
+                    and self.has_forb(Axis.DESCENDANT, b, a)
+                ):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, ci, EMPTY_CLASS),
+                        "anc-exclusion",
+                        (
+                            RequiredEdge(Axis.ANCESTOR, ci, a),
+                            RequiredEdge(Axis.ANCESTOR, ci, b),
+                            fact,
+                            ForbiddenEdge(Axis.DESCENDANT, a, b),
+                            ForbiddenEdge(Axis.DESCENDANT, b, a),
+                        ),
+                    )
+            # parenthood / ancestorhood
+            for ci in list(self.req_sources(Axis.PARENT, a)):
+                for ck in list(self.forb_sources(Axis.DESCENDANT, a)):
+                    if ck == b:
+                        self.add(
+                            ForbiddenEdge(Axis.DESCENDANT, b, ci),
+                            "parenthood",
+                            (
+                                RequiredEdge(Axis.PARENT, ci, a),
+                                ForbiddenEdge(Axis.DESCENDANT, b, a),
+                                fact,
+                            ),
+                        )
+            for ci in list(self.req_sources(Axis.ANCESTOR, a)):
+                if self.has_forb(Axis.DESCENDANT, b, a) and self.has_forb(
+                    Axis.DESCENDANT, a, b
+                ):
+                    self.add(
+                        ForbiddenEdge(Axis.DESCENDANT, b, ci),
+                        "ancestorhood",
+                        (
+                            RequiredEdge(Axis.ANCESTOR, ci, a),
+                            ForbiddenEdge(Axis.DESCENDANT, b, a),
+                            ForbiddenEdge(Axis.DESCENDANT, a, b),
+                            fact,
+                        ),
+                    )
+            # handshake
+            for cj in list(self.req(Axis.CHILD, a)):
+                # a →ch cj; need cj →pa b
+                if b in self.req(Axis.PARENT, cj):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, a, EMPTY_CLASS),
+                        "child-parent-handshake",
+                        (
+                            RequiredEdge(Axis.CHILD, a, cj),
+                            RequiredEdge(Axis.PARENT, cj, b),
+                            fact,
+                        ),
+                    )
+                # child-anc-lift: a →ch cj, cj →an b, a ⊥ b
+                if b in self.req(Axis.ANCESTOR, cj):
+                    self.add(
+                        RequiredEdge(Axis.ANCESTOR, a, b),
+                        "child-anc-lift",
+                        (
+                            RequiredEdge(Axis.CHILD, a, cj),
+                            RequiredEdge(Axis.ANCESTOR, cj, b),
+                            fact,
+                        ),
+                    )
+            # desc-parent-lift: a →de cj, cj →pa b, a ⊥ b
+            for cj in list(self.req(Axis.DESCENDANT, a)):
+                if cj != EMPTY_CLASS and b in self.req(Axis.PARENT, cj):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, a, b),
+                        "desc-parent-lift",
+                        (
+                            RequiredEdge(Axis.DESCENDANT, a, cj),
+                            RequiredEdge(Axis.PARENT, cj, b),
+                            fact,
+                        ),
+                    )
+            # sub-conflict
+            for c in list(self.subs_of(a)):
+                if c != a and b in self.sups_of(c):
+                    self.add(
+                        RequiredEdge(Axis.DESCENDANT, c, EMPTY_CLASS),
+                        "sub-conflict",
+                        (Subclass(c, a), Subclass(c, b), fact),
+                    )
+
+
+def _axis_word(axis: Axis) -> str:
+    return {
+        Axis.CHILD: "child",
+        Axis.PARENT: "parent",
+        Axis.DESCENDANT: "desc",
+        Axis.ANCESTOR: "anc",
+    }[axis]
+
+
+def close(
+    elements: Iterable[SchemaElement],
+    universe: Optional[Iterable[str]] = None,
+    assume_top: bool = True,
+) -> Closure:
+    """Compute the deductive closure of ``elements``.
+
+    Parameters
+    ----------
+    elements:
+        The axiom set ``Γ`` — structure elements plus the
+        subclass/disjointness elements induced by the class schema
+        (:meth:`DirectorySchema.all_elements
+        <repro.schema.directory_schema.DirectorySchema.all_elements>`).
+    universe:
+        Additional class names to include (the closure always covers all
+        classes mentioned by ``elements`` plus ``top`` and ``∅``).
+    assume_top:
+        Seed ``c ⊑ top`` for every class — sound in the LDAP model,
+        where every legal entry belongs to ``top``.  Disable only when
+        experimenting with the bare rule system.
+    """
+    element_list = list(elements)
+    names: Set[str] = {TOP, EMPTY_CLASS}
+    if universe is not None:
+        names.update(universe)
+    for element in element_list:
+        if isinstance(element, RequiredClass):
+            names.add(element.object_class)
+        elif isinstance(element, (RequiredEdge, ForbiddenEdge)):
+            names.add(element.source)
+            names.add(element.target)
+        elif isinstance(element, Subclass):
+            names.add(element.sub)
+            names.add(element.sup)
+        elif isinstance(element, Disjoint):
+            names.add(element.a)
+            names.add(element.b)
+
+    engine = _Engine(names)
+    for name in sorted(names):
+        if name == EMPTY_CLASS:
+            continue
+        engine.add(Subclass(name, name), "sub-reflexive")
+        if assume_top and name != TOP:
+            engine.add(Subclass(name, TOP), "sub-reflexive")
+    for element in element_list:
+        engine.add(element)
+    engine.run()
+    return Closure(facts=engine.facts, universe=names)

@@ -1,0 +1,142 @@
+"""Repair suggestions for inconsistent schemas.
+
+When the inference system derives ``∅ □``, the schema author needs to
+know *what to change*.  The proof tree already names the axioms involved
+(:meth:`Closure.proof_of_inconsistency`), but several independent
+conflicts can hide behind one proof.  :func:`suggest_repairs` searches
+for **minimal repair sets**: smallest sets of *structure-schema* axioms
+whose removal makes the schema consistent.
+
+Class-hierarchy elements (``⊑``/``⊥``) are treated as fixed — they
+mirror the core-class tree, which schema authors evolve separately —
+so repairs only ever drop required classes, required edges, or
+forbidden edges.
+
+The search is a bounded hitting-set enumeration guided by proofs:
+the axioms appearing in the current ⊥-proof form the branch points, so
+only elements actually implicated in *some* conflict are ever
+considered.  Complete for repairs up to ``max_size`` (default 3);
+larger schemas are better fixed one proof at a time.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.consistency.engine import Closure, Derivation, close
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import (
+    BOTTOM,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    SchemaElement,
+)
+
+__all__ = ["RepairSuggestion", "suggest_repairs", "proof_axioms"]
+
+
+class RepairSuggestion:
+    """One minimal set of structure elements to drop."""
+
+    def __init__(self, remove: FrozenSet[SchemaElement]) -> None:
+        self.remove = remove
+
+    def __len__(self) -> int:
+        return len(self.remove)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RepairSuggestion) and self.remove == other.remove
+
+    def __hash__(self) -> int:
+        return hash(self.remove)
+
+    def __str__(self) -> str:
+        items = ", ".join(sorted(str(e) for e in self.remove))
+        return f"drop {{{items}}}"
+
+
+def proof_axioms(closure: Closure) -> Set[SchemaElement]:
+    """The *axiom* elements appearing in the ⊥-proof (empty when the
+    closure is consistent)."""
+    if closure.consistent:
+        return set()
+    axioms: Set[SchemaElement] = set()
+    stack: List[SchemaElement] = [BOTTOM]
+    seen: Set[SchemaElement] = set()
+    while stack:
+        fact = stack.pop()
+        if fact in seen:
+            continue
+        seen.add(fact)
+        derivation: Optional[Derivation] = closure.derivation(fact)
+        if derivation is None:
+            continue
+        if derivation.rule == "axiom":
+            axioms.add(fact)
+        else:
+            stack.extend(derivation.premises)
+    return axioms
+
+
+def _mutable(elements: Sequence[SchemaElement]) -> List[SchemaElement]:
+    return [
+        e
+        for e in elements
+        if isinstance(e, (RequiredClass, RequiredEdge, ForbiddenEdge))
+    ]
+
+
+def suggest_repairs(
+    schema: DirectorySchema,
+    max_size: int = 3,
+    max_suggestions: int = 5,
+) -> List[RepairSuggestion]:
+    """Minimal structure-element removals restoring consistency.
+
+    Returns suggestions ordered by size (smallest repairs first), empty
+    when the schema is already consistent, and also empty when no repair
+    of up to ``max_size`` removals exists (then the class hierarchy
+    itself participates in every conflict).
+    """
+    all_elements = list(schema.all_elements())
+    universe = schema.class_schema.core_classes()
+
+    def consistent_without(removed: FrozenSet[SchemaElement]) -> Tuple[bool, Closure]:
+        remaining = [e for e in all_elements if e not in removed]
+        closure = close(remaining, universe=universe)
+        return closure.consistent, closure
+
+    base_consistent, base_closure = consistent_without(frozenset())
+    if base_consistent:
+        return []
+
+    # Candidate pool: structure axioms implicated in the first proof,
+    # expanded as new proofs appear after partial removals.
+    candidates = _mutable(sorted(proof_axioms(base_closure), key=str))
+    suggestions: List[RepairSuggestion] = []
+    seen: Set[FrozenSet[SchemaElement]] = set()
+
+    for size in range(1, max_size + 1):
+        pool = list(candidates)
+        for combo in combinations(pool, size):
+            removed = frozenset(combo)
+            if removed in seen:
+                continue
+            # Skip non-minimal supersets of accepted repairs.
+            if any(s.remove <= removed for s in suggestions):
+                continue
+            seen.add(removed)
+            ok, closure = consistent_without(removed)
+            if ok:
+                suggestions.append(RepairSuggestion(removed))
+                if len(suggestions) >= max_suggestions:
+                    return suggestions
+            else:
+                # A different conflict surfaced: widen the pool so the
+                # next size can hit it too.
+                for axiom in _mutable(sorted(proof_axioms(closure), key=str)):
+                    if axiom not in candidates:
+                        candidates.append(axiom)
+    return suggestions

@@ -1,0 +1,239 @@
+"""The inference-rule catalog (Figures 6 and 7).
+
+Each :class:`Rule` records a rule's name, its group in the paper's
+figures, its premise/conclusion shape in the paper's notation, and
+whether it comes verbatim from the figures or is a *reconstruction*.
+
+**A note on reconstruction.**  The available text of the paper renders
+the rule figures with heavy glyph loss; the groups and most rules are
+unambiguous (Nodes-and-Edges, Paths, Transitivity, Loops, Reflexivity,
+Sub-Transitivity, Source, Target, the top-interaction Paths of Figure 7,
+and the two Direct-Conflict rules), while the exact premise lists of the
+*Parenthood* and *Ancestorhood* rules are not recoverable glyph-for-glyph.
+For those, and for a handful of glue rules the Consistency Theorem
+(Theorem 5.2) requires (child-level direct conflict, forbidden-edge
+downward propagation, membership-through-subclassing), we implement
+reconstructions that are
+
+* **sound** — each is proved in its docstring from the Definition 2.6
+  semantics, and property-tested against random legal instances; and
+* **inconsistency-complete in practice** — differentially tested against
+  a bounded model finder (:mod:`repro.consistency.modelfinder`) on
+  exhaustive small schema families.
+
+Known theoretical gap (documented, not hidden): conflicts that only
+materialize through *three or more* pairwise-compatible required
+ancestors whose forbidden-descendant constraints form a directed cycle
+are not derivable by any pairwise rule system; the witness synthesizer
+(:mod:`repro.consistency.witness`) acts as a constructive backstop —
+``ConsistencyChecker.check(synthesize=True)`` reports when the inference
+system says "consistent" but no witness could be built.
+
+The paper's notation in the ``shape`` strings: ``c□`` (required class),
+``ci →ch cj`` / ``→de`` / ``→pa`` / ``→an`` (required edges, read
+"every ci-entry has a ch/de/pa/an-related cj-entry"), ``ci ↛ch cj`` /
+``↛de`` (forbidden edges), ``⊑`` (subclass), ``⊥`` (disjoint),
+``∅`` (the empty pseudo-class), ``⊢`` (derives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Rule", "RULES", "rule", "FIGURE6_GROUPS", "FIGURE7_GROUPS"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one inference rule."""
+
+    name: str
+    group: str
+    figure: int
+    shape: str
+    reconstructed: bool = False
+
+
+FIGURE6_GROUPS = (
+    "nodes-and-edges",
+    "paths",
+    "transitivity",
+    "loops",
+    "reflexivity",
+    "sub-transitivity",
+    "source",
+    "target",
+    "membership",
+)
+
+FIGURE7_GROUPS = (
+    "top-paths",
+    "forb-paths",
+    "direct-conflict",
+    "forb-source",
+    "forb-target",
+    "parenthood",
+    "ancestorhood",
+    "handshake",
+    "sub-conflict",
+)
+
+_RULES: Tuple[Rule, ...] = (
+    # ------------------------------------------------------------------
+    # Figure 6: inconsistencies due to cycles
+    # ------------------------------------------------------------------
+    Rule("ne-child", "nodes-and-edges", 6, "ci□, ci →ch cj ⊢ cj□"),
+    Rule("ne-desc", "nodes-and-edges", 6, "ci□, ci →de cj ⊢ cj□"),
+    Rule("ne-parent", "nodes-and-edges", 6, "ci□, ci →pa cj ⊢ cj□"),
+    Rule("ne-anc", "nodes-and-edges", 6, "ci□, ci →an cj ⊢ cj□"),
+    Rule("path-child-desc", "paths", 6, "ci →ch cj ⊢ ci →de cj"),
+    Rule("path-parent-anc", "paths", 6, "ci →pa cj ⊢ ci →an cj"),
+    Rule("trans-desc", "transitivity", 6, "ci →de cj, cj →de ck ⊢ ci →de ck"),
+    Rule("trans-anc", "transitivity", 6, "ci →an cj, cj →an ck ⊢ ci →an ck"),
+    Rule("loop-desc", "loops", 6, "ci →de ci ⊢ ci →de ∅"),
+    Rule("loop-anc", "loops", 6, "ci →an ci ⊢ ci →an ∅"),
+    Rule("sub-reflexive", "reflexivity", 6, "⊢ c ⊑ c"),
+    Rule("sub-trans", "sub-transitivity", 6, "ci ⊑ cj, cj ⊑ ck ⊢ ci ⊑ ck"),
+    Rule("source-child", "source", 6, "ci →ch cj, ci' ⊑ ci ⊢ ci' →ch cj"),
+    Rule("source-desc", "source", 6, "ci →de cj, ci' ⊑ ci ⊢ ci' →de cj"),
+    Rule("source-parent", "source", 6, "ci →pa cj, ci' ⊑ ci ⊢ ci' →pa cj"),
+    Rule("source-anc", "source", 6, "ci →an cj, ci' ⊑ ci ⊢ ci' →an cj"),
+    Rule("target-child", "target", 6, "ci →ch cj, cj ⊑ cj' ⊢ ci →ch cj'"),
+    Rule("target-desc", "target", 6, "ci →de cj, cj ⊑ cj' ⊢ ci →de cj'"),
+    Rule("target-parent", "target", 6, "ci →pa cj, cj ⊑ cj' ⊢ ci →pa cj'"),
+    Rule("target-anc", "target", 6, "ci →an cj, cj ⊑ cj' ⊢ ci →an cj'"),
+    Rule(
+        "ne-sub", "membership", 6, "ci□, ci ⊑ cj ⊢ cj□", reconstructed=True
+    ),
+    # ------------------------------------------------------------------
+    # Figure 7: inconsistencies due to contradictions
+    # ------------------------------------------------------------------
+    Rule("top-desc-child", "top-paths", 7, "ci →de top ⊢ ci →ch top"),
+    Rule("top-anc-parent", "top-paths", 7, "ci →an top ⊢ ci →pa top"),
+    Rule("top-forb-child-desc", "top-paths", 7, "ci ↛ch top ⊢ ci ↛de top"),
+    Rule("top-forb-root", "top-paths", 7, "top ↛ch ci ⊢ top ↛de ci"),
+    Rule(
+        "forb-desc-child",
+        "forb-paths",
+        7,
+        "ci ↛de cj ⊢ ci ↛ch cj",
+        reconstructed=True,
+    ),
+    Rule(
+        "conflict-desc",
+        "direct-conflict",
+        7,
+        "ci →de cj, ci ↛de cj ⊢ ci →de ∅",
+    ),
+    Rule(
+        "conflict-anc",
+        "direct-conflict",
+        7,
+        "ci →an cj, cj ↛de ci ⊢ ci →an ∅",
+    ),
+    Rule(
+        "conflict-child",
+        "direct-conflict",
+        7,
+        "ci →ch cj, ci ↛ch cj ⊢ ci →de ∅",
+        reconstructed=True,
+    ),
+    Rule(
+        "conflict-parent",
+        "direct-conflict",
+        7,
+        "ci →pa cj, cj ↛ch ci ⊢ ci →an ∅",
+        reconstructed=True,
+    ),
+    Rule(
+        "forb-source-child", "forb-source", 7, "ci ↛ch cj, ci' ⊑ ci ⊢ ci' ↛ch cj"
+    ),
+    Rule(
+        "forb-source-desc", "forb-source", 7, "ci ↛de cj, ci' ⊑ ci ⊢ ci' ↛de cj"
+    ),
+    Rule(
+        "forb-target-child", "forb-target", 7, "ci ↛ch cj, cj' ⊑ cj ⊢ ci ↛ch cj'"
+    ),
+    Rule(
+        "forb-target-desc", "forb-target", 7, "ci ↛de cj, cj' ⊑ cj ⊢ ci ↛de cj'"
+    ),
+    Rule(
+        "parenthood",
+        "parenthood",
+        7,
+        "ci →pa cj, ck ↛de cj, cj ⊥ ck ⊢ ck ↛de ci",
+        reconstructed=True,
+    ),
+    Rule(
+        "ancestorhood",
+        "ancestorhood",
+        7,
+        "ci →an cj, ck ↛de cj, cj ↛de ck, cj ⊥ ck ⊢ ck ↛de ci",
+        reconstructed=True,
+    ),
+    Rule(
+        "unique-parent",
+        "parenthood",
+        7,
+        "ci →pa cj, ci →pa ck, cj ⊥ ck ⊢ ci →an ∅",
+        reconstructed=True,
+    ),
+    Rule(
+        "anc-exclusion",
+        "ancestorhood",
+        7,
+        "ci →an cj, ci →an ck, cj ⊥ ck, cj ↛de ck, ck ↛de cj ⊢ ci →an ∅",
+        reconstructed=True,
+    ),
+    Rule(
+        "sandwich",
+        "ancestorhood",
+        7,
+        "ci →an cp, ci →de cc, cp ↛de cc ⊢ ci →de ∅",
+        reconstructed=True,
+    ),
+    Rule(
+        "child-parent-handshake",
+        "handshake",
+        7,
+        "ci →ch cj, cj →pa ck, ci ⊥ ck ⊢ ci →de ∅",
+        reconstructed=True,
+    ),
+    Rule(
+        "child-parent-subsumption",
+        "handshake",
+        7,
+        "ci →ch cj, cj →pa ck ⊢ ci ⊑ ck",
+        reconstructed=True,
+    ),
+    Rule(
+        "child-anc-lift",
+        "handshake",
+        7,
+        "ci →ch cj, cj →an ck, ci ⊥ ck ⊢ ci →an ck",
+        reconstructed=True,
+    ),
+    Rule(
+        "desc-parent-lift",
+        "handshake",
+        7,
+        "ci →de cj, cj →pa ck, ci ⊥ ck ⊢ ci →de ck",
+        reconstructed=True,
+    ),
+    Rule(
+        "sub-conflict",
+        "sub-conflict",
+        7,
+        "c ⊑ a, c ⊑ b, a ⊥ b ⊢ c →de ∅",
+        reconstructed=True,
+    ),
+)
+
+#: All rules, indexed by name.
+RULES: Dict[str, Rule] = {r.name: r for r in _RULES}
+
+
+def rule(name: str) -> Rule:
+    """Look up a rule by name (raises ``KeyError`` for unknown names)."""
+    return RULES[name]

@@ -1,0 +1,529 @@
+"""Witness synthesis: building a legal instance for a consistent schema.
+
+Theorem 5.2 asserts that a ⊬-consistent schema admits at least one legal
+instance; this module makes that constructive.  Given the closure of the
+schema's elements, :func:`synthesize_witness` builds a concrete
+:class:`~repro.model.instance.DirectoryInstance` that the full
+:class:`~repro.legality.checker.LegalityChecker` accepts — the result is
+**verified before being returned**.
+
+Construction strategy (demand-driven, with class deepening):
+
+1. Every class in ``Cr`` gets a node.  A node is characterized by its
+   most-specific core class; its entry will belong to that class's whole
+   superclass chain (satisfying single inheritance by construction).
+2. A worklist processes each node's *demands*, read off the closed
+   required-edge facts of its most-specific class (closure already
+   folded in inherited demands via the Source rules):
+
+   * required parents: the node's parent is created or *deepened* to the
+     most specific required parent class;
+   * required ancestors: satisfied by an existing ancestor, by deepening
+     one, or by stacking a new root above the tree;
+   * required children/descendants: satisfied by existing children or
+     subtree nodes, else a new child is created — inserting a plain
+     ``top`` entry in between when a forbidden-child element blocks the
+     direct edge but the descendant requirement stands.
+
+   Deepening a node re-queues it, since a more specific class can carry
+   more demands; depth of the class tree bounds the re-queues.
+3. Entries receive synthesized values for every required attribute of
+   every class on their chain (typed via the schema's registry, unique
+   per entry so directory-wide keys hold).
+
+The synthesizer is deliberately *best-effort*: schemas whose only
+witnesses need constraint interactions beyond the closure's pairwise
+reasoning raise :class:`WitnessSynthesisError` instead of looping — the
+documented completeness backstop for the inference system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.axes import Axis
+from repro.consistency.engine import Closure
+from repro.errors import BoundingSchemaError
+from repro.model.instance import DirectoryInstance
+from repro.schema.class_schema import TOP, ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import EMPTY_CLASS, ForbiddenEdge, RequiredEdge
+
+__all__ = ["WitnessSynthesisError", "synthesize_witness"]
+
+
+class WitnessSynthesisError(BoundingSchemaError):
+    """Witness construction failed (schema may be unsatisfiable in a way
+    the pairwise inference rules cannot derive, or needs backtracking
+    search the synthesizer does not attempt)."""
+
+
+class _Node:
+    __slots__ = ("deepest", "parent", "children", "uid")
+    _ids = itertools.count()
+
+    def __init__(self, deepest: str, parent: Optional["_Node"] = None) -> None:
+        self.deepest = deepest
+        self.parent = parent
+        self.children: List[_Node] = []
+        self.uid = next(_Node._ids)
+        if parent is not None:
+            parent.children.append(self)
+
+    def root(self) -> "_Node":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def subtree(self):
+        yield self
+        for child in self.children:
+            yield from child.subtree()
+
+
+class _Synthesizer:
+    def __init__(self, schema: DirectorySchema, closure: Closure) -> None:
+        self.schema = schema
+        self.classes: ClassSchema = schema.class_schema
+        self.closure = closure
+        self.empties = closure.empty_classes()
+        # Closed required/forbidden facts, indexed.
+        self.req: Dict[Tuple[Axis, str], Set[str]] = {}
+        self.forb: Set[Tuple[Axis, str, str]] = set()
+        for fact in closure.facts:
+            if isinstance(fact, RequiredEdge) and fact.target != EMPTY_CLASS:
+                self.req.setdefault((fact.axis, fact.source), set()).add(fact.target)
+            elif isinstance(fact, ForbiddenEdge):
+                self.forb.add((fact.axis, fact.source, fact.target))
+        self.roots: List[_Node] = []
+        self.queue: List[_Node] = []
+        self.node_budget = 10 * max(1, len(self.classes.core_classes())) + 50
+        self.node_count = 0
+
+    # ------------------------------------------------------------------
+    # chain helpers
+    # ------------------------------------------------------------------
+    def chain(self, name: str) -> Tuple[str, ...]:
+        return self.classes.superclasses(name)
+
+    def chain_has(self, node: _Node, name: str) -> bool:
+        return name in self.chain(node.deepest)
+
+    def _pair_forbidden(self, axis: Axis, upper_chain, lower_chain) -> bool:
+        for a in upper_chain:
+            for b in lower_chain:
+                if (axis, a, b) in self.forb:
+                    return True
+        return False
+
+    def forbidden_between(self, axis: Axis, upper: "_Node | _Virtual", lower_class: str) -> bool:
+        return self._pair_forbidden(
+            axis, self.chain(upper.deepest), self.chain(lower_class)
+        )
+
+    def deepening_allowed(self, node: _Node, target: str) -> bool:
+        """Whether retyping ``node`` to ``target`` keeps every existing
+        edge of the construction free of forbidden elements."""
+        new_chain = self.chain(target)
+        for child in node.children:
+            if self._pair_forbidden(Axis.CHILD, new_chain, self.chain(child.deepest)):
+                return False
+        for below in node.subtree():
+            if below is not node and self._pair_forbidden(
+                Axis.DESCENDANT, new_chain, self.chain(below.deepest)
+            ):
+                return False
+        if node.parent is not None and self._pair_forbidden(
+            Axis.CHILD, self.chain(node.parent.deepest), new_chain
+        ):
+            return False
+        for upper in node.ancestors():
+            if self._pair_forbidden(
+                Axis.DESCENDANT, self.chain(upper.deepest), new_chain
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def new_node(self, deepest: str, parent: Optional[_Node] = None) -> _Node:
+        if deepest in self.empties:
+            raise WitnessSynthesisError(
+                f"needed an entry of class {deepest!r}, which the closure "
+                "proves must stay empty"
+            )
+        self.node_count += 1
+        if self.node_count > self.node_budget:
+            raise WitnessSynthesisError(
+                "node budget exhausted — the schema's required edges do "
+                "not converge under demand-driven construction"
+            )
+        node = _Node(deepest, parent)
+        if parent is None:
+            self.roots.append(node)
+        self.queue.append(node)
+        return node
+
+    def deepen(self, node: _Node, name: str) -> None:
+        if not self.try_deepen(node, name):
+            if node.deepest not in self.chain(name):
+                raise WitnessSynthesisError(
+                    f"a single entry would need incomparable core classes "
+                    f"{node.deepest!r} and {name!r}"
+                )
+            raise WitnessSynthesisError(
+                f"retyping a {node.deepest!r} entry to {name!r} would "
+                "violate a forbidden element on an existing edge"
+            )
+
+    def try_deepen(self, node: _Node, name: str) -> bool:
+        """Retype ``node`` to class ``name`` when possible; returns
+        whether the node now belongs to ``name``."""
+        if self.chain_has(node, name):
+            return True
+        if node.deepest not in self.chain(name):
+            return False
+        if not self.deepening_allowed(node, name):
+            return False
+        if name in self.empties:
+            raise WitnessSynthesisError(
+                f"deepening forced class {name!r}, which must stay empty"
+            )
+        node.deepest = name
+        self.queue.append(node)
+        return True
+
+    # ------------------------------------------------------------------
+    # demand processing
+    # ------------------------------------------------------------------
+    def process(self, node: _Node) -> None:
+        deepest = node.deepest
+        self._satisfy_parent(node, sorted(self.req.get((Axis.PARENT, deepest), ())))
+        self._satisfy_ancestors(node, sorted(self.req.get((Axis.ANCESTOR, deepest), ())))
+        # Descendant demands run before child demands: a child created for
+        # a specific descendant target usually also discharges the derived
+        # ``→ch top`` demand (top-desc-child rule), keeping witnesses tidy.
+        for target in sorted(self.req.get((Axis.DESCENDANT, deepest), ())):
+            self._satisfy_descendant(node, target)
+        for target in sorted(self.req.get((Axis.CHILD, deepest), ())):
+            self._satisfy_child(node, target)
+
+    def _satisfy_parent(self, node: _Node, targets: List[str]) -> None:
+        if not targets:
+            return
+        deepest_parent = max(targets, key=lambda c: len(self.chain(c)))
+        for other in targets:
+            if other not in self.chain(deepest_parent):
+                raise WitnessSynthesisError(
+                    f"entry of {node.deepest!r} needs parents of incomparable "
+                    f"classes {deepest_parent!r} and {other!r}"
+                )
+        if node.parent is None:
+            if node in self.roots:
+                self.roots.remove(node)
+            parent = self.new_node(deepest_parent)
+            parent.children.append(node)
+            node.parent = parent
+        else:
+            self.deepen(node.parent, deepest_parent)
+
+    def _satisfy_ancestors(self, node: _Node, targets: List[str]) -> None:
+        for target in targets:
+            if any(self.chain_has(a, target) for a in node.ancestors()):
+                continue
+            # Try deepening an existing ancestor (nearest first); a
+            # deepening blocked by a forbidden element simply falls
+            # through to stacking or splicing.
+            placed = False
+            for ancestor in node.ancestors():
+                if self.try_deepen(ancestor, target):
+                    placed = True
+                    break
+            if placed:
+                continue
+            # Preferred: stack a new root above the whole tree (changes
+            # no existing parent/child relation).  Fallback: splice the
+            # target between the node and its parent — needed when the
+            # target may not dominate a sibling branch (a
+            # forbidden-descendant element against the current root).
+            if self._try_stack_root(node, target):
+                continue
+            if self._try_splice_above(node, target):
+                continue
+            raise WitnessSynthesisError(
+                f"required ancestor {target!r} of {node.deepest!r} cannot "
+                "be placed: forbidden elements block both stacking above "
+                "the tree and splicing above the entry"
+            )
+
+    def _try_stack_root(self, node: _Node, target: str) -> bool:
+        """Stack a new ``target`` root above the node's tree; returns
+        whether the stacking happened."""
+        old_root = node.root()
+        virtual = _Virtual(target, self)
+        for below in old_root.subtree():
+            if self.forbidden_between(Axis.DESCENDANT, virtual, below.deepest):
+                return False
+        direct_blocked = self.forbidden_between(
+            Axis.CHILD, virtual, old_root.deepest
+        )
+        if direct_blocked and (
+            self.forbidden_between(Axis.CHILD, virtual, TOP)
+            or self.forbidden_between(
+                Axis.CHILD, _Virtual(TOP, self), old_root.deepest
+            )
+        ):
+            return False
+        if old_root in self.roots:
+            self.roots.remove(old_root)
+        new_root = self.new_node(target)
+        if direct_blocked:
+            # Link through a plain ``top`` spacer (as for descendants).
+            middle = self.new_node(TOP, new_root)
+            middle.children.append(old_root)
+            old_root.parent = middle
+        else:
+            new_root.children.append(old_root)
+            old_root.parent = new_root
+        return True
+
+    def _try_splice_above(self, node: _Node, target: str) -> bool:
+        """Insert a new ``target`` entry between ``node`` and its parent
+        when no forbidden element blocks any affected edge; returns
+        whether the splice happened."""
+        chain_t = self.chain(target)
+        parent = node.parent
+        if self._pair_forbidden(Axis.CHILD, chain_t, self.chain(node.deepest)):
+            return False
+        for below in node.subtree():
+            if self._pair_forbidden(
+                Axis.DESCENDANT, chain_t, self.chain(below.deepest)
+            ):
+                return False
+        # The node's required-parent classes must survive: the spliced
+        # entry becomes the new parent.
+        for p in self.req.get((Axis.PARENT, node.deepest), ()):
+            if p != EMPTY_CLASS and p not in chain_t:
+                return False
+        if parent is not None:
+            if self._pair_forbidden(
+                Axis.CHILD, self.chain(parent.deepest), chain_t
+            ):
+                return False
+            for upper in [parent, *parent.ancestors()]:
+                if self._pair_forbidden(
+                    Axis.DESCENDANT, self.chain(upper.deepest), chain_t
+                ):
+                    return False
+            # The parent's required-child witnesses must survive: if the
+            # node was the only child providing some required class, the
+            # spliced entry must provide it instead.
+            node_chain = set(self.chain(node.deepest))
+            for t in self.req.get((Axis.CHILD, parent.deepest), ()):
+                if t == EMPTY_CLASS or t in chain_t:
+                    continue
+                if t in node_chain and not any(
+                    sibling is not node and self.chain_has(sibling, t)
+                    for sibling in parent.children
+                ):
+                    return False
+        middle = self.new_node(target, parent)
+        if parent is None:
+            if node in self.roots:
+                self.roots.remove(node)
+        else:
+            parent.children.remove(node)
+        middle.children.append(node)
+        node.parent = middle
+        return True
+
+    def _satisfy_child(self, node: _Node, target: str) -> None:
+        if any(self.chain_has(c, target) for c in node.children):
+            return
+        if self.forbidden_between(Axis.CHILD, node, target):
+            raise WitnessSynthesisError(
+                f"{node.deepest!r} requires a {target!r} child that a "
+                "forbidden-child element blocks (undetected inconsistency)"
+            )
+        self._check_desc_forbidden(node, target)
+        self.new_node(target, node)
+
+    def _satisfy_descendant(self, node: _Node, target: str) -> None:
+        for below in node.subtree():
+            if below is not node and self.chain_has(below, target):
+                return
+        self._check_desc_forbidden(node, target)
+
+        # The target may demand a parent of a specific class; pick the
+        # host for the new entry accordingly.
+        parent_targets = sorted(
+            t for t in self.req.get((Axis.PARENT, target), ()) if t != EMPTY_CLASS
+        )
+        host_class: Optional[str] = None
+        if parent_targets:
+            host_class = max(parent_targets, key=lambda c: len(self.chain(c)))
+            for other in parent_targets:
+                if other not in self.chain(host_class):
+                    raise WitnessSynthesisError(
+                        f"{target!r} needs parents of incomparable classes "
+                        f"{host_class!r} and {other!r}"
+                    )
+
+        direct_ok = not self.forbidden_between(Axis.CHILD, node, target)
+        if host_class is None or self.chain_has(node, host_class):
+            if direct_ok:
+                self.new_node(target, node)
+                return
+        elif direct_ok and self.try_deepen(node, host_class):
+            self.new_node(target, node)
+            return
+
+        # Detour through an intermediate entry: the target's required
+        # parent class when it has one, else a plain ``top`` entry.
+        middle_class = host_class if host_class is not None else TOP
+        self._check_desc_forbidden(node, middle_class)
+        attach = node
+        if self.forbidden_between(Axis.CHILD, node, middle_class):
+            # A forbidden-child element blocks the direct edge; add a
+            # plain ``top`` spacer (node → top → host → target).
+            if self.forbidden_between(Axis.CHILD, node, TOP) or self._pair_forbidden(
+                Axis.CHILD, self.chain(TOP), self.chain(middle_class)
+            ):
+                raise WitnessSynthesisError(
+                    f"{node.deepest!r} requires a {target!r} descendant but a "
+                    f"{middle_class!r} host cannot be placed below it "
+                    "(forbidden-child elements block it at every spacing)"
+                )
+            attach = self.new_node(TOP, node)
+        middle = self.new_node(middle_class, attach)
+        if self.forbidden_between(Axis.CHILD, middle, target):
+            raise WitnessSynthesisError(
+                f"{target!r} cannot be placed under its required parent "
+                f"class {middle_class!r} (forbidden-child element — "
+                "undetected inconsistency)"
+            )
+        self.new_node(target, middle)
+
+    def _check_desc_forbidden(self, node: _Node, target: str) -> None:
+        for upper in [node, *node.ancestors()]:
+            if self.forbidden_between(Axis.DESCENDANT, upper, target):
+                raise WitnessSynthesisError(
+                    f"placing a {target!r} entry below {node.deepest!r} would "
+                    f"violate a forbidden-descendant element via "
+                    f"{upper.deepest!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> List[_Node]:
+        for name in sorted(self.schema.structure_schema.required_classes):
+            if name in self.empties:
+                raise WitnessSynthesisError(
+                    f"required class {name!r} is provably empty — the schema "
+                    "is inconsistent (the closure should have caught this)"
+                )
+            # Drain demands before seeding the next required class, so a
+            # class already realized by an earlier tree is reused.
+            self._drain()
+            if not any(
+                self.chain_has(n, name)
+                for root in self.roots
+                for n in root.subtree()
+            ):
+                self.new_node(name)
+        self._drain()
+        return self.roots
+
+    def _drain(self) -> None:
+        guard = 0
+        while self.queue:
+            guard += 1
+            if guard > 50 * self.node_budget:
+                raise WitnessSynthesisError("demand processing did not converge")
+            self.process(self.queue.pop())
+
+
+class _Virtual:
+    """A chain-only stand-in used for forbidden checks before a node for
+    ``deepest`` exists."""
+
+    __slots__ = ("deepest",)
+
+    def __init__(self, deepest: str, _syn: _Synthesizer) -> None:
+        self.deepest = deepest
+
+
+def _synthesize_value(schema: DirectorySchema, attribute: str, counter: int):
+    """Invent a value for a required attribute, typed when possible and
+    unique per entry (so key extras hold)."""
+    registry = schema.registry
+    if registry is not None and attribute in registry:
+        type_name = registry.tau(attribute).name
+        if type_name == "integer":
+            return counter
+        if type_name == "boolean":
+            return True
+        if type_name == "telephone":
+            return f"+1 555 {counter % 10000:04d}"
+        if type_name == "uri":
+            return f"http://example.com/{attribute}/{counter}"
+        if type_name == "dn":
+            return f"cn=ref{counter}"
+    return f"{attribute}-{counter}"
+
+
+def synthesize_witness(
+    schema: DirectorySchema, closure: Closure
+) -> DirectoryInstance:
+    """Build and verify a legal instance for a ⊬-consistent schema.
+
+    Raises
+    ------
+    WitnessSynthesisError
+        When construction fails or the constructed instance does not
+        pass the full legality check (both cases indicate either an
+        inconsistency beyond the rule system or a synthesis limitation;
+        the message says which construction step failed).
+    """
+    synthesizer = _Synthesizer(schema, closure)
+    roots = synthesizer.run()
+
+    instance = DirectoryInstance(attributes=schema.registry)
+    counter = itertools.count(1)
+
+    def materialize(node: _Node, parent_entry) -> None:
+        index = next(counter)
+        chain = schema.class_schema.superclasses(node.deepest)
+        attributes = {}
+        for object_class in chain:
+            for attr in sorted(schema.attribute_schema.required(object_class)):
+                if attr not in attributes:
+                    attributes[attr] = [_synthesize_value(schema, attr, index)]
+        entry = instance.add_entry(
+            parent_entry, f"cn=w{index}", list(chain), attributes
+        )
+        for child in node.children:
+            materialize(child, entry)
+
+    for root in roots:
+        materialize(root, None)
+
+    # Verified-before-returned: the witness must actually be legal.
+    from repro.legality.checker import LegalityChecker
+
+    report = LegalityChecker(schema).check(instance)
+    if not report.is_legal:
+        raise WitnessSynthesisError(
+            "constructed witness failed the legality check:\n" + str(report)
+        )
+    return instance

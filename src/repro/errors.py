@@ -1,0 +1,80 @@
+"""Exception hierarchy for the bounding-schemas library.
+
+Every error raised by this package derives from :class:`BoundingSchemaError`,
+so callers can catch one type to handle any library failure.  The hierarchy
+mirrors the subsystems of the paper: the data model (Definitions 2.1-2.5),
+query evaluation (Section 3), updates (Section 4), and consistency
+(Section 5).
+"""
+
+from __future__ import annotations
+
+
+class BoundingSchemaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelError(BoundingSchemaError):
+    """A directory-instance invariant was violated (Definition 2.1)."""
+
+
+class UnknownEntryError(ModelError):
+    """An entry id or distinguished name does not exist in the instance."""
+
+
+class DuplicateEntryError(ModelError):
+    """An entry with the same distinguished name already exists."""
+
+
+class ForestInvariantError(ModelError):
+    """An operation would break the forest structure of the instance."""
+
+
+class TypeViolationError(ModelError):
+    """An attribute value does not belong to the domain of its type."""
+
+
+class UnknownAttributeError(ModelError):
+    """An attribute name has no registered type (the ``tau`` function is
+    partial on it)."""
+
+
+class SchemaError(BoundingSchemaError):
+    """A schema definition is malformed (Definitions 2.2-2.5)."""
+
+
+class ClassHierarchyError(SchemaError):
+    """The core-class graph is not a tree rooted at ``top``."""
+
+
+class QueryError(BoundingSchemaError):
+    """A hierarchical selection query is malformed or cannot be evaluated."""
+
+
+class FilterSyntaxError(QueryError):
+    """An LDAP-style filter string could not be parsed."""
+
+
+class UpdateError(BoundingSchemaError):
+    """An update operation or transaction is invalid (Section 4.1)."""
+
+
+class IllegalUpdateError(UpdateError):
+    """An update was rejected because it would make the instance illegal."""
+
+
+class ConsistencyError(BoundingSchemaError):
+    """The consistency engine was given malformed input (Section 5)."""
+
+
+class InconsistentSchemaError(ConsistencyError):
+    """Raised when an operation requires a consistent schema but the
+    inference system derives the empty-class element (``⊢ □∅``)."""
+
+
+class LdifError(BoundingSchemaError):
+    """An LDIF document could not be parsed or serialized."""
+
+
+class DslError(BoundingSchemaError):
+    """A bounding-schema DSL document could not be parsed."""

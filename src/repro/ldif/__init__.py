@@ -1,0 +1,34 @@
+"""LDIF interchange (RFC 2849) for directory instances and updates."""
+
+from repro.ldif.changes import (
+    dump_changes,
+    load_changes,
+    parse_changes,
+    serialize_changes,
+)
+from repro.ldif.modify import (
+    ModifyOp,
+    ModifyRecord,
+    apply_modification,
+    parse_modifications,
+)
+from repro.ldif.reader import LdifRecord, load_ldif, parse_ldif, parse_ldif_records
+from repro.ldif.writer import dump_ldif, serialize_entry, serialize_ldif
+
+__all__ = [
+    "LdifRecord",
+    "parse_ldif_records",
+    "parse_ldif",
+    "load_ldif",
+    "serialize_entry",
+    "serialize_ldif",
+    "dump_ldif",
+    "parse_changes",
+    "load_changes",
+    "serialize_changes",
+    "dump_changes",
+    "ModifyOp",
+    "ModifyRecord",
+    "parse_modifications",
+    "apply_modification",
+]

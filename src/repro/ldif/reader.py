@@ -1,0 +1,171 @@
+"""LDIF parsing (RFC 2849 content records).
+
+The paper's experiments presume LDAP tooling for loading directory data;
+since no LDAP stack is available offline, this module implements the LDIF
+content format directly: ``dn:`` lines, ``attribute: value`` lines, base64
+values (``::``), line continuations (a leading space), comments (``#``), and
+an optional ``version:`` header.
+
+Records are assembled into a :class:`~repro.model.instance.DirectoryInstance`
+by sorting on DN depth so parents are created before children; a record
+whose parent DN is absent becomes an error (matching LDAP server behaviour).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import LdifError
+from repro.model.attributes import OBJECT_CLASS, AttributeRegistry
+from repro.model.dn import DN, parse_dn
+from repro.model.instance import DirectoryInstance
+
+__all__ = ["LdifRecord", "parse_ldif_records", "parse_ldif", "load_ldif"]
+
+
+class LdifRecord:
+    """One parsed LDIF content record: a DN plus attribute lines."""
+
+    __slots__ = ("dn", "attributes")
+
+    def __init__(self, dn: DN, attributes: List[Tuple[str, str]]) -> None:
+        self.dn = dn
+        self.attributes = attributes
+
+    def object_classes(self) -> List[str]:
+        """The values of the ``objectClass`` attribute, in file order."""
+        return [v for (a, v) in self.attributes if a == OBJECT_CLASS]
+
+    def other_attributes(self) -> Dict[str, List[str]]:
+        """All attributes except ``objectClass``, grouped by name."""
+        grouped: Dict[str, List[str]] = {}
+        for attribute, value in self.attributes:
+            if attribute == OBJECT_CLASS:
+                continue
+            grouped.setdefault(attribute, []).append(value)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LdifRecord({self.dn!s}, {len(self.attributes)} lines)"
+
+
+def _unfold(lines: Iterable[str]) -> Iterator[str]:
+    """Join continuation lines (RFC 2849: a line starting with one space
+    continues the previous line)."""
+    current: Optional[str] = None
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if line.startswith(" "):
+            if current is None:
+                raise LdifError("continuation line with no preceding line")
+            current += line[1:]
+            continue
+        if current is not None:
+            yield current
+        current = line
+    if current is not None:
+        yield current
+
+
+def _parse_attribute_line(line: str) -> Tuple[str, str]:
+    if line.strip() == "-":
+        # clause separator inside a changetype:modify record (RFC 2849)
+        return ("-", "")
+    colon = line.find(":")
+    if colon <= 0:
+        raise LdifError(f"malformed LDIF line: {line!r}")
+    name = line[:colon].strip()
+    rest = line[colon + 1:]
+    if rest.startswith(":"):
+        encoded = rest[1:].strip()
+        try:
+            value = base64.b64decode(encoded, validate=True).decode("utf-8")
+        except Exception as exc:
+            raise LdifError(f"invalid base64 value in line {line!r}") from exc
+    else:
+        value = rest.strip()
+    return name, value
+
+
+def parse_ldif_records(text: str) -> List[LdifRecord]:
+    """Parse LDIF text into a list of :class:`LdifRecord`.
+
+    Raises
+    ------
+    LdifError
+        On malformed lines, records without a leading ``dn:`` line, or
+        invalid base64 payloads.
+    """
+    records: List[LdifRecord] = []
+    block: List[str] = []
+
+    def flush() -> None:
+        if not block:
+            return
+        lines = [l for l in block if l and not l.startswith("#")]
+        block.clear()
+        if not lines:
+            return
+        if lines and lines[0].lower().startswith("version:"):
+            lines = lines[1:]
+            if not lines:
+                return
+        first, *rest = lines
+        name, value = _parse_attribute_line(first)
+        if name.lower() != "dn":
+            raise LdifError(f"record does not start with a dn: line ({first!r})")
+        attributes = [_parse_attribute_line(line) for line in rest]
+        records.append(LdifRecord(parse_dn(value), attributes))
+
+    for line in _unfold(text.splitlines()):
+        if not line.strip():
+            flush()
+        else:
+            block.append(line)
+    flush()
+    return records
+
+
+def parse_ldif(
+    text: str,
+    attributes: Optional[AttributeRegistry] = None,
+) -> DirectoryInstance:
+    """Parse LDIF text directly into a :class:`DirectoryInstance`.
+
+    Records may appear in any order; they are topologically sorted by DN
+    depth before insertion.
+
+    Raises
+    ------
+    LdifError
+        If a record's parent DN does not occur in the document (and is not
+        empty), or two records share a DN.
+    """
+    records = parse_ldif_records(text)
+    instance = DirectoryInstance(attributes=attributes)
+    for record in sorted(records, key=lambda r: r.dn.depth()):
+        parent_dn = record.dn.parent()
+        if parent_dn.is_empty():
+            parent: Optional[str] = None
+        else:
+            if instance.find(parent_dn) is None:
+                raise LdifError(
+                    f"record {record.dn!s} has no parent record {parent_dn!s}"
+                )
+            parent = str(parent_dn)
+        classes = record.object_classes()
+        if not classes:
+            raise LdifError(f"record {record.dn!s} has no objectClass values")
+        values: Dict[str, List[Any]] = record.other_attributes()
+        try:
+            instance.add_entry(parent, record.dn.rdn, classes, values)
+        except Exception as exc:
+            raise LdifError(f"cannot add record {record.dn!s}: {exc}") from exc
+    return instance
+
+
+def load_ldif(path: str, attributes: Optional[AttributeRegistry] = None) -> DirectoryInstance:
+    """Read an LDIF file from ``path`` into a :class:`DirectoryInstance`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_ldif(handle.read(), attributes=attributes)

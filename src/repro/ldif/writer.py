@@ -1,0 +1,75 @@
+"""LDIF serialization (RFC 2849 content records).
+
+Entries are emitted in document order (parents before children) so the
+output round-trips through :func:`repro.ldif.reader.parse_ldif`.  Values
+that are not safe as plain LDIF strings (non-ASCII, leading space/colon,
+embedded newlines) are base64-encoded with the ``::`` separator; long lines
+are folded at 76 characters per the RFC.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Iterator, List
+
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+
+__all__ = ["serialize_entry", "serialize_ldif", "dump_ldif"]
+
+_MAX_LINE = 76
+
+
+def _is_safe_string(value: str) -> bool:
+    if not value:
+        return True
+    if value[0] in (" ", ":", "<"):
+        return False
+    if value != value.strip():
+        return False
+    return all(32 <= ord(ch) < 127 for ch in value)
+
+
+def _fold(line: str) -> Iterator[str]:
+    if len(line) <= _MAX_LINE:
+        yield line
+        return
+    yield line[:_MAX_LINE]
+    rest = line[_MAX_LINE:]
+    width = _MAX_LINE - 1
+    for i in range(0, len(rest), width):
+        yield " " + rest[i:i + width]
+
+
+def _attribute_line(name: str, value: object) -> str:
+    text = value if isinstance(value, str) else str(value)
+    if _is_safe_string(text):
+        return f"{name}: {text}"
+    encoded = base64.b64encode(text.encode("utf-8")).decode("ascii")
+    return f"{name}:: {encoded}"
+
+
+def serialize_entry(entry: Entry) -> str:
+    """Serialize one entry as an LDIF content record (without trailing
+    blank line)."""
+    lines: List[str] = []
+    lines.extend(_fold(_attribute_line("dn", str(entry.dn))))
+    for attribute, value in entry.pairs():
+        lines.extend(_fold(_attribute_line(attribute, value)))
+    return "\n".join(lines)
+
+
+def serialize_ldif(instance: DirectoryInstance, include_version: bool = True) -> str:
+    """Serialize a whole instance as an LDIF document."""
+    parts: List[str] = []
+    if include_version:
+        parts.append("version: 1")
+    for entry in instance:
+        parts.append(serialize_entry(entry))
+    return "\n\n".join(parts) + "\n"
+
+
+def dump_ldif(instance: DirectoryInstance, path: str) -> None:
+    """Write an instance to ``path`` as LDIF."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_ldif(instance))

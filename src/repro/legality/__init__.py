@@ -1,0 +1,18 @@
+"""Legality testing of directory instances (Section 3 of the paper)."""
+
+from repro.legality.checker import LegalityChecker
+from repro.legality.content import ContentChecker
+from repro.legality.extras import ExtrasChecker
+from repro.legality.report import Kind, LegalityReport, Violation
+from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+
+__all__ = [
+    "LegalityChecker",
+    "ContentChecker",
+    "ExtrasChecker",
+    "QueryStructureChecker",
+    "NaiveStructureChecker",
+    "LegalityReport",
+    "Violation",
+    "Kind",
+]

@@ -1,0 +1,68 @@
+"""The full legality test (Definition 2.7, Theorem 3.1).
+
+:class:`LegalityChecker` combines the per-entry content check
+(Section 3.1), the query-reduction structure check (Section 3.2), and —
+when the schema declares extras — the Section 6.1 checks, into one
+``O(|D| * (...))`` pass matching the Theorem 3.1 bound.
+
+The ``structure`` argument selects the structure-checking strategy:
+``"query"`` (the paper's linear reduction, default) or ``"naive"`` (the
+quadratic pairwise baseline) — both produce identical verdicts, which the
+test suite asserts by differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.model.instance import DirectoryInstance
+from repro.legality.content import ContentChecker
+from repro.legality.extras import ExtrasChecker
+from repro.legality.report import LegalityReport
+from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+from repro.schema.directory_schema import DirectorySchema
+
+__all__ = ["LegalityChecker"]
+
+
+class LegalityChecker:
+    """Tests whether directory instances are legal w.r.t. one schema.
+
+    The checker is schema-bound and reusable across instances: the
+    Figure 4 queries are compiled once at construction time.
+    """
+
+    def __init__(
+        self,
+        schema: DirectorySchema,
+        structure: Literal["query", "naive"] = "query",
+    ) -> None:
+        self.schema = schema
+        self.content = ContentChecker(schema)
+        if structure == "query":
+            self.structure: QueryStructureChecker | NaiveStructureChecker = (
+                QueryStructureChecker(schema.structure_schema)
+            )
+        elif structure == "naive":
+            self.structure = NaiveStructureChecker(schema.structure_schema)
+        else:
+            raise ValueError(f"unknown structure strategy {structure!r}")
+        self.extras = None if schema.extras is None else ExtrasChecker(schema.extras)
+
+    def check(self, instance: DirectoryInstance) -> LegalityReport:
+        """The full legality report for ``instance``."""
+        report = self.content.check(instance)
+        report.extend(self.structure.check(instance).violations)
+        if self.extras is not None:
+            report.extend(self.extras.check(instance).violations)
+        return report
+
+    def is_legal(self, instance: DirectoryInstance) -> bool:
+        """Yes/no legality verdict (short-circuits on first failure)."""
+        if not self.content.is_legal(instance):
+            return False
+        if not self.structure.is_legal(instance):
+            return False
+        if self.extras is not None and not self.extras.check(instance).is_legal:
+            return False
+        return True

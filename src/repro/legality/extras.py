@@ -1,0 +1,80 @@
+"""Legality checking for the Section 6.1 extras.
+
+Enforces the orthogonal schema features of
+:class:`repro.schema.extras.SchemaExtras`:
+
+* single-valued attributes hold at most one value per entry;
+* key attributes are unique across **all** entries of the instance (the
+  paper: "any notion of a key in an LDAP directory must be unique across
+  all entries in the directory instance, not just within a single object
+  class").
+
+Extensible classes need no checker of their own — they relax the
+allowed-attribute check inside :class:`repro.legality.content.ContentChecker`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.model.instance import DirectoryInstance
+from repro.legality.report import Kind, LegalityReport, Violation
+from repro.schema.extras import SchemaExtras
+
+__all__ = ["ExtrasChecker"]
+
+
+class ExtrasChecker:
+    """Checks single-valued and key restrictions over an instance."""
+
+    def __init__(self, extras: SchemaExtras) -> None:
+        self.extras = extras
+
+    def check(self, instance: DirectoryInstance) -> LegalityReport:
+        """All extras violations; one linear pass over the instance."""
+        report = LegalityReport()
+        single_valued = self.extras.effective_single_valued()
+        keys = self.extras.key_attributes
+        referential = self.extras.referential_attributes
+        seen_keys: Dict[Tuple[str, Any], str] = {}
+
+        for entry in instance:
+            dn = str(entry.dn)
+            for attribute in sorted(referential):
+                for value in entry.values(attribute):
+                    target = value if isinstance(value, str) else str(value)
+                    if instance.find(target) is None:
+                        report.add(
+                            Violation(
+                                Kind.DANGLING_REFERENCE,
+                                f"attribute {attribute!r} references "
+                                f"{target!r}, which names no entry",
+                                dn=dn,
+                            )
+                        )
+            for attribute in single_valued:
+                values = entry.values(attribute)
+                if len(values) > 1:
+                    report.add(
+                        Violation(
+                            Kind.SINGLE_VALUED,
+                            f"attribute {attribute!r} is single-valued but "
+                            f"holds {len(values)} values",
+                            dn=dn,
+                        )
+                    )
+            for attribute in keys:
+                for value in entry.values(attribute):
+                    previous = seen_keys.get((attribute, value))
+                    if previous is not None:
+                        report.add(
+                            Violation(
+                                Kind.DUPLICATE_KEY,
+                                f"key {attribute!r} value {value!r} already "
+                                f"used by entry {previous}",
+                                dn=dn,
+                            )
+                        )
+                    else:
+                        seen_keys[(attribute, value)] = dn
+        return report

@@ -1,0 +1,138 @@
+"""Legality reports: structured violation records.
+
+Checkers never just answer yes/no — they return a
+:class:`LegalityReport` listing every :class:`Violation` found, each tied
+to the schema condition it breaks (Definition 2.7) and, where applicable,
+the offending entry.  Reports compose: the full legality test
+concatenates the content, structure, and extras reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Violation", "LegalityReport", "Kind"]
+
+
+class Kind:
+    """Violation kind constants, grouped by the Definition 2.7 clause
+    they correspond to."""
+
+    # Attribute schema (Definition 2.7, first bullet group)
+    MISSING_REQUIRED_ATTRIBUTE = "missing-required-attribute"
+    DISALLOWED_ATTRIBUTE = "disallowed-attribute"
+    # Class schema (second bullet group)
+    UNKNOWN_CLASS = "unknown-class"
+    NO_CORE_CLASS = "no-core-class"
+    MISSING_SUPERCLASS = "missing-superclass"
+    INCOMPARABLE_CORE_CLASSES = "incomparable-core-classes"
+    DISALLOWED_AUXILIARY = "disallowed-auxiliary"
+    # Structure schema (third bullet group)
+    REQUIRED_RELATIONSHIP = "required-relationship"
+    FORBIDDEN_RELATIONSHIP = "forbidden-relationship"
+    MISSING_REQUIRED_CLASS = "missing-required-class"
+    # Section 6.1 extras
+    SINGLE_VALUED = "single-valued"
+    DUPLICATE_KEY = "duplicate-key"
+    DANGLING_REFERENCE = "dangling-reference"
+
+    CONTENT_KINDS = frozenset(
+        {
+            MISSING_REQUIRED_ATTRIBUTE,
+            DISALLOWED_ATTRIBUTE,
+            UNKNOWN_CLASS,
+            NO_CORE_CLASS,
+            MISSING_SUPERCLASS,
+            INCOMPARABLE_CORE_CLASSES,
+            DISALLOWED_AUXILIARY,
+        }
+    )
+    STRUCTURE_KINDS = frozenset(
+        {REQUIRED_RELATIONSHIP, FORBIDDEN_RELATIONSHIP, MISSING_REQUIRED_CLASS}
+    )
+    EXTRAS_KINDS = frozenset({SINGLE_VALUED, DUPLICATE_KEY, DANGLING_REFERENCE})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One breach of one schema condition.
+
+    Parameters
+    ----------
+    kind:
+        A :class:`Kind` constant.
+    message:
+        Human-readable explanation naming the schema element involved.
+    dn:
+        Distinguished name of the offending entry, when one exists
+        (violated required-class elements have none).
+    element:
+        ``str()`` of the schema element, when the violation stems from a
+        structure element.
+    """
+
+    kind: str
+    message: str
+    dn: Optional[str] = None
+    element: Optional[str] = None
+
+    def __str__(self) -> str:
+        location = f" at {self.dn}" if self.dn else ""
+        return f"[{self.kind}]{location}: {self.message}"
+
+
+@dataclass
+class LegalityReport:
+    """The outcome of a legality test: all violations found."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def is_legal(self) -> bool:
+        """Whether the instance satisfied every checked condition."""
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        """Append one violation."""
+        self.violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        """Append several violations."""
+        self.violations.extend(violations)
+
+    def merged_with(self, other: "LegalityReport") -> "LegalityReport":
+        """A new report holding both reports' violations."""
+        return LegalityReport(self.violations + other.violations)
+
+    def of_kind(self, *kinds: str) -> List[Violation]:
+        """The violations whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [v for v in self.violations if v.kind in wanted]
+
+    def content_violations(self) -> List[Violation]:
+        """Violations of the content schema (attribute + class)."""
+        return [v for v in self.violations if v.kind in Kind.CONTENT_KINDS]
+
+    def structure_violations(self) -> List[Violation]:
+        """Violations of the structure schema."""
+        return [v for v in self.violations if v.kind in Kind.STRUCTURE_KINDS]
+
+    def summary(self) -> Tuple[int, int, int]:
+        """``(content, structure, extras)`` violation counts."""
+        content = len(self.content_violations())
+        structure = len(self.structure_violations())
+        return content, structure, len(self.violations) - content - structure
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __str__(self) -> str:
+        if self.is_legal:
+            return "legal (no violations)"
+        lines = [f"ILLEGAL: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""The directory data model (Section 2 of the paper).
+
+This subpackage realizes Definitions 2.1-2.5's substrate: attribute types
+and the ``tau`` typing function, distinguished names, entries, and the
+forest-shaped :class:`DirectoryInstance`.
+"""
+
+from repro.model.attributes import OBJECT_CLASS, AttributeDefinition, AttributeRegistry
+from repro.model.dn import DN, RDN, parse_dn, parse_rdn
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+from repro.model.types import (
+    BOOLEAN,
+    DN_TYPE,
+    INTEGER,
+    STRING,
+    TELEPHONE,
+    URI,
+    AttributeType,
+    TypeRegistry,
+    builtin_types,
+)
+
+__all__ = [
+    "OBJECT_CLASS",
+    "AttributeDefinition",
+    "AttributeRegistry",
+    "AttributeType",
+    "TypeRegistry",
+    "builtin_types",
+    "STRING",
+    "INTEGER",
+    "BOOLEAN",
+    "DN_TYPE",
+    "TELEPHONE",
+    "URI",
+    "DN",
+    "RDN",
+    "parse_dn",
+    "parse_rdn",
+    "Entry",
+    "DirectoryInstance",
+]

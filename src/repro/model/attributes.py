@@ -1,0 +1,148 @@
+"""Attribute definitions and the ``tau`` typing function.
+
+The paper assumes an infinite set ``A`` of attributes in a *single
+namespace* (Section 2.4: "the definition of an attribute is independent of
+the object classes in which the attribute is present"), and a total function
+``tau : A -> T`` assigning each attribute a type.
+
+:class:`AttributeRegistry` realizes the finite, known portion of ``A``
+together with ``tau``.  Each attribute may additionally be declared
+*single-valued* — the numeric restriction discussed in Section 6.1 of the
+paper ("Numeric Restrictions") — which is enforced by the extras checker in
+:mod:`repro.legality.extras`.
+
+The special attribute ``objectClass`` (Definition 2.1, condition 3b) is
+always present in a registry and always has type ``string``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.errors import UnknownAttributeError
+from repro.model.types import AttributeType, STRING, TypeRegistry
+
+__all__ = ["OBJECT_CLASS", "AttributeDefinition", "AttributeRegistry"]
+
+#: The reserved attribute whose values are exactly the entry's object
+#: classes (Definition 2.1, condition 3b).
+OBJECT_CLASS = "objectClass"
+
+
+@dataclass(frozen=True)
+class AttributeDefinition:
+    """One attribute ``a`` in ``A`` together with ``tau(a)``.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a registry (single namespace).
+    type:
+        The attribute's type ``tau(a)``.
+    single_valued:
+        If true, legal entries may hold at most one value for this
+        attribute (Section 6.1, "Numeric Restrictions").
+    description:
+        Optional human-readable documentation.
+    """
+
+    name: str
+    type: AttributeType
+    single_valued: bool = False
+    description: str = ""
+
+
+class AttributeRegistry:
+    """The known attributes ``A`` and the typing function ``tau``.
+
+    The registry is case-sensitive, matching the abstract model of the
+    paper.  ``objectClass`` is pre-registered with type ``string``.
+    """
+
+    def __init__(self, types: Optional[TypeRegistry] = None) -> None:
+        self.types = types if types is not None else TypeRegistry()
+        self._attributes: Dict[str, AttributeDefinition] = {}
+        self.declare(OBJECT_CLASS, STRING, description="entry object classes")
+
+    def declare(
+        self,
+        name: str,
+        attribute_type: AttributeType | str = STRING,
+        single_valued: bool = False,
+        description: str = "",
+    ) -> AttributeDefinition:
+        """Register attribute ``name`` with type ``tau(name)`` and return it.
+
+        ``attribute_type`` may be an :class:`AttributeType` or the name of a
+        type registered in :attr:`types`.  Redeclaring an attribute with an
+        identical definition is a no-op; redeclaring with a different type
+        raises :class:`ValueError`.
+        """
+        if isinstance(attribute_type, str):
+            resolved = self.types.get(attribute_type)
+            if resolved is None:
+                raise KeyError(f"unknown type {attribute_type!r}")
+            attribute_type = resolved
+        definition = AttributeDefinition(name, attribute_type, single_valued, description)
+        existing = self._attributes.get(name)
+        if existing is not None:
+            if existing.type.name != definition.type.name or (
+                existing.single_valued != definition.single_valued
+            ):
+                raise ValueError(
+                    f"attribute {name!r} already declared with type "
+                    f"{existing.type.name!r} (single_valued={existing.single_valued})"
+                )
+            return existing
+        self._attributes[name] = definition
+        return definition
+
+    def declare_all(self, names: Iterable[str], attribute_type: AttributeType | str = STRING) -> None:
+        """Register several attributes sharing one type."""
+        for name in names:
+            self.declare(name, attribute_type)
+
+    def tau(self, name: str) -> AttributeType:
+        """Return ``tau(name)``, the type of the attribute.
+
+        Raises
+        ------
+        UnknownAttributeError
+            If the attribute is not registered (``tau`` is only realized on
+            known attributes).
+        """
+        try:
+            return self._attributes[name].type
+        except KeyError:
+            raise UnknownAttributeError(f"attribute {name!r} has no registered type") from None
+
+    def get(self, name: str) -> Optional[AttributeDefinition]:
+        """Return the definition of ``name`` or ``None``."""
+        return self._attributes.get(name)
+
+    def coerce(self, name: str, value: Any) -> Any:
+        """Normalize and type-check ``value`` for attribute ``name``.
+
+        This realizes condition 3(a) of Definition 2.1: a pair ``(a, v)``
+        may be stored only when ``v in dom(tau(a))``.
+        """
+        return self.tau(name).coerce(value)
+
+    def is_single_valued(self, name: str) -> bool:
+        """Whether ``name`` was declared single-valued (Section 6.1)."""
+        definition = self._attributes.get(name)
+        return bool(definition and definition.single_valued)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __iter__(self) -> Iterator[AttributeDefinition]:
+        return iter(self._attributes.values())
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def names(self) -> Iterator[str]:
+        """Iterate over registered attribute names."""
+        return iter(self._attributes.keys())

@@ -1,0 +1,171 @@
+"""Distinguished names.
+
+Every entry in an LDAP directory is identified by a *distinguished name*
+(DN): the sequence of *relative distinguished names* (RDNs) from the entry up
+to its root, written leaf-first and comma-separated, e.g.
+``uid=laks,ou=databases,ou=attLabs,o=att``.
+
+The paper abstracts DNs away ("for the purposes of this paper, distinguished
+names are not important, and the abstraction of a forest simplifies the
+presentation", Definition 2.3 footnote), but a usable library needs them: the
+forest structure of :class:`~repro.model.instance.DirectoryInstance` is
+induced by DNs exactly as in a real LDAP server, and LDIF interchange
+(:mod:`repro.ldif`) addresses entries by DN.
+
+This module implements RFC 4514-style escaping for the characters that are
+meaningful inside RDNs (``, + " \\ < > ; =`` and leading/trailing spaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import ModelError
+
+__all__ = ["RDN", "DN", "parse_dn", "parse_rdn"]
+
+_ESCAPED_CHARS = ',+"\\<>;='
+
+
+def _escape_value(value: str) -> str:
+    out = []
+    for i, ch in enumerate(value):
+        if ch in _ESCAPED_CHARS:
+            out.append("\\" + ch)
+        elif ch == " " and (i == 0 or i == len(value) - 1):
+            out.append("\\ ")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+@dataclass(frozen=True, order=True)
+class RDN:
+    """A relative distinguished name: one ``attribute=value`` component."""
+
+    attribute: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.attribute}={_escape_value(self.value)}"
+
+
+@dataclass(frozen=True)
+class DN:
+    """A distinguished name: a leaf-first sequence of RDNs.
+
+    The empty DN (zero RDNs) denotes the conceptual root above all entries
+    and never names an actual entry.
+    """
+
+    rdns: Tuple[RDN, ...] = ()
+
+    @property
+    def rdn(self) -> RDN:
+        """The leaf-most RDN (the entry's own name)."""
+        if not self.rdns:
+            raise ModelError("the empty DN has no RDN")
+        return self.rdns[0]
+
+    def parent(self) -> "DN":
+        """The DN of the parent entry (empty DN for roots)."""
+        if not self.rdns:
+            raise ModelError("the empty DN has no parent")
+        return DN(self.rdns[1:])
+
+    def child(self, rdn: RDN | str) -> "DN":
+        """Return the DN obtained by prepending ``rdn`` below this DN."""
+        if isinstance(rdn, str):
+            rdn = parse_rdn(rdn)
+        return DN((rdn,) + self.rdns)
+
+    def is_root(self) -> bool:
+        """Whether this DN names a root entry (exactly one RDN)."""
+        return len(self.rdns) == 1
+
+    def is_empty(self) -> bool:
+        """Whether this is the empty DN."""
+        return not self.rdns
+
+    def depth(self) -> int:
+        """Number of RDNs; roots have depth 1."""
+        return len(self.rdns)
+
+    def is_ancestor_of(self, other: "DN") -> bool:
+        """Proper-ancestor test via suffix comparison."""
+        if not self.rdns:
+            return bool(other.rdns)
+        if len(self.rdns) >= len(other.rdns):
+            return False
+        return other.rdns[-len(self.rdns):] == self.rdns
+
+    def __str__(self) -> str:
+        return ",".join(str(r) for r in self.rdns)
+
+    def __iter__(self) -> Iterator[RDN]:
+        return iter(self.rdns)
+
+    def __len__(self) -> int:
+        return len(self.rdns)
+
+
+def parse_rdn(text: str) -> RDN:
+    """Parse one ``attribute=value`` component, honouring escapes.
+
+    Raises
+    ------
+    ModelError
+        If the component has no unescaped ``=`` separator or an empty
+        attribute name.
+    """
+    attribute, value, seen_eq = [], [], False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            (value if seen_eq else attribute).append(text[i + 1])
+            i += 2
+            continue
+        if ch == "=" and not seen_eq:
+            seen_eq = True
+            i += 1
+            continue
+        (value if seen_eq else attribute).append(ch)
+        i += 1
+    if not seen_eq:
+        raise ModelError(f"RDN {text!r} has no '=' separator")
+    name = "".join(attribute).strip()
+    if not name:
+        raise ModelError(f"RDN {text!r} has an empty attribute name")
+    return RDN(name, "".join(value).strip())
+
+
+def _split_unescaped(text: str, sep: str) -> Sequence[str]:
+    parts, current, i = [], [], 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            current.append(ch)
+            current.append(text[i + 1])
+            i += 2
+            continue
+        if ch == sep:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def parse_dn(text: str) -> DN:
+    """Parse a comma-separated DN string into a :class:`DN`.
+
+    An empty or all-whitespace string parses to the empty DN.
+    """
+    text = text.strip()
+    if not text:
+        return DN(())
+    return DN(tuple(parse_rdn(part) for part in _split_unescaped(text, ",")))

@@ -1,0 +1,428 @@
+"""Directory instances: the forest ``D = (R, class, val, N)``.
+
+:class:`DirectoryInstance` is the library's central data structure — the
+single uniform structure the directory model uses, just as the relational
+model uses relations (Section 2.1).  It owns a set of
+:class:`~repro.model.entry.Entry` nodes arranged in a forest and maintains:
+
+* a DN index (entries addressable by distinguished name),
+* a per-class index ``c -> {entries with c in class(r)}``, updated
+  incrementally as classes change, and
+* a lazy *preorder/postorder interval numbering*, rebuilt after structural
+  mutations, which makes ancestor/descendant tests O(1) and lets the
+  hierarchical query evaluator (:mod:`repro.query.evaluator`) meet the
+  ``O(|Q| * |D|)`` bound of Jagadish et al. [9] that Theorem 3.1 relies on.
+
+Mutations follow LDAP rules (Section 4.1): new entries are roots or children
+of existing entries; only leaves can be deleted one at a time.  Subtree
+grafting/pruning (the update granularity of Theorem 4.1) is provided on top
+of these primitives by :meth:`insert_subtree` and :meth:`delete_subtree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    DuplicateEntryError,
+    ForestInvariantError,
+    UnknownEntryError,
+)
+from repro.model.attributes import AttributeRegistry
+from repro.model.dn import DN, RDN, parse_dn, parse_rdn
+from repro.model.entry import Entry
+
+__all__ = ["DirectoryInstance"]
+
+
+class DirectoryInstance:
+    """A directory instance ``D = (R, class, val, N)`` (Definition 2.1).
+
+    Parameters
+    ----------
+    attributes:
+        Optional attribute registry realizing ``tau``.  When provided,
+        attribute values are normalized and type-checked on insertion
+        (condition 3a); when ``None`` the instance is untyped and stores
+        values verbatim.
+    """
+
+    def __init__(self, attributes: Optional[AttributeRegistry] = None) -> None:
+        self.attributes = attributes
+        self._entries: Dict[int, Entry] = {}
+        self._parent: Dict[int, Optional[int]] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._roots: List[int] = []
+        self._by_dn: Dict[str, int] = {}
+        self._class_index: Dict[str, Set[int]] = {}
+        self._next_eid = 0
+        # Lazy interval numbering; None means stale.
+        self._pre: Optional[Dict[int, int]] = None
+        self._post: Optional[Dict[int, int]] = None
+        self._depth: Optional[Dict[int, int]] = None
+        self._order: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_entry(
+        self,
+        parent: Optional[Entry | int | DN | str],
+        rdn: RDN | str,
+        classes: Iterable[str],
+        attributes: Optional[Dict[str, Iterable[Any]]] = None,
+    ) -> Entry:
+        """Create an entry under ``parent`` (``None`` for a new root).
+
+        This is the LDAP insertion primitive: the parent must already exist
+        (Section 4.1).  Returns the created :class:`Entry`.
+
+        Raises
+        ------
+        DuplicateEntryError
+            If an entry with the resulting DN already exists.
+        UnknownEntryError
+            If ``parent`` does not resolve to an entry.
+        """
+        if isinstance(rdn, str):
+            rdn = parse_rdn(rdn)
+        parent_eid = None if parent is None else self._resolve(parent)
+        parent_dn = DN(()) if parent_eid is None else self.dn_of(parent_eid)
+        dn = parent_dn.child(rdn)
+        key = str(dn)
+        if key in self._by_dn:
+            raise DuplicateEntryError(f"an entry with DN {key!r} already exists")
+
+        eid = self._next_eid
+        self._next_eid += 1
+        entry = Entry(rdn, classes, owner=self, eid=eid)
+        self._entries[eid] = entry
+        self._parent[eid] = parent_eid
+        self._children[eid] = []
+        if parent_eid is None:
+            self._roots.append(eid)
+        else:
+            self._children[parent_eid].append(eid)
+        self._by_dn[key] = eid
+        for object_class in entry.classes:
+            self._class_index.setdefault(object_class, set()).add(eid)
+        if attributes:
+            for name, values in attributes.items():
+                for value in values:
+                    entry.add_value(name, value)
+        self._invalidate_order()
+        return entry
+
+    def delete_entry(self, entry: Entry | int | DN | str) -> None:
+        """Delete a leaf entry (LDAP deletion primitive, Section 4.1).
+
+        Raises
+        ------
+        ForestInvariantError
+            If the entry has children.
+        """
+        eid = self._resolve(entry)
+        if self._children[eid]:
+            raise ForestInvariantError(
+                "only leaf entries can be deleted; delete descendants first"
+            )
+        node = self._entries[eid]
+        parent_eid = self._parent[eid]
+        if parent_eid is None:
+            self._roots.remove(eid)
+        else:
+            self._children[parent_eid].remove(eid)
+        del self._by_dn[str(self.dn_of(eid))]
+        for object_class in node.classes:
+            bucket = self._class_index.get(object_class)
+            if bucket is not None:
+                bucket.discard(eid)
+                if not bucket:
+                    del self._class_index[object_class]
+        del self._entries[eid]
+        del self._parent[eid]
+        del self._children[eid]
+        node._owner = None
+        self._invalidate_order()
+
+    # ------------------------------------------------------------------
+    # subtree operations (update granularity of Theorem 4.1)
+    # ------------------------------------------------------------------
+    def insert_subtree(
+        self,
+        parent: Optional[Entry | int | DN | str],
+        subtree: "DirectoryInstance",
+    ) -> List[Entry]:
+        """Graft a copy of ``subtree`` (a directory instance) under
+        ``parent``.
+
+        Roots of ``subtree`` become children of ``parent`` (or new roots
+        when ``parent`` is ``None``).  Returns the created entries in
+        document order.  ``subtree`` itself is not modified.
+        """
+        created: List[Entry] = []
+
+        def graft(src_eid: int, dest_parent: Optional[Entry]) -> None:
+            src = subtree.entry(src_eid)
+            attributes = {
+                name: list(src.values(name))
+                for name in src.attribute_names()
+                if name != "objectClass"
+            }
+            node = self.add_entry(dest_parent, src.rdn, src.classes, attributes)
+            created.append(node)
+            for child_eid in subtree.children_ids(src_eid):
+                graft(child_eid, node)
+
+        parent_entry = None if parent is None else self.entry(self._resolve(parent))
+        for root_eid in subtree.root_ids():
+            graft(root_eid, parent_entry)
+        return created
+
+    def delete_subtree(self, entry: Entry | int | DN | str) -> "DirectoryInstance":
+        """Prune the subtree rooted at ``entry``.
+
+        Returns the removed subtree as a standalone instance (so callers
+        can inspect, re-insert, or legality-check what was deleted).
+        """
+        eid = self._resolve(entry)
+        removed = self.extract_subtree(eid)
+        for node_eid in reversed(list(self._iter_subtree_ids(eid))):
+            self.delete_entry(node_eid)
+        return removed
+
+    def extract_subtree(self, entry: Entry | int | DN | str) -> "DirectoryInstance":
+        """Copy the subtree rooted at ``entry`` into a fresh instance
+        without modifying this one."""
+        eid = self._resolve(entry)
+        subtree = DirectoryInstance(attributes=self.attributes)
+
+        def copy(node_eid: int, dest_parent: Optional[Entry]) -> None:
+            src = self._entries[node_eid]
+            attributes = {
+                name: list(src.values(name))
+                for name in src.attribute_names()
+                if name != "objectClass"
+            }
+            node = subtree.add_entry(dest_parent, src.rdn, src.classes, attributes)
+            for child_eid in self._children[node_eid]:
+                copy(child_eid, node)
+
+        copy(eid, None)
+        return subtree
+
+    def copy(self) -> "DirectoryInstance":
+        """Deep-copy the whole instance (entry ids are not preserved)."""
+        clone = DirectoryInstance(attributes=self.attributes)
+        for root_eid in self._roots:
+            clone.insert_subtree(None, self.extract_subtree(root_eid))
+        return clone
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def entry(self, entry: Entry | int | DN | str) -> Entry:
+        """Resolve an entry by object, id, DN, or DN string."""
+        return self._entries[self._resolve(entry)]
+
+    def find(self, dn: DN | str) -> Optional[Entry]:
+        """Return the entry with distinguished name ``dn`` or ``None``."""
+        key = str(parse_dn(dn) if isinstance(dn, str) else dn)
+        eid = self._by_dn.get(key)
+        return None if eid is None else self._entries[eid]
+
+    def dn_of(self, entry: Entry | int) -> DN:
+        """The distinguished name of ``entry``."""
+        eid = entry.eid if isinstance(entry, Entry) else entry
+        rdns: List[RDN] = []
+        cursor: Optional[int] = eid
+        while cursor is not None:
+            node = self._entries.get(cursor)
+            if node is None:
+                raise UnknownEntryError(f"unknown entry id {cursor}")
+            rdns.append(node.rdn)
+            cursor = self._parent[cursor]
+        return DN(tuple(rdns))
+
+    def entries_with_class(self, object_class: str) -> Set[int]:
+        """Ids of entries ``r`` with ``object_class in class(r)`` — the
+        per-class index used by query evaluation."""
+        return set(self._class_index.get(object_class, ()))
+
+    def class_count(self, object_class: str) -> int:
+        """``|{r : object_class in class(r)}|`` — supports the counted
+        variant of incremental ``c-box`` testing (end of Section 4)."""
+        return len(self._class_index.get(object_class, ()))
+
+    # ------------------------------------------------------------------
+    # structure navigation
+    # ------------------------------------------------------------------
+    def parent_of(self, entry: Entry | int) -> Optional[Entry]:
+        """The parent entry, or ``None`` for roots."""
+        eid = self._resolve(entry)
+        parent_eid = self._parent[eid]
+        return None if parent_eid is None else self._entries[parent_eid]
+
+    def children_of(self, entry: Entry | int) -> List[Entry]:
+        """The child entries, in insertion order."""
+        return [self._entries[c] for c in self._children[self._resolve(entry)]]
+
+    def children_ids(self, entry: Entry | int) -> Tuple[int, ...]:
+        """Ids of the children of ``entry``."""
+        return tuple(self._children[self._resolve(entry)])
+
+    def parent_id(self, entry: Entry | int) -> Optional[int]:
+        """Id of the parent of ``entry`` (``None`` for roots)."""
+        return self._parent[self._resolve(entry)]
+
+    def root_ids(self) -> Tuple[int, ...]:
+        """Ids of the root entries."""
+        return tuple(self._roots)
+
+    def roots(self) -> List[Entry]:
+        """The root entries."""
+        return [self._entries[r] for r in self._roots]
+
+    def ancestors_of(self, entry: Entry | int) -> Iterator[Entry]:
+        """Proper ancestors, nearest first."""
+        cursor = self._parent[self._resolve(entry)]
+        while cursor is not None:
+            yield self._entries[cursor]
+            cursor = self._parent[cursor]
+
+    def descendants_of(self, entry: Entry | int) -> Iterator[Entry]:
+        """Proper descendants, in document order."""
+        eid = self._resolve(entry)
+        for node_eid in self._iter_subtree_ids(eid):
+            if node_eid != eid:
+                yield self._entries[node_eid]
+
+    def is_ancestor(self, ancestor: Entry | int, descendant: Entry | int) -> bool:
+        """O(1) proper ancestor test via interval numbering."""
+        self._ensure_order()
+        assert self._pre is not None and self._post is not None
+        a = self._resolve(ancestor)
+        d = self._resolve(descendant)
+        return self._pre[a] < self._pre[d] and self._post[d] < self._post[a]
+
+    def depth_of(self, entry: Entry | int) -> int:
+        """Depth of ``entry`` (roots have depth 1)."""
+        self._ensure_order()
+        assert self._depth is not None
+        return self._depth[self._resolve(entry)]
+
+    def max_depth(self) -> int:
+        """The depth of the deepest entry (0 for an empty instance)."""
+        self._ensure_order()
+        assert self._depth is not None
+        return max(self._depth.values(), default=0)
+
+    def interval_of(self, entry: Entry | int) -> Tuple[int, int]:
+        """The ``(pre, post)`` interval of ``entry``."""
+        self._ensure_order()
+        assert self._pre is not None and self._post is not None
+        eid = self._resolve(entry)
+        return (self._pre[eid], self._post[eid])
+
+    # ------------------------------------------------------------------
+    # iteration and size
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Entry]:
+        """Iterate entries in document (preorder) order — the sorted order
+        assumed by the structural-join evaluation of [9]."""
+        self._ensure_order()
+        assert self._order is not None
+        return (self._entries[eid] for eid in self._order)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry: Entry | int | DN | str) -> bool:
+        try:
+            self._resolve(entry)
+        except UnknownEntryError:
+            return False
+        return True
+
+    def entry_ids(self) -> Tuple[int, ...]:
+        """All entry ids in document order."""
+        self._ensure_order()
+        assert self._order is not None
+        return tuple(self._order)
+
+    def all_entry_id_set(self) -> Set[int]:
+        """All entry ids as a set (evaluation scope ``D``)."""
+        return set(self._entries.keys())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve(self, entry: Entry | int | DN | str) -> int:
+        if isinstance(entry, Entry):
+            eid = entry.eid
+        elif isinstance(entry, int):
+            eid = entry
+        else:
+            dn = parse_dn(entry) if isinstance(entry, str) else entry
+            found = self._by_dn.get(str(dn))
+            if found is None:
+                raise UnknownEntryError(f"no entry with DN {str(dn)!r}")
+            eid = found
+        if eid not in self._entries:
+            raise UnknownEntryError(f"unknown entry id {eid}")
+        return eid
+
+    def _iter_subtree_ids(self, eid: int) -> Iterator[int]:
+        stack = [eid]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children[node]))
+
+    def _on_class_added(self, eid: int, object_class: str) -> None:
+        self._class_index.setdefault(object_class, set()).add(eid)
+
+    def _on_class_removed(self, eid: int, object_class: str) -> None:
+        bucket = self._class_index.get(object_class)
+        if bucket is not None:
+            bucket.discard(eid)
+            if not bucket:
+                del self._class_index[object_class]
+
+    def _invalidate_order(self) -> None:
+        self._pre = None
+        self._post = None
+        self._depth = None
+        self._order = None
+
+    def _ensure_order(self) -> None:
+        if self._order is not None:
+            return
+        pre: Dict[int, int] = {}
+        post: Dict[int, int] = {}
+        depth: Dict[int, int] = {}
+        order: List[int] = []
+        clock = 0
+        for root in self._roots:
+            # Iterative DFS assigning pre on entry and post on exit.
+            stack: List[Tuple[int, int, bool]] = [(root, 1, False)]
+            while stack:
+                node, d, exiting = stack.pop()
+                if exiting:
+                    post[node] = clock
+                    clock += 1
+                    continue
+                pre[node] = clock
+                clock += 1
+                depth[node] = d
+                order.append(node)
+                stack.append((node, d, True))
+                for child in reversed(self._children[node]):
+                    stack.append((child, d + 1, False))
+        self._pre = pre
+        self._post = post
+        self._depth = depth
+        self._order = order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectoryInstance(|D|={len(self._entries)}, roots={len(self._roots)})"

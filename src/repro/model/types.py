@@ -1,0 +1,183 @@
+"""Attribute types and their domains.
+
+The paper assumes a set ``T`` of types, each with a domain ``dom(t)``, and a
+function ``tau : A -> T`` mapping every attribute to its type
+(Section 2, preliminaries).  This module provides the type side:
+:class:`AttributeType` pairs a name with a domain-membership predicate and a
+value normalizer, and :class:`TypeRegistry` holds the set ``T``.
+
+The built-in types mirror the syntaxes commonly used by LDAP servers
+(RFC 2252 attribute syntaxes): directory strings, integers, booleans,
+distinguished names, telephone numbers, and URIs.  User-defined types can be
+registered freely.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.errors import TypeViolationError
+
+__all__ = [
+    "AttributeType",
+    "TypeRegistry",
+    "builtin_types",
+    "STRING",
+    "INTEGER",
+    "BOOLEAN",
+    "DN_TYPE",
+    "TELEPHONE",
+    "URI",
+]
+
+
+@dataclass(frozen=True)
+class AttributeType:
+    """A named type ``t`` in ``T`` with a domain ``dom(t)``.
+
+    Parameters
+    ----------
+    name:
+        The type's identifier, e.g. ``"string"``.
+    contains:
+        Predicate deciding membership in ``dom(t)``.
+    normalize:
+        Canonicalizes a raw value before storage (e.g. parses ``"42"`` into
+        ``42`` for the integer type).  Normalization happens before the
+        domain check; it must be idempotent.
+    """
+
+    name: str
+    contains: Callable[[Any], bool] = field(repr=False)
+    normalize: Callable[[Any], Any] = field(default=lambda v: v, repr=False)
+
+    def coerce(self, value: Any) -> Any:
+        """Normalize ``value`` and verify it belongs to ``dom(t)``.
+
+        Raises
+        ------
+        TypeViolationError
+            If the normalized value is outside the type's domain.
+        """
+        try:
+            normalized = self.normalize(value)
+        except (TypeError, ValueError) as exc:
+            raise TypeViolationError(
+                f"value {value!r} cannot be normalized to type {self.name!r}: {exc}"
+            ) from exc
+        if not self.contains(normalized):
+            raise TypeViolationError(
+                f"value {normalized!r} is not in dom({self.name})"
+            )
+        return normalized
+
+
+def _is_string(value: Any) -> bool:
+    return isinstance(value, str)
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _normalize_int(value: Any) -> Any:
+    if isinstance(value, str):
+        return int(value.strip())
+    return value
+
+
+def _is_bool(value: Any) -> bool:
+    return isinstance(value, bool)
+
+
+def _normalize_bool(value: Any) -> Any:
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+    return value
+
+_TELEPHONE_RE = re.compile(r"^\+?[0-9() .\-]{3,32}$")
+
+
+def _is_telephone(value: Any) -> bool:
+    return isinstance(value, str) and bool(_TELEPHONE_RE.match(value))
+
+_URI_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.\-]*:\S+$")
+
+
+def _is_uri(value: Any) -> bool:
+    return isinstance(value, str) and bool(_URI_RE.match(value))
+
+_DN_RE = re.compile(r"^[^,=]+=[^,]*(,[^,=]+=[^,]*)*$")
+
+
+def _is_dn(value: Any) -> bool:
+    return isinstance(value, str) and bool(_DN_RE.match(value))
+
+
+STRING = AttributeType("string", _is_string, lambda v: v if isinstance(v, str) else str(v))
+INTEGER = AttributeType("integer", _is_int, _normalize_int)
+BOOLEAN = AttributeType("boolean", _is_bool, _normalize_bool)
+DN_TYPE = AttributeType("dn", _is_dn)
+TELEPHONE = AttributeType("telephone", _is_telephone)
+URI = AttributeType("uri", _is_uri)
+
+_BUILTINS = (STRING, INTEGER, BOOLEAN, DN_TYPE, TELEPHONE, URI)
+
+
+class TypeRegistry:
+    """The finite, extensible set ``T`` of types known to a deployment.
+
+    A fresh registry starts with the built-in types; additional types can be
+    registered with :meth:`register`.  Lookups are by name.
+    """
+
+    def __init__(self, include_builtins: bool = True) -> None:
+        self._types: Dict[str, AttributeType] = {}
+        if include_builtins:
+            for t in _BUILTINS:
+                self._types[t.name] = t
+
+    def register(self, attribute_type: AttributeType, replace: bool = False) -> AttributeType:
+        """Add a type to the registry and return it.
+
+        Raises
+        ------
+        ValueError
+            If a different type with the same name exists and ``replace``
+            is false.
+        """
+        existing = self._types.get(attribute_type.name)
+        if existing is not None and existing is not attribute_type and not replace:
+            raise ValueError(f"type {attribute_type.name!r} is already registered")
+        self._types[attribute_type.name] = attribute_type
+        return attribute_type
+
+    def get(self, name: str) -> Optional[AttributeType]:
+        """Return the type named ``name`` or ``None``."""
+        return self._types.get(name)
+
+    def __getitem__(self, name: str) -> AttributeType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KeyError(f"unknown type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[AttributeType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+def builtin_types() -> TypeRegistry:
+    """Return a fresh registry containing only the built-in types."""
+    return TypeRegistry(include_builtins=True)

@@ -1,0 +1,69 @@
+"""Hierarchical selection queries (the directory query language of [9])."""
+
+from repro.query.ast import (
+    SCOPE_DELTA,
+    SCOPE_EMPTY,
+    SCOPE_NEW,
+    SCOPE_OLD,
+    HSelect,
+    Minus,
+    Query,
+    Select,
+)
+from repro.query.evaluator import QueryEvaluator, evaluate
+from repro.query.filter_parser import parse_filter
+from repro.query.filters import (
+    TRUE_FILTER,
+    And,
+    Approx,
+    Equals,
+    Filter,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+from repro.query.optimizer import (
+    EMPTY_SELECT,
+    OptimizationResult,
+    SchemaAwareOptimizer,
+)
+from repro.query.query_parser import parse_query
+from repro.query.search import SearchScope, search
+from repro.query.translate import TranslatedCheck, class_selection, translate_element
+
+__all__ = [
+    "Query",
+    "Select",
+    "HSelect",
+    "Minus",
+    "SCOPE_EMPTY",
+    "SCOPE_OLD",
+    "SCOPE_NEW",
+    "SCOPE_DELTA",
+    "QueryEvaluator",
+    "evaluate",
+    "parse_filter",
+    "Filter",
+    "Equals",
+    "Present",
+    "Substring",
+    "GreaterOrEqual",
+    "LessOrEqual",
+    "Approx",
+    "And",
+    "Or",
+    "Not",
+    "TRUE_FILTER",
+    "TranslatedCheck",
+    "class_selection",
+    "translate_element",
+    "SearchScope",
+    "search",
+    "parse_query",
+    "SchemaAwareOptimizer",
+    "OptimizationResult",
+    "EMPTY_SELECT",
+]

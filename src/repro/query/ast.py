@@ -1,0 +1,127 @@
+"""Hierarchical selection queries — the query algebra of [9].
+
+Section 3.2 of the paper reduces structure-schema legality to queries in
+the directory query language of Jagadish et al. (SIGMOD 1999).  The
+fragment the reduction needs consists of:
+
+* **atomic selections** ``(filter)`` — all entries matching a filter;
+* **hierarchical selections** ``(x F1 F2)`` for an axis ``x`` in
+  ``{c, p, d, a}`` — the entries selected by ``F1`` that have at least one
+  child / parent / descendant / ancestor selected by ``F2``; and
+* the **complement form** ``(σ⁻ F1 F2)``, written ``(? F1 F2)`` in the
+  paper — the entries selected by ``F1`` minus those selected by ``F2``.
+
+For incremental legality testing (Figure 5), sub-expressions are annotated
+with *evaluation scopes*: the same query shape is evaluated with one
+sub-expression restricted to ``∅``, ``Δ``, ``D``, or ``D ± Δ``.  Scopes are
+represented as symbolic labels on AST nodes; the evaluator receives a
+mapping from labels to entry-id sets.  Unlabelled nodes evaluate over the
+whole instance.
+
+``str()`` renders the paper's surface syntax, e.g.::
+
+    (?  (objectClass=orgGroup) (d (objectClass=orgGroup) (objectClass=person)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.axes import Axis
+from repro.query.filters import Filter
+
+__all__ = ["Query", "Select", "HSelect", "Minus", "SCOPE_EMPTY", "SCOPE_OLD", "SCOPE_NEW", "SCOPE_DELTA"]
+
+#: Scope label: evaluate on the empty instance (``∅`` rows of Figure 5).
+SCOPE_EMPTY = "empty"
+#: Scope label: evaluate on the pre-update instance ``D``.
+SCOPE_OLD = "old"
+#: Scope label: evaluate on the post-update instance (``D + Δ`` / ``D - Δ``).
+SCOPE_NEW = "new"
+#: Scope label: evaluate on the inserted/deleted subtree ``Δ``.
+SCOPE_DELTA = "delta"
+
+
+class Query:
+    """Base class of the query algebra.  Nodes are immutable."""
+
+    scope: Optional[str]
+
+    def scoped(self, scope: Optional[str]) -> "Query":
+        """Return a copy of this node with the given scope label."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """``|Q|`` — the number of AST nodes, used in the ``O(|Q| |D|)``
+        complexity accounting of Theorem 3.1."""
+        raise NotImplementedError
+
+
+def _scope_suffix(scope: Optional[str]) -> str:
+    if scope is None:
+        return ""
+    symbol = {
+        SCOPE_EMPTY: "∅",
+        SCOPE_OLD: "D",
+        SCOPE_NEW: "D±Δ",
+        SCOPE_DELTA: "Δ",
+    }.get(scope, scope)
+    return f"[{symbol}]"
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Atomic selection: all entries matching ``filter`` (within scope)."""
+
+    filter: Filter
+    scope: Optional[str] = None
+
+    def scoped(self, scope: Optional[str]) -> "Select":
+        return Select(self.filter, scope)
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"{self.filter}{_scope_suffix(self.scope)}"
+
+
+@dataclass(frozen=True)
+class HSelect(Query):
+    """Hierarchical selection ``(x outer inner)``: the entries selected by
+    ``outer`` that have at least one ``axis``-related entry selected by
+    ``inner``."""
+
+    axis: Axis
+    outer: Query
+    inner: Query
+    scope: Optional[str] = None
+
+    def scoped(self, scope: Optional[str]) -> "HSelect":
+        return HSelect(self.axis, self.outer, self.inner, scope)
+
+    def size(self) -> int:
+        return 1 + self.outer.size() + self.inner.size()
+
+    def __str__(self) -> str:
+        return f"({self.axis.value} {self.outer} {self.inner}){_scope_suffix(self.scope)}"
+
+
+@dataclass(frozen=True)
+class Minus(Query):
+    """Complement form ``(σ⁻ outer inner)``: entries selected by ``outer``
+    and not by ``inner``.  Written ``(? ...)`` in the paper."""
+
+    outer: Query
+    inner: Query
+    scope: Optional[str] = None
+
+    def scoped(self, scope: Optional[str]) -> "Minus":
+        return Minus(self.outer, self.inner, scope)
+
+    def size(self) -> int:
+        return 1 + self.outer.size() + self.inner.size()
+
+    def __str__(self) -> str:
+        return f"(σ⁻ {self.outer} {self.inner}){_scope_suffix(self.scope)}"

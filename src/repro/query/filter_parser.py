@@ -1,0 +1,154 @@
+"""Recursive-descent parser for RFC 2254 LDAP search filters.
+
+Supports the full grammar used by LDAP clients: ``&``, ``|``, ``!``
+combinators, equality, presence (``=*``), substrings
+(``=initial*any*final``), ordering (``>=``, ``<=``), and approximate
+matching (``~=``), with ``\\XX`` hex escapes in values.
+
+The parser is the inverse of ``str()`` on the filter AST:
+``parse_filter(str(f))`` is structurally equal to ``f`` for every filter
+``f`` this library produces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import FilterSyntaxError
+from repro.query.filters import (
+    And,
+    Approx,
+    Equals,
+    Filter,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+
+__all__ = ["parse_filter"]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> FilterSyntaxError:
+        return FilterSyntaxError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise self.error("unexpected end of filter")
+        return self.text[self.pos]
+
+    def expect(self, ch: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def parse(self) -> Filter:
+        node = self.parse_filter()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters after filter")
+        return node
+
+    def parse_filter(self) -> Filter:
+        self.expect("(")
+        ch = self.peek()
+        if ch == "&":
+            self.pos += 1
+            node: Filter = And(tuple(self.parse_list()))
+        elif ch == "|":
+            self.pos += 1
+            node = Or(tuple(self.parse_list()))
+        elif ch == "!":
+            self.pos += 1
+            node = Not(self.parse_filter())
+        else:
+            node = self.parse_item()
+        self.expect(")")
+        return node
+
+    def parse_list(self) -> List[Filter]:
+        items: List[Filter] = []
+        while self.pos < len(self.text) and self.text[self.pos] == "(":
+            items.append(self.parse_filter())
+        return items
+
+    def parse_item(self) -> Filter:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "=<>~()":
+            self.pos += 1
+        attribute = self.text[start:self.pos].strip()
+        if not attribute:
+            raise self.error("empty attribute name")
+        ch = self.peek()
+        if ch == ">":
+            self.pos += 1
+            self.expect("=")
+            return GreaterOrEqual(attribute, self._unescape(self.read_value()))
+        if ch == "<":
+            self.pos += 1
+            self.expect("=")
+            return LessOrEqual(attribute, self._unescape(self.read_value()))
+        if ch == "~":
+            self.pos += 1
+            self.expect("=")
+            return Approx(attribute, self._unescape(self.read_value()))
+        if ch == "=":
+            self.pos += 1
+            raw = self.read_value()
+            if raw == "*":
+                return Present(attribute)
+            if "*" in raw:
+                return self._substring(attribute, raw)
+            return Equals(attribute, self._unescape(raw))
+        raise self.error(f"unexpected character {ch!r}")
+
+    def read_value(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] != ")":
+            if self.text[self.pos] == "(":
+                raise self.error("unescaped '(' in value")
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def _substring(self, attribute: str, raw: str) -> Filter:
+        parts = raw.split("*")
+        initial = self._unescape(parts[0])
+        final = self._unescape(parts[-1])
+        middle = tuple(self._unescape(p) for p in parts[1:-1] if p != "")
+        return Substring(attribute, initial, middle, final)
+
+    def _unescape(self, raw: str) -> str:
+        out: List[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch == "\\":
+                if i + 3 > len(raw):
+                    raise self.error("truncated escape sequence")
+                hex_pair = raw[i + 1:i + 3]
+                try:
+                    out.append(chr(int(hex_pair, 16)))
+                except ValueError:
+                    raise self.error(f"invalid escape \\{hex_pair}") from None
+                i += 3
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse an RFC 2254 filter string into a :class:`Filter`.
+
+    Raises
+    ------
+    FilterSyntaxError
+        On any syntax error; the message includes the failing position.
+    """
+    return _Parser(text.strip()).parse()

@@ -1,0 +1,264 @@
+"""Attribute filters — the atomic-selection predicates of [9].
+
+Atomic selections in the directory query language of Jagadish et al. [9]
+select entries by boolean combinations of conditions on individual
+attributes; LDAP expresses the same conditions as RFC 2254 search filters
+(e.g. ``(&(objectClass=person)(mail=*))``).  This module provides the
+filter AST with LDAP-compatible semantics:
+
+* a comparison matches when *some* value of the (multi-valued) attribute
+  satisfies it,
+* ``Present`` matches entries holding at least one value,
+* ``Substring`` implements ``initial*any*...*final`` patterns, and
+* ``And``/``Or``/``Not`` compose filters.
+
+``str()`` of any filter is its RFC 2254 string, and
+:func:`repro.query.filter_parser.parse_filter` is its inverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.model.entry import Entry
+
+__all__ = [
+    "Filter",
+    "Equals",
+    "Present",
+    "Substring",
+    "GreaterOrEqual",
+    "LessOrEqual",
+    "Approx",
+    "And",
+    "Or",
+    "Not",
+    "TRUE_FILTER",
+]
+
+_ESCAPES = {"*": "\\2a", "(": "\\28", ")": "\\29", "\\": "\\5c", "\x00": "\\00"}
+
+
+def escape_filter_value(text: str) -> str:
+    """Escape a literal value for embedding in an RFC 2254 filter string."""
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
+
+
+class Filter:
+    """Base class of all filters.  Subclasses implement :meth:`matches`."""
+
+    def matches(self, entry: Entry) -> bool:
+        """Whether ``entry`` satisfies the filter."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return And((self, other))
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Or((self, other))
+
+    def __invert__(self) -> "Filter":
+        return Not(self)
+
+
+def _comparable(value: Any, operand: Any) -> Optional[Tuple[Any, Any]]:
+    """Coerce ``value``/``operand`` into a comparable pair or ``None``."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if isinstance(operand, (int, float)) and not isinstance(operand, bool):
+            return value, operand
+        try:
+            return value, type(value)(operand)
+        except (TypeError, ValueError):
+            return None
+    if isinstance(value, str) and isinstance(operand, str):
+        return value, operand
+    return None
+
+
+@dataclass(frozen=True)
+class Equals(Filter):
+    """``(attribute=value)`` — some value of the attribute equals
+    ``value`` (string comparison also matches the string form of a
+    non-string stored value, mirroring LDAP's string-oriented matching)."""
+
+    attribute: str
+    value: Any
+
+    def matches(self, entry: Entry) -> bool:
+        for stored in entry.values(self.attribute):
+            if stored == self.value:
+                return True
+            if isinstance(self.value, str) and not isinstance(stored, str):
+                if str(stored) == self.value:
+                    return True
+        return False
+
+    def __str__(self) -> str:
+        text = self.value if isinstance(self.value, str) else str(self.value)
+        return f"({self.attribute}={escape_filter_value(text)})"
+
+
+@dataclass(frozen=True)
+class Present(Filter):
+    """``(attribute=*)`` — the attribute has at least one value."""
+
+    attribute: str
+
+    def matches(self, entry: Entry) -> bool:
+        return entry.has_attribute(self.attribute)
+
+    def __str__(self) -> str:
+        return f"({self.attribute}=*)"
+
+
+@dataclass(frozen=True)
+class Substring(Filter):
+    """``(attribute=initial*any1*...*final)`` substring matching."""
+
+    attribute: str
+    initial: str = ""
+    any_parts: Tuple[str, ...] = ()
+    final: str = ""
+
+    def _match_text(self, text: str) -> bool:
+        cursor = 0
+        if self.initial:
+            if not text.startswith(self.initial):
+                return False
+            cursor = len(self.initial)
+        for part in self.any_parts:
+            index = text.find(part, cursor)
+            if index < 0:
+                return False
+            cursor = index + len(part)
+        if self.final:
+            remaining = text[cursor:]
+            if not remaining.endswith(self.final):
+                return False
+        return True
+
+    def matches(self, entry: Entry) -> bool:
+        for stored in entry.values(self.attribute):
+            text = stored if isinstance(stored, str) else str(stored)
+            if self._match_text(text):
+                return True
+        return False
+
+    def __str__(self) -> str:
+        middle = "*".join(escape_filter_value(p) for p in self.any_parts)
+        pattern = escape_filter_value(self.initial) + "*"
+        if middle:
+            pattern += middle + "*"
+        pattern += escape_filter_value(self.final)
+        return f"({self.attribute}={pattern})"
+
+
+@dataclass(frozen=True)
+class GreaterOrEqual(Filter):
+    """``(attribute>=value)`` ordering comparison."""
+
+    attribute: str
+    value: Any
+
+    def matches(self, entry: Entry) -> bool:
+        for stored in entry.values(self.attribute):
+            pair = _comparable(stored, self.value)
+            if pair is not None and pair[0] >= pair[1]:
+                return True
+        return False
+
+    def __str__(self) -> str:
+        text = self.value if isinstance(self.value, str) else str(self.value)
+        return f"({self.attribute}>={escape_filter_value(text)})"
+
+
+@dataclass(frozen=True)
+class LessOrEqual(Filter):
+    """``(attribute<=value)`` ordering comparison."""
+
+    attribute: str
+    value: Any
+
+    def matches(self, entry: Entry) -> bool:
+        for stored in entry.values(self.attribute):
+            pair = _comparable(stored, self.value)
+            if pair is not None and pair[0] <= pair[1]:
+                return True
+        return False
+
+    def __str__(self) -> str:
+        text = self.value if isinstance(self.value, str) else str(self.value)
+        return f"({self.attribute}<={escape_filter_value(text)})"
+
+
+@dataclass(frozen=True)
+class Approx(Filter):
+    """``(attribute~=value)`` — approximate match, implemented as
+    case-insensitive, whitespace-normalized string equality."""
+
+    attribute: str
+    value: str
+
+    @staticmethod
+    def _normalize(text: str) -> str:
+        return " ".join(text.lower().split())
+
+    def matches(self, entry: Entry) -> bool:
+        wanted = self._normalize(self.value)
+        for stored in entry.values(self.attribute):
+            text = stored if isinstance(stored, str) else str(stored)
+            if self._normalize(text) == wanted:
+                return True
+        return False
+
+    def __str__(self) -> str:
+        return f"({self.attribute}~={escape_filter_value(self.value)})"
+
+
+@dataclass(frozen=True)
+class And(Filter):
+    """``(&(f1)(f2)...)`` conjunction; the empty conjunction is true."""
+
+    operands: Tuple[Filter, ...]
+
+    def matches(self, entry: Entry) -> bool:
+        return all(op.matches(entry) for op in self.operands)
+
+    def __str__(self) -> str:
+        return "(&" + "".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Filter):
+    """``(|(f1)(f2)...)`` disjunction; the empty disjunction is false."""
+
+    operands: Tuple[Filter, ...]
+
+    def matches(self, entry: Entry) -> bool:
+        return any(op.matches(entry) for op in self.operands)
+
+    def __str__(self) -> str:
+        return "(|" + "".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Filter):
+    """``(!(f))`` negation."""
+
+    operand: Filter
+
+    def matches(self, entry: Entry) -> bool:
+        return not self.operand.matches(entry)
+
+    def __str__(self) -> str:
+        return f"(!{self.operand})"
+
+
+#: A filter matched by every entry (the empty conjunction).
+TRUE_FILTER = And(())
+
+#: A filter matched by no entry (the empty disjunction).  Used by the
+#: schema-aware optimizer to constant-fold provably-empty selections;
+#: the evaluator short-circuits it without scanning.
+FALSE_FILTER = Or(())

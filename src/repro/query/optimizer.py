@@ -1,0 +1,237 @@
+"""Schema-aware query optimization — the paper's stated future work.
+
+The conclusion of the paper observes that "query optimization is
+facilitated using schema".  This module cashes that in: given the
+deductive closure of a bounding-schema (Section 5), hierarchical
+selection queries can be *constant-folded* using facts every legal
+instance must satisfy:
+
+``empty-class``
+    ``(objectClass=c)`` where the closure proves ``c`` unpopulatable
+    (``c →de ∅`` / ``c →an ∅``) folds to the empty selection.
+``forbidden-edge``
+    ``(x (objectClass=ci) (objectClass=cj))`` folds to empty when a
+    forbidden element rules the relationship out — ``ci ↛ cj`` for the
+    child axis, ``ci ↛↛ cj`` for child/descendant, and the inverted
+    forms for parent/ancestor.
+``required-edge``
+    ``(x (objectClass=ci) (objectClass=cj))`` folds to plain
+    ``(objectClass=ci)`` when the closure contains the required element
+    ``ci →x cj`` — the inner test is a tautology on legal instances.
+``minus-required``
+    Consequently the Figure 4 violation query
+    ``(σ⁻ ci (x ci cj))`` folds to the empty selection, and
+    ``(σ⁻ A ∅)`` folds to ``A``.
+
+**Soundness contract**: the rewrites preserve results on instances that
+are *legal* w.r.t. the schema (that is the point of schema-aware
+optimization).  On illegal instances results may differ — never use the
+optimizer inside the legality checkers themselves.  Queries carrying
+evaluation scopes (the Figure 5 Δ-queries) are left untouched: their
+whole purpose is to detect not-yet-established legality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.axes import Axis
+from repro.consistency.engine import Closure, close
+from repro.model.attributes import OBJECT_CLASS
+from repro.query.ast import HSelect, Minus, Query, Select
+from repro.query.filters import FALSE_FILTER, Equals
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import ForbiddenEdge, RequiredEdge
+
+__all__ = ["OptimizationResult", "SchemaAwareOptimizer", "EMPTY_SELECT"]
+
+#: The canonical provably-empty query.
+EMPTY_SELECT = Select(FALSE_FILTER)
+
+
+@dataclass
+class OptimizationResult:
+    """A rewritten query plus an explanation of every fold applied."""
+
+    query: Query
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def provably_empty(self) -> bool:
+        """Whether the whole query folded to the empty selection."""
+        return self.query == EMPTY_SELECT
+
+    @property
+    def changed(self) -> bool:
+        """Whether any rewrite fired."""
+        return bool(self.notes)
+
+
+def _class_of(node: Query) -> Optional[str]:
+    """The class name of an unscoped ``(objectClass=c)`` selection."""
+    if (
+        isinstance(node, Select)
+        and node.scope is None
+        and isinstance(node.filter, Equals)
+        and node.filter.attribute == OBJECT_CLASS
+    ):
+        return node.filter.value
+    return None
+
+
+class SchemaAwareOptimizer:
+    """Folds queries using the closure of a bounding-schema.
+
+    Parameters
+    ----------
+    schema:
+        The bounding-schema legal instances satisfy.
+    closure:
+        Optionally a precomputed closure (else computed here).
+    """
+
+    def __init__(
+        self,
+        schema: DirectorySchema,
+        closure: Optional[Closure] = None,
+    ) -> None:
+        self.schema = schema
+        self.closure = (
+            closure
+            if closure is not None
+            else close(
+                schema.all_elements(),
+                universe=schema.class_schema.core_classes(),
+            )
+        )
+        self._empty = self.closure.empty_classes()
+
+    # ------------------------------------------------------------------
+    # fact lookups
+    # ------------------------------------------------------------------
+    def _edge_forbidden(self, axis: Axis, source: str, target: str) -> Optional[str]:
+        """The forbidden element ruling out (axis, source, target), if
+        any, as display text."""
+        if axis.downward:
+            checks: Tuple[ForbiddenEdge, ...] = (
+                ForbiddenEdge(Axis.DESCENDANT, source, target),
+            )
+            if axis is Axis.CHILD:
+                checks += (ForbiddenEdge(Axis.CHILD, source, target),)
+        else:
+            # source's parent/ancestor in target ⇔ target has source
+            # child/descendant
+            checks = (ForbiddenEdge(Axis.DESCENDANT, target, source),)
+            if axis is Axis.PARENT:
+                checks += (ForbiddenEdge(Axis.CHILD, target, source),)
+        for element in checks:
+            if element in self.closure:
+                return str(element)
+        return None
+
+    def _edge_required(self, axis: Axis, source: str, target: str) -> Optional[str]:
+        """The required element making (axis, source, target) a
+        tautology, if any."""
+        element = RequiredEdge(axis, source, target)
+        if element in self.closure:
+            return str(element)
+        # A required child also witnesses a descendant test (and parent
+        # an ancestor test).
+        if axis in (Axis.DESCENDANT, Axis.ANCESTOR):
+            tighter = RequiredEdge(
+                Axis.CHILD if axis is Axis.DESCENDANT else Axis.PARENT,
+                source,
+                target,
+            )
+            if tighter in self.closure:
+                return str(tighter)
+        return None
+
+    # ------------------------------------------------------------------
+    # rewriting
+    # ------------------------------------------------------------------
+    def optimize(self, query: Query) -> OptimizationResult:
+        """Bottom-up constant folding; returns the rewritten query and
+        the reasons for each fold."""
+        notes: List[str] = []
+        rewritten = self._fold(query, notes)
+        return OptimizationResult(rewritten, notes)
+
+    def _fold(self, node: Query, notes: List[str]) -> Query:
+        if isinstance(node, Select):
+            name = _class_of(node)
+            if name is not None and name in self._empty:
+                notes.append(
+                    f"empty-class: (objectClass={name}) folded to ∅ — the "
+                    f"closure proves {name!r} unpopulatable"
+                )
+                return EMPTY_SELECT
+            return node
+
+        if isinstance(node, Minus):
+            if node.scope is not None:
+                return node
+            outer = self._fold(node.outer, notes)
+            inner = self._fold(node.inner, notes)
+            if outer == EMPTY_SELECT:
+                notes.append("minus: empty outer folds the difference to ∅")
+                return EMPTY_SELECT
+            if inner == EMPTY_SELECT:
+                notes.append("minus: empty inner folds the difference to its outer")
+                return outer
+            if inner == outer:
+                # Typically the Figure 4 shape after a required-edge fold:
+                # (σ⁻ A (x A B)) → (σ⁻ A A) → ∅.
+                notes.append("minus-identical: A − A folded to ∅")
+                return EMPTY_SELECT
+            # Figure 4 shape: (σ⁻ A (x A B)) with A →x B required.
+            if (
+                isinstance(inner, HSelect)
+                and inner.outer == outer
+                and _class_of(outer) is not None
+            ):
+                target = _class_of(inner.inner)
+                if target is not None:
+                    reason = self._edge_required(
+                        inner.axis, _class_of(outer), target
+                    )
+                    if reason is not None:
+                        notes.append(
+                            f"minus-required: violation query folded to ∅ — "
+                            f"legal instances satisfy {reason}"
+                        )
+                        return EMPTY_SELECT
+            return Minus(outer, inner) if (outer, inner) != (node.outer, node.inner) else node
+
+        if isinstance(node, HSelect):
+            if node.scope is not None:
+                return node
+            outer = self._fold(node.outer, notes)
+            inner = self._fold(node.inner, notes)
+            if outer == EMPTY_SELECT or inner == EMPTY_SELECT:
+                notes.append("hselect: empty operand folds the selection to ∅")
+                return EMPTY_SELECT
+            source = _class_of(outer)
+            target = _class_of(inner)
+            if source is not None and target is not None:
+                reason = self._edge_forbidden(node.axis, source, target)
+                if reason is not None:
+                    notes.append(
+                        f"forbidden-edge: ({node.axis.value} "
+                        f"(objectClass={source}) (objectClass={target})) "
+                        f"folded to ∅ — legal instances satisfy {reason}"
+                    )
+                    return EMPTY_SELECT
+                reason = self._edge_required(node.axis, source, target)
+                if reason is not None:
+                    notes.append(
+                        f"required-edge: inner test dropped — legal "
+                        f"instances satisfy {reason}"
+                    )
+                    return outer
+            if (outer, inner) != (node.outer, node.inner):
+                return HSelect(node.axis, outer, inner)
+            return node
+
+        return node

@@ -1,0 +1,137 @@
+"""Parser for the hierarchical-query surface syntax.
+
+The paper writes hierarchical selection queries in the s-expression
+style of [9]::
+
+    (σ⁻ (objectClass=orgGroup) (d (objectClass=orgGroup) (objectClass=person)))
+    (c (objectClass=person) (objectClass=top))
+    (objectClass=orgUnit)
+
+This module parses that syntax (accepting ``?``, ``minus``, and
+``sigma-`` as ASCII spellings of ``σ⁻``) back into the
+:mod:`repro.query.ast` algebra, making ``parse_query`` the inverse of
+``str()`` on scope-free queries.  Atomic selections may be any RFC 2254
+filter, not just ``(objectClass=c)``.
+
+Grammar::
+
+    query  := atomic | hsel | minus
+    hsel   := "(" axis query query ")"        axis ∈ {c, p, d, a}
+    minus  := "(" ("σ⁻" | "?" | "minus" | "sigma-") query query ")"
+    atomic := an RFC 2254 filter, e.g. "(&(objectClass=person)(mail=*))"
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.axes import Axis
+from repro.errors import QueryError
+from repro.query.ast import HSelect, Minus, Query, Select
+from repro.query.filter_parser import parse_filter
+
+__all__ = ["parse_query"]
+
+_MINUS_TOKENS = ("σ⁻", "?", "minus", "sigma-")
+_AXIS_TOKENS = {axis.value for axis in Axis}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> QueryError:
+        return QueryError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def parse(self) -> Query:
+        self.skip_ws()
+        node = self.parse_query()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters after query")
+        return node
+
+    def parse_query(self) -> Query:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != "(":
+            raise self.error("expected '('")
+        # Look ahead past the '(' for an operator token.
+        operator, after = self._peek_operator()
+        if operator in _MINUS_TOKENS:
+            self.pos = after
+            outer = self.parse_query()
+            inner = self.parse_query()
+            self.skip_ws()
+            self._expect(")")
+            return Minus(outer, inner)
+        if operator in _AXIS_TOKENS:
+            self.pos = after
+            outer = self.parse_query()
+            inner = self.parse_query()
+            self.skip_ws()
+            self._expect(")")
+            return HSelect(Axis(operator), outer, inner)
+        return self._parse_atomic()
+
+    def _peek_operator(self) -> Tuple[str, int]:
+        """The token right after the current '(' and the position past
+        it — only when followed by whitespace (so ``(c=1)`` stays a
+        filter while ``(c (...) (...))`` is an axis)."""
+        cursor = self.pos + 1
+        while cursor < len(self.text) and self.text[cursor].isspace():
+            cursor += 1
+        start = cursor
+        while cursor < len(self.text) and not self.text[cursor].isspace() and (
+            self.text[cursor] not in "()"
+        ):
+            cursor += 1
+        token = self.text[start:cursor]
+        if cursor < len(self.text) and self.text[cursor].isspace():
+            return token, cursor
+        return "", self.pos
+
+    def _parse_atomic(self) -> Select:
+        # Consume one balanced parenthesized filter expression.
+        depth = 0
+        start = self.pos
+        cursor = self.pos
+        while cursor < len(self.text):
+            ch = self.text[cursor]
+            if ch == "\\":
+                cursor += 2
+                continue
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    cursor += 1
+                    break
+            cursor += 1
+        if depth != 0:
+            raise self.error("unbalanced parentheses in filter")
+        raw = self.text[start:cursor]
+        self.pos = cursor
+        return Select(parse_filter(raw))
+
+    def _expect(self, ch: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+
+def parse_query(text: str) -> Query:
+    """Parse hierarchical-query surface syntax into the AST.
+
+    Raises
+    ------
+    QueryError
+        On malformed query structure (filter-level syntax errors raise
+        :class:`~repro.errors.FilterSyntaxError`).
+    """
+    return _Parser(text).parse()

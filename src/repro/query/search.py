@@ -1,0 +1,119 @@
+"""LDAP-style scoped search.
+
+The paper's Section 1 describes directory retrieval as matching "a
+boolean combination of conditions on individual attributes, the
+retrieval typically scoped to some subtree of the hierarchy".  This
+module provides exactly that operation over
+:class:`~repro.model.instance.DirectoryInstance`: the three standard
+LDAP scopes (``base``, ``one``, ``sub``) plus ``children`` (subtree
+minus the base, LDAP's ``subordinateSubtree``), an RFC 2254 filter, and
+an optional size limit.
+
+This rounds out the query layer for application use; the legality
+machinery itself uses the algebra in :mod:`repro.query.ast` directly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator, List, Optional, Union
+
+from repro.errors import QueryError
+from repro.model.dn import DN
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+from repro.query.filter_parser import parse_filter
+from repro.query.filters import TRUE_FILTER, Filter
+
+__all__ = ["SearchScope", "search"]
+
+
+class SearchScope(str, Enum):
+    """The LDAP search scopes."""
+
+    #: Just the base entry.
+    BASE = "base"
+    #: Direct children of the base entry (LDAP ``singleLevel``).
+    ONE = "one"
+    #: The base entry and its whole subtree (LDAP ``wholeSubtree``).
+    SUB = "sub"
+    #: The subtree *excluding* the base (LDAP ``subordinateSubtree``).
+    CHILDREN = "children"
+
+
+def _candidates(
+    instance: DirectoryInstance,
+    base: Optional[Entry],
+    scope: SearchScope,
+) -> Iterator[Entry]:
+    if base is None:
+        # The empty base denotes the conceptual root above all entries.
+        if scope is SearchScope.BASE:
+            return
+        if scope is SearchScope.ONE:
+            yield from instance.roots()
+            return
+        for entry in instance:
+            yield entry
+        return
+    if scope is SearchScope.BASE:
+        yield base
+    elif scope is SearchScope.ONE:
+        yield from instance.children_of(base)
+    elif scope is SearchScope.SUB:
+        yield base
+        yield from instance.descendants_of(base)
+    else:
+        yield from instance.descendants_of(base)
+
+
+def search(
+    instance: DirectoryInstance,
+    base: Union[DN, str, None] = None,
+    scope: Union[SearchScope, str] = SearchScope.SUB,
+    filter: Union[Filter, str, None] = None,
+    size_limit: Optional[int] = None,
+) -> List[Entry]:
+    """Scoped LDAP search.
+
+    Parameters
+    ----------
+    base:
+        DN (or DN string) of the search base; ``None`` or the empty DN
+        searches from the conceptual root.
+    scope:
+        A :class:`SearchScope` or its string value.
+    filter:
+        A :class:`~repro.query.filters.Filter`, an RFC 2254 string, or
+        ``None`` for match-all.
+    size_limit:
+        Stop after this many matches (LDAP ``sizeLimit``).
+
+    Returns entries in document order.
+
+    Raises
+    ------
+    QueryError
+        If the base DN does not name an entry.
+    """
+    scope = SearchScope(scope)
+    if filter is None:
+        predicate: Filter = TRUE_FILTER
+    elif isinstance(filter, str):
+        predicate = parse_filter(filter)
+    else:
+        predicate = filter
+
+    base_entry: Optional[Entry] = None
+    if base is not None and str(base):
+        base_entry = instance.find(base)
+        if base_entry is None:
+            raise QueryError(f"search base {base!s} does not exist")
+
+    results: List[Entry] = []
+    for entry in _candidates(instance, base_entry, scope):
+        if predicate.matches(entry):
+            results.append(entry)
+            if size_limit is not None and len(results) >= size_limit:
+                break
+    return results

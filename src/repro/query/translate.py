@@ -1,0 +1,111 @@
+"""Figure 4: translating structure-schema elements to queries.
+
+The complete set of translations from required/forbidden structural
+relationships and required classes to hierarchical selection queries, as
+given in Figure 4 of the paper:
+
+====================  =====================================================
+Schema element        Hierarchical selection query
+====================  =====================================================
+``ci → cj``           ``(σ⁻ (oc=ci) (c (oc=ci) (oc=cj)))``
+``cj ← ci``           ``(σ⁻ (oc=ci) (p (oc=ci) (oc=cj)))``
+``ci →→ cj``          ``(σ⁻ (oc=ci) (d (oc=ci) (oc=cj)))``
+``cj ←← ci``          ``(σ⁻ (oc=ci) (a (oc=ci) (oc=cj)))``
+``ci ↛ cj``           ``(c (oc=ci) (oc=cj))``
+``ci ↛↛ cj``          ``(d (oc=ci) (oc=cj))``
+``c □``               ``(oc=c)``
+====================  =====================================================
+
+For the six relationship forms the instance is legal iff the query result
+is **empty**; for required classes iff it is **non-empty**.  The
+:class:`TranslatedCheck` wrapper packages a query with its emptiness
+polarity so checkers can treat all elements uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.errors import QueryError
+from repro.model.attributes import OBJECT_CLASS
+from repro.model.instance import DirectoryInstance
+from repro.query.ast import HSelect, Minus, Query, Select
+from repro.query.evaluator import QueryEvaluator
+from repro.query.filters import Equals
+from repro.schema.elements import (
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    SchemaElement,
+)
+
+__all__ = ["class_selection", "TranslatedCheck", "translate_element"]
+
+
+def class_selection(object_class: str) -> Select:
+    """The atomic selection ``(objectClass=c)``."""
+    return Select(Equals(OBJECT_CLASS, object_class))
+
+
+@dataclass(frozen=True)
+class TranslatedCheck:
+    """A schema element together with its Figure 4 query.
+
+    ``legal_when_empty`` records the polarity: relationship elements are
+    satisfied when the query result is empty, required-class elements when
+    it is non-empty.
+    """
+
+    element: SchemaElement
+    query: Query
+    legal_when_empty: bool
+
+    def is_legal(self, instance: DirectoryInstance) -> bool:
+        """Whether ``instance`` satisfies the element, via the query."""
+        result = QueryEvaluator(instance).evaluate(self.query)
+        return (not result) if self.legal_when_empty else bool(result)
+
+    def witnesses(self, instance: DirectoryInstance) -> Set[int]:
+        """Entry ids witnessing a violation (empty set when legal, and
+        also empty for a violated required-class element, which has no
+        witnessing entry)."""
+        result = QueryEvaluator(instance).evaluate(self.query)
+        if self.legal_when_empty:
+            return result
+        return set()
+
+    def __str__(self) -> str:
+        polarity = "empty" if self.legal_when_empty else "non-empty"
+        return f"{self.element}  ⟿  {self.query}  (legal iff {polarity})"
+
+
+def translate_element(element: SchemaElement) -> TranslatedCheck:
+    """Translate one structure-schema element per Figure 4.
+
+    Raises
+    ------
+    QueryError
+        For element kinds that have no Figure 4 row (``Subclass`` and
+        ``Disjoint`` belong to the content schema and are checked
+        per-entry instead).
+    """
+    if isinstance(element, RequiredEdge):
+        source = class_selection(element.source)
+        target = class_selection(element.target)
+        query: Query = Minus(source, HSelect(element.axis, source, target))
+        return TranslatedCheck(element, query, legal_when_empty=True)
+    if isinstance(element, ForbiddenEdge):
+        query = HSelect(
+            element.axis,
+            class_selection(element.source),
+            class_selection(element.target),
+        )
+        return TranslatedCheck(element, query, legal_when_empty=True)
+    if isinstance(element, RequiredClass):
+        return TranslatedCheck(
+            element, class_selection(element.object_class), legal_when_empty=False
+        )
+    raise QueryError(
+        f"element {element} has no Figure 4 translation (content-schema element)"
+    )

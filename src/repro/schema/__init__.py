@@ -1,0 +1,44 @@
+"""Bounding-schema definitions (Section 2 of the paper)."""
+
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import TOP, ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import (
+    BOTTOM,
+    EMPTY_CLASS,
+    Disjoint,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    SchemaElement,
+    Subclass,
+    edge_forms,
+)
+from repro.schema.discovery import DiscoveryOptions, DiscoveryResult, discover_schema
+from repro.schema.evolution import EvolutionAnalyzer, EvolutionReport, SchemaChange
+from repro.schema.extras import SchemaExtras
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = [
+    "AttributeSchema",
+    "ClassSchema",
+    "TOP",
+    "StructureSchema",
+    "DirectorySchema",
+    "SchemaExtras",
+    "SchemaElement",
+    "RequiredClass",
+    "RequiredEdge",
+    "ForbiddenEdge",
+    "Subclass",
+    "Disjoint",
+    "EMPTY_CLASS",
+    "BOTTOM",
+    "edge_forms",
+    "EvolutionAnalyzer",
+    "EvolutionReport",
+    "SchemaChange",
+    "discover_schema",
+    "DiscoveryOptions",
+    "DiscoveryResult",
+]

@@ -1,0 +1,98 @@
+"""Attribute schemas (Definition 2.2).
+
+An attribute schema ``A = (C, A, r, a)`` names the object classes and
+attributes in play and gives, per class, the *required* attributes ``r(c)``
+(each entry of the class must hold one or more values) and the *allowed*
+attributes ``a(c)`` (each entry may hold zero or more values), with the
+well-formedness condition ``r(c) ⊆ a(c)``.
+
+Attribute schemas are part of the standard LDAP schema machinery; the
+bounding-schema proposal keeps them as the lower/upper bound on entry
+*content* at the attribute level.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, Tuple
+
+from repro.errors import SchemaError
+from repro.model.attributes import OBJECT_CLASS
+
+__all__ = ["AttributeSchema"]
+
+
+class AttributeSchema:
+    """The attribute schema ``(C, A, r, a)``.
+
+    Classes are registered with :meth:`declare`; ``allowed`` always
+    includes ``required`` so ``r(c) ⊆ a(c)`` holds by construction.  The
+    reserved ``objectClass`` attribute is implicitly allowed for every
+    class (every entry necessarily carries it, Definition 2.1).
+    """
+
+    def __init__(self) -> None:
+        self._required: Dict[str, FrozenSet[str]] = {}
+        self._allowed: Dict[str, FrozenSet[str]] = {}
+
+    def declare(
+        self,
+        object_class: str,
+        required: Iterable[str] = (),
+        allowed: Iterable[str] = (),
+    ) -> "AttributeSchema":
+        """Register ``object_class`` with its required and allowed
+        attributes; returns ``self`` for chaining.
+
+        Raises
+        ------
+        SchemaError
+            If the class was already declared.
+        """
+        if object_class in self._required:
+            raise SchemaError(f"class {object_class!r} already declared")
+        required_set = frozenset(required)
+        self._required[object_class] = required_set
+        self._allowed[object_class] = required_set | frozenset(allowed)
+        return self
+
+    def required(self, object_class: str) -> FrozenSet[str]:
+        """``r(c)`` — required attributes (empty for unknown classes)."""
+        return self._required.get(object_class, frozenset())
+
+    def allowed(self, object_class: str) -> FrozenSet[str]:
+        """``a(c)`` — allowed attributes, always a superset of ``r(c)``."""
+        return self._allowed.get(object_class, frozenset())
+
+    def classes(self) -> FrozenSet[str]:
+        """The classes ``C`` mentioned by this attribute schema."""
+        return frozenset(self._required)
+
+    def attributes(self) -> FrozenSet[str]:
+        """The attributes ``A`` mentioned by this attribute schema."""
+        names = {OBJECT_CLASS}
+        for allowed in self._allowed.values():
+            names |= allowed
+        return frozenset(names)
+
+    def allowed_by_any(self, classes: AbstractSet[str], attribute: str) -> bool:
+        """Whether some class in ``classes`` allows ``attribute`` — the
+        per-pair condition of Definition 2.7 (Attribute Schema, second
+        bullet)."""
+        if attribute == OBJECT_CLASS:
+            return True
+        return any(attribute in self._allowed.get(c, ()) for c in classes)
+
+    def items(self) -> Iterator[Tuple[str, FrozenSet[str], FrozenSet[str]]]:
+        """Iterate ``(class, required, allowed)`` triples."""
+        for object_class in self._required:
+            yield object_class, self._required[object_class], self._allowed[object_class]
+
+    def max_allowed_size(self) -> int:
+        """``max_c |a(c)|`` — a factor of the Theorem 3.1 bound."""
+        return max((len(a) for a in self._allowed.values()), default=0)
+
+    def __contains__(self, object_class: str) -> bool:
+        return object_class in self._required
+
+    def __len__(self) -> int:
+        return len(self._required)

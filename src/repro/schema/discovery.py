@@ -1,0 +1,305 @@
+"""Bounding-schema discovery from instances.
+
+Section 6.2 contrasts the directory world's *prescriptive* schemas with
+the semi-structured world's *descriptive* ones, where "the challenge is
+to discover the schema from observed instances" (citing Nestorov,
+Abiteboul & Motwani's lower/upper-bound schema extraction).  This module
+brings the two together: given a directory instance, it induces the
+tightest bounding-schema the instance satisfies, so an administrator can
+bootstrap a prescriptive bound from existing data and then curate it.
+
+Inference steps:
+
+* **class roles** — a class ``c`` *implies* ``d`` when every member of
+  ``c`` is also a member of ``d``.  Classes whose implied strict
+  supersets form a chain become **core** classes (parent = the least
+  implied superset); the rest become **auxiliary**, with ``Aux(core)``
+  read off observed co-occurrence.
+* **attribute schema** — ``r(c)`` is the intersection of members'
+  attributes, ``a(c)`` their union.
+* **structure schema** — for every ordered core pair and axis, a
+  required edge is emitted when *every* source member has the related
+  target (checked through the Figure 4 machinery), and a forbidden edge
+  when *no* pair is related; support thresholds and redundancy pruning
+  (child ⇒ descendant, parent ⇒ ancestor; forbidden descendant ⇒
+  forbidden child) keep the output readable.
+
+**Soundness invariant** (tested): the training instance is always legal
+w.r.t. the discovered schema, and — since the instance is a model — the
+discovered schema is always *consistent*, which doubles as a semantic
+cross-check of the Section 5 inference system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.axes import Axis
+from repro.model.attributes import OBJECT_CLASS
+from repro.model.instance import DirectoryInstance
+from repro.query.evaluator import QueryEvaluator
+from repro.query.translate import translate_element
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import TOP, ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import ForbiddenEdge, RequiredEdge
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = ["DiscoveryOptions", "DiscoveryResult", "discover_schema"]
+
+
+@dataclass
+class DiscoveryOptions:
+    """Knobs for schema discovery."""
+
+    #: Classes with fewer members than this are ignored entirely.
+    min_class_support: int = 1
+    #: Emit ``c □`` for every observed (supported) core class.
+    require_observed_classes: bool = True
+    #: Emit forbidden edges only when both classes have at least this
+    #: many members (guards against vacuous "never observed together").
+    min_forbidden_support: int = 2
+    #: Skip required edges whose target is ``top`` (they encode "never a
+    #: leaf"/"never a root", which is usually observational noise).
+    include_top_targets: bool = False
+
+
+@dataclass
+class DiscoveryResult:
+    """The induced schema plus provenance counts."""
+
+    schema: DirectorySchema
+    core_classes: FrozenSet[str] = frozenset()
+    auxiliary_classes: FrozenSet[str] = frozenset()
+    required_edges: int = 0
+    forbidden_edges: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+def _class_members(instance: DirectoryInstance) -> Dict[str, Set[int]]:
+    members: Dict[str, Set[int]] = {}
+    for entry in instance:
+        for name in entry.classes:
+            members.setdefault(name, set()).add(entry.eid)
+    return members
+
+
+def _infer_class_schema(
+    members: Dict[str, Set[int]], notes: List[str]
+) -> Tuple[ClassSchema, Dict[str, str]]:
+    """Build the core tree + auxiliary set from observed implications.
+
+    Core selection must guarantee the content-legality of the training
+    instance: every entry's core classes must form one root-to-node
+    chain.  We therefore pick cores greedily (largest membership first)
+    and accept a class only when it is *subsumption-comparable* with
+    every already-accepted core it shares members with; the rest become
+    auxiliary.  Observationally-identical classes are ordered by name so
+    the "hierarchy" never cycles.
+
+    Returns the class schema and a map from each class to its inferred
+    role (``"core"``/``"auxiliary"``)."""
+
+    def below(c: str, d: str) -> bool:
+        """Observational ``c ⊑ d`` with a deterministic tie-break for
+        identical member sets."""
+        if c == d:
+            return True
+        if not members[c] <= members[d]:
+            return False
+        if members[c] == members[d]:
+            return d < c  # later name becomes the subclass
+        return True
+
+    names = sorted(members)
+    roles: Dict[str, str] = {}
+    roles[TOP] = "core"
+    core: List[str] = []
+
+    for c in sorted(names, key=lambda x: (-len(members[x]), x)):
+        if c == TOP:
+            continue
+        compatible = True
+        for d in core:
+            if members[c] & members[d] and not (below(c, d) or below(d, c)):
+                compatible = False
+                break
+        if compatible:
+            roles[c] = "core"
+            core.append(c)
+        else:
+            roles[c] = "auxiliary"
+
+    schema = ClassSchema()
+
+    def parent_of(c: str) -> str:
+        sups = [d for d in core if d != c and below(c, d)]
+        if not sups:
+            return TOP
+        # The most specific superset under the ``below`` order (the
+        # supersets of a core class form a chain, so this is total;
+        # a plain (count, name) key would misorder observationally
+        # identical classes).
+        best = sups[0]
+        for d in sups[1:]:
+            if below(d, best):
+                best = d
+        return best
+
+    # ``core`` is already ordered largest-first, so parents are always
+    # added before their children.
+    for c in core:
+        schema.add_core(c, parent=parent_of(c))
+
+    for c in names:
+        if c != TOP and roles[c] == "auxiliary":
+            schema.add_auxiliary(c)
+
+    # Aux grants: for every member entry of an auxiliary, grant the
+    # auxiliary on that entry's *deepest* observed core class.  Every
+    # training entry is then covered by construction, and grants stay as
+    # specific as the data allows.
+    core_set = set(core) | {TOP}
+    for c in names:
+        if c == TOP or roles[c] != "auxiliary":
+            continue
+        hosts: Set[str] = set()
+        for eid in members[c]:
+            entry_cores = [
+                d for d in names if d in core_set and eid in members[d]
+            ]
+            if not entry_cores:
+                hosts.add(TOP)
+                continue
+            hosts.add(min(entry_cores, key=lambda d: (len(members[d]), d)))
+        for d in sorted(hosts):
+            schema.allow_auxiliary(d, c)
+        if hosts == {TOP}:
+            notes.append(f"auxiliary {c!r} observed only with top")
+    return schema, roles
+
+
+def _infer_attribute_schema(
+    instance: DirectoryInstance, members: Dict[str, Set[int]]
+) -> AttributeSchema:
+    schema = AttributeSchema()
+    for name in sorted(members):
+        required: Optional[Set[str]] = None
+        allowed: Set[str] = set()
+        for eid in members[name]:
+            attrs = {
+                a for a in instance.entry(eid).attribute_names()
+                if a != OBJECT_CLASS
+            }
+            allowed |= attrs
+            required = attrs if required is None else (required & attrs)
+        schema.declare(name, required=sorted(required or ()), allowed=sorted(allowed))
+    return schema
+
+
+def _infer_structure_schema(
+    instance: DirectoryInstance,
+    members: Dict[str, Set[int]],
+    roles: Dict[str, str],
+    options: DiscoveryOptions,
+) -> StructureSchema:
+    structure = StructureSchema()
+    core = sorted(
+        c for c in members
+        if roles.get(c) == "core" and len(members[c]) >= options.min_class_support
+    )
+    if options.require_observed_classes:
+        for c in core:
+            if c != TOP:
+                structure.require_class(c)
+
+    evaluator = QueryEvaluator(instance)
+    required_pairs: Set[Tuple[Axis, str, str]] = set()
+    for source in core:
+        if not members[source]:
+            continue
+        for target in core:
+            # self-edges are legitimate (e.g. orgUnit under orgUnit)
+            if target == TOP and not options.include_top_targets:
+                continue
+            for axis in (Axis.CHILD, Axis.PARENT, Axis.DESCENDANT, Axis.ANCESTOR):
+                # Redundancy pruning: child ⇒ descendant, parent ⇒ anc.
+                if axis is Axis.DESCENDANT and (
+                    (Axis.CHILD, source, target) in required_pairs
+                ):
+                    continue
+                if axis is Axis.ANCESTOR and (
+                    (Axis.PARENT, source, target) in required_pairs
+                ):
+                    continue
+                element = RequiredEdge(axis, source, target)
+                check = translate_element(element)
+                if not evaluator.evaluate(check.query):
+                    required_pairs.add((axis, source, target))
+                    structure.require(source, axis, target)
+
+    forbidden_pairs: Set[Tuple[Axis, str, str]] = set()
+    for source in core:
+        if len(members[source]) < options.min_forbidden_support:
+            continue
+        for target in core:
+            if len(members[target]) < options.min_forbidden_support:
+                continue
+            for axis in (Axis.DESCENDANT, Axis.CHILD):
+                # forbidden descendant subsumes forbidden child
+                if axis is Axis.CHILD and (
+                    (Axis.DESCENDANT, source, target) in forbidden_pairs
+                ):
+                    continue
+                element = ForbiddenEdge(axis, source, target)
+                check = translate_element(element)
+                if not evaluator.evaluate(check.query):
+                    forbidden_pairs.add((axis, source, target))
+                    structure.forbid(source, axis, target)
+    return structure
+
+
+def discover_schema(
+    instance: DirectoryInstance,
+    options: Optional[DiscoveryOptions] = None,
+) -> DiscoveryResult:
+    """Induce the tightest bounding-schema ``instance`` satisfies.
+
+    The result's schema always validates, always accepts ``instance``,
+    and is always consistent (the instance is a model).
+
+    One precondition is inherited from Definition 2.7 itself: every
+    entry must belong to ``top`` (an entry without ``top`` is
+    content-illegal under *any* class schema, since the superclass chain
+    of its deepest core class always ends at ``top``).
+    """
+    options = options if options is not None else DiscoveryOptions()
+    notes: List[str] = []
+    members = {
+        name: ids
+        for name, ids in _class_members(instance).items()
+        if len(ids) >= options.min_class_support
+    }
+    if TOP not in members:
+        members[TOP] = instance.all_entry_id_set()
+        notes.append("synthesized top membership for all entries")
+
+    class_schema, roles = _infer_class_schema(members, notes)
+    attribute_schema = _infer_attribute_schema(instance, members)
+    structure_schema = _infer_structure_schema(instance, members, roles, options)
+
+    schema = DirectorySchema(attribute_schema, class_schema, structure_schema)
+    schema.validate()
+    return DiscoveryResult(
+        schema=schema,
+        core_classes=frozenset(
+            c for c, r in roles.items() if r == "core"
+        ),
+        auxiliary_classes=frozenset(
+            c for c, r in roles.items() if r == "auxiliary"
+        ),
+        required_edges=len(structure_schema.required_edges),
+        forbidden_edges=len(structure_schema.forbidden_edges),
+        notes=notes,
+    )

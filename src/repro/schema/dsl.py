@@ -1,0 +1,295 @@
+"""A concrete syntax for bounding-schemas.
+
+The paper defines bounding-schemas abstractly; a usable tool needs a way
+to author them in files.  This module defines a small line-oriented DSL
+and its parser/serializer (round-trip: ``parse_dsl(serialize_dsl(s))``
+is equivalent to ``s``).
+
+Directives (one per line; ``#`` starts a comment; blank lines ignored)::
+
+    class NAME [extends PARENT]        # core class (parent defaults to top)
+    auxiliary NAME                     # auxiliary class
+    allow CORE: AUX[, AUX...]          # Aux(CORE) entries
+    attributes CLASS: required A[, B]; allowed C[, D]
+    require class C[, C...]            # C □ elements
+    require A -> B                     # every A entry has a B child
+    require A ->> B                    # ... a B descendant
+    require A <- B                     # ... a B parent
+    require A <<- B                    # ... a B ancestor
+    forbid A -> B                      # no B child of an A entry
+    forbid A ->> B                     # no B descendant of an A entry
+    key ATTR[, ATTR...]                # Section 6.1: directory-wide keys
+    single-valued ATTR[, ATTR...]      # Section 6.1: numeric restriction
+    extensible CLASS[, CLASS...]       # Section 6.1: extensible object
+    referential ATTR[, ATTR...]        # values must be DNs of existing entries
+
+Example::
+
+    class person
+    class orgUnit extends orgGroup
+    auxiliary online
+    allow person: online
+    attributes person: required name, uid
+    require class person
+    require orgGroup ->> person
+    forbid person -> top
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.axes import Axis
+from repro.errors import DslError
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import TOP, ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.extras import SchemaExtras
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = ["parse_dsl", "serialize_dsl", "load_dsl", "dump_dsl"]
+
+_ARROWS: Tuple[Tuple[str, Axis], ...] = (
+    ("<<-", Axis.ANCESTOR),
+    ("->>", Axis.DESCENDANT),
+    ("<-", Axis.PARENT),
+    ("->", Axis.CHILD),
+)
+
+
+def _split_names(text: str, where: str) -> List[str]:
+    names = [n.strip() for n in text.split(",")]
+    if any(not n for n in names):
+        raise DslError(f"empty name in {where}: {text!r}")
+    return names
+
+
+class _Parser:
+    def __init__(self) -> None:
+        # Class declarations are collected first and applied in an order
+        # that satisfies parent-before-child, so authors may write
+        # subclasses before superclasses.
+        self.core_decls: List[Tuple[str, str]] = []
+        self.aux_decls: List[str] = []
+        self.allow_decls: List[Tuple[str, List[str]]] = []
+        self.attribute_decls: Dict[str, Tuple[List[str], List[str]]] = {}
+        self.structure = StructureSchema()
+        self.extras = SchemaExtras()
+        self.uses_extras = False
+
+    def feed(self, line: str, lineno: int) -> None:
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            return
+        try:
+            self._dispatch(text)
+        except DslError:
+            raise
+        except Exception as exc:
+            raise DslError(f"line {lineno}: {exc}") from exc
+
+    def _dispatch(self, text: str) -> None:
+        head, _, rest = text.partition(" ")
+        rest = rest.strip()
+        if head == "class":
+            name, _, parent_part = rest.partition(" extends ")
+            name = name.strip()
+            parent = parent_part.strip() if parent_part else TOP
+            if not name:
+                raise DslError("class directive needs a name")
+            self.core_decls.append((name, parent))
+        elif head == "auxiliary":
+            if not rest:
+                raise DslError("auxiliary directive needs a name")
+            self.aux_decls.append(rest)
+        elif head == "allow":
+            core, _, auxes = rest.partition(":")
+            if not auxes:
+                raise DslError("allow directive needs 'CORE: AUX[, ...]'")
+            self.allow_decls.append((core.strip(), _split_names(auxes, "allow")))
+        elif head == "attributes":
+            self._parse_attributes(rest)
+        elif head == "require":
+            self._parse_require(rest)
+        elif head == "forbid":
+            self._parse_edge(rest, forbidden=True)
+        elif head == "key":
+            self.extras.declare_key(*_split_names(rest, "key"))
+            self.uses_extras = True
+        elif head == "single-valued":
+            self.extras.declare_single_valued(*_split_names(rest, "single-valued"))
+            self.uses_extras = True
+        elif head == "extensible":
+            self.extras.declare_extensible(*_split_names(rest, "extensible"))
+            self.uses_extras = True
+        elif head == "referential":
+            self.extras.declare_referential(*_split_names(rest, "referential"))
+            self.uses_extras = True
+        else:
+            raise DslError(f"unknown directive {head!r}")
+
+    def _parse_attributes(self, rest: str) -> None:
+        object_class, _, spec = rest.partition(":")
+        object_class = object_class.strip()
+        if not object_class:
+            raise DslError("attributes directive needs a class name")
+        required: List[str] = []
+        allowed: List[str] = []
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            keyword, _, names = part.partition(" ")
+            if keyword == "required":
+                required.extend(_split_names(names, "attributes/required"))
+            elif keyword == "allowed":
+                allowed.extend(_split_names(names, "attributes/allowed"))
+            else:
+                raise DslError(
+                    f"attributes parts are 'required ...' or 'allowed ...', "
+                    f"got {keyword!r}"
+                )
+        if object_class in self.attribute_decls:
+            raise DslError(f"attributes for {object_class!r} declared twice")
+        self.attribute_decls[object_class] = (required, allowed)
+
+    def _parse_require(self, rest: str) -> None:
+        if rest.startswith("class "):
+            for name in _split_names(rest[len("class "):], "require class"):
+                self.structure.require_class(name)
+            return
+        self._parse_edge(rest, forbidden=False)
+
+    def _parse_edge(self, rest: str, forbidden: bool) -> None:
+        for symbol, axis in _ARROWS:
+            if f" {symbol} " in rest:
+                left, right = rest.split(f" {symbol} ", 1)
+                source, target = left.strip(), right.strip()
+                if not source or not target:
+                    raise DslError(f"malformed edge {rest!r}")
+                if forbidden:
+                    if not axis.downward:
+                        raise DslError(
+                            "forbid supports only -> and ->> (Definition 2.4)"
+                        )
+                    self.structure.forbid(source, axis, target)
+                else:
+                    self.structure.require(source, axis, target)
+                return
+        raise DslError(f"no arrow (->, ->>, <-, <<-) in edge {rest!r}")
+
+    def build(self) -> DirectorySchema:
+        classes = ClassSchema()
+        pending = list(self.core_decls)
+        known = {TOP}
+        progress = True
+        while pending and progress:
+            progress = False
+            remaining = []
+            for name, parent in pending:
+                if parent in known:
+                    classes.add_core(name, parent=parent)
+                    known.add(name)
+                    progress = True
+                else:
+                    remaining.append((name, parent))
+            pending = remaining
+        if pending:
+            missing = ", ".join(f"{n} extends {p}" for n, p in pending)
+            raise DslError(f"unresolvable class parents: {missing}")
+        for name in self.aux_decls:
+            classes.add_auxiliary(name)
+        for core, auxes in self.allow_decls:
+            classes.allow_auxiliary(core, *auxes)
+
+        attributes = AttributeSchema()
+        for object_class, (required, allowed) in self.attribute_decls.items():
+            attributes.declare(object_class, required=required, allowed=allowed)
+
+        schema = DirectorySchema(attributes, classes, self.structure)
+        if self.uses_extras:
+            schema.extras = self.extras
+        try:
+            return schema.validate()
+        except Exception as exc:
+            raise DslError(f"schema fails validation: {exc}") from exc
+
+
+def parse_dsl(text: str) -> DirectorySchema:
+    """Parse DSL ``text`` into a validated :class:`DirectorySchema`.
+
+    Raises
+    ------
+    DslError
+        On unknown directives, malformed lines, or schema
+        well-formedness failures (with line context where possible).
+    """
+    parser = _Parser()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        parser.feed(line, lineno)
+    return parser.build()
+
+
+def serialize_dsl(schema: DirectorySchema) -> str:
+    """Render a schema back into DSL text (stable, diff-friendly order)."""
+    lines: List[str] = ["# bounding-schema"]
+    classes = schema.class_schema
+
+    def emit_core(name: str) -> None:
+        for child in sorted(classes.children(name)):
+            parent_clause = "" if name == TOP else f" extends {name}"
+            lines.append(f"class {child}{parent_clause}")
+            emit_core(child)
+
+    emit_core(TOP)
+    for aux in sorted(classes.auxiliary_classes()):
+        lines.append(f"auxiliary {aux}")
+    for core in sorted(classes.core_classes()):
+        auxes = sorted(classes.aux(core))
+        if auxes:
+            lines.append(f"allow {core}: {', '.join(auxes)}")
+
+    for object_class, required, allowed in sorted(schema.attribute_schema.items()):
+        parts = []
+        if required:
+            parts.append("required " + ", ".join(sorted(required)))
+        extra_allowed = sorted(allowed - required)
+        if extra_allowed:
+            parts.append("allowed " + ", ".join(extra_allowed))
+        lines.append(f"attributes {object_class}: {'; '.join(parts)}".rstrip(": "))
+
+    structure = schema.structure_schema
+    if structure.required_classes:
+        lines.append("require class " + ", ".join(sorted(structure.required_classes)))
+    symbol_of = {axis: symbol for symbol, axis in _ARROWS}
+    for edge in sorted(structure.required_edges, key=str):
+        lines.append(f"require {edge.source} {symbol_of[edge.axis]} {edge.target}")
+    for edge in sorted(structure.forbidden_edges, key=str):
+        lines.append(f"forbid {edge.source} {symbol_of[edge.axis]} {edge.target}")
+
+    extras = schema.extras
+    if extras is not None:
+        if extras.key_attributes:
+            lines.append("key " + ", ".join(sorted(extras.key_attributes)))
+        plain_single = sorted(extras.single_valued_attributes - extras.key_attributes)
+        if plain_single:
+            lines.append("single-valued " + ", ".join(plain_single))
+        if extras.extensible_classes:
+            lines.append("extensible " + ", ".join(sorted(extras.extensible_classes)))
+        if extras.referential_attributes:
+            lines.append(
+                "referential " + ", ".join(sorted(extras.referential_attributes))
+            )
+    return "\n".join(lines) + "\n"
+
+
+def load_dsl(path: str) -> DirectorySchema:
+    """Parse a DSL file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dsl(handle.read())
+
+
+def dump_dsl(schema: DirectorySchema, path: str) -> None:
+    """Write ``schema`` to ``path`` in DSL form."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_dsl(schema))

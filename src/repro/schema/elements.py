@@ -1,0 +1,206 @@
+"""Schema elements and their direct satisfaction semantics.
+
+A *schema element* (Definition 2.6) is one atomic assertion a
+bounding-schema makes about instances:
+
+=====================  ============================================  ==========
+Paper notation         Element                                       Bound
+=====================  ============================================  ==========
+``c □``                :class:`RequiredClass`                        lower
+``ci → cj``            :class:`RequiredEdge` (child axis)            lower
+``ci →→ cj``           :class:`RequiredEdge` (descendant axis)       lower
+``cj ← ci``            :class:`RequiredEdge` (parent axis)           lower
+``cj ←← ci``           :class:`RequiredEdge` (ancestor axis)         lower
+``ci ↛ cj``            :class:`ForbiddenEdge` (child axis)           upper
+``ci ↛↛ cj``           :class:`ForbiddenEdge` (descendant axis)      upper
+``ci ⊑ cj``            :class:`Subclass`                             lower
+``ci ⊥ cj``            :class:`Disjoint`                             upper
+=====================  ============================================  ==========
+
+Every element implements :meth:`SchemaElement.is_satisfied` with the direct
+(quantifier-based) semantics of Definition 2.6.  This is the *oracle* used
+by the naive structure checker and by the property tests; the efficient
+checkers (query reduction, Figure 4) are validated against it.
+
+The inference system of Section 5 additionally manipulates the pseudo-class
+:data:`EMPTY_CLASS` (``∅``), denoting "an entry with no associated object
+class".  Since legal entries always have a class (Definition 2.1), no entry
+ever belongs to ``∅``; the element ``∅ □`` is the system's falsum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Set, Tuple
+
+from repro.axes import Axis
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+
+__all__ = [
+    "EMPTY_CLASS",
+    "SchemaElement",
+    "RequiredClass",
+    "RequiredEdge",
+    "ForbiddenEdge",
+    "Subclass",
+    "Disjoint",
+    "BOTTOM",
+    "edge_forms",
+]
+
+#: The pseudo-class ``∅`` of Section 5: an entry with no object class.
+#: No legal entry belongs to it, so requiring its existence is falsum.
+EMPTY_CLASS = "∅"
+
+
+class SchemaElement:
+    """Base class of schema elements (immutable)."""
+
+    def is_satisfied(self, instance: DirectoryInstance) -> bool:
+        """Direct Definition 2.6 semantics of ``D |= element``."""
+        raise NotImplementedError
+
+
+def _members(instance: DirectoryInstance, object_class: str) -> Set[int]:
+    if object_class == EMPTY_CLASS:
+        return set()
+    return instance.entries_with_class(object_class)
+
+
+def _related(instance: DirectoryInstance, eid: int, axis: Axis) -> Iterator[Entry]:
+    """All entries related to ``eid`` along ``axis``."""
+    if axis is Axis.CHILD:
+        yield from instance.children_of(eid)
+    elif axis is Axis.PARENT:
+        parent = instance.parent_of(eid)
+        if parent is not None:
+            yield parent
+    elif axis is Axis.DESCENDANT:
+        yield from instance.descendants_of(eid)
+    else:
+        yield from instance.ancestors_of(eid)
+
+
+@dataclass(frozen=True)
+class RequiredClass(SchemaElement):
+    """``c □`` — at least one entry belongs to ``c`` (Definition 2.4)."""
+
+    object_class: str
+
+    def is_satisfied(self, instance: DirectoryInstance) -> bool:
+        return bool(_members(instance, self.object_class))
+
+    def __str__(self) -> str:
+        return f"{self.object_class} □"
+
+
+@dataclass(frozen=True)
+class RequiredEdge(SchemaElement):
+    """A required structural relationship: every entry belonging to
+    ``source`` has at least one ``axis``-related entry belonging to
+    ``target``.
+
+    With ``target = EMPTY_CLASS`` this is the inference system's encoding
+    of "``source`` must have no entries": no entry can have an
+    ``∅``-classed relative, so the element holds exactly when ``source``
+    is unpopulated.
+    """
+
+    axis: Axis
+    source: str
+    target: str
+
+    def is_satisfied(self, instance: DirectoryInstance) -> bool:
+        targets = _members(instance, self.target)
+        for eid in _members(instance, self.source):
+            if not any(rel.eid in targets for rel in _related(instance, eid, self.axis)):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.source} {self.axis.arrow} {self.target}"
+
+
+@dataclass(frozen=True)
+class ForbiddenEdge(SchemaElement):
+    """A forbidden structural relationship: no entry belonging to
+    ``target`` is a child (respectively descendant) of an entry belonging
+    to ``source``.  Only the downward axes exist in ``Ef``
+    (Definition 2.4)."""
+
+    axis: Axis
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if not self.axis.downward:
+            raise ValueError("forbidden relationships use child/descendant axes only")
+
+    def is_satisfied(self, instance: DirectoryInstance) -> bool:
+        targets = _members(instance, self.target)
+        for eid in _members(instance, self.source):
+            if any(rel.eid in targets for rel in _related(instance, eid, self.axis)):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        slash = "↛" if self.axis is Axis.CHILD else "↛↛"
+        return f"{self.source} {slash} {self.target}"
+
+
+@dataclass(frozen=True)
+class Subclass(SchemaElement):
+    """``sub ⊑ sup`` — every entry belonging to ``sub`` also belongs to
+    ``sup`` (single-inheritance consequence, Definition 2.3)."""
+
+    sub: str
+    sup: str
+
+    def is_satisfied(self, instance: DirectoryInstance) -> bool:
+        for eid in _members(instance, self.sub):
+            if not instance.entry(eid).belongs_to(self.sup):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.sub} ⊑ {self.sup}"
+
+
+@dataclass(frozen=True)
+class Disjoint(SchemaElement):
+    """``a ⊥ b`` — no entry belongs to both ``a`` and ``b``
+    (incomparable core classes under single inheritance)."""
+
+    a: str
+    b: str
+
+    def is_satisfied(self, instance: DirectoryInstance) -> bool:
+        return not (_members(instance, self.a) & _members(instance, self.b))
+
+    def normalized(self) -> "Disjoint":
+        """Order the class pair canonically (disjointness is symmetric)."""
+        if self.a <= self.b:
+            return self
+        return Disjoint(self.b, self.a)
+
+    def __str__(self) -> str:
+        return f"{self.a} ⊥ {self.b}"
+
+
+#: The falsum element ``∅ □`` — derivable iff the schema is inconsistent
+#: (Theorem 5.2).
+BOTTOM = RequiredClass(EMPTY_CLASS)
+
+
+def edge_forms() -> Tuple[Tuple[Axis, bool], ...]:
+    """All (axis, is_forbidden) structural-relationship forms of
+    Definition 2.4, in the row order of Figures 4 and 5."""
+    return (
+        (Axis.CHILD, False),
+        (Axis.PARENT, False),
+        (Axis.DESCENDANT, False),
+        (Axis.ANCESTOR, False),
+        (Axis.CHILD, True),
+        (Axis.DESCENDANT, True),
+    )

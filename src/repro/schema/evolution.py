@@ -1,0 +1,179 @@
+"""Schema evolution analysis (Section 6.2 made executable).
+
+The paper contrasts bounding-schemas with rigid traditional schemas:
+"many kinds of schema evolution, such as adding a new allowed attribute
+to an object class, or adding a new auxiliary object class ... is
+extremely lightweight, involving no modifications to existing directory
+entries".  This module turns that observation into a tool: given an old
+and a new bounding-schema, :class:`EvolutionAnalyzer` diffs them into
+individual :class:`SchemaChange` records and classifies each as
+
+``relaxing``
+    every instance legal under the old schema remains legal under the
+    new one — deploy without touching data (the paper's "lightweight"
+    case: new allowed attributes, new classes, widened ``Aux``, dropped
+    requirements, dropped forbidden elements);
+``narrowing``
+    legality may be lost — existing data must be re-validated (new
+    required attributes, new required/forbidden structure elements, new
+    required classes, removed classes, narrowed ``Aux``, reparented
+    cores, removed allowed attributes).
+
+The classification is *conservative*: anything not provably relaxing is
+reported as narrowing.  ``tests/test_evolution.py`` property-tests the
+contract: a diff with only relaxing changes never invalidates a legal
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from typing import TYPE_CHECKING
+
+from repro.model.instance import DirectoryInstance
+from repro.schema.directory_schema import DirectorySchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.legality.report import LegalityReport
+
+__all__ = ["SchemaChange", "EvolutionReport", "EvolutionAnalyzer"]
+
+RELAXING = "relaxing"
+NARROWING = "narrowing"
+
+
+@dataclass(frozen=True)
+class SchemaChange:
+    """One atomic difference between two schemas."""
+
+    kind: str
+    detail: str
+    classification: str
+
+    def __str__(self) -> str:
+        return f"[{self.classification}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class EvolutionReport:
+    """All differences, with the overall deployment verdict."""
+
+    changes: List[SchemaChange] = field(default_factory=list)
+
+    @property
+    def lightweight(self) -> bool:
+        """Whether the evolution is deployable without re-validation
+        (every change is relaxing)."""
+        return all(c.classification == RELAXING for c in self.changes)
+
+    def narrowing_changes(self) -> List[SchemaChange]:
+        """The changes that force re-validation."""
+        return [c for c in self.changes if c.classification == NARROWING]
+
+    def __iter__(self):
+        return iter(self.changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __str__(self) -> str:
+        if not self.changes:
+            return "no schema changes"
+        verdict = "LIGHTWEIGHT" if self.lightweight else "NEEDS RE-VALIDATION"
+        lines = [f"{verdict}: {len(self.changes)} change(s)"]
+        lines.extend(f"  {c}" for c in self.changes)
+        return "\n".join(lines)
+
+
+class EvolutionAnalyzer:
+    """Diffs two bounding-schemas and classifies every change."""
+
+    def __init__(self, old: DirectorySchema, new: DirectorySchema) -> None:
+        self.old = old
+        self.new = new
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> EvolutionReport:
+        """The full classified diff."""
+        report = EvolutionReport()
+        self._diff_classes(report)
+        self._diff_attributes(report)
+        self._diff_structure(report)
+        return report
+
+    def revalidate(self, instance: DirectoryInstance) -> "LegalityReport":
+        """Check an (old-legal) instance against the new schema — the
+        step narrowing evolutions require."""
+        from repro.legality.checker import LegalityChecker
+
+        return LegalityChecker(self.new).check(instance)
+
+    # ------------------------------------------------------------------
+    def _add(self, report: EvolutionReport, kind: str, detail: str,
+             classification: str) -> None:
+        report.changes.append(SchemaChange(kind, detail, classification))
+
+    def _diff_classes(self, report: EvolutionReport) -> None:
+        old_c, new_c = self.old.class_schema, self.new.class_schema
+
+        for name in sorted(new_c.core_classes() - old_c.core_classes()):
+            self._add(report, "core-class-added", name, RELAXING)
+        for name in sorted(old_c.core_classes() - new_c.core_classes()):
+            self._add(report, "core-class-removed", name, NARROWING)
+        for name in sorted(new_c.auxiliary_classes() - old_c.auxiliary_classes()):
+            self._add(report, "auxiliary-class-added", name, RELAXING)
+        for name in sorted(old_c.auxiliary_classes() - new_c.auxiliary_classes()):
+            self._add(report, "auxiliary-class-removed", name, NARROWING)
+
+        for name in sorted(old_c.core_classes() & new_c.core_classes()):
+            if old_c.parent(name) != new_c.parent(name):
+                self._add(
+                    report, "core-class-reparented",
+                    f"{name}: {old_c.parent(name)} → {new_c.parent(name)}",
+                    NARROWING,
+                )
+            old_aux = old_c.aux(name)
+            new_aux = new_c.aux(name)
+            for aux in sorted(new_aux - old_aux):
+                self._add(report, "aux-allowed", f"{name} may now carry {aux}",
+                          RELAXING)
+            for aux in sorted(old_aux - new_aux):
+                self._add(report, "aux-withdrawn",
+                          f"{name} may no longer carry {aux}", NARROWING)
+
+    def _diff_attributes(self, report: EvolutionReport) -> None:
+        old_a, new_a = self.old.attribute_schema, self.new.attribute_schema
+        for name in sorted(old_a.classes() | new_a.classes()):
+            old_required, old_allowed = old_a.required(name), old_a.allowed(name)
+            new_required, new_allowed = new_a.required(name), new_a.allowed(name)
+            for attr in sorted(new_required - old_required):
+                self._add(report, "attribute-now-required",
+                          f"{name}.{attr}", NARROWING)
+            for attr in sorted(old_required - new_required):
+                self._add(report, "attribute-no-longer-required",
+                          f"{name}.{attr}", RELAXING)
+            for attr in sorted((new_allowed - new_required) - old_allowed):
+                self._add(report, "attribute-now-allowed",
+                          f"{name}.{attr}", RELAXING)
+            for attr in sorted(old_allowed - new_allowed):
+                self._add(report, "attribute-no-longer-allowed",
+                          f"{name}.{attr}", NARROWING)
+
+    def _diff_structure(self, report: EvolutionReport) -> None:
+        old_s, new_s = self.old.structure_schema, self.new.structure_schema
+        for name in sorted(new_s.required_classes - old_s.required_classes):
+            self._add(report, "class-now-required", f"{name} □", NARROWING)
+        for name in sorted(old_s.required_classes - new_s.required_classes):
+            self._add(report, "class-no-longer-required", f"{name} □", RELAXING)
+        for edge in sorted(new_s.required_edges - old_s.required_edges, key=str):
+            self._add(report, "relationship-now-required", str(edge), NARROWING)
+        for edge in sorted(old_s.required_edges - new_s.required_edges, key=str):
+            self._add(report, "relationship-no-longer-required", str(edge),
+                      RELAXING)
+        for edge in sorted(new_s.forbidden_edges - old_s.forbidden_edges, key=str):
+            self._add(report, "relationship-now-forbidden", str(edge), NARROWING)
+        for edge in sorted(old_s.forbidden_edges - new_s.forbidden_edges, key=str):
+            self._add(report, "relationship-no-longer-forbidden", str(edge),
+                      RELAXING)

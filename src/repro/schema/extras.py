@@ -1,0 +1,85 @@
+"""Section 6.1 schema extensions.
+
+The paper's design-rationale section describes three orthogonal schema
+features that "can easily be incorporated" into bounding-schemas; this
+module incorporates them:
+
+* **Numeric restrictions** — particular attributes declared
+  *single-valued* (e.g. ``socialSecurityNumber``); legal entries hold at
+  most one value for them.
+* **Keys** — given LDAP's loose object classes, a key attribute must be
+  unique across *all* entries in the directory instance, not just within
+  one class.
+* **Extensible object** — an LDAPv3 object class whose entries "allow all
+  possible attributes"; membership in an extensible class exempts an
+  entry from the allowed-attribute upper bound.
+
+These checks are enforced by :class:`repro.legality.extras.ExtrasChecker`
+on top of the core legality test; they are deliberately orthogonal to the
+bounding-schema elements, as argued in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, FrozenSet, Iterable, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schema.directory_schema import DirectorySchema
+
+__all__ = ["SchemaExtras"]
+
+
+@dataclass
+class SchemaExtras:
+    """Optional Section 6.1 features attached to a directory schema."""
+
+    single_valued_attributes: Set[str] = field(default_factory=set)
+    key_attributes: Set[str] = field(default_factory=set)
+    extensible_classes: Set[str] = field(default_factory=set)
+    #: Attributes whose values are DNs that must name existing entries
+    #: (referential integrity — the paper's "keys ... as values of
+    #: attributes" remark, §6.1, taken to its practical conclusion).
+    referential_attributes: Set[str] = field(default_factory=set)
+
+    def declare_single_valued(self, *attributes: str) -> "SchemaExtras":
+        """Mark attributes as single-valued (numeric restriction)."""
+        self.single_valued_attributes.update(attributes)
+        return self
+
+    def declare_key(self, *attributes: str) -> "SchemaExtras":
+        """Mark attributes as directory-wide keys (implies
+        single-valued)."""
+        self.key_attributes.update(attributes)
+        self.single_valued_attributes.update(attributes)
+        return self
+
+    def declare_extensible(self, *classes: str) -> "SchemaExtras":
+        """Mark object classes as extensible (all attributes allowed)."""
+        self.extensible_classes.update(classes)
+        return self
+
+    def declare_referential(self, *attributes: str) -> "SchemaExtras":
+        """Mark attributes as entry references: every value must be the
+        DN of an existing entry in the instance."""
+        self.referential_attributes.update(attributes)
+        return self
+
+    def is_extensible(self, classes: Iterable[str]) -> bool:
+        """Whether any of ``classes`` is extensible."""
+        return any(c in self.extensible_classes for c in classes)
+
+    def effective_single_valued(self) -> FrozenSet[str]:
+        """All attributes restricted to one value (keys included)."""
+        return frozenset(self.single_valued_attributes | self.key_attributes)
+
+    def validate_against(self, schema: "DirectorySchema") -> List[str]:
+        """Cross-checks against the owning schema; returns problem
+        descriptions (empty when well-formed)."""
+        problems: List[str] = []
+        for object_class in sorted(self.extensible_classes):
+            if object_class not in schema.class_schema:
+                problems.append(
+                    f"extensible class {object_class!r} is not in the class schema"
+                )
+        return problems

@@ -1,0 +1,152 @@
+"""Structure schemas (Definition 2.4).
+
+A structure schema ``S = (Cr, Er, Ef)`` bounds the *shape* of the
+directory forest:
+
+* ``Cr`` — required object classes: ``c □`` demands at least one entry
+  belonging to ``c`` (lower bound on existence);
+* ``Er ⊆ Cc × {ch, de, pa, an} × Cc`` — required structural
+  relationships: ``ci → cj`` (child), ``ci →→ cj`` (descendant),
+  ``cj ← ci`` (parent), ``cj ←← ci`` (ancestor);
+* ``Ef ⊆ Cc × {ch, de} × Cc`` — forbidden structural relationships:
+  ``ci ↛ cj`` and ``ci ↛↛ cj``.
+
+All classes mentioned must be **core** classes of the accompanying class
+schema (checked by :meth:`~repro.schema.directory_schema.DirectorySchema.validate`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Set
+
+from repro.axes import Axis
+from repro.errors import SchemaError
+from repro.schema.elements import (
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    SchemaElement,
+)
+
+__all__ = ["StructureSchema"]
+
+
+class StructureSchema:
+    """The structure schema ``(Cr, Er, Ef)`` with a fluent builder API.
+
+    The ``require_*``/``forbid_*`` methods all read left-to-right as
+    "every/no *source* entry [has] a *target* entry", e.g.
+    ``require_descendant("orgGroup", "person")`` is the paper's
+    ``orgGroup →→ person``: every organizational group must (directly or
+    indirectly) contain a person.
+    """
+
+    def __init__(self) -> None:
+        self._required_classes: Set[str] = set()
+        self._required_edges: Set[RequiredEdge] = set()
+        self._forbidden_edges: Set[ForbiddenEdge] = set()
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def require_class(self, *classes: str) -> "StructureSchema":
+        """Add ``c □`` elements to ``Cr``."""
+        self._required_classes.update(classes)
+        return self
+
+    def require(self, source: str, axis: Axis, target: str) -> "StructureSchema":
+        """Add ``(source, axis, target)`` to ``Er``."""
+        self._required_edges.add(RequiredEdge(axis, source, target))
+        return self
+
+    def require_child(self, source: str, target: str) -> "StructureSchema":
+        """``source → target``: every source entry has a target child."""
+        return self.require(source, Axis.CHILD, target)
+
+    def require_descendant(self, source: str, target: str) -> "StructureSchema":
+        """``source →→ target``: every source entry has a target
+        descendant."""
+        return self.require(source, Axis.DESCENDANT, target)
+
+    def require_parent(self, source: str, target: str) -> "StructureSchema":
+        """``target ← source``: every source entry has a target parent."""
+        return self.require(source, Axis.PARENT, target)
+
+    def require_ancestor(self, source: str, target: str) -> "StructureSchema":
+        """``target ←← source``: every source entry has a target
+        ancestor."""
+        return self.require(source, Axis.ANCESTOR, target)
+
+    def forbid(self, source: str, axis: Axis, target: str) -> "StructureSchema":
+        """Add ``(source, axis, target)`` to ``Ef`` (downward axes only)."""
+        if not axis.downward:
+            raise SchemaError(
+                "forbidden relationships use the child/descendant axes only "
+                "(Definition 2.4)"
+            )
+        self._forbidden_edges.add(ForbiddenEdge(axis, source, target))
+        return self
+
+    def forbid_child(self, source: str, target: str) -> "StructureSchema":
+        """``source ↛ target``: no target entry is a child of a source
+        entry."""
+        return self.forbid(source, Axis.CHILD, target)
+
+    def forbid_descendant(self, source: str, target: str) -> "StructureSchema":
+        """``source ↛↛ target``: no target entry is a descendant of a
+        source entry."""
+        return self.forbid(source, Axis.DESCENDANT, target)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def required_classes(self) -> FrozenSet[str]:
+        """``Cr``."""
+        return frozenset(self._required_classes)
+
+    @property
+    def required_edges(self) -> FrozenSet[RequiredEdge]:
+        """``Er``."""
+        return frozenset(self._required_edges)
+
+    @property
+    def forbidden_edges(self) -> FrozenSet[ForbiddenEdge]:
+        """``Ef``."""
+        return frozenset(self._forbidden_edges)
+
+    def elements(self) -> Iterator[SchemaElement]:
+        """All structure-schema elements, relationship elements first
+        (deterministic order for reproducible reports)."""
+        yield from sorted(self._required_edges, key=str)
+        yield from sorted(self._forbidden_edges, key=str)
+        for name in sorted(self._required_classes):
+            yield RequiredClass(name)
+
+    def relationship_elements(self) -> List[SchemaElement]:
+        """Just ``Er ∪ Ef`` — the elements Figure 5 characterizes."""
+        return sorted(self._required_edges, key=str) + sorted(
+            self._forbidden_edges, key=str
+        )
+
+    def mentioned_classes(self) -> Set[str]:
+        """Every class occurring in ``Cr``, ``Er``, or ``Ef``."""
+        names = set(self._required_classes)
+        for edge in self._required_edges:
+            names.add(edge.source)
+            names.add(edge.target)
+        for edge in self._forbidden_edges:
+            names.add(edge.source)
+            names.add(edge.target)
+        return names
+
+    def size(self) -> int:
+        """``|S|`` — total number of structure elements (Theorem 3.1)."""
+        return (
+            len(self._required_classes)
+            + len(self._required_edges)
+            + len(self._forbidden_edges)
+        )
+
+    def __len__(self) -> int:
+        return self.size()

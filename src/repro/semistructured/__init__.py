@@ -1,0 +1,18 @@
+"""Bounding-schemas for semi-structured data (Section 6.3)."""
+
+from repro.semistructured.bridge import (
+    constraints_to_structure_schema,
+    graph_to_instance,
+    instance_to_graph,
+)
+from repro.semistructured.constraints import GraphConstraints, GraphValidator
+from repro.semistructured.graph import DataGraph
+
+__all__ = [
+    "DataGraph",
+    "GraphConstraints",
+    "GraphValidator",
+    "graph_to_instance",
+    "instance_to_graph",
+    "constraints_to_structure_schema",
+]

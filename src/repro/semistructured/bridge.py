@@ -1,0 +1,90 @@
+"""Bridging tree-shaped data graphs and directory instances.
+
+Section 6.3's closing point is that the LDAP machinery carries over to
+semi-structured data.  For *tree-shaped* data graphs the transfer is
+literal: labels become object classes, graph edges become the directory
+forest, and the full Section 3 query-reduction checker applies.  This
+module provides the two directions of that embedding, plus the
+translation from :class:`~repro.semistructured.constraints.GraphConstraints`
+to a :class:`~repro.schema.structure_schema.StructureSchema` — used by
+the SEC63 benchmark to cross-validate the graph checker against the
+directory checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.errors import ModelError
+from repro.model.instance import DirectoryInstance
+from repro.schema.structure_schema import StructureSchema
+from repro.semistructured.constraints import GraphConstraints
+from repro.semistructured.graph import DataGraph
+
+__all__ = [
+    "graph_to_instance",
+    "instance_to_graph",
+    "constraints_to_structure_schema",
+]
+
+
+def graph_to_instance(graph: DataGraph) -> DirectoryInstance:
+    """Embed a tree-shaped data graph into a directory instance.
+
+    Each node becomes an entry whose classes are ``{label, "top"}`` and
+    whose RDN encodes the node id.
+
+    Raises
+    ------
+    ModelError
+        If the graph has sharing or cycles (not forest-shaped).
+    """
+    if not graph.is_tree_shaped():
+        raise ModelError("only tree-shaped data graphs embed into directories")
+    instance = DirectoryInstance()
+
+    def build(node: Hashable, parent_entry) -> None:
+        label = graph.label(node)
+        classes = {label, "top"}
+        entry = instance.add_entry(parent_entry, f"id={node}", classes)
+        for child in graph.children(node):
+            build(child, entry)
+
+    for root in graph.roots():
+        build(root, None)
+    return instance
+
+
+def instance_to_graph(instance: DirectoryInstance) -> DataGraph:
+    """Project a directory instance onto a data graph.
+
+    Graph nodes are single-labeled, so each entry's label is a
+    deterministic representative of its class set: the lexicographically
+    smallest class other than ``top`` (or ``top`` for entries belonging
+    only to it).
+    """
+    graph = DataGraph()
+    ids: Dict[int, str] = {}
+    for entry in instance:
+        candidates = sorted(c for c in entry.classes if c != "top") or ["top"]
+        node_id = f"e{entry.eid}"
+        ids[entry.eid] = node_id
+        graph.add_node(node_id, candidates[0])
+    for entry in instance:
+        parent = instance.parent_of(entry)
+        if parent is not None:
+            graph.add_edge(ids[parent.eid], ids[entry.eid])
+    return graph
+
+
+def constraints_to_structure_schema(constraints: GraphConstraints) -> StructureSchema:
+    """Reinterpret graph constraints as a directory structure schema
+    (labels read as core object classes)."""
+    schema = StructureSchema()
+    for label in constraints.required_labels:
+        schema.require_class(label)
+    for axis, source, target in constraints.required:
+        schema.require(source, axis, target)
+    for axis, source, target in constraints.forbidden:
+        schema.forbid(source, axis, target)
+    return schema

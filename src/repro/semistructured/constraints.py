@@ -1,0 +1,155 @@
+"""Bounding constraints on data graphs (Section 6.3).
+
+The structural schema elements of Definition 2.4, transplanted from
+object classes to node labels and from forest edges to graph
+reachability:
+
+* ``label □`` — at least one node carries the label;
+* ``l1 → l2`` / ``l1 →→ l2`` — every ``l1`` node has an ``l2`` child /
+  descendant (the paper's "each *person* node must have a (descendant)
+  *name* node, without having to fix the length of the path");
+* ``l2 ← l1`` / ``l2 ←← l1`` — every ``l1`` node has an ``l2`` parent /
+  ancestor;
+* ``l1 ↛ l2`` / ``l1 ↛↛ l2`` — no ``l2`` node is a child / descendant
+  of an ``l1`` node (the paper's "forbid a *country* node to be a
+  descendant of another *country* node", which still allows
+  country→corporation→country chains to any depth... no — it forbids
+  them precisely; what stays allowed is corporation nesting).
+
+Because graphs may share nodes and contain cycles, "descendant" means
+proper reachability; everything else carries over verbatim, which is
+exactly the point of Section 6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.axes import Axis
+from repro.errors import SchemaError
+from repro.legality.report import Kind, LegalityReport, Violation
+from repro.semistructured.graph import DataGraph
+
+__all__ = ["GraphConstraints", "GraphValidator"]
+
+
+@dataclass
+class GraphConstraints:
+    """A bounding-constraint set over node labels."""
+
+    required_labels: Set[str] = field(default_factory=set)
+    required: Set[tuple] = field(default_factory=set)   # (axis, source, target)
+    forbidden: Set[tuple] = field(default_factory=set)  # (axis, source, target)
+
+    # ------------------------------------------------------------------
+    # builders (mirroring StructureSchema)
+    # ------------------------------------------------------------------
+    def require_label(self, *labels: str) -> "GraphConstraints":
+        """Require at least one node per label."""
+        self.required_labels.update(labels)
+        return self
+
+    def require_child(self, source: str, target: str) -> "GraphConstraints":
+        """Every ``source`` node has a ``target`` child."""
+        self.required.add((Axis.CHILD, source, target))
+        return self
+
+    def require_descendant(self, source: str, target: str) -> "GraphConstraints":
+        """Every ``source`` node reaches some ``target`` node."""
+        self.required.add((Axis.DESCENDANT, source, target))
+        return self
+
+    def require_parent(self, source: str, target: str) -> "GraphConstraints":
+        """Every ``source`` node has a ``target`` parent."""
+        self.required.add((Axis.PARENT, source, target))
+        return self
+
+    def require_ancestor(self, source: str, target: str) -> "GraphConstraints":
+        """Every ``source`` node is reached by some ``target`` node."""
+        self.required.add((Axis.ANCESTOR, source, target))
+        return self
+
+    def forbid_child(self, source: str, target: str) -> "GraphConstraints":
+        """No ``target`` node is a child of a ``source`` node."""
+        self.forbidden.add((Axis.CHILD, source, target))
+        return self
+
+    def forbid_descendant(self, source: str, target: str) -> "GraphConstraints":
+        """No ``target`` node is reachable from a ``source`` node."""
+        self.forbidden.add((Axis.DESCENDANT, source, target))
+        return self
+
+    def validate(self) -> "GraphConstraints":
+        """Check the Definition 2.4 axis restriction on ``forbidden``."""
+        for axis, _, _ in self.forbidden:
+            if not axis.downward:
+                raise SchemaError(
+                    "forbidden graph constraints use child/descendant axes only"
+                )
+        return self
+
+
+class GraphValidator:
+    """Checks data graphs against a :class:`GraphConstraints` set.
+
+    The checker evaluates descendant/ancestor constraints through one
+    reachability pass per constraint (``O(|constraints| * (V + E))``),
+    the graph analogue of Theorem 3.1's per-element linear cost.
+    """
+
+    def __init__(self, constraints: GraphConstraints) -> None:
+        self.constraints = constraints.validate()
+
+    def check(self, graph: DataGraph) -> LegalityReport:
+        """All constraint violations of ``graph``."""
+        report = LegalityReport()
+        for label in sorted(self.constraints.required_labels):
+            if not graph.nodes_with_label(label):
+                report.add(
+                    Violation(
+                        Kind.MISSING_REQUIRED_CLASS,
+                        f"no node carries required label {label!r}",
+                        element=f"{label} □",
+                    )
+                )
+        for axis, source, target in sorted(self.constraints.required, key=str):
+            for node in sorted(graph.nodes_with_label(source), key=str):
+                if not self._has_related(graph, node, axis, target):
+                    report.add(
+                        Violation(
+                            Kind.REQUIRED_RELATIONSHIP,
+                            f"node {node!r} violates {source} {axis.arrow} {target}",
+                            dn=str(node),
+                            element=f"{source} {axis.arrow} {target}",
+                        )
+                    )
+        for axis, source, target in sorted(self.constraints.forbidden, key=str):
+            slash = "↛" if axis is Axis.CHILD else "↛↛"
+            for node in sorted(graph.nodes_with_label(source), key=str):
+                if self._has_related(graph, node, axis, target):
+                    report.add(
+                        Violation(
+                            Kind.FORBIDDEN_RELATIONSHIP,
+                            f"node {node!r} participates in {source} {slash} {target}",
+                            dn=str(node),
+                            element=f"{source} {slash} {target}",
+                        )
+                    )
+        return report
+
+    def is_legal(self, graph: DataGraph) -> bool:
+        """Yes/no verdict."""
+        return self.check(graph).is_legal
+
+    @staticmethod
+    def _has_related(graph: DataGraph, node, axis: Axis, label: str) -> bool:
+        if axis is Axis.CHILD:
+            related = graph.children(node)
+        elif axis is Axis.PARENT:
+            related = graph.parents(node)
+        elif axis is Axis.DESCENDANT:
+            related = graph.descendants(node)
+        else:
+            related = graph.ancestors(node)
+        return any(graph.label(r) == label for r in related)

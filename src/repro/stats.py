@@ -1,0 +1,100 @@
+"""Instance statistics.
+
+Directory administrators (and this library's own benchmarks) need quick
+structural summaries: how classes are populated, how deep the forest
+runs, how heterogeneous attribute usage is — the heterogeneity the
+paper's introduction motivates bounding-schemas with (person entries
+with zero, one, or many ``mail`` values) becomes directly visible in the
+``value_cardinality`` histogram.
+
+:func:`collect_stats` makes one pass over the instance; the result
+renders as a compact text report (``str()``) used by the ``stats`` CLI
+command.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.model.attributes import OBJECT_CLASS
+from repro.model.instance import DirectoryInstance
+
+__all__ = ["InstanceStats", "collect_stats"]
+
+
+@dataclass
+class InstanceStats:
+    """One-pass structural summary of a directory instance."""
+
+    entries: int = 0
+    roots: int = 0
+    max_depth: int = 0
+    leaves: int = 0
+    class_population: Dict[str, int] = field(default_factory=dict)
+    classes_per_entry: Dict[int, int] = field(default_factory=dict)
+    depth_histogram: Dict[int, int] = field(default_factory=dict)
+    attribute_population: Dict[str, int] = field(default_factory=dict)
+    #: attribute → {value-count → number of entries holding that many}
+    value_cardinality: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+    def heterogeneity(self, attribute: str) -> Tuple[int, ...]:
+        """The distinct per-entry value counts observed for
+        ``attribute`` (a singleton tuple means homogeneous usage)."""
+        return tuple(sorted(self.value_cardinality.get(attribute, {})))
+
+    def __str__(self) -> str:
+        lines = [
+            f"entries: {self.entries} ({self.roots} roots, "
+            f"{self.leaves} leaves, max depth {self.max_depth})",
+            "classes:",
+        ]
+        for name, count in sorted(
+            self.class_population.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {name}: {count}")
+        lines.append("attributes:")
+        for name, count in sorted(
+            self.attribute_population.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            cardinalities = self.value_cardinality.get(name, {})
+            spread = ", ".join(
+                f"{k}×{v}" for k, v in sorted(cardinalities.items())
+            )
+            lines.append(f"  {name}: {count} entries (values per entry: {spread})")
+        return "\n".join(lines)
+
+
+def collect_stats(instance: DirectoryInstance) -> InstanceStats:
+    """Collect :class:`InstanceStats` in one pass over ``instance``."""
+    stats = InstanceStats()
+    stats.entries = len(instance)
+    stats.roots = len(instance.root_ids())
+    stats.max_depth = instance.max_depth()
+
+    class_population: Counter = Counter()
+    classes_per_entry: Counter = Counter()
+    depth_histogram: Counter = Counter()
+    attribute_population: Counter = Counter()
+    cardinality: Dict[str, Counter] = {}
+
+    for entry in instance:
+        if not instance.children_ids(entry.eid):
+            stats.leaves += 1
+        depth_histogram[instance.depth_of(entry)] += 1
+        classes_per_entry[len(entry.classes)] += 1
+        for name in entry.classes:
+            class_population[name] += 1
+        for name in entry.attribute_names():
+            if name == OBJECT_CLASS:
+                continue
+            attribute_population[name] += 1
+            cardinality.setdefault(name, Counter())[len(entry.values(name))] += 1
+
+    stats.class_population = dict(class_population)
+    stats.classes_per_entry = dict(classes_per_entry)
+    stats.depth_histogram = dict(depth_histogram)
+    stats.attribute_population = dict(attribute_population)
+    stats.value_cardinality = {k: dict(v) for k, v in cardinality.items()}
+    return stats

@@ -1,0 +1,5 @@
+"""Durable, schema-guarded directory storage (snapshot + journal)."""
+
+from repro.store.journal import DirectoryStore
+
+__all__ = ["DirectoryStore"]

@@ -1,0 +1,197 @@
+"""A durable, schema-guarded directory store.
+
+A production directory must survive restarts.  :class:`DirectoryStore`
+adds durability to the Section 4 machinery with the classic
+snapshot-plus-journal design, using the library's own formats:
+
+* the **snapshot** is an LDIF content file (``snapshot.ldif``);
+* the **journal** is an append-only LDIF *changes* file
+  (``journal.ldif``): every committed transaction's records, in commit
+  order, separated by comment markers.
+
+Every update goes through the
+:class:`~repro.updates.incremental.IncrementalChecker` first — only
+legality-preserving transactions reach the journal, so recovery can
+replay blindly.  :meth:`DirectoryStore.open` loads the snapshot and
+replays the journal; :meth:`DirectoryStore.compact` folds the journal
+into a fresh snapshot.
+
+Crash-safety model (property-tested): journal entries are written and
+flushed *after* the in-memory commit succeeds; a torn final record is
+detected by the trailing commit marker and discarded on recovery, so a
+crash between flush boundaries loses at most the in-flight transaction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.errors import UpdateError
+from repro.ldif.changes import parse_changes, serialize_changes
+from repro.ldif.reader import parse_ldif
+from repro.ldif.writer import serialize_ldif
+from repro.legality.report import LegalityReport
+from repro.model.attributes import AttributeRegistry
+from repro.model.instance import DirectoryInstance
+from repro.schema.directory_schema import DirectorySchema
+from repro.updates.incremental import IncrementalChecker, UpdateOutcome
+from repro.updates.operations import UpdateTransaction
+
+__all__ = ["DirectoryStore"]
+
+_COMMIT_MARKER = "# commit"
+
+
+class DirectoryStore:
+    """A schema-guarded directory with snapshot+journal durability."""
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        instance: DirectoryInstance,
+        guard: IncrementalChecker,
+    ) -> None:
+        self._dir = directory
+        self.schema = schema
+        self.instance = instance
+        self._guard = guard
+        self._journal_count = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        initial: Optional[DirectoryInstance] = None,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> "DirectoryStore":
+        """Initialize a store directory with an (optionally empty)
+        snapshot and an empty journal.
+
+        Raises
+        ------
+        UpdateError
+            If the directory already holds a store, or the initial
+            instance is not legal w.r.t. the schema.
+        """
+        os.makedirs(directory, exist_ok=True)
+        snapshot = cls._snapshot_path(directory)
+        if os.path.exists(snapshot):
+            raise UpdateError(f"{directory!r} already contains a store")
+        instance = (
+            initial
+            if initial is not None
+            else DirectoryInstance(attributes=registry)
+        )
+        guard = IncrementalChecker(schema, instance)  # validates baseline
+        with open(snapshot, "w", encoding="utf-8") as handle:
+            handle.write(serialize_ldif(instance))
+        open(cls._journal_path(directory), "w", encoding="utf-8").close()
+        return cls(directory, schema, instance, guard)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> "DirectoryStore":
+        """Load the snapshot and replay the journal.
+
+        A torn final journal record (no trailing commit marker) is
+        discarded.  The recovered instance is legality-checked before
+        the store accepts further updates.
+        """
+        with open(cls._snapshot_path(directory), "r", encoding="utf-8") as handle:
+            instance = parse_ldif(handle.read(), attributes=registry)
+        count = 0
+        for block in cls._read_journal(directory):
+            cls._apply_blind(instance, parse_changes(block))
+            count += 1
+        guard = IncrementalChecker(schema, instance)  # full check here
+        store = cls(directory, schema, instance, guard)
+        store._journal_count = count
+        return store
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply(self, transaction: UpdateTransaction) -> UpdateOutcome:
+        """Run a transaction through the incremental checker; journal it
+        when (and only when) it commits."""
+        outcome = self._guard.apply_transaction(transaction)
+        if outcome.applied:
+            self._append_journal(transaction)
+            self._journal_count += 1
+        return outcome
+
+    def check(self) -> LegalityReport:
+        """A full legality report of the current contents."""
+        return self._guard.full_recheck()
+
+    def compact(self) -> None:
+        """Fold the journal into a fresh snapshot (atomic rename)."""
+        snapshot = self._snapshot_path(self._dir)
+        temp = snapshot + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(serialize_ldif(self.instance))
+        os.replace(temp, snapshot)
+        open(self._journal_path(self._dir), "w", encoding="utf-8").close()
+        self._journal_count = 0
+
+    @property
+    def journal_length(self) -> int:
+        """Number of committed transactions since the last compaction."""
+        return self._journal_count
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot_path(directory: str) -> str:
+        return os.path.join(directory, "snapshot.ldif")
+
+    @staticmethod
+    def _journal_path(directory: str) -> str:
+        return os.path.join(directory, "journal.ldif")
+
+    def _append_journal(self, transaction: UpdateTransaction) -> None:
+        with open(self._journal_path(self._dir), "a", encoding="utf-8") as handle:
+            handle.write(serialize_changes(transaction))
+            handle.write(f"\n{_COMMIT_MARKER}\n\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @classmethod
+    def _read_journal(cls, directory: str) -> List[str]:
+        path = cls._journal_path(directory)
+        if not os.path.exists(path):
+            return []
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        blocks: List[str] = []
+        current: List[str] = []
+        committed_upto = 0
+        for line in text.splitlines():
+            if line.strip() == _COMMIT_MARKER:
+                blocks.append("\n".join(current))
+                current = []
+                committed_upto = len(blocks)
+            else:
+                current.append(line)
+        # anything after the last commit marker is a torn record: drop it
+        return blocks[:committed_upto]
+
+    @staticmethod
+    def _apply_blind(instance: DirectoryInstance, transaction: UpdateTransaction) -> None:
+        """Replay a committed transaction without re-checking (it was
+        checked before it reached the journal)."""
+        from repro.updates.transactions import apply_subtree_update, decompose
+
+        for step in decompose(transaction, instance):
+            apply_subtree_update(instance, step)

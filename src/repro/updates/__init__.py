@@ -1,0 +1,32 @@
+"""Directory updates and incremental legality testing (Section 4)."""
+
+from repro.updates.incremental import IncrementalChecker, UpdateOutcome
+from repro.updates.operations import (
+    DeleteEntry,
+    InsertEntry,
+    UpdateOperation,
+    UpdateTransaction,
+)
+from repro.updates.table import (
+    DELTA_TABLE,
+    DeltaRule,
+    build_delta_query,
+    rule_for,
+)
+from repro.updates.transactions import SubtreeUpdate, apply_subtree_update, decompose
+
+__all__ = [
+    "IncrementalChecker",
+    "UpdateOutcome",
+    "InsertEntry",
+    "DeleteEntry",
+    "UpdateOperation",
+    "UpdateTransaction",
+    "SubtreeUpdate",
+    "decompose",
+    "apply_subtree_update",
+    "DeltaRule",
+    "DELTA_TABLE",
+    "rule_for",
+    "build_delta_query",
+]

@@ -1,0 +1,137 @@
+"""Update operations and transactions (Section 4.1).
+
+LDAP updates happen one entry at a time: a new entry must be a root or a
+child of an existing entry, and only leaves can be deleted.  An *update
+transaction* is a sequence of distinct entry insertions and deletions;
+Theorem 4.1 shows legality checking may treat any transaction as a set of
+*subtree* insertions followed by *subtree* deletions, which is the
+granularity the incremental checker works at.
+
+This module defines the operation/transaction value objects; the
+Theorem 4.1 decomposition lives in :mod:`repro.updates.transactions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import UpdateError
+from repro.model.dn import DN, parse_dn
+
+__all__ = ["InsertEntry", "DeleteEntry", "UpdateOperation", "UpdateTransaction"]
+
+
+@dataclass(frozen=True)
+class InsertEntry:
+    """Insert one entry at ``dn`` with the given classes and attributes.
+
+    The parent entry (``dn.parent()``) must exist at apply time — either
+    already in the instance or inserted earlier in the same transaction.
+    """
+
+    dn: DN
+    classes: Tuple[str, ...]
+    attributes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    @staticmethod
+    def make(
+        dn: Union[DN, str],
+        classes: Any,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> "InsertEntry":
+        """Convenience constructor accepting strings/dicts/lists."""
+        parsed = parse_dn(dn) if isinstance(dn, str) else dn
+        attr_items: List[Tuple[str, Tuple[Any, ...]]] = []
+        for name, values in (attributes or {}).items():
+            attr_items.append((name, tuple(values)))
+        return InsertEntry(parsed, tuple(classes), tuple(attr_items))
+
+    def attribute_dict(self) -> Dict[str, List[Any]]:
+        """The attributes as a plain dict of value lists."""
+        return {name: list(values) for name, values in self.attributes}
+
+    def __str__(self) -> str:
+        return f"insert {self.dn}"
+
+
+@dataclass(frozen=True)
+class DeleteEntry:
+    """Delete the entry at ``dn``.
+
+    At apply time the entry must be a leaf — either a leaf of the
+    instance or one whose descendants are all deleted earlier in the same
+    transaction.
+    """
+
+    dn: DN
+
+    @staticmethod
+    def make(dn: Union[DN, str]) -> "DeleteEntry":
+        """Convenience constructor accepting a DN string."""
+        return DeleteEntry(parse_dn(dn) if isinstance(dn, str) else dn)
+
+    def __str__(self) -> str:
+        return f"delete {self.dn}"
+
+
+UpdateOperation = Union[InsertEntry, DeleteEntry]
+
+
+@dataclass
+class UpdateTransaction:
+    """A sequence of distinct entry insertions and deletions.
+
+    Distinctness (the Section 4.1 assumption) means no DN is targeted by
+    two operations; :meth:`validate` enforces it.
+    """
+
+    operations: List[UpdateOperation] = field(default_factory=list)
+
+    def insert(
+        self,
+        dn: Union[DN, str],
+        classes: Any,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> "UpdateTransaction":
+        """Append an insertion; returns ``self`` for chaining."""
+        self.operations.append(InsertEntry.make(dn, classes, attributes))
+        return self
+
+    def delete(self, dn: Union[DN, str]) -> "UpdateTransaction":
+        """Append a deletion; returns ``self`` for chaining."""
+        self.operations.append(DeleteEntry.make(dn))
+        return self
+
+    def insertions(self) -> List[InsertEntry]:
+        """All insertion operations, in transaction order."""
+        return [op for op in self.operations if isinstance(op, InsertEntry)]
+
+    def deletions(self) -> List[DeleteEntry]:
+        """All deletion operations, in transaction order."""
+        return [op for op in self.operations if isinstance(op, DeleteEntry)]
+
+    def validate(self) -> "UpdateTransaction":
+        """Enforce the distinctness assumption of Section 4.1.
+
+        Raises
+        ------
+        UpdateError
+            If two operations target the same DN.
+        """
+        seen: set = set()
+        for op in self.operations:
+            key = str(op.dn)
+            if key in seen:
+                raise UpdateError(
+                    f"transaction targets {key!r} more than once "
+                    "(operations must be distinct, Section 4.1)"
+                )
+            seen.add(key)
+        return self
+
+    def __iter__(self) -> Iterator[UpdateOperation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)

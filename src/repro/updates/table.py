@@ -1,0 +1,199 @@
+"""Figure 5 as executable data: Δ-query expressions per relationship form.
+
+Figure 5 of the paper lists, for each of the six structural-relationship
+forms and each update kind (subtree insertion / subtree deletion):
+
+* whether the form is *incrementally testable* (Theorem 4.2), and
+* the Δ-query — the Figure 4 query with each sub-expression re-scoped to
+  one of ``∅``, ``Δ``, ``D``, or the updated instance.
+
+This module encodes that table row by row.  The tests assert the table
+against the paper (test_fig5_table) and against semantics: for every row,
+the Δ-query verdict on a legal ``D`` equals the full re-check verdict.
+
+Row derivations (insertions of a subtree ``Δ`` into a legal ``D``):
+
+``ci → cj``   (required child)
+    Existing entries only *gain* children, so only Δ-entries can violate;
+    a Δ-entry's children all lie inside Δ.  Query: all three
+    sub-expressions scoped to ``Δ``.
+``cj ← ci``   (required parent)
+    Only Δ-entries can violate; the Δ-roots' parents live in ``D``, so
+    the inner parent test runs on ``D + Δ``.
+``ci →→ cj``  (required descendant)
+    As required child — a Δ-entry's descendants all lie inside Δ
+    (this is the ``Q1`` example worked in Section 4.2).
+``cj ←← ci``  (required ancestor)
+    As required parent — ancestors of Δ-entries span ``D + Δ``.
+``ci ↛ cj``   (forbidden child)
+    Every *new* (parent, child) pair has its child in Δ; the parent may
+    be the attachment point in ``D``.  Query: ``(c (oc=ci)[D+Δ]
+    (oc=cj)[Δ])``.
+``ci ↛↛ cj``  (forbidden descendant)
+    Same with the descendant axis.
+
+Deletions of a subtree ``Δ`` from a legal ``D``:
+
+``ci → cj``, ``ci →→ cj``
+    *Not incrementally testable*: removing a subtree can remove a
+    remaining entry's last required child/descendant — the Figure 4 query
+    must be re-evaluated on all of ``D - Δ``.
+``cj ← ci``, ``cj ←← ci``
+    No check (``∅`` scopes): a deleted subtree contains all of its own
+    descendants, so no surviving entry loses a parent or ancestor.
+``ci ↛ cj``, ``ci ↛↛ cj``
+    No check: deletion never creates pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Tuple
+
+from repro.axes import Axis
+from repro.query.ast import (
+    SCOPE_DELTA,
+    SCOPE_EMPTY,
+    SCOPE_NEW,
+    HSelect,
+    Minus,
+    Query,
+)
+from repro.query.translate import class_selection
+from repro.schema.elements import ForbiddenEdge, RequiredEdge, SchemaElement
+
+__all__ = ["DeltaRule", "DELTA_TABLE", "rule_for", "build_delta_query"]
+
+Operation = Literal["insert", "delete"]
+
+#: Scope plan: (outer-atom scope, inner-atom scope) for required edges,
+#: (source scope, target scope) for forbidden edges.  ``None`` marks a
+#: non-incremental row (full re-check on the updated instance) and
+#: ``"skip"`` a row needing no check at all.
+_SKIP = "skip"
+_FULL = "full"
+
+
+@dataclass(frozen=True)
+class DeltaRule:
+    """One row of Figure 5.
+
+    Attributes
+    ----------
+    axis, forbidden:
+        Identify the relationship form.
+    operation:
+        ``"insert"`` or ``"delete"``.
+    incremental:
+        The Theorem 4.2 verdict for this row.
+    plan:
+        ``"skip"`` (no check needed — the ``∅``-scoped rows),
+        ``"full"`` (re-evaluate the Figure 4 query on the updated
+        instance), or a pair of scope labels for the two atomic
+        selections of the Δ-query.
+    """
+
+    axis: Axis
+    forbidden: bool
+    operation: Operation
+    incremental: bool
+    plan: object
+
+    @property
+    def needs_no_check(self) -> bool:
+        """Whether this row's Δ-query is trivially empty (``∅`` scopes)."""
+        return self.plan == _SKIP
+
+    @property
+    def needs_full_recheck(self) -> bool:
+        """Whether this row falls back to evaluating on ``D ∓ Δ``."""
+        return self.plan == _FULL
+
+
+_ROWS: Tuple[DeltaRule, ...] = (
+    # --- insertions: every form is incrementally testable -------------
+    DeltaRule(Axis.CHILD, False, "insert", True, (SCOPE_DELTA, SCOPE_DELTA)),
+    DeltaRule(Axis.PARENT, False, "insert", True, (SCOPE_DELTA, SCOPE_NEW)),
+    DeltaRule(Axis.DESCENDANT, False, "insert", True, (SCOPE_DELTA, SCOPE_DELTA)),
+    DeltaRule(Axis.ANCESTOR, False, "insert", True, (SCOPE_DELTA, SCOPE_NEW)),
+    DeltaRule(Axis.CHILD, True, "insert", True, (SCOPE_NEW, SCOPE_DELTA)),
+    DeltaRule(Axis.DESCENDANT, True, "insert", True, (SCOPE_NEW, SCOPE_DELTA)),
+    # --- deletions -----------------------------------------------------
+    DeltaRule(Axis.CHILD, False, "delete", False, _FULL),
+    DeltaRule(Axis.PARENT, False, "delete", True, _SKIP),
+    DeltaRule(Axis.DESCENDANT, False, "delete", False, _FULL),
+    DeltaRule(Axis.ANCESTOR, False, "delete", True, _SKIP),
+    DeltaRule(Axis.CHILD, True, "delete", True, _SKIP),
+    DeltaRule(Axis.DESCENDANT, True, "delete", True, _SKIP),
+)
+
+#: Figure 5 indexed by (axis, forbidden, operation).
+DELTA_TABLE: Dict[Tuple[Axis, bool, Operation], DeltaRule] = {
+    (row.axis, row.forbidden, row.operation): row for row in _ROWS
+}
+
+
+def rule_for(element: SchemaElement, operation: Operation) -> DeltaRule:
+    """The Figure 5 row governing ``element`` under ``operation``.
+
+    Raises
+    ------
+    KeyError
+        If ``element`` is not a structural-relationship element.
+    """
+    if isinstance(element, RequiredEdge):
+        return DELTA_TABLE[(element.axis, False, operation)]
+    if isinstance(element, ForbiddenEdge):
+        return DELTA_TABLE[(element.axis, True, operation)]
+    raise KeyError(f"{element} has no Figure 5 row")
+
+
+def build_delta_query(element: SchemaElement, operation: Operation) -> Optional[Query]:
+    """Build the scoped Δ-query for ``element`` under ``operation``.
+
+    Returns ``None`` for ``skip`` rows (no check needed).  For ``full``
+    rows, returns the plain Figure 4 query (to be evaluated on the
+    updated instance).  Otherwise returns the Figure 4 query shape with
+    the row's scopes attached to its atomic selections.
+    """
+    rule = rule_for(element, operation)
+    if rule.needs_no_check:
+        return None
+
+    if isinstance(element, RequiredEdge):
+        if rule.needs_full_recheck:
+            source = class_selection(element.source)
+            return Minus(source, HSelect(element.axis, source, class_selection(element.target)))
+        outer_scope, inner_scope = rule.plan  # type: ignore[misc]
+        source = class_selection(element.source).scoped(outer_scope)
+        target = class_selection(element.target).scoped(inner_scope)
+        return Minus(source, HSelect(element.axis, source, target))
+
+    assert isinstance(element, ForbiddenEdge)
+    if rule.needs_full_recheck:  # pragma: no cover - no such row exists
+        return HSelect(
+            element.axis,
+            class_selection(element.source),
+            class_selection(element.target),
+        )
+    source_scope, target_scope = rule.plan  # type: ignore[misc]
+    return HSelect(
+        element.axis,
+        class_selection(element.source).scoped(source_scope),
+        class_selection(element.target).scoped(target_scope),
+    )
+
+
+def empty_scoped_query(element: SchemaElement) -> Query:
+    """The ``∅``-scoped Δ-query of a ``skip`` row, for display/printing
+    parity with Figure 5 (never worth evaluating)."""
+    if isinstance(element, RequiredEdge):
+        source = class_selection(element.source).scoped(SCOPE_EMPTY)
+        target = class_selection(element.target).scoped(SCOPE_EMPTY)
+        return Minus(source, HSelect(element.axis, source, target))
+    assert isinstance(element, ForbiddenEdge)
+    return HSelect(
+        element.axis,
+        class_selection(element.source).scoped(SCOPE_EMPTY),
+        class_selection(element.target).scoped(SCOPE_EMPTY),
+    )

@@ -1,0 +1,170 @@
+"""Theorem 4.1: decomposing transactions into subtree updates.
+
+Any update transaction ``U`` (a sequence of distinct entry insertions and
+deletions) applied to a legal instance ``D`` yields the same final
+instance as: first inserting the maximal subtrees formed by the inserted
+entries, then deleting the maximal subtrees formed by the deleted entries
+— and ``U`` preserves legality iff *each* of those subtree steps does
+(Theorem 4.1).  This is the modularity property that lets the incremental
+checker (:mod:`repro.updates.incremental`) work one subtree at a time.
+
+:func:`decompose` performs the grouping and validates the LDAP
+preconditions:
+
+* an inserted entry's parent either exists in ``D`` or is itself inserted
+  (insertions grow downward from existing entries);
+* deleting an entry requires deleting its whole subtree (LDAP removes
+  leaves only, so a transaction that removes an interior entry must also
+  remove every descendant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional
+
+from repro.errors import UpdateError
+from repro.model.dn import DN
+from repro.model.instance import DirectoryInstance
+from repro.updates.operations import DeleteEntry, InsertEntry, UpdateTransaction
+
+__all__ = ["SubtreeUpdate", "decompose", "apply_subtree_update"]
+
+
+@dataclass
+class SubtreeUpdate:
+    """One Theorem 4.1 step: insert or delete a single subtree.
+
+    For insertions, ``subtree`` is the Δ to graft under ``parent_dn``
+    (``None`` grafts new roots).  For deletions, ``root_dn`` names the
+    subtree of the instance to prune.
+    """
+
+    kind: Literal["insert", "delete"]
+    parent_dn: Optional[DN] = None
+    subtree: Optional[DirectoryInstance] = None
+    root_dn: Optional[DN] = None
+
+    def __str__(self) -> str:
+        if self.kind == "insert":
+            root_count = len(self.subtree.root_ids()) if self.subtree else 0
+            where = self.parent_dn if self.parent_dn else "(root)"
+            size = len(self.subtree) if self.subtree else 0
+            return f"insert subtree ({size} entries, {root_count} root(s)) under {where}"
+        return f"delete subtree at {self.root_dn}"
+
+
+def _group_insertions(
+    transaction: UpdateTransaction,
+    instance: DirectoryInstance,
+) -> List[SubtreeUpdate]:
+    inserts = transaction.insertions()
+    by_dn: Dict[str, InsertEntry] = {str(op.dn): op for op in inserts}
+
+    # Roots of inserted subtrees: inserted entries whose parent is not
+    # itself inserted.  Their parents must exist in the instance.
+    deleted_dns = {str(op.dn) for op in transaction.deletions()}
+    roots: List[InsertEntry] = []
+    children: Dict[str, List[InsertEntry]] = {key: [] for key in by_dn}
+    for op in inserts:
+        parent_key = str(op.dn.parent())
+        if parent_key in by_dn:
+            children[parent_key].append(op)
+        else:
+            if not op.dn.parent().is_empty():
+                if instance.find(op.dn.parent()) is None:
+                    raise UpdateError(
+                        f"insertion {op.dn} has no parent: {op.dn.parent()} "
+                        "is neither in the instance nor inserted"
+                    )
+                if str(op.dn.parent()) in deleted_dns:
+                    raise UpdateError(
+                        f"insertion {op.dn} attaches under {op.dn.parent()}, "
+                        "which the same transaction deletes"
+                    )
+            roots.append(op)
+
+    # Each root grows into one standalone Δ instance.
+    updates: List[SubtreeUpdate] = []
+    for root in roots:
+        delta = DirectoryInstance(attributes=instance.attributes)
+
+        def build(op: InsertEntry, parent_entry) -> None:
+            node = delta.add_entry(
+                parent_entry, op.dn.rdn, op.classes, op.attribute_dict()
+            )
+            for child_op in children[str(op.dn)]:
+                build(child_op, node)
+
+        build(root, None)
+        parent_dn = root.dn.parent()
+        updates.append(
+            SubtreeUpdate(
+                "insert",
+                parent_dn=None if parent_dn.is_empty() else parent_dn,
+                subtree=delta,
+            )
+        )
+    return updates
+
+
+def _group_deletions(
+    transaction: UpdateTransaction,
+    instance: DirectoryInstance,
+) -> List[SubtreeUpdate]:
+    deletes = transaction.deletions()
+    targeted = {str(op.dn) for op in deletes}
+    updates: List[SubtreeUpdate] = []
+    for op in deletes:
+        if instance.find(op.dn) is None:
+            raise UpdateError(f"deletion target {op.dn} is not in the instance")
+        parent_key = str(op.dn.parent())
+        if parent_key in targeted:
+            continue  # interior node of a larger deleted subtree
+        # This is a subtree root; its whole subtree must be targeted.
+        entry = instance.entry(str(op.dn))
+        for descendant in instance.descendants_of(entry):
+            if str(instance.dn_of(descendant)) not in targeted:
+                raise UpdateError(
+                    f"transaction deletes {op.dn} but not its descendant "
+                    f"{instance.dn_of(descendant)} (LDAP deletes leaves only)"
+                )
+        updates.append(SubtreeUpdate("delete", root_dn=op.dn))
+    return updates
+
+
+def decompose(
+    transaction: UpdateTransaction,
+    instance: DirectoryInstance,
+) -> List[SubtreeUpdate]:
+    """Decompose ``transaction`` into subtree updates per Theorem 4.1.
+
+    Returns insertions first, then deletions — the canonical order the
+    theorem licenses.  No two returned subtree roots are in an
+    (ancestor, descendant) relationship.
+
+    Raises
+    ------
+    UpdateError
+        If the transaction violates the LDAP preconditions or
+        distinctness.
+    """
+    transaction.validate()
+    return _group_insertions(transaction, instance) + _group_deletions(
+        transaction, instance
+    )
+
+
+def apply_subtree_update(
+    instance: DirectoryInstance, update: SubtreeUpdate
+) -> DirectoryInstance:
+    """Apply one subtree update in place; returns the Δ as a standalone
+    instance (the grafted copy for insertions, the pruned subtree for
+    deletions)."""
+    if update.kind == "insert":
+        assert update.subtree is not None
+        parent = None if update.parent_dn is None else str(update.parent_dn)
+        instance.insert_subtree(parent, update.subtree)
+        return update.subtree
+    assert update.root_dn is not None
+    return instance.delete_subtree(str(update.root_dn))

@@ -1,0 +1,43 @@
+"""Workload generators: scalable instances, schemas, and update streams."""
+
+from repro.workloads.den import (
+    den_registry,
+    den_schema,
+    den_schema_overconstrained,
+    generate_den,
+)
+from repro.workloads.randoms import corrupt, random_forest, random_schema
+from repro.workloads.update_streams import (
+    deletable_units,
+    insertion_points,
+    make_person_subtree,
+    make_unit_subtree,
+    random_insertions,
+    random_transaction,
+)
+from repro.workloads.whitepages import (
+    figure1_instance,
+    generate_whitepages,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+__all__ = [
+    "figure1_instance",
+    "generate_whitepages",
+    "whitepages_registry",
+    "whitepages_schema",
+    "den_registry",
+    "den_schema",
+    "den_schema_overconstrained",
+    "generate_den",
+    "random_schema",
+    "random_forest",
+    "corrupt",
+    "make_unit_subtree",
+    "make_person_subtree",
+    "insertion_points",
+    "deletable_units",
+    "random_insertions",
+    "random_transaction",
+]

@@ -1,0 +1,173 @@
+"""A directory-enabled-networks (DEN) workload.
+
+The paper's introduction names DEN — keeping network resources and
+policies in LDAP directories [1] — as the other motivating application
+("More sophisticated directories, such as those for directory-enabled
+network (DEN) applications, also exhibit similar needs for
+bounding-schemas", Section 1.2).  This module provides a DEN-flavoured
+bounding-schema and generator:
+
+* sites contain network elements; interfaces hang off devices;
+* every router carries at least one interface;
+* policy domains contain policies; policies are leaves;
+* sites and devices do not nest.
+
+It exercises schema shapes the white-pages workload does not: a deeper
+core hierarchy (``netElement / device / router``), required-child and
+required-ancestor elements, integer-typed required attributes, and
+self-forbidding classes (``site ↛↛ site``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.model.attributes import AttributeRegistry
+from repro.model.instance import DirectoryInstance
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = ["den_registry", "den_schema", "generate_den"]
+
+
+def den_registry() -> AttributeRegistry:
+    """The attribute registry of the DEN deployment."""
+    registry = AttributeRegistry()
+    registry.declare_all(
+        ["siteName", "hostname", "location", "routingProtocol", "domainName",
+         "policyName", "snmpCommunity", "ipAddress"]
+    )
+    registry.declare("ifIndex", "integer")
+    registry.declare("priority", "integer")
+    registry.declare("qosLimit", "integer")
+    return registry
+
+
+def den_schema() -> DirectorySchema:
+    """The DEN bounding-schema."""
+    classes = (
+        ClassSchema()
+        .add_core("site")
+        .add_core("netElement")
+        .add_core("device", parent="netElement")
+        .add_core("router", parent="device")
+        .add_core("switch", parent="device")
+        .add_core("interface", parent="netElement")
+        .add_core("policyDomain")
+        .add_core("policy")
+        .add_auxiliary("managed")
+        .add_auxiliary("qosEnabled")
+        .allow_auxiliary("device", "managed")
+        .allow_auxiliary("interface", "qosEnabled")
+        .allow_auxiliary("policy", "qosEnabled")
+    )
+
+    attributes = (
+        AttributeSchema()
+        .declare("top")
+        .declare("site", required=("siteName",))
+        .declare("netElement")
+        .declare("device", required=("hostname",), allowed=("location",))
+        .declare("router", allowed=("routingProtocol",))
+        .declare("switch")
+        .declare("interface", required=("ifIndex",), allowed=("ipAddress",))
+        .declare("policyDomain", required=("domainName",))
+        .declare("policy", required=("policyName", "priority"))
+        .declare("managed", required=("snmpCommunity",))
+        .declare("qosEnabled", allowed=("qosLimit",))
+    )
+
+    structure = (
+        StructureSchema()
+        .require_class("site", "router", "policyDomain")
+        .require_parent("interface", "device")
+        .require_ancestor("device", "site")
+        .require_child("router", "interface")
+        .require_descendant("policyDomain", "policy")
+        .forbid_child("policy", "top")
+        .forbid_descendant("site", "site")
+        .forbid_descendant("device", "device")
+    )
+
+    return DirectorySchema(attributes, classes, structure, den_registry()).validate()
+
+
+def den_schema_overconstrained() -> DirectorySchema:
+    """The DEN schema with a realistic authoring mistake: forbidding
+    policies from being anyone's child (``top ↛ policy``, intended to
+    mean "policies live under domains only") contradicts
+    ``policyDomain →→ policy`` — policies could never be placed at all.
+    The consistency checker derives ``∅ □`` from it; used by tests and
+    the schema-workbench example."""
+    schema = den_schema()
+    schema.structure_schema.forbid_child("top", "policy")
+    return schema
+
+
+def generate_den(
+    sites: int = 2,
+    devices_per_site: int = 4,
+    interfaces_per_device: int = 3,
+    domains: int = 2,
+    policies_per_domain: int = 5,
+    seed: int = 0,
+    registry: Optional[AttributeRegistry] = None,
+) -> DirectoryInstance:
+    """Generate a legal DEN instance of tunable size."""
+    rng = random.Random(seed)
+    directory = DirectoryInstance(
+        attributes=registry if registry is not None else den_registry()
+    )
+    for s in range(sites):
+        site = directory.add_entry(
+            None, f"siteName=site{s}", ["site", "top"], {"siteName": [f"site{s}"]}
+        )
+        for d in range(max(1, devices_per_site)):
+            is_router = d == 0 or rng.random() < 0.5
+            kind = "router" if is_router else "switch"
+            classes = [kind, "device", "netElement", "top"]
+            attributes = {"hostname": [f"{kind}-{s}-{d}.example.net"]}
+            if rng.random() < 0.4:
+                classes.append("managed")
+                attributes["snmpCommunity"] = ["public"]
+            if is_router and rng.random() < 0.6:
+                attributes["routingProtocol"] = [rng.choice(["ospf", "bgp", "isis"])]
+            device = directory.add_entry(
+                site, f"hostname={kind}-{s}-{d}", classes, attributes
+            )
+            interface_count = max(1, interfaces_per_device) if is_router else (
+                interfaces_per_device if rng.random() < 0.8 else 0
+            )
+            for i in range(interface_count):
+                if_classes = ["interface", "netElement", "top"]
+                if_attributes = {"ifIndex": [i + 1]}
+                if rng.random() < 0.7:
+                    if_attributes["ipAddress"] = [
+                        f"10.{s}.{d}.{i + 1}"
+                    ]
+                if rng.random() < 0.25:
+                    if_classes.append("qosEnabled")
+                    if_attributes["qosLimit"] = [rng.choice([10, 100, 1000])]
+                directory.add_entry(
+                    device, f"ifIndex={i + 1}", if_classes, if_attributes
+                )
+    for p in range(domains):
+        domain = directory.add_entry(
+            None,
+            f"domainName=domain{p}",
+            ["policyDomain", "top"],
+            {"domainName": [f"domain{p}"]},
+        )
+        for q in range(max(1, policies_per_domain)):
+            classes = ["policy", "top"]
+            attributes = {
+                "policyName": [f"policy-{p}-{q}"],
+                "priority": [rng.randrange(1, 100)],
+            }
+            if rng.random() < 0.3:
+                classes.append("qosEnabled")
+            directory.add_entry(domain, f"policyName=policy-{p}-{q}", classes, attributes)
+    return directory

@@ -1,0 +1,242 @@
+"""Random schemas, forests, and corruptions.
+
+Three generator families used across the test suite and benchmarks:
+
+* :func:`random_schema` — random bounding-schemas of tunable size with
+  controllable consistency (``consistent`` by rejection sampling against
+  the inference system, or deliberately ``cyclic`` / ``contradictory``
+  by injecting a Section 5 pattern at a random location);
+* :func:`random_forest` — random directory forests with random class
+  sets drawn from a label pool, for differential testing of the naive
+  vs. query-reduction structure checkers (their verdicts must agree on
+  *any* instance, legal or not);
+* :func:`corrupt` — given a legal instance and its schema, apply one
+  random legality-breaking mutation and report which Definition 2.7
+  clause it breaks, for checker-sensitivity tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.axes import Axis
+from repro.model.instance import DirectoryInstance
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import TOP, ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = ["random_schema", "random_forest", "corrupt"]
+
+_REQUIRED_AXES = (Axis.CHILD, Axis.DESCENDANT, Axis.PARENT, Axis.ANCESTOR)
+_FORBIDDEN_AXES = (Axis.CHILD, Axis.DESCENDANT)
+
+
+def _random_class_schema(rng: random.Random, n_classes: int, max_depth: int) -> ClassSchema:
+    schema = ClassSchema()
+    names = [f"k{i}" for i in range(n_classes)]
+    for name in names:
+        # Sorted so the draw is reproducible across processes (set
+        # iteration order depends on the interpreter's hash seed).
+        parents = [TOP] + sorted(
+            c for c in schema.core_classes()
+            if c != TOP and len(schema.superclasses(c)) < max_depth
+        )
+        schema.add_core(name, parent=rng.choice(parents))
+    return schema
+
+
+def random_schema(
+    n_classes: int = 6,
+    n_required: int = 4,
+    n_forbidden: int = 2,
+    n_required_classes: int = 2,
+    seed: int = 0,
+    mode: str = "consistent",
+    max_depth: int = 3,
+    max_attempts: int = 200,
+) -> DirectorySchema:
+    """Generate a random bounding-schema.
+
+    ``mode``:
+
+    * ``"consistent"`` — rejection-samples random schemas until the
+      inference system accepts one (raises ``RuntimeError`` after
+      ``max_attempts``; keep edge counts moderate relative to
+      ``n_classes``);
+    * ``"cyclic"`` — consistent base plus an injected required-edge
+      cycle through a populated class (the Section 5.1 pattern);
+    * ``"contradictory"`` — consistent base plus an injected
+      required/forbidden direct conflict (the Section 5.2 pattern);
+    * ``"any"`` — first sample, no filtering (verdict unknown).
+    """
+    from repro.consistency.engine import close  # local import: avoid cycle
+
+    if mode not in ("consistent", "cyclic", "contradictory", "any"):
+        raise ValueError(f"unknown mode {mode!r}")
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        classes = _random_class_schema(rng, n_classes, max_depth)
+        pool = sorted(classes.core_classes() - {TOP})
+        structure = StructureSchema()
+        for name in rng.sample(pool, min(n_required_classes, len(pool))):
+            structure.require_class(name)
+        for _ in range(n_required):
+            structure.require(
+                rng.choice(pool), rng.choice(_REQUIRED_AXES), rng.choice(pool)
+            )
+        for _ in range(n_forbidden):
+            structure.forbid(
+                rng.choice(pool), rng.choice(_FORBIDDEN_AXES), rng.choice(pool)
+            )
+        schema = DirectorySchema(AttributeSchema(), classes, structure)
+
+        if mode == "any":
+            return schema
+        consistent = close(schema.all_elements()).consistent
+        if mode == "consistent":
+            if consistent:
+                return schema
+            continue
+        if not consistent:
+            continue  # need a consistent base to inject into
+        if mode == "cyclic":
+            a, b = rng.choice(pool), rng.choice(pool)
+            structure.require_class(a)
+            structure.require_descendant(a, b)
+            structure.require_descendant(b, a)
+            return schema
+        assert mode == "contradictory"
+        a, b = rng.choice(pool), rng.choice(pool)
+        structure.require_class(a)
+        structure.require_descendant(a, b)
+        structure.forbid_descendant(a, b)
+        return schema
+    raise RuntimeError(
+        f"could not sample a {mode} schema in {max_attempts} attempts; "
+        "reduce edge counts relative to n_classes"
+    )
+
+
+def random_forest(
+    n_entries: int = 50,
+    labels: Optional[List[str]] = None,
+    max_classes_per_entry: int = 3,
+    root_probability: float = 0.15,
+    seed: int = 0,
+) -> DirectoryInstance:
+    """A random forest with random class sets — no legality guarantees.
+
+    Used to differential-test checkers, whose *verdicts* must agree on
+    arbitrary instances.
+    """
+    rng = random.Random(seed)
+    labels = labels if labels is not None else [f"k{i}" for i in range(6)]
+    instance = DirectoryInstance()
+    entries = []
+    for i in range(n_entries):
+        upper = min(max_classes_per_entry, len(labels))
+        classes = set(rng.sample(labels, rng.randrange(1, upper + 1)))
+        classes.add(TOP)
+        if not entries or rng.random() < root_probability:
+            parent = None
+        else:
+            parent = rng.choice(entries)
+        entries.append(instance.add_entry(parent, f"id=n{i}", classes))
+    return instance
+
+
+def corrupt(
+    instance: DirectoryInstance,
+    schema: DirectorySchema,
+    seed: int = 0,
+) -> Tuple[str, str]:
+    """Apply one random legality-breaking mutation in place.
+
+    Returns ``(kind, dn)`` where ``kind`` names the expected violation
+    kind (a :class:`repro.legality.report.Kind` constant) and ``dn`` the
+    mutated entry.  Raises ``RuntimeError`` when no applicable mutation
+    exists (tiny instances only).
+    """
+    from repro.legality.report import Kind  # local import: avoid cycle
+
+    rng = random.Random(seed)
+    entries = list(instance)
+    rng.shuffle(entries)
+    class_schema = schema.class_schema
+    attribute_schema = schema.attribute_schema
+
+    mutations = []
+
+    def drop_required(entry) -> Optional[str]:
+        for object_class in sorted(entry.classes):
+            for attribute in sorted(attribute_schema.required(object_class)):
+                if entry.has_attribute(attribute):
+                    for value in entry.values(attribute):
+                        entry.remove_value(attribute, value)
+                    return Kind.MISSING_REQUIRED_ATTRIBUTE
+        return None
+
+    def add_disallowed(entry) -> Optional[str]:
+        candidates = sorted(
+            attribute_schema.attributes()
+            - {a for c in entry.classes for a in attribute_schema.allowed(c)}
+            - {"objectClass"}
+        )
+        if not candidates:
+            return None
+        if schema.extras is not None and schema.extras.is_extensible(entry.classes):
+            return None
+        attribute = candidates[0]
+        value: object = "illegal-value"
+        registry = instance.attributes
+        if registry is not None and attribute in registry:
+            type_name = registry.tau(attribute).name
+            value = {
+                "integer": 99, "boolean": True,
+                "telephone": "+1 555 0199", "uri": "http://illegal.example/",
+                "dn": "cn=illegal",
+            }.get(type_name, "illegal-value")
+        entry.add_value(attribute, value)
+        return Kind.DISALLOWED_ATTRIBUTE
+
+    def add_unknown_class(entry) -> Optional[str]:
+        entry.add_class("no-such-class")
+        return Kind.UNKNOWN_CLASS
+
+    def add_incomparable(entry) -> Optional[str]:
+        cores = [c for c in entry.classes if class_schema.is_core(c)]
+        for candidate in sorted(class_schema.core_classes()):
+            if all(class_schema.incomparable(candidate, c) or candidate == c
+                   for c in cores) and candidate not in entry.classes and any(
+                class_schema.incomparable(candidate, c) for c in cores
+            ):
+                entry.add_class(candidate)
+                return Kind.INCOMPARABLE_CORE_CLASSES
+        return None
+
+    def add_disallowed_aux(entry) -> Optional[str]:
+        allowed = set()
+        for c in entry.classes:
+            if class_schema.is_core(c):
+                allowed |= class_schema.aux(c)
+        for aux in sorted(class_schema.auxiliary_classes() - allowed):
+            entry.add_class(aux)
+            return Kind.DISALLOWED_AUXILIARY
+        return None
+
+    mutations = [
+        drop_required,
+        add_disallowed,
+        add_unknown_class,
+        add_incomparable,
+        add_disallowed_aux,
+    ]
+    rng.shuffle(mutations)
+    for entry in entries:
+        for mutation in mutations:
+            kind = mutation(entry)
+            if kind is not None:
+                return kind, str(entry.dn)
+    raise RuntimeError("no applicable corruption found")

@@ -1,0 +1,148 @@
+"""Update-stream generation for the white-pages workload.
+
+Produces legality-preserving subtree insertions/deletions and whole
+transactions against instances of
+:func:`repro.workloads.whitepages.generate_whitepages`, for the FIG5 and
+THM41 benchmarks and the update property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.model.dn import DN
+from repro.model.instance import DirectoryInstance
+from repro.updates.operations import UpdateTransaction
+
+__all__ = [
+    "make_unit_subtree",
+    "make_person_subtree",
+    "insertion_points",
+    "deletable_units",
+    "random_insertions",
+    "random_transaction",
+]
+
+_counter = [0]
+
+
+def _next_id(rng: random.Random) -> str:
+    _counter[0] += 1
+    return f"x{_counter[0]}-{rng.randrange(10 ** 6)}"
+
+
+def make_person_subtree(
+    rng: random.Random, attributes=None
+) -> DirectoryInstance:
+    """A single-person Δ (always content-legal for the white-pages
+    schema)."""
+    uid = _next_id(rng)
+    delta = DirectoryInstance(attributes=attributes)
+    delta.add_entry(
+        None,
+        f"uid={uid}",
+        ["person", "top"],
+        {"uid": [uid], "name": [f"gen {uid}"]},
+    )
+    return delta
+
+
+def make_unit_subtree(
+    rng: random.Random,
+    persons: int = 2,
+    attributes=None,
+) -> DirectoryInstance:
+    """A Δ consisting of one orgUnit with ``persons`` person children —
+    the Section 4.1/4.2 example shape (legal wherever an orgGroup entry
+    can accept children)."""
+    ou = _next_id(rng)
+    delta = DirectoryInstance(attributes=attributes)
+    unit = delta.add_entry(
+        None, f"ou={ou}", ["orgUnit", "orgGroup", "top"], {"ou": [ou]}
+    )
+    for _ in range(max(1, persons)):
+        uid = _next_id(rng)
+        delta.add_entry(
+            unit,
+            f"uid={uid}",
+            ["person", "top"],
+            {"uid": [uid], "name": [f"gen {uid}"]},
+        )
+    return delta
+
+
+def insertion_points(instance: DirectoryInstance) -> List[str]:
+    """DNs of entries that may receive orgUnit children (orgGroup
+    entries)."""
+    return [
+        str(instance.dn_of(eid))
+        for eid in sorted(instance.entries_with_class("orgGroup"))
+    ]
+
+
+def deletable_units(instance: DirectoryInstance) -> List[str]:
+    """DNs of orgUnit subtrees whose deletion preserves legality: units
+    whose parent still has another person-containing branch.
+
+    Conservative approximation: units whose *parent* directly employs a
+    person or has another unit child; callers should still expect the
+    incremental checker to reject some candidates.
+    """
+    result = []
+    for eid in sorted(instance.entries_with_class("orgUnit")):
+        entry = instance.entry(eid)
+        parent = instance.parent_of(entry)
+        if parent is None:
+            continue
+        siblings = instance.children_of(parent)
+        person_siblings = [s for s in siblings if s.belongs_to("person")]
+        unit_siblings = [
+            s for s in siblings if s.belongs_to("orgUnit") and s.eid != eid
+        ]
+        if person_siblings or unit_siblings:
+            result.append(str(instance.dn_of(eid)))
+    return result
+
+
+def random_insertions(
+    instance: DirectoryInstance,
+    count: int,
+    seed: int = 0,
+    unit_probability: float = 0.5,
+) -> Iterator[Tuple[Optional[str], DirectoryInstance]]:
+    """Yield ``count`` (parent-dn, Δ) insertion candidates."""
+    rng = random.Random(seed)
+    points = insertion_points(instance)
+    for _ in range(count):
+        parent = rng.choice(points)
+        if rng.random() < unit_probability:
+            yield parent, make_unit_subtree(rng, persons=rng.randrange(1, 4),
+                                            attributes=instance.attributes)
+        else:
+            yield parent, make_person_subtree(rng, attributes=instance.attributes)
+
+
+def random_transaction(
+    instance: DirectoryInstance,
+    inserts: int = 3,
+    seed: int = 0,
+) -> UpdateTransaction:
+    """A transaction of single-entry insert operations building
+    ``inserts`` new units (each with one person), exercising the
+    Theorem 4.1 decomposition."""
+    rng = random.Random(seed)
+    points = insertion_points(instance)
+    transaction = UpdateTransaction()
+    for _ in range(max(1, inserts)):
+        parent = rng.choice(points)
+        ou = _next_id(rng)
+        unit_dn = f"ou={ou},{parent}"
+        transaction.insert(unit_dn, ["orgUnit", "orgGroup", "top"], {"ou": [ou]})
+        uid = _next_id(rng)
+        transaction.insert(
+            f"uid={uid},{unit_dn}",
+            ["person", "top"],
+            {"uid": [uid], "name": [f"gen {uid}"]},
+        )
+    return transaction

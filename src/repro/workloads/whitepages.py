@@ -1,0 +1,296 @@
+"""The corporate white-pages workload (Figures 1-3 of the paper).
+
+Three artifacts:
+
+* :func:`whitepages_schema` — the bounding-schema of the running example:
+  the Figure 2 class schema (core hierarchy ``top / orgGroup / person``
+  with ``organization``/``orgUnit`` under ``orgGroup`` and
+  ``staffMember``/``researcher`` under ``person``, plus the auxiliary
+  classes in braces), the attribute schema sketched after Definition 2.2,
+  and the Figure 3 structure schema.
+* :func:`figure1_instance` — the exact directory fragment of Figure 1
+  (``o=att`` down to ``uid=suciu``), legal w.r.t. the schema.
+* :func:`generate_whitepages` — a scalable generator producing legal
+  instances of the same shape with the heterogeneity the paper's
+  introduction motivates (zero/one/many e-mail addresses, optional
+  auxiliary classes, optional phone numbers), for the FIG1/THM31
+  benchmarks.
+
+Structure-schema reading (Figure 3 plus the uses in Sections 3.2/4.2):
+
+* ``orgGroup →→ person`` — every organizational group must (directly or
+  indirectly) employ a person;
+* ``organization → orgUnit`` — every organization has a direct
+  organizational unit;
+* ``orgGroup ← orgUnit`` — every unit sits directly under a group
+  (the relationship the Section 4.2 example violates by inserting an
+  orgUnit below a person);
+* ``person ↛ top`` — persons are leaves;
+* ``top ↛ organization`` — organizations are roots (no entry of any
+  class, i.e. ``top``, has an organization child);
+* required classes ``organization □``, ``orgUnit □``, ``person □``
+  (Section 3.2 uses ``orgUnit □`` as its example).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.model.attributes import AttributeRegistry
+from repro.model.instance import DirectoryInstance
+from repro.model.types import URI
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = [
+    "whitepages_registry",
+    "whitepages_schema",
+    "figure1_instance",
+    "generate_whitepages",
+]
+
+_FIRST_NAMES = [
+    "amy", "dan", "laks", "divesh", "maria", "chen", "ravi", "elena",
+    "john", "jack", "mary", "wei", "ana", "tomas", "nina", "omar",
+]
+_LAST_NAMES = [
+    "stone", "suciu", "lakshmanan", "rivera", "zhang", "patel", "kim",
+    "novak", "garcia", "mori", "ali", "brown", "silva", "kovacs",
+]
+_UNIT_NAMES = [
+    "databases", "networking", "security", "systems", "theory", "ml",
+    "compilers", "graphics", "hci", "oss", "infra", "qa", "sales",
+    "support", "legal", "finance",
+]
+
+
+def whitepages_registry() -> AttributeRegistry:
+    """The attribute registry (``tau``) of the white-pages deployment."""
+    registry = AttributeRegistry()
+    registry.declare_all(["o", "ou", "uid", "name", "mail", "location"])
+    registry.declare("uri", URI)
+    registry.declare("telephoneNumber", "telephone")
+    registry.declare("cellularPhone", "telephone")
+    return registry
+
+
+def whitepages_schema(extras: bool = False) -> DirectorySchema:
+    """The full bounding-schema of the running example (Figures 2-3).
+
+    With ``extras=True``, additionally declares ``uid`` as a
+    directory-wide key (Section 6.1).
+    """
+    classes = (
+        ClassSchema()
+        .add_core("orgGroup")
+        .add_core("person")
+        .add_core("organization", parent="orgGroup")
+        .add_core("orgUnit", parent="orgGroup")
+        .add_core("staffMember", parent="person")
+        .add_core("researcher", parent="person")
+        .add_auxiliary("online")
+        .add_auxiliary("manager")
+        .add_auxiliary("secretary")
+        .add_auxiliary("consultant")
+        .add_auxiliary("facultyMember")
+        .allow_auxiliary("orgGroup", "online")
+        .allow_auxiliary("person", "online")
+        .allow_auxiliary("staffMember", "manager", "secretary", "consultant")
+        .allow_auxiliary("researcher", "manager", "consultant", "facultyMember")
+    )
+
+    attributes = (
+        AttributeSchema()
+        .declare("top")
+        .declare("organization", required=("o",))
+        .declare("orgGroup")
+        .declare("orgUnit", required=("ou",), allowed=("location",))
+        .declare("person", required=("name", "uid"),
+                 allowed=("telephoneNumber", "cellularPhone"))
+        .declare("staffMember")
+        .declare("researcher")
+        .declare("online", allowed=("mail", "uri"))
+        .declare("manager")
+        .declare("secretary")
+        .declare("consultant")
+        .declare("facultyMember")
+    )
+
+    structure = (
+        StructureSchema()
+        .require_class("organization", "orgUnit", "person")
+        .require_descendant("orgGroup", "person")
+        .require_child("organization", "orgUnit")
+        .require_parent("orgUnit", "orgGroup")
+        .forbid_child("person", "top")
+        .forbid_child("top", "organization")
+    )
+
+    schema = DirectorySchema(attributes, classes, structure, whitepages_registry())
+    if extras:
+        from repro.schema.extras import SchemaExtras
+
+        schema.extras = SchemaExtras().declare_key("uid")
+    return schema.validate()
+
+
+def figure1_instance(registry: Optional[AttributeRegistry] = None) -> DirectoryInstance:
+    """The exact directory fragment of Figure 1."""
+    directory = DirectoryInstance(
+        attributes=registry if registry is not None else whitepages_registry()
+    )
+    att = directory.add_entry(
+        None,
+        "o=att",
+        ["organization", "orgGroup", "online", "top"],
+        {"o": ["att"], "uri": ["http://www.att.com/"]},
+    )
+    attlabs = directory.add_entry(
+        att,
+        "ou=attLabs",
+        ["orgUnit", "orgGroup", "top"],
+        {"ou": ["attLabs"], "location": ["FP"]},
+    )
+    directory.add_entry(
+        att,
+        "uid=armstrong",
+        ["staffMember", "person", "top"],
+        {"uid": ["armstrong"], "name": ["m armstrong"]},
+    )
+    databases = directory.add_entry(
+        attlabs,
+        "ou=databases",
+        ["orgUnit", "orgGroup", "top"],
+        {"ou": ["databases"]},
+    )
+    directory.add_entry(
+        databases,
+        "uid=laks",
+        ["researcher", "facultyMember", "person", "online", "top"],
+        {
+            "uid": ["laks"],
+            "name": ["laks lakshmanan"],
+            "mail": ["laks@cs.concordia.ca", "laks@cse.iitb.ernet.in"],
+        },
+    )
+    directory.add_entry(
+        databases,
+        "uid=suciu",
+        ["researcher", "person", "top"],
+        {"uid": ["suciu"], "name": ["dan suciu"]},
+    )
+    return directory
+
+
+def _add_person(
+    directory: DirectoryInstance,
+    parent,
+    uid: str,
+    rng: random.Random,
+) -> None:
+    """Add one heterogeneous person entry (the paper's john/jack/mary
+    motif: zero, one, or many e-mail addresses; optional phone; optional
+    role auxiliaries)."""
+    first = rng.choice(_FIRST_NAMES)
+    last = rng.choice(_LAST_NAMES)
+    classes = ["person", "top"]
+    attributes = {"uid": [uid], "name": [f"{first} {last}"]}
+
+    specialization = rng.random()
+    if specialization < 0.45:
+        classes.insert(0, "staffMember")
+        if rng.random() < 0.25:
+            classes.append(rng.choice(["manager", "secretary", "consultant"]))
+    elif specialization < 0.8:
+        classes.insert(0, "researcher")
+        if rng.random() < 0.4:
+            classes.append(rng.choice(["manager", "consultant", "facultyMember"]))
+
+    mail_count = rng.choice([0, 0, 1, 1, 1, 2, 3])
+    if mail_count:
+        classes.append("online")
+        attributes["mail"] = [
+            f"{uid}@{rng.choice(['example.com', 'labs.example.com', 'research.example.org'])}"
+            if i == 0
+            else f"{uid}{i}@example.net"
+            for i in range(mail_count)
+        ]
+    if rng.random() < 0.3:
+        attributes["telephoneNumber"] = [f"+1 973 555 {rng.randrange(10000):04d}"]
+    if rng.random() < 0.15:
+        attributes["cellularPhone"] = [f"+1 201 555 {rng.randrange(10000):04d}"]
+
+    directory.add_entry(parent, f"uid={uid}", classes, attributes)
+
+
+def _add_unit_tree(
+    directory: DirectoryInstance,
+    parent,
+    prefix: str,
+    depth: int,
+    units_per_level: int,
+    persons_per_unit: int,
+    rng: random.Random,
+    counter: List[int],
+) -> None:
+    for u in range(units_per_level):
+        ou = f"{rng.choice(_UNIT_NAMES)}-{prefix}{u}"
+        attributes = {"ou": [ou]}
+        if rng.random() < 0.5:
+            attributes["location"] = [rng.choice(["FP", "MH", "NYC", "SF"])]
+        unit = directory.add_entry(
+            parent, f"ou={ou}", ["orgUnit", "orgGroup", "top"], attributes
+        )
+        if depth > 1:
+            _add_unit_tree(
+                directory, unit, f"{prefix}{u}.", depth - 1,
+                units_per_level, persons_per_unit, rng, counter,
+            )
+        # Every unit employs at least one person directly, which keeps
+        # ``orgGroup →→ person`` satisfied at every level.
+        for _ in range(max(1, persons_per_unit)):
+            counter[0] += 1
+            _add_person(directory, unit, f"u{counter[0]}", rng)
+
+
+def generate_whitepages(
+    orgs: int = 1,
+    units_per_level: int = 3,
+    depth: int = 2,
+    persons_per_unit: int = 4,
+    seed: int = 0,
+    registry: Optional[AttributeRegistry] = None,
+) -> DirectoryInstance:
+    """Generate a legal white-pages instance of tunable size.
+
+    The result contains ``orgs`` organization roots, each with a
+    ``depth``-level tree of orgUnits (``units_per_level`` branching) and
+    roughly ``persons_per_unit`` heterogeneous persons per unit.  The
+    instance is legal w.r.t. :func:`whitepages_schema` for every
+    parameter combination (asserted by tests).
+    """
+    rng = random.Random(seed)
+    directory = DirectoryInstance(
+        attributes=registry if registry is not None else whitepages_registry()
+    )
+    counter = [0]
+    for o in range(orgs):
+        org = directory.add_entry(
+            None,
+            f"o=org{o}",
+            ["organization", "orgGroup", "online", "top"],
+            {"o": [f"org{o}"], "uri": [f"http://org{o}.example.com/"]},
+        )
+        _add_unit_tree(
+            directory, org, f"{o}.", max(1, depth), units_per_level,
+            persons_per_unit, rng, counter,
+        )
+        # Organizations may also employ persons directly (Figure 1's
+        # armstrong sits right under o=att).
+        if rng.random() < 0.7:
+            counter[0] += 1
+            _add_person(directory, org, f"u{counter[0]}", rng)
+    return directory

@@ -1,0 +1,56 @@
+"""Shared fixtures: the paper's running example and the DEN workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    den_schema,
+    figure1_instance,
+    generate_den,
+    generate_whitepages,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+
+@pytest.fixture(scope="session")
+def wp_schema():
+    """The Figures 2-3 bounding-schema (session-scoped: immutable)."""
+    return whitepages_schema()
+
+
+@pytest.fixture(scope="session")
+def wp_schema_extras():
+    """The white-pages schema with Section 6.1 extras (uid as a key)."""
+    return whitepages_schema(extras=True)
+
+
+@pytest.fixture()
+def fig1():
+    """A fresh copy of the Figure 1 instance (function-scoped: tests
+    mutate it)."""
+    return figure1_instance()
+
+
+@pytest.fixture(scope="session")
+def wp_registry():
+    return whitepages_registry()
+
+
+@pytest.fixture()
+def wp_medium():
+    """A mid-sized generated white-pages instance."""
+    return generate_whitepages(orgs=2, units_per_level=2, depth=2,
+                               persons_per_unit=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def den():
+    return den_schema()
+
+
+@pytest.fixture()
+def den_instance():
+    return generate_den(sites=2, devices_per_site=2, interfaces_per_device=2,
+                        domains=1, policies_per_domain=2, seed=5)

@@ -1,0 +1,84 @@
+"""Unit tests for the attribute registry (the ``tau`` function)."""
+
+import pytest
+
+from repro.errors import TypeViolationError, UnknownAttributeError
+from repro.model.attributes import OBJECT_CLASS, AttributeRegistry
+from repro.model.types import INTEGER, STRING
+
+
+class TestDeclaration:
+    def test_object_class_predeclared(self):
+        registry = AttributeRegistry()
+        assert OBJECT_CLASS in registry
+        assert registry.tau(OBJECT_CLASS) is STRING
+
+    def test_declare_and_lookup(self):
+        registry = AttributeRegistry()
+        registry.declare("age", INTEGER)
+        assert registry.tau("age") is INTEGER
+
+    def test_declare_by_type_name(self):
+        registry = AttributeRegistry()
+        registry.declare("count", "integer")
+        assert registry.tau("count").name == "integer"
+
+    def test_declare_unknown_type_name(self):
+        registry = AttributeRegistry()
+        with pytest.raises(KeyError):
+            registry.declare("x", "no-such-type")
+
+    def test_redeclare_identical_is_noop(self):
+        registry = AttributeRegistry()
+        first = registry.declare("mail", STRING)
+        second = registry.declare("mail", STRING)
+        assert first is second
+
+    def test_redeclare_conflicting_type_rejected(self):
+        registry = AttributeRegistry()
+        registry.declare("mail", STRING)
+        with pytest.raises(ValueError):
+            registry.declare("mail", INTEGER)
+
+    def test_declare_all(self):
+        registry = AttributeRegistry()
+        registry.declare_all(["a", "b", "c"])
+        assert all(name in registry for name in "abc")
+
+    def test_names_iteration(self):
+        registry = AttributeRegistry()
+        registry.declare("uid")
+        assert set(registry.names()) >= {OBJECT_CLASS, "uid"}
+        assert len(registry) == 2
+
+
+class TestTau:
+    def test_tau_unknown_attribute(self):
+        registry = AttributeRegistry()
+        with pytest.raises(UnknownAttributeError):
+            registry.tau("ghost")
+
+    def test_coerce_types_values(self):
+        registry = AttributeRegistry()
+        registry.declare("age", INTEGER)
+        assert registry.coerce("age", "30") == 30
+
+    def test_coerce_rejects_bad_values(self):
+        registry = AttributeRegistry()
+        registry.declare("age", INTEGER)
+        with pytest.raises(TypeViolationError):
+            registry.coerce("age", "thirty")
+
+
+class TestSingleValued:
+    def test_flag_round_trips(self):
+        registry = AttributeRegistry()
+        registry.declare("ssn", STRING, single_valued=True)
+        assert registry.is_single_valued("ssn")
+        assert not registry.is_single_valued("mail")
+
+    def test_redeclare_different_cardinality_rejected(self):
+        registry = AttributeRegistry()
+        registry.declare("ssn", STRING, single_valued=True)
+        with pytest.raises(ValueError):
+            registry.declare("ssn", STRING, single_valued=False)

@@ -1,0 +1,32 @@
+"""Unit tests for the shared Axis enum."""
+
+from repro.axes import Axis
+
+
+class TestAxis:
+    def test_codes_match_query_syntax(self):
+        assert Axis.CHILD.value == "c"
+        assert Axis.PARENT.value == "p"
+        assert Axis.DESCENDANT.value == "d"
+        assert Axis.ANCESTOR.value == "a"
+
+    def test_downward(self):
+        assert Axis.CHILD.downward and Axis.DESCENDANT.downward
+        assert not Axis.PARENT.downward and not Axis.ANCESTOR.downward
+
+    def test_transitive(self):
+        assert Axis.CHILD.transitive is Axis.DESCENDANT
+        assert Axis.PARENT.transitive is Axis.ANCESTOR
+        assert Axis.DESCENDANT.transitive is Axis.DESCENDANT
+        assert Axis.ANCESTOR.transitive is Axis.ANCESTOR
+
+    def test_inverse_is_involutive(self):
+        for axis in Axis:
+            assert axis.inverse.inverse is axis
+
+    def test_inverse_pairs(self):
+        assert Axis.CHILD.inverse is Axis.PARENT
+        assert Axis.DESCENDANT.inverse is Axis.ANCESTOR
+
+    def test_arrows_distinct(self):
+        assert len({axis.arrow for axis in Axis}) == 4

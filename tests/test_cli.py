@@ -1,0 +1,197 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.ldif import dump_ldif, load_ldif
+from repro.schema.dsl import dump_dsl
+from repro.workloads import (
+    den_schema_overconstrained,
+    figure1_instance,
+    whitepages_schema,
+)
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    schema_path = tmp_path / "schema.dsl"
+    data_path = tmp_path / "data.ldif"
+    dump_dsl(whitepages_schema(), str(schema_path))
+    dump_ldif(figure1_instance(), str(data_path))
+    return str(schema_path), str(data_path), tmp_path
+
+
+class TestValidate:
+    def test_legal_instance_exits_zero(self, paths, capsys):
+        schema, data, _ = paths
+        assert main(["validate", "--schema", schema, "--data", data]) == 0
+        assert "LEGAL" in capsys.readouterr().out
+
+    def test_illegal_instance_exits_one(self, paths, capsys):
+        schema, data, tmp = paths
+        instance = figure1_instance()
+        instance.entry("uid=suciu,ou=databases,ou=attLabs,o=att").add_class(
+            "packetRouter"
+        )
+        bad = tmp / "bad.ldif"
+        dump_ldif(instance, str(bad))
+        assert main(["validate", "--schema", schema, "--data", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ILLEGAL" in out and "packetRouter" in out
+
+    def test_naive_strategy(self, paths):
+        schema, data, _ = paths
+        assert main(["validate", "--schema", schema, "--data", data,
+                     "--structure", "naive"]) == 0
+
+
+class TestConsistency:
+    def test_consistent_schema(self, paths, capsys):
+        schema, _, _ = paths
+        assert main(["consistency", "--schema", schema]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_inconsistent_schema_with_proof(self, tmp_path, capsys):
+        path = tmp_path / "bad.dsl"
+        dump_dsl(den_schema_overconstrained(), str(path))
+        assert main(["consistency", "--schema", str(path), "--proof"]) == 1
+        out = capsys.readouterr().out
+        assert "INCONSISTENT" in out and "∅ □" in out
+
+    def test_witness_written(self, paths, capsys):
+        schema, _, tmp = paths
+        witness = tmp / "witness.ldif"
+        assert main(["consistency", "--schema", schema,
+                     "--witness", str(witness)]) == 0
+        instance = load_ldif(str(witness))
+        assert len(instance) > 0
+
+
+class TestQuery:
+    def test_filter_prints_dns(self, paths, capsys):
+        _, data, _ = paths
+        assert main(["query", "--data", data,
+                     "--filter", "(objectClass=orgUnit)"]) == 0
+        out = capsys.readouterr().out
+        assert "ou=attLabs,o=att" in out
+        assert "ou=databases,ou=attLabs,o=att" in out
+
+    def test_compound_filter(self, paths, capsys):
+        _, data, _ = paths
+        main(["query", "--data", data,
+              "--filter", "(&(objectClass=person)(mail=*))"])
+        out = capsys.readouterr().out
+        assert "uid=laks" in out and "uid=suciu" not in out
+
+    def test_hierarchical_query(self, paths, capsys):
+        _, data, _ = paths
+        assert main(["query", "--data", data, "--hquery",
+                     "(d (objectClass=orgUnit) (objectClass=researcher))"]) == 0
+        out = capsys.readouterr().out
+        assert "ou=attLabs,o=att" in out and "ou=databases" in out
+
+    def test_filter_and_hquery_mutually_exclusive(self, paths):
+        _, data, _ = paths
+        with pytest.raises(SystemExit):
+            main(["query", "--data", data, "--filter", "(a=1)",
+                  "--hquery", "(objectClass=x)"])
+
+
+class TestTranslate:
+    def test_shows_figure4_queries(self, paths, capsys):
+        schema, _, _ = paths
+        assert main(["translate", "--schema", schema]) == 0
+        out = capsys.readouterr().out
+        assert "σ⁻" in out and "(objectClass=orgGroup)" in out
+
+
+class TestApply:
+    CHANGES = """\
+dn: ou=theory,ou=attLabs,o=att
+changetype: add
+objectClass: orgUnit
+objectClass: orgGroup
+objectClass: top
+ou: theory
+
+dn: uid=nina,ou=theory,ou=attLabs,o=att
+changetype: add
+objectClass: person
+objectClass: top
+uid: nina
+name: nina novak
+"""
+
+    BAD_CHANGES = """\
+dn: ou=empty,o=att
+changetype: add
+objectClass: orgUnit
+objectClass: orgGroup
+objectClass: top
+ou: empty
+"""
+
+    def test_legal_changes_applied(self, paths, capsys):
+        schema, data, tmp = paths
+        changes = tmp / "changes.ldif"
+        changes.write_text(self.CHANGES)
+        out = tmp / "updated.ldif"
+        code = main(["apply", "--schema", schema, "--data", data,
+                     "--changes", str(changes), "--out", str(out)])
+        assert code == 0
+        assert "APPLIED" in capsys.readouterr().out
+        updated = load_ldif(str(out))
+        assert updated.find("uid=nina,ou=theory,ou=attLabs,o=att") is not None
+        # and the result validates
+        assert main(["validate", "--schema", schema, "--data", str(out)]) == 0
+
+    def test_illegal_changes_rejected(self, paths, capsys):
+        schema, data, tmp = paths
+        changes = tmp / "bad-changes.ldif"
+        changes.write_text(self.BAD_CHANGES)
+        code = main(["apply", "--schema", schema, "--data", data,
+                     "--changes", str(changes)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out and "orgGroup →→ person" in out
+
+
+class TestRepair:
+    def test_repair_suggestions_printed(self, tmp_path, capsys):
+        path = tmp_path / "bad.dsl"
+        dump_dsl(den_schema_overconstrained(), str(path))
+        code = main(["consistency", "--schema", str(path), "--repair"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "repair suggestions" in out
+        assert "top ↛ policy" in out
+
+
+class TestDiscover:
+    def test_discovered_schema_validates_its_source(self, paths):
+        _, data, tmp = paths
+        out = tmp / "discovered.dsl"
+        assert main(["discover", "--data", data, "--out", str(out)]) == 0
+        assert main(["validate", "--schema", str(out), "--data", data]) == 0
+        assert main(["consistency", "--schema", str(out)]) == 0
+
+    def test_discover_to_stdout(self, paths, capsys):
+        _, data, _ = paths
+        assert main(["discover", "--data", data]) == 0
+        out = capsys.readouterr().out
+        assert "require orgGroup ->> person" in out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("workload", ["whitepages", "den"])
+    def test_generate_validates(self, tmp_path, workload):
+        out_ldif = tmp_path / "gen.ldif"
+        out_dsl = tmp_path / "gen.dsl"
+        assert main(["generate", "--workload", workload, "--scale", "1",
+                     "--out", str(out_ldif), "--schema-out", str(out_dsl)]) == 0
+        assert main(["validate", "--schema", str(out_dsl),
+                     "--data", str(out_ldif)]) == 0
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--workload", "whitepages", "--scale", "1"]) == 0
+        assert "dn: o=org0" in capsys.readouterr().out

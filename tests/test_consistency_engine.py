@@ -1,0 +1,196 @@
+"""Engine-level tests: the paper's Section 5 examples, proofs, and the
+soundness property (Theorem 5.1) on random legal instances."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.consistency.engine import close
+from repro.legality.checker import LegalityChecker
+from repro.schema.elements import (
+    BOTTOM,
+    Disjoint,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    Subclass,
+)
+from repro.workloads import figure1_instance, whitepages_schema
+
+CH, PA, DE, AN = Axis.CHILD, Axis.PARENT, Axis.DESCENDANT, Axis.ANCESTOR
+
+
+class TestSection51Cycles:
+    def test_simple_cycle_inconsistent(self):
+        """c1□, c1 → c2, c2 →→ c1 entails no finite legal instance."""
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(CH, "c1", "c2"),
+            RequiredEdge(DE, "c2", "c1"),
+        ])
+        assert not closure.consistent
+
+    def test_footnote3_without_required_class(self):
+        """Footnote 3: the two edges alone are satisfiable (by instances
+        with no c1/c2 entries)."""
+        closure = close([
+            RequiredEdge(CH, "c1", "c2"),
+            RequiredEdge(DE, "c2", "c1"),
+        ])
+        assert closure.consistent
+        assert closure.empty_classes() == {"c1", "c2"}
+
+    def test_subclass_interaction_cycle(self):
+        """The Section 5.1 example: no cycle within the structure schema
+        alone, but one arises through the class hierarchy."""
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(CH, "c2", "c3"),
+            RequiredEdge(DE, "c4", "c5"),
+            Subclass("c1", "c2"),
+            Subclass("c3", "c4"),
+            Subclass("c5", "c1"),
+        ])
+        assert not closure.consistent
+
+    def test_subclass_cycle_without_hierarchy_is_consistent(self):
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(CH, "c2", "c3"),
+            RequiredEdge(DE, "c4", "c5"),
+        ])
+        assert closure.consistent
+
+    def test_mutual_parent_requirement_inconsistent(self):
+        """Every c1 needs a c2 parent and vice versa: an infinite upward
+        chain — caught via ancestor transitivity + loop."""
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(PA, "c1", "c2"),
+            RequiredEdge(PA, "c2", "c1"),
+        ])
+        assert not closure.consistent
+
+    def test_desc_anc_exchange_is_consistent(self):
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(DE, "c1", "c2"),
+            RequiredEdge(AN, "c2", "c1"),
+        ])
+        assert closure.consistent
+
+
+class TestSection52Contradictions:
+    def test_direct_contradiction(self):
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(DE, "c1", "c2"),
+            ForbiddenEdge(DE, "c1", "c2"),
+        ])
+        assert not closure.consistent
+
+    def test_contradiction_without_population_is_consistent(self):
+        closure = close([
+            RequiredEdge(DE, "c1", "c2"),
+            ForbiddenEdge(DE, "c1", "c2"),
+        ])
+        assert closure.consistent
+        assert "c1" in closure.empty_classes()
+
+    def test_contradiction_through_class_hierarchy(self):
+        """Forbidden at a superclass contradicts required at the
+        subclass."""
+        closure = close([
+            RequiredClass("sub"),
+            Subclass("sub", "sup"),
+            RequiredEdge(DE, "sub", "x"),
+            ForbiddenEdge(DE, "sup", "x"),
+        ])
+        assert not closure.consistent
+
+    def test_leaf_class_cannot_require_children(self):
+        """person ↛ top plus a required child of person is contradictory
+        once persons must exist."""
+        closure = close([
+            RequiredClass("person"),
+            ForbiddenEdge(CH, "person", "top"),
+            RequiredEdge(CH, "person", "badge"),
+        ])
+        assert not closure.consistent
+
+    def test_roots_cannot_require_parents(self):
+        closure = close([
+            RequiredClass("site"),
+            ForbiddenEdge(CH, "top", "site"),  # sites are roots
+            RequiredEdge(PA, "site", "region"),
+        ])
+        assert not closure.consistent
+
+
+class TestClosureApi:
+    def test_proof_is_none_when_consistent(self):
+        closure = close([RequiredClass("a")])
+        assert closure.proof_of_inconsistency() is None
+        assert closure.consistent and bool(closure)
+
+    def test_proof_tree_grounds_in_axioms(self):
+        closure = close([
+            RequiredClass("c1"),
+            RequiredEdge(DE, "c1", "c2"),
+            ForbiddenEdge(DE, "c1", "c2"),
+        ])
+        proof = closure.proof_of_inconsistency()
+        assert proof is not None
+        assert "[axiom]" in proof
+        assert "∅ □" in proof
+
+    def test_explain_underived_fact(self):
+        closure = close([RequiredClass("a")])
+        assert "not derived" in closure.explain(RequiredClass("zz"))
+
+    def test_derivation_lookup_normalizes_disjoint(self):
+        closure = close([Disjoint("z", "a")])
+        assert Disjoint("a", "z") in closure
+        assert Disjoint("z", "a") in closure
+
+    def test_closure_is_deterministic(self):
+        elements = [
+            RequiredClass("c1"),
+            RequiredEdge(CH, "c1", "c2"),
+            RequiredEdge(DE, "c2", "c3"),
+            ForbiddenEdge(DE, "c3", "c1"),
+        ]
+        first = close(elements)
+        second = close(elements)
+        assert set(first.facts) == set(second.facts)
+
+    def test_assume_top_seeds_top_subsumption(self):
+        closure = close([RequiredClass("a")], assume_top=True)
+        assert Subclass("a", "top") in closure
+        bare = close([RequiredClass("a")], assume_top=False)
+        assert Subclass("a", "top") not in bare
+
+
+class TestTheorem51Soundness:
+    """Every derived fact holds on every legal instance (spot-checked on
+    the white-pages schema and random instances)."""
+
+    def test_derived_facts_hold_on_figure1(self):
+        schema = whitepages_schema()
+        instance = figure1_instance()
+        assert LegalityChecker(schema).is_legal(instance)
+        closure = close(schema.all_elements())
+        assert closure.consistent
+        for fact in closure.facts:
+            assert fact.is_satisfied(instance), f"derived fact {fact} violated"
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_derived_facts_hold_on_generated(self, seed):
+        from repro.workloads import generate_whitepages
+
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed)
+        closure = close(schema.all_elements())
+        for fact in closure.facts:
+            assert fact.is_satisfied(instance), f"derived fact {fact} violated"

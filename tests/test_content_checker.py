@@ -1,0 +1,153 @@
+"""Unit tests for content-schema legality (Section 3.1)."""
+
+from repro.legality.content import ContentChecker
+from repro.legality.report import Kind
+from repro.model.instance import DirectoryInstance
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.extras import SchemaExtras
+from repro.schema.structure_schema import StructureSchema
+
+
+def schema_with_extras(extras=None):
+    classes = (
+        ClassSchema()
+        .add_core("person")
+        .add_core("researcher", parent="person")
+        .add_core("orgUnit")
+        .add_auxiliary("online")
+        .add_auxiliary("facultyMember")
+        .allow_auxiliary("researcher", "facultyMember")
+        .allow_auxiliary("person", "online")
+    )
+    attributes = (
+        AttributeSchema()
+        .declare("top")
+        .declare("person", required=("name", "uid"))
+        .declare("researcher")
+        .declare("orgUnit", required=("ou",))
+        .declare("online", allowed=("mail",))
+        .declare("facultyMember")
+    )
+    if extras == "extensible":
+        classes.add_auxiliary("extensibleObject")
+        classes.allow_auxiliary("person", "extensibleObject")
+        attributes.declare("extensibleObject")
+        ex = SchemaExtras().declare_extensible("extensibleObject")
+    else:
+        ex = None
+    return DirectorySchema(attributes, classes, StructureSchema(), extras=ex).validate()
+
+
+def single(classes, attributes=None, extras=None):
+    schema = schema_with_extras(extras)
+    d = DirectoryInstance()
+    d.add_entry(None, "uid=x", classes, attributes or {})
+    return ContentChecker(schema), d
+
+
+def kinds_of(checker, instance):
+    return [v.kind for v in checker.check(instance)]
+
+
+class TestAttributeSchemaConditions:
+    def test_legal_entry(self):
+        checker, d = single(
+            ["person", "top"], {"name": ["n"], "uid": ["x"]}
+        )
+        assert checker.check(d).is_legal
+        assert checker.is_legal(d)
+
+    def test_missing_required_attribute(self):
+        checker, d = single(["person", "top"], {"name": ["n"]})
+        assert kinds_of(checker, d) == [Kind.MISSING_REQUIRED_ATTRIBUTE]
+
+    def test_required_inherited_through_membership(self):
+        # researcher entries also belong to person, so person's required
+        # attributes apply.
+        checker, d = single(["researcher", "person", "top"], {"uid": ["x"]})
+        assert Kind.MISSING_REQUIRED_ATTRIBUTE in kinds_of(checker, d)
+
+    def test_disallowed_attribute(self):
+        checker, d = single(
+            ["person", "top"], {"name": ["n"], "uid": ["x"], "mail": ["m@x"]}
+        )
+        assert kinds_of(checker, d) == [Kind.DISALLOWED_ATTRIBUTE]
+
+    def test_aux_class_allows_its_attributes(self):
+        checker, d = single(
+            ["person", "online", "top"],
+            {"name": ["n"], "uid": ["x"], "mail": ["m@x"]},
+        )
+        assert checker.check(d).is_legal
+
+    def test_extensible_class_allows_everything(self):
+        checker, d = single(
+            ["person", "extensibleObject", "top"],
+            {"name": ["n"], "uid": ["x"], "anything": ["goes"]},
+            extras="extensible",
+        )
+        assert checker.check(d).is_legal
+
+    def test_extensible_does_not_waive_required(self):
+        checker, d = single(
+            ["person", "extensibleObject", "top"], {}, extras="extensible"
+        )
+        assert Kind.MISSING_REQUIRED_ATTRIBUTE in kinds_of(checker, d)
+
+
+class TestClassSchemaConditions:
+    def test_unknown_class(self):
+        checker, d = single(["person", "martian", "top"],
+                            {"name": ["n"], "uid": ["x"]})
+        assert Kind.UNKNOWN_CLASS in kinds_of(checker, d)
+
+    def test_no_core_class(self):
+        checker, d = single(["online"])
+        assert Kind.NO_CORE_CLASS in kinds_of(checker, d)
+
+    def test_missing_superclass(self):
+        checker, d = single(["researcher", "top"], {"name": ["n"], "uid": ["x"]})
+        assert Kind.MISSING_SUPERCLASS in kinds_of(checker, d)
+
+    def test_missing_top(self):
+        checker, d = single(["person"], {"name": ["n"], "uid": ["x"]})
+        assert Kind.MISSING_SUPERCLASS in kinds_of(checker, d)
+
+    def test_incomparable_core_classes(self):
+        checker, d = single(
+            ["person", "orgUnit", "top"],
+            {"name": ["n"], "uid": ["x"], "ou": ["u"]},
+        )
+        assert Kind.INCOMPARABLE_CORE_CLASSES in kinds_of(checker, d)
+
+    def test_disallowed_auxiliary(self):
+        # facultyMember is only allowed on researcher, not plain person.
+        checker, d = single(
+            ["person", "facultyMember", "top"], {"name": ["n"], "uid": ["x"]}
+        )
+        assert Kind.DISALLOWED_AUXILIARY in kinds_of(checker, d)
+
+    def test_auxiliary_allowed_via_subclass_core(self):
+        checker, d = single(
+            ["researcher", "person", "facultyMember", "top"],
+            {"name": ["n"], "uid": ["x"]},
+        )
+        assert checker.check(d).is_legal
+
+
+class TestInstanceLevel:
+    def test_figure1_content_legal(self, wp_schema, fig1):
+        assert ContentChecker(wp_schema).check(fig1).is_legal
+
+    def test_violations_name_the_entry(self, wp_schema, fig1):
+        fig1.entry("uid=suciu,ou=databases,ou=attLabs,o=att").remove_value("name", "dan suciu")
+        report = ContentChecker(wp_schema).check(fig1)
+        assert len(report) == 1
+        assert report.violations[0].dn == "uid=suciu,ou=databases,ou=attLabs,o=att"
+
+    def test_check_entry_matches_check(self, wp_schema, fig1):
+        checker = ContentChecker(wp_schema)
+        total = sum(len(checker.check_entry(e)) for e in fig1)
+        assert total == len(checker.check(fig1))

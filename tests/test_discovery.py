@@ -1,0 +1,160 @@
+"""Tests for bounding-schema discovery.
+
+Two invariants hold for every input: the training instance is legal
+w.r.t. the discovered schema, and the discovered schema is consistent
+(the instance is a model) — the latter doubles as a semantic
+cross-check of the inference system."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.consistency.checker import check_consistency
+from repro.legality.checker import LegalityChecker
+from repro.model.instance import DirectoryInstance
+from repro.schema.discovery import DiscoveryOptions, discover_schema
+from repro.schema.elements import ForbiddenEdge, RequiredEdge
+from repro.workloads import (
+    figure1_instance,
+    generate_den,
+    generate_whitepages,
+)
+
+
+class TestSoundnessInvariants:
+    def test_figure1(self, fig1):
+        result = discover_schema(fig1)
+        assert LegalityChecker(result.schema).is_legal(fig1)
+        assert check_consistency(result.schema).consistent
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_generated_whitepages(self, seed):
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=2, seed=seed)
+        result = discover_schema(instance)
+        assert LegalityChecker(result.schema).is_legal(instance)
+        assert check_consistency(result.schema).consistent
+
+    def test_generated_den(self):
+        instance = generate_den(sites=2, devices_per_site=2,
+                                interfaces_per_device=2, domains=1,
+                                policies_per_domain=2, seed=7)
+        result = discover_schema(instance)
+        assert LegalityChecker(result.schema).is_legal(instance)
+        assert check_consistency(result.schema).consistent
+
+    def test_single_entry(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=solo", ["organization", "top"], {"o": ["solo"]})
+        result = discover_schema(d)
+        assert LegalityChecker(result.schema).is_legal(d)
+
+    def test_empty_instance(self):
+        result = discover_schema(DirectoryInstance())
+        assert LegalityChecker(result.schema).is_legal(DirectoryInstance())
+
+
+class TestRecovery:
+    """Discovery recovers the paper's hand-written schema elements."""
+
+    def test_figure1_recovers_figure3_elements(self, fig1):
+        structure = discover_schema(fig1).schema.structure_schema
+        # the headline required relationship
+        assert RequiredEdge(Axis.DESCENDANT, "orgGroup", "person") in (
+            structure.required_edges
+        )
+        # orgUnit ← orgGroup and organization → orgUnit
+        assert RequiredEdge(Axis.PARENT, "orgUnit", "orgGroup") in (
+            structure.required_edges
+        )
+        assert RequiredEdge(Axis.CHILD, "organization", "orgUnit") in (
+            structure.required_edges
+        )
+        # persons are leaves: forbidden descendant subsumes forbidden child
+        assert ForbiddenEdge(Axis.DESCENDANT, "person", "top") in (
+            structure.forbidden_edges
+        )
+
+    def test_figure1_recovers_hierarchy(self, fig1):
+        classes = discover_schema(fig1).schema.class_schema
+        assert classes.parent("orgUnit") == "orgGroup"
+        assert classes.parent("organization") == "orgGroup"
+        assert classes.parent("researcher") == "person"
+        assert classes.parent("staffMember") == "person"
+
+    def test_figure1_recovers_attribute_bounds(self, fig1):
+        attributes = discover_schema(fig1).schema.attribute_schema
+        assert attributes.required("person") == {"name", "uid"}
+        assert attributes.required("orgUnit") == {"ou"}
+        assert "mail" in attributes.allowed("person")
+
+    def test_online_becomes_auxiliary_with_enough_data(self):
+        instance = generate_whitepages(orgs=2, units_per_level=3, depth=2,
+                                       persons_per_unit=3, seed=4)
+        result = discover_schema(instance)
+        assert "online" in result.auxiliary_classes
+        assert "person" in result.core_classes
+        assert "orgGroup" in result.core_classes
+
+
+class TestOptions:
+    def test_min_class_support_drops_rare_classes(self, fig1):
+        result = discover_schema(fig1, DiscoveryOptions(min_class_support=2))
+        schema = result.schema
+        # staffMember/facultyMember/organization have one member each
+        # (online has two: att and laks)
+        assert "staffMember" not in schema.class_schema
+        assert "facultyMember" not in schema.class_schema
+        assert "organization" not in schema.class_schema
+        assert "online" in schema.class_schema
+        # NB: the training instance is no longer legal (unknown classes)
+        assert not LegalityChecker(schema).is_legal(fig1)
+
+    def test_forbidden_support_threshold(self, fig1):
+        loose = discover_schema(fig1, DiscoveryOptions(min_forbidden_support=1))
+        tight = discover_schema(fig1, DiscoveryOptions(min_forbidden_support=3))
+        assert loose.forbidden_edges >= tight.forbidden_edges
+
+    def test_top_targets_flag(self, fig1):
+        without = discover_schema(fig1)
+        with_top = discover_schema(fig1, DiscoveryOptions(include_top_targets=True))
+        assert with_top.required_edges > without.required_edges
+
+    def test_no_required_classes_option(self, fig1):
+        result = discover_schema(
+            fig1, DiscoveryOptions(require_observed_classes=False)
+        )
+        assert not result.schema.structure_schema.required_classes
+
+
+class TestPrescriptiveUse:
+    """The discovered bound rejects data that breaks the observed
+    invariants — the prescriptive payoff."""
+
+    def test_discovered_bound_rejects_novel_violations(self, fig1):
+        schema = discover_schema(fig1).schema
+        checker = LegalityChecker(schema)
+        # an orgUnit directly under a person breaks several discovered
+        # elements (person ↛↛ top among them)
+        fig1.add_entry(
+            "uid=suciu,ou=databases,ou=attLabs,o=att",
+            "ou=rogue",
+            ["orgUnit", "orgGroup", "top"],
+            {"ou": ["rogue"]},
+        )
+        assert not checker.is_legal(fig1)
+
+    def test_generalization_across_seeds(self):
+        """A schema discovered from a large sample usually accepts other
+        samples from the same generator (same invariants)."""
+        train = generate_whitepages(orgs=3, units_per_level=3, depth=2,
+                                    persons_per_unit=4, seed=1)
+        schema = discover_schema(
+            train, DiscoveryOptions(min_forbidden_support=5)
+        ).schema
+        test_instance = generate_whitepages(orgs=2, units_per_level=3, depth=2,
+                                            persons_per_unit=4, seed=2)
+        report = LegalityChecker(schema).check(test_instance)
+        # Perfect generalization is not guaranteed (tight bounds may
+        # overfit rare motifs), but the bulk must transfer.
+        assert len(report) < len(test_instance) * 0.1

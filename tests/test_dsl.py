@@ -1,0 +1,125 @@
+"""Tests for the bounding-schema DSL (parser and serializer)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.errors import DslError
+from repro.schema.dsl import parse_dsl, serialize_dsl
+from repro.schema.elements import ForbiddenEdge, RequiredEdge
+from repro.workloads import den_schema, random_schema, whitepages_schema
+
+EXAMPLE = """
+# a comment
+class person
+class researcher extends person
+class orgUnit
+auxiliary online
+allow person: online
+
+attributes person: required name, uid; allowed phone
+attributes orgUnit: required ou
+
+require class person, orgUnit
+require orgUnit ->> person
+require researcher <- orgUnit    # every researcher sits in a unit
+forbid person -> top
+key uid
+single-valued ssn
+"""
+
+
+class TestParser:
+    def test_full_example(self):
+        schema = parse_dsl(EXAMPLE)
+        assert schema.class_schema.is_core("researcher")
+        assert schema.class_schema.parent("researcher") == "person"
+        assert schema.class_schema.is_auxiliary("online")
+        assert schema.class_schema.aux("person") == {"online"}
+        assert schema.attribute_schema.required("person") == {"name", "uid"}
+        assert schema.attribute_schema.allowed("person") == {"name", "uid", "phone"}
+        assert schema.structure_schema.required_classes == {"person", "orgUnit"}
+        assert RequiredEdge(Axis.DESCENDANT, "orgUnit", "person") in (
+            schema.structure_schema.required_edges
+        )
+        assert RequiredEdge(Axis.PARENT, "researcher", "orgUnit") in (
+            schema.structure_schema.required_edges
+        )
+        assert ForbiddenEdge(Axis.CHILD, "person", "top") in (
+            schema.structure_schema.forbidden_edges
+        )
+        assert schema.extras is not None
+        assert schema.extras.key_attributes == {"uid"}
+        assert "ssn" in schema.extras.single_valued_attributes
+
+    def test_forward_references_allowed(self):
+        schema = parse_dsl("class researcher extends person\nclass person\n")
+        assert schema.class_schema.parent("researcher") == "person"
+
+    def test_unresolvable_parent(self):
+        with pytest.raises(DslError, match="unresolvable"):
+            parse_dsl("class a extends ghost\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(DslError, match="unknown directive"):
+            parse_dsl("frobnicate everything\n")
+
+    @pytest.mark.parametrize("bad", [
+        "class\n",
+        "auxiliary\n",
+        "allow person\n",
+        "require a => b\n",
+        "forbid a <- b\n",
+        "attributes person: mandatory x\n",
+        "require class a,,b\n",
+    ])
+    def test_malformed_lines(self, bad):
+        with pytest.raises(DslError):
+            parse_dsl("class person\n" + bad)
+
+    def test_forbid_upward_rejected(self):
+        with pytest.raises(DslError, match="forbid supports"):
+            parse_dsl("class a\nclass b\nforbid a <<- b\n")
+
+    def test_duplicate_attributes_block_rejected(self):
+        with pytest.raises(DslError, match="twice"):
+            parse_dsl("class a\nattributes a: required x\nattributes a: required y\n")
+
+    def test_validation_errors_propagate(self):
+        with pytest.raises(DslError) as excinfo:
+            parse_dsl("attributes ghost: required x\n")
+        assert "ghost" in str(excinfo.value) or isinstance(
+            excinfo.value.__cause__, Exception
+        )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [whitepages_schema, den_schema])
+    def test_workload_schemas(self, factory):
+        schema = factory()
+        text = serialize_dsl(schema)
+        assert serialize_dsl(parse_dsl(text)) == text
+
+    def test_extras_roundtrip(self):
+        schema = whitepages_schema(extras=True)
+        text = serialize_dsl(schema)
+        reparsed = parse_dsl(text)
+        assert reparsed.extras is not None
+        assert reparsed.extras.key_attributes == {"uid"}
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_schemas(self, seed):
+        schema = random_schema(seed=seed, mode="any")
+        text = serialize_dsl(schema)
+        assert serialize_dsl(parse_dsl(text)) == text
+
+    def test_roundtrip_preserves_consistency_verdict(self):
+        from repro.consistency import check_consistency
+        from repro.workloads import den_schema_overconstrained
+
+        schema = den_schema_overconstrained()
+        reparsed = parse_dsl(serialize_dsl(schema))
+        assert check_consistency(schema).consistent == check_consistency(
+            reparsed
+        ).consistent

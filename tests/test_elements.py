@@ -1,0 +1,139 @@
+"""Unit tests for schema elements' direct satisfaction semantics
+(Definition 2.6)."""
+
+import pytest
+
+from repro.axes import Axis
+from repro.model.instance import DirectoryInstance
+from repro.schema.elements import (
+    BOTTOM,
+    EMPTY_CLASS,
+    Disjoint,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    Subclass,
+)
+
+
+def chain(labels):
+    d = DirectoryInstance()
+    parent = None
+    for i, label_set in enumerate(labels):
+        parent = d.add_entry(parent, f"o={i}", label_set)
+    return d
+
+
+class TestRequiredClass:
+    def test_satisfied_when_populated(self):
+        d = chain([["a", "top"]])
+        assert RequiredClass("a").is_satisfied(d)
+
+    def test_violated_when_absent(self):
+        d = chain([["b", "top"]])
+        assert not RequiredClass("a").is_satisfied(d)
+
+    def test_bottom_never_satisfied(self):
+        assert not BOTTOM.is_satisfied(chain([["a", "top"]]))
+        assert not RequiredClass(EMPTY_CLASS).is_satisfied(DirectoryInstance())
+
+    def test_str(self):
+        assert str(RequiredClass("a")) == "a □"
+
+
+class TestRequiredEdge:
+    def test_child_satisfied(self):
+        d = chain([["a", "top"], ["b", "top"]])
+        assert RequiredEdge(Axis.CHILD, "a", "b").is_satisfied(d)
+
+    def test_child_violated_by_grandchild_only(self):
+        d = chain([["a", "top"], ["x", "top"], ["b", "top"]])
+        assert not RequiredEdge(Axis.CHILD, "a", "b").is_satisfied(d)
+        assert RequiredEdge(Axis.DESCENDANT, "a", "b").is_satisfied(d)
+
+    def test_parent(self):
+        d = chain([["b", "top"], ["a", "top"]])
+        assert RequiredEdge(Axis.PARENT, "a", "b").is_satisfied(d)
+        assert not RequiredEdge(Axis.PARENT, "b", "a").is_satisfied(d)
+
+    def test_ancestor(self):
+        d = chain([["b", "top"], ["x", "top"], ["a", "top"]])
+        assert RequiredEdge(Axis.ANCESTOR, "a", "b").is_satisfied(d)
+
+    def test_vacuous_when_source_absent(self):
+        d = chain([["b", "top"]])
+        assert RequiredEdge(Axis.CHILD, "a", "b").is_satisfied(d)
+
+    def test_every_source_entry_must_comply(self):
+        d = DirectoryInstance()
+        ok = d.add_entry(None, "o=0", ["a", "top"])
+        d.add_entry(ok, "o=1", ["b", "top"])
+        d.add_entry(None, "o=2", ["a", "top"])  # childless a
+        assert not RequiredEdge(Axis.CHILD, "a", "b").is_satisfied(d)
+
+    def test_empty_target_means_source_must_be_empty(self):
+        populated = chain([["a", "top"]])
+        assert not RequiredEdge(Axis.DESCENDANT, "a", EMPTY_CLASS).is_satisfied(populated)
+        unpopulated = chain([["b", "top"]])
+        assert RequiredEdge(Axis.DESCENDANT, "a", EMPTY_CLASS).is_satisfied(unpopulated)
+
+    def test_str_arrows(self):
+        assert str(RequiredEdge(Axis.CHILD, "a", "b")) == "a → b"
+        assert str(RequiredEdge(Axis.DESCENDANT, "a", "b")) == "a →→ b"
+        assert str(RequiredEdge(Axis.PARENT, "a", "b")) == "a ← b"
+        assert str(RequiredEdge(Axis.ANCESTOR, "a", "b")) == "a ←← b"
+
+
+class TestForbiddenEdge:
+    def test_child_forbidden(self):
+        d = chain([["a", "top"], ["b", "top"]])
+        assert not ForbiddenEdge(Axis.CHILD, "a", "b").is_satisfied(d)
+
+    def test_grandchild_does_not_trip_child_form(self):
+        d = chain([["a", "top"], ["x", "top"], ["b", "top"]])
+        assert ForbiddenEdge(Axis.CHILD, "a", "b").is_satisfied(d)
+        assert not ForbiddenEdge(Axis.DESCENDANT, "a", "b").is_satisfied(d)
+
+    def test_satisfied_when_no_pairs(self):
+        d = chain([["b", "top"], ["a", "top"]])  # b above a
+        assert ForbiddenEdge(Axis.DESCENDANT, "a", "b").is_satisfied(d)
+
+    def test_upward_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ForbiddenEdge(Axis.PARENT, "a", "b")
+        with pytest.raises(ValueError):
+            ForbiddenEdge(Axis.ANCESTOR, "a", "b")
+
+    def test_str(self):
+        assert str(ForbiddenEdge(Axis.CHILD, "a", "b")) == "a ↛ b"
+        assert str(ForbiddenEdge(Axis.DESCENDANT, "a", "b")) == "a ↛↛ b"
+
+
+class TestSubclassAndDisjoint:
+    def test_subclass_satisfied(self):
+        d = chain([["a", "b", "top"]])
+        assert Subclass("a", "b").is_satisfied(d)
+
+    def test_subclass_violated(self):
+        d = chain([["a", "top"]])
+        assert not Subclass("a", "b").is_satisfied(d)
+
+    def test_subclass_vacuous(self):
+        d = chain([["c", "top"]])
+        assert Subclass("a", "b").is_satisfied(d)
+
+    def test_disjoint_satisfied(self):
+        d = chain([["a", "top"], ["b", "top"]])
+        assert Disjoint("a", "b").is_satisfied(d)
+
+    def test_disjoint_violated(self):
+        d = chain([["a", "b", "top"]])
+        assert not Disjoint("a", "b").is_satisfied(d)
+
+    def test_disjoint_normalization(self):
+        assert Disjoint("z", "a").normalized() == Disjoint("a", "z")
+        assert Disjoint("a", "z").normalized() == Disjoint("a", "z")
+
+    def test_str(self):
+        assert str(Subclass("a", "b")) == "a ⊑ b"
+        assert str(Disjoint("a", "b")) == "a ⊥ b"

@@ -1,0 +1,124 @@
+"""Unit tests for directory entries (Definition 2.1 invariants)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.attributes import OBJECT_CLASS
+from repro.model.dn import parse_rdn
+from repro.model.entry import Entry
+
+
+def make_entry(classes=("person", "top"), attributes=None):
+    return Entry(parse_rdn("uid=test"), classes, attributes)
+
+
+class TestClassInvariant:
+    def test_empty_class_set_rejected(self):
+        with pytest.raises(ModelError):
+            Entry(parse_rdn("uid=x"), [])
+
+    def test_object_class_values_mirror_classes(self):
+        entry = make_entry({"person", "top", "online"})
+        assert entry.values(OBJECT_CLASS) == ("online", "person", "top")
+
+    def test_add_class_reflected_in_values(self):
+        entry = make_entry()
+        entry.add_class("online")
+        assert entry.has_value(OBJECT_CLASS, "online")
+        assert entry.belongs_to("online")
+
+    def test_add_class_idempotent(self):
+        entry = make_entry()
+        entry.add_class("person")
+        assert entry.values(OBJECT_CLASS).count("person") == 1
+
+    def test_remove_class(self):
+        entry = make_entry({"person", "top"})
+        entry.remove_class("person")
+        assert not entry.belongs_to("person")
+
+    def test_remove_absent_class(self):
+        entry = make_entry()
+        with pytest.raises(ModelError):
+            entry.remove_class("router")
+
+    def test_cannot_remove_last_class(self):
+        entry = Entry(parse_rdn("uid=x"), ["top"])
+        with pytest.raises(ModelError):
+            entry.remove_class("top")
+
+    def test_add_value_on_object_class_adds_class(self):
+        entry = make_entry()
+        entry.add_value(OBJECT_CLASS, "online")
+        assert entry.belongs_to("online")
+
+    def test_remove_value_on_object_class_removes_class(self):
+        entry = make_entry({"person", "top"})
+        entry.remove_value(OBJECT_CLASS, "person")
+        assert not entry.belongs_to("person")
+
+
+class TestValues:
+    def test_values_are_a_set_of_pairs(self):
+        entry = make_entry()
+        entry.add_value("mail", "a@example.com")
+        entry.add_value("mail", "a@example.com")
+        assert entry.values("mail") == ("a@example.com",)
+
+    def test_multivalued_attribute(self):
+        entry = make_entry()
+        entry.add_value("mail", "a@x.com")
+        entry.add_value("mail", "b@x.com")
+        assert entry.values("mail") == ("a@x.com", "b@x.com")
+
+    def test_first_value(self):
+        entry = make_entry(attributes={"mail": ["a@x.com", "b@x.com"]})
+        assert entry.first_value("mail") == "a@x.com"
+        assert entry.first_value("ghost") is None
+
+    def test_has_attribute(self):
+        entry = make_entry(attributes={"mail": ["a@x.com"]})
+        assert entry.has_attribute("mail")
+        assert not entry.has_attribute("phone")
+        assert entry.has_attribute(OBJECT_CLASS)
+
+    def test_remove_value(self):
+        entry = make_entry(attributes={"mail": ["a@x.com", "b@x.com"]})
+        entry.remove_value("mail", "a@x.com")
+        assert entry.values("mail") == ("b@x.com",)
+
+    def test_remove_last_value_drops_attribute(self):
+        entry = make_entry(attributes={"mail": ["a@x.com"]})
+        entry.remove_value("mail", "a@x.com")
+        assert not entry.has_attribute("mail")
+        assert "mail" not in entry.attribute_names()
+
+    def test_remove_absent_value(self):
+        entry = make_entry()
+        with pytest.raises(ModelError):
+            entry.remove_value("mail", "nope")
+
+    def test_replace_values(self):
+        entry = make_entry(attributes={"mail": ["old@x.com"]})
+        entry.replace_values("mail", ["new1@x.com", "new2@x.com"])
+        assert entry.values("mail") == ("new1@x.com", "new2@x.com")
+
+    def test_replace_object_class_rejected(self):
+        entry = make_entry()
+        with pytest.raises(ModelError):
+            entry.replace_values(OBJECT_CLASS, ["x"])
+
+    def test_pairs_include_object_classes(self):
+        entry = make_entry({"person", "top"}, {"uid": ["u1"]})
+        pairs = set(entry.pairs())
+        assert (OBJECT_CLASS, "person") in pairs
+        assert (OBJECT_CLASS, "top") in pairs
+        assert ("uid", "u1") in pairs
+
+    def test_value_count(self):
+        entry = make_entry({"person", "top"}, {"mail": ["a", "b"], "uid": ["u"]})
+        assert entry.value_count() == 5
+
+    def test_detached_entry_dn_is_rdn(self):
+        entry = make_entry()
+        assert str(entry.dn) == "uid=test"

@@ -1,0 +1,145 @@
+"""Tests for schema-evolution analysis (Section 6.2 made executable).
+
+The key property: a diff classified as lightweight (only relaxing
+changes) never invalidates an instance that was legal under the old
+schema."""
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.legality.checker import LegalityChecker
+from repro.schema.evolution import EvolutionAnalyzer
+from repro.workloads import generate_whitepages, whitepages_schema
+
+
+def fresh_pair():
+    return whitepages_schema(), whitepages_schema()
+
+
+class TestDiffing:
+    def test_identical_schemas_have_no_changes(self):
+        old, new = fresh_pair()
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert len(report) == 0 and report.lightweight
+        assert str(report) == "no schema changes"
+
+    def test_new_allowed_attribute_is_relaxing(self):
+        old, new = fresh_pair()
+        new.attribute_schema._allowed["person"] = (
+            new.attribute_schema.allowed("person") | {"pager"}
+        )
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert report.lightweight
+        assert any(c.kind == "attribute-now-allowed" for c in report)
+
+    def test_new_required_attribute_is_narrowing(self):
+        old, new = fresh_pair()
+        new.attribute_schema._required["person"] = (
+            new.attribute_schema.required("person") | {"badge"}
+        )
+        new.attribute_schema._allowed["person"] = (
+            new.attribute_schema.allowed("person") | {"badge"}
+        )
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert not report.lightweight
+        assert any(c.kind == "attribute-now-required" for c in report)
+
+    def test_new_auxiliary_and_aux_grant_are_relaxing(self):
+        old, new = fresh_pair()
+        new.class_schema.add_auxiliary("vpnUser")
+        new.class_schema.allow_auxiliary("person", "vpnUser")
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert report.lightweight
+        kinds = {c.kind for c in report}
+        assert kinds == {"auxiliary-class-added", "aux-allowed"}
+
+    def test_withdrawn_aux_is_narrowing(self):
+        old, new = fresh_pair()
+        new.class_schema._aux_of["person"].discard("online")
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert any(c.kind == "aux-withdrawn" for c in report)
+        assert not report.lightweight
+
+    def test_new_core_class_is_relaxing(self):
+        old, new = fresh_pair()
+        new.class_schema.add_core("contractor", parent="person")
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert report.lightweight
+
+    def test_reparenting_is_narrowing(self):
+        old, new = fresh_pair()
+        new.class_schema._parent["researcher"] = "orgGroup"
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert any(c.kind == "core-class-reparented" for c in report)
+        assert not report.lightweight
+
+    def test_dropping_structure_elements_is_relaxing(self):
+        old, new = fresh_pair()
+        new.structure_schema._forbidden_edges.clear()
+        new.structure_schema._required_classes.discard("person")
+        report = EvolutionAnalyzer(old, new).analyze()
+        assert report.lightweight
+        kinds = {c.kind for c in report}
+        assert "relationship-no-longer-forbidden" in kinds
+        assert "class-no-longer-required" in kinds
+
+    def test_adding_structure_elements_is_narrowing(self):
+        old, new = fresh_pair()
+        new.structure_schema.require_child("orgUnit", "person")
+        new.structure_schema.forbid_descendant("organization", "organization")
+        report = EvolutionAnalyzer(old, new).analyze()
+        narrowing = {c.kind for c in report.narrowing_changes()}
+        assert narrowing == {
+            "relationship-now-required", "relationship-now-forbidden"
+        }
+
+    def test_str_shows_verdict(self):
+        old, new = fresh_pair()
+        new.structure_schema.require_class("staffMember")
+        text = str(EvolutionAnalyzer(old, new).analyze())
+        assert "NEEDS RE-VALIDATION" in text
+
+
+class TestLightweightContract:
+    """Relaxing-only evolutions preserve legality of every old-legal
+    instance."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_relaxing_changes_preserve_legality(self, seed):
+        old = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed)
+        assert LegalityChecker(old).is_legal(instance)
+
+        new = whitepages_schema()
+        # a representative batch of relaxing changes
+        new.class_schema.add_auxiliary("vpnUser")
+        new.class_schema.allow_auxiliary("person", "vpnUser")
+        new.class_schema.add_core("contractor", parent="person")
+        new.attribute_schema._allowed["person"] = (
+            new.attribute_schema.allowed("person") | {"pager"}
+        )
+        new.structure_schema._forbidden_edges = {
+            e for e in new.structure_schema._forbidden_edges
+            if e.source != "top"
+        }
+        analyzer = EvolutionAnalyzer(old, new)
+        report = analyzer.analyze()
+        assert report.lightweight, str(report)
+        assert analyzer.revalidate(instance).is_legal
+
+    def test_narrowing_change_detected_by_revalidation(self, fig1):
+        old = whitepages_schema()
+        new = whitepages_schema()
+        new.attribute_schema._required["orgUnit"] = frozenset({"ou", "location"})
+        new.attribute_schema._allowed["orgUnit"] = (
+            new.attribute_schema.allowed("orgUnit") | {"location"}
+        )
+        analyzer = EvolutionAnalyzer(old, new)
+        assert not analyzer.analyze().lightweight
+        # Figure 1's databases unit has no location -> now illegal.
+        report = analyzer.revalidate(fig1)
+        assert not report.is_legal
+        assert any("location" in v.message for v in report)

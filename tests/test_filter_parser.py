@@ -1,0 +1,131 @@
+"""Unit and property tests for the RFC 2254 filter parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FilterSyntaxError
+from repro.query.filter_parser import parse_filter
+from repro.query.filters import (
+    And,
+    Approx,
+    Equals,
+    Filter,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+
+
+class TestAtoms:
+    def test_equality(self):
+        assert parse_filter("(mail=a@x.com)") == Equals("mail", "a@x.com")
+
+    def test_presence(self):
+        assert parse_filter("(mail=*)") == Present("mail")
+
+    def test_ge(self):
+        assert parse_filter("(age>=18)") == GreaterOrEqual("age", "18")
+
+    def test_le(self):
+        assert parse_filter("(age<=65)") == LessOrEqual("age", "65")
+
+    def test_approx(self):
+        assert parse_filter("(cn~=laks)") == Approx("cn", "laks")
+
+    def test_substring_initial_final(self):
+        assert parse_filter("(cn=a*z)") == Substring("cn", "a", (), "z")
+
+    def test_substring_any(self):
+        assert parse_filter("(cn=*mid*)") == Substring("cn", "", ("mid",), "")
+
+    def test_substring_full(self):
+        assert parse_filter("(cn=a*m1*m2*z)") == Substring("cn", "a", ("m1", "m2"), "z")
+
+    def test_escaped_star_is_equality(self):
+        parsed = parse_filter("(cn=a\\2ab)")
+        assert parsed == Equals("cn", "a*b")
+
+    def test_escaped_parens(self):
+        assert parse_filter("(cn=\\28x\\29)") == Equals("cn", "(x)")
+
+
+class TestCombinators:
+    def test_and(self):
+        parsed = parse_filter("(&(objectClass=person)(mail=*))")
+        assert parsed == And((Equals("objectClass", "person"), Present("mail")))
+
+    def test_or(self):
+        parsed = parse_filter("(|(cn=a)(cn=b))")
+        assert parsed == Or((Equals("cn", "a"), Equals("cn", "b")))
+
+    def test_not(self):
+        assert parse_filter("(!(mail=*))") == Not(Present("mail"))
+
+    def test_nested(self):
+        parsed = parse_filter("(&(a=1)(|(b=*)(!(c=2))))")
+        assert isinstance(parsed, And)
+        assert isinstance(parsed.operands[1], Or)
+
+    def test_empty_and(self):
+        assert parse_filter("(&)") == And(())
+
+    def test_whitespace_tolerated_at_ends(self):
+        assert parse_filter("  (cn=x)  ") == Equals("cn", "x")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "cn=x", "(cn=x", "(cn=x))", "((cn=x)", "(=value)",
+        "(!(a=1)(b=2))x", "(cn=x)(cn=y)",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter(bad)
+
+    def test_unescaped_paren_in_value(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("(cn=a(b)")
+
+    def test_truncated_escape(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("(cn=a\\2)")
+
+    def test_invalid_escape(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("(cn=a\\zz)")
+
+
+_attr = st.sampled_from(["cn", "mail", "uid", "objectClass", "age"])
+_value = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", blacklist_categories=("Cs",)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _filters(depth: int) -> st.SearchStrategy[Filter]:
+    atom = st.one_of(
+        st.builds(Equals, _attr, _value),
+        st.builds(Present, _attr),
+        st.builds(Approx, _attr, _value),
+        st.builds(GreaterOrEqual, _attr, _value),
+        st.builds(LessOrEqual, _attr, _value),
+    )
+    if depth == 0:
+        return atom
+    inner = _filters(depth - 1)
+    return st.one_of(
+        atom,
+        st.builds(Not, inner),
+        st.builds(lambda ops: And(tuple(ops)), st.lists(inner, max_size=3)),
+        st.builds(lambda ops: Or(tuple(ops)), st.lists(inner, min_size=1, max_size=3)),
+    )
+
+
+class TestRoundTrip:
+    @given(_filters(2))
+    def test_parse_inverts_str(self, node):
+        assert parse_filter(str(node)) == node

@@ -1,0 +1,148 @@
+"""Unit tests for LDAP filter semantics."""
+
+from repro.model.dn import parse_rdn
+from repro.model.entry import Entry
+from repro.query.filters import (
+    TRUE_FILTER,
+    And,
+    Approx,
+    Equals,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+
+
+def person(**attrs):
+    return Entry(
+        parse_rdn("uid=test"),
+        ["person", "top"],
+        {k: v if isinstance(v, list) else [v] for k, v in attrs.items()},
+    )
+
+
+class TestEquals:
+    def test_matches_some_value(self):
+        e = person(mail=["a@x.com", "b@x.com"])
+        assert Equals("mail", "b@x.com").matches(e)
+
+    def test_no_match(self):
+        assert not Equals("mail", "z@x.com").matches(person(mail="a@x.com"))
+
+    def test_absent_attribute(self):
+        assert not Equals("mail", "a@x.com").matches(person())
+
+    def test_object_class_equality(self):
+        assert Equals("objectClass", "person").matches(person())
+        assert not Equals("objectClass", "router").matches(person())
+
+    def test_string_form_matches_stored_int(self):
+        assert Equals("age", "30").matches(person(age=[30]))
+
+    def test_str(self):
+        assert str(Equals("mail", "a@x.com")) == "(mail=a@x.com)"
+
+    def test_str_escapes_specials(self):
+        assert str(Equals("cn", "a*b")) == "(cn=a\\2ab)"
+
+
+class TestPresent:
+    def test_present(self):
+        assert Present("mail").matches(person(mail="a@x.com"))
+
+    def test_absent(self):
+        assert not Present("mail").matches(person())
+
+    def test_object_class_always_present(self):
+        assert Present("objectClass").matches(person())
+
+    def test_str(self):
+        assert str(Present("mail")) == "(mail=*)"
+
+
+class TestSubstring:
+    def test_initial(self):
+        assert Substring("mail", initial="laks").matches(person(mail="laks@x.com"))
+
+    def test_final(self):
+        assert Substring("mail", final="x.com").matches(person(mail="laks@x.com"))
+
+    def test_any_parts_ordered(self):
+        f = Substring("cn", any_parts=("a", "b"))
+        assert f.matches(person(cn="xaybz"))
+        assert not f.matches(person(cn="xbyaz"))
+
+    def test_initial_and_final(self):
+        f = Substring("cn", initial="ab", final="yz")
+        assert f.matches(person(cn="ab--yz"))
+        assert not f.matches(person(cn="ab--y"))
+
+    def test_str(self):
+        assert str(Substring("cn", initial="a", final="z")) == "(cn=a*z)"
+        assert str(Substring("cn", any_parts=("m",))) == "(cn=*m*)"
+
+
+class TestOrdering:
+    def test_ge_numeric(self):
+        assert GreaterOrEqual("age", 18).matches(person(age=[21]))
+        assert not GreaterOrEqual("age", 30).matches(person(age=[21]))
+
+    def test_le_numeric(self):
+        assert LessOrEqual("age", 30).matches(person(age=[21]))
+
+    def test_numeric_string_operand(self):
+        assert GreaterOrEqual("age", "18").matches(person(age=[21]))
+
+    def test_string_ordering(self):
+        assert GreaterOrEqual("cn", "m").matches(person(cn="zeta"))
+        assert not GreaterOrEqual("cn", "m").matches(person(cn="alpha"))
+
+    def test_incomparable_never_matches(self):
+        assert not GreaterOrEqual("age", "abc").matches(person(age=[21]))
+
+    def test_str(self):
+        assert str(GreaterOrEqual("age", 18)) == "(age>=18)"
+        assert str(LessOrEqual("age", 65)) == "(age<=65)"
+
+
+class TestApprox:
+    def test_case_insensitive(self):
+        assert Approx("cn", "LAKS lakshmanan").matches(person(cn="Laks Lakshmanan"))
+
+    def test_whitespace_normalized(self):
+        assert Approx("cn", "a  b").matches(person(cn="a b"))
+
+    def test_str(self):
+        assert str(Approx("cn", "x")) == "(cn~=x)"
+
+
+class TestCombinators:
+    def test_and(self):
+        f = And((Present("mail"), Equals("objectClass", "person")))
+        assert f.matches(person(mail="a@x.com"))
+        assert not f.matches(person())
+
+    def test_or(self):
+        f = Or((Equals("cn", "x"), Present("mail")))
+        assert f.matches(person(mail="a@x.com"))
+        assert not f.matches(person())
+
+    def test_not(self):
+        assert Not(Present("mail")).matches(person())
+
+    def test_empty_and_is_true(self):
+        assert TRUE_FILTER.matches(person())
+
+    def test_empty_or_is_false(self):
+        assert not Or(()).matches(person())
+
+    def test_operator_overloads(self):
+        f = Present("mail") & ~Equals("cn", "x") | Present("uid")
+        assert f.matches(person(uid="u"))
+
+    def test_str_nested(self):
+        f = And((Equals("a", "1"), Or((Present("b"), Not(Equals("c", "2"))))))
+        assert str(f) == "(&(a=1)(|(b=*)(!(c=2))))"

@@ -1,0 +1,210 @@
+"""Integration and property tests for incremental legality testing
+(Section 4.2).
+
+The central property: for any subtree update against a legal instance,
+the incremental checker's verdict equals a from-scratch legality check
+of the hypothetically-updated instance — and a rejected update leaves
+the instance byte-identical.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UpdateError
+from repro.ldif import serialize_ldif
+from repro.legality.checker import LegalityChecker
+from repro.model.instance import DirectoryInstance
+from repro.updates.incremental import IncrementalChecker
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    deletable_units,
+    figure1_instance,
+    generate_whitepages,
+    make_person_subtree,
+    make_unit_subtree,
+    random_insertions,
+    random_transaction,
+    whitepages_schema,
+)
+
+
+def fresh_checker(instance, schema):
+    return IncrementalChecker(schema, instance)
+
+
+class TestGuards:
+    def test_illegal_baseline_rejected(self, wp_schema):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=alone", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+        with pytest.raises(UpdateError, match="not legal"):
+            IncrementalChecker(wp_schema, d)
+
+    def test_assume_legal_skips_baseline(self, wp_schema):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=alone", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+        IncrementalChecker(wp_schema, d, assume_legal=True)  # no raise
+
+
+class TestSection42Examples:
+    """The worked examples of Section 4.2."""
+
+    def test_legal_unit_with_persons_accepted(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        delta = make_unit_subtree(random.Random(1), persons=2,
+                                  attributes=fig1.attributes)
+        outcome = checker.try_insert("ou=attLabs,o=att", delta)
+        assert outcome.applied
+        assert LegalityChecker(wp_schema).is_legal(fig1)
+
+    def test_unit_without_person_rejected(self, wp_schema, fig1):
+        """Checking right after the bare orgUnit insertion violates
+        orgGroup →→ person — the motivation for subtree granularity."""
+        checker = fresh_checker(fig1, wp_schema)
+        delta = DirectoryInstance(attributes=fig1.attributes)
+        delta.add_entry(None, "ou=empty", ["orgUnit", "orgGroup", "top"],
+                        {"ou": ["empty"]})
+        outcome = checker.try_insert("ou=attLabs,o=att", delta)
+        assert not outcome.applied
+        assert any("orgGroup →→ person" in (v.element or "") for v in outcome.report)
+
+    def test_unit_under_person_rejected(self, wp_schema, fig1):
+        """Inserting an orgUnit below suciu violates both the orgUnit
+        parent requirement and person ↛ top (the paper's example)."""
+        checker = fresh_checker(fig1, wp_schema)
+        delta = make_unit_subtree(random.Random(2), persons=1,
+                                  attributes=fig1.attributes)
+        outcome = checker.try_insert(
+            "uid=suciu,ou=databases,ou=attLabs,o=att", delta
+        )
+        assert not outcome.applied
+        elements = {v.element for v in outcome.report if v.element}
+        assert any("person ↛ top" in e for e in elements)
+        assert any("orgUnit ← orgGroup" in e for e in elements)
+
+    def test_content_illegal_delta_rejected_before_grafting(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        delta = DirectoryInstance(attributes=fig1.attributes)
+        delta.add_entry(None, "uid=q", ["person", "top"], {"uid": ["q"]})  # no name
+        before = serialize_ldif(fig1)
+        outcome = checker.try_insert("ou=attLabs,o=att", delta)
+        assert not outcome.applied
+        assert serialize_ldif(fig1) == before
+
+    def test_delete_preserving_legality_accepted(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        outcome = checker.try_delete("uid=laks,ou=databases,ou=attLabs,o=att")
+        assert outcome.applied
+        assert LegalityChecker(wp_schema).is_legal(fig1)
+
+    def test_delete_last_person_of_unit_rejected(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        assert checker.try_delete("uid=laks,ou=databases,ou=attLabs,o=att").applied
+        outcome = checker.try_delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+        assert not outcome.applied  # databases would employ nobody
+        assert any("orgGroup →→ person" in (v.element or "") for v in outcome.report)
+
+    def test_delete_subtree_counted_required_class(self, wp_schema):
+        """Deleting the only organization trips the counted Cr test."""
+        d = figure1_instance()
+        checker = fresh_checker(d, wp_schema)
+        outcome = checker.try_delete("o=att")
+        assert not outcome.applied
+        assert any("□" in (v.element or "") for v in outcome.report)
+
+    def test_rejected_updates_roll_back_exactly(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        before = serialize_ldif(fig1)
+        delta = DirectoryInstance(attributes=fig1.attributes)
+        delta.add_entry(None, "ou=empty", ["orgUnit", "orgGroup", "top"],
+                        {"ou": ["empty"]})
+        checker.try_insert("ou=attLabs,o=att", delta)
+        assert serialize_ldif(fig1) == before
+        checker.try_delete("o=att")
+        assert serialize_ldif(fig1) == before
+
+
+class TestTransactions:
+    def test_transaction_applies_and_stays_legal(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        tx = random_transaction(fig1, inserts=2, seed=3)
+        outcome = checker.apply_transaction(tx)
+        assert outcome.applied
+        assert LegalityChecker(wp_schema).is_legal(fig1)
+
+    def test_failing_transaction_rolls_back_everything(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        before = serialize_ldif(fig1)
+        tx = (
+            UpdateTransaction()
+            # step 1 would be fine on its own...
+            .insert("ou=ok,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["ok"]})
+            .insert("uid=pp,ou=ok,o=att", ["person", "top"],
+                    {"uid": ["pp"], "name": ["p p"]})
+            # ...step 2 is an empty unit and fails
+            .insert("ou=bad,ou=attLabs,o=att", ["orgUnit", "orgGroup", "top"],
+                    {"ou": ["bad"]})
+        )
+        outcome = checker.apply_transaction(tx)
+        assert not outcome.applied
+        assert serialize_ldif(fig1) == before
+
+    def test_insert_then_delete_transaction(self, wp_schema, fig1):
+        checker = fresh_checker(fig1, wp_schema)
+        tx = (
+            UpdateTransaction()
+            .insert("ou=new,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["new"]})
+            .insert("uid=np,ou=new,o=att", ["person", "top"],
+                    {"uid": ["np"], "name": ["n p"]})
+            .delete("uid=laks,ou=databases,ou=attLabs,o=att")
+        )
+        outcome = checker.apply_transaction(tx)
+        assert outcome.applied
+        assert fig1.find("uid=np,ou=new,o=att") is not None
+        assert fig1.find("uid=laks,ou=databases,ou=attLabs,o=att") is None
+        assert LegalityChecker(wp_schema).is_legal(fig1)
+
+
+class TestIncrementalEqualsFull:
+    """Theorem 4.2's payoff: the incremental verdict always matches the
+    full re-check of the updated instance."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_insertions(self, seed):
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed % 5)
+        checker = IncrementalChecker(schema, instance)
+        full = LegalityChecker(schema)
+        for parent, delta in random_insertions(instance, count=3, seed=seed):
+            # Oracle: graft on a copy, check from scratch.
+            hypothetical = instance.copy()
+            hypothetical.insert_subtree(parent, delta)
+            expected = full.is_legal(hypothetical)
+            outcome = checker.try_insert(parent, delta)
+            assert outcome.applied == expected
+            # Instance stays legal either way.
+            assert full.is_legal(instance)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_deletions(self, seed):
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=2,
+                                       persons_per_unit=1, seed=seed % 5)
+        checker = IncrementalChecker(schema, instance)
+        full = LegalityChecker(schema)
+        rng = random.Random(seed)
+        candidates = deletable_units(instance) + [
+            str(instance.dn_of(e))
+            for e in sorted(instance.entries_with_class("person"))[:3]
+        ]
+        target = rng.choice(candidates)
+        hypothetical = instance.copy()
+        hypothetical.delete_subtree(target)
+        expected = full.is_legal(hypothetical)
+        outcome = checker.try_delete(target)
+        assert outcome.applied == expected
+        assert full.is_legal(instance)

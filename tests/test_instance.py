@@ -1,0 +1,259 @@
+"""Unit and property tests for directory instances (the forest)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    DuplicateEntryError,
+    ForestInvariantError,
+    TypeViolationError,
+    UnknownEntryError,
+)
+from repro.model.attributes import AttributeRegistry
+from repro.model.instance import DirectoryInstance
+from repro.model.types import INTEGER
+
+
+def small_tree():
+    d = DirectoryInstance()
+    root = d.add_entry(None, "o=att", ["organization", "top"])
+    labs = d.add_entry(root, "ou=labs", ["orgUnit", "top"])
+    db = d.add_entry(labs, "ou=db", ["orgUnit", "top"])
+    laks = d.add_entry(db, "uid=laks", ["person", "top"])
+    hr = d.add_entry(root, "ou=hr", ["orgUnit", "top"])
+    return d, root, labs, db, laks, hr
+
+
+class TestConstruction:
+    def test_add_root_and_child(self):
+        d = DirectoryInstance()
+        root = d.add_entry(None, "o=att", ["top"])
+        child = d.add_entry(root, "ou=labs", ["top"])
+        assert str(child.dn) == "ou=labs,o=att"
+        assert d.parent_of(child).eid == root.eid
+
+    def test_parent_addressable_by_dn_string(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["top"])
+        child = d.add_entry("o=att", "ou=labs", ["top"])
+        assert str(child.dn) == "ou=labs,o=att"
+
+    def test_duplicate_dn_rejected(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["top"])
+        with pytest.raises(DuplicateEntryError):
+            d.add_entry(None, "o=att", ["top"])
+
+    def test_same_rdn_under_different_parents_ok(self):
+        d, root, labs, *_ = small_tree()
+        d.add_entry(labs, "ou=hr", ["top"])  # ou=hr also exists under root
+        assert d.find("ou=hr,ou=labs,o=att") is not None
+
+    def test_unknown_parent_rejected(self):
+        d = DirectoryInstance()
+        with pytest.raises(UnknownEntryError):
+            d.add_entry("o=ghost", "ou=labs", ["top"])
+
+    def test_typed_instance_coerces_values(self):
+        registry = AttributeRegistry()
+        registry.declare("age", INTEGER)
+        d = DirectoryInstance(attributes=registry)
+        entry = d.add_entry(None, "uid=x", ["top"], {"age": ["30"]})
+        assert entry.values("age") == (30,)
+
+    def test_typed_instance_rejects_bad_values(self):
+        registry = AttributeRegistry()
+        registry.declare("age", INTEGER)
+        d = DirectoryInstance(attributes=registry)
+        with pytest.raises(TypeViolationError):
+            d.add_entry(None, "uid=x", ["top"], {"age": ["old"]})
+
+
+class TestDeletion:
+    def test_delete_leaf(self):
+        d, *_, laks, hr = small_tree()
+        d.delete_entry(laks)
+        assert d.find("uid=laks,ou=db,ou=labs,o=att") is None
+        assert len(d) == 4
+
+    def test_delete_interior_rejected(self):
+        d, root, *_ = small_tree()
+        with pytest.raises(ForestInvariantError):
+            d.delete_entry(root)
+
+    def test_delete_updates_class_index(self):
+        d, *_, laks, hr = small_tree()
+        d.delete_entry(laks)
+        assert d.entries_with_class("person") == set()
+
+    def test_delete_root_leaf(self):
+        d = DirectoryInstance()
+        root = d.add_entry(None, "o=solo", ["top"])
+        d.delete_entry(root)
+        assert len(d) == 0 and d.root_ids() == ()
+
+
+class TestNavigation:
+    def test_children_and_parent(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert [c.eid for c in d.children_of(root)] == [labs.eid, hr.eid]
+        assert d.parent_of(root) is None
+        assert d.parent_id(labs.eid) == root.eid
+
+    def test_ancestors(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert [a.eid for a in d.ancestors_of(laks)] == [db.eid, labs.eid, root.eid]
+
+    def test_descendants_in_document_order(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert [x.eid for x in d.descendants_of(root)] == [
+            labs.eid, db.eid, laks.eid, hr.eid
+        ]
+
+    def test_is_ancestor(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert d.is_ancestor(root, laks)
+        assert d.is_ancestor(labs, laks)
+        assert not d.is_ancestor(laks, root)
+        assert not d.is_ancestor(hr, laks)
+        assert not d.is_ancestor(root, root)
+
+    def test_depths(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert d.depth_of(root) == 1
+        assert d.depth_of(laks) == 4
+        assert d.max_depth() == 4
+
+    def test_document_order_is_preorder(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert [e.eid for e in d] == [root.eid, labs.eid, db.eid, laks.eid, hr.eid]
+
+    def test_intervals_nest_properly(self):
+        d, root, labs, db, laks, hr = small_tree()
+        pre_r, post_r = d.interval_of(root)
+        pre_l, post_l = d.interval_of(laks)
+        assert pre_r < pre_l < post_l < post_r
+
+    def test_find_by_dn(self):
+        d, *_ = small_tree()
+        assert d.find("ou=db,ou=labs,o=att") is not None
+        assert d.find("ou=ghost,o=att") is None
+
+    def test_class_index(self):
+        d, root, labs, db, laks, hr = small_tree()
+        assert d.entries_with_class("orgUnit") == {labs.eid, db.eid, hr.eid}
+        assert d.class_count("person") == 1
+        assert d.class_count("router") == 0
+
+    def test_class_index_tracks_mutation(self):
+        d, *_, laks, hr = small_tree()
+        laks.add_class("online")
+        assert d.entries_with_class("online") == {laks.eid}
+        laks.remove_class("online")
+        assert d.entries_with_class("online") == set()
+
+    def test_contains(self):
+        d, root, *_ = small_tree()
+        assert root in d
+        assert "o=att" in d
+        assert "o=ghost" not in d
+        assert 9999 not in d
+
+
+class TestSubtreeOperations:
+    def test_extract_subtree_copies(self):
+        d, root, labs, db, laks, hr = small_tree()
+        sub = d.extract_subtree(labs)
+        assert len(sub) == 3
+        assert len(d) == 5  # original untouched
+        assert str(sub.roots()[0].dn) == "ou=labs"
+
+    def test_delete_subtree_returns_removed(self):
+        d, root, labs, *_ = small_tree()
+        removed = d.delete_subtree(labs)
+        assert len(removed) == 3
+        assert len(d) == 2
+        assert d.find("ou=labs,o=att") is None
+
+    def test_insert_subtree_grafts_copy(self):
+        d, root, labs, *_ = small_tree()
+        removed = d.delete_subtree(labs)
+        created = d.insert_subtree("ou=hr,o=att", removed)
+        assert len(created) == 3
+        assert d.find("uid=laks,ou=db,ou=labs,ou=hr,o=att") is not None
+
+    def test_insert_subtree_as_roots(self):
+        d, root, labs, *_ = small_tree()
+        removed = d.delete_subtree(labs)
+        d.insert_subtree(None, removed)
+        assert d.find("ou=labs") is not None
+        assert len(d.root_ids()) == 2
+
+    def test_copy_is_deep(self):
+        d, root, *_ = small_tree()
+        clone = d.copy()
+        assert len(clone) == len(d)
+        clone.add_entry("o=att", "ou=extra", ["top"])
+        assert d.find("ou=extra,o=att") is None
+
+    def test_copy_preserves_attributes(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "uid=x", ["top"], {"mail": ["a@x.com", "b@x.com"]})
+        clone = d.copy()
+        assert clone.entry("uid=x").values("mail") == ("a@x.com", "b@x.com")
+
+
+@st.composite
+def forest_shapes(draw):
+    """Random parent vectors: node i attaches to None or an earlier node."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    parents = [None]
+    for i in range(1, n):
+        parents.append(draw(st.one_of(st.none(), st.integers(0, i - 1))))
+    return parents
+
+
+class TestForestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(forest_shapes())
+    def test_interval_nesting_matches_ancestry(self, parents):
+        d = DirectoryInstance()
+        entries = []
+        for i, p in enumerate(parents):
+            parent = entries[p] if p is not None else None
+            entries.append(d.add_entry(parent, f"id=n{i}", ["top"]))
+        for i, e in enumerate(entries):
+            cursor = parents[i]
+            ancestors = set()
+            while cursor is not None:
+                ancestors.add(cursor)
+                cursor = parents[cursor]
+            for j, other in enumerate(entries):
+                expected = j in ancestors
+                assert d.is_ancestor(other, e) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(forest_shapes())
+    def test_document_order_parents_before_children(self, parents):
+        d = DirectoryInstance()
+        entries = []
+        for i, p in enumerate(parents):
+            parent = entries[p] if p is not None else None
+            entries.append(d.add_entry(parent, f"id=n{i}", ["top"]))
+        position = {e.eid: k for k, e in enumerate(d)}
+        for i, p in enumerate(parents):
+            if p is not None:
+                assert position[entries[p].eid] < position[entries[i].eid]
+
+    @settings(max_examples=30, deadline=None)
+    @given(forest_shapes())
+    def test_extract_then_reinsert_roundtrips_size(self, parents):
+        d = DirectoryInstance()
+        entries = []
+        for i, p in enumerate(parents):
+            parent = entries[p] if p is not None else None
+            entries.append(d.add_entry(parent, f"id=n{i}", ["top"]))
+        before = len(d)
+        removed = d.delete_subtree(entries[0])
+        d.insert_subtree(None, removed)
+        assert len(d) == before

@@ -1,0 +1,119 @@
+"""Cross-module integration scenarios: full workflows a deployment would
+run, exercising every layer together."""
+
+import random
+
+from repro import (
+    LegalityChecker,
+    parse_ldif,
+    serialize_ldif,
+)
+from repro.consistency import check_consistency
+from repro.schema.dsl import parse_dsl, serialize_dsl
+from repro.updates import IncrementalChecker, UpdateTransaction
+from repro.workloads import (
+    den_schema,
+    figure1_instance,
+    generate_den,
+    generate_whitepages,
+    make_unit_subtree,
+    whitepages_schema,
+)
+
+
+class TestDirectoryLifecycle:
+    """Author schema → check consistency → load data → validate →
+    evolve under guarded updates → export."""
+
+    def test_whitepages_lifecycle(self):
+        # 1. Author the schema (via DSL round-trip, as a user would).
+        schema = parse_dsl(serialize_dsl(whitepages_schema()))
+
+        # 2. Consistency gate with witness.
+        result = check_consistency(schema, synthesize=True)
+        assert result.consistent and result.witness is not None
+
+        # 3. Load and validate LDIF content.
+        instance = parse_ldif(serialize_ldif(figure1_instance()))
+        checker = LegalityChecker(schema)
+        assert checker.is_legal(instance)
+
+        # 4. Guarded evolution.
+        guard = IncrementalChecker(schema, instance)
+        tx = (
+            UpdateTransaction()
+            .insert("ou=ml,ou=attLabs,o=att",
+                    ["orgUnit", "orgGroup", "top"], {"ou": ["ml"]})
+            .insert("uid=maria,ou=ml,ou=attLabs,o=att",
+                    ["researcher", "person", "online", "top"],
+                    {"uid": ["maria"], "name": ["maria r"],
+                     "mail": ["maria@example.com"]})
+        )
+        assert guard.apply_transaction(tx).applied
+
+        # 5. Attempted bad evolution is rejected and rolled back.
+        bad = UpdateTransaction().insert(
+            "ou=empty,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["empty"]}
+        )
+        outcome = guard.apply_transaction(bad)
+        assert not outcome.applied
+        assert instance.find("ou=empty,o=att") is None
+
+        # 6. Export and re-validate.
+        assert checker.is_legal(parse_ldif(serialize_ldif(instance)))
+
+    def test_den_lifecycle(self):
+        schema = den_schema()
+        assert check_consistency(schema).consistent
+        instance = generate_den(sites=2, devices_per_site=3,
+                                interfaces_per_device=2, domains=2,
+                                policies_per_domain=3, seed=9)
+        checker = LegalityChecker(schema)
+        assert checker.is_legal(instance)
+
+        guard = IncrementalChecker(schema, instance)
+        # adding a policy to a domain is fine
+        domain = str(instance.dn_of(sorted(instance.entries_with_class("policyDomain"))[0]))
+        tx = UpdateTransaction().insert(
+            f"policyName=p-extra,{domain}", ["policy", "top"],
+            {"policyName": ["p-extra"], "priority": [7]},
+        )
+        assert guard.apply_transaction(tx).applied
+        # a policy cannot receive children (policy ↛ top)
+        policy_dn = f"policyName=p-extra,{domain}"
+        bad = UpdateTransaction().insert(
+            f"policyName=sub,{policy_dn}", ["policy", "top"],
+            {"policyName": ["sub"], "priority": [1]},
+        )
+        assert not guard.apply_transaction(bad).applied
+        assert checker.is_legal(instance)
+
+
+class TestScaleSmoke:
+    def test_medium_directory_end_to_end(self):
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=3, units_per_level=3, depth=2,
+                                       persons_per_unit=4, seed=123)
+        assert len(instance) > 150
+        checker = LegalityChecker(schema)
+        assert checker.is_legal(instance)
+
+        guard = IncrementalChecker(schema, instance, assume_legal=True)
+        rng = random.Random(5)
+        applied = 0
+        for _ in range(10):
+            delta = make_unit_subtree(rng, persons=2, attributes=instance.attributes)
+            parent = str(instance.dn_of(
+                sorted(instance.entries_with_class("orgUnit"))[applied % 5]
+            ))
+            if guard.try_insert(parent, delta).applied:
+                applied += 1
+        assert applied == 10
+        assert checker.is_legal(instance)
+
+    def test_roundtrip_of_large_ldif(self):
+        instance = generate_whitepages(orgs=2, units_per_level=3, depth=2,
+                                       persons_per_unit=3, seed=77)
+        text = serialize_ldif(instance)
+        again = parse_ldif(text, attributes=instance.attributes)
+        assert serialize_ldif(again) == text

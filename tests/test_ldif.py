@@ -1,0 +1,161 @@
+"""Unit and property tests for LDIF parsing and serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LdifError
+from repro.ldif.reader import parse_ldif, parse_ldif_records
+from repro.ldif.writer import serialize_entry, serialize_ldif
+from repro.model.instance import DirectoryInstance
+from repro.workloads import figure1_instance, generate_whitepages
+
+SIMPLE = """\
+version: 1
+
+dn: o=att
+objectClass: organization
+objectClass: top
+o: att
+
+dn: ou=labs,o=att
+objectClass: orgUnit
+objectClass: top
+ou: labs
+"""
+
+
+class TestReader:
+    def test_parse_records(self):
+        records = parse_ldif_records(SIMPLE)
+        assert len(records) == 2
+        assert str(records[0].dn) == "o=att"
+        assert records[0].object_classes() == ["organization", "top"]
+        assert records[1].other_attributes() == {"ou": ["labs"]}
+
+    def test_parse_to_instance(self):
+        instance = parse_ldif(SIMPLE)
+        assert len(instance) == 2
+        assert instance.find("ou=labs,o=att").belongs_to("orgUnit")
+
+    def test_records_in_any_order(self):
+        blocks = SIMPLE.split("\n\n")
+        shuffled = blocks[0] + "\n\n" + blocks[2] + "\n\n" + blocks[1]
+        instance = parse_ldif(shuffled)
+        assert len(instance) == 2
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(LdifError):
+            parse_ldif("dn: ou=orphan,o=ghost\nobjectClass: top\n")
+
+    def test_record_without_dn_rejected(self):
+        with pytest.raises(LdifError):
+            parse_ldif_records("objectClass: top\n")
+
+    def test_record_without_object_class_rejected(self):
+        with pytest.raises(LdifError):
+            parse_ldif("dn: o=att\no: att\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\ndn: o=att\n# inner comment\nobjectClass: top\n"
+        assert len(parse_ldif(text)) == 1
+
+    def test_continuation_lines(self):
+        text = "dn: o=att\nobjectClass: top\ndescription: part one\n  and part two\n"
+        records = parse_ldif_records(text)
+        assert ("description", "part one and part two") in records[0].attributes
+
+    def test_base64_values(self):
+        import base64
+
+        payload = base64.b64encode("héllo".encode()).decode()
+        text = f"dn: o=att\nobjectClass: top\ncn:: {payload}\n"
+        records = parse_ldif_records(text)
+        assert ("cn", "héllo") in records[0].attributes
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(LdifError):
+            parse_ldif_records("dn: o=att\ncn:: !!!not-base64!!!\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(LdifError):
+            parse_ldif_records("dn: o=att\nthis line has no colon\n")
+
+    def test_duplicate_dn_rejected(self):
+        text = "dn: o=att\nobjectClass: top\n\ndn: o=att\nobjectClass: top\n"
+        with pytest.raises(LdifError):
+            parse_ldif(text)
+
+
+class TestWriter:
+    def test_serialize_entry_contains_pairs(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["organization", "top"], {"o": ["att"]})
+        text = serialize_entry(d.entry("o=att"))
+        assert "dn: o=att" in text
+        assert "objectClass: organization" in text
+        assert "o: att" in text
+
+    def test_unsafe_values_base64_encoded(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["top"], {"cn": ["héllo"]})
+        text = serialize_entry(d.entry("o=att"))
+        assert "cn:: " in text
+
+    def test_leading_space_base64_encoded(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["top"], {"cn": [" padded"]})
+        assert "cn:: " in serialize_entry(d.entry("o=att"))
+
+    def test_long_lines_folded(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["top"], {"description": ["x" * 200]})
+        text = serialize_entry(d.entry("o=att"))
+        assert all(len(line) <= 76 for line in text.splitlines())
+
+    def test_non_string_values_serialized(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=att", ["top"], {"count": [42]})
+        assert "count: 42" in serialize_entry(d.entry("o=att"))
+
+
+class TestRoundTrip:
+    def test_figure1_roundtrip(self):
+        original = figure1_instance()
+        text = serialize_ldif(original)
+        parsed = parse_ldif(text, attributes=original.attributes)
+        assert len(parsed) == len(original)
+        laks = parsed.entry("uid=laks,ou=databases,ou=attLabs,o=att")
+        assert set(laks.values("mail")) == {
+            "laks@cs.concordia.ca", "laks@cse.iitb.ernet.in"
+        }
+        assert laks.classes == original.entry(
+            "uid=laks,ou=databases,ou=attLabs,o=att"
+        ).classes
+
+    def test_generated_roundtrip(self):
+        original = generate_whitepages(orgs=1, units_per_level=2, depth=2, seed=3)
+        text = serialize_ldif(original)
+        parsed = parse_ldif(text, attributes=original.attributes)
+        assert len(parsed) == len(original)
+        assert serialize_ldif(parsed) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["cn", "description", "note"]),
+                st.text(min_size=1, max_size=30),
+            ),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    def test_arbitrary_values_roundtrip(self, pairs):
+        d = DirectoryInstance()
+        entry = d.add_entry(None, "o=t", ["top"])
+        for name, value in pairs:
+            entry.add_value(name, value)
+        parsed = parse_ldif(serialize_ldif(d))
+        reparsed = parsed.entry("o=t")
+        for name, value in pairs:
+            assert reparsed.has_value(name, value)

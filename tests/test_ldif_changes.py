@@ -1,0 +1,89 @@
+"""Tests for LDIF change records ↔ update transactions."""
+
+import pytest
+
+from repro.errors import LdifError
+from repro.ldif.changes import parse_changes, serialize_changes
+from repro.updates.operations import DeleteEntry, InsertEntry, UpdateTransaction
+
+ADD_AND_DELETE = """\
+dn: ou=theory,ou=attLabs,o=att
+changetype: add
+objectClass: orgUnit
+objectClass: orgGroup
+objectClass: top
+ou: theory
+
+dn: uid=nina,ou=theory,ou=attLabs,o=att
+changetype: add
+objectClass: person
+objectClass: top
+uid: nina
+name: nina novak
+
+dn: uid=armstrong,o=att
+changetype: delete
+"""
+
+
+class TestParsing:
+    def test_mixed_document(self):
+        tx = parse_changes(ADD_AND_DELETE)
+        assert len(tx) == 3
+        inserts = tx.insertions()
+        assert [str(op.dn) for op in inserts] == [
+            "ou=theory,ou=attLabs,o=att",
+            "uid=nina,ou=theory,ou=attLabs,o=att",
+        ]
+        assert inserts[1].attribute_dict()["name"] == ["nina novak"]
+        assert [str(op.dn) for op in tx.deletions()] == ["uid=armstrong,o=att"]
+
+    def test_missing_changetype_defaults_to_add(self):
+        text = "dn: o=x\nobjectClass: top\n"
+        tx = parse_changes(text)
+        assert isinstance(tx.operations[0], InsertEntry)
+
+    def test_modify_rejected(self):
+        text = "dn: o=x\nchangetype: modify\n"
+        with pytest.raises(LdifError, match="modify"):
+            parse_changes(text)
+
+    def test_delete_with_attributes_rejected(self):
+        text = "dn: o=x\nchangetype: delete\ncn: junk\n"
+        with pytest.raises(LdifError, match="must not carry"):
+            parse_changes(text)
+
+    def test_add_without_classes_rejected(self):
+        text = "dn: o=x\nchangetype: add\ncn: junk\n"
+        with pytest.raises(LdifError, match="objectClass"):
+            parse_changes(text)
+
+    def test_duplicate_targets_rejected(self):
+        text = "dn: o=x\nchangetype: delete\n\ndn: o=x\nchangetype: delete\n"
+        with pytest.raises(LdifError, match="distinct"):
+            parse_changes(text)
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse(self):
+        tx = (
+            UpdateTransaction()
+            .insert("ou=x,o=att", ["orgUnit", "top"], {"ou": ["x"]})
+            .insert("uid=p,ou=x,o=att", ["person", "top"],
+                    {"uid": ["p"], "name": ["p q"], "mail": ["a@x", "b@x"]})
+            .delete("uid=old,o=att")
+        )
+        text = serialize_changes(tx)
+        reparsed = parse_changes(text)
+        assert serialize_changes(reparsed) == text
+        assert len(reparsed.insertions()) == 2
+        assert isinstance(reparsed.operations[2], DeleteEntry)
+
+    def test_applies_through_incremental_checker(self, wp_schema, fig1):
+        from repro.updates.incremental import IncrementalChecker
+
+        guard = IncrementalChecker(wp_schema, fig1)
+        outcome = guard.apply_transaction(parse_changes(ADD_AND_DELETE))
+        assert outcome.applied
+        assert fig1.find("uid=nina,ou=theory,ou=attLabs,o=att") is not None
+        assert fig1.find("uid=armstrong,o=att") is None

@@ -1,0 +1,250 @@
+"""Tests for incremental in-place modification (the beyond-Figure-5
+extension) and RFC 2849 modify records."""
+
+import pytest
+
+from repro.errors import LdifError
+from repro.ldif import serialize_ldif
+from repro.ldif.modify import apply_modification, parse_modifications
+from repro.legality.checker import LegalityChecker
+from repro.updates.incremental import IncrementalChecker
+from repro.workloads import figure1_instance, generate_whitepages, whitepages_schema
+
+LAKS = "uid=laks,ou=databases,ou=attLabs,o=att"
+SUCIU = "uid=suciu,ou=databases,ou=attLabs,o=att"
+DATABASES = "ou=databases,ou=attLabs,o=att"
+
+
+@pytest.fixture()
+def guard(wp_schema, fig1):
+    return IncrementalChecker(wp_schema, fig1)
+
+
+class TestTryModify:
+    def test_attribute_change_accepted(self, guard, fig1):
+        outcome = guard.try_modify(
+            SUCIU, replace_attributes={"mail": []}
+        )
+        assert outcome.applied  # suciu has no mail; no-op replace is fine
+        outcome = guard.try_modify(
+            LAKS, replace_attributes={"mail": ["laks@example.edu"]}
+        )
+        assert outcome.applied
+        assert fig1.entry(LAKS).values("mail") == ("laks@example.edu",)
+
+    def test_disallowed_attribute_rejected_and_rolled_back(self, guard, fig1):
+        before = serialize_ldif(fig1)
+        outcome = guard.try_modify(
+            SUCIU, replace_attributes={"mail": ["dan@x.com"]}
+        )
+        # suciu is not online, so mail is not allowed
+        assert not outcome.applied
+        assert serialize_ldif(fig1) == before
+
+    def test_required_attribute_removal_rejected(self, guard, fig1):
+        before = serialize_ldif(fig1)
+        outcome = guard.try_modify(SUCIU, replace_attributes={"name": []})
+        assert not outcome.applied
+        assert serialize_ldif(fig1) == before
+
+    def test_class_addition_enables_attribute(self, guard, fig1):
+        outcome = guard.try_modify(
+            SUCIU,
+            add_classes=["online"],
+            replace_attributes={"mail": ["dan@x.com"]},
+        )
+        assert outcome.applied
+        assert fig1.entry(SUCIU).belongs_to("online")
+
+    def test_incomparable_class_addition_rejected(self, guard, fig1):
+        outcome = guard.try_modify(SUCIU, add_classes=["orgUnit"])
+        assert not outcome.applied
+        assert not fig1.entry(SUCIU).belongs_to("orgUnit")
+
+    def test_class_removal_breaking_required_edge_rejected(self, wp_schema, fig1):
+        """Removing databases' orgGroup class breaks
+        orgUnit ← orgGroup for its children... no — it breaks
+        organization → orgUnit? databases is not under organization
+        directly.  It breaks orgUnit ← orgGroup for nothing, but it
+        breaks the *chain* (orgUnit ⊑ orgGroup) — a content violation."""
+        guard = IncrementalChecker(wp_schema, fig1)
+        outcome = guard.try_modify(DATABASES, remove_classes=["orgGroup"])
+        assert not outcome.applied
+        assert fig1.entry(DATABASES).belongs_to("orgGroup")
+
+    def test_class_removal_breaking_structure_rejected(self, wp_schema, fig1):
+        """attLabs is the orgGroup parent of databases; stripping both
+        orgUnit+orgGroup from attLabs would orphan databases
+        (orgUnit ← orgGroup)."""
+        guard = IncrementalChecker(wp_schema, fig1)
+        outcome = guard.try_modify(
+            "ou=attLabs,o=att", remove_classes=["orgUnit", "orgGroup"]
+        )
+        assert not outcome.applied
+        # the violation is structural, not just content
+        assert any(
+            "orgUnit ← orgGroup" in (v.element or "") for v in outcome.report
+        ) or not outcome.report.is_legal
+
+    def test_modify_verdict_matches_full_recheck(self, wp_schema):
+        """Differential: try_modify's verdict equals a from-scratch check
+        of the hypothetically modified instance."""
+        import random
+
+        rng = random.Random(5)
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=2, seed=3)
+        guard = IncrementalChecker(wp_schema, instance)
+        full = LegalityChecker(wp_schema)
+        person_dns = sorted(
+            str(instance.dn_of(e)) for e in instance.entries_with_class("person")
+        )
+        scenarios = [
+            dict(add_classes=["online"]),
+            dict(add_classes=["orgUnit"]),
+            dict(replace_attributes={"name": []}),
+            dict(replace_attributes={"telephoneNumber": ["+1 555 0100"]}),
+            dict(add_classes=["staffMember"]),
+        ]
+        for scenario in scenarios:
+            target = rng.choice(person_dns)
+            hypothetical = instance.copy()
+            mirror = IncrementalChecker(wp_schema, hypothetical, assume_legal=True)
+            mirror_outcome = mirror.try_modify(target, **scenario)
+            # build the hypothetical end state by force
+            if not mirror_outcome.applied:
+                entry = hypothetical.entry(target)
+                for cls in scenario.get("add_classes", []):
+                    entry.add_class(cls)
+                for name, values in scenario.get("replace_attributes", {}).items():
+                    entry.replace_values(name, values)
+            expected = full.is_legal(hypothetical)
+            outcome = guard.try_modify(target, **scenario)
+            assert outcome.applied == expected, scenario
+            assert full.is_legal(instance)
+
+
+class TestModifyRecords:
+    RECORD = f"""\
+dn: {LAKS}
+changetype: modify
+add: objectClass
+objectClass: manager
+-
+replace: mail
+mail: laks@example.edu
+-
+delete: telephoneNumber
+-
+"""
+
+    def test_parse(self):
+        records = parse_modifications(self.RECORD)
+        assert len(records) == 1
+        record = records[0]
+        assert str(record.dn) == LAKS
+        ops = {(op.op, op.attribute): op.values for op in record.ops}
+        assert ops[("add", "objectClass")] == ("manager",)
+        assert ops[("replace", "mail")] == ("laks@example.edu",)
+        assert ops[("delete", "telephoneNumber")] == ()
+
+    def test_apply(self, guard, fig1):
+        record = parse_modifications(self.RECORD)[0]
+        outcome = apply_modification(guard, record)
+        assert outcome.applied
+        laks = fig1.entry(LAKS)
+        assert laks.belongs_to("manager")
+        assert laks.values("mail") == ("laks@example.edu",)
+
+    def test_apply_rejects_and_rolls_back(self, guard, fig1):
+        bad = f"""\
+dn: {SUCIU}
+changetype: modify
+replace: mail
+mail: dan@x.com
+-
+"""
+        before = serialize_ldif(fig1)
+        record = parse_modifications(bad)[0]
+        outcome = apply_modification(guard, record)
+        assert not outcome.applied
+        assert serialize_ldif(fig1) == before
+
+    def test_delete_specific_values(self, guard, fig1):
+        record = parse_modifications(
+            f"dn: {LAKS}\nchangetype: modify\n"
+            "delete: mail\nmail: laks@cse.iitb.ernet.in\n-\n"
+        )[0]
+        outcome = apply_modification(guard, record)
+        assert outcome.applied
+        assert fig1.entry(LAKS).values("mail") == ("laks@cs.concordia.ca",)
+
+    def test_add_merges_values(self, guard, fig1):
+        record = parse_modifications(
+            f"dn: {LAKS}\nchangetype: modify\n"
+            "add: mail\nmail: laks@third.example\n-\n"
+        )[0]
+        assert apply_modification(guard, record).applied
+        assert len(fig1.entry(LAKS).values("mail")) == 3
+
+    def test_non_modify_record_rejected(self):
+        with pytest.raises(LdifError, match="not a modify record"):
+            parse_modifications("dn: o=x\nchangetype: add\nobjectClass: top\n")
+
+    def test_clause_attribute_mismatch_rejected(self):
+        with pytest.raises(LdifError, match="targets"):
+            parse_modifications(
+                "dn: o=x\nchangetype: modify\nreplace: mail\nphone: 123\n-\n"
+            )
+
+    def test_modrdn_rename(self, guard, fig1):
+        record = parse_modifications(
+            f"dn: {DATABASES}\nchangetype: modrdn\nnewrdn: ou=data\n"
+            "deleteoldrdn: 1\n"
+        )[0]
+        outcome = apply_modification(guard, record)
+        assert outcome.applied
+        assert fig1.find("ou=data,ou=attLabs,o=att") is not None
+
+    def test_moddn_with_newsuperior(self, guard, fig1):
+        record = parse_modifications(
+            f"dn: {LAKS}\nchangetype: moddn\n"
+            "newsuperior: ou=attLabs,o=att\n"
+        )[0]
+        outcome = apply_modification(guard, record)
+        assert outcome.applied
+        assert fig1.find("uid=laks,ou=attLabs,o=att") is not None
+
+    def test_modrdn_without_fields_rejected(self):
+        with pytest.raises(LdifError, match="needs newrdn"):
+            parse_modifications(
+                "dn: o=x\nchangetype: modrdn\ndeleteoldrdn: 1\n"
+            )
+
+    def test_modrdn_with_junk_rejected(self):
+        with pytest.raises(LdifError, match="unexpected line"):
+            parse_modifications(
+                "dn: o=x\nchangetype: modrdn\nnewrdn: o=y\ncolour: red\n"
+            )
+
+    def test_mixed_document(self, guard, fig1):
+        text = (
+            f"dn: {LAKS}\nchangetype: modify\n"
+            "replace: mail\nmail: laks@new.example\n-\n"
+            "\n"
+            f"dn: {SUCIU}\nchangetype: moddn\n"
+            "newsuperior: ou=attLabs,o=att\n"
+        )
+        records = parse_modifications(text)
+        assert len(records) == 2
+        for record in records:
+            assert apply_modification(guard, record).applied
+        assert fig1.find("uid=suciu,ou=attLabs,o=att") is not None
+
+    def test_replace_object_class_rejected(self, guard):
+        record = parse_modifications(
+            f"dn: {LAKS}\nchangetype: modify\n"
+            "replace: objectClass\nobjectClass: person\n-\n"
+        )[0]
+        with pytest.raises(LdifError, match="replace on objectClass"):
+            apply_modification(guard, record)

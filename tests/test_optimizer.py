@@ -1,0 +1,143 @@
+"""Tests for schema-aware query optimization.
+
+The contract: on instances *legal* w.r.t. the schema, the optimized
+query returns exactly the original query's result — property-tested on
+generated legal instances; plus per-rule fold tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.query.ast import HSelect, Minus, Select
+from repro.query.evaluator import evaluate
+from repro.query.filters import Equals
+from repro.query.optimizer import EMPTY_SELECT, SchemaAwareOptimizer
+from repro.query.translate import class_selection, translate_element
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.structure_schema import StructureSchema
+from repro.workloads import generate_whitepages, whitepages_schema
+
+
+def optimizer():
+    return SchemaAwareOptimizer(whitepages_schema())
+
+
+def oc(name):
+    return class_selection(name)
+
+
+class TestFolds:
+    def test_forbidden_child_folds_to_empty(self):
+        # person ↛ top: persons never have children (of any class).
+        result = optimizer().optimize(HSelect(Axis.CHILD, oc("person"), oc("top")))
+        assert result.provably_empty
+        assert any("forbidden-edge" in n for n in result.notes)
+
+    def test_forbidden_implies_deeper_folds(self):
+        # top ↛ organization propagates: organizations have no parents,
+        # so (p (oc=organization) (oc=orgGroup)) is empty on legal data.
+        result = optimizer().optimize(
+            HSelect(Axis.PARENT, oc("organization"), oc("orgGroup"))
+        )
+        assert result.provably_empty
+
+    def test_required_edge_drops_inner_test(self):
+        # organization → orgUnit: the inner test is a tautology.
+        result = optimizer().optimize(
+            HSelect(Axis.CHILD, oc("organization"), oc("orgUnit"))
+        )
+        assert result.query == oc("organization")
+        assert any("required-edge" in n for n in result.notes)
+
+    def test_required_child_witnesses_descendant_test(self):
+        result = optimizer().optimize(
+            HSelect(Axis.DESCENDANT, oc("organization"), oc("orgUnit"))
+        )
+        assert result.query == oc("organization")
+
+    def test_figure4_violation_query_folds_empty(self):
+        element_check = translate_element(
+            next(iter(whitepages_schema().structure_schema.required_edges))
+        )
+        result = optimizer().optimize(element_check.query)
+        assert result.provably_empty
+        assert any(
+            "minus-required" in n or "required-edge" in n for n in result.notes
+        )
+
+    def test_all_figure4_violation_queries_fold_empty(self):
+        """Every Figure 3 element's violation query is provably empty on
+        legal instances — the optimizer re-derives the schema."""
+        schema = whitepages_schema()
+        opt = SchemaAwareOptimizer(schema)
+        for element in schema.structure_schema.relationship_elements():
+            check = translate_element(element)
+            result = opt.optimize(check.query)
+            assert result.provably_empty, f"{element}: {result.query}"
+
+    def test_empty_class_folds(self):
+        classes = ClassSchema().add_core("a").add_core("b")
+        structure = StructureSchema().require_descendant("a", "a")  # a unpopulatable
+        schema = DirectorySchema(AttributeSchema(), classes, structure).validate()
+        result = SchemaAwareOptimizer(schema).optimize(oc("a"))
+        assert result.provably_empty
+        assert any("empty-class" in n for n in result.notes)
+
+    def test_minus_with_empty_inner_folds_to_outer(self):
+        classes = ClassSchema().add_core("a").add_core("b")
+        structure = StructureSchema().require_descendant("a", "a")
+        schema = DirectorySchema(AttributeSchema(), classes, structure).validate()
+        result = SchemaAwareOptimizer(schema).optimize(Minus(oc("b"), oc("a")))
+        assert result.query == oc("b")
+
+    def test_no_fold_when_no_fact_applies(self):
+        result = optimizer().optimize(
+            HSelect(Axis.CHILD, oc("orgUnit"), oc("person"))
+        )
+        assert not result.changed
+        assert result.query == HSelect(Axis.CHILD, oc("orgUnit"), oc("person"))
+
+    def test_scoped_queries_left_untouched(self):
+        from repro.query.ast import SCOPE_DELTA
+
+        scoped = HSelect(
+            Axis.CHILD, oc("person").scoped(SCOPE_DELTA), oc("top")
+        ).scoped(SCOPE_DELTA)
+        result = optimizer().optimize(scoped)
+        assert result.query == scoped and not result.changed
+
+    def test_non_class_selections_left_untouched(self):
+        query = Select(Equals("mail", "x@y"))
+        assert optimizer().optimize(query).query == query
+
+
+class TestEquivalenceOnLegalInstances:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000), st.integers(0, 7))
+    def test_results_identical(self, seed, pick):
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed)
+        queries = [
+            HSelect(Axis.CHILD, oc("person"), oc("top")),
+            HSelect(Axis.CHILD, oc("organization"), oc("orgUnit")),
+            HSelect(Axis.DESCENDANT, oc("orgGroup"), oc("person")),
+            HSelect(Axis.PARENT, oc("orgUnit"), oc("orgGroup")),
+            HSelect(Axis.ANCESTOR, oc("person"), oc("organization")),
+            Minus(oc("orgGroup"),
+                  HSelect(Axis.DESCENDANT, oc("orgGroup"), oc("person"))),
+            Minus(oc("person"),
+                  HSelect(Axis.PARENT, oc("person"), oc("orgUnit"))),
+            HSelect(Axis.CHILD, oc("top"), oc("organization")),
+        ]
+        query = queries[pick]
+        opt = SchemaAwareOptimizer(schema).optimize(query)
+        assert evaluate(opt.query, instance) == evaluate(query, instance)
+
+    def test_empty_select_evaluates_without_scanning(self, fig1):
+        from repro.query.evaluator import QueryEvaluator
+
+        evaluator = QueryEvaluator(fig1)
+        assert evaluator.evaluate(EMPTY_SELECT) == set()
+        assert evaluator.cost == 0

@@ -1,0 +1,156 @@
+"""Cross-module property tests: the invariants that tie the paper's
+three algorithm families together.
+
+Each test here spans at least two subsystems — these are the properties
+a reviewer would check to believe the reproduction as a whole.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.checker import check_consistency
+from repro.consistency.engine import close
+from repro.ldif import parse_ldif, serialize_ldif
+from repro.legality.checker import LegalityChecker
+from repro.query.evaluator import QueryEvaluator
+from repro.query.optimizer import SchemaAwareOptimizer
+from repro.query.translate import translate_element
+from repro.schema.discovery import discover_schema
+from repro.updates.incremental import IncrementalChecker
+from repro.workloads import (
+    corrupt,
+    figure1_instance,
+    generate_whitepages,
+    random_forest,
+    random_insertions,
+    random_schema,
+    whitepages_schema,
+)
+
+
+class TestLegalityPipeline:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_ldif_roundtrip_preserves_legality_verdict(self, seed):
+        """Serialization never changes what the checker sees."""
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed % 7)
+        if seed % 2:
+            corrupt(instance, schema, seed=seed)
+        checker = LegalityChecker(schema)
+        direct = checker.check(instance)
+        roundtripped = checker.check(
+            parse_ldif(serialize_ldif(instance), attributes=instance.attributes)
+        )
+        assert direct.is_legal == roundtripped.is_legal
+        assert sorted(v.kind for v in direct) == sorted(
+            v.kind for v in roundtripped
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_three_structure_checkers_agree(self, seed):
+        """Query reduction ≡ naive pairwise ≡ direct Definition 2.6
+        semantics, on arbitrary (often illegal) forests."""
+        from repro.legality.structure import (
+            NaiveStructureChecker,
+            QueryStructureChecker,
+        )
+
+        schema = random_schema(n_classes=4, n_required=3, n_forbidden=2,
+                               seed=seed, mode="any")
+        instance = random_forest(
+            n_entries=30,
+            labels=sorted(schema.class_schema.core_classes() - {"top"}),
+            seed=seed,
+        )
+        structure = schema.structure_schema
+        by_query = QueryStructureChecker(structure).is_legal(instance)
+        by_naive = NaiveStructureChecker(structure).is_legal(instance)
+        by_semantics = all(
+            e.is_satisfied(instance) for e in structure.elements()
+        )
+        assert by_query == by_naive == by_semantics
+
+
+class TestUpdateConsistencyInterplay:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_guarded_directory_is_always_legal(self, seed):
+        """Invariant maintenance: whatever mix of accepted/rejected
+        updates, the guarded instance stays legal."""
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed % 5)
+        guard = IncrementalChecker(schema, instance)
+        checker = LegalityChecker(schema)
+        for parent, delta in random_insertions(instance, count=4, seed=seed):
+            guard.try_insert(parent, delta)
+            assert checker.is_legal(instance)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_closure_facts_hold_on_guarded_instances(self, seed):
+        """Theorem 5.1 meets Section 4: derived schema elements keep
+        holding as the instance evolves under the guard."""
+        schema = whitepages_schema()
+        closure = close(schema.all_elements())
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed % 5)
+        guard = IncrementalChecker(schema, instance)
+        for parent, delta in random_insertions(instance, count=3, seed=seed):
+            guard.try_insert(parent, delta)
+        for fact in closure.facts:
+            assert fact.is_satisfied(instance), f"{fact} violated"
+
+
+class TestOptimizerSoundness:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_folds_preserve_results_on_legal_instances(self, seed):
+        """Every Figure 4 query, optimized against the schema, returns
+        the same (empty) result on legal instances."""
+        schema = whitepages_schema()
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=1, seed=seed % 7)
+        optimizer = SchemaAwareOptimizer(schema)
+        evaluator = QueryEvaluator(instance)
+        for element in schema.structure_schema.relationship_elements():
+            query = translate_element(element).query
+            folded = optimizer.optimize(query).query
+            assert evaluator.evaluate(folded) == evaluator.evaluate(query)
+
+
+class TestDiscoveryClosesTheLoop:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_discover_validate_consistency_witness(self, seed):
+        """The full loop: generate → discover → the discovered schema
+        accepts its source, passes the consistency check, and its
+        synthesized witness is legal under it."""
+        instance = generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                       persons_per_unit=2, seed=seed % 9)
+        schema = discover_schema(instance).schema
+        assert LegalityChecker(schema).is_legal(instance)
+        result = check_consistency(schema, synthesize=True)
+        assert result.consistent
+        assert result.witness is not None, result.witness_error
+        assert LegalityChecker(schema).is_legal(result.witness)
+
+
+class TestFigure1Anchors:
+    """Deterministic anchors a reviewer can eyeball."""
+
+    def test_paper_worked_examples_all_hold(self):
+        schema = whitepages_schema()
+        instance = figure1_instance()
+        # Section 2: the instance lies within the bounds
+        assert LegalityChecker(schema).is_legal(instance)
+        # Section 3.2: Q1/Q2 empty, Q3 non-empty (via the reduction)
+        for element in schema.structure_schema.relationship_elements():
+            assert translate_element(element).is_legal(instance)
+        # Section 5: the schema is consistent with a witness
+        result = check_consistency(schema, synthesize=True)
+        assert result.consistent and result.witness is not None

@@ -1,0 +1,211 @@
+"""Unit and property tests for hierarchical query evaluation.
+
+The key property: every axis operator agrees with a brute-force
+quantifier evaluation on random forests, for both the small-operand
+(interval/walk) and the large-operand (flag-pass) strategies.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.errors import QueryError
+from repro.model.instance import DirectoryInstance
+from repro.query.ast import (
+    SCOPE_DELTA,
+    SCOPE_EMPTY,
+    HSelect,
+    Minus,
+    Select,
+)
+from repro.query.evaluator import QueryEvaluator, evaluate
+from repro.query.filters import And, Equals, Present
+from repro.workloads import random_forest
+
+
+def oc(name):
+    return Select(Equals("objectClass", name))
+
+
+def brute_force_axis(instance, axis, outer, inner):
+    """Direct quantifier semantics of (axis outer inner)."""
+    result = set()
+    for eid in outer:
+        entry = instance.entry(eid)
+        if axis is Axis.CHILD:
+            related = {c.eid for c in instance.children_of(entry)}
+        elif axis is Axis.PARENT:
+            parent = instance.parent_of(entry)
+            related = {parent.eid} if parent else set()
+        elif axis is Axis.DESCENDANT:
+            related = {d.eid for d in instance.descendants_of(entry)}
+        else:
+            related = {a.eid for a in instance.ancestors_of(entry)}
+        if related & inner:
+            result.add(eid)
+    return result
+
+
+def chain(labels):
+    """A single path o=0 > o=1 > ... with the given class labels."""
+    d = DirectoryInstance()
+    parent = None
+    for i, label in enumerate(labels):
+        parent = d.add_entry(parent, f"o={i}", [label, "top"])
+    return d
+
+
+class TestAtomicSelection:
+    def test_class_index_fast_path(self):
+        d = chain(["a", "b", "a"])
+        assert evaluate(oc("a"), d) == d.entries_with_class("a")
+
+    def test_general_filter_scan(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=1", ["a", "top"], {"mail": ["x@y"]})
+        d.add_entry(None, "o=2", ["a", "top"])
+        result = evaluate(Select(Present("mail")), d)
+        assert result == {d.entry("o=1").eid}
+
+    def test_compound_filter(self):
+        d = DirectoryInstance()
+        d.add_entry(None, "o=1", ["a", "top"], {"mail": ["x@y"]})
+        d.add_entry(None, "o=2", ["a", "top"])
+        query = Select(And((Equals("objectClass", "a"), Present("mail"))))
+        assert evaluate(query, d) == {d.entry("o=1").eid}
+
+    def test_empty_scope(self):
+        d = chain(["a"])
+        query = oc("a").scoped(SCOPE_EMPTY)
+        assert evaluate(query, d, {SCOPE_EMPTY: set()}) == set()
+
+    def test_scope_restricts_selection(self):
+        d = chain(["a", "a", "a"])
+        ids = sorted(d.entries_with_class("a"))
+        query = oc("a").scoped(SCOPE_DELTA)
+        assert evaluate(query, d, {SCOPE_DELTA: {ids[0]}}) == {ids[0]}
+
+    def test_unbound_scope_label_raises(self):
+        d = chain(["a"])
+        with pytest.raises(QueryError):
+            evaluate(oc("a").scoped("nope"), d)
+
+
+class TestAxes:
+    def test_child(self):
+        d = chain(["a", "b", "a"])
+        result = evaluate(HSelect(Axis.CHILD, oc("a"), oc("b")), d)
+        assert result == {d.entry("o=0").eid}
+
+    def test_parent(self):
+        d = chain(["a", "b", "a"])
+        result = evaluate(HSelect(Axis.PARENT, oc("a"), oc("b")), d)
+        assert result == {d.entry("o=2,o=1,o=0").eid}
+
+    def test_descendant(self):
+        d = chain(["a", "b", "c"])
+        result = evaluate(HSelect(Axis.DESCENDANT, oc("a"), oc("c")), d)
+        assert result == {d.entry("o=0").eid}
+
+    def test_ancestor(self):
+        d = chain(["a", "b", "c"])
+        result = evaluate(HSelect(Axis.ANCESTOR, oc("c"), oc("a")), d)
+        assert result == {d.entry("o=2,o=1,o=0").eid}
+
+    def test_descendant_is_proper(self):
+        d = chain(["a"])
+        assert evaluate(HSelect(Axis.DESCENDANT, oc("a"), oc("a")), d) == set()
+
+    def test_ancestor_is_proper(self):
+        d = chain(["a"])
+        assert evaluate(HSelect(Axis.ANCESTOR, oc("a"), oc("a")), d) == set()
+
+    def test_empty_operands_short_circuit(self):
+        d = chain(["a", "b"])
+        assert evaluate(HSelect(Axis.CHILD, oc("zzz"), oc("b")), d) == set()
+        assert evaluate(HSelect(Axis.CHILD, oc("a"), oc("zzz")), d) == set()
+
+
+class TestMinus:
+    def test_difference(self):
+        d = chain(["a", "b", "a"])
+        query = Minus(oc("a"), HSelect(Axis.CHILD, oc("a"), oc("b")))
+        assert query and evaluate(query, d) == {d.entry("o=2,o=1,o=0").eid}
+
+    def test_q1_from_the_paper(self, fig1):
+        """Q1 (Section 3.2) is empty on the legal Figure 1 instance."""
+        q1 = Minus(
+            oc("orgGroup"),
+            HSelect(Axis.DESCENDANT, oc("orgGroup"), oc("person")),
+        )
+        assert evaluate(q1, fig1) == set()
+
+    def test_q2_from_the_paper(self, fig1):
+        """Q2 (Section 3.2) is empty: persons have no children."""
+        q2 = HSelect(Axis.CHILD, oc("person"), oc("top"))
+        assert evaluate(q2, fig1) == set()
+
+    def test_q3_from_the_paper(self, fig1):
+        """Q3 (Section 3.2) is non-empty: orgUnits exist."""
+        assert evaluate(oc("orgUnit"), fig1)
+
+
+class TestStrategyAgreement:
+    """The adaptive strategies must agree with each other and with
+    brute force, regardless of which one the size heuristic picks."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.sampled_from(list(Axis)),
+        st.sampled_from(["k0", "k1", "k2"]),
+        st.sampled_from(["k0", "k1", "k2"]),
+    )
+    def test_axis_matches_brute_force(self, seed, axis, source, target):
+        instance = random_forest(n_entries=40, labels=["k0", "k1", "k2"], seed=seed)
+        query = HSelect(axis, oc(source), oc(target))
+        outer = instance.entries_with_class(source)
+        inner = instance.entries_with_class(target)
+        expected = brute_force_axis(instance, axis, outer, inner)
+        assert evaluate(query, instance) == expected
+
+    def test_descendant_both_strategies(self):
+        instance = random_forest(n_entries=200, labels=["k0", "k1"], seed=7)
+        evaluator = QueryEvaluator(instance)
+        outer = instance.entries_with_class("k0")
+        inner = instance.entries_with_class("k1")
+        by_flags = evaluator._descendant_by_flags(outer, inner)
+        by_intervals = evaluator._descendant_by_intervals(outer, inner)
+        assert by_flags == by_intervals
+        assert by_flags == brute_force_axis(instance, Axis.DESCENDANT, outer, inner)
+
+    def test_ancestor_both_strategies(self):
+        instance = random_forest(n_entries=200, labels=["k0", "k1"], seed=9)
+        evaluator = QueryEvaluator(instance)
+        outer = instance.entries_with_class("k0")
+        inner = instance.entries_with_class("k1")
+        by_flags = evaluator._ancestor_by_flags(outer, inner)
+        by_walk = evaluator._ancestor_by_walk(outer, inner)
+        assert by_flags == by_walk
+        assert by_flags == brute_force_axis(instance, Axis.ANCESTOR, outer, inner)
+
+    def test_small_operand_cost_independent_of_instance_size(self):
+        """The Δ-scoped evaluation cost must not grow with |D| — the
+        property Figure 5's incremental testing relies on."""
+        costs = []
+        for n in (200, 2000):
+            instance = random_forest(n_entries=n, labels=["k0"], seed=1)
+            first = next(iter(instance)).eid
+            evaluator = QueryEvaluator(instance, {SCOPE_DELTA: {first}})
+            query = HSelect(
+                Axis.DESCENDANT,
+                oc("k0").scoped(SCOPE_DELTA),
+                oc("k0").scoped(SCOPE_DELTA),
+            )
+            evaluator.evaluate(query)
+            costs.append(evaluator.cost)
+        assert costs[1] < costs[0] * 3  # sublinear in |D|
+
+    def test_query_size(self):
+        query = Minus(oc("a"), HSelect(Axis.CHILD, oc("a"), oc("b")))
+        assert query.size() == 5

@@ -1,0 +1,103 @@
+"""Tests for the hierarchical-query surface-syntax parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.axes import Axis
+from repro.errors import FilterSyntaxError, QueryError
+from repro.query.ast import HSelect, Minus, Query, Select
+from repro.query.evaluator import evaluate
+from repro.query.filters import Equals, Present
+from repro.query.query_parser import parse_query
+from repro.query.translate import translate_element
+from repro.workloads import whitepages_schema
+
+
+def oc(name):
+    return Select(Equals("objectClass", name))
+
+
+class TestParsing:
+    def test_atomic(self):
+        assert parse_query("(objectClass=person)") == oc("person")
+
+    def test_compound_filter_atomic(self):
+        parsed = parse_query("(&(objectClass=person)(mail=*))")
+        assert isinstance(parsed, Select)
+        assert parsed.filter.operands == (
+            Equals("objectClass", "person"), Present("mail"),
+        )
+
+    @pytest.mark.parametrize("code,axis", [
+        ("c", Axis.CHILD), ("p", Axis.PARENT),
+        ("d", Axis.DESCENDANT), ("a", Axis.ANCESTOR),
+    ])
+    def test_axes(self, code, axis):
+        parsed = parse_query(f"({code} (objectClass=a) (objectClass=b))")
+        assert parsed == HSelect(axis, oc("a"), oc("b"))
+
+    @pytest.mark.parametrize("token", ["σ⁻", "?", "minus", "sigma-"])
+    def test_minus_spellings(self, token):
+        parsed = parse_query(f"({token} (objectClass=a) (objectClass=b))")
+        assert parsed == Minus(oc("a"), oc("b"))
+
+    def test_nested(self):
+        parsed = parse_query(
+            "(σ⁻ (objectClass=orgGroup) "
+            "(d (objectClass=orgGroup) (objectClass=person)))"
+        )
+        assert parsed == Minus(
+            oc("orgGroup"),
+            HSelect(Axis.DESCENDANT, oc("orgGroup"), oc("person")),
+        )
+
+    def test_filter_named_like_axis_stays_a_filter(self):
+        # "(c=1)" must parse as an equality on attribute "c"
+        parsed = parse_query("(c=1)")
+        assert parsed == Select(Equals("c", "1"))
+
+    def test_whitespace_tolerant(self):
+        parsed = parse_query("  ( c   (objectClass=a)   (objectClass=b) )  ")
+        assert parsed == HSelect(Axis.CHILD, oc("a"), oc("b"))
+
+    @pytest.mark.parametrize("bad", [
+        "", "objectClass=a", "(c (objectClass=a))",
+        "(c (objectClass=a) (objectClass=b) (objectClass=x))",
+        "(c (objectClass=a) (objectClass=b)", "(objectClass=a))",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises((QueryError, FilterSyntaxError)):
+            parse_query(bad)
+
+
+class TestRoundTrip:
+    def test_figure4_queries_roundtrip(self):
+        schema = whitepages_schema()
+        for element in schema.structure_schema.elements():
+            query = translate_element(element).query
+            assert parse_query(str(query)) == query
+
+    @given(st.integers(0, 10_000))
+    def test_random_queries_roundtrip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+
+        def build(depth) -> Query:
+            if depth == 0 or rng.random() < 0.4:
+                return oc(rng.choice("abc"))
+            if rng.random() < 0.5:
+                return Minus(build(depth - 1), build(depth - 1))
+            return HSelect(rng.choice(list(Axis)), build(depth - 1), build(depth - 1))
+
+        query = build(3)
+        assert parse_query(str(query)) == query
+
+    def test_parsed_query_evaluates(self, fig1):
+        parsed = parse_query(
+            "(σ⁻ (objectClass=orgGroup) "
+            "(d (objectClass=orgGroup) (objectClass=person)))"
+        )
+        assert evaluate(parsed, fig1) == set()
+        parsed = parse_query("(a (&(objectClass=person)(mail=*)) (objectClass=organization))")
+        assert len(evaluate(parsed, fig1)) == 1

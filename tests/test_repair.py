@@ -1,0 +1,133 @@
+"""Tests for inconsistency repair suggestions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.checker import check_consistency
+from repro.consistency.engine import close
+from repro.consistency.repair import proof_axioms, suggest_repairs
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import ForbiddenEdge, RequiredClass, RequiredEdge
+from repro.schema.structure_schema import StructureSchema
+from repro.workloads import den_schema_overconstrained, random_schema
+
+
+def flat(*names):
+    classes = ClassSchema()
+    for name in names:
+        classes.add_core(name)
+    return classes
+
+
+def make(structure, classes=("a", "b", "c")):
+    return DirectorySchema(AttributeSchema(), flat(*classes), structure).validate()
+
+
+class TestProofAxioms:
+    def test_consistent_closure_has_no_proof_axioms(self):
+        closure = close([RequiredClass("a")])
+        assert proof_axioms(closure) == set()
+
+    def test_axioms_of_simple_conflict(self):
+        from repro.axes import Axis
+
+        elements = [
+            RequiredClass("a"),
+            RequiredEdge(Axis.DESCENDANT, "a", "b"),
+            ForbiddenEdge(Axis.DESCENDANT, "a", "b"),
+        ]
+        closure = close(elements)
+        axioms = proof_axioms(closure)
+        # The ⊥-proof is grounded in exactly the conflicting axioms.
+        assert axioms == set(elements)
+
+
+class TestSuggestions:
+    def test_consistent_schema_needs_no_repair(self):
+        schema = make(StructureSchema().require_class("a"))
+        assert suggest_repairs(schema) == []
+
+    def test_single_element_repairs(self):
+        schema = make(
+            StructureSchema()
+            .require_class("a")
+            .require_descendant("a", "b")
+            .forbid_descendant("a", "b")
+        )
+        suggestions = suggest_repairs(schema)
+        assert suggestions, "a conflict this small must be repairable"
+        # dropping any one of the three axioms fixes it
+        assert all(len(s) == 1 for s in suggestions)
+        texts = {str(next(iter(s.remove))) for s in suggestions}
+        assert texts == {"a □", "a →→ b", "a ↛↛ b"}
+
+    def test_repairs_actually_restore_consistency(self):
+        schema = make(
+            StructureSchema()
+            .require_class("a")
+            .require_child("a", "b")
+            .require_descendant("b", "a")
+        )
+        for suggestion in suggest_repairs(schema):
+            rebuilt = StructureSchema()
+            for name in schema.structure_schema.required_classes:
+                if RequiredClass(name) not in suggestion.remove:
+                    rebuilt.require_class(name)
+            for edge in schema.structure_schema.required_edges:
+                if edge not in suggestion.remove:
+                    rebuilt.require(edge.source, edge.axis, edge.target)
+            for edge in schema.structure_schema.forbidden_edges:
+                if edge not in suggestion.remove:
+                    rebuilt.forbid(edge.source, edge.axis, edge.target)
+            repaired = make(rebuilt)
+            assert check_consistency(repaired).consistent, str(suggestion)
+
+    def test_den_overconstrained_repair(self):
+        suggestions = suggest_repairs(den_schema_overconstrained())
+        assert suggestions
+        # The obvious minimal fix: drop the authoring mistake.
+        singles = {str(s) for s in suggestions if len(s) == 1}
+        assert any("top ↛ policy" in s for s in singles)
+
+    def test_multi_conflict_needs_larger_repair(self):
+        structure = (
+            StructureSchema()
+            .require_class("a")
+            # conflict 1
+            .require_descendant("a", "b")
+            .forbid_descendant("a", "b")
+            # conflict 2 (independent)
+            .require_child("a", "c")
+            .forbid_child("a", "c")
+        )
+        schema = make(structure)
+        suggestions = suggest_repairs(schema, max_suggestions=10)
+        assert suggestions
+        smallest = min(len(s) for s in suggestions)
+        # dropping "a □" alone kills both conflicts
+        assert smallest == 1
+        one_element = [s for s in suggestions if len(s) == 1]
+        assert {str(next(iter(s.remove))) for s in one_element} == {"a □"}
+
+    def test_suggestions_are_minimal(self):
+        schema = make(
+            StructureSchema()
+            .require_class("a")
+            .require_descendant("a", "b")
+            .forbid_descendant("a", "b")
+        )
+        suggestions = suggest_repairs(schema, max_suggestions=10)
+        for s in suggestions:
+            for other in suggestions:
+                if s is not other:
+                    assert not (other.remove < s.remove)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_random_inconsistent_schemas_are_repairable(self, seed):
+        for mode in ("cyclic", "contradictory"):
+            schema = random_schema(n_classes=4, n_required=2, n_forbidden=1,
+                                   seed=seed, mode=mode)
+            suggestions = suggest_repairs(schema)
+            assert suggestions, f"{mode} seed {seed} had no repair"

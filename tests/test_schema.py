@@ -1,0 +1,228 @@
+"""Unit tests for schema components (Definitions 2.2-2.5)."""
+
+import pytest
+
+from repro.axes import Axis
+from repro.errors import ClassHierarchyError, SchemaError
+from repro.schema.attribute_schema import AttributeSchema
+from repro.schema.class_schema import TOP, ClassSchema
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import Disjoint, ForbiddenEdge, RequiredEdge, Subclass
+from repro.schema.extras import SchemaExtras
+from repro.schema.structure_schema import StructureSchema
+
+
+class TestAttributeSchema:
+    def test_required_subset_of_allowed(self):
+        schema = AttributeSchema().declare("person", required=("uid",), allowed=("mail",))
+        assert schema.required("person") == {"uid"}
+        assert schema.allowed("person") == {"uid", "mail"}
+
+    def test_unknown_class_has_empty_sets(self):
+        schema = AttributeSchema()
+        assert schema.required("ghost") == frozenset()
+        assert schema.allowed("ghost") == frozenset()
+
+    def test_double_declaration_rejected(self):
+        schema = AttributeSchema().declare("person")
+        with pytest.raises(SchemaError):
+            schema.declare("person")
+
+    def test_allowed_by_any(self):
+        schema = AttributeSchema().declare("person", allowed=("mail",)).declare("org")
+        assert schema.allowed_by_any({"person", "org"}, "mail")
+        assert not schema.allowed_by_any({"org"}, "mail")
+
+    def test_object_class_always_allowed(self):
+        schema = AttributeSchema().declare("person")
+        assert schema.allowed_by_any({"person"}, "objectClass")
+        assert schema.allowed_by_any(set(), "objectClass")
+
+    def test_attributes_and_classes(self):
+        schema = AttributeSchema().declare("a", required=("x",), allowed=("y",))
+        assert schema.classes() == {"a"}
+        assert schema.attributes() == {"objectClass", "x", "y"}
+
+    def test_max_allowed_size(self):
+        schema = AttributeSchema().declare("a", allowed=("x", "y")).declare("b")
+        assert schema.max_allowed_size() == 2
+        assert AttributeSchema().max_allowed_size() == 0
+
+    def test_len_and_contains(self):
+        schema = AttributeSchema().declare("a")
+        assert len(schema) == 1 and "a" in schema and "b" not in schema
+
+
+class TestClassSchema:
+    def test_top_always_present(self):
+        schema = ClassSchema()
+        assert schema.is_core(TOP)
+        assert schema.parent(TOP) is None
+
+    def test_core_tree_construction(self):
+        schema = ClassSchema().add_core("person").add_core("researcher", parent="person")
+        assert schema.parent("researcher") == "person"
+        assert schema.children("person") == ("researcher",)
+        assert schema.superclasses("researcher") == ("researcher", "person", TOP)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ClassHierarchyError):
+            ClassSchema().add_core("x", parent="ghost")
+
+    def test_auxiliary_parent_rejected(self):
+        schema = ClassSchema().add_auxiliary("online")
+        with pytest.raises(ClassHierarchyError):
+            schema.add_core("x", parent="online")
+
+    def test_duplicate_names_rejected(self):
+        schema = ClassSchema().add_core("person")
+        with pytest.raises(SchemaError):
+            schema.add_core("person")
+        with pytest.raises(SchemaError):
+            schema.add_auxiliary("person")
+
+    def test_aux_association(self):
+        schema = (
+            ClassSchema().add_core("person").add_auxiliary("online")
+            .allow_auxiliary("person", "online")
+        )
+        assert schema.aux("person") == {"online"}
+        assert schema.aux(TOP) == frozenset()
+
+    def test_allow_auxiliary_validates_kinds(self):
+        schema = ClassSchema().add_core("person").add_auxiliary("online")
+        with pytest.raises(SchemaError):
+            schema.allow_auxiliary("online", "person")
+        with pytest.raises(SchemaError):
+            schema.allow_auxiliary("person", "person")
+
+    def test_subsumes(self):
+        schema = ClassSchema().add_core("person").add_core("researcher", parent="person")
+        assert schema.subsumes("researcher", "person")
+        assert schema.subsumes("researcher", TOP)
+        assert schema.subsumes("person", "person")
+        assert not schema.subsumes("person", "researcher")
+
+    def test_incomparable(self):
+        schema = ClassSchema().add_core("person").add_core("orgUnit")
+        assert schema.incomparable("person", "orgUnit")
+        assert not schema.incomparable("person", TOP)
+        assert not schema.incomparable("person", "person")
+        assert not schema.incomparable("person", "ghost")
+
+    def test_depth(self):
+        schema = ClassSchema().add_core("a").add_core("b", parent="a").add_core("c", parent="b")
+        assert schema.depth() == 4  # c, b, a, top
+
+    def test_max_aux_size(self):
+        schema = (
+            ClassSchema().add_core("p").add_auxiliary("x").add_auxiliary("y")
+            .allow_auxiliary("p", "x", "y")
+        )
+        assert schema.max_aux_size() == 2
+
+    def test_subclass_elements_are_tree_edges(self):
+        schema = ClassSchema().add_core("a").add_core("b", parent="a")
+        elements = set(schema.subclass_elements())
+        assert elements == {Subclass("a", TOP), Subclass("b", "a")}
+
+    def test_disjoint_elements(self):
+        schema = ClassSchema().add_core("a").add_core("b").add_core("c", parent="a")
+        disjoint = set(schema.disjoint_elements())
+        assert Disjoint("a", "b") in disjoint
+        assert Disjoint("b", "c") in disjoint
+        assert Disjoint("a", "c") not in disjoint  # comparable
+        assert all(TOP not in (d.a, d.b) for d in disjoint)
+
+
+class TestStructureSchema:
+    def test_builders(self):
+        schema = (
+            StructureSchema()
+            .require_class("a")
+            .require_child("a", "b")
+            .require_descendant("a", "c")
+            .require_parent("b", "a")
+            .require_ancestor("c", "a")
+            .forbid_child("c", "b")
+            .forbid_descendant("c", "c")
+        )
+        assert schema.required_classes == {"a"}
+        assert RequiredEdge(Axis.CHILD, "a", "b") in schema.required_edges
+        assert RequiredEdge(Axis.PARENT, "b", "a") in schema.required_edges
+        assert ForbiddenEdge(Axis.DESCENDANT, "c", "c") in schema.forbidden_edges
+        assert schema.size() == 7 == len(schema)
+
+    def test_forbid_upward_axis_rejected(self):
+        with pytest.raises(SchemaError):
+            StructureSchema().forbid("a", Axis.PARENT, "b")
+
+    def test_duplicate_edges_collapse(self):
+        schema = StructureSchema().require_child("a", "b").require_child("a", "b")
+        assert len(schema.required_edges) == 1
+
+    def test_mentioned_classes(self):
+        schema = StructureSchema().require_class("x").require_child("a", "b").forbid_child("c", "d")
+        assert schema.mentioned_classes() == {"x", "a", "b", "c", "d"}
+
+    def test_elements_order_is_deterministic(self):
+        schema = StructureSchema().require_class("z").require_child("a", "b")
+        assert [str(e) for e in schema.elements()] == [
+            str(e) for e in schema.elements()
+        ]
+
+    def test_relationship_elements_exclude_required_classes(self):
+        schema = StructureSchema().require_class("z").require_child("a", "b")
+        assert len(schema.relationship_elements()) == 1
+
+
+class TestDirectorySchema:
+    def test_validate_passes_well_formed(self, wp_schema):
+        assert wp_schema.validate() is wp_schema
+
+    def test_validate_rejects_unknown_attribute_class(self):
+        schema = DirectorySchema(
+            AttributeSchema().declare("ghost"), ClassSchema(), StructureSchema()
+        )
+        with pytest.raises(SchemaError, match="ghost"):
+            schema.validate()
+
+    def test_validate_rejects_auxiliary_in_structure(self):
+        classes = ClassSchema().add_core("person").add_auxiliary("online")
+        structure = StructureSchema().require_class("online")
+        with pytest.raises(SchemaError, match="non-core"):
+            DirectorySchema(AttributeSchema(), classes, structure).validate()
+
+    def test_validate_rejects_unknown_structure_class(self):
+        structure = StructureSchema().require_child("ghost", "top")
+        with pytest.raises(SchemaError):
+            DirectorySchema(AttributeSchema(), ClassSchema(), structure).validate()
+
+    def test_all_elements_cover_both_components(self, wp_schema):
+        elements = list(wp_schema.all_elements())
+        kinds = {type(e).__name__ for e in elements}
+        assert kinds == {
+            "Subclass", "Disjoint", "RequiredEdge", "ForbiddenEdge", "RequiredClass"
+        }
+
+    def test_size_is_positive(self, wp_schema):
+        assert wp_schema.size() > 10
+
+
+class TestSchemaExtras:
+    def test_key_implies_single_valued(self):
+        extras = SchemaExtras().declare_key("uid")
+        assert "uid" in extras.effective_single_valued()
+
+    def test_extensible_membership(self):
+        extras = SchemaExtras().declare_extensible("extensibleObject")
+        assert extras.is_extensible({"person", "extensibleObject"})
+        assert not extras.is_extensible({"person"})
+
+    def test_validate_against_rejects_unknown_class(self):
+        schema = DirectorySchema(
+            AttributeSchema(), ClassSchema(), StructureSchema(),
+            extras=SchemaExtras().declare_extensible("ghost"),
+        )
+        with pytest.raises(SchemaError, match="ghost"):
+            schema.validate()

@@ -1,0 +1,74 @@
+"""Tests for LDAP-style scoped search."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.filters import Equals, Present
+from repro.query.search import SearchScope, search
+
+
+def dns(entries):
+    return [str(e.dn) for e in entries]
+
+
+class TestScopes:
+    def test_base_scope(self, fig1):
+        result = search(fig1, "ou=attLabs,o=att", SearchScope.BASE)
+        assert dns(result) == ["ou=attLabs,o=att"]
+
+    def test_one_scope(self, fig1):
+        result = search(fig1, "o=att", SearchScope.ONE)
+        assert dns(result) == ["ou=attLabs,o=att", "uid=armstrong,o=att"]
+
+    def test_sub_scope_includes_base(self, fig1):
+        result = search(fig1, "ou=attLabs,o=att", SearchScope.SUB)
+        assert len(result) == 4
+        assert "ou=attLabs,o=att" in dns(result)
+
+    def test_children_scope_excludes_base(self, fig1):
+        result = search(fig1, "ou=attLabs,o=att", SearchScope.CHILDREN)
+        assert len(result) == 3
+        assert "ou=attLabs,o=att" not in dns(result)
+
+    def test_root_base(self, fig1):
+        assert len(search(fig1, None, SearchScope.SUB)) == len(fig1)
+        assert dns(search(fig1, None, SearchScope.ONE)) == ["o=att"]
+        assert search(fig1, None, SearchScope.BASE) == []
+
+    def test_scope_accepts_strings(self, fig1):
+        assert len(search(fig1, "o=att", "one")) == 2
+
+    def test_missing_base_raises(self, fig1):
+        with pytest.raises(QueryError, match="does not exist"):
+            search(fig1, "o=ghost", SearchScope.SUB)
+
+
+class TestFilters:
+    def test_filter_object(self, fig1):
+        result = search(fig1, "o=att", SearchScope.SUB,
+                        Equals("objectClass", "person"))
+        assert len(result) == 3
+
+    def test_filter_string(self, fig1):
+        result = search(fig1, "o=att", "sub", "(&(objectClass=person)(mail=*))")
+        assert dns(result) == ["uid=laks,ou=databases,ou=attLabs,o=att"]
+
+    def test_no_filter_matches_all(self, fig1):
+        assert len(search(fig1, "o=att", "sub")) == 6
+
+    def test_scoping_restricts_filter(self, fig1):
+        everywhere = search(fig1, None, "sub", Present("mail"))
+        scoped = search(fig1, "ou=databases,ou=attLabs,o=att", "one",
+                        Present("mail"))
+        assert len(everywhere) == 1  # only laks carries mail in Figure 1
+        assert len(scoped) == 1
+
+    def test_size_limit(self, fig1):
+        result = search(fig1, None, "sub", size_limit=2)
+        assert len(result) == 2
+
+    def test_document_order(self, fig1):
+        result = search(fig1, None, "sub")
+        assert dns(result)[0] == "o=att"
+        # databases' subtree precedes att's second child armstrong
+        assert dns(result)[-1] == "uid=armstrong,o=att"

@@ -1,0 +1,218 @@
+"""Tests for the Section 6.3 semi-structured extension."""
+
+import pytest
+
+from repro.errors import ModelError, SchemaError
+from repro.axes import Axis
+from repro.legality.structure import QueryStructureChecker
+from repro.semistructured import (
+    DataGraph,
+    GraphConstraints,
+    GraphValidator,
+    constraints_to_structure_schema,
+    graph_to_instance,
+    instance_to_graph,
+)
+
+
+def bibliography_graph():
+    """person nodes with name children at varying depths."""
+    g = DataGraph()
+    g.add_node("db", "root")
+    p1 = g.add_child("db", "p1", "person")
+    g.add_child(p1, "n1", "name", "Laks")
+    p2 = g.add_child("db", "p2", "person")
+    contact = g.add_child(p2, "c2", "contact")
+    g.add_child(contact, "n2", "name", "Divesh")
+    return g
+
+
+def world_graph(forbidden_nesting=False):
+    """The paper's country/corporation example: countries may contain
+    corporations (national), corporations may contain countries
+    (international) and corporations (conglomerates) — but no country
+    sits below another country."""
+    g = DataGraph()
+    g.add_node("world", "root")
+    us = g.add_child("world", "us", "country")
+    g.add_child(us, "att", "corporation")  # national corporation
+    multi = g.add_child("world", "multi", "corporation")
+    g.add_child(multi, "multi-mx", "country")  # international corporation
+    sub = g.add_child(multi, "multi-sub", "corporation")  # conglomerate
+    g.add_child(sub, "multi-sub-sub", "corporation")
+    if forbidden_nesting:
+        # a corporation inside the US opening a country division:
+        # country us ->> country de
+        g.add_child("att", "de", "country")
+    return g
+
+
+class TestDataGraph:
+    def test_labels_and_lookup(self):
+        g = bibliography_graph()
+        assert g.label("p1") == "person"
+        assert g.nodes_with_label("person") == {"p1", "p2"}
+        assert "name" in g.labels()
+        assert g.value("n1") == "Laks"
+
+    def test_duplicate_node_rejected(self):
+        g = DataGraph()
+        g.add_node("x", "a")
+        with pytest.raises(ModelError):
+            g.add_node("x", "b")
+
+    def test_edge_needs_endpoints(self):
+        g = DataGraph()
+        g.add_node("x", "a")
+        with pytest.raises(ModelError):
+            g.add_edge("x", "ghost")
+
+    def test_navigation(self):
+        g = bibliography_graph()
+        assert set(g.children("p2")) == {"c2"}
+        assert g.parents("n2") == ["c2"]
+        assert g.descendants("p2") == {"c2", "n2"}
+        assert g.ancestors("n2") == {"c2", "p2", "db"}
+        assert g.roots() == ["db"]
+
+    def test_sharing(self):
+        g = DataGraph()
+        g.add_node("r", "root")
+        a = g.add_child("r", "a", "dept")
+        b = g.add_child("r", "b", "dept")
+        shared = g.add_child(a, "s", "person")
+        g.add_edge(b, shared)  # person shared by two departments
+        assert set(g.parents("s")) == {"a", "b"}
+        assert "s" in g.descendants("b")
+        assert not g.is_tree_shaped()
+
+    def test_cycles_make_self_descendants(self):
+        g = DataGraph()
+        g.add_node("a", "x")
+        g.add_node("b", "x")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert "a" in g.descendants("a")
+        assert "b" in g.ancestors("b")
+        assert not g.is_tree_shaped()
+
+    def test_tree_shaped(self):
+        assert bibliography_graph().is_tree_shaped()
+
+    def test_len_iter_contains(self):
+        g = bibliography_graph()
+        assert len(g) == 6
+        assert "p1" in g and "ghost" not in g
+        assert set(iter(g)) == {"db", "p1", "n1", "p2", "c2", "n2"}
+
+
+class TestGraphConstraints:
+    def test_person_name_constraint(self):
+        """Section 6.3: each person node must have a (descendant) name
+        node, without fixing the path length."""
+        constraints = GraphConstraints().require_descendant("person", "name")
+        validator = GraphValidator(constraints)
+        assert validator.is_legal(bibliography_graph())
+
+    def test_person_name_violation(self):
+        g = bibliography_graph()
+        g.add_child("db", "p3", "person")  # nameless person
+        constraints = GraphConstraints().require_descendant("person", "name")
+        report = GraphValidator(constraints).check(g)
+        assert not report.is_legal
+        assert any(v.dn == "p3" for v in report)
+
+    def test_country_nesting_forbidden(self):
+        """Section 6.3: allow corporation nesting to any depth, but
+        forbid a country below another country."""
+        constraints = GraphConstraints().forbid_descendant("country", "country")
+        validator = GraphValidator(constraints)
+        assert validator.is_legal(world_graph(forbidden_nesting=False))
+        assert not validator.is_legal(world_graph(forbidden_nesting=True))
+
+    def test_child_and_parent_forms(self):
+        g = bibliography_graph()
+        assert GraphValidator(
+            GraphConstraints().require_parent("name", "person")
+        ).check(g).violations  # n2's parent is contact, not person
+        assert GraphValidator(
+            GraphConstraints().require_ancestor("name", "person")
+        ).is_legal(g)
+
+    def test_required_label(self):
+        constraints = GraphConstraints().require_label("person", "robot")
+        report = GraphValidator(constraints).check(bibliography_graph())
+        assert len(report) == 1
+        assert "robot" in report.violations[0].message
+
+    def test_forbid_child(self):
+        g = bibliography_graph()
+        constraints = GraphConstraints().forbid_child("person", "name")
+        report = GraphValidator(constraints).check(g)
+        assert [v.dn for v in report] == ["p1"]
+
+    def test_upward_forbidden_axis_rejected(self):
+        constraints = GraphConstraints()
+        constraints.forbidden.add((Axis.ANCESTOR, "a", "b"))
+        with pytest.raises(SchemaError):
+            GraphValidator(constraints)
+
+    def test_cyclic_graph_validation(self):
+        g = DataGraph()
+        g.add_node("a", "country")
+        g.add_node("b", "corporation")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")  # cycle: country reaches itself
+        constraints = GraphConstraints().forbid_descendant("country", "country")
+        assert not GraphValidator(constraints).is_legal(g)
+
+
+class TestBridge:
+    def test_tree_graph_embeds_into_directory(self):
+        g = bibliography_graph()
+        instance = graph_to_instance(g)
+        assert len(instance) == len(g)
+        assert instance.find("id=n1,id=p1,id=db") is not None
+
+    def test_non_tree_rejected(self):
+        g = DataGraph()
+        g.add_node("a", "x")
+        g.add_node("b", "x")
+        g.add_node("c", "x")
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        with pytest.raises(ModelError):
+            graph_to_instance(g)
+
+    def test_instance_round_trips_to_graph(self, fig1):
+        g = instance_to_graph(fig1)
+        assert len(g) == len(fig1)
+        # Labels are the lexicographically smallest non-top class:
+        # suciu {researcher, person} and armstrong {staffMember, person}
+        # both project to "person".
+        assert len(g.nodes_with_label("person")) == 2
+        # Structure is preserved.
+        assert len(g.roots()) == 1
+        assert len(g.descendants(g.roots()[0])) == len(fig1) - 1
+
+    def test_graph_checker_agrees_with_directory_checker(self):
+        """The Section 6.3 punchline: the same constraints, checked on
+        the graph directly and through the LDAP reduction, agree."""
+        g = bibliography_graph()
+        constraints = (
+            GraphConstraints()
+            .require_descendant("person", "name")
+            .forbid_child("name", "name")
+            .require_label("person")
+        )
+        graph_verdict = GraphValidator(constraints).is_legal(g)
+        structure = constraints_to_structure_schema(constraints)
+        instance = graph_to_instance(g)
+        directory_verdict = QueryStructureChecker(structure).is_legal(instance)
+        assert graph_verdict == directory_verdict is True
+
+        g.add_child("db", "p3", "person")  # break it
+        assert GraphValidator(constraints).is_legal(g) is False
+        assert QueryStructureChecker(structure).is_legal(
+            graph_to_instance(g)
+        ) is False

@@ -1,0 +1,97 @@
+"""Tests for instance statistics and the referential-integrity extra."""
+
+from repro.legality.checker import LegalityChecker
+from repro.legality.report import Kind
+from repro.model.instance import DirectoryInstance
+from repro.schema.dsl import parse_dsl, serialize_dsl
+from repro.schema.extras import SchemaExtras
+from repro.stats import collect_stats
+from repro.workloads import figure1_instance, generate_whitepages, whitepages_schema
+
+
+class TestStats:
+    def test_figure1_shape(self, fig1):
+        stats = collect_stats(fig1)
+        assert stats.entries == 6
+        assert stats.roots == 1
+        assert stats.max_depth == 4
+        assert stats.leaves == 3
+        assert stats.class_population["person"] == 3
+        assert stats.class_population["top"] == 6
+        assert stats.attribute_population["mail"] == 1
+
+    def test_heterogeneity_visible(self):
+        """The introduction's motif: mail cardinality varies."""
+        instance = generate_whitepages(orgs=2, units_per_level=3, depth=2,
+                                       persons_per_unit=3, seed=0)
+        stats = collect_stats(instance)
+        assert len(stats.heterogeneity("mail")) >= 2
+
+    def test_depth_histogram_sums_to_entries(self, fig1):
+        stats = collect_stats(fig1)
+        assert sum(stats.depth_histogram.values()) == stats.entries
+        assert sum(stats.classes_per_entry.values()) == stats.entries
+
+    def test_str_renders(self, fig1):
+        text = str(collect_stats(fig1))
+        assert "entries: 6" in text
+        assert "person: 3" in text
+
+    def test_empty_instance(self):
+        stats = collect_stats(DirectoryInstance())
+        assert stats.entries == 0 and stats.max_depth == 0
+
+    def test_cli_stats(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.ldif import dump_ldif
+
+        path = tmp_path / "d.ldif"
+        dump_ldif(figure1_instance(), str(path))
+        assert main(["stats", "--data", str(path)]) == 0
+        assert "entries: 6" in capsys.readouterr().out
+
+
+class TestReferentialIntegrity:
+    def schema(self, instance=None):
+        schema = whitepages_schema()
+        schema.attribute_schema._allowed["person"] = (
+            schema.attribute_schema.allowed("person") | {"manager"}
+        )
+        schema.registry.declare("manager", "dn")
+        schema.extras = SchemaExtras().declare_referential("manager")
+        if instance is not None and instance.attributes is not None:
+            # the fixture instance carries its own registry
+            instance.attributes.declare("manager", "dn")
+        return schema
+
+    def test_valid_reference_accepted(self, fig1):
+        schema = self.schema(fig1)
+        fig1.entry("uid=suciu,ou=databases,ou=attLabs,o=att").add_value(
+            "manager", "uid=laks,ou=databases,ou=attLabs,o=att"
+        )
+        assert LegalityChecker(schema).check(fig1).is_legal
+
+    def test_dangling_reference_detected(self, fig1):
+        schema = self.schema(fig1)
+        fig1.entry("uid=suciu,ou=databases,ou=attLabs,o=att").add_value(
+            "manager", "uid=ghost,o=att"
+        )
+        report = LegalityChecker(schema).check(fig1)
+        assert [v.kind for v in report] == [Kind.DANGLING_REFERENCE]
+        assert "uid=ghost" in report.violations[0].message
+
+    def test_reference_broken_by_deletion_caught_on_recheck(self, fig1):
+        schema = self.schema(fig1)
+        fig1.entry("uid=suciu,ou=databases,ou=attLabs,o=att").add_value(
+            "manager", "uid=laks,ou=databases,ou=attLabs,o=att"
+        )
+        fig1.delete_entry("uid=laks,ou=databases,ou=attLabs,o=att")
+        report = LegalityChecker(schema).check(fig1)
+        assert Kind.DANGLING_REFERENCE in [v.kind for v in report]
+
+    def test_dsl_roundtrip(self):
+        schema = self.schema()
+        text = serialize_dsl(schema)
+        assert "referential manager" in text
+        reparsed = parse_dsl(text)
+        assert reparsed.extras.referential_attributes == {"manager"}

@@ -1,0 +1,126 @@
+"""Tests for the durable directory store (snapshot + journal)."""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UpdateError
+from repro.ldif import serialize_ldif
+from repro.store import DirectoryStore
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    figure1_instance,
+    random_transaction,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+
+@pytest.fixture()
+def store(tmp_path, wp_schema):
+    return DirectoryStore.create(
+        str(tmp_path / "store"), wp_schema, figure1_instance()
+    )
+
+
+def good_tx(n=1, seed=0, instance=None):
+    return random_transaction(instance or figure1_instance(), inserts=n, seed=seed)
+
+
+class TestLifecycle:
+    def test_create_writes_snapshot_and_journal(self, tmp_path, wp_schema):
+        path = tmp_path / "store"
+        DirectoryStore.create(str(path), wp_schema, figure1_instance())
+        assert (path / "snapshot.ldif").exists()
+        assert (path / "journal.ldif").exists()
+
+    def test_create_twice_rejected(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance())
+        with pytest.raises(UpdateError, match="already contains"):
+            DirectoryStore.create(path, wp_schema, figure1_instance())
+
+    def test_create_rejects_illegal_initial(self, tmp_path, wp_schema):
+        bad = figure1_instance()
+        bad.entry("uid=suciu,ou=databases,ou=attLabs,o=att").add_class("martian")
+        with pytest.raises(UpdateError):
+            DirectoryStore.create(str(tmp_path / "store"), wp_schema, bad)
+
+    def test_open_empty_journal_roundtrips(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance())
+        reopened = DirectoryStore.open(path, wp_schema,
+                                       registry=whitepages_registry())
+        assert serialize_ldif(reopened.instance) == serialize_ldif(
+            figure1_instance()
+        )
+
+
+class TestUpdatesAndRecovery:
+    def test_committed_updates_survive_reopen(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        tx = good_tx(n=2, seed=1, instance=store.instance)
+        assert store.apply(tx).applied
+        before = serialize_ldif(store.instance)
+
+        reopened = DirectoryStore.open(path, wp_schema,
+                                       registry=whitepages_registry())
+        assert serialize_ldif(reopened.instance) == before
+        assert reopened.journal_length == 1
+
+    def test_rejected_updates_not_journaled(self, store):
+        bad = UpdateTransaction().insert(
+            "ou=empty,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["empty"]}
+        )
+        outcome = store.apply(bad)
+        assert not outcome.applied
+        assert store.journal_length == 0
+
+    def test_torn_final_record_discarded(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        assert store.apply(good_tx(1, seed=2, instance=store.instance)).applied
+        good_state = serialize_ldif(store.instance)
+        # simulate a crash mid-append: write half a record, no marker
+        with open(os.path.join(path, "journal.ldif"), "a", encoding="utf-8") as fh:
+            fh.write("dn: ou=torn,o=att\nchangetype: add\nobjectClass: orgUnit\n")
+        reopened = DirectoryStore.open(path, wp_schema,
+                                       registry=whitepages_registry())
+        assert serialize_ldif(reopened.instance) == good_state
+
+    def test_compaction_preserves_state(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        for seed in (3, 4):
+            assert store.apply(good_tx(1, seed=seed, instance=store.instance)).applied
+        state = serialize_ldif(store.instance)
+        store.compact()
+        assert store.journal_length == 0
+        reopened = DirectoryStore.open(path, wp_schema,
+                                       registry=whitepages_registry())
+        assert serialize_ldif(reopened.instance) == state
+
+    def test_check_reports_current_contents(self, store):
+        assert store.check().is_legal
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    def test_recovery_equals_live_state(self, tmp_path_factory, seed, n_txs):
+        """Crash-recovery property: after any sequence of committed
+        transactions, open() reproduces the live state exactly."""
+        schema = whitepages_schema()
+        path = str(tmp_path_factory.mktemp("store") / "s")
+        store = DirectoryStore.create(path, schema, figure1_instance())
+        rng = random.Random(seed)
+        for i in range(n_txs):
+            tx = good_tx(rng.randrange(1, 3), seed=seed * 10 + i,
+                         instance=store.instance)
+            assert store.apply(tx).applied
+        live = serialize_ldif(store.instance)
+        recovered = DirectoryStore.open(path, schema,
+                                        registry=whitepages_registry())
+        assert serialize_ldif(recovered.instance) == live
+        assert recovered.check().is_legal

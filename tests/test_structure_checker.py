@@ -1,0 +1,113 @@
+"""Tests for structure-schema legality: the query reduction and the
+naive baseline must agree everywhere (Section 3.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.legality.report import Kind
+from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+from repro.model.instance import DirectoryInstance
+from repro.schema.structure_schema import StructureSchema
+from repro.workloads import random_forest
+
+
+def checkers(structure):
+    return QueryStructureChecker(structure), NaiveStructureChecker(structure)
+
+
+class TestVerdicts:
+    def test_figure3_on_figure1(self, wp_schema, fig1):
+        query, naive = checkers(wp_schema.structure_schema)
+        assert query.check(fig1).is_legal
+        assert naive.check(fig1).is_legal
+
+    def test_missing_required_class(self):
+        structure = StructureSchema().require_class("router")
+        query, naive = checkers(structure)
+        d = DirectoryInstance()
+        d.add_entry(None, "o=1", ["top"])
+        for checker in (query, naive):
+            report = checker.check(d)
+            assert [v.kind for v in report] == [Kind.MISSING_REQUIRED_CLASS]
+            assert not checker.is_legal(d)
+
+    def test_required_child_violation_found(self, fig1):
+        structure = StructureSchema().require_child("orgUnit", "person")
+        query, naive = checkers(structure)
+        # attLabs has no direct person child (only via databases)
+        for checker in (query, naive):
+            report = checker.check(fig1)
+            assert any(
+                v.dn == "ou=attLabs,o=att" for v in report
+            ), str(report)
+
+    def test_forbidden_descendant_violation_found(self, fig1):
+        structure = StructureSchema().forbid_descendant("organization", "researcher")
+        query, naive = checkers(structure)
+        for checker in (query, naive):
+            report = checker.check(fig1)
+            assert not report.is_legal
+            assert all(v.kind == Kind.FORBIDDEN_RELATIONSHIP for v in report)
+            assert any(v.dn == "o=att" for v in report)
+
+    def test_witness_cap_summarizes(self):
+        structure = StructureSchema().require_child("k0", "k1")
+        d = DirectoryInstance()
+        for i in range(9):
+            d.add_entry(None, f"o={i}", ["k0", "top"])
+        query, naive = checkers(structure)
+        for checker in (query, naive):
+            report = checker.check(d)
+            assert len(report) == 6  # 5 named + 1 summary
+            assert "4 more" in report.violations[-1].message
+
+
+class TestDifferential:
+    """Query reduction vs. naive pairwise: identical verdicts and
+    identical per-element witness sets, on arbitrary random forests."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(5, 50), st.integers(0, 7))
+    def test_reports_agree_on_random_forests(self, seed, size, schema_pick):
+        labels = ["k0", "k1", "k2"]
+        structures = [
+            StructureSchema().require_child("k0", "k1"),
+            StructureSchema().require_descendant("k0", "k1"),
+            StructureSchema().require_parent("k0", "k1"),
+            StructureSchema().require_ancestor("k0", "k1"),
+            StructureSchema().forbid_child("k0", "k1"),
+            StructureSchema().forbid_descendant("k0", "k2"),
+            StructureSchema().require_class("k0", "k2").forbid_child("k1", "k1"),
+            StructureSchema()
+            .require_descendant("k0", "k1")
+            .require_ancestor("k2", "k0")
+            .forbid_child("k2", "k2")
+            .require_class("k1"),
+        ]
+        structure = structures[schema_pick]
+        instance = random_forest(n_entries=size, labels=labels, seed=seed)
+        query, naive = checkers(structure)
+        query_report = query.check(instance)
+        naive_report = naive.check(instance)
+        assert query_report.is_legal == naive_report.is_legal
+        assert query.is_legal(instance) == naive.is_legal(instance)
+
+        def signature(report):
+            return sorted((v.kind, v.element or "", v.dn or "") for v in report)
+
+        assert signature(query_report) == signature(naive_report)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_direct_semantics_agree(self, seed):
+        structure = (
+            StructureSchema()
+            .require_descendant("k0", "k1")
+            .forbid_descendant("k1", "k0")
+        )
+        instance = random_forest(n_entries=30, labels=["k0", "k1"], seed=seed)
+        query, naive = checkers(structure)
+        direct = all(
+            e.is_satisfied(instance) for e in structure.elements()
+        )
+        assert query.is_legal(instance) == direct == naive.is_legal(instance)

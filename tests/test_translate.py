@@ -1,0 +1,116 @@
+"""Tests for the Figure 4 translation: every schema-element form maps to
+the exact query of the paper, and query verdicts coincide with the
+direct Definition 2.6 semantics on arbitrary instances."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axes import Axis
+from repro.errors import QueryError
+from repro.query.translate import translate_element
+from repro.schema.elements import (
+    Disjoint,
+    ForbiddenEdge,
+    RequiredClass,
+    RequiredEdge,
+    Subclass,
+)
+from repro.workloads import random_forest
+
+
+class TestFigure4Shapes:
+    """Row-by-row comparison with Figure 4 (rendered via str())."""
+
+    def test_required_child_row(self):
+        check = translate_element(RequiredEdge(Axis.CHILD, "ci", "cj"))
+        assert str(check.query) == (
+            "(σ⁻ (objectClass=ci) (c (objectClass=ci) (objectClass=cj)))"
+        )
+        assert check.legal_when_empty
+
+    def test_required_parent_row(self):
+        check = translate_element(RequiredEdge(Axis.PARENT, "ci", "cj"))
+        assert str(check.query) == (
+            "(σ⁻ (objectClass=ci) (p (objectClass=ci) (objectClass=cj)))"
+        )
+
+    def test_required_descendant_row(self):
+        check = translate_element(RequiredEdge(Axis.DESCENDANT, "ci", "cj"))
+        assert str(check.query) == (
+            "(σ⁻ (objectClass=ci) (d (objectClass=ci) (objectClass=cj)))"
+        )
+
+    def test_required_ancestor_row(self):
+        check = translate_element(RequiredEdge(Axis.ANCESTOR, "ci", "cj"))
+        assert str(check.query) == (
+            "(σ⁻ (objectClass=ci) (a (objectClass=ci) (objectClass=cj)))"
+        )
+
+    def test_forbidden_child_row(self):
+        check = translate_element(ForbiddenEdge(Axis.CHILD, "ci", "cj"))
+        assert str(check.query) == "(c (objectClass=ci) (objectClass=cj))"
+        assert check.legal_when_empty
+
+    def test_forbidden_descendant_row(self):
+        check = translate_element(ForbiddenEdge(Axis.DESCENDANT, "ci", "cj"))
+        assert str(check.query) == "(d (objectClass=ci) (objectClass=cj))"
+
+    def test_required_class_row(self):
+        check = translate_element(RequiredClass("c"))
+        assert str(check.query) == "(objectClass=c)"
+        assert not check.legal_when_empty
+
+    def test_content_elements_have_no_row(self):
+        with pytest.raises(QueryError):
+            translate_element(Subclass("a", "b"))
+        with pytest.raises(QueryError):
+            translate_element(Disjoint("a", "b"))
+
+
+_label = st.sampled_from(["k0", "k1", "k2"])
+
+
+@st.composite
+def structure_elements(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return RequiredClass(draw(_label))
+    if kind == 1:
+        axis = draw(st.sampled_from(list(Axis)))
+        return RequiredEdge(axis, draw(_label), draw(_label))
+    axis = draw(st.sampled_from([Axis.CHILD, Axis.DESCENDANT]))
+    return ForbiddenEdge(axis, draw(_label), draw(_label))
+
+
+class TestReductionCorrectness:
+    """The paper's central equivalence: D legal w.r.t. element iff the
+    Figure 4 query verdict says so — on arbitrary random instances."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(structure_elements(), st.integers(0, 10_000), st.integers(5, 60))
+    def test_query_verdict_equals_direct_semantics(self, element, seed, size):
+        instance = random_forest(n_entries=size, labels=["k0", "k1", "k2"], seed=seed)
+        check = translate_element(element)
+        assert check.is_legal(instance) == element.is_satisfied(instance)
+
+    def test_witnesses_identify_offending_entries(self):
+        instance = random_forest(n_entries=30, labels=["k0", "k1"], seed=4)
+        element = RequiredEdge(Axis.CHILD, "k0", "k1")
+        check = translate_element(element)
+        witnesses = check.witnesses(instance)
+        for eid in witnesses:
+            entry = instance.entry(eid)
+            assert entry.belongs_to("k0")
+            assert not any(
+                c.belongs_to("k1") for c in instance.children_of(entry)
+            )
+
+    def test_required_class_has_no_witnesses(self):
+        instance = random_forest(n_entries=5, labels=["k0"], seed=0)
+        check = translate_element(RequiredClass("k9"))
+        assert not check.is_legal(instance)
+        assert check.witnesses(instance) == set()
+
+    def test_str_shows_polarity(self):
+        check = translate_element(RequiredClass("c"))
+        assert "non-empty" in str(check)

@@ -1,0 +1,129 @@
+"""Unit tests for attribute types and the type registry."""
+
+import pytest
+
+from repro.errors import TypeViolationError
+from repro.model.types import (
+    BOOLEAN,
+    DN_TYPE,
+    INTEGER,
+    STRING,
+    TELEPHONE,
+    URI,
+    AttributeType,
+    TypeRegistry,
+    builtin_types,
+)
+
+
+class TestStringType:
+    def test_accepts_strings(self):
+        assert STRING.coerce("hello") == "hello"
+
+    def test_stringifies_other_values(self):
+        assert STRING.coerce(42) == "42"
+
+    def test_empty_string_is_valid(self):
+        assert STRING.coerce("") == ""
+
+
+class TestIntegerType:
+    def test_accepts_ints(self):
+        assert INTEGER.coerce(7) == 7
+
+    def test_parses_numeric_strings(self):
+        assert INTEGER.coerce(" 42 ") == 42
+
+    def test_rejects_bools(self):
+        with pytest.raises(TypeViolationError):
+            INTEGER.coerce(True)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeViolationError):
+            INTEGER.coerce("not-a-number")
+
+
+class TestBooleanType:
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("TRUE", True), ("1", True), ("yes", True),
+        ("false", False), ("0", False), ("no", False),
+    ])
+    def test_parses_string_forms(self, raw, expected):
+        assert BOOLEAN.coerce(raw) is expected
+
+    def test_accepts_bools(self):
+        assert BOOLEAN.coerce(False) is False
+
+    def test_rejects_other_strings(self):
+        with pytest.raises(TypeViolationError):
+            BOOLEAN.coerce("maybe")
+
+
+class TestTelephoneType:
+    def test_accepts_plausible_numbers(self):
+        assert TELEPHONE.coerce("+1 973 555 0100") == "+1 973 555 0100"
+
+    def test_rejects_letters(self):
+        with pytest.raises(TypeViolationError):
+            TELEPHONE.coerce("CALL-ME")
+
+
+class TestUriType:
+    def test_accepts_http(self):
+        assert URI.coerce("http://www.att.com/") == "http://www.att.com/"
+
+    def test_accepts_other_schemes(self):
+        assert URI.coerce("ldap://host:389/o=att")
+
+    def test_rejects_schemeless(self):
+        with pytest.raises(TypeViolationError):
+            URI.coerce("www.att.com")
+
+
+class TestDnType:
+    def test_accepts_dns(self):
+        assert DN_TYPE.coerce("uid=laks,ou=databases,o=att")
+
+    def test_rejects_non_dn(self):
+        with pytest.raises(TypeViolationError):
+            DN_TYPE.coerce("just a sentence")
+
+
+class TestTypeRegistry:
+    def test_builtins_present(self):
+        registry = builtin_types()
+        for name in ("string", "integer", "boolean", "dn", "telephone", "uri"):
+            assert name in registry
+
+    def test_register_custom_type(self):
+        registry = TypeRegistry()
+        even = AttributeType("even", lambda v: isinstance(v, int) and v % 2 == 0)
+        registry.register(even)
+        assert registry["even"].coerce(4) == 4
+        with pytest.raises(TypeViolationError):
+            registry["even"].coerce(3)
+
+    def test_duplicate_registration_rejected(self):
+        registry = TypeRegistry()
+        other = AttributeType("string", lambda v: True)
+        with pytest.raises(ValueError):
+            registry.register(other)
+
+    def test_replace_allowed_when_requested(self):
+        registry = TypeRegistry()
+        other = AttributeType("string", lambda v: True)
+        registry.register(other, replace=True)
+        assert registry["string"] is other
+
+    def test_unknown_type_lookup(self):
+        registry = TypeRegistry()
+        assert registry.get("nope") is None
+        with pytest.raises(KeyError):
+            registry["nope"]
+
+    def test_len_and_iter(self):
+        registry = builtin_types()
+        assert len(registry) == 6
+        assert {t.name for t in registry} == {
+            "string", "integer", "boolean", "dn", "telephone", "uri"
+        }

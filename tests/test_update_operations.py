@@ -1,0 +1,168 @@
+"""Unit tests for update operations and transaction decomposition
+(Section 4.1, Theorem 4.1)."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.model.dn import parse_dn
+from repro.model.instance import DirectoryInstance
+from repro.updates.operations import DeleteEntry, InsertEntry, UpdateTransaction
+from repro.updates.transactions import apply_subtree_update, decompose
+from repro.workloads import figure1_instance
+
+
+class TestOperations:
+    def test_insert_make(self):
+        op = InsertEntry.make("ou=x,o=att", ["orgUnit", "top"], {"ou": ["x"]})
+        assert str(op.dn) == "ou=x,o=att"
+        assert op.classes == ("orgUnit", "top")
+        assert op.attribute_dict() == {"ou": ["x"]}
+        assert str(op) == "insert ou=x,o=att"
+
+    def test_delete_make(self):
+        op = DeleteEntry.make("ou=x,o=att")
+        assert str(op) == "delete ou=x,o=att"
+
+    def test_transaction_builders(self):
+        tx = UpdateTransaction().insert("o=a", ["top"]).delete("o=b")
+        assert len(tx) == 2
+        assert len(tx.insertions()) == 1
+        assert len(tx.deletions()) == 1
+        assert list(tx)
+
+    def test_distinctness_enforced(self):
+        tx = UpdateTransaction().insert("o=a", ["top"]).delete("o=a")
+        with pytest.raises(UpdateError, match="distinct"):
+            tx.validate()
+
+
+class TestDecomposition:
+    def test_single_insert_is_one_subtree(self, fig1):
+        tx = UpdateTransaction().insert(
+            "ou=x,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]}
+        )
+        steps = decompose(tx, fig1)
+        assert len(steps) == 1
+        assert steps[0].kind == "insert"
+        assert str(steps[0].parent_dn) == "o=att"
+        assert len(steps[0].subtree) == 1
+
+    def test_chained_inserts_group_into_one_subtree(self, fig1):
+        tx = (
+            UpdateTransaction()
+            .insert("ou=x,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+            .insert("uid=p1,ou=x,o=att", ["person", "top"],
+                    {"uid": ["p1"], "name": ["p one"]})
+            .insert("uid=p2,ou=x,o=att", ["person", "top"],
+                    {"uid": ["p2"], "name": ["p two"]})
+        )
+        steps = decompose(tx, fig1)
+        assert len(steps) == 1
+        assert len(steps[0].subtree) == 3
+
+    def test_order_of_operations_is_irrelevant(self, fig1):
+        """Theorem 4.1: grouping ignores the interleaving."""
+        tx = (
+            UpdateTransaction()
+            .insert("uid=p1,ou=x,o=att", ["person", "top"],
+                    {"uid": ["p1"], "name": ["p"]})
+            .insert("ou=x,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+        )
+        steps = decompose(tx, fig1)
+        assert len(steps) == 1
+        assert len(steps[0].subtree) == 2
+
+    def test_disjoint_inserts_stay_separate(self, fig1):
+        tx = (
+            UpdateTransaction()
+            .insert("ou=x,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+            .insert("ou=y,ou=attLabs,o=att", ["orgUnit", "orgGroup", "top"],
+                    {"ou": ["y"]})
+        )
+        steps = decompose(tx, fig1)
+        assert len(steps) == 2
+        assert {str(s.parent_dn) for s in steps} == {"o=att", "ou=attLabs,o=att"}
+
+    def test_insert_under_missing_parent_rejected(self, fig1):
+        tx = UpdateTransaction().insert("ou=x,o=ghost", ["top"])
+        with pytest.raises(UpdateError, match="no parent"):
+            decompose(tx, fig1)
+
+    def test_insert_under_deleted_parent_rejected(self, fig1):
+        tx = (
+            UpdateTransaction()
+            .delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+            .insert("x=1,uid=suciu,ou=databases,ou=attLabs,o=att", ["top"])
+        )
+        with pytest.raises(UpdateError, match="deletes"):
+            decompose(tx, fig1)
+
+    def test_delete_leaf_is_one_subtree(self, fig1):
+        tx = UpdateTransaction().delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+        steps = decompose(tx, fig1)
+        assert len(steps) == 1
+        assert steps[0].kind == "delete"
+
+    def test_delete_whole_subtree_groups(self, fig1):
+        tx = (
+            UpdateTransaction()
+            .delete("ou=databases,ou=attLabs,o=att")
+            .delete("uid=laks,ou=databases,ou=attLabs,o=att")
+            .delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+        )
+        steps = decompose(tx, fig1)
+        assert len(steps) == 1
+        assert str(steps[0].root_dn) == "ou=databases,ou=attLabs,o=att"
+
+    def test_partial_subtree_delete_rejected(self, fig1):
+        tx = (
+            UpdateTransaction()
+            .delete("ou=databases,ou=attLabs,o=att")
+            .delete("uid=laks,ou=databases,ou=attLabs,o=att")
+            # suciu left behind
+        )
+        with pytest.raises(UpdateError, match="descendant"):
+            decompose(tx, fig1)
+
+    def test_delete_missing_target_rejected(self, fig1):
+        tx = UpdateTransaction().delete("o=ghost")
+        with pytest.raises(UpdateError, match="not in the instance"):
+            decompose(tx, fig1)
+
+    def test_insertions_come_before_deletions(self, fig1):
+        tx = (
+            UpdateTransaction()
+            .delete("uid=suciu,ou=databases,ou=attLabs,o=att")
+            .insert("ou=x,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+        )
+        steps = decompose(tx, fig1)
+        assert [s.kind for s in steps] == ["insert", "delete"]
+
+
+class TestApplySubtreeUpdate:
+    def test_equivalence_with_entrywise_application(self, fig1):
+        """Applying the decomposition yields the same instance as
+        applying single-entry operations in order (Theorem 4.1)."""
+        tx = (
+            UpdateTransaction()
+            .insert("ou=x,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["x"]})
+            .insert("uid=p1,ou=x,o=att", ["person", "top"],
+                    {"uid": ["p1"], "name": ["p"]})
+            .delete("uid=armstrong,o=att")
+        )
+        via_subtrees = figure1_instance()
+        for step in decompose(tx, via_subtrees):
+            apply_subtree_update(via_subtrees, step)
+
+        via_entries = figure1_instance()
+        for op in tx:
+            if isinstance(op, InsertEntry):
+                via_entries.add_entry(
+                    str(op.dn.parent()), op.dn.rdn, op.classes, op.attribute_dict()
+                )
+            else:
+                via_entries.delete_entry(str(op.dn))
+
+        from repro.ldif import serialize_ldif
+
+        assert serialize_ldif(via_subtrees) == serialize_ldif(via_entries)

@@ -1,0 +1,128 @@
+"""Workload generators: every generated instance must be legal for its
+schema, at multiple scales and seeds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import check_consistency
+from repro.legality.checker import LegalityChecker
+from repro.workloads import (
+    den_schema,
+    den_schema_overconstrained,
+    figure1_instance,
+    generate_den,
+    generate_whitepages,
+    random_schema,
+    whitepages_schema,
+)
+
+
+class TestWhitepages:
+    def test_figure1_shape(self, fig1):
+        assert len(fig1) == 6
+        laks = fig1.entry("uid=laks,ou=databases,ou=attLabs,o=att")
+        assert laks.classes == {
+            "researcher", "facultyMember", "person", "online", "top"
+        }
+        assert len(laks.values("mail")) == 2
+        suciu = fig1.entry("uid=suciu,ou=databases,ou=attLabs,o=att")
+        assert not suciu.has_attribute("mail")  # heterogeneity motif
+
+    def test_figure1_legal(self, wp_schema, fig1):
+        assert LegalityChecker(wp_schema).is_legal(fig1)
+
+    def test_schema_consistent(self, wp_schema):
+        assert check_consistency(wp_schema).consistent
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_legal_across_seeds(self, wp_schema, seed):
+        instance = generate_whitepages(orgs=2, units_per_level=2, depth=2,
+                                       persons_per_unit=2, seed=seed)
+        assert LegalityChecker(wp_schema).is_legal(instance)
+
+    @pytest.mark.parametrize("orgs,units,depth", [(1, 1, 1), (3, 2, 1), (1, 2, 3)])
+    def test_generated_legal_across_shapes(self, wp_schema, orgs, units, depth):
+        instance = generate_whitepages(orgs=orgs, units_per_level=units,
+                                       depth=depth, persons_per_unit=1, seed=1)
+        assert LegalityChecker(wp_schema).is_legal(instance)
+
+    def test_generation_is_deterministic(self):
+        a = generate_whitepages(orgs=1, seed=42)
+        b = generate_whitepages(orgs=1, seed=42)
+        from repro.ldif import serialize_ldif
+
+        assert serialize_ldif(a) == serialize_ldif(b)
+
+    def test_scale_grows_instance(self):
+        small = generate_whitepages(orgs=1, units_per_level=2, depth=1, seed=0)
+        large = generate_whitepages(orgs=1, units_per_level=2, depth=3, seed=0)
+        assert len(large) > 2 * len(small)
+
+    def test_heterogeneity_present(self):
+        """The introduction's motif: mail counts vary across persons."""
+        instance = generate_whitepages(orgs=2, units_per_level=3, depth=2, seed=0)
+        mail_counts = {
+            len(instance.entry(e).values("mail"))
+            for e in instance.entries_with_class("person")
+        }
+        assert 0 in mail_counts and len(mail_counts) >= 3
+
+    def test_extras_schema_generated_instances_have_unique_uids(self, wp_schema_extras):
+        instance = generate_whitepages(orgs=2, units_per_level=2, depth=2, seed=3)
+        assert LegalityChecker(wp_schema_extras).is_legal(instance)
+
+
+class TestDen:
+    def test_schema_consistent(self, den):
+        assert check_consistency(den).consistent
+
+    def test_overconstrained_variant_inconsistent(self):
+        assert not check_consistency(den_schema_overconstrained()).consistent
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_generated_legal(self, den, seed):
+        instance = generate_den(sites=2, devices_per_site=3,
+                                interfaces_per_device=2, domains=2,
+                                policies_per_domain=3, seed=seed)
+        assert LegalityChecker(den).is_legal(instance)
+
+    def test_interfaces_typed_integers(self, den_instance):
+        some_interface = next(iter(den_instance.entries_with_class("interface")))
+        value = den_instance.entry(some_interface).first_value("ifIndex")
+        assert isinstance(value, int)
+
+    def test_routers_have_interfaces(self, den_instance):
+        for eid in den_instance.entries_with_class("router"):
+            children = den_instance.children_of(eid)
+            assert any(c.belongs_to("interface") for c in children)
+
+
+class TestRandomSchemas:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_consistent_mode_verdict(self, seed):
+        schema = random_schema(seed=seed, mode="consistent")
+        assert check_consistency(schema).consistent
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_injected_modes_verdicts(self, seed):
+        assert not check_consistency(random_schema(seed=seed, mode="cyclic")).consistent
+        assert not check_consistency(
+            random_schema(seed=seed, mode="contradictory")
+        ).consistent
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            random_schema(mode="chaotic", max_attempts=1)
+
+    def test_schemas_validate(self):
+        for seed in range(5):
+            random_schema(seed=seed, mode="any").validate()
+
+    def test_determinism(self):
+        from repro.schema.dsl import serialize_dsl
+
+        assert serialize_dsl(random_schema(seed=9)) == serialize_dsl(
+            random_schema(seed=9)
+        )

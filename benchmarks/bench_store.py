@@ -1,15 +1,17 @@
-"""Extension benchmark — the durable store (snapshot + journal).
+"""Extension benchmark — the durable store (snapshot + WAL journal).
 
 Claims under test: guarded-commit throughput is dominated by the
-incremental check plus one fsync (flat in |D|), and recovery replay is
-linear in journal length.
+incremental check plus one fsync (flat in |D|), recovery replay is
+linear in journal length, and the checksummed WAL frame format costs
+less than 2x the seed's bare ``# commit`` marker format per append.
 """
 
-import random
-
-import pytest
+import os
+import statistics
+import time
 
 from repro.store import DirectoryStore
+from repro.store.wal import encode_record
 from repro.workloads import (
     generate_whitepages,
     random_transaction,
@@ -28,7 +30,7 @@ def fresh_store(tmp_path, name, orgs=1):
 
 
 def test_guarded_commit(benchmark, tmp_path):
-    """One transaction end-to-end: check + journal append + fsync."""
+    """One transaction end-to-end: check + WAL append + fsync."""
     store = fresh_store(tmp_path, "commit")
     counter = [0]
 
@@ -38,7 +40,10 @@ def test_guarded_commit(benchmark, tmp_path):
         outcome = store.apply(tx)
         assert outcome.applied
 
-    benchmark(commit)
+    try:
+        benchmark(commit)
+    finally:
+        store.close()
 
 
 def test_recovery_replay(benchmark, tmp_path):
@@ -48,14 +53,22 @@ def test_recovery_replay(benchmark, tmp_path):
         assert store.apply(
             random_transaction(store.instance, inserts=1, seed=1000 + seed)
         ).applied
+    live_size = len(store.instance)
+    store.close()  # release the advisory lock before the reopen loop
     schema = whitepages_schema()
     path = str(tmp_path / "replay")
+    observed = {}
 
-    reopened = benchmark(
-        lambda: DirectoryStore.open(path, schema, registry=whitepages_registry())
-    )
-    assert reopened.journal_length == 20
-    assert len(reopened.instance) == len(store.instance)
+    def reopen():
+        with DirectoryStore.open(
+            path, schema, registry=whitepages_registry()
+        ) as reopened:
+            observed["journal"] = reopened.journal_length
+            observed["entries"] = len(reopened.instance)
+
+    benchmark(reopen)
+    assert observed["journal"] == 20
+    assert observed["entries"] == live_size
 
 
 def test_compaction(benchmark, tmp_path):
@@ -71,12 +84,76 @@ def test_compaction(benchmark, tmp_path):
         store.compact()
         assert store.journal_length == 0
 
-    benchmark(fill_and_compact)
+    try:
+        benchmark(fill_and_compact)
+    finally:
+        store.close()
+
+
+def _median_append_time(path, frames, repeats=5):
+    """Median wall time to append ``frames`` (bytes) with one fsync each."""
+    samples = []
+    for _ in range(repeats):
+        if os.path.exists(path):
+            os.unlink(path)
+        start = time.perf_counter()
+        for frame in frames:
+            with open(path, "ab") as handle:
+                handle.write(frame)
+                handle.flush()
+                os.fsync(handle.fileno())
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_wal_append_overhead(benchmark, tmp_path):
+    """The checksummed WAL frame format vs the seed's bare commit marker.
+
+    Both variants append the same LDIF payloads with one fsync per
+    record; the only difference is the framing (header + CRC + trailer
+    vs ``\\n# commit\\n\\n``).  The WAL format must stay within 2x.
+    """
+    payloads = [
+        (
+            f"dn: ou=bench{i},o=att\nchangetype: add\n"
+            f"objectClass: orgUnit\nobjectClass: orgGroup\nou: bench{i}\n"
+        )
+        for i in range(50)
+    ]
+    seed_frames = [(p + "\n# commit\n\n").encode("utf-8") for p in payloads]
+    wal_frames = [
+        encode_record(i + 1, 1, p) for i, p in enumerate(payloads)
+    ]
+
+    seed_time = _median_append_time(str(tmp_path / "seed.journal"), seed_frames)
+    wal_time = _median_append_time(str(tmp_path / "wal.journal"), wal_frames)
+    ratio = wal_time / seed_time
+    print_series(
+        "STORE: WAL append overhead vs seed marker format (50 records)",
+        [
+            ("seed markers", f"{seed_time * 1e3:.2f}ms"),
+            ("wal frames", f"{wal_time * 1e3:.2f}ms"),
+            (f"ratio={ratio:.2f}x",),
+        ],
+    )
+    benchmark.extra_info["ratio"] = round(ratio, 3)
+    assert ratio < 2.0, f"WAL framing should cost < 2x the seed format: {ratio:.2f}x"
+
+    wal_path = str(tmp_path / "kernel.journal")
+    counter = [0]
+
+    def append_one():
+        counter[0] += 1
+        frame = encode_record(counter[0], 1, payloads[counter[0] % len(payloads)])
+        with open(wal_path, "ab") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    benchmark(append_one)
 
 
 def test_replay_linear_in_journal_length(benchmark, tmp_path):
-    import time
-
     schema = whitepages_schema()
     sizes, times = [], []
     for n in (5, 10, 20, 40):
@@ -85,9 +162,10 @@ def test_replay_linear_in_journal_length(benchmark, tmp_path):
             assert store.apply(
                 random_transaction(store.instance, inserts=1, seed=7000 + seed)
             ).applied
+        store.close()
         path = str(tmp_path / f"lin{n}")
         start = time.perf_counter()
-        DirectoryStore.open(path, schema, registry=whitepages_registry())
+        DirectoryStore.open(path, schema, registry=whitepages_registry()).close()
         times.append(time.perf_counter() - start)
         sizes.append(n)
     exponent = fit_growth(sizes, [int(t * 1e9) for t in times])
@@ -101,6 +179,10 @@ def test_replay_linear_in_journal_length(benchmark, tmp_path):
 
     store = fresh_store(tmp_path, "kernel")
     assert store.apply(random_transaction(store.instance, inserts=1, seed=9)).applied
+    store.close()
     path = str(tmp_path / "kernel")
-    benchmark(lambda: DirectoryStore.open(path, schema,
-                                          registry=whitepages_registry()))
+
+    def reopen():
+        DirectoryStore.open(path, schema, registry=whitepages_registry()).close()
+
+    benchmark(reopen)

@@ -52,7 +52,7 @@ def main() -> None:
 
     show("Crash and recover (snapshot + journal replay)")
     live_state = serialize_ldif(store.instance)
-    del store  # 'crash'
+    del store  # 'crash': the dying handle drops its advisory lock
     recovered = DirectoryStore.open(workdir, schema)
     print(f"  recovered {len(recovered.instance)} entries; "
           f"identical to live state: "
@@ -62,9 +62,10 @@ def main() -> None:
     show("Compaction folds the journal into the snapshot")
     recovered.compact()
     print(f"  journal length: {recovered.journal_length}")
-    reopened = DirectoryStore.open(workdir, schema)
-    print(f"  reopen after compaction: {len(reopened.instance)} entries, "
-          f"legal: {reopened.check().is_legal}")
+    recovered.close()  # a live handle locks the store against second opens
+    with DirectoryStore.open(workdir, schema) as reopened:
+        print(f"  reopen after compaction: {len(reopened.instance)} entries, "
+              f"legal: {reopened.check().is_legal}")
 
     shutil.rmtree(workdir)
     print(f"\n(cleaned up {workdir})")

@@ -13,6 +13,8 @@ Usage::
                                  [--out NEW.ldif]
     bounding-schemas discover    --data D.ldif [--out S.dsl]
                                  [--min-forbidden-support N]
+    bounding-schemas fsck        STORE_DIR [--schema S.dsl]
+    bounding-schemas recover     STORE_DIR [--schema S.dsl] [--force]
 
 ``validate``/``apply`` exit 0 when the (resulting) instance is legal and
 1 otherwise; ``consistency`` exits 0 when the schema is consistent —
@@ -77,6 +79,45 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     for violation in outcome.report:
         print(f"  {violation}")
     return 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.errors import StoreError
+    from repro.store.recovery import recover
+
+    schema = load_dsl(args.schema) if args.schema else None
+    try:
+        _, report = recover(args.directory, schema, repair=False)
+    except (StoreError, OSError) as exc:
+        print(f"fsck: {exc}")
+        return 1
+    print(report.summary())
+    if report.healthy:
+        print("HEALTHY")
+        return 0
+    print("DAMAGED (run `recover` to repair)")
+    return 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.errors import StoreError
+    from repro.store.recovery import recover
+
+    schema = load_dsl(args.schema) if args.schema else None
+    try:
+        _, report = recover(
+            args.directory, schema, repair=True, force=args.force
+        )
+    except (StoreError, OSError) as exc:
+        print(f"recover: {exc}")
+        return 1
+    print(report.summary())
+    if report.repaired:
+        print("REPAIRED")
+    if report.read_only:
+        print("STILL DAMAGED (re-run with --force to quarantine corruption)")
+        return 1
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -305,6 +346,31 @@ def build_parser() -> argparse.ArgumentParser:
     modify.add_argument("--changes", required=True, help="LDIF modify records")
     modify.add_argument("--out", help="write the updated instance here")
     modify.set_defaults(func=_cmd_modify)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan a store directory for journal damage (dry run)",
+    )
+    fsck.add_argument("directory", help="store directory (snapshot + journal)")
+    fsck.add_argument(
+        "--schema", help="also verify the recovered instance against this DSL"
+    )
+    fsck.set_defaults(func=_cmd_fsck)
+
+    recover = sub.add_parser(
+        "recover",
+        help="repair a store: quarantine damaged journal bytes, reset stale journals",
+    )
+    recover.add_argument("directory", help="store directory (snapshot + journal)")
+    recover.add_argument(
+        "--schema", help="also verify the recovered instance against this DSL"
+    )
+    recover.add_argument(
+        "--force",
+        action="store_true",
+        help="quarantine corrupt (not merely torn) journal tails too",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     stats = sub.add_parser("stats", help="structural summary of an LDIF instance")
     stats.add_argument("--data", required=True)

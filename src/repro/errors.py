@@ -72,6 +72,46 @@ class InconsistentSchemaError(ConsistencyError):
     inference system derives the empty-class element (``⊢ □∅``)."""
 
 
+class StoreError(BoundingSchemaError):
+    """A durable-store operation failed (the snapshot+WAL engine)."""
+
+
+class CorruptJournalError(StoreError):
+    """A journal record is damaged beyond the normal torn-tail case.
+
+    Carries ``record_index`` (0-based index of the offending record, or
+    ``None`` when the damage precedes any decodable record) and
+    ``offset`` (byte offset of the damage in the journal file, when
+    known).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        record_index: "int | None" = None,
+        offset: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.record_index = record_index
+        self.offset = offset
+
+
+class StoreLockedError(StoreError):
+    """Another process (or live handle) holds the store's advisory lock."""
+
+
+class StaleJournalError(StoreError):
+    """The journal's generation id predates the snapshot's: it was
+    already folded into the snapshot by a compaction that crashed before
+    resetting the journal.  Replaying it would double-apply every
+    transaction."""
+
+
+class StoreReadOnlyError(StoreError):
+    """A mutation was attempted on a store opened in degraded read-only
+    mode (recovery found damage) or poisoned by a failed journal write."""
+
+
 class LdifError(BoundingSchemaError):
     """An LDIF document could not be parsed or serialized."""
 

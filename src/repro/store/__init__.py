@@ -1,5 +1,14 @@
-"""Durable, schema-guarded directory storage (snapshot + journal)."""
+"""Crash-safe, schema-guarded directory storage (snapshot + WAL).
+
+* :class:`DirectoryStore` — the store engine (locking, degraded mode);
+* :mod:`repro.store.wal` — checksummed journal frames and the
+  :class:`~repro.store.wal.StoreIO` indirection layer;
+* :mod:`repro.store.recovery` — WAL scan, quarantine, verification;
+* :mod:`repro.store.faults` — deterministic fault injection for tests.
+"""
 
 from repro.store.journal import DirectoryStore
+from repro.store.recovery import RecoveryReport, recover
+from repro.store.wal import StoreIO
 
-__all__ = ["DirectoryStore"]
+__all__ = ["DirectoryStore", "RecoveryReport", "recover", "StoreIO"]

@@ -1,0 +1,251 @@
+"""Deterministic fault injection for the storage engine.
+
+The store does all its filesystem work through
+:class:`repro.store.wal.StoreIO`; :class:`FaultyIO` is a drop-in
+replacement that executes a :class:`FaultPlan` — crash the "process" at
+the N-th I/O operation (optionally tearing the in-flight write), fail a
+specific ``fsync``, or run out of disk after a byte budget.  Because the
+plan is a plain counter over a deterministic operation stream, a test
+can *enumerate* every crash point: run the scenario once with a passive
+plan to count operations, then re-run it once per operation index and
+assert the recovered store is always a committed-prefix state
+(``tests/test_store_faults.py``).
+
+Simulated-crash semantics: a crash raises :class:`InjectedCrash` after
+applying the planned *partial* effect of the current operation (a write
+persists only a prefix of its buffer; an atomic ``replace`` either
+happened or did not).  The in-memory store object is then abandoned,
+exactly as a killed process would abandon its heap — the test releases
+its advisory lock (the kernel would) and reopens from the on-disk files.
+
+What is modelled: torn appends, interrupted renames, failed fsyncs,
+``ENOSPC``.  What is not: the page cache (bytes written before a crash
+are considered on disk even if never fsynced).  The crash-at-write
+matrix covers the "write lost entirely" outcome that a cache model would
+add, since tearing at fraction 0.0 persists none of the write.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.store.wal import StoreIO
+
+__all__ = ["InjectedCrash", "InjectedIOError", "FaultPlan", "FaultyFile", "FaultyIO"]
+
+
+class InjectedCrash(BaseException):
+    """The simulated process died at a planned I/O boundary.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    that no ``except Exception`` handler in the store can "survive" a
+    crash that a real process would not survive.
+    """
+
+
+class InjectedIOError(OSError):
+    """A planned I/O failure (failed fsync, disk full) — the process
+    survives and sees an ``OSError``, unlike :class:`InjectedCrash`."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults over the I/O operation stream.
+
+    Operations are counted in execution order across *all* files the
+    store touches: every ``write``, ``fsync``, ``replace`` and ``rename``
+    increments the counter (reads are free — they cannot lose data).
+
+    Parameters
+    ----------
+    crash_at_op:
+        Raise :class:`InjectedCrash` at this 0-based operation index.
+        If the operation is a write, ``torn_fraction`` of its bytes are
+        persisted first; ``replace``/``rename`` crash *before* taking
+        effect (crash-after is the next operation's crash-before).
+    torn_fraction:
+        Fraction (0.0–1.0) of the crashing write's buffer that reaches
+        the file.  1.0 models "write completed, crash before returning".
+    fail_fsync_at:
+        Make the N-th ``fsync`` (0-based) raise :class:`InjectedIOError`
+        with ``EIO`` instead of syncing.
+    disk_budget:
+        Total bytes writable before writes start failing with
+        ``ENOSPC``; the failing write persists the bytes that still fit
+        (a torn write is exactly what a full disk produces).
+    """
+
+    crash_at_op: Optional[int] = None
+    torn_fraction: float = 1.0
+    fail_fsync_at: Optional[int] = None
+    disk_budget: Optional[int] = None
+
+    # observability
+    ops_executed: int = 0
+    fsyncs_executed: int = 0
+    bytes_written: int = 0
+    trace: List[str] = field(default_factory=list)
+
+    def _tick(self, kind: str, detail: str = "") -> bool:
+        """Advance the counter; return True when this op must crash."""
+        index = self.ops_executed
+        self.ops_executed += 1
+        self.trace.append(f"{index}:{kind}{':' if detail else ''}{detail}")
+        return self.crash_at_op is not None and index == self.crash_at_op
+
+    def on_write(self, data: bytes) -> int:
+        """Return how many bytes of ``data`` to persist; raise when the
+        plan says the write crashes or the disk is full."""
+        crash = self._tick("write", str(len(data)))
+        allowed = len(data)
+        if self.disk_budget is not None:
+            remaining = self.disk_budget - self.bytes_written
+            if remaining < len(data):
+                persist = max(0, remaining)
+                self.bytes_written += persist
+                raise InjectedIOError(
+                    errno.ENOSPC,
+                    f"no space left on device (injected after "
+                    f"{self.bytes_written} bytes)",
+                    persist,
+                )
+        if crash:
+            persist = int(len(data) * self.torn_fraction)
+            self.bytes_written += persist
+            raise InjectedCrash(
+                f"crash at op {self.crash_at_op} mid-write "
+                f"({persist}/{len(data)} bytes persisted)"
+            )
+        self.bytes_written += allowed
+        return allowed
+
+    def on_fsync(self) -> None:
+        """Account for one fsync; crash or fail it if planned."""
+        crash = self._tick("fsync")
+        index = self.fsyncs_executed
+        self.fsyncs_executed += 1
+        if crash:
+            raise InjectedCrash(f"crash at op {self.crash_at_op} before fsync")
+        if self.fail_fsync_at is not None and index == self.fail_fsync_at:
+            raise InjectedIOError(errno.EIO, "fsync failed (injected)")
+
+    def on_replace(self, src: str, dst: str) -> None:
+        """Account for one atomic replace; crash before it if planned."""
+        if self._tick("replace", dst):
+            raise InjectedCrash(
+                f"crash at op {self.crash_at_op} before replace -> {dst}"
+            )
+
+    def on_rename(self, src: str, dst: str) -> None:
+        """Account for one rename; crash before it if planned."""
+        if self._tick("rename", dst):
+            raise InjectedCrash(
+                f"crash at op {self.crash_at_op} before rename -> {dst}"
+            )
+
+
+class FaultyFile:
+    """Wraps a real writable file object, routing writes through the
+    plan so they can be torn, fail with ``ENOSPC``, or crash."""
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+
+    def write(self, data) -> int:
+        """Write through the plan: may tear, fail, or crash mid-write."""
+        if isinstance(data, str):
+            encoded = data.encode("utf-8")
+        else:
+            encoded = bytes(data)
+        try:
+            allowed = self._plan.on_write(encoded)
+        except InjectedCrash:
+            persist = int(len(encoded) * self._plan.torn_fraction)
+            self._write_raw(encoded[:persist])
+            self._best_effort_close()
+            raise
+        except InjectedIOError as exc:
+            persist = exc.args[2] if len(exc.args) > 2 else 0
+            self._write_raw(encoded[:persist])
+            raise InjectedIOError(exc.errno, exc.args[1]) from None
+        self._write_raw(encoded[:allowed])
+        return len(data)
+
+    def _write_raw(self, encoded: bytes) -> None:
+        if not encoded:
+            return
+        if "b" in getattr(self._inner, "mode", "b"):
+            self._inner.write(encoded)
+        else:
+            self._inner.write(encoded.decode("utf-8"))
+        self._inner.flush()
+
+    def _best_effort_close(self) -> None:
+        try:
+            self._inner.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def flush(self) -> None:
+        """Flush the wrapped handle (no fault accounting)."""
+        self._inner.flush()
+
+    def fileno(self) -> int:
+        """The wrapped handle's file descriptor."""
+        return self._inner.fileno()
+
+    def close(self) -> None:
+        """Close the wrapped handle."""
+        self._inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FaultyIO(StoreIO):
+    """A :class:`~repro.store.wal.StoreIO` that executes a
+    :class:`FaultPlan`.  Reads are passed through untouched."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+
+    def open_bytes(self, path: str, mode: str):
+        """Open binary; writable handles are wrapped in :class:`FaultyFile`."""
+        handle = super().open_bytes(path, mode)
+        if "r" in mode and "+" not in mode:
+            return handle
+        return FaultyFile(handle, self.plan)
+
+    def open_text(self, path: str, mode: str):
+        """Open text; writable handles are wrapped in :class:`FaultyFile`."""
+        handle = super().open_text(path, mode)
+        if "r" in mode and "+" not in mode:
+            return handle
+        return FaultyFile(handle, self.plan)
+
+    def fsync(self, handle) -> None:
+        """Fsync through the plan, then really fsync the inner handle."""
+        self.plan.on_fsync()
+        inner = handle._inner if isinstance(handle, FaultyFile) else handle
+        inner.flush()
+        os.fsync(inner.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomic replace, charged to the plan as one op."""
+        self.plan.on_replace(src, dst)
+        super().replace(src, dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename, charged to the plan as one op."""
+        self.plan.on_rename(src, dst)
+        super().rename(src, dst)

@@ -1,50 +1,83 @@
-"""A durable, schema-guarded directory store.
+"""A crash-safe, schema-guarded directory store.
 
-A production directory must survive restarts.  :class:`DirectoryStore`
-adds durability to the Section 4 machinery with the classic
-snapshot-plus-journal design, using the library's own formats:
+:class:`DirectoryStore` combines the Section 4 incremental legality
+guard with a write-ahead-log storage engine:
 
-* the **snapshot** is an LDIF content file (``snapshot.ldif``);
-* the **journal** is an append-only LDIF *changes* file
-  (``journal.ldif``): every committed transaction's records, in commit
-  order, separated by comment markers.
+* the **snapshot** (``snapshot.ldif``) is an LDIF content file prefixed
+  with a generation-id header comment;
+* the **journal** (``journal.ldif``) is an append-only sequence of
+  checksummed, length-prefixed frames (:mod:`repro.store.wal`), one per
+  committed transaction, fsynced before :meth:`apply` returns.
 
 Every update goes through the
 :class:`~repro.updates.incremental.IncrementalChecker` first — only
-legality-preserving transactions reach the journal, so recovery can
-replay blindly.  :meth:`DirectoryStore.open` loads the snapshot and
-replays the journal; :meth:`DirectoryStore.compact` folds the journal
-into a fresh snapshot.
+legality-preserving transactions reach the journal, so recovery
+(:mod:`repro.store.recovery`) can replay blindly; Theorem 4.1's
+modularity is what licenses that (``docs/paper_mapping.md``).
 
-Crash-safety model (property-tested): journal entries are written and
-flushed *after* the in-memory commit succeeds; a torn final record is
-detected by the trailing commit marker and discarded on recovery, so a
-crash between flush boundaries loses at most the in-flight transaction.
+Crash-safety model (property-tested in ``tests/test_store_faults.py``
+by crashing at every I/O boundary):
+
+* :meth:`create` builds the store in a temp directory and publishes it
+  with a single atomic rename — a crash leaves either no store or a
+  complete one, never a half-initialised directory;
+* :meth:`apply` appends one checksummed frame and fsyncs; a crash tears
+  at most the in-flight frame, which recovery detects (CRC + length
+  prefix), quarantines into ``journal.quarantine``, and truncates;
+* :meth:`compact` bumps the store **generation**: the new snapshot is
+  renamed into place carrying generation *g+1* while journal records
+  carry *g*, so a crash between the two steps leaves a journal that
+  recovery recognises as stale and discards instead of double-applying
+  (the failure mode of the pre-WAL store);
+* an advisory ``lock`` file (``flock``) rejects concurrent opens with
+  :class:`~repro.errors.StoreLockedError`;
+* when recovery finds real damage (checksum failure, replay error,
+  illegal recovered instance) the store opens in degraded **read-only
+  mode** instead of refusing: reads still serve, mutations raise
+  :class:`~repro.errors.StoreReadOnlyError` until an explicit
+  ``recover`` run quarantines the damage.
 """
 
 from __future__ import annotations
 
+import glob
 import os
-from typing import List, Optional
+import shutil
+from typing import Optional
 
-from repro.errors import UpdateError
-from repro.ldif.changes import parse_changes, serialize_changes
-from repro.ldif.reader import parse_ldif
+from repro.errors import (
+    StoreError,
+    StoreLockedError,
+    StoreReadOnlyError,
+    UpdateError,
+)
+from repro.ldif.changes import serialize_changes
 from repro.ldif.writer import serialize_ldif
 from repro.legality.report import LegalityReport
 from repro.model.attributes import AttributeRegistry
 from repro.model.instance import DirectoryInstance
 from repro.schema.directory_schema import DirectorySchema
+from repro.store import recovery as _recovery
+from repro.store import wal
+from repro.store.recovery import (
+    JOURNAL_FILE,
+    LOCK_FILE,
+    RecoveryReport,
+    SNAPSHOT_FILE,
+)
+from repro.store.wal import StoreIO
 from repro.updates.incremental import IncrementalChecker, UpdateOutcome
 from repro.updates.operations import UpdateTransaction
 
 __all__ = ["DirectoryStore"]
 
-_COMMIT_MARKER = "# commit"
-
 
 class DirectoryStore:
-    """A schema-guarded directory with snapshot+journal durability."""
+    """A schema-guarded directory with WAL durability.
+
+    Instances hold an advisory lock on their directory for their whole
+    lifetime: use :meth:`close` (or a ``with`` block) to release it.
+    """
 
     def __init__(
         self,
@@ -52,12 +85,26 @@ class DirectoryStore:
         schema: DirectorySchema,
         instance: DirectoryInstance,
         guard: IncrementalChecker,
+        *,
+        generation: int = 1,
+        journal_count: int = 0,
+        io: Optional[StoreIO] = None,
+        lock_handle=None,
+        read_only: bool = False,
+        recovery: Optional[RecoveryReport] = None,
     ) -> None:
         self._dir = directory
         self.schema = schema
         self.instance = instance
         self._guard = guard
-        self._journal_count = 0
+        self._generation = generation
+        self._journal_count = journal_count
+        self._io = io if io is not None else StoreIO()
+        self._lock_handle = lock_handle
+        self._read_only = read_only
+        self._poisoned: Optional[str] = None
+        self.recovery_report = recovery
+        self._closed = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -69,30 +116,68 @@ class DirectoryStore:
         schema: DirectorySchema,
         initial: Optional[DirectoryInstance] = None,
         registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
     ) -> "DirectoryStore":
-        """Initialize a store directory with an (optionally empty)
-        snapshot and an empty journal.
+        """Initialize a store directory atomically.
+
+        The snapshot and journal are written into a sibling temp
+        directory which is renamed into place in one step, so an
+        interrupted ``create`` never leaves a partial store: the target
+        either does not exist (retry freely) or is complete.  Stale
+        temp directories from interrupted attempts are swept first.
 
         Raises
         ------
         UpdateError
-            If the directory already holds a store, or the initial
-            instance is not legal w.r.t. the schema.
+            If the directory already holds a store (or is non-empty),
+            or the initial instance is not legal w.r.t. the schema.
+        StoreLockedError
+            If another process locks the new store first.
         """
-        os.makedirs(directory, exist_ok=True)
-        snapshot = cls._snapshot_path(directory)
-        if os.path.exists(snapshot):
+        io = io if io is not None else StoreIO()
+        target = os.path.normpath(directory)
+        if os.path.exists(os.path.join(target, SNAPSHOT_FILE)):
             raise UpdateError(f"{directory!r} already contains a store")
+        if os.path.isdir(target) and os.listdir(target):
+            raise UpdateError(
+                f"{directory!r} is not empty and does not contain a store"
+            )
+        for stale in glob.glob(f"{target}.tmp-*"):
+            shutil.rmtree(stale, ignore_errors=True)
+
         instance = (
             initial
             if initial is not None
             else DirectoryInstance(attributes=registry)
         )
         guard = IncrementalChecker(schema, instance)  # validates baseline
-        with open(snapshot, "w", encoding="utf-8") as handle:
-            handle.write(serialize_ldif(instance))
-        open(cls._journal_path(directory), "w", encoding="utf-8").close()
-        return cls(directory, schema, instance, guard)
+
+        temp = f"{target}.tmp-{os.getpid()}"
+        os.makedirs(temp)
+        snapshot_text = wal.encode_snapshot(1, serialize_ldif(instance))
+        with io.open_text(os.path.join(temp, SNAPSHOT_FILE), "w") as handle:
+            handle.write(snapshot_text)
+            io.fsync(handle)
+        with io.open_bytes(os.path.join(temp, JOURNAL_FILE), "wb") as handle:
+            io.fsync(handle)
+        io.fsync_dir(temp)
+        if os.path.isdir(target):  # exists but empty: make room for rename
+            os.rmdir(target)
+        io.rename(temp, target)
+        io.fsync_dir(os.path.dirname(os.path.abspath(target)))
+
+        lock = cls._acquire_lock(target)
+        return cls(
+            target,
+            schema,
+            instance,
+            guard,
+            generation=1,
+            journal_count=0,
+            io=io,
+            lock_handle=lock,
+        )
 
     @classmethod
     def open(
@@ -100,33 +185,104 @@ class DirectoryStore:
         directory: str,
         schema: DirectorySchema,
         registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
+        strict: bool = False,
     ) -> "DirectoryStore":
-        """Load the snapshot and replay the journal.
+        """Recover the store and take its lock.
 
-        A torn final journal record (no trailing commit marker) is
-        discarded.  The recovered instance is legality-checked before
-        the store accepts further updates.
+        Runs :func:`repro.store.recovery.recover`: the committed journal
+        prefix is replayed blindly onto the snapshot, a torn tail is
+        quarantined and truncated automatically, a stale (pre-compaction)
+        journal is discarded, and the recovered instance is verified
+        against ``schema``.  Real damage opens the store in degraded
+        read-only mode (``strict=True`` raises instead).
+
+        Legacy (pre-WAL) stores are recovered through the old commit-
+        marker format and transparently upgraded to the WAL format.
         """
-        with open(cls._snapshot_path(directory), "r", encoding="utf-8") as handle:
-            instance = parse_ldif(handle.read(), attributes=registry)
-        count = 0
-        for block in cls._read_journal(directory):
-            cls._apply_blind(instance, parse_changes(block))
-            count += 1
-        guard = IncrementalChecker(schema, instance)  # full check here
-        store = cls(directory, schema, instance, guard)
-        store._journal_count = count
-        return store
+        io = io if io is not None else StoreIO()
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(f"{directory!r} is not a store directory")
+        lock = cls._acquire_lock(directory)
+        try:
+            instance, report = _recovery.recover(
+                directory, schema, registry, io=io, repair=True, strict=strict
+            )
+            guard = IncrementalChecker(schema, instance, assume_legal=True)
+            store = cls(
+                directory,
+                schema,
+                instance,
+                guard,
+                generation=report.generation,
+                journal_count=report.replayed,
+                io=io,
+                lock_handle=lock,
+                read_only=report.read_only,
+                recovery=report,
+            )
+            if report.legacy_format and not report.read_only:
+                store.compact()  # rewrites snapshot+journal in WAL format
+                report.notes.append(
+                    "upgraded legacy store to the WAL format (generation "
+                    f"{store._generation})"
+                )
+            return store
+        except BaseException:
+            cls._release_lock(lock)
+            raise
+
+    def close(self) -> None:
+        """Release the advisory lock.  Idempotent; the store object must
+        not be used afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_lock(self._lock_handle)
+        self._lock_handle = None
+
+    def __enter__(self) -> "DirectoryStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def apply(self, transaction: UpdateTransaction) -> UpdateOutcome:
         """Run a transaction through the incremental checker; journal it
-        when (and only when) it commits."""
+        when (and only when) it commits.
+
+        If the journal append fails (disk full, I/O error) the store is
+        *poisoned*: the in-memory state is ahead of the durable state,
+        so every subsequent operation raises until the store is reopened
+        — reopening recovers exactly the durable committed prefix.
+        """
+        self._ensure_writable()
         outcome = self._guard.apply_transaction(transaction)
         if outcome.applied:
-            self._append_journal(transaction)
+            frame = wal.encode_record(
+                self._journal_count + 1,
+                self._generation,
+                serialize_changes(transaction),
+            )
+            try:
+                self._io.append_bytes(self._journal_path(self._dir), frame)
+            except Exception as exc:
+                self._poisoned = f"journal append failed: {exc}"
+                raise StoreError(
+                    "journal append failed; the store is poisoned (the "
+                    "in-memory state is ahead of disk) — close and reopen "
+                    f"to recover the committed prefix: {exc}"
+                ) from exc
             self._journal_count += 1
         return outcome
 
@@ -135,63 +291,107 @@ class DirectoryStore:
         return self._guard.full_recheck()
 
     def compact(self) -> None:
-        """Fold the journal into a fresh snapshot (atomic rename)."""
-        snapshot = self._snapshot_path(self._dir)
-        temp = snapshot + ".tmp"
-        with open(temp, "w", encoding="utf-8") as handle:
-            handle.write(serialize_ldif(self.instance))
-        os.replace(temp, snapshot)
-        open(self._journal_path(self._dir), "w", encoding="utf-8").close()
+        """Fold the journal into a fresh snapshot.
+
+        The new snapshot carries generation *g+1* and is renamed into
+        place atomically; the journal (whose records carry *g*) is then
+        reset.  A crash between the two steps is safe: recovery sees
+        old-generation records under a new-generation snapshot and
+        discards them as stale instead of double-applying.
+        """
+        self._ensure_writable()
+        new_generation = self._generation + 1
+        snapshot_text = wal.encode_snapshot(
+            new_generation, serialize_ldif(self.instance)
+        )
+        try:
+            self._io.write_file_atomic(
+                self._snapshot_path(self._dir), snapshot_text.encode("utf-8")
+            )
+            # -- crash window here: journal is stale, snapshot is new --
+            self._io.write_file_atomic(self._journal_path(self._dir), b"")
+        except Exception as exc:
+            # The on-disk generation may now be ahead of self._generation;
+            # appending more records would stamp them with the old id and
+            # recovery would discard them as stale.  Fail stop.
+            self._poisoned = f"compaction failed: {exc}"
+            raise StoreError(
+                "compaction failed; the store is poisoned — close and "
+                f"reopen to recover: {exc}"
+            ) from exc
+        self._generation = new_generation
         self._journal_count = 0
 
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
     @property
     def journal_length(self) -> int:
         """Number of committed transactions since the last compaction."""
         return self._journal_count
 
+    @property
+    def generation(self) -> int:
+        """The store generation id (bumped by every compaction)."""
+        return self._generation
+
+    @property
+    def read_only(self) -> bool:
+        """Whether recovery degraded the store to read-only mode."""
+        return self._read_only
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _ensure_writable(self) -> None:
+        if self._closed:
+            raise StoreError("store is closed")
+        if self._poisoned is not None:
+            raise StoreError(
+                f"store is poisoned ({self._poisoned}); close and reopen"
+            )
+        if self._read_only:
+            raise StoreReadOnlyError(
+                "store is in degraded read-only mode (recovery found "
+                "damage); run `recover` on it to quarantine the damage"
+            )
+
     @staticmethod
     def _snapshot_path(directory: str) -> str:
-        return os.path.join(directory, "snapshot.ldif")
+        return os.path.join(directory, SNAPSHOT_FILE)
 
     @staticmethod
     def _journal_path(directory: str) -> str:
-        return os.path.join(directory, "journal.ldif")
-
-    def _append_journal(self, transaction: UpdateTransaction) -> None:
-        with open(self._journal_path(self._dir), "a", encoding="utf-8") as handle:
-            handle.write(serialize_changes(transaction))
-            handle.write(f"\n{_COMMIT_MARKER}\n\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-
-    @classmethod
-    def _read_journal(cls, directory: str) -> List[str]:
-        path = cls._journal_path(directory)
-        if not os.path.exists(path):
-            return []
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-        blocks: List[str] = []
-        current: List[str] = []
-        committed_upto = 0
-        for line in text.splitlines():
-            if line.strip() == _COMMIT_MARKER:
-                blocks.append("\n".join(current))
-                current = []
-                committed_upto = len(blocks)
-            else:
-                current.append(line)
-        # anything after the last commit marker is a torn record: drop it
-        return blocks[:committed_upto]
+        return os.path.join(directory, JOURNAL_FILE)
 
     @staticmethod
-    def _apply_blind(instance: DirectoryInstance, transaction: UpdateTransaction) -> None:
-        """Replay a committed transaction without re-checking (it was
-        checked before it reached the journal)."""
-        from repro.updates.transactions import apply_subtree_update, decompose
+    def _acquire_lock(directory: str):
+        import fcntl
 
-        for step in decompose(transaction, instance):
-            apply_subtree_update(instance, step)
+        path = os.path.join(directory, LOCK_FILE)
+        try:
+            handle = open(path, "a")
+        except OSError as exc:
+            raise StoreError(f"cannot open lock file {path!r}: {exc}") from exc
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StoreLockedError(
+                f"{directory!r} is locked by another live store handle "
+                "(close it, or wait for the owning process to exit)"
+            ) from None
+        return handle
+
+    @staticmethod
+    def _release_lock(handle) -> None:
+        if handle is None:
+            return
+        import fcntl
+
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - releasing is best-effort
+            pass
+        finally:
+            handle.close()

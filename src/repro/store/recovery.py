@@ -1,0 +1,360 @@
+"""Crash recovery: scan the WAL, quarantine damage, verify legality.
+
+Recovery is the reader half of the durability contract.  Its job after
+an unclean shutdown:
+
+1. **Decode the snapshot** and its generation id.
+2. **Scan the journal** (:func:`repro.store.wal.scan`): decode the
+   committed prefix, classify the tail as clean / torn / corrupt.
+3. **Discard stale generations**: records whose generation predates the
+   snapshot's were already folded in by a compaction that crashed before
+   resetting the journal — replaying them would double-apply every
+   transaction (the seed store's bug).  They are dropped, not replayed.
+4. **Replay blindly**: committed records re-apply without re-running the
+   legality guard.  Theorem 4.1's modularity justifies this — each
+   journaled transaction was checked subtree-by-subtree against the
+   state it committed on, and replay reproduces exactly those states in
+   exactly that order (see ``docs/paper_mapping.md``).
+5. **Quarantine, never silently drop**: torn or corrupt tail bytes are
+   appended to ``journal.quarantine`` and the journal is atomically
+   truncated to the committed prefix, so a post-mortem can always see
+   what was lost.
+6. **Verify**: the recovered instance is checked against the schema; a
+   violation (which blind replay should make impossible — its presence
+   means on-disk damage the checksums did not catch) degrades the store
+   to read-only rather than refusing to open.
+
+A *torn* tail is the expected artifact of crash-during-append and is
+repaired automatically; the store stays writable.  *Corruption* (a
+checksum or sequence failure, foreign bytes mid-journal, a record that
+fails to replay) degrades the store to read-only and leaves the journal
+untouched until an explicit :func:`recover` run with ``force=True``
+(CLI: ``recover``) quarantines the damage.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import CorruptJournalError, StaleJournalError
+from repro.ldif.changes import parse_changes
+from repro.ldif.reader import parse_ldif
+from repro.legality.checker import LegalityChecker
+from repro.model.attributes import AttributeRegistry
+from repro.model.instance import DirectoryInstance
+from repro.schema.directory_schema import DirectorySchema
+from repro.store import wal
+from repro.store.wal import StoreIO
+
+__all__ = ["RecoveryReport", "scan_store", "recover"]
+
+_LEGACY_COMMIT_MARKER = "# commit"
+
+SNAPSHOT_FILE = "snapshot.ldif"
+JOURNAL_FILE = "journal.ldif"
+QUARANTINE_FILE = "journal.quarantine"
+LOCK_FILE = "lock"
+
+
+@dataclass
+class RecoveryReport:
+    """Structured result of a recovery (or ``fsck`` dry-run) pass."""
+
+    directory: str
+    generation: int = 0
+    committed: int = 0  # decodable current-generation records
+    replayed: int = 0  # records actually re-applied onto the snapshot
+    stale_discarded: int = 0  # old-generation records dropped (compaction crash)
+    tail_state: str = "clean"  # "clean" | "torn" | "corrupt"
+    tail_bytes: int = 0  # damaged bytes past the safe prefix
+    quarantined_bytes: int = 0  # total bytes sitting in journal.quarantine
+    repaired: bool = False  # files were rewritten (quarantine + truncate)
+    read_only: bool = False  # damage requires operator attention
+    legal: Optional[bool] = None  # None = not verified (no schema given)
+    legacy_format: bool = False  # pre-WAL marker journal
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """No damage found (torn/corrupt tail, stale records, illegality)."""
+        return (
+            self.tail_state == "clean"
+            and self.stale_discarded == 0
+            and not self.read_only
+            and self.legal is not False
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (the ``fsck`` output)."""
+        lines = [
+            f"store: {self.directory}",
+            f"format: {'legacy (pre-WAL)' if self.legacy_format else 'wal v1'}",
+            f"generation: {self.generation}",
+            f"committed records: {self.committed}",
+            f"stale records discarded: {self.stale_discarded}",
+            f"tail: {self.tail_state}"
+            + (f" ({self.tail_bytes} bytes)" if self.tail_bytes else ""),
+            f"quarantined bytes: {self.quarantined_bytes}",
+            "legality: "
+            + ("unverified (no schema)" if self.legal is None
+               else "legal" if self.legal else "ILLEGAL"),
+            f"mode: {'read-only (degraded)' if self.read_only else 'read-write'}",
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _paths(directory: str) -> Tuple[str, str, str]:
+    return (
+        os.path.join(directory, SNAPSHOT_FILE),
+        os.path.join(directory, JOURNAL_FILE),
+        os.path.join(directory, QUARANTINE_FILE),
+    )
+
+
+def _scan_legacy(data: bytes) -> wal.ScanResult:
+    """Scan a pre-WAL marker journal into a :class:`~repro.store.wal.ScanResult`.
+
+    The marker is matched *exactly* as the legacy ``_append_journal``
+    wrote it (a line that is precisely ``# commit``).  The seed reader's
+    ``line.strip()`` match also fired on whitespace-variant lines —
+    including LDIF continuation lines like ``" # commit"`` that belong
+    to a record's *data* — silently splitting records it should have
+    replayed whole.
+    """
+    text = data.decode("utf-8", errors="replace")
+    records: List[wal.WalRecord] = []
+    block_lines: List[str] = []
+    offset = 0
+    block_start = 0
+    for line in text.splitlines(keepends=True):
+        bare = line.rstrip("\n").rstrip("\r")
+        line_end = offset + len(line.encode("utf-8"))
+        if bare == _LEGACY_COMMIT_MARKER:
+            records.append(
+                wal.WalRecord(
+                    seq=len(records) + 1,
+                    generation=wal.LEGACY_GENERATION,
+                    payload="".join(block_lines),
+                    offset=block_start,
+                    frame_length=line_end - block_start,
+                )
+            )
+            block_lines = []
+            block_start = line_end
+        else:
+            block_lines.append(line)
+        offset = line_end
+    committed_end = records[-1].end if records else 0
+    tail = data[committed_end:]
+    if tail.strip():
+        return wal.ScanResult(
+            records, committed_end, "torn",
+            "bytes after the last commit marker", total=len(data),
+        )
+    return wal.ScanResult(records, len(data), "clean", total=len(data))
+
+
+def scan_store(
+    directory: str, io: Optional[StoreIO] = None
+) -> Tuple[int, str, wal.ScanResult, bool, bytes]:
+    """Read and decode the store's files without replaying anything.
+
+    Returns ``(generation, snapshot_ldif, scan_result, legacy, journal_bytes)``.
+    """
+    io = io if io is not None else StoreIO()
+    snapshot_path, journal_path, _ = _paths(directory)
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"{directory!r} is not a store directory")
+    if not os.path.exists(snapshot_path):
+        raise FileNotFoundError(f"{directory!r} has no {SNAPSHOT_FILE}")
+    generation, ldif_text = wal.decode_snapshot(io.read_text(snapshot_path))
+    legacy = generation == wal.LEGACY_GENERATION
+
+    if not os.path.exists(journal_path):
+        empty = wal.ScanResult([], 0, "clean", total=0)
+        return generation, ldif_text, empty, legacy, b""
+
+    data = io.read_bytes(journal_path)
+    if legacy:
+        return generation, ldif_text, _scan_legacy(data), True, data
+    return generation, ldif_text, wal.scan(data, expect_generation=generation), False, data
+
+
+def _quarantine_and_truncate(
+    directory: str,
+    io: StoreIO,
+    journal_bytes: bytes,
+    keep_upto: int,
+    reason: str,
+    report: RecoveryReport,
+) -> None:
+    """Move the bytes past the safe prefix into ``journal.quarantine``
+    and atomically truncate the journal to that prefix."""
+    _, journal_path, quarantine_path = _paths(directory)
+    tail = journal_bytes[keep_upto:]
+    if tail:
+        header = (
+            f"# quarantined {len(tail)} bytes from {JOURNAL_FILE} "
+            f"offset {keep_upto} ({reason})\n"
+        ).encode("utf-8")
+        io.append_bytes(quarantine_path, header + tail + b"\n")
+    io.write_file_atomic(journal_path, journal_bytes[:keep_upto])
+    report.repaired = True
+    report.notes.append(f"quarantined {len(tail)} byte(s): {reason}")
+
+
+def recover(
+    directory: str,
+    schema: Optional[DirectorySchema] = None,
+    registry: Optional[AttributeRegistry] = None,
+    *,
+    io: Optional[StoreIO] = None,
+    repair: bool = True,
+    force: bool = False,
+    strict: bool = False,
+) -> Tuple[DirectoryInstance, RecoveryReport]:
+    """Recover a store directory to its last committed state.
+
+    Parameters
+    ----------
+    repair:
+        Rewrite the files (quarantine torn tails, reset stale
+        journals).  ``repair=False`` is the ``fsck`` dry-run: report
+        what recovery *would* do, touch nothing.
+    force:
+        Also repair *corrupt* (not merely torn) journals, keeping the
+        replayable prefix.  Without it, corruption leaves the journal
+        untouched as evidence and the report flags read-only mode.
+    strict:
+        Raise :class:`~repro.errors.CorruptJournalError` /
+        :class:`~repro.errors.StaleJournalError` on damage instead of
+        degrading.
+
+    Returns the recovered instance and the :class:`RecoveryReport`.
+    """
+    io = io if io is not None else StoreIO()
+    report = RecoveryReport(directory)
+    generation, ldif_text, scanned, legacy, journal_bytes = scan_store(
+        directory, io
+    )
+    report.generation = generation
+    report.legacy_format = legacy
+    report.tail_state = scanned.tail_state
+    report.tail_bytes = scanned.tail_bytes
+
+    # Partition records into replayable (current generation) and stale.
+    replayable = [r for r in scanned.records if r.generation == generation]
+    stale = [r for r in scanned.records if r.generation != generation]
+    if stale and replayable:  # scan() forbids this; be defensive anyway
+        report.tail_state = "corrupt"
+        report.notes.append("journal mixes generations; replaying none of it")
+        replayable = []
+    report.committed = len(replayable)
+    report.stale_discarded = len(stale)
+    if stale:
+        if strict:
+            raise StaleJournalError(
+                f"journal generation {stale[0].generation} predates snapshot "
+                f"generation {generation}: a compaction crashed before "
+                f"resetting the journal ({len(stale)} already-applied "
+                "record(s) must be discarded, not replayed)"
+            )
+        report.notes.append(
+            f"discarded {len(stale)} stale record(s) of generation "
+            f"{stale[0].generation} (snapshot is at {generation}); they were "
+            "already folded into the snapshot by a compaction that crashed "
+            "before resetting the journal"
+        )
+
+    if scanned.tail_state == "corrupt" and strict:
+        raise CorruptJournalError(
+            f"journal damaged at byte {scanned.tail_offset}: "
+            f"{scanned.tail_reason}",
+            record_index=len(scanned.records),
+            offset=scanned.tail_offset,
+        )
+
+    # Parse the snapshot.
+    instance = parse_ldif(ldif_text, attributes=registry)
+
+    # Blind replay of the committed prefix (Theorem 4.1 modularity).
+    from repro.updates.transactions import apply_subtree_update, decompose
+
+    replay_failed_at: Optional[int] = None
+    for index, record in enumerate(replayable):
+        try:
+            transaction = parse_changes(record.payload)
+            for step in decompose(transaction, instance):
+                apply_subtree_update(instance, step)
+        except Exception as exc:
+            if strict:
+                raise CorruptJournalError(
+                    f"journal record {index} failed to replay: {exc}",
+                    record_index=index,
+                    offset=record.offset,
+                ) from exc
+            replay_failed_at = index
+            report.notes.append(
+                f"record {index} failed to replay ({exc}); treating it and "
+                "everything after it as corrupt"
+            )
+            break
+    if replay_failed_at is not None:
+        report.tail_state = "corrupt"
+        report.committed = replay_failed_at
+        report.tail_bytes = scanned.total - replayable[replay_failed_at].offset
+        replayable = replayable[:replay_failed_at]
+    report.replayed = len(replayable)
+
+    # The journal prefix that is safe to keep on disk: every byte up to
+    # the end of the last record that replayed (stale journals keep
+    # nothing — their content is already in the snapshot).
+    keep_upto = replayable[-1].end if replayable else 0
+    corrupt = report.tail_state == "corrupt"
+
+    if repair:
+        if stale and not corrupt:
+            io.write_file_atomic(_paths(directory)[1], b"")
+            report.repaired = True
+            report.notes.append("journal reset (stale generation discarded)")
+        elif report.tail_state == "torn":
+            _quarantine_and_truncate(
+                directory, io, journal_bytes, keep_upto,
+                f"torn tail: {scanned.tail_reason}", report,
+            )
+        elif corrupt and force:
+            _quarantine_and_truncate(
+                directory, io, journal_bytes, keep_upto,
+                f"corrupt tail: {scanned.tail_reason or 'replay failure'}",
+                report,
+            )
+            report.notes.append(
+                "corrupt tail quarantined by explicit recover; the store is "
+                "writable again on next open"
+            )
+            corrupt = False
+
+    report.read_only = corrupt
+
+    # Verify the recovered instance when a schema is available.
+    if schema is not None:
+        verdict = LegalityChecker(schema).check(instance)
+        report.legal = verdict.is_legal
+        if not verdict.is_legal:
+            report.read_only = True
+            report.notes.append(
+                f"recovered instance violates the schema "
+                f"({len(verdict)} violation(s)); blind replay should make "
+                "this impossible — suspect snapshot damage"
+            )
+            for violation in list(verdict)[:3]:
+                report.notes.append(f"  {violation}")
+
+    quarantine_path = _paths(directory)[2]
+    if os.path.exists(quarantine_path):
+        report.quarantined_bytes = os.path.getsize(quarantine_path)
+
+    return instance, report

@@ -1,0 +1,286 @@
+"""Write-ahead-log record format and the pluggable I/O layer.
+
+The journal (``journal.ldif``) is a sequence of *framed* records.  Each
+frame keeps the LDIF changes text human-readable while making torn and
+corrupted writes detectable::
+
+    #WAL seq=3 gen=2 len=124 crc=0x7a1b03f9
+    dn: uid=nina,ou=theory,o=att
+    changetype: add
+    ...
+    #END
+
+* ``len`` is the exact byte length of the payload (length-prefixing: the
+  scanner never guesses at record boundaries);
+* ``crc`` is CRC32 over ``"{seq}:{gen}:"`` plus the payload bytes, so a
+  flipped sequence or generation field is caught too;
+* ``seq`` numbers records 1.. within a generation and must be contiguous
+  (a gap means a lost or reordered record);
+* ``gen`` is the store **generation id**, stamped into both the snapshot
+  header and every record.  :meth:`~repro.store.journal.DirectoryStore.compact`
+  bumps the generation when it folds the journal into a new snapshot, so
+  a crash between the snapshot rename and the journal reset leaves
+  old-generation records that recovery recognises as *stale* (already in
+  the snapshot) instead of double-applying them.
+
+:func:`scan` classifies the journal tail as
+
+* ``"clean"`` — the file ends exactly at a frame boundary;
+* ``"torn"`` — the trailing bytes are a *prefix* of a frame (the normal
+  artifact of a crash mid-append; recovery quarantines and truncates it
+  and the store stays writable);
+* ``"corrupt"`` — a structurally complete frame fails its checksum or
+  sequence check, or the tail is not something our own appends could
+  have produced (bit rot / foreign writes; recovery degrades the store
+  to read-only until an explicit ``recover`` run).
+
+:class:`StoreIO` is the indirection point the fault-injection harness
+(:mod:`repro.store.faults`) hooks into: every filesystem touch the store
+makes goes through one of its methods.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "WalRecord",
+    "ScanResult",
+    "StoreIO",
+    "encode_record",
+    "scan",
+    "encode_snapshot",
+    "decode_snapshot",
+    "LEGACY_GENERATION",
+]
+
+_HEADER_RE = re.compile(
+    rb"^#WAL seq=(\d+) gen=(\d+) len=(\d+) crc=0x([0-9a-f]{1,8})$"
+)
+_TRAILER = b"#END\n"
+_SNAPSHOT_HEADER_RE = re.compile(r"^# repro-store snapshot gen=(\d+) format=1\s*$")
+
+#: Generation reported for snapshots written before the WAL engine
+#: existed (no header comment).  Their journals use the legacy
+#: ``# commit`` marker format.
+LEGACY_GENERATION = 0
+
+
+def _crc(seq: int, generation: int, payload: bytes) -> int:
+    return zlib.crc32(f"{seq}:{generation}:".encode("ascii") + payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded journal frame."""
+
+    seq: int
+    generation: int
+    payload: str
+    offset: int  # byte offset of the frame's header line
+    frame_length: int  # total frame size in bytes
+
+    @property
+    def end(self) -> int:
+        """Byte offset just past this frame."""
+        return self.offset + self.frame_length
+
+
+@dataclass
+class ScanResult:
+    """Outcome of scanning a journal byte string."""
+
+    records: List[WalRecord]
+    tail_offset: int  # where the committed prefix ends
+    tail_state: str  # "clean" | "torn" | "corrupt"
+    tail_reason: Optional[str] = None
+    total: int = 0
+
+    @property
+    def tail_bytes(self) -> int:
+        """Bytes past the committed prefix (torn or damaged)."""
+        return self.total - self.tail_offset
+
+
+def encode_record(seq: int, generation: int, payload: str) -> bytes:
+    """Frame one committed transaction's LDIF changes text."""
+    body = payload.encode("utf-8")
+    if not body.endswith(b"\n"):
+        body += b"\n"
+    header = (
+        f"#WAL seq={seq} gen={generation} len={len(body)} "
+        f"crc=0x{_crc(seq, generation, body):08x}\n"
+    ).encode("ascii")
+    return header + body + _TRAILER
+
+
+def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
+    """Decode frames from ``data`` until the end, a torn tail, or damage.
+
+    ``expect_generation`` does **not** reject other generations — stale
+    (older-generation) records are a legitimate crash artifact that
+    :mod:`repro.store.recovery` handles — but a *newer* generation than
+    the snapshot's is flagged as corruption.
+    """
+    records: List[WalRecord] = []
+    pos = 0
+    expected_seq: Optional[int] = None
+    current_gen: Optional[int] = None
+
+    def result(state: str, reason: Optional[str] = None) -> ScanResult:
+        return ScanResult(records, pos, state, reason, total=len(data))
+
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            # No complete header line: can only be a torn header write.
+            return result("torn", "incomplete frame header at end of journal")
+        header = data[pos:newline]
+        match = _HEADER_RE.match(header)
+        if match is None:
+            # A newline-terminated line our appender never writes: if it
+            # is the very last line it may still be a torn foreign
+            # append, but either way it is not a frame prefix of ours.
+            return result(
+                "corrupt",
+                f"unrecognised journal header at byte {pos}: "
+                f"{header[:60]!r}",
+            )
+        seq = int(match.group(1))
+        generation = int(match.group(2))
+        length = int(match.group(3))
+        crc = int(match.group(4), 16)
+        body_start = newline + 1
+        body_end = body_start + length
+        if body_end + len(_TRAILER) > len(data):
+            return result("torn", "frame extends past end of journal")
+        body = data[body_start:body_end]
+        if data[body_end:body_end + len(_TRAILER)] != _TRAILER:
+            return result(
+                "corrupt", f"frame at byte {pos} has no #END trailer"
+            )
+        if _crc(seq, generation, body) != crc:
+            return result(
+                "corrupt", f"checksum mismatch in frame at byte {pos}"
+            )
+        if current_gen is not None and generation != current_gen:
+            return result(
+                "corrupt",
+                f"generation changes mid-journal at byte {pos} "
+                f"({current_gen} -> {generation})",
+            )
+        if expect_generation is not None and generation > expect_generation:
+            return result(
+                "corrupt",
+                f"frame at byte {pos} has generation {generation} newer "
+                f"than the snapshot's {expect_generation}",
+            )
+        if expected_seq is not None and seq != expected_seq:
+            return result(
+                "corrupt",
+                f"sequence gap at byte {pos}: expected seq={expected_seq}, "
+                f"found seq={seq}",
+            )
+        current_gen = generation
+        expected_seq = seq + 1
+        frame_length = (body_end + len(_TRAILER)) - pos
+        records.append(
+            WalRecord(seq, generation, body.decode("utf-8"), pos, frame_length)
+        )
+        pos = body_end + len(_TRAILER)
+    return result("clean")
+
+
+# ----------------------------------------------------------------------
+# snapshot header
+# ----------------------------------------------------------------------
+def encode_snapshot(generation: int, ldif_text: str) -> str:
+    """Prefix LDIF content with the generation header comment (the LDIF
+    parser skips ``#`` lines, so the snapshot stays a valid LDIF file)."""
+    return f"# repro-store snapshot gen={generation} format=1\n{ldif_text}"
+
+
+def decode_snapshot(text: str) -> Tuple[int, str]:
+    """Split a snapshot file into ``(generation, ldif_text)``.
+
+    A snapshot without the header comment was written by the pre-WAL
+    store: it reports :data:`LEGACY_GENERATION` and its journal is read
+    with the legacy ``# commit`` marker scanner.
+    """
+    first, _, rest = text.partition("\n")
+    match = _SNAPSHOT_HEADER_RE.match(first)
+    if match is None:
+        return LEGACY_GENERATION, text
+    return int(match.group(1)), rest
+
+
+# ----------------------------------------------------------------------
+# the I/O layer (fault-injection seam)
+# ----------------------------------------------------------------------
+class StoreIO:
+    """Every filesystem operation the store performs, as overridable
+    methods.  :class:`repro.store.faults.FaultyIO` substitutes versions
+    that crash, tear writes, or fail at planned points."""
+
+    def open_bytes(self, path: str, mode: str):
+        """Open ``path`` in binary ``mode``."""
+        return open(path, mode)
+
+    def open_text(self, path: str, mode: str):
+        """Open ``path`` in text ``mode`` as UTF-8."""
+        return open(path, mode, encoding="utf-8")
+
+    def fsync(self, handle) -> None:
+        """Flush and fsync an open file handle."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        """Atomically replace ``dst`` with ``src``."""
+        os.replace(src, dst)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename ``src`` to ``dst`` (``dst`` must not exist)."""
+        os.rename(src, dst)
+
+    def fsync_dir(self, path: str) -> None:
+        """Fsync a directory so renames within it are durable."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- convenience wrappers used by the store ------------------------
+    def write_file_atomic(self, path: str, data: bytes) -> None:
+        """Write ``data`` to ``path`` via a same-directory temp file and
+        an atomic rename, fsyncing both file and directory."""
+        temp = path + ".tmp"
+        with self.open_bytes(temp, "wb") as handle:
+            handle.write(data)
+            self.fsync(handle)
+        self.replace(temp, path)
+        self.fsync_dir(os.path.dirname(path) or ".")
+
+    def append_bytes(self, path: str, data: bytes) -> None:
+        """Append ``data`` to ``path`` and fsync before returning."""
+        with self.open_bytes(path, "ab") as handle:
+            handle.write(data)
+            self.fsync(handle)
+
+    def read_bytes(self, path: str) -> bytes:
+        """Read ``path`` fully as bytes."""
+        with self.open_bytes(path, "rb") as handle:
+            return handle.read()
+
+    def read_text(self, path: str) -> str:
+        """Read ``path`` fully as UTF-8 text."""
+        with self.open_text(path, "r") as handle:
+            return handle.read()

@@ -462,6 +462,22 @@ class IncrementalChecker:
         outcome = UpdateOutcome()
         steps = decompose(transaction, self.instance)
         undo: List[SubtreeUpdate] = []
+        try:
+            return self._apply_steps(steps, undo, outcome)
+        except Exception:
+            # A step *raised* (rather than reporting a violation):
+            # without this rollback the earlier steps would stay
+            # applied, leaving the instance in a state no committed
+            # transaction ever produced.
+            self._undo(undo)
+            raise
+
+    def _apply_steps(
+        self,
+        steps: List[SubtreeUpdate],
+        undo: List[SubtreeUpdate],
+        outcome: UpdateOutcome,
+    ) -> UpdateOutcome:
         for step in steps:
             if step.kind == "insert":
                 assert step.subtree is not None

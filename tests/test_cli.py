@@ -195,3 +195,82 @@ class TestGenerate:
     def test_generate_to_stdout(self, capsys):
         assert main(["generate", "--workload", "whitepages", "--scale", "1"]) == 0
         assert "dn: o=org0" in capsys.readouterr().out
+
+
+class TestFsckAndRecover:
+    @pytest.fixture()
+    def store_dir(self, tmp_path, paths):
+        from repro.store import DirectoryStore
+        from repro.updates.operations import UpdateTransaction
+
+        schema, _, _ = paths
+        path = str(tmp_path / "store")
+        with DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        ) as store:
+            tx = UpdateTransaction().insert(
+                "ou=cliunit,o=att", ["orgUnit", "orgGroup", "top"],
+                {"ou": ["cliunit"]},
+            ).insert(
+                "uid=cli,ou=cliunit,o=att", ["person", "top"],
+                {"uid": ["cli"], "name": ["c li"]},
+            )
+            assert store.apply(tx).applied
+        return schema, path
+
+    def test_fsck_healthy_store(self, store_dir, capsys):
+        schema, path = store_dir
+        assert main(["fsck", path, "--schema", schema]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+        assert "generation: 1" in out
+        assert "committed records: 1" in out
+        assert "quarantined bytes: 0" in out
+        assert "legality: legal" in out
+
+    def test_fsck_reports_torn_tail(self, store_dir, capsys):
+        import os
+
+        from repro.store.wal import encode_record
+
+        schema, path = store_dir
+        frame = encode_record(2, 1, "dn: ou=torn,o=att\nchangetype: add\n")
+        with open(os.path.join(path, "journal.ldif"), "ab") as fh:
+            fh.write(frame[: len(frame) // 2])
+        assert main(["fsck", path, "--schema", schema]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out and "tail: torn" in out
+        # fsck is a dry run: the journal still holds the torn bytes
+        assert main(["fsck", path]) == 1
+
+    def test_fsck_missing_store(self, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere")
+        assert main(["fsck", missing]) == 1
+        assert "fsck:" in capsys.readouterr().out
+
+    def test_recover_repairs_torn_tail(self, store_dir, capsys):
+        import os
+
+        from repro.store.wal import encode_record
+
+        schema, path = store_dir
+        frame = encode_record(2, 1, "dn: ou=torn,o=att\nchangetype: add\n")
+        with open(os.path.join(path, "journal.ldif"), "ab") as fh:
+            fh.write(frame[: len(frame) // 3])
+        assert main(["recover", path, "--schema", schema]) == 0
+        assert "REPAIRED" in capsys.readouterr().out
+        assert os.path.exists(os.path.join(path, "journal.quarantine"))
+        assert main(["fsck", path, "--schema", schema]) == 0
+        assert "HEALTHY" in capsys.readouterr().out
+
+    def test_recover_corruption_needs_force(self, store_dir, capsys):
+        import os
+
+        schema, path = store_dir
+        with open(os.path.join(path, "journal.ldif"), "a") as fh:
+            fh.write("this is not a wal frame\n")
+        assert main(["recover", path, "--schema", schema]) == 1
+        assert "STILL DAMAGED" in capsys.readouterr().out
+        assert main(["recover", path, "--schema", schema, "--force"]) == 0
+        assert "REPAIRED" in capsys.readouterr().out
+        assert main(["fsck", path, "--schema", schema]) == 0

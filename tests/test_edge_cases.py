@@ -182,11 +182,11 @@ class TestStoreErrorPaths:
         from repro.workloads import figure1_instance, whitepages_registry
 
         path = str(tmp_path / "s")
-        DirectoryStore.create(path, wp_schema, figure1_instance())
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
         os.remove(os.path.join(path, "journal.ldif"))
-        reopened = DirectoryStore.open(path, wp_schema,
-                                       registry=whitepages_registry())
-        assert len(reopened.instance) == 6
+        with DirectoryStore.open(path, wp_schema,
+                                 registry=whitepages_registry()) as reopened:
+            assert len(reopened.instance) == 6
 
 
 class TestEntryOwnershipEdges:

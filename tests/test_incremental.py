@@ -12,7 +12,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import UpdateError
+from repro.errors import DuplicateEntryError, UpdateError
 from repro.ldif import serialize_ldif
 from repro.legality.checker import LegalityChecker
 from repro.model.instance import DirectoryInstance
@@ -149,6 +149,26 @@ class TestTransactions:
         outcome = checker.apply_transaction(tx)
         assert not outcome.applied
         assert serialize_ldif(fig1) == before
+
+    def test_raising_transaction_rolls_back_everything(self, wp_schema, fig1):
+        """A step that *raises* (not merely rejects) mid-transaction must
+        still undo every previously applied step."""
+        checker = fresh_checker(fig1, wp_schema)
+        before = serialize_ldif(fig1)
+        tx = (
+            UpdateTransaction()
+            # step 1 applies cleanly...
+            .insert("ou=ok,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["ok"]})
+            .insert("uid=pp,ou=ok,o=att", ["person", "top"],
+                    {"uid": ["pp"], "name": ["p p"]})
+            # ...step 2's root DN already exists, so the graft raises
+            .insert("ou=databases,ou=attLabs,o=att",
+                    ["orgUnit", "orgGroup", "top"], {"ou": ["databases"]})
+        )
+        with pytest.raises(DuplicateEntryError):
+            checker.apply_transaction(tx)
+        assert serialize_ldif(fig1) == before
+        assert LegalityChecker(wp_schema).is_legal(fig1)
 
     def test_insert_then_delete_transaction(self, wp_schema, fig1):
         checker = fresh_checker(fig1, wp_schema)

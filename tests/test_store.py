@@ -1,4 +1,4 @@
-"""Tests for the durable directory store (snapshot + journal)."""
+"""Tests for the crash-safe directory store (snapshot + WAL journal)."""
 
 import os
 import random
@@ -6,9 +6,15 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import UpdateError
+from repro.errors import (
+    StoreError,
+    StoreLockedError,
+    StoreReadOnlyError,
+    UpdateError,
+)
 from repro.ldif import serialize_ldif
 from repro.store import DirectoryStore
+from repro.store.wal import encode_record
 from repro.updates.operations import UpdateTransaction
 from repro.workloads import (
     figure1_instance,
@@ -20,27 +26,58 @@ from repro.workloads import (
 
 @pytest.fixture()
 def store(tmp_path, wp_schema):
-    return DirectoryStore.create(
+    with DirectoryStore.create(
         str(tmp_path / "store"), wp_schema, figure1_instance()
-    )
+    ) as handle:
+        yield handle
 
 
 def good_tx(n=1, seed=0, instance=None):
     return random_transaction(instance or figure1_instance(), inserts=n, seed=seed)
 
 
+def unit_tx(i):
+    """A deterministic legal transaction: one org unit with one person."""
+    return (
+        UpdateTransaction()
+        .insert(
+            f"ou=unit{i},o=att",
+            ["orgUnit", "orgGroup", "top"],
+            {"ou": [f"unit{i}"]},
+        )
+        .insert(
+            f"uid=member{i},ou=unit{i},o=att",
+            ["person", "top"],
+            {"uid": [f"member{i}"], "name": [f"member {i}"]},
+        )
+    )
+
+
 class TestLifecycle:
     def test_create_writes_snapshot_and_journal(self, tmp_path, wp_schema):
         path = tmp_path / "store"
-        DirectoryStore.create(str(path), wp_schema, figure1_instance())
+        DirectoryStore.create(str(path), wp_schema, figure1_instance()).close()
         assert (path / "snapshot.ldif").exists()
         assert (path / "journal.ldif").exists()
 
     def test_create_twice_rejected(self, tmp_path, wp_schema):
         path = str(tmp_path / "store")
-        DirectoryStore.create(path, wp_schema, figure1_instance())
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
         with pytest.raises(UpdateError, match="already contains"):
             DirectoryStore.create(path, wp_schema, figure1_instance())
+
+    def test_create_rejects_nonempty_directory(self, tmp_path, wp_schema):
+        path = tmp_path / "store"
+        path.mkdir()
+        (path / "unrelated.txt").write_text("hello")
+        with pytest.raises(UpdateError, match="not empty"):
+            DirectoryStore.create(str(path), wp_schema, figure1_instance())
+
+    def test_create_accepts_existing_empty_directory(self, tmp_path, wp_schema):
+        path = tmp_path / "store"
+        path.mkdir()
+        DirectoryStore.create(str(path), wp_schema, figure1_instance()).close()
+        assert (path / "snapshot.ldif").exists()
 
     def test_create_rejects_illegal_initial(self, tmp_path, wp_schema):
         bad = figure1_instance()
@@ -50,12 +87,44 @@ class TestLifecycle:
 
     def test_open_empty_journal_roundtrips(self, tmp_path, wp_schema):
         path = str(tmp_path / "store")
-        DirectoryStore.create(path, wp_schema, figure1_instance())
-        reopened = DirectoryStore.open(path, wp_schema,
-                                       registry=whitepages_registry())
-        assert serialize_ldif(reopened.instance) == serialize_ldif(
-            figure1_instance()
-        )
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert serialize_ldif(reopened.instance) == serialize_ldif(
+                figure1_instance()
+            )
+            assert reopened.generation == 1
+            assert not reopened.read_only
+
+
+class TestLocking:
+    def test_second_open_rejected_while_lock_held(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        try:
+            with pytest.raises(StoreLockedError):
+                DirectoryStore.open(path, wp_schema,
+                                    registry=whitepages_registry())
+        finally:
+            store.close()
+
+    def test_close_releases_the_lock(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        first = DirectoryStore.open(path, wp_schema,
+                                    registry=whitepages_registry())
+        first.close()
+        second = DirectoryStore.open(path, wp_schema,
+                                     registry=whitepages_registry())
+        second.close()
+
+    def test_closed_store_refuses_updates(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            store.apply(unit_tx(1))
 
 
 class TestUpdatesAndRecovery:
@@ -65,11 +134,13 @@ class TestUpdatesAndRecovery:
         tx = good_tx(n=2, seed=1, instance=store.instance)
         assert store.apply(tx).applied
         before = serialize_ldif(store.instance)
+        store.close()
 
-        reopened = DirectoryStore.open(path, wp_schema,
-                                       registry=whitepages_registry())
-        assert serialize_ldif(reopened.instance) == before
-        assert reopened.journal_length == 1
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert serialize_ldif(reopened.instance) == before
+            assert reopened.journal_length == 1
 
     def test_rejected_updates_not_journaled(self, store):
         bad = UpdateTransaction().insert(
@@ -84,12 +155,59 @@ class TestUpdatesAndRecovery:
         store = DirectoryStore.create(path, wp_schema, figure1_instance())
         assert store.apply(good_tx(1, seed=2, instance=store.instance)).applied
         good_state = serialize_ldif(store.instance)
-        # simulate a crash mid-append: write half a record, no marker
+        store.close()
+        # simulate a crash mid-append: half a frame, cut mid-payload
+        frame = encode_record(2, 1, "dn: ou=torn,o=att\nchangetype: add\n")
+        with open(os.path.join(path, "journal.ldif"), "ab") as fh:
+            fh.write(frame[: len(frame) // 2])
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert serialize_ldif(reopened.instance) == good_state
+            assert not reopened.read_only  # a torn tail is repaired, not fatal
+            assert reopened.recovery_report.tail_state == "torn"
+        # the torn bytes were quarantined, not silently dropped
+        assert os.path.getsize(os.path.join(path, "journal.quarantine")) > 0
+
+    def test_foreign_garbage_degrades_to_read_only(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        assert store.apply(good_tx(1, seed=3, instance=store.instance)).applied
+        good_state = serialize_ldif(store.instance)
+        store.close()
+        # bytes our appender never writes (the seed store's torn-record
+        # simulation): complete lines that are not WAL frames
         with open(os.path.join(path, "journal.ldif"), "a", encoding="utf-8") as fh:
             fh.write("dn: ou=torn,o=att\nchangetype: add\nobjectClass: orgUnit\n")
-        reopened = DirectoryStore.open(path, wp_schema,
-                                       registry=whitepages_registry())
-        assert serialize_ldif(reopened.instance) == good_state
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert serialize_ldif(reopened.instance) == good_state
+            assert reopened.read_only
+            assert reopened.recovery_report.tail_state == "corrupt"
+            with pytest.raises(StoreReadOnlyError):
+                reopened.apply(unit_tx(9))
+
+    def test_checksum_damage_degrades_to_read_only(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        for i in (1, 2):
+            assert store.apply(unit_tx(i)).applied
+        store.close()
+        journal = os.path.join(path, "journal.ldif")
+        data = bytearray(open(journal, "rb").read())
+        data[data.find(b"\n") + 5] ^= 0xFF  # flip a payload byte of record 1
+        open(journal, "wb").write(bytes(data))
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert reopened.read_only
+            assert reopened.recovery_report.tail_state == "corrupt"
+            # damage in record 1 loses record 2 too — but never silently:
+            assert reopened.journal_length == 0
+            assert serialize_ldif(reopened.instance) == serialize_ldif(
+                figure1_instance()
+            )
 
     def test_compaction_preserves_state(self, tmp_path, wp_schema):
         path = str(tmp_path / "store")
@@ -99,12 +217,41 @@ class TestUpdatesAndRecovery:
         state = serialize_ldif(store.instance)
         store.compact()
         assert store.journal_length == 0
-        reopened = DirectoryStore.open(path, wp_schema,
-                                       registry=whitepages_registry())
-        assert serialize_ldif(reopened.instance) == state
+        assert store.generation == 2
+        store.close()
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert serialize_ldif(reopened.instance) == state
+            assert reopened.generation == 2
 
     def test_check_reports_current_contents(self, store):
         assert store.check().is_legal
+
+    def test_legacy_store_is_recovered_and_upgraded(self, tmp_path, wp_schema):
+        """A pre-WAL store (no snapshot header, `# commit` markers) opens
+        through the legacy scanner and is rewritten in the WAL format."""
+        from repro.ldif.changes import serialize_changes
+
+        path = tmp_path / "store"
+        path.mkdir()
+        (path / "snapshot.ldif").write_text(
+            serialize_ldif(figure1_instance()), encoding="utf-8"
+        )
+        tx = unit_tx(1)
+        (path / "journal.ldif").write_text(
+            serialize_changes(tx) + "\n# commit\n\n", encoding="utf-8"
+        )
+        with DirectoryStore.open(
+            str(path), wp_schema, registry=whitepages_registry()
+        ) as store:
+            assert store.recovery_report.legacy_format
+            assert store.instance.find("uid=member1,ou=unit1,o=att") is not None
+            assert store.generation == 1  # upgraded: compacted into WAL format
+            assert not store.read_only
+        # the upgraded snapshot now carries the generation header
+        head = (path / "snapshot.ldif").read_text(encoding="utf-8").splitlines()[0]
+        assert head.startswith("# repro-store snapshot gen=1")
 
     @settings(max_examples=8, deadline=None)
     @given(st.integers(0, 10_000), st.integers(1, 4))
@@ -120,7 +267,9 @@ class TestUpdatesAndRecovery:
                          instance=store.instance)
             assert store.apply(tx).applied
         live = serialize_ldif(store.instance)
-        recovered = DirectoryStore.open(path, schema,
-                                        registry=whitepages_registry())
-        assert serialize_ldif(recovered.instance) == live
-        assert recovered.check().is_legal
+        store.close()
+        with DirectoryStore.open(
+            path, schema, registry=whitepages_registry()
+        ) as recovered:
+            assert serialize_ldif(recovered.instance) == live
+            assert recovered.check().is_legal

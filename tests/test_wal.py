@@ -1,0 +1,234 @@
+"""Unit tests for the WAL frame format, snapshot header, legacy journal
+scanning, and the typed recovery errors."""
+
+import os
+
+import pytest
+
+from repro.errors import CorruptJournalError, StaleJournalError
+from repro.ldif import serialize_ldif
+from repro.store import DirectoryStore
+from repro.store.recovery import recover, scan_store
+from repro.store.wal import (
+    LEGACY_GENERATION,
+    decode_snapshot,
+    encode_record,
+    encode_snapshot,
+    scan,
+)
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import figure1_instance, whitepages_registry, whitepages_schema
+
+PAYLOAD = "dn: ou=x,o=att\nchangetype: add\nobjectClass: orgUnit\nou: x\n"
+
+
+class TestFrameFormat:
+    def test_roundtrip_single_record(self):
+        frame = encode_record(1, 7, PAYLOAD)
+        result = scan(frame)
+        assert result.tail_state == "clean"
+        assert len(result.records) == 1
+        record = result.records[0]
+        assert (record.seq, record.generation) == (1, 7)
+        assert record.payload == PAYLOAD
+        assert record.end == len(frame)
+
+    def test_roundtrip_many_records(self):
+        data = b"".join(
+            encode_record(i + 1, 3, PAYLOAD + f"# tx {i}\n") for i in range(5)
+        )
+        result = scan(data)
+        assert result.tail_state == "clean"
+        assert [r.seq for r in result.records] == [1, 2, 3, 4, 5]
+        assert result.tail_offset == len(data)
+
+    def test_payload_gets_trailing_newline(self):
+        frame = encode_record(1, 1, "dn: ou=x,o=att")
+        assert scan(frame).records[0].payload == "dn: ou=x,o=att\n"
+
+    def test_length_prefix_protects_marker_lookalikes(self):
+        """Payload lines that look like frame delimiters are data: the
+        scanner reads exact byte counts, it never pattern-matches."""
+        tricky = "dn: ou=x,o=att\ndescription: #END\ndescription: #WAL seq=1\n"
+        data = encode_record(1, 1, tricky) + encode_record(2, 1, PAYLOAD)
+        result = scan(data)
+        assert result.tail_state == "clean"
+        assert len(result.records) == 2
+        assert result.records[0].payload == tricky
+
+    def test_checksum_failure_is_corrupt(self):
+        frame = bytearray(encode_record(1, 1, PAYLOAD))
+        frame[frame.find(b"\n") + 3] ^= 0x01
+        result = scan(bytes(frame))
+        assert result.tail_state == "corrupt"
+        assert "checksum" in result.tail_reason
+        assert result.records == []
+
+    def test_sequence_gap_is_corrupt(self):
+        data = encode_record(1, 1, PAYLOAD) + encode_record(3, 1, PAYLOAD)
+        result = scan(data)
+        assert result.tail_state == "corrupt"
+        assert "sequence gap" in result.tail_reason
+        assert len(result.records) == 1  # the good prefix survives
+
+    def test_generation_change_mid_journal_is_corrupt(self):
+        data = encode_record(1, 1, PAYLOAD) + encode_record(2, 2, PAYLOAD)
+        assert scan(data).tail_state == "corrupt"
+
+    def test_newer_generation_than_snapshot_is_corrupt(self):
+        data = encode_record(1, 9, PAYLOAD)
+        assert scan(data, expect_generation=2).tail_state == "corrupt"
+        assert scan(data, expect_generation=9).tail_state == "clean"
+
+    def test_truncation_is_torn_not_corrupt(self):
+        frame = encode_record(1, 1, PAYLOAD)
+        for cut in range(1, len(frame)):
+            result = scan(frame[:cut])
+            assert result.tail_state == "torn", f"cut at {cut}"
+            assert result.records == []
+            assert result.tail_bytes == cut
+
+    def test_foreign_complete_lines_are_corrupt(self):
+        data = encode_record(1, 1, PAYLOAD) + b"dn: ou=evil,o=att\n"
+        result = scan(data)
+        assert result.tail_state == "corrupt"
+        assert len(result.records) == 1
+
+
+class TestSnapshotHeader:
+    def test_roundtrip(self):
+        generation, text = decode_snapshot(encode_snapshot(42, "dn: o=att\n"))
+        assert generation == 42
+        assert text == "dn: o=att\n"
+
+    def test_missing_header_is_legacy(self):
+        generation, text = decode_snapshot("dn: o=att\nobjectClass: org\n")
+        assert generation == LEGACY_GENERATION
+        assert text.startswith("dn: o=att")
+
+    def test_header_is_an_ldif_comment(self):
+        from repro.ldif.reader import parse_ldif_records
+
+        text = encode_snapshot(3, "dn: o=att\nobjectClass: organization\n")
+        records = parse_ldif_records(text)
+        assert len(records) == 1  # the header line parses as a comment
+
+
+def _legacy_store(tmp_path, journal_text):
+    path = tmp_path / "store"
+    path.mkdir()
+    (path / "snapshot.ldif").write_text(
+        serialize_ldif(figure1_instance()), encoding="utf-8"
+    )
+    (path / "journal.ldif").write_text(journal_text, encoding="utf-8")
+    return str(path)
+
+
+class TestLegacyJournal:
+    def _tx_text(self, i=1):
+        from repro.ldif.changes import serialize_changes
+
+        tx = UpdateTransaction().insert(
+            f"ou=unit{i},o=att", ["orgUnit", "orgGroup", "top"],
+            {"ou": [f"unit{i}"]},
+        ).insert(
+            f"uid=m{i},ou=unit{i},o=att", ["person", "top"],
+            {"uid": [f"m{i}"], "name": [f"m {i}"]},
+        )
+        return serialize_changes(tx)
+
+    def test_exact_marker_commits(self, tmp_path):
+        path = _legacy_store(tmp_path, self._tx_text() + "\n# commit\n\n")
+        generation, _, result, legacy, _ = scan_store(path)
+        assert legacy and generation == LEGACY_GENERATION
+        assert len(result.records) == 1
+        assert result.tail_state == "clean"
+
+    def test_whitespace_variant_marker_is_data_not_marker(self, tmp_path):
+        """The seed reader's ``line.strip()`` match fired on LDIF
+        continuation lines like ``" # commit"``; the scanner now matches
+        the marker exactly as the writer emitted it."""
+        body = (
+            "dn: ou=x,o=att\nchangetype: add\nobjectClass: orgUnit\n"
+            "description: prefix\n # commit suffix\n"  # folded LDIF line
+        )
+        path = _legacy_store(tmp_path, body + "\n# commit\n\n")
+        _, _, result, _, _ = scan_store(path)
+        assert len(result.records) == 1
+        # the folded line stayed inside the record's payload
+        assert " # commit" in result.records[0].payload
+
+    def test_torn_legacy_tail_quarantined(self, tmp_path):
+        path = _legacy_store(
+            tmp_path,
+            self._tx_text(1) + "\n# commit\n\ndn: ou=torn,o=att\nchangetype",
+        )
+        instance, report = recover(
+            path, whitepages_schema(), whitepages_registry()
+        )
+        assert report.tail_state == "torn"
+        assert report.replayed == 1
+        assert not report.read_only
+        assert instance.find("ou=unit1,o=att") is not None
+        assert os.path.exists(os.path.join(path, "journal.quarantine"))
+
+    def test_replay_error_raises_typed_error_with_index(self, tmp_path):
+        """Satellite: replay errors surface as CorruptJournalError with
+        the offending record index, not an unhandled parse exception."""
+        bad = "dn: ou=nope,o=att\nchangetype: frobnicate\n"
+        path = _legacy_store(
+            tmp_path,
+            self._tx_text(1) + "\n# commit\n" + bad + "\n# commit\n\n",
+        )
+        with pytest.raises(CorruptJournalError) as excinfo:
+            recover(path, whitepages_schema(), whitepages_registry(),
+                    strict=True)
+        assert excinfo.value.record_index == 1
+        # lenient mode degrades instead, keeping the good prefix
+        instance, report = recover(
+            path, whitepages_schema(), whitepages_registry()
+        )
+        assert report.read_only
+        assert report.replayed == 1
+        assert instance.find("ou=unit1,o=att") is not None
+
+
+class TestStrictErrors:
+    def test_stale_journal_raises_in_strict_mode(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        )
+        tx = UpdateTransaction().insert(
+            "ou=unit1,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["unit1"]}
+        ).insert(
+            "uid=m1,ou=unit1,o=att", ["person", "top"],
+            {"uid": ["m1"], "name": ["m 1"]},
+        )
+        assert store.apply(tx).applied
+        old_journal = open(os.path.join(path, "journal.ldif"), "rb").read()
+        store.compact()
+        open(os.path.join(path, "journal.ldif"), "wb").write(old_journal)
+        store.close()
+        with pytest.raises(StaleJournalError):
+            recover(path, whitepages_schema(), whitepages_registry(),
+                    strict=True)
+
+    def test_corrupt_tail_raises_in_strict_mode(self, tmp_path):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        ).close()
+        with open(os.path.join(path, "journal.ldif"), "ab") as fh:
+            fh.write(b"garbage line\n")
+        with pytest.raises(CorruptJournalError) as excinfo:
+            recover(path, whitepages_schema(), whitepages_registry(),
+                    strict=True)
+        assert excinfo.value.offset == 0
+        assert excinfo.value.record_index == 0
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        path = tmp_path / "store"
+        path.mkdir()
+        with pytest.raises(FileNotFoundError, match="snapshot"):
+            recover(str(path), whitepages_schema())

@@ -68,13 +68,19 @@ def test_insertion_cost_independent_of_instance_size(benchmark):
         assert outcome.applied
         sizes.append(len(guard.instance))
         inc_costs.append(outcome.cost)
-        # full re-check work proxy: structure evaluation over all of D
+        # full re-check work proxy: structure evaluation over all of D.
+        # Summing per-call ``last_cost`` attributes the work to each
+        # check explicitly instead of reading the evaluator's silently
+        # accumulating ``cost`` counter.
         from repro.query.evaluator import QueryEvaluator
 
         evaluator = QueryEvaluator(guard.instance)
+        full_cost = 0
         for check in guard.structure.checks:
             evaluator.evaluate(check.query)
-        full_costs.append(evaluator.cost + len(guard.instance))
+            full_cost += evaluator.last_cost
+        assert full_cost == evaluator.cost  # attribution covers all work
+        full_costs.append(full_cost + len(guard.instance))
 
     inc_exp = fit_growth(sizes, inc_costs)
     full_exp = fit_growth(sizes, full_costs)

@@ -2,12 +2,16 @@
 
 from repro.legality.checker import LegalityChecker
 from repro.legality.content import ContentChecker
+from repro.legality.engine import CheckSession
 from repro.legality.extras import ExtrasChecker
+from repro.legality.metrics import CheckStats
 from repro.legality.report import Kind, LegalityReport, Violation
 from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
 
 __all__ = [
     "LegalityChecker",
+    "CheckSession",
+    "CheckStats",
     "ContentChecker",
     "ExtrasChecker",
     "QueryStructureChecker",

@@ -9,14 +9,22 @@ The ``structure`` argument selects the structure-checking strategy:
 ``"query"`` (the paper's linear reduction, default) or ``"naive"`` (the
 quadratic pairwise baseline) — both produce identical verdicts, which the
 test suite asserts by differential testing.
+
+The ``parallelism`` knob routes checking through the
+:class:`~repro.legality.engine.CheckSession` engine: the per-entry
+content check is sharded across a worker pool and memoized under content
+fingerprints, and the returned reports carry ``report.stats``.  With the
+default ``parallelism=None`` the checker runs the plain sequential pass
+(verdict-identical, no pool, no cache).
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Optional
 
 from repro.model.instance import DirectoryInstance
 from repro.legality.content import ContentChecker
+from repro.legality.engine import CheckSession
 from repro.legality.extras import ExtrasChecker
 from repro.legality.report import LegalityReport
 from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
@@ -30,12 +38,25 @@ class LegalityChecker:
 
     The checker is schema-bound and reusable across instances: the
     Figure 4 queries are compiled once at construction time.
+
+    Parameters
+    ----------
+    schema:
+        The bounding-schema to check against.
+    structure:
+        Structure-checking strategy (``"query"`` or ``"naive"``).
+    parallelism:
+        When not ``None``, delegate to a
+        :class:`~repro.legality.engine.CheckSession` with this many
+        content-check workers (``1`` = sequential but memoized and
+        instrumented).  The session is exposed as :attr:`session`.
     """
 
     def __init__(
         self,
         schema: DirectorySchema,
         structure: Literal["query", "naive"] = "query",
+        parallelism: Optional[int] = None,
     ) -> None:
         self.schema = schema
         self.content = ContentChecker(schema)
@@ -48,9 +69,16 @@ class LegalityChecker:
         else:
             raise ValueError(f"unknown structure strategy {structure!r}")
         self.extras = None if schema.extras is None else ExtrasChecker(schema.extras)
+        self.session: Optional[CheckSession] = None
+        if parallelism is not None:
+            self.session = CheckSession(
+                schema, parallelism=parallelism, structure=structure
+            )
 
     def check(self, instance: DirectoryInstance) -> LegalityReport:
         """The full legality report for ``instance``."""
+        if self.session is not None:
+            return self.session.check(instance)
         report = self.content.check(instance)
         report.extend(self.structure.check(instance).violations)
         if self.extras is not None:
@@ -59,6 +87,8 @@ class LegalityChecker:
 
     def is_legal(self, instance: DirectoryInstance) -> bool:
         """Yes/no legality verdict (short-circuits on first failure)."""
+        if self.session is not None:
+            return self.session.is_legal(instance)
         if not self.content.is_legal(instance):
             return False
         if not self.structure.is_legal(instance):
@@ -66,3 +96,8 @@ class LegalityChecker:
         if self.extras is not None and not self.extras.check(instance).is_legal:
             return False
         return True
+
+    def close(self) -> None:
+        """Release the engine's worker pool, if one was created."""
+        if self.session is not None:
+            self.session.close()

@@ -171,15 +171,19 @@ class ContentChecker:
     # instance-level checking
     # ------------------------------------------------------------------
     def check(self, instance: DirectoryInstance) -> LegalityReport:
-        """Content-check every entry; linear in ``|D|``."""
+        """Content-check every entry; linear in ``|D|``.
+
+        DNs come from the instance's O(1) key cache, so the pass stays
+        linear even on pathologically deep directories.
+        """
         report = LegalityReport()
         for entry in instance:
-            report.extend(self.check_entry(entry))
+            report.extend(self.check_entry(entry, dn=instance.dn_string_of(entry)))
         return report
 
     def is_legal(self, instance: DirectoryInstance) -> bool:
         """Whether every entry passes the content check."""
         for entry in instance:
-            if self.check_entry(entry):
+            if self.check_entry(entry, dn=instance.dn_string_of(entry)):
                 return False
         return True

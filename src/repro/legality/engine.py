@@ -1,0 +1,406 @@
+"""The parallel, memoized legality engine (``CheckSession``).
+
+Theorem 3.1 makes the legality test linear in ``|D|``; this module
+attacks the constant factor.  The Section 3.1 content check is *per
+entry, independent* — embarrassingly parallel, exactly the property
+validation engines for sibling formalisms (ShEx, SHACL) exploit — so a
+:class:`CheckSession`:
+
+1. **shards** the per-entry content check over document-order chunks
+   across a ``concurrent.futures`` worker pool — a process pool with a
+   pickled schema where possible, a thread pool as fallback — selected
+   by the ``parallelism=`` knob (also surfaced as ``--jobs`` on the
+   CLI);
+2. **memoizes** content verdicts keyed by each entry's *content
+   fingerprint* (:meth:`repro.model.entry.Entry.content_fingerprint` — a
+   stable digest of classes plus the attribute multiset, invalidated at
+   the mutation sites), so a re-check after a subtree update re-runs
+   content checks only on the dirty set: cost O(|Δ|), not O(|D|);
+3. **observes** itself: every check produces a
+   :class:`~repro.legality.metrics.CheckStats` (entries checked, cache
+   hits, query work, per-phase wall time) attached to the returned
+   report and accumulated on the session.
+
+Structure and extras checking remain the global single-pass algorithms
+of Sections 3.2/6.1 — they are already linear with small constants and
+touch cross-entry state that does not shard.
+
+Verdict equivalence with the sequential :class:`ContentChecker` (and the
+naive structure baseline) is asserted by differential tests: same
+violations, same order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.legality.content import ContentChecker
+from repro.legality.extras import ExtrasChecker
+from repro.legality.metrics import CheckStats
+from repro.legality.report import LegalityReport, Violation
+from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+from repro.model.dn import RDN
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+from repro.schema.directory_schema import DirectorySchema
+
+__all__ = ["CheckSession"]
+
+#: A content verdict as cached: DN-independent (kind, message, element)
+#: triples, rebound to the offending entry's DN on report assembly.
+Verdict = Tuple[Tuple[str, str, Optional[str]], ...]
+
+#: One unit of worker input: (fingerprint, dn, classes, attributes).
+_Payload = Tuple[str, str, Tuple[str, ...], Dict[str, List[object]]]
+
+#: Entries are detached in workers; the RDN never participates in the
+#: content check, so a placeholder suffices.
+_PAYLOAD_RDN = RDN("cn", "payload")
+
+# ----------------------------------------------------------------------
+# process-pool worker side
+# ----------------------------------------------------------------------
+_WORKER_CHECKER: Optional[ContentChecker] = None
+
+
+def _init_worker(schema_bytes: bytes) -> None:
+    """Process-pool initializer: unpickle the schema once per worker."""
+    global _WORKER_CHECKER
+    _WORKER_CHECKER = ContentChecker(pickle.loads(schema_bytes))
+
+
+def _check_chunk(payloads: Sequence[_Payload]) -> List[Tuple[str, Verdict]]:
+    """Content-check one chunk of detached entries (worker side)."""
+    checker = _WORKER_CHECKER
+    assert checker is not None, "worker used before initialization"
+    return _run_chunk(checker, payloads)
+
+
+def _run_chunk(
+    checker: ContentChecker, payloads: Sequence[_Payload]
+) -> List[Tuple[str, Verdict]]:
+    results: List[Tuple[str, Verdict]] = []
+    for fingerprint, dn, classes, attributes in payloads:
+        entry = Entry(_PAYLOAD_RDN, classes, attributes)
+        verdict = tuple(
+            (v.kind, v.message, v.element)
+            for v in checker.check_entry(entry, dn=dn)
+        )
+        results.append((fingerprint, verdict))
+    return results
+
+
+class CheckSession:
+    """A reusable legality-checking session: worker pool + verdict cache.
+
+    Parameters
+    ----------
+    schema:
+        The bounding-schema; compiled once (Figure 4 queries, pickled
+        schema bytes for pool workers).
+    parallelism:
+        Worker count for the content phase.  ``None`` or ``<= 1`` runs
+        sequentially (still memoized).
+    structure:
+        ``"query"`` (the paper's linear reduction) or ``"naive"`` (the
+        quadratic differential-testing oracle).
+    executor:
+        ``"process"``, ``"thread"``, or ``"auto"`` (default): prefer
+        processes, fall back to threads when the schema does not pickle
+        or process pools are unavailable.
+    memoize:
+        When false, the fingerprint cache is bypassed entirely (every
+        entry is checked every time) — used by benchmarks that need
+        cold-path timings.
+    cache_limit:
+        Maximum number of cached verdicts; the cache is dropped
+        wholesale when exceeded (bounds memory on adversarial streams
+        of ever-fresh content).
+    min_parallel:
+        Instances smaller than this run the sequential path even when
+        ``parallelism > 1`` — pool latency would dominate.
+    """
+
+    def __init__(
+        self,
+        schema: DirectorySchema,
+        parallelism: Optional[int] = None,
+        structure: Literal["query", "naive"] = "query",
+        executor: Literal["auto", "process", "thread"] = "auto",
+        memoize: bool = True,
+        cache_limit: int = 1_000_000,
+        min_parallel: int = 2_048,
+    ) -> None:
+        self.schema = schema
+        self.parallelism = max(1, parallelism or 1)
+        self.memoize = memoize
+        self.cache_limit = cache_limit
+        self.min_parallel = min_parallel
+        self.content = ContentChecker(schema)
+        if structure == "query":
+            self.structure: QueryStructureChecker | NaiveStructureChecker = (
+                QueryStructureChecker(schema.structure_schema)
+            )
+        elif structure == "naive":
+            self.structure = NaiveStructureChecker(schema.structure_schema)
+        else:
+            raise ValueError(f"unknown structure strategy {structure!r}")
+        self.extras = None if schema.extras is None else ExtrasChecker(schema.extras)
+        #: Cumulative stats across every check this session ran.
+        self.stats = CheckStats()
+        self._cache: Dict[str, Verdict] = {}
+        self._executor: Optional[Executor] = None
+        self._executor_kind: str = executor
+        self._schema_bytes: Optional[bytes] = None
+        self._chunk_runner: Callable[
+            [Sequence[_Payload]], List[Tuple[str, Verdict]]
+        ] = _check_chunk
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "CheckSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def clear_cache(self) -> None:
+        """Drop every memoized verdict."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct fingerprints with a cached verdict."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def check(self, instance: DirectoryInstance) -> LegalityReport:
+        """The full legality report for ``instance``.
+
+        Verdict-identical to :class:`~repro.legality.checker.LegalityChecker`
+        with the same ``structure`` strategy; the returned report carries
+        this check's :class:`~repro.legality.metrics.CheckStats` under
+        ``report.stats``.
+        """
+        stats = CheckStats()
+        report = LegalityReport(stats=stats)
+        with stats.timer("content"):
+            report.extend(self._check_content(instance, stats))
+        with stats.timer("structure"):
+            report.extend(self.structure.check(instance).violations)
+        stats.queries_evaluated += getattr(self.structure, "last_cost", 0)
+        if self.extras is not None:
+            with stats.timer("extras"):
+                report.extend(self.extras.check(instance).violations)
+        stats.violations = len(report)
+        self.stats.merge(stats)
+        return report
+
+    def is_legal(self, instance: DirectoryInstance) -> bool:
+        """Yes/no legality verdict."""
+        return self.check(instance).is_legal
+
+    def check_entry(self, entry: Entry, dn: Optional[str] = None) -> List[Violation]:
+        """Memoized per-entry content check (same verdicts as
+        :meth:`ContentChecker.check_entry`).
+
+        This is the hook the incremental checker (Section 4.2) feeds its
+        Δ through: verdicts computed while vetting a subtree insertion
+        are cached under content fingerprints, so a later session
+        re-check of the updated instance pays nothing for Δ.
+        """
+        where = dn if dn is not None else str(entry.dn)
+        if not self.memoize:
+            self.stats.entries_checked += 1
+            return self.content.check_entry(entry, dn=where)
+        fingerprint = entry.content_fingerprint()
+        verdict = self._cache.get(fingerprint)
+        if verdict is None:
+            self.stats.cache_misses += 1
+            self.stats.entries_checked += 1
+            verdict = tuple(
+                (v.kind, v.message, v.element)
+                for v in self.content.check_entry(entry, dn=where)
+            )
+            self._store(fingerprint, verdict)
+        else:
+            self.stats.cache_hits += 1
+        return [
+            Violation(kind, message, dn=where, element=element)
+            for kind, message, element in verdict
+        ]
+
+    # ------------------------------------------------------------------
+    # content phase
+    # ------------------------------------------------------------------
+    def _check_content(
+        self, instance: DirectoryInstance, stats: CheckStats
+    ) -> List[Violation]:
+        entries = list(instance)
+        # Pass 1: resolve memoized verdicts, collect the miss set.
+        verdicts: List[Optional[Verdict]] = [None] * len(entries)
+        misses: List[int] = []
+        if self.memoize:
+            for index, entry in enumerate(entries):
+                cached = self._cache.get(entry.content_fingerprint())
+                if cached is None:
+                    misses.append(index)
+                else:
+                    verdicts[index] = cached
+            stats.cache_hits += len(entries) - len(misses)
+            stats.cache_misses += len(misses)
+        else:
+            misses = list(range(len(entries)))
+
+        # Pass 2: check the misses — sharded across the pool when the
+        # workload justifies it, inline otherwise.  Within a pass,
+        # entries sharing a fingerprint are checked once (a verdict is a
+        # pure function of the fingerprinted content), so
+        # ``entries_checked`` counts checks actually executed.
+        if misses:
+            if self.parallelism > 1 and len(misses) >= self.min_parallel:
+                results = self._check_parallel(instance, entries, misses, stats)
+            else:
+                results = {}
+                for index in misses:
+                    entry = entries[index]
+                    fingerprint = entry.content_fingerprint()
+                    if fingerprint in results:
+                        continue
+                    results[fingerprint] = tuple(
+                        (v.kind, v.message, v.element)
+                        for v in self.content.check_entry(
+                            entry, dn=instance.dn_string_of(entry)
+                        )
+                    )
+            stats.entries_checked += len(results)
+            for index in misses:
+                fingerprint = entries[index].content_fingerprint()
+                verdict = results[fingerprint]
+                verdicts[index] = verdict
+                if self.memoize:
+                    self._store(fingerprint, verdict)
+
+        # Pass 3: assemble in document order, binding DNs lazily (legal
+        # entries — the common case — never pay the DN lookup).
+        violations: List[Violation] = []
+        for entry, verdict in zip(entries, verdicts):
+            assert verdict is not None
+            if verdict:
+                where = instance.dn_string_of(entry)
+                violations.extend(
+                    Violation(kind, message, dn=where, element=element)
+                    for kind, message, element in verdict
+                )
+        return violations
+
+    def _check_parallel(
+        self,
+        instance: DirectoryInstance,
+        entries: List[Entry],
+        misses: List[int],
+        stats: CheckStats,
+    ) -> Dict[str, Verdict]:
+        # Deduplicate by fingerprint: identical content needs one check.
+        payloads: Dict[str, _Payload] = {}
+        for index in misses:
+            entry = entries[index]
+            fingerprint = entry.content_fingerprint()
+            if fingerprint in payloads:
+                continue
+            payloads[fingerprint] = (
+                fingerprint,
+                instance.dn_string_of(entry),
+                tuple(entry.classes),
+                {
+                    name: list(entry.values(name))
+                    for name in entry.attribute_names()
+                    if name != "objectClass"
+                },
+            )
+        work = list(payloads.values())
+        chunk_count = max(1, min(len(work), self.parallelism * 4))
+        size = (len(work) + chunk_count - 1) // chunk_count
+        chunks = [work[i : i + size] for i in range(0, len(work), size)]
+        stats.chunks += len(chunks)
+
+        executor = self._get_executor()
+        results: Dict[str, Verdict] = {}
+        if executor is not None:
+            stats.workers = max(stats.workers, self.parallelism)
+            try:
+                for chunk_result in executor.map(self._chunk_runner, chunks):
+                    results.update(chunk_result)
+                return results
+            except Exception:
+                # A broken pool (killed worker, pickling trouble at call
+                # time) must degrade, not fail: drop to the sequential
+                # path and stop trying to parallelize this session.
+                self.close()
+                self._executor_kind = "none"
+                results.clear()
+        for chunk in chunks:
+            results.update(_run_chunk(self.content, chunk))
+        return results
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+    def _get_executor(self) -> Optional[Executor]:
+        if self._executor is not None:
+            return self._executor
+        kind = self._executor_kind
+        if kind == "none" or self.parallelism <= 1:
+            return None
+        if kind in ("process", "auto"):
+            try:
+                schema_bytes = self._pickled_schema()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.parallelism,
+                    initializer=_init_worker,
+                    initargs=(schema_bytes,),
+                )
+                self._chunk_runner = _check_chunk
+                return self._executor
+            except Exception:
+                if kind == "process":
+                    raise
+                # auto: schema unpicklable or no process support here —
+                # threads still help when checks release the GIL and
+                # keep the code path uniform when they do not.
+        self._executor = ThreadPoolExecutor(max_workers=self.parallelism)
+        # Thread workers share this process; bind this session's checker
+        # directly (no module-level global — sessions must not clash).
+        self._chunk_runner = partial(_run_chunk, self.content)
+        return self._executor
+
+    def _pickled_schema(self) -> bytes:
+        if self._schema_bytes is None:
+            self._schema_bytes = pickle.dumps(self.schema)
+        return self._schema_bytes
+
+    # ------------------------------------------------------------------
+    # cache internals
+    # ------------------------------------------------------------------
+    def _store(self, fingerprint: str, verdict: Verdict) -> None:
+        if len(self._cache) >= self.cache_limit:
+            self._cache.clear()
+        self._cache[fingerprint] = verdict
+
+
+def default_parallelism() -> int:
+    """A sensible ``--jobs`` default: the machine's CPU count."""
+    return os.cpu_count() or 1

@@ -15,7 +15,7 @@ allowed-attribute check inside :class:`repro.legality.content.ContentChecker`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.model.instance import DirectoryInstance
 from repro.legality.report import Kind, LegalityReport, Violation

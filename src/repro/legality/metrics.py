@@ -1,0 +1,126 @@
+"""Observability for the legality engine.
+
+:class:`CheckStats` is the machine-readable record one
+:class:`~repro.legality.engine.CheckSession` check leaves behind:
+counters (entries content-checked, fingerprint-cache hits/misses, query
+evaluator work, violations found), the worker/chunk layout of the
+parallel phase, and per-phase wall-clock timings.  The engine attaches a
+snapshot to every :class:`~repro.legality.report.LegalityReport` it
+produces (``report.stats``) and keeps a cumulative copy on the session;
+the ``check --profile`` CLI renders :meth:`CheckStats.format_table`.
+
+Counters, not timings, are what the benchmark gates assert on — wall
+clock varies with the machine, the number of content checks actually
+executed does not (the FIG5 philosophy of measuring *shape*).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["CheckStats"]
+
+
+@dataclass
+class CheckStats:
+    """Counters and timers describing one (or several) legality checks.
+
+    Attributes
+    ----------
+    entries_checked:
+        Per-entry content checks actually *executed* — fingerprint-cache
+        hits do not count.  On a warm re-check after a subtree update
+        this is proportional to ``|Δ|``, not ``|D|``.
+    cache_hits / cache_misses:
+        Fingerprint-cache outcomes.  ``hits + misses`` equals the number
+        of entries visited by memoized content phases.
+    queries_evaluated:
+        Work done by the hierarchical query evaluator (entries touched)
+        during structure checking.
+    violations:
+        Violations reported.
+    workers / chunks:
+        Layout of the parallel content phase (``workers == 0`` means the
+        sequential path ran).
+    phase_seconds:
+        Wall-clock seconds per phase (``content``, ``structure``,
+        ``extras``, ...).
+    """
+
+    entries_checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    queries_evaluated: int = 0
+    violations: int = 0
+    workers: int = 0
+    chunks: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        """Accumulate the wall time of the ``with`` body under ``phase``."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - started
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + elapsed
+
+    def merge(self, other: "CheckStats") -> None:
+        """Fold ``other``'s counters and timings into this record."""
+        self.entries_checked += other.entries_checked
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.queries_evaluated += other.queries_evaluated
+        self.violations += other.violations
+        self.workers = max(self.workers, other.workers)
+        self.chunks += other.chunks
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time across all recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of memoized lookups answered from the cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(label, value) rows for the ``--profile`` table."""
+        rows: List[Tuple[str, str]] = [
+            ("entries content-checked", str(self.entries_checked)),
+            ("fingerprint cache hits", str(self.cache_hits)),
+            ("fingerprint cache misses", str(self.cache_misses)),
+            ("cache hit rate", f"{self.hit_rate:.1%}"),
+            ("query work (entries touched)", str(self.queries_evaluated)),
+            ("violations", str(self.violations)),
+            ("workers", str(self.workers) if self.workers else "sequential"),
+            ("chunks", str(self.chunks)),
+        ]
+        for phase in sorted(self.phase_seconds):
+            rows.append((f"{phase} wall time", f"{self.phase_seconds[phase] * 1e3:.1f} ms"))
+        rows.append(("total wall time", f"{self.total_seconds * 1e3:.1f} ms"))
+        return rows
+
+    def format_table(self) -> str:
+        """The ``--profile`` table: aligned two-column plain text."""
+        rows = self.rows()
+        width = max(len(label) for label, _ in rows)
+        lines = [f"  {label.ljust(width)}  {value}" for label, value in rows]
+        return "\n".join(["profile:"] + lines)
+
+    def __str__(self) -> str:
+        return self.format_table()

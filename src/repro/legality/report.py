@@ -10,7 +10,10 @@ concatenates the content, structure, and extras reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.legality.metrics import CheckStats
 
 __all__ = ["Violation", "LegalityReport", "Kind"]
 
@@ -84,9 +87,16 @@ class Violation:
 
 @dataclass
 class LegalityReport:
-    """The outcome of a legality test: all violations found."""
+    """The outcome of a legality test: all violations found.
+
+    Checks run through the legality engine
+    (:class:`repro.legality.engine.CheckSession`) additionally attach a
+    :class:`~repro.legality.metrics.CheckStats` snapshot under
+    :attr:`stats`; plain checkers leave it ``None``.
+    """
 
     violations: List[Violation] = field(default_factory=list)
+    stats: Optional["CheckStats"] = None
 
     @property
     def is_legal(self) -> bool:

@@ -18,7 +18,7 @@ Two checkers with identical verdicts and very different costs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 from repro.axes import Axis
 from repro.model.instance import DirectoryInstance
@@ -93,6 +93,10 @@ class QueryStructureChecker:
         self.checks: List[TranslatedCheck] = [
             translate_element(element) for element in structure_schema.elements()
         ]
+        #: Evaluator work (entries touched) of the most recent
+        #: :meth:`check`/:meth:`is_legal` call — surfaced by the legality
+        #: engine's observability layer.
+        self.last_cost = 0
 
     def check(self, instance: DirectoryInstance) -> LegalityReport:
         """Evaluate every translated query; collect violations."""
@@ -121,16 +125,20 @@ class QueryStructureChecker:
                         element=str(check.element),
                     )
                 )
+        self.last_cost = evaluator.cost
         return report
 
     def is_legal(self, instance: DirectoryInstance) -> bool:
         """Short-circuiting yes/no variant of :meth:`check`."""
         evaluator = QueryEvaluator(instance)
-        for check in self.checks:
-            result = evaluator.evaluate(check.query)
-            if bool(result) == check.legal_when_empty:
-                return False
-        return True
+        try:
+            for check in self.checks:
+                result = evaluator.evaluate(check.query)
+                if bool(result) == check.legal_when_empty:
+                    return False
+            return True
+        finally:
+            self.last_cost = evaluator.cost
 
 
 class NaiveStructureChecker:

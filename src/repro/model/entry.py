@@ -14,10 +14,18 @@ Entries are owned by a :class:`~repro.model.instance.DirectoryInstance`,
 which assigns them an integer id and maintains the forest relation and the
 per-class index.  Mutating an entry's classes notifies the owner so indexes
 stay correct.
+
+Each entry also exposes a *content fingerprint*
+(:meth:`Entry.content_fingerprint`): a stable digest of
+``(class(r), val(r))`` — exactly the inputs of the Section 3.1 per-entry
+content check.  The legality engine (:mod:`repro.legality.engine`)
+memoizes content verdicts under this key; the cached digest is
+invalidated here, at the mutation sites, so staleness is impossible.
 """
 
 from __future__ import annotations
 
+from hashlib import blake2b
 from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ModelError
@@ -39,7 +47,7 @@ class Entry:
     only useful in tests.
     """
 
-    __slots__ = ("_owner", "eid", "rdn", "_classes", "_attributes")
+    __slots__ = ("_owner", "eid", "rdn", "_classes", "_attributes", "_fingerprint")
 
     def __init__(
         self,
@@ -57,6 +65,7 @@ class Entry:
         self.rdn = rdn
         self._classes: set = class_set
         self._attributes: Dict[str, List[Any]] = {}
+        self._fingerprint: Optional[str] = None
         if attributes:
             for name, values in attributes.items():
                 for value in values:
@@ -79,6 +88,7 @@ class Entry:
         if object_class in self._classes:
             return
         self._classes.add(object_class)
+        self._fingerprint = None
         if self._owner is not None:
             self._owner._on_class_added(self.eid, object_class)
 
@@ -96,6 +106,7 @@ class Entry:
         if len(self._classes) == 1:
             raise ModelError("class(r) must stay non-empty (Definition 2.1)")
         self._classes.remove(object_class)
+        self._fingerprint = None
         if self._owner is not None:
             self._owner._on_class_removed(self.eid, object_class)
 
@@ -146,6 +157,7 @@ class Entry:
         bucket = self._attributes.setdefault(attribute, [])
         if value not in bucket:
             bucket.append(value)
+            self._fingerprint = None
 
     def remove_value(self, attribute: str, value: Any) -> None:
         """Remove a pair from ``val(r)``.
@@ -162,6 +174,7 @@ class Entry:
         if not bucket or value not in bucket:
             raise ModelError(f"entry has no pair ({attribute!r}, {value!r})")
         bucket.remove(value)
+        self._fingerprint = None
         if not bucket:
             del self._attributes[attribute]
 
@@ -192,6 +205,40 @@ class Entry:
     def value_count(self) -> int:
         """``|val(r)|`` — the number of (attribute, value) pairs."""
         return len(self._classes) + sum(len(v) for v in self._attributes.values())
+
+    # ------------------------------------------------------------------
+    # content fingerprint
+    # ------------------------------------------------------------------
+    def content_fingerprint(self) -> str:
+        """A stable digest of ``(class(r), val(r))``.
+
+        Two entries have equal fingerprints exactly when the Section 3.1
+        content check cannot distinguish them, so a content verdict may
+        be reused across any entries (or re-checks) sharing a
+        fingerprint.  The digest is position-independent (the DN does not
+        participate) and process-independent (``blake2b``, not the
+        per-process-salted builtin ``hash``), so verdicts computed by
+        pool workers stay valid in the parent process.
+
+        The digest is cached on the entry and invalidated by every
+        class/value mutation, so recomputing it for an unchanged entry
+        is O(1).
+        """
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            digest = blake2b(digest_size=12)
+            for name in sorted(self._classes):
+                digest.update(b"\x00c")
+                digest.update(name.encode("utf-8"))
+            for name in sorted(self._attributes):
+                digest.update(b"\x00a")
+                digest.update(name.encode("utf-8"))
+                for value in sorted(repr(v) for v in self._attributes[name]):
+                    digest.update(b"\x00v")
+                    digest.update(value.encode("utf-8"))
+            fingerprint = digest.hexdigest()
+            self._fingerprint = fingerprint
+        return fingerprint
 
     # ------------------------------------------------------------------
     # position

@@ -21,7 +21,7 @@ of these primitives by :meth:`insert_subtree` and :meth:`delete_subtree`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import (
     DuplicateEntryError,
@@ -54,6 +54,10 @@ class DirectoryInstance:
         self._children: Dict[int, List[int]] = {}
         self._roots: List[int] = []
         self._by_dn: Dict[str, int] = {}
+        # eid -> DN string, composed in O(1) from the parent's key at
+        # insertion time; keeps add_entry O(1) in depth (no root walk)
+        # and always agrees with the _by_dn keys.
+        self._dn_key: Dict[int, str] = {}
         self._class_index: Dict[str, Set[int]] = {}
         self._next_eid = 0
         # Lazy interval numbering; None means stale.
@@ -87,9 +91,10 @@ class DirectoryInstance:
         if isinstance(rdn, str):
             rdn = parse_rdn(rdn)
         parent_eid = None if parent is None else self._resolve(parent)
-        parent_dn = DN(()) if parent_eid is None else self.dn_of(parent_eid)
-        dn = parent_dn.child(rdn)
-        key = str(dn)
+        if parent_eid is None:
+            key = str(rdn)
+        else:
+            key = f"{rdn},{self._dn_key[parent_eid]}"
         if key in self._by_dn:
             raise DuplicateEntryError(f"an entry with DN {key!r} already exists")
 
@@ -104,6 +109,7 @@ class DirectoryInstance:
         else:
             self._children[parent_eid].append(eid)
         self._by_dn[key] = eid
+        self._dn_key[eid] = key
         for object_class in entry.classes:
             self._class_index.setdefault(object_class, set()).add(eid)
         if attributes:
@@ -132,7 +138,7 @@ class DirectoryInstance:
             self._roots.remove(eid)
         else:
             self._children[parent_eid].remove(eid)
-        del self._by_dn[str(self.dn_of(eid))]
+        del self._by_dn[self._dn_key.pop(eid)]
         for object_class in node.classes:
             bucket = self._class_index.get(object_class)
             if bucket is not None:
@@ -159,10 +165,18 @@ class DirectoryInstance:
         Roots of ``subtree`` become children of ``parent`` (or new roots
         when ``parent`` is ``None``).  Returns the created entries in
         document order.  ``subtree`` itself is not modified.
+
+        Traversal uses an explicit stack, not recursion, so arbitrarily
+        deep subtrees (beyond the interpreter recursion limit) graft
+        fine.
         """
         created: List[Entry] = []
-
-        def graft(src_eid: int, dest_parent: Optional[Entry]) -> None:
+        parent_entry = None if parent is None else self.entry(self._resolve(parent))
+        stack: List[Tuple[int, Optional[Entry]]] = [
+            (root_eid, parent_entry) for root_eid in reversed(subtree.root_ids())
+        ]
+        while stack:
+            src_eid, dest_parent = stack.pop()
             src = subtree.entry(src_eid)
             attributes = {
                 name: list(src.values(name))
@@ -171,12 +185,8 @@ class DirectoryInstance:
             }
             node = self.add_entry(dest_parent, src.rdn, src.classes, attributes)
             created.append(node)
-            for child_eid in subtree.children_ids(src_eid):
-                graft(child_eid, node)
-
-        parent_entry = None if parent is None else self.entry(self._resolve(parent))
-        for root_eid in subtree.root_ids():
-            graft(root_eid, parent_entry)
+            for child_eid in reversed(subtree.children_ids(src_eid)):
+                stack.append((child_eid, node))
         return created
 
     def delete_subtree(self, entry: Entry | int | DN | str) -> "DirectoryInstance":
@@ -184,39 +194,75 @@ class DirectoryInstance:
 
         Returns the removed subtree as a standalone instance (so callers
         can inspect, re-insert, or legality-check what was deleted).
+
+        Pruning a subtree of size ``k`` costs O(k): the root is unlinked
+        from its parent once, DN index keys are derived top-down from
+        the parent's key (no per-node root walk), and the document-order
+        numbering is invalidated once rather than per deleted entry.
         """
         eid = self._resolve(entry)
         removed = self.extract_subtree(eid)
-        for node_eid in reversed(list(self._iter_subtree_ids(eid))):
-            self.delete_entry(node_eid)
+
+        # Unlink the subtree root — the only sibling-list surgery needed.
+        parent_eid = self._parent[eid]
+        if parent_eid is None:
+            self._roots.remove(eid)
+        else:
+            self._children[parent_eid].remove(eid)
+
+        # Discard all k nodes in one pass; DN-index keys come from the
+        # O(1) per-entry key cache, so no node pays a root walk.
+        stack: List[int] = [eid]
+        while stack:
+            node_eid = stack.pop()
+            node = self._entries.pop(node_eid)
+            del self._by_dn[self._dn_key.pop(node_eid)]
+            for object_class in node.classes:
+                bucket = self._class_index.get(object_class)
+                if bucket is not None:
+                    bucket.discard(node_eid)
+                    if not bucket:
+                        del self._class_index[object_class]
+            stack.extend(self._children[node_eid])
+            del self._parent[node_eid]
+            del self._children[node_eid]
+            node._owner = None
+        self._invalidate_order()
         return removed
 
     def extract_subtree(self, entry: Entry | int | DN | str) -> "DirectoryInstance":
         """Copy the subtree rooted at ``entry`` into a fresh instance
-        without modifying this one."""
+        without modifying this one.  Iterative, so depth is unbounded."""
         eid = self._resolve(entry)
         subtree = DirectoryInstance(attributes=self.attributes)
+        self._copy_subtrees_into(subtree, [eid])
+        return subtree
 
-        def copy(node_eid: int, dest_parent: Optional[Entry]) -> None:
+    def copy(self) -> "DirectoryInstance":
+        """Deep-copy the whole instance (entry ids are not preserved)."""
+        clone = DirectoryInstance(attributes=self.attributes)
+        self._copy_subtrees_into(clone, list(self._roots))
+        return clone
+
+    def _copy_subtrees_into(
+        self, target: "DirectoryInstance", root_eids: List[int]
+    ) -> None:
+        """Re-create the subtrees at ``root_eids`` inside ``target`` (as
+        new roots), using an explicit stack instead of recursion."""
+        stack: List[Tuple[int, Optional[Entry]]] = [
+            (root_eid, None) for root_eid in reversed(root_eids)
+        ]
+        while stack:
+            node_eid, dest_parent = stack.pop()
             src = self._entries[node_eid]
             attributes = {
                 name: list(src.values(name))
                 for name in src.attribute_names()
                 if name != "objectClass"
             }
-            node = subtree.add_entry(dest_parent, src.rdn, src.classes, attributes)
-            for child_eid in self._children[node_eid]:
-                copy(child_eid, node)
-
-        copy(eid, None)
-        return subtree
-
-    def copy(self) -> "DirectoryInstance":
-        """Deep-copy the whole instance (entry ids are not preserved)."""
-        clone = DirectoryInstance(attributes=self.attributes)
-        for root_eid in self._roots:
-            clone.insert_subtree(None, self.extract_subtree(root_eid))
-        return clone
+            node = target.add_entry(dest_parent, src.rdn, src.classes, attributes)
+            for child_eid in reversed(self._children[node_eid]):
+                stack.append((child_eid, node))
 
     # ------------------------------------------------------------------
     # lookups
@@ -243,6 +289,16 @@ class DirectoryInstance:
             rdns.append(node.rdn)
             cursor = self._parent[cursor]
         return DN(tuple(rdns))
+
+    def dn_string_of(self, entry: Entry | int) -> str:
+        """The DN string of ``entry`` in O(1).
+
+        Equal to ``str(self.dn_of(entry))`` but read from the insertion-
+        time key cache instead of walking to the root — the form hot
+        per-entry paths (content checking every entry of a deep
+        directory) should use.
+        """
+        return self._dn_key[self._resolve(entry)]
 
     def entries_with_class(self, object_class: str) -> Set[int]:
         """Ids of entries ``r`` with ``object_class in class(r)`` — the

@@ -51,7 +51,13 @@ class AttributeType:
 
     name: str
     contains: Callable[[Any], bool] = field(repr=False)
-    normalize: Callable[[Any], Any] = field(default=lambda v: v, repr=False)
+    # Module-level default (not a lambda) so types — and hence schemas —
+    # stay picklable for the process-pool legality engine.
+    normalize: Callable[[Any], Any] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.normalize is None:
+            object.__setattr__(self, "normalize", _identity)
 
     def coerce(self, value: Any) -> Any:
         """Normalize ``value`` and verify it belongs to ``dom(t)``.
@@ -74,8 +80,16 @@ class AttributeType:
         return normalized
 
 
+def _identity(value: Any) -> Any:
+    return value
+
+
 def _is_string(value: Any) -> bool:
     return isinstance(value, str)
+
+
+def _normalize_string(value: Any) -> Any:
+    return value if isinstance(value, str) else str(value)
 
 
 def _is_int(value: Any) -> bool:
@@ -120,7 +134,7 @@ def _is_dn(value: Any) -> bool:
     return isinstance(value, str) and bool(_DN_RE.match(value))
 
 
-STRING = AttributeType("string", _is_string, lambda v: v if isinstance(v, str) else str(v))
+STRING = AttributeType("string", _is_string, _normalize_string)
 INTEGER = AttributeType("integer", _is_int, _normalize_int)
 BOOLEAN = AttributeType("boolean", _is_bool, _normalize_bool)
 DN_TYPE = AttributeType("dn", _is_dn)

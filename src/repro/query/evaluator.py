@@ -54,6 +54,14 @@ class QueryEvaluator:
     cost:
         A machine-independent work counter (entries touched), used by the
         benchmarks to measure complexity *shape* without timing noise.
+        It accumulates across :meth:`evaluate` calls for the lifetime of
+        the evaluator.
+    last_cost:
+        The work done by the most recent :meth:`evaluate` call alone.
+        Interleaved callers sharing one evaluator should read this (or
+        call :meth:`reset_cost` between queries) instead of diffing
+        ``cost`` themselves — the cumulative counter silently blends
+        their work together.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class QueryEvaluator:
         self.instance = instance
         self.scopes = dict(scopes) if scopes else {}
         self.cost = 0
+        self.last_cost = 0
         #: When false, the evaluator always materializes both operands
         #: and uses whole-forest flag passes — the non-adaptive baseline
         #: measured by the strategy-ablation benchmark.
@@ -74,9 +83,20 @@ class QueryEvaluator:
     # public API
     # ------------------------------------------------------------------
     def evaluate(self, query: Query) -> Set[int]:
-        """Evaluate ``query`` and return the selected entry ids."""
+        """Evaluate ``query`` and return the selected entry ids.
+
+        The work this call performed (alone) is captured in
+        :attr:`last_cost`; :attr:`cost` keeps the running total.
+        """
+        before = self.cost
         result = self._eval(query)
+        self.last_cost = self.cost - before
         return result
+
+    def reset_cost(self) -> None:
+        """Zero both work counters (per-caller cost attribution)."""
+        self.cost = 0
+        self.last_cost = 0
 
     # ------------------------------------------------------------------
     # node dispatch

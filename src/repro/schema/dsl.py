@@ -37,7 +37,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.axes import Axis
 from repro.errors import DslError

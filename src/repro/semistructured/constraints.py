@@ -24,7 +24,7 @@ exactly the point of Section 6.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import Set
 
 from repro.axes import Axis
 from repro.errors import SchemaError

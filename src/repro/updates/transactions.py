@@ -26,7 +26,7 @@ from typing import Dict, List, Literal, Optional
 from repro.errors import UpdateError
 from repro.model.dn import DN
 from repro.model.instance import DirectoryInstance
-from repro.updates.operations import DeleteEntry, InsertEntry, UpdateTransaction
+from repro.updates.operations import InsertEntry, UpdateTransaction
 
 __all__ = ["SubtreeUpdate", "decompose", "apply_subtree_update"]
 

@@ -274,3 +274,47 @@ class TestFsckAndRecover:
         assert main(["recover", path, "--schema", schema, "--force"]) == 0
         assert "REPAIRED" in capsys.readouterr().out
         assert main(["fsck", path, "--schema", schema]) == 0
+
+
+class TestCheck:
+    def test_legal_instance_exits_zero(self, paths, capsys):
+        schema, data, _ = paths
+        assert main(["check", "--schema", schema, "--data", data]) == 0
+        assert "LEGAL" in capsys.readouterr().out
+
+    def test_illegal_instance_exits_one(self, paths, capsys):
+        schema, data, tmp = paths
+        instance = figure1_instance()
+        instance.entry("uid=suciu,ou=databases,ou=attLabs,o=att").add_class(
+            "packetRouter"
+        )
+        bad = tmp / "bad.ldif"
+        dump_ldif(instance, str(bad))
+        assert main(["check", "--schema", schema, "--data", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ILLEGAL" in out and "packetRouter" in out
+
+    def test_profile_prints_engine_counters(self, paths, capsys):
+        schema, data, _ = paths
+        assert main(["check", "--schema", schema, "--data", data,
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "entries content-checked" in out
+        assert "wall time" in out
+
+    def test_jobs_flag_parallel_verdict(self, paths, capsys):
+        schema, data, _ = paths
+        assert main(["check", "--schema", schema, "--data", data,
+                     "--jobs", "2"]) == 0
+        assert "LEGAL" in capsys.readouterr().out
+
+    def test_jobs_zero_means_cpu_count(self, paths, capsys):
+        schema, data, _ = paths
+        assert main(["check", "--schema", schema, "--data", data,
+                     "--jobs", "0", "--profile"]) == 0
+        assert "LEGAL" in capsys.readouterr().out
+
+    def test_naive_structure_strategy(self, paths):
+        schema, data, _ = paths
+        assert main(["check", "--schema", schema, "--data", data,
+                     "--structure", "naive"]) == 0

@@ -7,7 +7,6 @@ from repro.axes import Axis
 from repro.consistency.engine import close
 from repro.legality.checker import LegalityChecker
 from repro.schema.elements import (
-    BOTTOM,
     Disjoint,
     ForbiddenEdge,
     RequiredClass,

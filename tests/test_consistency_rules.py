@@ -11,7 +11,6 @@ from repro.axes import Axis
 from repro.consistency.engine import close
 from repro.consistency.rules import RULES
 from repro.schema.elements import (
-    BOTTOM,
     EMPTY_CLASS,
     Disjoint,
     ForbiddenEdge,

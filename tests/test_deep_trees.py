@@ -1,0 +1,100 @@
+"""Regression tests for pathologically deep directories.
+
+The subtree operations (`insert_subtree`, `extract_subtree`, `copy`,
+`delete_subtree`) used to recurse per level and blew the interpreter
+recursion limit at ~1000 levels; they now walk an explicit stack, and
+the DN index is maintained through an O(1) per-entry key cache, so a
+depth-5000 chain round-trips in linear time.  LDAP deployments do nest
+this deep in the wild (auto-generated organizational trees), and the
+paper's model places no depth bound on ``N``.
+"""
+
+import sys
+
+import pytest
+
+from repro.legality.checker import LegalityChecker
+from repro.model.instance import DirectoryInstance
+from repro.workloads import whitepages_registry, whitepages_schema
+
+DEPTH = 5000
+
+
+@pytest.fixture(scope="module")
+def deep_chain():
+    """A legal white-pages instance that is one DEPTH-level unit chain:
+    org -> ou=u0 -> ... -> ou=u4998 -> uid=leaf."""
+    instance = DirectoryInstance(attributes=whitepages_registry())
+    parent = instance.add_entry(
+        None, "o=deep", ["organization", "orgGroup", "top"], {"o": ["deep"]}
+    )
+    for i in range(DEPTH - 2):
+        parent = instance.add_entry(
+            parent, f"ou=u{i}", ["orgUnit", "orgGroup", "top"], {"ou": [f"u{i}"]}
+        )
+    instance.add_entry(
+        parent, "uid=leaf", ["person", "top"],
+        {"uid": ["leaf"], "name": ["leaf person"]},
+    )
+    return instance
+
+
+def test_recursion_limit_is_actually_exceeded(deep_chain):
+    # Guard the guard: the chain must be deeper than the recursion
+    # limit, otherwise these tests prove nothing.
+    assert deep_chain.max_depth() == DEPTH  # roots have depth 1
+    assert DEPTH > sys.getrecursionlimit()
+
+
+def test_deep_copy(deep_chain):
+    clone = deep_chain.copy()
+    assert len(clone) == DEPTH
+    assert clone.find(deep_chain.dn_string_of(deep_chain.roots()[0])) is not None
+
+
+def test_deep_extract_subtree(deep_chain):
+    sub = deep_chain.extract_subtree("o=deep")
+    assert len(sub) == DEPTH
+    assert len(deep_chain) == DEPTH  # extraction does not mutate
+
+
+def test_deep_insert_extract_delete_roundtrip(deep_chain):
+    instance = deep_chain.copy()
+    snapshot = instance.extract_subtree("o=deep")
+    removed = instance.delete_subtree("o=deep")
+    assert len(removed) == DEPTH
+    assert len(instance) == 0
+    created = instance.insert_subtree(None, snapshot)
+    assert len(created) == len(instance) == DEPTH
+    # DN index survives the round trip down to the leaf
+    leaf_dn = instance.dn_string_of(created[-1])
+    assert leaf_dn.startswith("uid=leaf,")
+    assert instance.find(leaf_dn) is not None
+
+
+def test_deep_graft_under_existing_entry(deep_chain):
+    instance = DirectoryInstance(attributes=whitepages_registry())
+    instance.add_entry(
+        None, "o=host", ["organization", "orgGroup", "top"], {"o": ["host"]}
+    )
+    sub = deep_chain.extract_subtree(deep_chain.children_of(deep_chain.roots()[0])[0])
+    instance.insert_subtree("o=host", sub)
+    assert len(instance) == DEPTH
+    assert instance.max_depth() == DEPTH
+
+
+def test_deep_full_legality_check(deep_chain):
+    checker = LegalityChecker(whitepages_schema())
+    report = checker.check(deep_chain)
+    assert report.is_legal, str(report.violations[:3])
+
+
+def test_deep_check_detects_violation(deep_chain):
+    instance = deep_chain.copy()
+    # break the deepest person: drop its required name value
+    leaf = next(iter(instance.entries_with_class("person")))
+    entry = instance.entry(leaf)
+    entry.remove_value("name", next(iter(entry.values("name"))))
+    report = LegalityChecker(whitepages_schema()).check(instance)
+    assert not report.is_legal
+    assert any(v.dn is not None and v.dn.startswith("uid=leaf,") for v in report)

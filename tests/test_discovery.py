@@ -14,7 +14,6 @@ from repro.model.instance import DirectoryInstance
 from repro.schema.discovery import DiscoveryOptions, discover_schema
 from repro.schema.elements import ForbiddenEdge, RequiredEdge
 from repro.workloads import (
-    figure1_instance,
     generate_den,
     generate_whitepages,
 )

@@ -4,7 +4,6 @@ The key property: a diff classified as lightweight (only relaxing
 changes) never invalidates an instance that was legal under the old
 schema."""
 
-import copy
 
 from hypothesis import given, settings, strategies as st
 

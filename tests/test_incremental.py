@@ -22,7 +22,6 @@ from repro.workloads import (
     deletable_units,
     figure1_instance,
     generate_whitepages,
-    make_person_subtree,
     make_unit_subtree,
     random_insertions,
     random_transaction,

@@ -257,3 +257,83 @@ class TestForestProperties:
         removed = d.delete_subtree(entries[0])
         d.insert_subtree(None, removed)
         assert len(d) == before
+
+
+class TestDeleteSubtreeConsistency:
+    """After the O(k) one-pass prune, every index must agree with a
+    freshly built instance: DN index, class index, and the (pre, post)
+    interval numbering."""
+
+    def deletable_tree(self):
+        d = DirectoryInstance()
+        root = d.add_entry(None, "o=att", ["organization", "top"])
+        labs = d.add_entry(root, "ou=labs", ["orgUnit", "top"])
+        d.add_entry(labs, "uid=a", ["person", "top"])
+        d.add_entry(labs, "uid=b", ["person", "researcher", "top"])
+        hr = d.add_entry(root, "ou=hr", ["orgUnit", "top"])
+        d.add_entry(hr, "uid=c", ["person", "top"])
+        return d
+
+    def test_class_index_drops_only_pruned_entries(self):
+        d = self.deletable_tree()
+        d.delete_subtree("ou=labs,o=att")
+        assert d.entries_with_class("researcher") == set()
+        assert len(d.entries_with_class("person")) == 1
+        assert d.class_count("orgUnit") == 1
+        # buckets emptied by the prune are removed, not left as junk
+        assert "researcher" not in d._class_index
+
+    def test_dn_index_consistent_after_prune(self):
+        d = self.deletable_tree()
+        d.delete_subtree("ou=labs,o=att")
+        assert d.find("uid=a,ou=labs,o=att") is None
+        assert d.find("uid=c,ou=hr,o=att") is not None
+        # the internal DN key cache holds exactly the surviving entries
+        assert set(d._dn_key) == set(d.entry_ids())
+        assert set(d._by_dn.values()) == set(d.entry_ids())
+        for eid in d.entry_ids():
+            assert d._by_dn[d.dn_string_of(eid)] == eid
+
+    def test_intervals_renumbered_after_prune(self):
+        d = self.deletable_tree()
+        d.delete_subtree("ou=labs,o=att")
+        # interval nesting still encodes exactly the remaining ancestry
+        root = d.entry("o=att")
+        hr = d.entry("ou=hr,o=att")
+        c = d.entry("uid=c,ou=hr,o=att")
+        r_pre, r_post = d.interval_of(root)
+        h_pre, h_post = d.interval_of(hr)
+        c_pre, c_post = d.interval_of(c)
+        assert r_pre < h_pre and h_post < r_post
+        assert h_pre < c_pre and c_post < h_post
+        assert d.is_ancestor(root, c) and not d.is_ancestor(c, root)
+        # intervals exist only for surviving entries
+        d._ensure_order()
+        assert set(d._pre) == set(d.entry_ids())
+
+    def test_pruned_entries_are_detached(self):
+        d = self.deletable_tree()
+        labs = d.entry("ou=labs,o=att")
+        removed = d.delete_subtree(labs)
+        # the removed copy is standalone; the pruned originals are orphaned
+        assert labs._owner is None
+        assert removed.find("ou=labs") is not None
+        with pytest.raises(UnknownEntryError):
+            d.entry(labs)
+
+    def test_delete_subtree_work_is_linear_in_k(self):
+        # machine-independent O(k) evidence: pruning a k-subtree from a
+        # large instance must not touch the rest of the DN index
+        d = DirectoryInstance()
+        root = d.add_entry(None, "o=big", ["top"])
+        for i in range(200):
+            d.add_entry(root, f"ou=filler{i}", ["top"])
+        target = d.add_entry(root, "ou=victim", ["top"])
+        for i in range(10):
+            d.add_entry(target, f"uid=v{i}", ["top"])
+        keys_before = dict(d._dn_key)
+        d.delete_subtree(target)
+        # survivors keep their identical cached keys (no rebuild)
+        for eid, key in d._dn_key.items():
+            assert keys_before[eid] == key
+        assert len(keys_before) - len(d._dn_key) == 11

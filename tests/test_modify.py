@@ -8,7 +8,7 @@ from repro.ldif import serialize_ldif
 from repro.ldif.modify import apply_modification, parse_modifications
 from repro.legality.checker import LegalityChecker
 from repro.updates.incremental import IncrementalChecker
-from repro.workloads import figure1_instance, generate_whitepages, whitepages_schema
+from repro.workloads import generate_whitepages
 
 LAKS = "uid=laks,ou=databases,ou=attLabs,o=att"
 SUCIU = "uid=suciu,ou=databases,ou=attLabs,o=att"

@@ -209,3 +209,49 @@ class TestStrategyAgreement:
     def test_query_size(self):
         query = Minus(oc("a"), HSelect(Axis.CHILD, oc("a"), oc("b")))
         assert query.size() == 5
+
+
+class TestCostAttribution:
+    """``cost`` accumulates across calls silently; ``last_cost`` and
+    ``reset_cost`` give callers per-query attribution."""
+
+    def test_last_cost_isolates_each_call(self):
+        d = chain(["a"] * 8 + ["b"] * 2)
+        evaluator = QueryEvaluator(d)
+        evaluator.evaluate(oc("a"))
+        first = evaluator.last_cost
+        evaluator.evaluate(oc("b"))
+        second = evaluator.last_cost
+        assert first > 0 and second > 0
+        assert first != second  # 8 a-entries vs 2 b-entries touched
+        assert evaluator.cost == first + second
+
+    def test_last_cost_sums_to_cumulative_cost(self):
+        d = chain(["a", "b", "a", "c", "b"])
+        evaluator = QueryEvaluator(d)
+        total = 0
+        for label in ("a", "b", "c", "a"):
+            evaluator.evaluate(oc(label))
+            total += evaluator.last_cost
+        assert evaluator.cost == total
+
+    def test_reset_cost_zeroes_both_counters(self):
+        d = chain(["a", "b"])
+        evaluator = QueryEvaluator(d)
+        evaluator.evaluate(oc("a"))
+        assert evaluator.cost > 0
+        evaluator.reset_cost()
+        assert evaluator.cost == 0 and evaluator.last_cost == 0
+        evaluator.evaluate(oc("b"))
+        assert evaluator.cost == evaluator.last_cost
+
+    def test_structure_checker_surfaces_last_cost(self, wp_schema, fig1):
+        from repro.legality.structure import QueryStructureChecker
+
+        checker = QueryStructureChecker(wp_schema.structure_schema)
+        assert checker.last_cost == 0
+        checker.check(fig1)
+        full = checker.last_cost
+        assert full > 0
+        checker.is_legal(fig1)
+        assert checker.last_cost > 0

@@ -15,7 +15,6 @@ exact.
 """
 
 import os
-import shutil
 
 import pytest
 

@@ -3,7 +3,6 @@ naive baseline must agree everywhere (Section 3.2)."""
 
 from hypothesis import given, settings, strategies as st
 
-from repro.axes import Axis
 from repro.legality.report import Kind
 from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
 from repro.model.instance import DirectoryInstance

@@ -4,8 +4,6 @@
 import pytest
 
 from repro.errors import UpdateError
-from repro.model.dn import parse_dn
-from repro.model.instance import DirectoryInstance
 from repro.updates.operations import DeleteEntry, InsertEntry, UpdateTransaction
 from repro.updates.transactions import apply_subtree_update, decompose
 from repro.workloads import figure1_instance

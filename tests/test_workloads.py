@@ -9,11 +9,9 @@ from repro.legality.checker import LegalityChecker
 from repro.workloads import (
     den_schema,
     den_schema_overconstrained,
-    figure1_instance,
     generate_den,
     generate_whitepages,
     random_schema,
-    whitepages_schema,
 )
 
 

@@ -2,9 +2,9 @@
 
 Usage::
 
-    bounding-schemas validate    --schema S.dsl --data D.ldif [--structure query|naive]
+    bounding-schemas validate    --schema S.dsl --data D.ldif [--structure query|naive|batched]
     bounding-schemas check       --schema S.dsl --data D.ldif [--jobs N] [--profile]
-                                 [--structure query|naive]
+                                 [--structure batched|query|naive]
     bounding-schemas consistency --schema S.dsl [--witness OUT.ldif] [--proof]
                                  [--repair]
     bounding-schemas query       --data D.ldif --filter '(objectClass=person)'
@@ -322,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--data", required=True, help="LDIF instance file")
     validate.add_argument(
         "--structure",
-        choices=("query", "naive"),
+        choices=("query", "naive", "batched"),
         default="query",
         help="structure-checking strategy (default: the Figure 4 reduction)",
     )
@@ -348,9 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--structure",
-        choices=("query", "naive"),
-        default="query",
-        help="structure-checking strategy (default: the Figure 4 reduction)",
+        choices=("batched", "query", "naive"),
+        default="batched",
+        help="structure-checking strategy (default: the batched "
+        "structure engine; 'query' evaluates the Figure 4 reduction "
+        "one query at a time)",
     )
     check.set_defaults(func=_cmd_check)
 

@@ -7,6 +7,7 @@ from repro.legality.extras import ExtrasChecker
 from repro.legality.metrics import CheckStats
 from repro.legality.report import Kind, LegalityReport, Violation
 from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+from repro.legality.structure_engine import StructureEngine
 
 __all__ = [
     "LegalityChecker",
@@ -16,6 +17,7 @@ __all__ = [
     "ExtrasChecker",
     "QueryStructureChecker",
     "NaiveStructureChecker",
+    "StructureEngine",
     "LegalityReport",
     "Violation",
     "Kind",

@@ -6,9 +6,11 @@ when the schema declares extras — the Section 6.1 checks, into one
 ``O(|D| * (...))`` pass matching the Theorem 3.1 bound.
 
 The ``structure`` argument selects the structure-checking strategy:
-``"query"`` (the paper's linear reduction, default) or ``"naive"`` (the
-quadratic pairwise baseline) — both produce identical verdicts, which the
-test suite asserts by differential testing.
+``"query"`` (the paper's linear reduction, default), ``"naive"`` (the
+quadratic pairwise baseline), or ``"batched"`` (the
+:class:`~repro.legality.structure_engine.StructureEngine`, which
+evaluates the whole check set as one batch) — all produce identical
+verdicts, which the test suite asserts by differential testing.
 
 The ``parallelism`` knob routes checking through the
 :class:`~repro.legality.engine.CheckSession` engine: the per-entry
@@ -28,6 +30,7 @@ from repro.legality.engine import CheckSession
 from repro.legality.extras import ExtrasChecker
 from repro.legality.report import LegalityReport
 from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+from repro.legality.structure_engine import StructureEngine
 from repro.schema.directory_schema import DirectorySchema
 
 __all__ = ["LegalityChecker"]
@@ -44,7 +47,8 @@ class LegalityChecker:
     schema:
         The bounding-schema to check against.
     structure:
-        Structure-checking strategy (``"query"`` or ``"naive"``).
+        Structure-checking strategy (``"batched"``, ``"query"``, or
+        ``"naive"``).
     parallelism:
         When not ``None``, delegate to a
         :class:`~repro.legality.engine.CheckSession` with this many
@@ -55,17 +59,19 @@ class LegalityChecker:
     def __init__(
         self,
         schema: DirectorySchema,
-        structure: Literal["query", "naive"] = "query",
+        structure: Literal["batched", "query", "naive"] = "query",
         parallelism: Optional[int] = None,
     ) -> None:
         self.schema = schema
         self.content = ContentChecker(schema)
         if structure == "query":
-            self.structure: QueryStructureChecker | NaiveStructureChecker = (
-                QueryStructureChecker(schema.structure_schema)
-            )
+            self.structure: (
+                QueryStructureChecker | NaiveStructureChecker | StructureEngine
+            ) = QueryStructureChecker(schema.structure_schema)
         elif structure == "naive":
             self.structure = NaiveStructureChecker(schema.structure_schema)
+        elif structure == "batched":
+            self.structure = StructureEngine(schema.structure_schema)
         else:
             raise ValueError(f"unknown structure strategy {structure!r}")
         self.extras = None if schema.extras is None else ExtrasChecker(schema.extras)
@@ -98,6 +104,8 @@ class LegalityChecker:
         return True
 
     def close(self) -> None:
-        """Release the engine's worker pool, if one was created."""
+        """Release the worker pools, if any were created."""
         if self.session is not None:
             self.session.close()
+        if isinstance(self.structure, StructureEngine):
+            self.structure.close()

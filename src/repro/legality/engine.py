@@ -21,9 +21,12 @@ validation engines for sibling formalisms (ShEx, SHACL) exploit — so a
    hits, query work, per-phase wall time) attached to the returned
    report and accumulated on the session.
 
-Structure and extras checking remain the global single-pass algorithms
-of Sections 3.2/6.1 — they are already linear with small constants and
-touch cross-entry state that does not shard.
+The structure phase runs on the
+:class:`~repro.legality.structure_engine.StructureEngine` by default:
+the whole Figure 4 check set is evaluated as one batch (combined flag
+passes, concurrent non-batched checks on the session's ``parallelism``,
+per-element verdict memoization keyed on class fingerprints).  Extras
+checking remains the global single-pass algorithm of Section 6.1.
 
 Verdict equivalence with the sequential :class:`ContentChecker` (and the
 naive structure baseline) is asserted by differential tests: same
@@ -34,15 +37,17 @@ from __future__ import annotations
 
 import os
 import pickle
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
-from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Literal, Mapping, Optional, Sequence, Tuple
 
 from repro.legality.content import ContentChecker
 from repro.legality.extras import ExtrasChecker
 from repro.legality.metrics import CheckStats
 from repro.legality.report import LegalityReport, Violation
 from repro.legality.structure import NaiveStructureChecker, QueryStructureChecker
+from repro.legality.structure_engine import StructureEngine
 from repro.model.dn import RDN
 from repro.model.entry import Entry
 from repro.model.instance import DirectoryInstance
@@ -106,8 +111,12 @@ class CheckSession:
         Worker count for the content phase.  ``None`` or ``<= 1`` runs
         sequentially (still memoized).
     structure:
-        ``"query"`` (the paper's linear reduction) or ``"naive"`` (the
-        quadratic differential-testing oracle).
+        ``"batched"`` (default — the
+        :class:`~repro.legality.structure_engine.StructureEngine`:
+        batched flag propagation, concurrent evaluation on this
+        session's ``parallelism``, per-element memoized verdicts),
+        ``"query"`` (the paper's one-query-at-a-time linear reduction),
+        or ``"naive"`` (the quadratic differential-testing oracle).
     executor:
         ``"process"``, ``"thread"``, or ``"auto"`` (default): prefer
         processes, fall back to threads when the schema does not pickle
@@ -117,9 +126,9 @@ class CheckSession:
         entry is checked every time) — used by benchmarks that need
         cold-path timings.
     cache_limit:
-        Maximum number of cached verdicts; the cache is dropped
-        wholesale when exceeded (bounds memory on adversarial streams
-        of ever-fresh content).
+        Maximum number of cached verdicts; eviction is LRU (one coldest
+        verdict per insertion beyond the limit), so hot verdicts
+        survive adversarial streams of ever-fresh content.
     min_parallel:
         Instances smaller than this run the sequential path even when
         ``parallelism > 1`` — pool latency would dominate.
@@ -129,7 +138,7 @@ class CheckSession:
         self,
         schema: DirectorySchema,
         parallelism: Optional[int] = None,
-        structure: Literal["query", "naive"] = "query",
+        structure: Literal["batched", "query", "naive"] = "batched",
         executor: Literal["auto", "process", "thread"] = "auto",
         memoize: bool = True,
         cache_limit: int = 1_000_000,
@@ -141,10 +150,16 @@ class CheckSession:
         self.cache_limit = cache_limit
         self.min_parallel = min_parallel
         self.content = ContentChecker(schema)
-        if structure == "query":
-            self.structure: QueryStructureChecker | NaiveStructureChecker = (
-                QueryStructureChecker(schema.structure_schema)
+        if structure == "batched":
+            self.structure: (
+                StructureEngine | QueryStructureChecker | NaiveStructureChecker
+            ) = StructureEngine(
+                schema.structure_schema,
+                parallelism=self.parallelism,
+                memoize=memoize,
             )
+        elif structure == "query":
+            self.structure = QueryStructureChecker(schema.structure_schema)
         elif structure == "naive":
             self.structure = NaiveStructureChecker(schema.structure_schema)
         else:
@@ -152,7 +167,7 @@ class CheckSession:
         self.extras = None if schema.extras is None else ExtrasChecker(schema.extras)
         #: Cumulative stats across every check this session ran.
         self.stats = CheckStats()
-        self._cache: Dict[str, Verdict] = {}
+        self._cache: "OrderedDict[str, Verdict]" = OrderedDict()
         self._executor: Optional[Executor] = None
         self._executor_kind: str = executor
         self._schema_bytes: Optional[bytes] = None
@@ -164,10 +179,12 @@ class CheckSession:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pools (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if isinstance(self.structure, StructureEngine):
+            self.structure.close()
 
     def __enter__(self) -> "CheckSession":
         return self
@@ -176,8 +193,10 @@ class CheckSession:
         self.close()
 
     def clear_cache(self) -> None:
-        """Drop every memoized verdict."""
+        """Drop every memoized verdict (content and structure)."""
         self._cache.clear()
+        if isinstance(self.structure, StructureEngine):
+            self.structure.clear_memo()
 
     @property
     def cache_size(self) -> int:
@@ -202,6 +221,12 @@ class CheckSession:
         with stats.timer("structure"):
             report.extend(self.structure.check(instance).violations)
         stats.queries_evaluated += getattr(self.structure, "last_cost", 0)
+        stats.structure_checks += getattr(
+            self.structure, "last_checks_evaluated", 0
+        )
+        stats.structure_cache_hits += getattr(self.structure, "last_cache_hits", 0)
+        stats.structure_batched += getattr(self.structure, "last_batched", 0)
+        stats.flag_passes += getattr(self.structure, "last_flag_passes", 0)
         if self.extras is not None:
             with stats.timer("extras"):
                 report.extend(self.extras.check(instance).violations)
@@ -228,6 +253,8 @@ class CheckSession:
             return self.content.check_entry(entry, dn=where)
         fingerprint = entry.content_fingerprint()
         verdict = self._cache.get(fingerprint)
+        if verdict is not None:
+            self._cache.move_to_end(fingerprint)
         if verdict is None:
             self.stats.cache_misses += 1
             self.stats.entries_checked += 1
@@ -259,6 +286,7 @@ class CheckSession:
                 if cached is None:
                     misses.append(index)
                 else:
+                    self._cache.move_to_end(entry.content_fingerprint())
                     verdicts[index] = cached
             stats.cache_hits += len(entries) - len(misses)
             stats.cache_misses += len(misses)
@@ -396,9 +424,56 @@ class CheckSession:
     # cache internals
     # ------------------------------------------------------------------
     def _store(self, fingerprint: str, verdict: Verdict) -> None:
-        if len(self._cache) >= self.cache_limit:
-            self._cache.clear()
+        if fingerprint in self._cache:
+            self._cache.move_to_end(fingerprint)
+            self._cache[fingerprint] = verdict
+            return
+        # LRU eviction: drop exactly the coldest verdict per insertion
+        # beyond the limit — hot entries survive adversarial streams of
+        # ever-fresh content (a wholesale clear() would not).
+        while len(self._cache) >= self.cache_limit:
+            self._cache.popitem(last=False)
         self._cache[fingerprint] = verdict
+
+    # ------------------------------------------------------------------
+    # cache persistence (the DirectoryStore sidecar)
+    # ------------------------------------------------------------------
+    def export_verdicts(self) -> Dict[str, List[List[Optional[str]]]]:
+        """The fingerprint cache as a JSON-serializable mapping —
+        ``fingerprint -> [[kind, message, element-or-null], ...]`` —
+        for the :mod:`repro.store.journal` warm-start sidecar.
+        Fingerprints are content digests (position-independent and
+        stable across processes), so exported verdicts stay valid for
+        any instance checked under the same schema."""
+        return {
+            fingerprint: [list(entry) for entry in verdict]
+            for fingerprint, verdict in self._cache.items()
+        }
+
+    def import_verdicts(self, payload: Mapping[str, object]) -> int:
+        """Warm the fingerprint cache from :meth:`export_verdicts`
+        output.  Malformed rows are rejected wholesale (``ValueError``)
+        — a corrupt sidecar must degrade to a cold start, never seed a
+        wrong verdict.  Returns the number of verdicts imported."""
+        staged: List[Tuple[str, Verdict]] = []
+        for fingerprint, rows in payload.items():
+            if not isinstance(fingerprint, str) or not isinstance(rows, list):
+                raise ValueError("malformed verdict-cache payload")
+            verdict: List[Tuple[str, str, Optional[str]]] = []
+            for row in rows:
+                if (
+                    not isinstance(row, list)
+                    or len(row) != 3
+                    or not isinstance(row[0], str)
+                    or not isinstance(row[1], str)
+                    or not (row[2] is None or isinstance(row[2], str))
+                ):
+                    raise ValueError("malformed verdict-cache payload")
+                verdict.append((row[0], row[1], row[2]))
+            staged.append((fingerprint, tuple(verdict)))
+        for fingerprint, verdict in staged:
+            self._store(fingerprint, verdict)
+        return len(staged)
 
 
 def default_parallelism() -> int:

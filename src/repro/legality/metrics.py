@@ -40,6 +40,19 @@ class CheckStats:
     queries_evaluated:
         Work done by the hierarchical query evaluator (entries touched)
         during structure checking.
+    structure_checks:
+        Structure-schema elements actually *evaluated* (memoized verdict
+        hits do not count) — the structure-phase analogue of
+        ``entries_checked``.
+    structure_cache_hits:
+        Structure verdicts served from the per-element fingerprint memo.
+    structure_batched:
+        Structure elements answered by the combined bitmask flag pass
+        instead of an individual Figure 4 query evaluation.
+    flag_passes:
+        Whole-forest flag-propagation sweeps performed (the batched
+        engine needs at most 2 per check, one per direction, however
+        many elements share them).
     violations:
         Violations reported.
     workers / chunks:
@@ -54,6 +67,10 @@ class CheckStats:
     cache_hits: int = 0
     cache_misses: int = 0
     queries_evaluated: int = 0
+    structure_checks: int = 0
+    structure_cache_hits: int = 0
+    structure_batched: int = 0
+    flag_passes: int = 0
     violations: int = 0
     workers: int = 0
     chunks: int = 0
@@ -78,11 +95,47 @@ class CheckStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.queries_evaluated += other.queries_evaluated
+        self.structure_checks += other.structure_checks
+        self.structure_cache_hits += other.structure_cache_hits
+        self.structure_batched += other.structure_batched
+        self.flag_passes += other.flag_passes
         self.violations += other.violations
         self.workers = max(self.workers, other.workers)
         self.chunks += other.chunks
         for phase, seconds in other.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def copy(self) -> "CheckStats":
+        """An independent snapshot of this record."""
+        snapshot = CheckStats()
+        snapshot.merge(self)
+        return snapshot
+
+    def since(self, baseline: "CheckStats") -> "CheckStats":
+        """The delta from ``baseline`` to this record — what happened
+        between two snapshots of a cumulative session counter (used by
+        :meth:`repro.store.journal.DirectoryStore.apply` to attribute
+        check work to one transaction)."""
+        delta = CheckStats(
+            entries_checked=self.entries_checked - baseline.entries_checked,
+            cache_hits=self.cache_hits - baseline.cache_hits,
+            cache_misses=self.cache_misses - baseline.cache_misses,
+            queries_evaluated=self.queries_evaluated - baseline.queries_evaluated,
+            structure_checks=self.structure_checks - baseline.structure_checks,
+            structure_cache_hits=(
+                self.structure_cache_hits - baseline.structure_cache_hits
+            ),
+            structure_batched=self.structure_batched - baseline.structure_batched,
+            flag_passes=self.flag_passes - baseline.flag_passes,
+            violations=self.violations - baseline.violations,
+            workers=self.workers,
+            chunks=self.chunks - baseline.chunks,
+        )
+        for phase, seconds in self.phase_seconds.items():
+            before = baseline.phase_seconds.get(phase, 0.0)
+            if seconds - before > 0.0:
+                delta.phase_seconds[phase] = seconds - before
+        return delta
 
     # ------------------------------------------------------------------
     # reading
@@ -106,6 +159,10 @@ class CheckStats:
             ("fingerprint cache misses", str(self.cache_misses)),
             ("cache hit rate", f"{self.hit_rate:.1%}"),
             ("query work (entries touched)", str(self.queries_evaluated)),
+            ("structure checks evaluated", str(self.structure_checks)),
+            ("structure memo hits", str(self.structure_cache_hits)),
+            ("structure checks batched", str(self.structure_batched)),
+            ("flag passes", str(self.flag_passes)),
             ("violations", str(self.violations)),
             ("workers", str(self.workers) if self.workers else "sequential"),
             ("chunks", str(self.chunks)),

@@ -21,6 +21,7 @@ of these primitives by :meth:`insert_subtree` and :meth:`delete_subtree`.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import (
@@ -33,6 +34,12 @@ from repro.model.dn import DN, RDN, parse_dn, parse_rdn
 from repro.model.entry import Entry
 
 __all__ = ["DirectoryInstance"]
+
+#: Process-wide instance identities.  Entry ids are only unique within
+#: one instance, so caches keyed by per-class fingerprints additionally
+#: carry the owning instance's token to stay sound across instances
+#: (two fresh instances both start their class versions at zero).
+_INSTANCE_TOKENS = itertools.count(1)
 
 
 class DirectoryInstance:
@@ -60,6 +67,17 @@ class DirectoryInstance:
         self._dn_key: Dict[int, str] = {}
         self._class_index: Dict[str, Set[int]] = {}
         self._next_eid = 0
+        # Per-class mutation counters: bumped on every membership change
+        # of the class's bucket.  Together with the instance token they
+        # make :meth:`class_fingerprint` a sound cache key for anything
+        # that depends only on a class's member set (entry ids are never
+        # reused and entries never re-parent while keeping their id, so
+        # structure verdicts are pure functions of the mentioned
+        # classes' member sets).
+        self._class_version: Dict[str, int] = {}
+        self.instance_token = next(_INSTANCE_TOKENS)
+        # Structural-mutation counter (any shape change bumps it).
+        self._shape_generation = 0
         # Lazy interval numbering; None means stale.
         self._pre: Optional[Dict[int, int]] = None
         self._post: Optional[Dict[int, int]] = None
@@ -112,6 +130,7 @@ class DirectoryInstance:
         self._dn_key[eid] = key
         for object_class in entry.classes:
             self._class_index.setdefault(object_class, set()).add(eid)
+            self._bump_class(object_class)
         if attributes:
             for name, values in attributes.items():
                 for value in values:
@@ -145,6 +164,7 @@ class DirectoryInstance:
                 bucket.discard(eid)
                 if not bucket:
                     del self._class_index[object_class]
+                self._bump_class(object_class)
         del self._entries[eid]
         del self._parent[eid]
         del self._children[eid]
@@ -223,6 +243,7 @@ class DirectoryInstance:
                     bucket.discard(node_eid)
                     if not bucket:
                         del self._class_index[object_class]
+                    self._bump_class(object_class)
             stack.extend(self._children[node_eid])
             del self._parent[node_eid]
             del self._children[node_eid]
@@ -309,6 +330,31 @@ class DirectoryInstance:
         """``|{r : object_class in class(r)}|`` — supports the counted
         variant of incremental ``c-box`` testing (end of Section 4)."""
         return len(self._class_index.get(object_class, ()))
+
+    def class_fingerprint(self, object_class: str) -> Tuple[int, int]:
+        """A ``(version, count)`` pair that changes whenever the member
+        set of ``object_class`` changes.
+
+        The version counter is bumped on every bucket mutation (entry
+        added/deleted, class added/removed on a live entry) and never
+        reused, so equal fingerprints *within one instance* imply the
+        member set is unchanged since the fingerprint was taken.  The
+        structure-check engine keys its per-element verdict memo on the
+        fingerprints of the element's mentioned classes (plus
+        :attr:`instance_token` to separate instances).
+        """
+        return (
+            self._class_version.get(object_class, 0),
+            len(self._class_index.get(object_class, ())),
+        )
+
+    @property
+    def shape_generation(self) -> int:
+        """Counts structural mutations (inserts/deletes anywhere) — an
+        observability hook: a re-check that hits only memoized structure
+        verdicts despite a bumped generation demonstrates the dirty-set
+        gate is the per-class fingerprints, not whole-tree staleness."""
+        return self._shape_generation
 
     # ------------------------------------------------------------------
     # structure navigation
@@ -437,6 +483,7 @@ class DirectoryInstance:
 
     def _on_class_added(self, eid: int, object_class: str) -> None:
         self._class_index.setdefault(object_class, set()).add(eid)
+        self._bump_class(object_class)
 
     def _on_class_removed(self, eid: int, object_class: str) -> None:
         bucket = self._class_index.get(object_class)
@@ -444,8 +491,15 @@ class DirectoryInstance:
             bucket.discard(eid)
             if not bucket:
                 del self._class_index[object_class]
+            self._bump_class(object_class)
+
+    def _bump_class(self, object_class: str) -> None:
+        self._class_version[object_class] = (
+            self._class_version.get(object_class, 0) + 1
+        )
 
     def _invalidate_order(self) -> None:
+        self._shape_generation += 1
         self._pre = None
         self._post = None
         self._depth = None

@@ -34,7 +34,39 @@ from repro.model.instance import DirectoryInstance
 from repro.query.ast import HSelect, Minus, Query, Select
 from repro.query.filters import FALSE_FILTER, Equals, Filter
 
-__all__ = ["QueryEvaluator", "evaluate"]
+__all__ = [
+    "QueryEvaluator",
+    "evaluate",
+    "SEMIJOIN_FACTOR",
+    "prefers_semi_join",
+    "descendant_prefers_flags",
+    "ancestor_prefers_flags",
+]
+
+#: A semi-join direction is taken when the probing side is at least this
+#: many times smaller than the side it probes against.
+SEMIJOIN_FACTOR = 8
+
+
+def prefers_semi_join(probe_estimate: int, against_estimate: int) -> bool:
+    """Whether an adaptive evaluator would semi-join from the side whose
+    estimated size is ``probe_estimate`` instead of materializing the
+    ``against_estimate``-sized operand."""
+    return probe_estimate * SEMIJOIN_FACTOR < against_estimate
+
+
+def descendant_prefers_flags(n_outer: int, n_inner: int, n_total: int) -> bool:
+    """Whether a materialized descendant join of the given operand sizes
+    would run the whole-forest flag pass rather than the interval/bisect
+    strategy.  Shared with the batched structure engine, which collects
+    exactly these checks into one combined pass."""
+    return (n_outer + n_inner) * max(1, int(math.log2(n_inner + 1))) >= n_total
+
+
+def ancestor_prefers_flags(n_outer: int, depth: int, n_total: int) -> bool:
+    """Whether a materialized ancestor join would run the whole-forest
+    forward flag pass rather than per-entry upward walks."""
+    return n_outer * max(1, depth) >= n_total
 
 
 class QueryEvaluator:
@@ -189,7 +221,7 @@ class QueryEvaluator:
         if (
             self.adaptive
             and isinstance(node.inner, Select)
-            and outer_estimate * 8 < inner_estimate
+            and prefers_semi_join(outer_estimate, inner_estimate)
         ):
             outer = self._eval(node.outer)
             if not outer:
@@ -198,7 +230,7 @@ class QueryEvaluator:
         if (
             self.adaptive
             and isinstance(node.outer, Select)
-            and inner_estimate * 8 < outer_estimate
+            and prefers_semi_join(inner_estimate, outer_estimate)
             and node.axis in (Axis.CHILD, Axis.DESCENDANT)
         ):
             inner = self._eval(node.inner)
@@ -299,9 +331,9 @@ class QueryEvaluator:
         return result
 
     def _axis_descendant(self, outer: Set[int], inner: Set[int]) -> Set[int]:
-        small = self.adaptive and (len(outer) + len(inner)) * max(
-            1, int(math.log2(len(inner) + 1))
-        ) < len(self.instance)
+        small = self.adaptive and not descendant_prefers_flags(
+            len(outer), len(inner), len(self.instance)
+        )
         if small:
             return self._descendant_by_intervals(outer, inner)
         return self._descendant_by_flags(outer, inner)
@@ -336,7 +368,9 @@ class QueryEvaluator:
 
     def _axis_ancestor(self, outer: Set[int], inner: Set[int]) -> Set[int]:
         depth = self.instance.max_depth()
-        if self.adaptive and len(outer) * max(1, depth) < len(self.instance):
+        if self.adaptive and not ancestor_prefers_flags(
+            len(outer), depth, len(self.instance)
+        ):
             return self._ancestor_by_walk(outer, inner)
         return self._ancestor_by_flags(outer, inner)
 

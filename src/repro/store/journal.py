@@ -41,8 +41,11 @@ by crashing at every I/O boundary):
 from __future__ import annotations
 
 import glob
+import hashlib
+import json
 import os
 import shutil
+import zlib
 from typing import Optional
 
 from repro.errors import (
@@ -57,12 +60,14 @@ from repro.legality.report import LegalityReport
 from repro.model.attributes import AttributeRegistry
 from repro.model.instance import DirectoryInstance
 from repro.schema.directory_schema import DirectorySchema
+from repro.schema.dsl import serialize_dsl
 from repro.store import recovery as _recovery
 from repro.store import wal
 from repro.store.recovery import (
     JOURNAL_FILE,
     LOCK_FILE,
     RecoveryReport,
+    SIDECAR_FILE,
     SNAPSHOT_FILE,
 )
 from repro.store.wal import StoreIO
@@ -105,6 +110,9 @@ class DirectoryStore:
         self._poisoned: Optional[str] = None
         self.recovery_report = recovery
         self._closed = False
+        #: Verdicts imported from the warm-start sidecar at open time
+        #: (0 when the sidecar was absent, stale, or corrupt).
+        self.warm_start_verdicts = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -228,17 +236,21 @@ class DirectoryStore:
                     "upgraded legacy store to the WAL format (generation "
                     f"{store._generation})"
                 )
+            store._load_sidecar()
             return store
         except BaseException:
             cls._release_lock(lock)
             raise
 
     def close(self) -> None:
-        """Release the advisory lock.  Idempotent; the store object must
-        not be used afterwards."""
+        """Persist the warm-start sidecar (best effort) and release the
+        advisory lock.  Idempotent; the store object must not be used
+        afterwards."""
         if self._closed:
             return
         self._closed = True
+        if self._poisoned is None and not self._read_only:
+            self._save_sidecar()
         self._release_lock(self._lock_handle)
         self._lock_handle = None
 
@@ -265,9 +277,16 @@ class DirectoryStore:
         *poisoned*: the in-memory state is ahead of the durable state,
         so every subsequent operation raises until the store is reopened
         — reopening recovers exactly the durable committed prefix.
+
+        The returned outcome carries ``outcome.stats``: the legality
+        work this transaction cost (content checks, cache hits, query
+        work — the ``check --profile`` counters), as the delta of the
+        guard session's cumulative :class:`CheckStats`.
         """
         self._ensure_writable()
+        baseline = self._guard.session.stats.copy()
         outcome = self._guard.apply_transaction(transaction)
+        outcome.stats = self._guard.session.stats.since(baseline)
         if outcome.applied:
             frame = wal.encode_record(
                 self._journal_count + 1,
@@ -321,6 +340,7 @@ class DirectoryStore:
             ) from exc
         self._generation = new_generation
         self._journal_count = 0
+        self._save_sidecar()
 
     # ------------------------------------------------------------------
     # introspection
@@ -339,6 +359,69 @@ class DirectoryStore:
     def read_only(self) -> bool:
         """Whether recovery degraded the store to read-only mode."""
         return self._read_only
+
+    # ------------------------------------------------------------------
+    # warm-start sidecar
+    # ------------------------------------------------------------------
+    # The guard session's verdict cache is recomputable from the data,
+    # so it rides in a *sidecar* file next to the snapshot rather than
+    # inside the WAL protocol: a stale, missing, or corrupt sidecar
+    # costs a cold start, never a wrong verdict.  Both save and load
+    # are therefore best-effort — any failure is swallowed — and both
+    # deliberately bypass ``StoreIO``: the sidecar is advisory, not
+    # part of the instrumented durability protocol, so fault injection
+    # and fsync accounting do not apply to it.
+    _SIDECAR_FORMAT = 1
+
+    def _schema_digest(self) -> str:
+        return hashlib.blake2b(
+            serialize_dsl(self.schema).encode("utf-8")
+        ).hexdigest()
+
+    @staticmethod
+    def _verdict_crc(verdicts) -> int:
+        canonical = json.dumps(verdicts, sort_keys=True, separators=(",", ":"))
+        return zlib.crc32(canonical.encode("utf-8"))
+
+    def _sidecar_path(self) -> str:
+        return os.path.join(self._dir, SIDECAR_FILE)
+
+    def _save_sidecar(self) -> None:
+        try:
+            verdicts = self._guard.session.export_verdicts()
+            payload = {
+                "format": self._SIDECAR_FORMAT,
+                "schema": self._schema_digest(),
+                "generation": self._generation,
+                "crc": self._verdict_crc(verdicts),
+                "verdicts": verdicts,
+            }
+            path = self._sidecar_path()
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except Exception:  # pragma: no cover - persistence is best-effort
+            pass
+
+    def _load_sidecar(self) -> None:
+        try:
+            with open(self._sidecar_path(), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("format") != self._SIDECAR_FORMAT:
+                return
+            if payload.get("schema") != self._schema_digest():
+                return
+            verdicts = payload.get("verdicts")
+            if payload.get("crc") != self._verdict_crc(verdicts):
+                return
+            self.warm_start_verdicts = self._guard.session.import_verdicts(
+                verdicts
+            )
+        except Exception:
+            # Missing, unreadable, truncated, or garbled sidecar:
+            # degrade to a cold cache.
+            self.warm_start_verdicts = 0
 
     # ------------------------------------------------------------------
     # internals

@@ -56,6 +56,10 @@ SNAPSHOT_FILE = "snapshot.ldif"
 JOURNAL_FILE = "journal.ldif"
 QUARANTINE_FILE = "journal.quarantine"
 LOCK_FILE = "lock"
+#: Warm-start verdict cache (best-effort sidecar, never authoritative):
+#: a reopened store seeds its legality session's fingerprint cache from
+#: it; a missing/stale/corrupt sidecar simply means a cold start.
+SIDECAR_FILE = "verdicts.cache"
 
 
 @dataclass

@@ -32,6 +32,7 @@ from repro.errors import UpdateError
 from repro.model.dn import DN
 from repro.model.instance import DirectoryInstance
 from repro.legality.engine import CheckSession
+from repro.legality.metrics import CheckStats
 from repro.legality.report import Kind, LegalityReport, Violation
 from repro.legality.structure import QueryStructureChecker
 from repro.query.ast import SCOPE_DELTA, SCOPE_EMPTY, SCOPE_NEW, SCOPE_OLD
@@ -60,11 +61,16 @@ class UpdateOutcome:
     checks:
         Human-readable descriptions of the checks that actually ran
         (skip rows are recorded as ``"skip: ..."``).
+    stats:
+        Per-transaction :class:`~repro.legality.metrics.CheckStats`
+        delta, attached by :meth:`repro.store.journal.DirectoryStore.apply`
+        (``None`` for outcomes produced outside a store commit).
     """
 
     report: LegalityReport = field(default_factory=LegalityReport)
     cost: int = 0
     checks: List[str] = field(default_factory=list)
+    stats: Optional["CheckStats"] = None
 
     @property
     def applied(self) -> bool:
@@ -165,6 +171,7 @@ class IncrementalChecker:
             if offenders:
                 self._report_structural(outcome.report, element, offenders)
         outcome.cost += evaluator.cost
+        self.session.stats.queries_evaluated += evaluator.cost
         # Required classes: insertion can only help (no check, Section 4).
         outcome.checks.append("skip: required classes cannot be violated by insertion")
 
@@ -196,6 +203,21 @@ class IncrementalChecker:
             if rule.needs_no_check:
                 outcome.checks.append(f"skip: {element} (∅-scoped row)")
                 continue
+            # ROADMAP short-circuit for the non-incremental rows: a
+            # required child/descendant element is vacuously satisfied
+            # when no source-class entry remains, and the class-count
+            # index answers that in O(1) — no full re-check needed.
+            if (
+                rule.needs_full_recheck
+                and isinstance(element, RequiredEdge)
+                and self.instance.class_count(element.source) == 0
+            ):
+                outcome.cost += 1
+                outcome.checks.append(
+                    f"skip: {element} (class-count short-circuit: no "
+                    f"{element.source!r} entries remain)"
+                )
+                continue
             query = build_delta_query(element, "delete")
             assert query is not None
             offenders = evaluator.evaluate(query)
@@ -203,6 +225,7 @@ class IncrementalChecker:
             if offenders:
                 self._report_structural(outcome.report, element, offenders)
         outcome.cost += evaluator.cost
+        self.session.stats.queries_evaluated += evaluator.cost
 
         # Counted required-class test (end of Section 4).
         for name in sorted(self.schema.structure_schema.required_classes):
@@ -303,6 +326,13 @@ class IncrementalChecker:
             rule = rule_for(element, "delete")
             if rule.needs_no_check:
                 continue
+            if (
+                rule.needs_full_recheck
+                and isinstance(element, RequiredEdge)
+                and self.instance.class_count(element.source) == 0
+            ):
+                outcome.cost += 1
+                continue
             query = build_delta_query(element, "delete")
             assert query is not None
             offenders = evaluator.evaluate(query) - delta_ids
@@ -313,6 +343,7 @@ class IncrementalChecker:
             if offenders:
                 self._report_structural(outcome.report, element, offenders)
         outcome.cost += evaluator.cost
+        self.session.stats.queries_evaluated += evaluator.cost
         outcome.checks.append(
             "move: Figure 5 insertion checks at the destination plus "
             "deletion checks for the vacated position"
@@ -455,6 +486,7 @@ class IncrementalChecker:
                         if offenders:
                             self._report_structural(outcome.report, element, offenders)
             outcome.cost += evaluator.cost
+            self.session.stats.queries_evaluated += evaluator.cost
             # Counted required-class test for removals.
             for name in sorted(self.schema.structure_schema.required_classes):
                 if name in removed and self.instance.class_count(name) == 0:

@@ -112,6 +112,37 @@ class TestSection42Examples:
         assert not outcome.applied
         assert any("□" in (v.element or "") for v in outcome.report)
 
+    def test_full_recheck_rows_short_circuit_when_class_emptied(self, wp_schema):
+        """ROADMAP satellite: when a deletion removes the last entry of a
+        full-recheck row's source class, the class-count index answers
+        the row in O(1) — no ``D − Δ`` query, regardless of how many
+        unrelated entries survive."""
+
+        def build(survivors):
+            d = figure1_instance()
+            for i in range(survivors):
+                d.add_entry(None, f"uid=solo{i}", ["person", "top"],
+                            {"uid": [f"solo{i}"], "name": [f"solo {i}"]})
+            return d
+
+        costs = []
+        for survivors in (50, 400):
+            d = build(survivors)
+            subtree_size = len(d) - survivors
+            checker = fresh_checker(d, wp_schema)
+            outcome = checker.try_delete("o=att")
+            # required classes organization/orgUnit vanish -> rejected
+            assert not outcome.applied
+            skips = [c for c in outcome.checks
+                     if "class-count short-circuit" in c]
+            assert len(skips) == 2  # both _FULL rows of Figure 5
+            assert not any("full re-check" in c for c in outcome.checks)
+            # exact accounting: subtree teardown + 1 cost unit per
+            # short-circuited row + the 3 counted required-class tests;
+            # nothing proportional to the surviving entries.
+            costs.append(outcome.cost - subtree_size)
+        assert costs[0] == costs[1] == 2 + 3
+
     def test_rejected_updates_roll_back_exactly(self, wp_schema, fig1):
         checker = fresh_checker(fig1, wp_schema)
         before = serialize_ldif(fig1)

@@ -165,6 +165,33 @@ class TestMemoization:
             assert session.cache_size <= 3
             assert session.check(fig1).is_legal
 
+    def test_lru_keeps_hot_verdicts_under_adversarial_stream(
+        self, wp_schema, wp_registry
+    ):
+        # A hot entry re-checked between every one-shot stranger must
+        # keep hitting the cache: eviction is LRU, not wholesale.
+        from repro.model.instance import DirectoryInstance
+
+        instance = DirectoryInstance(attributes=wp_registry)
+        root = instance.add_entry(None, "o=org", ["organization", "top"],
+                                  {"o": ["org"]})
+        hot = instance.add_entry(root, "uid=hot", ["person", "top"],
+                                 {"uid": ["hot"], "name": ["hot one"]})
+        with CheckSession(wp_schema, cache_limit=4) as session:
+            session.check_entry(hot)
+            for i in range(3 * session.cache_limit):
+                stranger = instance.add_entry(
+                    root, f"uid=s{i}", ["person", "top"],
+                    {"uid": [f"s{i}"], "name": [f"stranger {i}"]},
+                )
+                session.check_entry(stranger)
+                before = session.stats.cache_hits
+                session.check_entry(hot)
+                assert session.stats.cache_hits == before + 1, (
+                    f"hot verdict evicted by one-shot stream at step {i}"
+                )
+                assert session.cache_size <= session.cache_limit
+
 
 class TestStats:
     def test_report_carries_per_call_stats(self, wp_schema, fig1):

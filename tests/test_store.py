@@ -273,3 +273,121 @@ class TestUpdatesAndRecovery:
         ) as recovered:
             assert serialize_ldif(recovered.instance) == live
             assert recovered.check().is_legal
+
+
+class TestCommitStats:
+    def test_apply_attaches_per_transaction_stats(self, store):
+        outcome = store.apply(unit_tx(1))
+        assert outcome.applied
+        assert outcome.stats is not None
+        assert outcome.stats.entries_checked >= 2  # the unit + its member
+
+    def test_stats_are_delta_scoped_not_cumulative(self, store):
+        first = store.apply(unit_tx(1)).stats
+        second = store.apply(unit_tx(2)).stats
+        # same transaction shape -> same work; cumulative counters would
+        # make the second strictly larger
+        assert second.entries_checked <= first.entries_checked
+
+    def test_rejected_transactions_still_report_work(self, store):
+        bad = UpdateTransaction().insert(
+            "ou=empty,o=att", ["orgUnit", "orgGroup", "top"], {"ou": ["empty"]}
+        )
+        outcome = store.apply(bad)
+        assert not outcome.applied
+        assert outcome.stats is not None
+        assert outcome.stats.entries_checked >= 1
+
+
+class TestWarmStartSidecar:
+    def sidecar_path(self, path):
+        return os.path.join(path, "verdicts.cache")
+
+    def test_close_writes_sidecar_and_reopen_starts_warm(
+        self, tmp_path, wp_schema
+    ):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        assert os.path.exists(self.sidecar_path(path))
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert reopened.warm_start_verdicts > 0
+            # a warm recheck resolves every entry from imported verdicts
+            guard = reopened._guard
+            baseline = guard.session.stats.copy()
+            assert guard.recheck().is_legal
+            delta = guard.session.stats.since(baseline)
+            assert delta.entries_checked == 0
+            assert delta.cache_hits > 0
+
+    def test_compact_refreshes_the_sidecar(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(path, wp_schema, figure1_instance())
+        assert store.apply(unit_tx(1)).applied
+        store.compact()
+        assert os.path.exists(self.sidecar_path(path))
+        store.close()
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert reopened.warm_start_verdicts > 0
+
+    @pytest.mark.parametrize("damage", ["truncate", "garble", "bad-crc"])
+    def test_corrupt_sidecar_degrades_to_cold_start(
+        self, tmp_path, wp_schema, damage
+    ):
+        import json
+
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        sidecar = self.sidecar_path(path)
+        if damage == "truncate":
+            with open(sidecar, "r+b") as fh:
+                fh.truncate(os.path.getsize(sidecar) // 2)
+        elif damage == "garble":
+            with open(sidecar, "r+b") as fh:
+                fh.seek(4)
+                fh.write(b"\x00\xffnonsense")
+        else:  # valid JSON, wrong checksum
+            with open(sidecar, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            payload["crc"] = (payload["crc"] + 1) & 0xFFFFFFFF
+            with open(sidecar, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            # cold start, never a wrong verdict
+            assert reopened.warm_start_verdicts == 0
+            assert reopened.check().is_legal
+            assert serialize_ldif(reopened.instance) == serialize_ldif(
+                figure1_instance()
+            )
+
+    def test_schema_mismatch_sidecar_ignored(self, tmp_path, wp_schema):
+        import json
+
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        sidecar = self.sidecar_path(path)
+        with open(sidecar, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["schema"] = "0" * len(payload["schema"])
+        with open(sidecar, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert reopened.warm_start_verdicts == 0
+            assert reopened.check().is_legal
+
+    def test_missing_sidecar_is_fine(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        os.remove(self.sidecar_path(path))
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert reopened.warm_start_verdicts == 0
+            assert reopened.check().is_legal

@@ -3,7 +3,9 @@
 Usage::
 
     bounding-schemas validate    --schema S.dsl --data D.ldif [--structure query|naive|batched]
-    bounding-schemas check       --schema S.dsl --data D.ldif [--jobs N] [--profile]
+    bounding-schemas check       --schema S.dsl (--data D.ldif | --store DIR)
+                                 [--jobs N] [--profile] [--follow]
+                                 [--interval SEC] [--iterations N]
                                  [--structure batched|query|naive]
     bounding-schemas consistency --schema S.dsl [--witness OUT.ldif] [--proof]
                                  [--repair]
@@ -15,7 +17,7 @@ Usage::
                                  [--out NEW.ldif]
     bounding-schemas discover    --data D.ldif [--out S.dsl]
                                  [--min-forbidden-support N]
-    bounding-schemas fsck        STORE_DIR [--schema S.dsl]
+    bounding-schemas fsck        STORE_DIR [--schema S.dsl] [--read-only]
     bounding-schemas recover     STORE_DIR [--schema S.dsl] [--force]
 
 ``validate``/``apply`` exit 0 when the (resulting) instance is legal and
@@ -68,6 +70,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.legality.engine import default_parallelism
 
+    if args.store:
+        return _check_store(args)
+    if not args.data:
+        print("check: one of --data or --store is required", file=sys.stderr)
+        return 2
     schema = load_dsl(args.schema)
     instance = load_ldif(args.data)
     jobs = args.jobs if args.jobs > 0 else default_parallelism()
@@ -85,6 +92,56 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.profile and report.stats is not None:
         print(report.stats.format_table())
     return 0 if report.is_legal else 1
+
+
+def _check_store(args: argparse.Namespace) -> int:
+    """``check --store DIR [--follow]``: legality of a live store through
+    a lock-free reader view.  With ``--follow``, refresh and re-check in
+    a loop (memoized, so each round costs only the delta); ``--iterations``
+    bounds the loop (0 = until interrupted)."""
+    import time
+
+    from repro.legality.engine import default_parallelism
+    from repro.store.reader import StoreReader
+
+    schema = load_dsl(args.schema)
+    jobs = args.jobs if args.jobs > 0 else default_parallelism()
+    reader = StoreReader.open(
+        args.store, schema, parallelism=jobs, structure=args.structure
+    )
+    status = 0
+    rounds = 0
+    try:
+        while True:
+            report = reader.check()
+            generation, seq = reader.position()
+            if report.is_legal:
+                print(
+                    f"[gen {generation} seq {seq}] LEGAL: "
+                    f"{len(reader.instance)} entries"
+                )
+            else:
+                status = 1
+                print(
+                    f"[gen {generation} seq {seq}] ILLEGAL: "
+                    f"{len(report)} violation(s)"
+                )
+                for violation in report:
+                    print(f"  {violation}")
+            if args.profile and report.stats is not None:
+                print(report.stats.format_table())
+            rounds += 1
+            if not args.follow:
+                break
+            if args.iterations and rounds >= args.iterations:
+                break
+            time.sleep(args.interval)
+            refreshed = reader.refresh()
+            if refreshed.stale:
+                print(f"stale view: {refreshed.note}", file=sys.stderr)
+    finally:
+        reader.close()
+    return status
 
 
 def _cmd_apply(args: argparse.Namespace) -> int:
@@ -116,6 +173,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.store.recovery import recover
 
     schema = load_dsl(args.schema) if args.schema else None
+    if args.read_only:
+        return _fsck_read_only(args.directory, schema)
     try:
         _, report = recover(args.directory, schema, repair=False)
     except (StoreError, OSError) as exc:
@@ -127,6 +186,44 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         return 0
     print("DAMAGED (run `recover` to repair)")
     return 1
+
+
+def _fsck_read_only(directory: str, schema) -> int:
+    """``fsck --read-only``: inspect the committed state through a
+    lock-free reader — safe to point at a store a live writer holds
+    locked, guaranteed to modify nothing (not even quarantine files)."""
+    from repro.errors import StoreError
+    from repro.store.reader import StoreReader
+
+    if schema is None:
+        print("fsck: --read-only requires --schema", file=sys.stderr)
+        return 2
+    try:
+        reader = StoreReader.open(directory, schema)
+    except (StoreError, OSError) as exc:
+        print(f"fsck: {exc}")
+        return 1
+    try:
+        generation, seq = reader.position()
+        lag = reader.lag()
+        report = reader.check()
+        print(f"store: {directory}")
+        print(f"view: generation {generation}, seq {seq} "
+              f"({len(reader.instance)} entries)")
+        print(
+            "lag: current"
+            if lag.current
+            else f"lag: {lag.generations} generation(s), {lag.frames} frame(s)"
+        )
+        print("legality: " + ("legal" if report.is_legal else "ILLEGAL"))
+        if report.is_legal:
+            print("READ-ONLY VIEW CONSISTENT")
+            return 0
+        for violation in report:
+            print(f"  {violation}")
+        return 1
+    finally:
+        reader.close()
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -333,7 +430,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="legality test on the parallel, memoized engine",
     )
     check.add_argument("--schema", required=True, help="bounding-schema DSL file")
-    check.add_argument("--data", required=True, help="LDIF instance file")
+    source = check.add_mutually_exclusive_group(required=True)
+    source.add_argument("--data", help="LDIF instance file")
+    source.add_argument(
+        "--store",
+        metavar="DIR",
+        help="check a store directory through a lock-free read-only view "
+        "(works against a live writer)",
+    )
+    check.add_argument(
+        "--follow",
+        action="store_true",
+        help="with --store: keep refreshing the view and re-checking "
+        "(each round costs only the delta)",
+    )
+    check.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="polling interval for --follow (default 1s)",
+    )
+    check.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop --follow after N check rounds (default 0: until interrupted)",
+    )
     check.add_argument(
         "--jobs",
         type=int,
@@ -412,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("directory", help="store directory (snapshot + journal)")
     fsck.add_argument(
         "--schema", help="also verify the recovered instance against this DSL"
+    )
+    fsck.add_argument(
+        "--read-only",
+        action="store_true",
+        help="inspect through a lock-free reader view (requires --schema; "
+        "safe against a live writer, touches nothing)",
     )
     fsck.set_defaults(func=_cmd_fsck)
 

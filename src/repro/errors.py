@@ -97,7 +97,16 @@ class CorruptJournalError(StoreError):
 
 
 class StoreLockedError(StoreError):
-    """Another process (or live handle) holds the store's advisory lock."""
+    """Another process (or live handle) holds the store's advisory lock.
+
+    Carries ``holder_pid``: the pid recorded in the lock file by the
+    current holder, or ``None`` when it could not be determined (legacy
+    lock files, or the holder died between ``flock`` and the pid write).
+    """
+
+    def __init__(self, message: str, holder_pid: "int | None" = None) -> None:
+        super().__init__(message)
+        self.holder_pid = holder_pid
 
 
 class StaleJournalError(StoreError):
@@ -110,6 +119,15 @@ class StaleJournalError(StoreError):
 class StoreReadOnlyError(StoreError):
     """A mutation was attempted on a store opened in degraded read-only
     mode (recovery found damage) or poisoned by a failed journal write."""
+
+
+class StaleReadError(StoreError):
+    """A ``refresh(strict=True)`` could not bring a read-only view up to
+    the committed state currently on disk (the writer compacted or
+    repaired the store underneath the reader faster than the reader
+    could re-bootstrap).  The reader's view is still *consistent* — it
+    is a committed state the writer really passed through — just not
+    the newest one."""
 
 
 class LdifError(BoundingSchemaError):

@@ -1,14 +1,29 @@
 """Crash-safe, schema-guarded directory storage (snapshot + WAL).
 
 * :class:`DirectoryStore` — the store engine (locking, degraded mode);
+* :class:`StoreReader` — lock-free read-only views that follow the
+  writer's WAL incrementally (:mod:`repro.store.reader`);
 * :mod:`repro.store.wal` — checksummed journal frames and the
   :class:`~repro.store.wal.StoreIO` indirection layer;
 * :mod:`repro.store.recovery` — WAL scan, quarantine, verification;
+* :mod:`repro.store.manifest` — the writer's advisory publication file;
 * :mod:`repro.store.faults` — deterministic fault injection for tests.
 """
 
 from repro.store.journal import DirectoryStore
+from repro.store.manifest import Manifest, read_manifest
+from repro.store.reader import ReaderLag, RefreshResult, StoreReader
 from repro.store.recovery import RecoveryReport, recover
 from repro.store.wal import StoreIO
 
-__all__ = ["DirectoryStore", "RecoveryReport", "recover", "StoreIO"]
+__all__ = [
+    "DirectoryStore",
+    "StoreReader",
+    "RefreshResult",
+    "ReaderLag",
+    "Manifest",
+    "read_manifest",
+    "RecoveryReport",
+    "recover",
+    "StoreIO",
+]

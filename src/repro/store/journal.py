@@ -41,11 +41,8 @@ by crashing at every I/O boundary):
 from __future__ import annotations
 
 import glob
-import hashlib
-import json
 import os
 import shutil
-import zlib
 from typing import Optional
 
 from repro.errors import (
@@ -60,14 +57,21 @@ from repro.legality.report import LegalityReport
 from repro.model.attributes import AttributeRegistry
 from repro.model.instance import DirectoryInstance
 from repro.schema.directory_schema import DirectorySchema
-from repro.schema.dsl import serialize_dsl
 from repro.store import recovery as _recovery
+from repro.store import sidecar as _sidecar
 from repro.store import wal
+from repro.store.manifest import (
+    MANIFEST_FILE,
+    Manifest,
+    encode_manifest,
+    read_manifest,
+    write_manifest,
+)
+from repro.store.reader import StoreReader
 from repro.store.recovery import (
     JOURNAL_FILE,
     LOCK_FILE,
     RecoveryReport,
-    SIDECAR_FILE,
     SNAPSHOT_FILE,
 )
 from repro.store.wal import StoreIO
@@ -110,6 +114,7 @@ class DirectoryStore:
         self._poisoned: Optional[str] = None
         self.recovery_report = recovery
         self._closed = False
+        self._manifest_version = 0
         #: Verdicts imported from the warm-start sidecar at open time
         #: (0 when the sidecar was absent, stale, or corrupt).
         self.warm_start_verdicts = 0
@@ -169,6 +174,9 @@ class DirectoryStore:
             io.fsync(handle)
         with io.open_bytes(os.path.join(temp, JOURNAL_FILE), "wb") as handle:
             io.fsync(handle)
+        with io.open_bytes(os.path.join(temp, MANIFEST_FILE), "wb") as handle:
+            handle.write(encode_manifest(Manifest(version=1, generation=1)))
+            io.fsync(handle)
         io.fsync_dir(temp)
         if os.path.isdir(target):  # exists but empty: make room for rename
             os.rmdir(target)
@@ -176,7 +184,7 @@ class DirectoryStore:
         io.fsync_dir(os.path.dirname(os.path.abspath(target)))
 
         lock = cls._acquire_lock(target)
-        return cls(
+        store = cls(
             target,
             schema,
             instance,
@@ -186,6 +194,8 @@ class DirectoryStore:
             io=io,
             lock_handle=lock,
         )
+        store._manifest_version = 1
+        return store
 
     @classmethod
     def open(
@@ -230,6 +240,7 @@ class DirectoryStore:
                 read_only=report.read_only,
                 recovery=report,
             )
+            store._adopt_manifest()
             if report.legacy_format and not report.read_only:
                 store.compact()  # rewrites snapshot+journal in WAL format
                 report.notes.append(
@@ -241,6 +252,37 @@ class DirectoryStore:
         except BaseException:
             cls._release_lock(lock)
             raise
+
+    @classmethod
+    def open_reader(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
+        parallelism: Optional[int] = None,
+        structure: str = "batched",
+    ) -> StoreReader:
+        """Open a lock-free read-only view of the store.
+
+        Unlike :meth:`open`, this neither takes the advisory lock nor
+        rewrites any file: any number of readers can coexist with one
+        live writer.  The view bootstraps from the last compacted
+        snapshot plus the committed journal prefix and follows the
+        writer incrementally via
+        :meth:`~repro.store.reader.StoreReader.refresh`.  See
+        :class:`~repro.store.reader.StoreReader` for the staleness and
+        crash-consistency contract.
+        """
+        return StoreReader.open(
+            directory,
+            schema,
+            registry,
+            io=io,
+            parallelism=parallelism,
+            structure=structure,
+        )
 
     def close(self) -> None:
         """Persist the warm-start sidecar (best effort) and release the
@@ -340,6 +382,7 @@ class DirectoryStore:
             ) from exc
         self._generation = new_generation
         self._journal_count = 0
+        self._publish_manifest()
         self._save_sidecar()
 
     # ------------------------------------------------------------------
@@ -361,67 +404,58 @@ class DirectoryStore:
         return self._read_only
 
     # ------------------------------------------------------------------
-    # warm-start sidecar
+    # warm-start sidecar (shared logic in repro.store.sidecar; only the
+    # writer ever saves it — readers load it read-only)
     # ------------------------------------------------------------------
-    # The guard session's verdict cache is recomputable from the data,
-    # so it rides in a *sidecar* file next to the snapshot rather than
-    # inside the WAL protocol: a stale, missing, or corrupt sidecar
-    # costs a cold start, never a wrong verdict.  Both save and load
-    # are therefore best-effort — any failure is swallowed — and both
-    # deliberately bypass ``StoreIO``: the sidecar is advisory, not
-    # part of the instrumented durability protocol, so fault injection
-    # and fsync accounting do not apply to it.
-    _SIDECAR_FORMAT = 1
-
-    def _schema_digest(self) -> str:
-        return hashlib.blake2b(
-            serialize_dsl(self.schema).encode("utf-8")
-        ).hexdigest()
-
-    @staticmethod
-    def _verdict_crc(verdicts) -> int:
-        canonical = json.dumps(verdicts, sort_keys=True, separators=(",", ":"))
-        return zlib.crc32(canonical.encode("utf-8"))
-
-    def _sidecar_path(self) -> str:
-        return os.path.join(self._dir, SIDECAR_FILE)
-
     def _save_sidecar(self) -> None:
         try:
             verdicts = self._guard.session.export_verdicts()
-            payload = {
-                "format": self._SIDECAR_FORMAT,
-                "schema": self._schema_digest(),
-                "generation": self._generation,
-                "crc": self._verdict_crc(verdicts),
-                "verdicts": verdicts,
-            }
-            path = self._sidecar_path()
-            tmp = path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(json.dumps(payload, sort_keys=True))
-            os.replace(tmp, path)
         except Exception:  # pragma: no cover - persistence is best-effort
-            pass
+            return
+        _sidecar.save_sidecar(self._dir, self.schema, self._generation, verdicts)
 
     def _load_sidecar(self) -> None:
+        verdicts = _sidecar.load_sidecar(self._dir, self.schema)
+        if verdicts is None:
+            self.warm_start_verdicts = 0
+            return
         try:
-            with open(self._sidecar_path(), "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-            if payload.get("format") != self._SIDECAR_FORMAT:
-                return
-            if payload.get("schema") != self._schema_digest():
-                return
-            verdicts = payload.get("verdicts")
-            if payload.get("crc") != self._verdict_crc(verdicts):
-                return
             self.warm_start_verdicts = self._guard.session.import_verdicts(
                 verdicts
             )
-        except Exception:
-            # Missing, unreadable, truncated, or garbled sidecar:
-            # degrade to a cold cache.
+        except ValueError:
             self.warm_start_verdicts = 0
+
+    # ------------------------------------------------------------------
+    # manifest publication (writer side of the reader rendezvous)
+    # ------------------------------------------------------------------
+    def _adopt_manifest(self) -> None:
+        """At open: pick up the published version counter and republish
+        when the manifest is missing or disagrees with the recovered
+        generation (a writer crashed inside compact's publish window,
+        or the store predates manifests)."""
+        existing = read_manifest(self._dir, self._io)
+        self._manifest_version = existing.version if existing else 0
+        if existing is None or existing.generation != self._generation:
+            self._publish_manifest()
+
+    def _publish_manifest(self) -> None:
+        """Atomically publish the current generation for readers.
+
+        Best-effort on I/O *errors* — the snapshot header is the
+        authoritative generation, so a stale manifest only costs
+        readers a fallback probe — but an injected crash
+        (``BaseException``) propagates so the fault matrix exercises
+        every publish window.
+        """
+        manifest = Manifest(
+            version=self._manifest_version + 1, generation=self._generation
+        )
+        try:
+            write_manifest(self._dir, manifest, self._io)
+        except Exception:
+            return
+        self._manifest_version = manifest.version
 
     # ------------------------------------------------------------------
     # internals
@@ -453,17 +487,42 @@ class DirectoryStore:
 
         path = os.path.join(directory, LOCK_FILE)
         try:
-            handle = open(path, "a")
+            handle = open(path, "a+")
         except OSError as exc:
-            raise StoreError(f"cannot open lock file {path!r}: {exc}") from exc
+            # Unopenable lock file (permissions, directory vanished):
+            # surface as the typed lock error rather than a raw OSError
+            # so callers need one except clause for "could not lock".
+            raise StoreLockedError(
+                f"cannot open lock file {path!r}: {exc}"
+            ) from exc
         try:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:
+            holder_pid: Optional[int] = None
+            try:
+                handle.seek(0)
+                holder_pid = int(handle.read().strip() or "0") or None
+            except (OSError, ValueError):
+                pass
             handle.close()
+            holder = (
+                f"pid {holder_pid}" if holder_pid is not None
+                else "another live store handle"
+            )
             raise StoreLockedError(
-                f"{directory!r} is locked by another live store handle "
-                "(close it, or wait for the owning process to exit)"
+                f"{directory!r} is locked by {holder} "
+                "(close it, or wait for the owning process to exit)",
+                holder_pid=holder_pid,
             ) from None
+        # Record our pid for the next contender's error message.  Best
+        # effort: the flock itself is the gate, the pid is diagnostics.
+        try:
+            handle.seek(0)
+            handle.truncate()
+            handle.write(str(os.getpid()))
+            handle.flush()
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
         return handle
 
     @staticmethod

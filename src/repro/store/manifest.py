@@ -1,0 +1,131 @@
+"""The store manifest: the writer→reader rendezvous file.
+
+``manifest`` is a tiny JSON file the writer publishes atomically
+(write-new-then-rename, the same idiom as the snapshot) whenever the
+set of files a reader should consume changes: at ``create``, after
+every ``compact``, and after a repairing recovery.  It carries
+
+* ``version`` — a monotonically increasing publication counter (every
+  publish bumps it, across generations), so a reader can tell "something
+  changed" with one small read;
+* ``generation`` — the store generation the published snapshot carries;
+* ``snapshot`` / ``journal`` — the file names a reader should bootstrap
+  from and tail (today always ``snapshot.ldif`` / ``journal.ldif``;
+  named explicitly so future layouts — per-generation snapshot files,
+  sharded journals — stay reader-compatible);
+* ``crc`` — CRC32 over the canonical body, so a damaged manifest is
+  recognisably damaged.
+
+The manifest is **advisory, never authoritative**: the snapshot header
+carries the generation that recovery and readers trust, and a missing,
+stale, or corrupt manifest (legacy stores, a writer that crashed inside
+the publish window) merely costs the reader a direct look at the
+snapshot header.  That keeps every crash window benign: there is no
+ordering of snapshot/journal/manifest writes that can make a reader
+adopt an inconsistent view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.store.recovery import JOURNAL_FILE, SNAPSHOT_FILE
+from repro.store.wal import StoreIO
+
+__all__ = ["MANIFEST_FILE", "Manifest", "read_manifest", "write_manifest",
+           "encode_manifest", "decode_manifest"]
+
+MANIFEST_FILE = "manifest"
+_MANIFEST_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One published manifest state."""
+
+    version: int
+    generation: int
+    snapshot: str = SNAPSHOT_FILE
+    journal: str = JOURNAL_FILE
+
+    def bump(self, generation: Optional[int] = None) -> "Manifest":
+        """The next publication: version+1, optionally a new generation."""
+        return Manifest(
+            version=self.version + 1,
+            generation=self.generation if generation is None else generation,
+            snapshot=self.snapshot,
+            journal=self.journal,
+        )
+
+
+def _body(manifest: Manifest) -> dict:
+    return {
+        "format": _MANIFEST_FORMAT,
+        "version": manifest.version,
+        "generation": manifest.generation,
+        "snapshot": manifest.snapshot,
+        "journal": manifest.journal,
+    }
+
+
+def _crc(body: dict) -> int:
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+def encode_manifest(manifest: Manifest) -> bytes:
+    """Serialize a manifest to its on-disk JSON bytes."""
+    body = _body(manifest)
+    payload = dict(body, crc=_crc(body))
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_manifest(data: bytes) -> Manifest:
+    """Parse manifest bytes; raises ``ValueError`` on any damage."""
+    payload = json.loads(data.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("manifest is not a JSON object")
+    if payload.get("format") != _MANIFEST_FORMAT:
+        raise ValueError(f"unknown manifest format {payload.get('format')!r}")
+    body = {key: payload.get(key) for key in
+            ("format", "version", "generation", "snapshot", "journal")}
+    if payload.get("crc") != _crc(body):
+        raise ValueError("manifest checksum mismatch")
+    if not isinstance(body["version"], int) or not isinstance(body["generation"], int):
+        raise ValueError("manifest version/generation must be integers")
+    if not isinstance(body["snapshot"], str) or not isinstance(body["journal"], str):
+        raise ValueError("manifest file names must be strings")
+    return Manifest(
+        version=body["version"],
+        generation=body["generation"],
+        snapshot=body["snapshot"],
+        journal=body["journal"],
+    )
+
+
+def manifest_path(directory: str) -> str:
+    """Path of the manifest file inside a store directory."""
+    return os.path.join(directory, MANIFEST_FILE)
+
+
+def read_manifest(directory: str, io: Optional[StoreIO] = None) -> Optional[Manifest]:
+    """The published manifest, or ``None`` when absent or damaged
+    (advisory: callers fall back to the snapshot header)."""
+    io = io if io is not None else StoreIO()
+    path = manifest_path(directory)
+    try:
+        return decode_manifest(io.read_bytes(path))
+    except (OSError, ValueError):
+        return None
+
+
+def write_manifest(
+    directory: str, manifest: Manifest, io: Optional[StoreIO] = None
+) -> None:
+    """Publish ``manifest`` atomically (write-new-then-rename)."""
+    io = io if io is not None else StoreIO()
+    io.write_file_atomic(manifest_path(directory), encode_manifest(manifest))

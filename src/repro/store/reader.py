@@ -1,0 +1,500 @@
+"""Lock-free read-only views of a live store: the reader half of the
+reader/writer split.
+
+:class:`StoreReader` opens a store directory **without** taking the
+writer's advisory lock, so any number of readers can serve queries and
+legality checks while one writer keeps committing.  The design leans
+entirely on invariants the writer already maintains — no new shared
+state, no reader→writer communication:
+
+* the snapshot is only ever replaced by an **atomic rename** carrying a
+  **new generation id** in its header, so a reader either sees the old
+  complete snapshot or the new complete snapshot, never a mixture;
+* the journal is **append-only within a generation** and every frame is
+  checksummed, length-prefixed, and sequence-numbered
+  (:mod:`repro.store.wal`), so a reader that remembers ``(generation,
+  seq, byte offset)`` can consume *just the new bytes* and stop —
+  silently, at a frame boundary — the moment it meets a torn or
+  uncommitted suffix.  This is exactly recovery's committed-prefix
+  rule (:mod:`repro.store.recovery`), applied incrementally;
+* the ``manifest`` file (:mod:`repro.store.manifest`) is an advisory
+  rendezvous naming the snapshot/journal files; the snapshot header
+  stays authoritative for the generation.
+
+The resulting guarantee, stress- and crash-tested by ``tests/harness``:
+**every state a reader observes is a committed state the writer really
+passed through** — possibly stale (the writer may be ahead), never
+torn, never a state that recovery would roll back.  ``refresh()``
+advances the view; ``lag()`` reports how far behind it is;
+``strict=True`` turns silent staleness into
+:class:`~repro.errors.StaleReadError`.
+
+Readers expose the read-only half of the store surface: :meth:`search`
+(Section 3 hierarchical selection) and :meth:`check` / :meth:`is_legal`
+(a :class:`~repro.legality.engine.CheckSession` with the fingerprint
+memos — content verdicts are keyed by content fingerprint and the
+structure memo by instance token, so both survive ``refresh`` and
+re-bootstrap and only dirty entries are re-verified).  Readers never
+write anything: not the journal, not the snapshot, not the
+``verdicts.cache`` sidecar (which they load once, read-only, at open).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.errors import StaleReadError, StoreError
+from repro.ldif.reader import parse_ldif
+from repro.legality.engine import CheckSession
+from repro.legality.report import LegalityReport
+from repro.model.attributes import AttributeRegistry
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+from repro.query.search import SearchScope
+from repro.query.search import search as _search
+from repro.schema.directory_schema import DirectorySchema
+from repro.store import sidecar as _sidecar
+from repro.store import wal
+from repro.store.manifest import read_manifest
+from repro.store.recovery import (
+    JOURNAL_FILE,
+    SNAPSHOT_FILE,
+    _scan_legacy,
+    replay_record,
+)
+from repro.store.wal import StoreIO
+
+__all__ = ["StoreReader", "RefreshResult", "ReaderLag"]
+
+#: Bootstrap attempts before giving up on a store the writer keeps
+#: compacting out from under us.  Each retry re-reads snapshot+journal
+#: from scratch; a writer would have to complete a full compaction
+#: inside every single read window to defeat it.
+_BOOTSTRAP_RETRIES = 3
+
+
+@dataclass(frozen=True)
+class ReaderLag:
+    """How far a reader's view trails the committed state on disk."""
+
+    generations: int  #: compactions the reader has not re-bootstrapped over
+    frames: int  #: committed frames on disk past the reader's position
+
+    @property
+    def current(self) -> bool:
+        """True when the view equals the committed state on disk."""
+        return self.generations == 0 and self.frames == 0
+
+
+@dataclass
+class RefreshResult:
+    """What one :meth:`StoreReader.refresh` call did."""
+
+    advanced: bool  #: the view changed (new frames or a new snapshot)
+    frames_replayed: int  #: committed frames applied by this call
+    bytes_scanned: int  #: journal bytes read (O(|Δ|), not O(journal))
+    rebootstrapped: bool  #: the view was rebuilt from a new snapshot
+    generation: int  #: the view's generation after the call
+    seq: int  #: last applied frame seq after the call
+    stale: bool = False  #: the call could not reach the on-disk state
+    note: Optional[str] = None  #: why the call stopped early, if it did
+
+
+class StoreReader:
+    """A read-only, incrementally refreshable view of a store.
+
+    Create via :meth:`open` (or
+    :meth:`~repro.store.journal.DirectoryStore.open_reader`).  The view
+    is pinned at the committed state found at open time; call
+    :meth:`refresh` to follow the writer.  Close (or use as a context
+    manager) to release the legality session's worker pool — readers
+    hold **no lock**, so closing has no effect on other processes.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry],
+        io: StoreIO,
+        session: CheckSession,
+    ) -> None:
+        self._dir = directory
+        self.schema = schema
+        self._registry = registry
+        self._io = io
+        self._session = session
+        self.instance: DirectoryInstance = DirectoryInstance(attributes=registry)
+        self._generation = 0
+        self._seq = 0
+        self._offset = 0  # byte offset just past the last applied frame
+        self._snapshot_name = SNAPSHOT_FILE
+        self._journal_name = JOURNAL_FILE
+        self._closed = False
+        #: Verdicts imported (read-only) from the writer's warm-start
+        #: sidecar at open time; 0 when absent, stale, or corrupt.
+        self.warm_start_verdicts = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
+        parallelism: Optional[int] = None,
+        structure: str = "batched",
+    ) -> "StoreReader":
+        """Open a read-only view of ``directory`` without locking it.
+
+        Bootstraps from the last compacted snapshot plus the committed
+        journal prefix.  Never blocks on, and is never blocked by, the
+        writer's advisory lock.
+        """
+        io = io if io is not None else StoreIO()
+        if not os.path.isdir(directory):
+            raise FileNotFoundError(f"{directory!r} is not a store directory")
+        if not os.path.exists(os.path.join(directory, SNAPSHOT_FILE)):
+            raise FileNotFoundError(f"{directory!r} has no {SNAPSHOT_FILE}")
+        session = CheckSession(
+            schema, parallelism=parallelism, structure=structure
+        )
+        reader = cls(directory, schema, registry, io, session)
+        try:
+            if not reader._bootstrap():
+                raise StaleReadError(
+                    f"could not bootstrap a consistent view of {directory!r} "
+                    f"after {_BOOTSTRAP_RETRIES} attempts (a writer is "
+                    "compacting faster than the reader can read)"
+                )
+            verdicts = _sidecar.load_sidecar(directory, schema)
+            if verdicts is not None:
+                try:
+                    reader.warm_start_verdicts = session.import_verdicts(verdicts)
+                except ValueError:
+                    reader.warm_start_verdicts = 0
+        except BaseException:
+            session.close()
+            raise
+        return reader
+
+    def close(self) -> None:
+        """Release the legality session's workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._session.close()
+
+    def __enter__(self) -> "StoreReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the read surface
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        base=None,
+        scope: Union[SearchScope, str] = SearchScope.SUB,
+        filter=None,
+        size_limit: Optional[int] = None,
+    ) -> List[Entry]:
+        """Scoped LDAP search over the current view (Section 3)."""
+        self._ensure_open()
+        return _search(
+            self.instance, base=base, scope=scope,
+            filter=filter, size_limit=size_limit,
+        )
+
+    def check(self) -> LegalityReport:
+        """Full legality report of the current view (memoized session)."""
+        self._ensure_open()
+        return self._session.check(self.instance)
+
+    def is_legal(self) -> bool:
+        """Yes/no legality verdict of the current view."""
+        return self.check().is_legal
+
+    @property
+    def session(self) -> CheckSession:
+        """The reader's legality session (for stats/cache introspection)."""
+        return self._session
+
+    # ------------------------------------------------------------------
+    # staleness introspection
+    # ------------------------------------------------------------------
+    def generation(self) -> int:
+        """The generation id of the current view."""
+        return self._generation
+
+    def seq(self) -> int:
+        """Sequence number of the last frame applied to the view (0 ==
+        snapshot only)."""
+        return self._seq
+
+    def position(self) -> "tuple[int, int]":
+        """``(generation, seq)`` — a total order over committed states."""
+        return (self._generation, self._seq)
+
+    def lag(self) -> ReaderLag:
+        """How far the view trails the committed state on disk *right
+        now* (a snapshot in time: the writer may advance immediately
+        after).  Never mutates the view."""
+        self._ensure_open()
+        try:
+            disk_generation = wal.header_generation(
+                self._io.read_head(self._snapshot_path())
+            )
+        except OSError:
+            return ReaderLag(generations=0, frames=0)
+        if disk_generation != self._generation:
+            scanned = self._scan_journal_for(disk_generation, offset=0)
+            frames = len(scanned.records) if scanned is not None else 0
+            return ReaderLag(
+                generations=disk_generation - self._generation, frames=frames
+            )
+        scanned = self._scan_journal_for(self._generation, offset=self._offset)
+        if scanned is None:
+            return ReaderLag(generations=0, frames=0)
+        behind = [r for r in scanned.records if r.seq > self._seq]
+        return ReaderLag(generations=0, frames=len(behind))
+
+    # ------------------------------------------------------------------
+    # following the writer
+    # ------------------------------------------------------------------
+    def refresh(self, strict: bool = False) -> RefreshResult:
+        """Advance the view to the newest committed state on disk.
+
+        Fast path (no compaction since the last refresh): one O(1)
+        snapshot-header probe plus a read of the journal bytes past the
+        reader's offset — cost is O(new frames), independent of
+        snapshot and journal size.  After a compaction the view is
+        re-bootstrapped from the new snapshot.
+
+        A torn or uncommitted journal suffix stops the replay silently
+        at the previous committed frame — exactly where recovery would
+        truncate — with ``result.note`` explaining why.  Racing a
+        compaction retries a bounded number of times; if the writer
+        outruns every retry the old (still consistent) view is kept
+        and ``result.stale`` is set.  ``strict=True`` raises
+        :class:`~repro.errors.StaleReadError` instead of returning a
+        stale result.
+        """
+        self._ensure_open()
+        result = self._refresh_once()
+        if result.stale and strict:
+            raise StaleReadError(
+                f"reader at generation {self._generation} seq {self._seq} "
+                f"could not reach the committed state on disk: {result.note}"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError("reader is closed")
+
+    def _snapshot_path(self) -> str:
+        return os.path.join(self._dir, self._snapshot_name)
+
+    def _journal_path(self) -> str:
+        return os.path.join(self._dir, self._journal_name)
+
+    def _scan_journal_for(
+        self, generation: int, offset: int
+    ) -> Optional[wal.ScanResult]:
+        """Scan journal bytes past ``offset`` for ``generation`` frames;
+        ``None`` when the file vanished (compaction race)."""
+        try:
+            data = self._io.read_bytes_from(self._journal_path(), offset)
+        except OSError:
+            return None
+        if generation == wal.LEGACY_GENERATION:
+            return _scan_legacy(data)
+        return wal.scan(data, expect_generation=generation)
+
+    def _refresh_once(self) -> RefreshResult:
+        try:
+            head = self._io.read_head(self._snapshot_path())
+        except OSError as exc:
+            return self._result(
+                stale=True, note=f"snapshot unreadable: {exc}"
+            )
+        disk_generation = wal.header_generation(head)
+        if disk_generation != self._generation:
+            return self._rebootstrap_result()
+
+        try:
+            journal_size = os.path.getsize(self._journal_path())
+        except OSError:
+            # Journal vanished under the same generation: mid-compaction
+            # window or external interference — re-read everything.
+            return self._rebootstrap_result()
+        if journal_size < self._offset:
+            # Shrunk without a generation bump: a recover run truncated
+            # a torn tail (which we never applied), or the journal was
+            # rewritten.  Re-bootstrap rather than guess.
+            return self._rebootstrap_result()
+        if journal_size == self._offset:
+            return self._result(advanced=False)
+
+        tail = self._scan_journal_for(self._generation, offset=self._offset)
+        if tail is None:
+            return self._rebootstrap_result()
+        applied, note = self._apply_scanned(tail, base_offset=self._offset)
+        if note == "resequenced":
+            # The bytes at our offset are not the continuation we wrote
+            # down: the journal changed identity under us.
+            return self._rebootstrap_result()
+        if tail.tail_state == "corrupt" and applied == 0 and not tail.records:
+            # Corruption at the very first new byte can also be a
+            # compaction racing the header probe (new-generation frames
+            # under an old-generation snapshot read): check once more.
+            try:
+                now = wal.header_generation(
+                    self._io.read_head(self._snapshot_path())
+                )
+            except OSError:
+                now = self._generation
+            if now != self._generation:
+                return self._rebootstrap_result()
+        if note is None and tail.tail_state != "clean":
+            note = f"{tail.tail_state} journal tail: {tail.tail_reason}"
+        return self._result(
+            advanced=applied > 0,
+            frames_replayed=applied,
+            bytes_scanned=tail.total,
+            note=note,
+        )
+
+    def _apply_scanned(
+        self, scanned: wal.ScanResult, base_offset: int
+    ) -> "tuple[int, Optional[str]]":
+        """Replay ``scanned.records`` onto the view, stopping silently
+        at the first frame that is damaged, out of order, or fails to
+        replay.  Returns ``(frames_applied, note)``; a ``"resequenced"``
+        note means the bytes do not continue our journal at all."""
+        applied = 0
+        for record in scanned.records:
+            if record.generation != self._generation or record.seq != self._seq + 1:
+                if applied == 0:
+                    return 0, "resequenced"
+                return applied, (
+                    f"frame seq {record.seq} does not follow seq {self._seq}"
+                )
+            try:
+                replay_record(self.instance, record)
+            except Exception as exc:
+                return applied, (
+                    f"frame seq {record.seq} failed to replay ({exc}); "
+                    "stopped at the previous committed frame"
+                )
+            self._seq = record.seq
+            self._offset = base_offset + record.end
+            applied += 1
+        return applied, None
+
+    def _bootstrap(self) -> bool:
+        """(Re)build the view from snapshot + committed journal prefix.
+
+        Retries around compaction races.  Returns False when no
+        consistent read succeeded; the caller decides whether that is
+        fatal (open) or merely stale (refresh)."""
+        for _ in range(_BOOTSTRAP_RETRIES):
+            manifest = read_manifest(self._dir, self._io)
+            snapshot_name = manifest.snapshot if manifest else SNAPSHOT_FILE
+            journal_name = manifest.journal if manifest else JOURNAL_FILE
+            try:
+                text = self._io.read_text(
+                    os.path.join(self._dir, snapshot_name)
+                )
+            except OSError:
+                continue
+            generation, ldif_text = wal.decode_snapshot(text)
+            try:
+                journal_bytes = self._io.read_bytes(
+                    os.path.join(self._dir, journal_name)
+                )
+            except OSError:
+                journal_bytes = b""
+            if generation == wal.LEGACY_GENERATION:
+                scanned = _scan_legacy(journal_bytes)
+            else:
+                scanned = wal.scan(journal_bytes, expect_generation=generation)
+            if scanned.tail_state == "corrupt" and not scanned.records:
+                # Could be a compaction race (newer-generation frames
+                # under the snapshot we just read): check the header
+                # again; an unchanged generation means real corruption,
+                # which is still a consistent committed prefix (here:
+                # the bare snapshot).
+                try:
+                    now = wal.header_generation(
+                        self._io.read_head(
+                            os.path.join(self._dir, snapshot_name)
+                        )
+                    )
+                except OSError:
+                    continue
+                if now != generation:
+                    continue
+            instance = parse_ldif(ldif_text, attributes=self._registry)
+            self._snapshot_name = snapshot_name
+            self._journal_name = journal_name
+            self.instance = instance
+            self._generation = generation
+            self._seq = 0
+            self._offset = 0
+            replayable = wal.ScanResult(
+                [r for r in scanned.records if r.generation == generation],
+                scanned.tail_offset,
+                scanned.tail_state,
+                scanned.tail_reason,
+                total=scanned.total,
+            )
+            self._apply_scanned(replayable, base_offset=0)
+            return True
+        return False
+
+    def _rebootstrap_result(self) -> RefreshResult:
+        before = self.position()
+        if self._bootstrap():
+            return self._result(
+                advanced=self.position() != before, rebootstrapped=True
+            )
+        return self._result(
+            stale=True,
+            note=(
+                f"re-bootstrap failed after {_BOOTSTRAP_RETRIES} attempts; "
+                "keeping the previous consistent view"
+            ),
+        )
+
+    def _result(
+        self,
+        advanced: bool = False,
+        frames_replayed: int = 0,
+        bytes_scanned: int = 0,
+        rebootstrapped: bool = False,
+        stale: bool = False,
+        note: Optional[str] = None,
+    ) -> RefreshResult:
+        return RefreshResult(
+            advanced=advanced,
+            frames_replayed=frames_replayed,
+            bytes_scanned=bytes_scanned,
+            rebootstrapped=rebootstrapped,
+            generation=self._generation,
+            seq=self._seq,
+            stale=stale,
+            note=note,
+        )

@@ -48,7 +48,7 @@ from repro.schema.directory_schema import DirectorySchema
 from repro.store import wal
 from repro.store.wal import StoreIO
 
-__all__ = ["RecoveryReport", "scan_store", "recover"]
+__all__ = ["RecoveryReport", "scan_store", "recover", "replay_record"]
 
 _LEGACY_COMMIT_MARKER = "# commit"
 
@@ -116,6 +116,20 @@ def _paths(directory: str) -> Tuple[str, str, str]:
         os.path.join(directory, JOURNAL_FILE),
         os.path.join(directory, QUARANTINE_FILE),
     )
+
+
+def replay_record(instance: DirectoryInstance, record: wal.WalRecord) -> None:
+    """Re-apply one committed journal record onto ``instance`` — blind
+    replay, no legality guard (Theorem 4.1 modularity: the record was
+    checked against exactly this state when it committed).  Shared by
+    crash recovery and the incremental WAL-following reader
+    (:mod:`repro.store.reader`), so both stop at the same frame on the
+    same damage."""
+    from repro.updates.transactions import apply_subtree_update, decompose
+
+    transaction = parse_changes(record.payload)
+    for step in decompose(transaction, instance):
+        apply_subtree_update(instance, step)
 
 
 def _scan_legacy(data: bytes) -> wal.ScanResult:
@@ -285,14 +299,10 @@ def recover(
     instance = parse_ldif(ldif_text, attributes=registry)
 
     # Blind replay of the committed prefix (Theorem 4.1 modularity).
-    from repro.updates.transactions import apply_subtree_update, decompose
-
     replay_failed_at: Optional[int] = None
     for index, record in enumerate(replayable):
         try:
-            transaction = parse_changes(record.payload)
-            for step in decompose(transaction, instance):
-                apply_subtree_update(instance, step)
+            replay_record(instance, record)
         except Exception as exc:
             if strict:
                 raise CorruptJournalError(

@@ -1,0 +1,92 @@
+"""The warm-start verdict sidecar (``verdicts.cache``), shared by the
+writer and read-only views.
+
+The legality session's verdict cache is recomputable from the data, so
+it rides in a *sidecar* file next to the snapshot rather than inside
+the WAL protocol: a stale, missing, or corrupt sidecar costs a cold
+start, never a wrong verdict.  Save and load are therefore best-effort
+— any failure is swallowed — and both deliberately bypass ``StoreIO``:
+the sidecar is advisory, not part of the instrumented durability
+protocol, so fault injection and fsync accounting do not apply to it.
+
+Ownership under the reader/writer split: **only the writer ever writes
+the sidecar** (at ``compact()`` and ``close()``).  Readers call
+:func:`load_sidecar` exactly once at open time and never persist —
+their memo diverging from the writer's is expected and harmless,
+because verdicts are keyed by content fingerprint (position- and
+generation-independent), so a reader holding a pre-compaction view can
+still warm-start from a post-compaction sidecar and vice versa.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from typing import Optional
+
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.dsl import serialize_dsl
+from repro.store.recovery import SIDECAR_FILE
+
+__all__ = ["schema_digest", "verdict_crc", "save_sidecar", "load_sidecar"]
+
+SIDECAR_FORMAT = 1
+
+
+def schema_digest(schema: DirectorySchema) -> str:
+    """Digest binding a sidecar to the schema its verdicts were computed
+    under (a different schema means every cached verdict is suspect)."""
+    return hashlib.blake2b(serialize_dsl(schema).encode("utf-8")).hexdigest()
+
+
+def verdict_crc(verdicts) -> int:
+    """CRC32 of the canonical (sorted, compact) JSON form of an
+    exported verdict mapping — the sidecar's integrity checksum."""
+    canonical = json.dumps(verdicts, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def sidecar_path(directory: str) -> str:
+    return os.path.join(directory, SIDECAR_FILE)
+
+
+def save_sidecar(
+    directory: str, schema: DirectorySchema, generation: int, verdicts
+) -> None:
+    """Persist ``verdicts`` atomically, best-effort (writer only)."""
+    try:
+        payload = {
+            "format": SIDECAR_FORMAT,
+            "schema": schema_digest(schema),
+            "generation": generation,
+            "crc": verdict_crc(verdicts),
+            "verdicts": verdicts,
+        }
+        path = sidecar_path(directory)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except Exception:  # pragma: no cover - persistence is best-effort
+        pass
+
+
+def load_sidecar(directory: str, schema: DirectorySchema) -> Optional[dict]:
+    """The sidecar's verdict map when it is intact and bound to
+    ``schema``; ``None`` (cold start) for anything else — missing,
+    unreadable, truncated, garbled, wrong format, or stale digest."""
+    try:
+        with open(sidecar_path(directory), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != SIDECAR_FORMAT:
+            return None
+        if payload.get("schema") != schema_digest(schema):
+            return None
+        verdicts = payload.get("verdicts")
+        if payload.get("crc") != verdict_crc(verdicts):
+            return None
+        return verdicts
+    except Exception:
+        return None

@@ -55,6 +55,7 @@ __all__ = [
     "scan",
     "encode_snapshot",
     "decode_snapshot",
+    "header_generation",
     "LEGACY_GENERATION",
 ]
 
@@ -218,6 +219,13 @@ def decode_snapshot(text: str) -> Tuple[int, str]:
     return int(match.group(1)), rest
 
 
+def header_generation(first_line: str) -> int:
+    """Generation id from a snapshot's first line (the O(1) probe a
+    reader uses to notice a compaction without decoding the snapshot)."""
+    match = _SNAPSHOT_HEADER_RE.match(first_line)
+    return LEGACY_GENERATION if match is None else int(match.group(1))
+
+
 # ----------------------------------------------------------------------
 # the I/O layer (fault-injection seam)
 # ----------------------------------------------------------------------
@@ -279,6 +287,20 @@ class StoreIO:
         """Read ``path`` fully as bytes."""
         with self.open_bytes(path, "rb") as handle:
             return handle.read()
+
+    def read_bytes_from(self, path: str, offset: int) -> bytes:
+        """Read ``path`` from byte ``offset`` to the end — the journal
+        tail a reader follows, so refresh I/O is O(new bytes), not
+        O(journal)."""
+        with self.open_bytes(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read()
+
+    def read_head(self, path: str) -> str:
+        """The first line of ``path`` without its newline (the cheap
+        snapshot-generation probe)."""
+        with self.open_text(path, "r") as handle:
+            return handle.readline().rstrip("\n")
 
     def read_text(self, path: str) -> str:
         """Read ``path`` fully as UTF-8 text."""

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+
+# Make the multi-process test harness (tests/harness/) importable as
+# ``harness`` regardless of how pytest was invoked.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro.workloads import (
     den_schema,

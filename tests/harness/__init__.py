@@ -1,0 +1,16 @@
+"""Multi-process test harness for the reader/writer store split.
+
+* :mod:`harness.stress` — a differential stress driver: one writer
+  process applying randomized ``update_streams`` transactions (plus
+  periodic compactions) while N reader processes concurrently follow
+  the WAL, asserting every refreshed view is byte-identical to the
+  writer's instance at the same ``(generation, seq)`` position.
+* :mod:`harness.crash` — a crash-consistency matrix: the writer is
+  killed at every fault-injected I/O boundary (``store/faults.py``)
+  and a lock-free reader of the wreckage must agree with crash
+  recovery on the committed prefix — and touch nothing.
+
+Both are plain importable modules (driven by ``tests/test_reader_stress.py``
+and ``tests/test_reader_crash.py``) so they can also be run by hand
+against bigger parameters than CI uses.
+"""

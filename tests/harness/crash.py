@@ -1,0 +1,152 @@
+"""Crash-consistency harness: a lock-free reader over writer wreckage.
+
+The scenario mirrors ``tests/test_store_faults.py`` (create → tx1 →
+tx2 → compact → tx3, with deterministic transactions so states are
+byte-comparable across runs), but the property checked is the
+reader/writer split's half of the contract: after the writer is killed
+at an arbitrary fault-injected I/O boundary,
+
+1. a :class:`~repro.store.reader.StoreReader` opens the wreckage
+   without any lock and materializes **a committed prefix state** —
+   one of the states the dry run recorded (or the in-flight successor,
+   when the frame fully hit the disk before the crash);
+2. the reader's state **equals what a recovery dry-run computes** —
+   reader and recovery stop at the same frame on the same damage;
+3. the reader **modified nothing**: every store file is byte-identical
+   before and after the reader session (readers must be safe to point
+   at a store that a recovery tool is about to inspect);
+4. after a real (repairing) recovery, the same reader ``refresh()``es
+   onto the recovered state — wreckage → repair is just another
+   transition the reader follows.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.ldif.writer import serialize_ldif
+from repro.store import DirectoryStore
+from repro.store.faults import FaultPlan, FaultyIO
+from repro.store.reader import StoreReader
+from repro.store.recovery import recover
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    figure1_instance,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+
+def unit_tx(i: int) -> UpdateTransaction:
+    """The fault-matrix scenario's deterministic unit transaction."""
+    return (
+        UpdateTransaction()
+        .insert(
+            f"ou=unit{i},o=att",
+            ["orgUnit", "orgGroup", "top"],
+            {"ou": [f"unit{i}"]},
+        )
+        .insert(
+            f"uid=member{i},ou=unit{i},o=att",
+            ["person", "top"],
+            {"uid": [f"member{i}"], "name": [f"member {i}"]},
+        )
+    )
+
+
+def run_crash_scenario(path: str, io):
+    """create → tx1 → tx2 → compact → tx3 under ``io``, recording
+    ``(ops_executed, serialized state)`` at every committed point.
+    Raises whatever fault ``io`` injects."""
+    states = []
+    store = DirectoryStore.create(
+        path, whitepages_schema(), figure1_instance(), io=io
+    )
+    try:
+        states.append((io.plan.ops_executed, serialize_ldif(store.instance)))
+        for i in (1, 2):
+            assert store.apply(unit_tx(i)).applied
+            states.append((io.plan.ops_executed, serialize_ldif(store.instance)))
+        store.compact()
+        states.append((io.plan.ops_executed, serialize_ldif(store.instance)))
+        assert store.apply(unit_tx(3)).applied
+        states.append((io.plan.ops_executed, serialize_ldif(store.instance)))
+    finally:
+        store.close()
+    return states
+
+
+def dry_run(tmp_path):
+    """Undisturbed run: the reference states and the op count."""
+    io = FaultyIO(FaultPlan())
+    states = run_crash_scenario(str(tmp_path / "dry"), io)
+    return states, io.plan
+
+
+def snapshot_files(path: str):
+    """``{filename: bytes}`` of every file in the store directory — the
+    before/after comparison proving the reader wrote nothing."""
+    contents = {}
+    for name in sorted(os.listdir(path)):
+        full = os.path.join(path, name)
+        if os.path.isfile(full):
+            with open(full, "rb") as fh:
+                contents[name] = fh.read()
+    return contents
+
+
+def allowed_states(states, crash_op):
+    """The committed-prefix rule: the last state whose I/O completed
+    before ``crash_op``, or its successor when the in-flight frame fully
+    reached the disk."""
+    last = max(i for i, (ops, _) in enumerate(states) if ops <= crash_op)
+    allowed = {states[last][1]}
+    if last + 1 < len(states):
+        allowed.add(states[last + 1][1])
+    return allowed
+
+
+def assert_reader_matches_wreckage(path: str, states, crash_op: int) -> None:
+    """Properties 1-4 above, for one crashed store directory."""
+    before = snapshot_files(path)
+
+    with StoreReader.open(
+        path, whitepages_schema(), whitepages_registry()
+    ) as reader:
+        reader_state = serialize_ldif(reader.instance)
+
+        # 1. a committed prefix state, nothing else
+        assert reader_state in allowed_states(states, crash_op), (
+            f"crash at op {crash_op}: reader materialized a state the "
+            "writer never committed"
+        )
+
+        # 2. reader and recovery agree on the committed prefix
+        recovered_instance, report = recover(
+            path,
+            whitepages_schema(),
+            whitepages_registry(),
+            repair=False,  # fsck dry-run: decide, touch nothing
+        )
+        assert serialize_ldif(recovered_instance) == reader_state, (
+            f"crash at op {crash_op}: reader stopped at a different "
+            f"frame than recovery (tail={report.tail_state}: "
+            f"{report.notes})"
+        )
+
+        # 3. the reader (and the recovery dry-run) wrote nothing
+        assert snapshot_files(path) == before, (
+            f"crash at op {crash_op}: a read-only pass modified the store"
+        )
+
+        # 4. repairing recovery is just another transition to follow
+        with DirectoryStore.open(
+            path, whitepages_schema(), registry=whitepages_registry()
+        ) as repaired:
+            repaired_state = serialize_ldif(repaired.instance)
+            refreshed = reader.refresh()
+            assert not refreshed.stale, refreshed.note
+            assert serialize_ldif(reader.instance) == repaired_state, (
+                f"crash at op {crash_op}: reader did not converge onto "
+                "the recovered state"
+            )

@@ -318,3 +318,127 @@ class TestCheck:
         schema, data, _ = paths
         assert main(["check", "--schema", schema, "--data", data,
                      "--structure", "naive"]) == 0
+
+
+class TestCheckStore:
+    @pytest.fixture()
+    def live_store(self, tmp_path, paths):
+        from repro.store import DirectoryStore
+        from repro.updates.operations import UpdateTransaction
+
+        schema, _, _ = paths
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        )
+        tx = UpdateTransaction().insert(
+            "ou=cliunit,o=att", ["orgUnit", "orgGroup", "top"],
+            {"ou": ["cliunit"]},
+        ).insert(
+            "uid=cli,ou=cliunit,o=att", ["person", "top"],
+            {"uid": ["cli"], "name": ["c li"]},
+        )
+        assert store.apply(tx).applied
+        yield schema, path, store
+        store.close()
+
+    def test_check_store_against_live_writer(self, live_store, capsys):
+        schema, path, _store = live_store
+        # the writer is still open (holds the lock): the reader path
+        # must work anyway
+        assert main(["check", "--schema", schema, "--store", path]) == 0
+        out = capsys.readouterr().out
+        assert "[gen 1 seq 1] LEGAL" in out
+
+    def test_check_store_follow_sees_new_commits(self, live_store, capsys):
+        from repro.updates.operations import UpdateTransaction
+
+        schema, path, store = live_store
+        tx = UpdateTransaction().insert(
+            "ou=cliunit2,o=att", ["orgUnit", "orgGroup", "top"],
+            {"ou": ["cliunit2"]},
+        ).insert(
+            "uid=cli2,ou=cliunit2,o=att", ["person", "top"],
+            {"uid": ["cli2"], "name": ["c li2"]},
+        )
+        assert store.apply(tx).applied
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--follow", "--iterations", "2",
+                     "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "[gen 1 seq 2] LEGAL" in out
+
+    def test_check_store_profile(self, live_store, capsys):
+        schema, path, _store = live_store
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--profile"]) == 0
+        assert "entries content-checked" in capsys.readouterr().out
+
+    def test_data_and_store_mutually_exclusive(self, live_store, paths):
+        schema, data, _ = paths
+        _, path, _store = live_store
+        with pytest.raises(SystemExit):
+            main(["check", "--schema", schema, "--data", data,
+                  "--store", path])
+
+
+class TestFsckReadOnly:
+    @pytest.fixture()
+    def live_store(self, tmp_path, paths):
+        from repro.store import DirectoryStore
+
+        schema, _, _ = paths
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        )
+        yield schema, path, store
+        store.close()
+
+    def test_read_only_inspection_of_locked_store(self, live_store, capsys):
+        schema, path, _store = live_store
+        assert main(["fsck", path, "--schema", schema, "--read-only"]) == 0
+        out = capsys.readouterr().out
+        assert "READ-ONLY VIEW CONSISTENT" in out
+        assert "view: generation 1, seq 0" in out
+        assert "lag: current" in out
+
+    def test_read_only_requires_schema(self, live_store, capsys):
+        _, path, _store = live_store
+        assert main(["fsck", path, "--read-only"]) == 2
+        assert "requires --schema" in capsys.readouterr().err
+
+    def test_read_only_reports_lag_against_live_writer(
+        self, live_store, capsys
+    ):
+        from repro.updates.operations import UpdateTransaction
+
+        schema, path, store = live_store
+        tx = UpdateTransaction().insert(
+            "ou=fsckunit,o=att", ["orgUnit", "orgGroup", "top"],
+            {"ou": ["fsckunit"]},
+        ).insert(
+            "uid=fsck,ou=fsckunit,o=att", ["person", "top"],
+            {"uid": ["fsck"], "name": ["f sck"]},
+        )
+        assert store.apply(tx).applied
+        assert main(["fsck", path, "--schema", schema, "--read-only"]) == 0
+        assert "view: generation 1, seq 1" in capsys.readouterr().out
+
+    def test_read_only_touches_nothing(self, live_store, tmp_path):
+        import os
+
+        schema, path, store = live_store
+        store.compact()  # manifest + sidecar on disk too
+        before = {
+            name: open(os.path.join(path, name), "rb").read()
+            for name in sorted(os.listdir(path))
+            if os.path.isfile(os.path.join(path, name))
+        }
+        assert main(["fsck", path, "--schema", schema, "--read-only"]) == 0
+        after = {
+            name: open(os.path.join(path, name), "rb").read()
+            for name in sorted(os.listdir(path))
+            if os.path.isfile(os.path.join(path, name))
+        }
+        assert after == before

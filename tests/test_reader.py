@@ -1,0 +1,413 @@
+"""Unit tests for the lock-free store reader (single process).
+
+Multi-process stress lives in ``test_reader_stress.py``, the crash
+matrix in ``test_reader_crash.py``, randomized interleavings in
+``test_reader_fuzz.py``; this file covers the reader's contract one
+behavior at a time: bootstrap, incremental refresh, compaction
+follow-through, staleness introspection and ``strict`` semantics, the
+manifest rendezvous, the read surface (search/check), the sidecar
+read-only discipline, and the advisory-lock fix (typed error with
+holder pid; readers never lock).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StaleReadError, StoreError, StoreLockedError
+from repro.ldif import serialize_ldif
+from repro.store import DirectoryStore, StoreReader, read_manifest
+from repro.store.manifest import (
+    MANIFEST_FILE,
+    Manifest,
+    decode_manifest,
+    encode_manifest,
+)
+from repro.store.recovery import JOURNAL_FILE, SIDECAR_FILE, SNAPSHOT_FILE
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import figure1_instance, whitepages_registry, whitepages_schema
+
+
+def unit_tx(i):
+    return (
+        UpdateTransaction()
+        .insert(
+            f"ou=unit{i},o=att",
+            ["orgUnit", "orgGroup", "top"],
+            {"ou": [f"unit{i}"]},
+        )
+        .insert(
+            f"uid=member{i},ou=unit{i},o=att",
+            ["person", "top"],
+            {"uid": [f"member{i}"], "name": [f"member {i}"]},
+        )
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = DirectoryStore.create(
+        str(tmp_path / "store"),
+        whitepages_schema(),
+        figure1_instance(),
+        whitepages_registry(),
+    )
+    yield store
+    store.close()
+
+
+def open_reader(store_dir):
+    return DirectoryStore.open_reader(
+        store_dir, whitepages_schema(), whitepages_registry()
+    )
+
+
+class TestBootstrapAndRefresh:
+    def test_bootstrap_equals_writer(self, store):
+        with open_reader(store._dir) as reader:
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+            assert reader.position() == (1, 0)
+            assert reader.lag().current
+
+    def test_bootstrap_includes_committed_journal(self, store):
+        for i in (1, 2, 3):
+            assert store.apply(unit_tx(i)).applied
+        with open_reader(store._dir) as reader:
+            assert reader.position() == (1, 3)
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+
+    def test_refresh_follows_appends_incrementally(self, store):
+        with open_reader(store._dir) as reader:
+            for i in (1, 2):
+                assert store.apply(unit_tx(i)).applied
+            result = reader.refresh()
+            assert result.advanced
+            assert result.frames_replayed == 2
+            assert not result.rebootstrapped
+            assert reader.position() == (1, 2)
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+
+    def test_refresh_noop_when_current(self, store):
+        with open_reader(store._dir) as reader:
+            result = reader.refresh()
+            assert not result.advanced
+            assert result.frames_replayed == 0
+            assert result.bytes_scanned == 0
+
+    def test_refresh_cost_is_tail_only(self, store):
+        """The second refresh reads only the bytes appended since the
+        first — not the whole journal (the O(|Δ|) contract)."""
+        with open_reader(store._dir) as reader:
+            for i in (1, 2, 3):
+                assert store.apply(unit_tx(i)).applied
+            first = reader.refresh()
+            assert store.apply(unit_tx(4)).applied
+            second = reader.refresh()
+            assert second.frames_replayed == 1
+            assert 0 < second.bytes_scanned < first.bytes_scanned
+
+    def test_refresh_follows_compaction(self, store):
+        with open_reader(store._dir) as reader:
+            assert store.apply(unit_tx(1)).applied
+            store.compact()
+            result = reader.refresh()
+            assert result.rebootstrapped
+            assert reader.position() == (2, 0)
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+
+    def test_refresh_across_compaction_and_more_appends(self, store):
+        with open_reader(store._dir) as reader:
+            assert store.apply(unit_tx(1)).applied
+            store.compact()
+            assert store.apply(unit_tx(2)).applied
+            reader.refresh()
+            assert reader.position() == (2, 1)
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+
+    def test_lag_reports_frames_and_generations(self, store):
+        with open_reader(store._dir) as reader:
+            assert reader.lag().current
+            assert store.apply(unit_tx(1)).applied
+            assert store.apply(unit_tx(2)).applied
+            lag = reader.lag()
+            assert (lag.generations, lag.frames) == (0, 2)
+            store.compact()
+            lag = reader.lag()
+            assert lag.generations == 1
+            reader.refresh()
+            assert reader.lag().current
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            StoreReader.open(str(tmp_path / "nope"), whitepages_schema())
+
+    def test_open_directory_without_store(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            StoreReader.open(str(empty), whitepages_schema())
+
+    def test_closed_reader_refuses(self, store):
+        reader = open_reader(store._dir)
+        reader.close()
+        reader.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            reader.refresh()
+        with pytest.raises(StoreError, match="closed"):
+            reader.search()
+
+
+class TestStaleness:
+    def test_vanished_snapshot_keeps_view_and_flags_stale(self, store):
+        assert store.apply(unit_tx(1)).applied
+        reader = open_reader(store._dir)
+        before = serialize_ldif(reader.instance)
+        os.unlink(os.path.join(store._dir, SNAPSHOT_FILE))
+        result = reader.refresh()
+        assert result.stale
+        assert result.note
+        # the old view stays fully serviceable
+        assert serialize_ldif(reader.instance) == before
+        assert reader.search(filter="(uid=member1)")
+        reader.close()
+
+    def test_strict_refresh_raises(self, store):
+        reader = open_reader(store._dir)
+        os.unlink(os.path.join(store._dir, SNAPSHOT_FILE))
+        with pytest.raises(StaleReadError):
+            reader.refresh(strict=True)
+        reader.close()
+
+    def test_torn_tail_is_not_stale(self, store):
+        """A torn in-flight frame silently stops the reader at the last
+        committed frame — graceful degradation, not an error."""
+        assert store.apply(unit_tx(1)).applied
+        journal = os.path.join(store._dir, JOURNAL_FILE)
+        committed = open(journal, "rb").read()
+        with open_reader(store._dir) as reader:
+            assert store.apply(unit_tx(2)).applied
+            full = open(journal, "rb").read()
+            open(journal, "wb").write(full[: len(committed) + 30])  # tear tx2
+            result = reader.refresh()
+            assert not result.stale
+            assert result.note and "torn" in result.note
+            assert reader.position() == (1, 1)
+            # restoring the tail resumes exactly where the reader stopped
+            open(journal, "wb").write(full)
+            result = reader.refresh()
+            assert result.frames_replayed == 1
+            assert reader.position() == (1, 2)
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+
+
+class TestManifest:
+    def test_create_publishes_manifest(self, store):
+        manifest = read_manifest(store._dir)
+        assert manifest == Manifest(version=1, generation=1)
+
+    def test_compact_bumps_version_and_generation(self, store):
+        store.compact()
+        store.compact()
+        manifest = read_manifest(store._dir)
+        assert manifest.version == 3
+        assert manifest.generation == 3
+
+    def test_corrupt_manifest_is_advisory(self, store):
+        """A garbled manifest never blocks a reader: the snapshot header
+        stays authoritative."""
+        assert store.apply(unit_tx(1)).applied
+        path = os.path.join(store._dir, MANIFEST_FILE)
+        with open(path, "wb") as fh:
+            fh.write(b'{"garbage": tru')
+        assert read_manifest(store._dir) is None
+        with open_reader(store._dir) as reader:
+            assert reader.position() == (1, 1)
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+
+    def test_missing_manifest_is_advisory(self, store):
+        os.unlink(os.path.join(store._dir, MANIFEST_FILE))
+        with open_reader(store._dir) as reader:
+            assert reader.position() == (1, 0)
+
+    def test_reopen_adopts_and_heals_manifest(self, tmp_path):
+        store = DirectoryStore.create(
+            str(tmp_path / "s"), whitepages_schema(), figure1_instance()
+        )
+        store.compact()  # version 2, generation 2
+        store.close()
+        os.unlink(os.path.join(str(tmp_path / "s"), MANIFEST_FILE))
+        store = DirectoryStore.open(
+            str(tmp_path / "s"), whitepages_schema(),
+            registry=whitepages_registry(),
+        )
+        try:
+            manifest = read_manifest(store._dir)
+            assert manifest is not None
+            assert manifest.generation == 2
+        finally:
+            store.close()
+
+    def test_codec_round_trip_and_damage(self):
+        manifest = Manifest(version=7, generation=3)
+        data = encode_manifest(manifest)
+        assert decode_manifest(data) == manifest
+        with pytest.raises(ValueError):
+            decode_manifest(data.replace(b'"generation": 3', b'"generation": 4'))
+        with pytest.raises(ValueError):
+            decode_manifest(b"[1, 2]")
+
+
+class TestReadSurface:
+    def test_search_delegates(self, store):
+        assert store.apply(unit_tx(1)).applied
+        with open_reader(store._dir) as reader:
+            reader.refresh()
+            hits = reader.search(filter="(uid=member1)")
+            assert [entry.values("uid") for entry in hits] == [("member1",)]
+            scoped = reader.search(base="ou=unit1,o=att", scope="sub")
+            assert len(scoped) == 2
+
+    def test_check_is_memoized_across_refresh(self, store):
+        with open_reader(store._dir) as reader:
+            report = reader.check()
+            assert report.is_legal
+            assert reader.is_legal()
+            assert store.apply(unit_tx(1)).applied
+            reader.refresh()
+            baseline = reader.session.stats.copy()
+            report = reader.check()
+            assert report.is_legal
+            delta = reader.session.stats.since(baseline)
+            # only the delta's entries were content-checked cold
+            assert delta.cache_hits > 0
+
+
+class TestSidecarDiscipline:
+    """Satellite: the ``verdicts.cache`` sidecar under the split."""
+
+    def _sidecar(self, store_dir):
+        return os.path.join(store_dir, SIDECAR_FILE)
+
+    def test_reader_never_writes_sidecar(self, store):
+        store.compact()  # writer publishes a sidecar
+        path = self._sidecar(store._dir)
+        assert os.path.exists(path)
+        before = open(path, "rb").read()
+        with open_reader(store._dir) as reader:
+            assert reader.warm_start_verdicts > 0
+            reader.check()
+            reader.refresh()
+        assert open(path, "rb").read() == before
+
+    def test_reader_missing_sidecar_stays_missing(self, store):
+        path = self._sidecar(store._dir)
+        assert not os.path.exists(path)
+        with open_reader(store._dir) as reader:
+            assert reader.warm_start_verdicts == 0
+            assert reader.check().is_legal
+        assert not os.path.exists(path)
+
+    def test_corrupt_sidecar_cold_start_never_wrong(self, store):
+        store.compact()
+        path = self._sidecar(store._dir)
+        payload = json.loads(open(path).read())
+        payload["verdicts"] = {"deadbeef": [["bogus", "violation", "x"]]}
+        open(path, "w").write(json.dumps(payload))  # crc now stale
+        with open_reader(store._dir) as reader:
+            assert reader.warm_start_verdicts == 0
+            assert reader.check().is_legal
+
+    def test_stale_schema_digest_cold_start(self, store):
+        store.compact()
+        path = self._sidecar(store._dir)
+        payload = json.loads(open(path).read())
+        payload["schema"] = "0" * len(payload["schema"])
+        open(path, "w").write(json.dumps(payload))
+        with open_reader(store._dir) as reader:
+            assert reader.warm_start_verdicts == 0
+            assert reader.check().is_legal
+
+    def test_compact_under_live_reader_keeps_memo_correct(self, store):
+        """The writer compacting (and rewriting the sidecar) while a
+        reader holds the old view must not corrupt the reader's warm
+        memo: verdicts are content-keyed, so the reader's answers stay
+        correct before and after it follows the compaction."""
+        store.compact()
+        with open_reader(store._dir) as reader:
+            assert reader.warm_start_verdicts > 0
+            assert store.apply(unit_tx(1)).applied
+            store.compact()  # rewrites snapshot AND sidecar under the reader
+            assert reader.check().is_legal  # old view, warm memo: still right
+            reader.refresh()
+            assert serialize_ldif(reader.instance) == serialize_ldif(store.instance)
+            assert reader.check().is_legal
+
+
+class TestAdvisoryLock:
+    """Satellite: typed lock errors with holder pid; readers don't lock."""
+
+    def test_contended_writer_gets_typed_error_with_pid(self, store):
+        with pytest.raises(StoreLockedError) as excinfo:
+            DirectoryStore.open(
+                store._dir, whitepages_schema(), registry=whitepages_registry()
+            )
+        assert excinfo.value.holder_pid == os.getpid()
+        assert f"pid {os.getpid()}" in str(excinfo.value)
+
+    def test_legacy_lock_file_without_pid(self, store):
+        # Old stores have an empty lock file: the error still types
+        # correctly, with holder_pid=None.
+        lock_path = os.path.join(store._dir, "lock")
+        handle = store._lock_handle
+        handle.seek(0)
+        handle.truncate()
+        handle.flush()
+        assert open(lock_path).read() == ""
+        with pytest.raises(StoreLockedError) as excinfo:
+            DirectoryStore.open(
+                store._dir, whitepages_schema(), registry=whitepages_registry()
+            )
+        assert excinfo.value.holder_pid is None
+
+    def test_readers_do_not_take_the_lock(self, store):
+        """Any number of readers coexist with the live writer, and a
+        writer can open while readers are attached."""
+        readers = [open_reader(store._dir) for _ in range(3)]
+        try:
+            assert store.apply(unit_tx(1)).applied  # writer still writes
+            for reader in readers:
+                reader.refresh()
+                assert reader.position() == (1, 1)
+        finally:
+            for reader in readers:
+                reader.close()
+
+    def test_writer_opens_while_reader_attached(self, tmp_path):
+        path = str(tmp_path / "s")
+        DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        ).close()
+        with open_reader(path):
+            # the reader holds no lock, so the writer's open succeeds
+            store = DirectoryStore.open(
+                path, whitepages_schema(), registry=whitepages_registry()
+            )
+            store.close()
+
+    def test_unopenable_lock_file_is_typed(self, tmp_path):
+        path = str(tmp_path / "s")
+        DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance()
+        ).close()
+        lock_path = os.path.join(path, "lock")
+        os.chmod(lock_path, 0o000)
+        if os.access(lock_path, os.W_OK):  # pragma: no cover
+            pytest.skip("running as a user that ignores file modes, cannot test")
+        try:
+            with pytest.raises(StoreLockedError):
+                DirectoryStore.open(
+                    path, whitepages_schema(), registry=whitepages_registry()
+                )
+        finally:
+            os.chmod(lock_path, 0o644)

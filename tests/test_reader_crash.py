@@ -1,0 +1,158 @@
+"""Crash-consistency matrix for the lock-free reader (ISSUE 4
+acceptance) plus the torn-frame byte-sweep satellite.
+
+The matrix kills the writer at every fault-injected I/O boundary of
+the standard scenario (``harness.crash``) and asserts, per wreckage:
+the reader's view is a committed-prefix state, equals the recovery
+dry-run's answer, modifies nothing, and converges onto the repaired
+state afterwards.
+
+The byte-sweep truncates, then corrupts, the newest WAL frame at every
+byte position under a *live* reader and asserts the reader silently
+holds the previous committed frame — the incremental mirror of the
+recovery sweep in ``test_store_faults.py``.
+"""
+
+import os
+
+import pytest
+
+from harness.crash import (
+    assert_reader_matches_wreckage,
+    dry_run,
+    run_crash_scenario,
+    snapshot_files,
+    unit_tx,
+)
+from repro.ldif import serialize_ldif
+from repro.store import DirectoryStore
+from repro.store.faults import FaultPlan, FaultyIO, InjectedCrash
+from repro.store.recovery import JOURNAL_FILE
+from repro.store.reader import StoreReader
+from repro.store.wal import scan
+from repro.workloads import figure1_instance, whitepages_registry, whitepages_schema
+
+
+class TestReaderCrashMatrix:
+    def test_reader_agrees_with_recovery_at_every_crash_point(self, tmp_path):
+        states, plan = dry_run(tmp_path)
+        total_ops = plan.ops_executed
+        assert total_ops >= 14, f"scenario too small: {plan.trace}"
+        checked = 0
+        for crash_op in range(total_ops):
+            for fraction in (0.0, 0.5, 1.0):
+                path = str(tmp_path / f"crash-{crash_op}-{int(fraction * 10)}")
+                io = FaultyIO(
+                    FaultPlan(crash_at_op=crash_op, torn_fraction=fraction)
+                )
+                with pytest.raises(InjectedCrash):
+                    run_crash_scenario(path, io)
+                if not os.path.exists(path):
+                    continue  # died inside create(): nothing to read
+                assert_reader_matches_wreckage(path, states, crash_op)
+                checked += 1
+        assert checked >= 30  # the matrix really ran
+
+
+class TestTornFrameByteSweep:
+    """Satellite: every truncation and corruption point of the newest
+    frame leaves a live reader silently pinned at the previous commit."""
+
+    def _store_with_two_commits(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance(), whitepages_registry()
+        )
+        assert store.apply(unit_tx(1)).applied
+        assert store.apply(unit_tx(2)).applied
+        store.close()
+        return path
+
+    def test_truncation_sweep(self, tmp_path):
+        path = self._store_with_two_commits(tmp_path)
+        journal = os.path.join(path, JOURNAL_FILE)
+        full = open(journal, "rb").read()
+        records = scan(full).records
+        assert len(records) == 2
+        frame2 = records[1]
+
+        with StoreReader.open(
+            path, whitepages_schema(), whitepages_registry()
+        ) as reader:
+            assert reader.position() == (1, 2)
+            full_state = serialize_ldif(reader.instance)
+
+            # Pin a second reader at frame 1 and sweep every truncation
+            # length of frame 2 under it.
+            open(journal, "wb").write(full[: frame2.offset])
+            with StoreReader.open(
+                path, whitepages_schema(), whitepages_registry()
+            ) as live:
+                assert live.position() == (1, 1)
+                pinned = serialize_ldif(live.instance)
+                for cut in range(frame2.offset, len(full)):
+                    open(journal, "wb").write(full[:cut])
+                    result = live.refresh()
+                    assert live.position() == (1, 1), f"cut at byte {cut}"
+                    assert not result.advanced
+                    assert not result.stale, f"cut at {cut}: {result.note}"
+                    assert serialize_ldif(live.instance) == pinned
+                # restoring the full frame resumes the follow exactly
+                open(journal, "wb").write(full)
+                result = live.refresh()
+                assert result.frames_replayed == 1
+                assert live.position() == (1, 2)
+                assert serialize_ldif(live.instance) == full_state
+
+    def test_corruption_sweep(self, tmp_path):
+        path = self._store_with_two_commits(tmp_path)
+        journal = os.path.join(path, JOURNAL_FILE)
+        full = open(journal, "rb").read()
+        records = scan(full).records
+        frame2 = records[1]
+
+        open(journal, "wb").write(full[: frame2.offset])
+        with StoreReader.open(
+            path, whitepages_schema(), whitepages_registry()
+        ) as live:
+            assert live.position() == (1, 1)
+            pinned = serialize_ldif(live.instance)
+            for pos in range(frame2.offset, len(full)):
+                damaged = bytearray(full)
+                damaged[pos] ^= 0xFF
+                open(journal, "wb").write(bytes(damaged))
+                result = live.refresh()
+                # A flipped byte anywhere in the newest frame must never
+                # advance the reader onto damaged content...
+                assert live.position() == (1, 1), f"flip at byte {pos}"
+                assert serialize_ldif(live.instance) == pinned
+                assert not result.advanced, f"flip at byte {pos}"
+                # ...and the journal must not be "repaired" by a reader.
+                assert open(journal, "rb").read() == bytes(damaged)
+                # reset for the next position
+                open(journal, "wb").write(full[: frame2.offset])
+                live.refresh()
+            open(journal, "wb").write(full)
+            live.refresh()
+            assert live.position() == (1, 2)
+
+
+class TestReaderNeverWrites:
+    def test_reader_session_touches_no_file(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance(), whitepages_registry()
+        )
+        assert store.apply(unit_tx(1)).applied
+        store.compact()  # publish manifest + sidecar too
+        assert store.apply(unit_tx(2)).applied
+        store.close()
+        before = snapshot_files(path)
+        with StoreReader.open(
+            path, whitepages_schema(), whitepages_registry()
+        ) as reader:
+            reader.refresh()
+            reader.check()
+            reader.search()
+            reader.lag()
+        assert snapshot_files(path) == before

@@ -308,12 +308,22 @@ class TestSurvivableIOErrors:
         all_states = {state for _, state in states}
         total_fsyncs = plan.fsyncs_executed
         assert total_fsyncs >= 6
+        survived_advisory = 0
         for k in range(total_fsyncs):
             path = str(tmp_path / f"fsync-{k}")
             io = FaultyIO(FaultPlan(fail_fsync_at=k))
             try:
                 run_scenario(path, io)
-                pytest.fail(f"fsync {k} never executed")
+                # The scenario completed despite the failed fsync: only
+                # permissible for an *advisory* write (the manifest,
+                # whose publish is best-effort because the snapshot
+                # header stays authoritative) — never for a snapshot or
+                # journal fsync.  Durability must therefore be whole:
+                # reopening yields the full final scenario state.
+                with reopen_clean(path) as survived:
+                    assert serialize_ldif(survived.instance) == states[-1][1]
+                survived_advisory += 1
+                continue
             except StoreError:
                 pass  # poisoned by apply/compact
             except InjectedIOError:
@@ -324,6 +334,10 @@ class TestSurvivableIOErrors:
                 assert recovered.check().is_legal
                 assert serialize_ldif(recovered.instance) in all_states
                 assert recovered.apply(unit_tx(9)).applied
+        # Exactly one advisory fsync per scenario (compact's manifest
+        # publish): if this grows, a durable-path fsync has been
+        # silently downgraded to best-effort.
+        assert survived_advisory <= 1
 
 
 class TestExplicitRecovery:

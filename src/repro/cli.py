@@ -4,9 +4,11 @@ Usage::
 
     bounding-schemas validate    --schema S.dsl --data D.ldif [--structure query|naive|batched]
     bounding-schemas check       --schema S.dsl (--data D.ldif | --store DIR)
-                                 [--jobs N] [--profile] [--follow]
+                                 [--shards] [--jobs N] [--profile] [--follow]
                                  [--interval SEC] [--iterations N]
                                  [--structure batched|query|naive]
+    bounding-schemas create      STORE_DIR --schema S.dsl [--data D.ldif]
+                                 [--shard NAME=BASE_DN ...]
     bounding-schemas consistency --schema S.dsl [--witness OUT.ldif] [--proof]
                                  [--repair]
     bounding-schemas query       --data D.ldif --filter '(objectClass=person)'
@@ -18,6 +20,7 @@ Usage::
     bounding-schemas discover    --data D.ldif [--out S.dsl]
                                  [--min-forbidden-support N]
     bounding-schemas fsck        STORE_DIR [--schema S.dsl] [--read-only]
+                                 [--shards]
     bounding-schemas recover     STORE_DIR [--schema S.dsl] [--force]
 
 ``validate``/``apply`` exit 0 when the (resulting) instance is legal and
@@ -98,14 +101,21 @@ def _check_store(args: argparse.Namespace) -> int:
     """``check --store DIR [--follow]``: legality of a live store through
     a lock-free reader view.  With ``--follow``, refresh and re-check in
     a loop (memoized, so each round costs only the delta); ``--iterations``
-    bounds the loop (0 = until interrupted)."""
+    bounds the loop (0 = until interrupted).  Interrupting a follow
+    (Ctrl-C) is a normal shutdown: message, exit 0, no traceback; a
+    store that vanishes mid-follow ends the loop with a clear message
+    and exit 1."""
+    import os
     import time
 
     from repro.legality.engine import default_parallelism
     from repro.store.reader import StoreReader
+    from repro.store.recovery import SNAPSHOT_FILE
 
     schema = load_dsl(args.schema)
     jobs = args.jobs if args.jobs > 0 else default_parallelism()
+    if getattr(args, "shards", False):
+        return _check_sharded_store(args, schema, jobs)
     reader = StoreReader.open(
         args.store, schema, parallelism=jobs, structure=args.structure
     )
@@ -138,10 +148,202 @@ def _check_store(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
             refreshed = reader.refresh()
             if refreshed.stale:
+                if not os.path.exists(os.path.join(args.store, SNAPSHOT_FILE)):
+                    print(
+                        f"store {args.store!r} is gone (removed or compacted "
+                        "away); stopping follow",
+                        file=sys.stderr,
+                    )
+                    status = 1
+                    break
                 print(f"stale view: {refreshed.note}", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("follow interrupted; exiting", file=sys.stderr)
+        status = 0
     finally:
         reader.close()
     return status
+
+
+def _frontier_tag(frontier) -> str:
+    """``shard@gGEN.SEQ`` pairs, the composite position shown per round."""
+    return " ".join(
+        f"{name}@g{generation}.{seq}"
+        for name, (generation, seq) in sorted(frontier.items())
+    )
+
+
+def _check_sharded_store(args: argparse.Namespace, schema, jobs: int) -> int:
+    """``check --store DIR --shards``: legality of a sharded store
+    through a composite of per-shard lock-free readers.
+
+    One-shot with ``--jobs N > 1`` runs one worker *process per shard*
+    (:func:`repro.store.sharded.check_shards_parallel`); ``--follow``
+    refreshes every shard view each round and prints the composite
+    frontier.  Ctrl-C is a normal shutdown (exit 0); a shard map that
+    vanishes mid-follow ends the loop with a message and exit 1.
+    """
+    import os
+    import time
+
+    from repro.errors import ShardMapError
+    from repro.store.shardmap import shard_map_path
+    from repro.store.sharded import CompositeReader, check_shards_parallel
+
+    try:
+        if not args.follow and jobs > 1:
+            report, entries = check_shards_parallel(
+                args.store, schema, jobs=jobs, structure=args.structure
+            )
+            if report.is_legal:
+                print(f"LEGAL: {entries} entries across shards ({jobs} jobs)")
+                return 0
+            print(f"ILLEGAL: {len(report)} violation(s)")
+            for violation in report:
+                print(f"  {violation}")
+            return 1
+        reader = CompositeReader.open(
+            args.store, schema, parallelism=jobs, structure=args.structure
+        )
+    except ShardMapError as exc:
+        print(f"check: {exc}", file=sys.stderr)
+        return 1
+    status = 0
+    rounds = 0
+    try:
+        while True:
+            report = reader.check()
+            tag = _frontier_tag(reader.frontier())
+            if report.is_legal:
+                print(f"[{tag}] LEGAL: {len(reader.instance)} entries")
+            else:
+                status = 1
+                print(f"[{tag}] ILLEGAL: {len(report)} violation(s)")
+                for violation in report:
+                    print(f"  {violation}")
+            rounds += 1
+            if not args.follow:
+                break
+            if args.iterations and rounds >= args.iterations:
+                break
+            time.sleep(args.interval)
+            refreshed = reader.refresh()
+            if refreshed.stale:
+                if not os.path.exists(shard_map_path(args.store)):
+                    print(
+                        f"sharded store {args.store!r} is gone (removed "
+                        "mid-follow); stopping follow",
+                        file=sys.stderr,
+                    )
+                    status = 1
+                    break
+                print(f"stale view: {refreshed.note}", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("follow interrupted; exiting", file=sys.stderr)
+        status = 0
+    finally:
+        reader.close()
+    return status
+
+
+def _parse_shard_args(pairs: List[str]) -> dict:
+    """``NAME=BASE_DN`` pairs from repeated ``--shard`` flags."""
+    bases = {}
+    for pair in pairs:
+        name, sep, base = pair.partition("=")
+        if not sep or not name or not base:
+            raise ValueError(
+                f"--shard wants NAME=BASE_DN, got {pair!r}"
+            )
+        bases[name] = base
+    return bases
+
+
+def _cmd_create(args: argparse.Namespace) -> int:
+    """``create``: initialize a store directory — plain, or sharded
+    when ``--shard NAME=BASE_DN`` is given (repeatable, one per shard)."""
+    from repro.errors import StoreError, UpdateError
+    from repro.model.instance import DirectoryInstance
+    from repro.store import DirectoryStore
+    from repro.store.sharded import ShardedStore
+
+    schema = load_dsl(args.schema)
+    instance = (
+        load_ldif(args.data) if args.data else DirectoryInstance()
+    )
+    try:
+        if args.shard:
+            bases = _parse_shard_args(args.shard)
+            with ShardedStore.create(
+                args.directory, schema, bases, instance
+            ) as store:
+                print(
+                    f"created sharded store {args.directory} "
+                    f"({len(instance)} entries, {len(bases)} shard(s))"
+                )
+                for spec in store.shard_map:
+                    print(
+                        f"  {spec.name}: base {spec.base} "
+                        f"({len(store.shard(spec.name).instance)} entries)"
+                    )
+        else:
+            DirectoryStore.create(args.directory, schema, instance).close()
+            print(f"created store {args.directory} ({len(instance)} entries)")
+        return 0
+    except (StoreError, UpdateError, ValueError, OSError) as exc:
+        print(f"create: {exc}", file=sys.stderr)
+        return 1
+
+
+def _fsck_shards(directory: str, schema) -> int:
+    """``fsck --shards``: inspect a sharded store — print the shard
+    map, each shard's committed position and lag through lock-free
+    readers, and the composite legality verdict.  Touches nothing."""
+    from repro.errors import ShardMapError, StoreError
+    from repro.store.shardmap import read_shard_map
+    from repro.store.sharded import CompositeReader
+
+    if schema is None:
+        print("fsck: --shards requires --schema", file=sys.stderr)
+        return 2
+    try:
+        shard_map = read_shard_map(directory)
+    except ShardMapError as exc:
+        print(f"fsck: {exc}")
+        return 1
+    print(f"sharded store: {directory}")
+    print(f"shard map: {len(shard_map)} shard(s)"
+          + (" [nested cut]" if shard_map.has_cut() else ""))
+    for spec in shard_map:
+        print(f"  {spec.name}: base {spec.base}")
+    try:
+        reader = CompositeReader.open(directory, schema)
+    except (StoreError, OSError) as exc:
+        print(f"fsck: {exc}")
+        return 1
+    try:
+        for name, (generation, seq) in sorted(reader.frontier().items()):
+            shard = reader.shard_reader(name)
+            lag = shard.lag()
+            lag_note = (
+                "current" if lag.current
+                else f"{lag.generations} generation(s), {lag.frames} frame(s) behind"
+            )
+            print(
+                f"  {name}: generation {generation}, seq {seq} "
+                f"({len(shard.instance)} entries; {lag_note})"
+            )
+        print(f"scope: {reader.scope.summary()}")
+        report = reader.check()
+        print("legality: " + ("legal" if report.is_legal else "ILLEGAL"))
+        if report.is_legal:
+            print("COMPOSITE VIEW CONSISTENT")
+            return 0
+        for violation in report:
+            print(f"  {violation}")
+        return 1
+    finally:
+        reader.close()
 
 
 def _cmd_apply(args: argparse.Namespace) -> int:
@@ -173,6 +375,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.store.recovery import recover
 
     schema = load_dsl(args.schema) if args.schema else None
+    if getattr(args, "shards", False):
+        return _fsck_shards(args.directory, schema)
     if args.read_only:
         return _fsck_read_only(args.directory, schema)
     try:
@@ -439,6 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(works against a live writer)",
     )
     check.add_argument(
+        "--shards",
+        action="store_true",
+        help="with --store: DIR is a sharded store root; check the "
+        "composite view (per-shard readers stitched across the shard "
+        "map); --jobs N > 1 checks shards in parallel worker processes",
+    )
+    check.add_argument(
         "--follow",
         action="store_true",
         help="with --store: keep refreshing the view and re-checking "
@@ -479,6 +690,25 @@ def build_parser() -> argparse.ArgumentParser:
         "one query at a time)",
     )
     check.set_defaults(func=_cmd_check)
+
+    create = sub.add_parser(
+        "create",
+        help="initialize a store directory (sharded with --shard)",
+    )
+    create.add_argument("directory", help="store directory to create")
+    create.add_argument("--schema", required=True, help="bounding-schema DSL file")
+    create.add_argument(
+        "--data", help="initial LDIF instance (default: empty directory)"
+    )
+    create.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        metavar="NAME=BASE_DN",
+        help="route the subtree at BASE_DN to shard NAME (repeatable; "
+        "at least one makes the store sharded; every entry must route)",
+    )
+    create.set_defaults(func=_cmd_create)
 
     consistency = sub.add_parser("consistency", help="decide schema consistency")
     consistency.add_argument("--schema", required=True)
@@ -542,6 +772,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="inspect through a lock-free reader view (requires --schema; "
         "safe against a live writer, touches nothing)",
+    )
+    fsck.add_argument(
+        "--shards",
+        action="store_true",
+        help="DIR is a sharded store root: print the shard map, "
+        "per-shard positions/lag, and the composite legality verdict "
+        "(requires --schema; lock-free, touches nothing)",
     )
     fsck.set_defaults(func=_cmd_fsck)
 

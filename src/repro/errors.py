@@ -121,6 +121,17 @@ class StoreReadOnlyError(StoreError):
     mode (recovery found damage) or poisoned by a failed journal write."""
 
 
+class ShardMapError(StoreError):
+    """A sharded store's shard map is malformed, damaged, or missing."""
+
+
+class ShardRoutingError(StoreError):
+    """A DN (or a whole transaction) does not route to the expected
+    shard: either no shard base is an ancestor-or-self of the DN, or a
+    transaction's operations span more than one shard.  Raised instead
+    of silently mis-committing into the wrong shard."""
+
+
 class StaleReadError(StoreError):
     """A ``refresh(strict=True)`` could not bring a read-only view up to
     the committed state currently on disk (the writer compacted or

@@ -1,0 +1,126 @@
+"""Scope analysis: which legality checks survive a routing cut.
+
+A sharded store (:mod:`repro.store.sharded`) routes disjoint DIT
+subtrees to independent per-shard stores.  Theorem 4.1's modularity
+says subtree updates are independently checkable — but only for checks
+whose *scope* is contained in one shard.  This module classifies the
+schema's elements against a shard map:
+
+* **content checks** are per-entry and always shard-local;
+* **required classes** (``c □``) are existential over the *whole*
+  directory — always composite: a shard holding no ``organization``
+  is fine as long as some shard does;
+* **relationship elements** (``Er ∪ Ef``, the Figure 4 checks) relate
+  an entry to its children/parents/descendants/ancestors.  Under a
+  *flat* map (every shard base a root DN) each shard holds complete
+  trees, every structural axis stays inside one tree, and the edge is
+  provably shard-local: the union of per-shard verdicts equals the
+  global verdict.  Under a *nested* cut (a base of depth > 1 carved
+  out of an enclosing shard) an edge's witness can sit on the far side
+  of the cut — a nested shard's root has its parent in another shard —
+  so every relationship element is classified composite and evaluated
+  on the stitched view.  (A finer per-edge analysis — e.g. child-axis
+  edges only span the cut at its boundary — is possible; classifying
+  whole axes is the sound, simple cut made here.)
+
+The shard-local and composite schemas built from a classification
+share the content components (attribute/class schemas, registry) of
+the source schema; only the structure schema is partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import ForbiddenEdge, RequiredEdge, SchemaElement
+from repro.schema.structure_schema import StructureSchema
+
+__all__ = [
+    "ShardScope",
+    "analyze_shard_scope",
+    "shard_local_schema",
+    "composite_structure_schema",
+]
+
+
+@dataclass(frozen=True)
+class ShardScope:
+    """The classification of a schema's structure elements against a
+    routing cut."""
+
+    #: Relationship elements whose per-shard verdicts union to the
+    #: global verdict (evaluated inside each shard).
+    local_edges: Tuple[SchemaElement, ...]
+    #: Relationship elements whose scope can span the cut (evaluated on
+    #: the composite view only).
+    composite_edges: Tuple[SchemaElement, ...]
+    #: Required classes ``c □`` — always composite.
+    required_classes: FrozenSet[str]
+    #: Whether the map nests a base inside another shard's subtree.
+    nested: bool
+
+    def summary(self) -> str:
+        """One-line human summary of the classification."""
+        return (
+            f"{len(self.local_edges)} shard-local edge(s), "
+            f"{len(self.composite_edges)} composite edge(s), "
+            f"{len(self.required_classes)} composite required class(es)"
+            + (" [nested cut]" if self.nested else "")
+        )
+
+
+def analyze_shard_scope(schema: DirectorySchema, shard_map) -> ShardScope:
+    """Classify ``schema``'s structure elements against ``shard_map``
+    (a :class:`~repro.store.shardmap.ShardMap`)."""
+    structure = schema.structure_schema
+    nested = shard_map.has_cut()
+    edges: List[SchemaElement] = structure.relationship_elements()
+    if nested:
+        local: List[SchemaElement] = []
+        composite = edges
+    else:
+        local = edges
+        composite = []
+    return ShardScope(
+        local_edges=tuple(local),
+        composite_edges=tuple(composite),
+        required_classes=structure.required_classes,
+        nested=nested,
+    )
+
+
+def _structure_from_elements(elements) -> StructureSchema:
+    built = StructureSchema()
+    for element in elements:
+        if isinstance(element, RequiredEdge):
+            built.require(element.source, element.axis, element.target)
+        elif isinstance(element, ForbiddenEdge):
+            built.forbid(element.source, element.axis, element.target)
+        else:  # pragma: no cover - scope holds only edges here
+            raise TypeError(f"unexpected element {element!r}")
+    return built
+
+
+def shard_local_schema(
+    schema: DirectorySchema, scope: ShardScope
+) -> DirectorySchema:
+    """The schema each per-shard store enforces: full content bound,
+    structure bound restricted to the shard-local edges (no required
+    classes — those are composite by definition)."""
+    return DirectorySchema(
+        attribute_schema=schema.attribute_schema,
+        class_schema=schema.class_schema,
+        structure_schema=_structure_from_elements(scope.local_edges),
+        registry=schema.registry,
+        extras=None,
+    ).validate()
+
+
+def composite_structure_schema(scope: ShardScope) -> StructureSchema:
+    """The structure bound evaluated on the composite view: required
+    classes plus every cut-spanning edge."""
+    built = _structure_from_elements(scope.composite_edges)
+    built.require_class(*sorted(scope.required_classes))
+    return built

@@ -47,6 +47,17 @@ class RDN:
     attribute: str
     value: str
 
+    def normalized(self) -> "RDN":
+        """The case-normalized form used for DN matching.
+
+        LDAP compares attribute names and (directory-string) RDN values
+        case-insensitively — the same normalization attribute *values*
+        receive on insertion (:mod:`repro.model.types`).  Display forms
+        keep their original spelling; only index keys and equality
+        tests use the normalized form.
+        """
+        return RDN(self.attribute.casefold(), self.value.casefold())
+
     def __str__(self) -> str:
         return f"{self.attribute}={_escape_value(self.value)}"
 
@@ -92,13 +103,21 @@ class DN:
         """Number of RDNs; roots have depth 1."""
         return len(self.rdns)
 
+    def normalized(self) -> "DN":
+        """The case-normalized form used for DN-index keys and
+        ancestor tests (see :meth:`RDN.normalized`)."""
+        return DN(tuple(r.normalized() for r in self.rdns))
+
     def is_ancestor_of(self, other: "DN") -> bool:
-        """Proper-ancestor test via suffix comparison."""
+        """Proper-ancestor test via suffix comparison (case-normalized,
+        matching the DN index's resolution rules)."""
         if not self.rdns:
             return bool(other.rdns)
         if len(self.rdns) >= len(other.rdns):
             return False
-        return other.rdns[-len(self.rdns):] == self.rdns
+        mine = tuple(r.normalized() for r in self.rdns)
+        theirs = tuple(r.normalized() for r in other.rdns[-len(self.rdns):])
+        return theirs == mine
 
     def __str__(self) -> str:
         return ",".join(str(r) for r in self.rdns)

@@ -60,11 +60,17 @@ class DirectoryInstance:
         self._parent: Dict[int, Optional[int]] = {}
         self._children: Dict[int, List[int]] = {}
         self._roots: List[int] = []
+        # DN index, keyed by the *case-normalized* DN string: attribute
+        # values are case-normalized on insertion (repro.model.types),
+        # so DN resolution must fold case too or `find("CN=Alice,...")`
+        # and `find("cn=alice,...")` name different entries.
         self._by_dn: Dict[str, int] = {}
-        # eid -> DN string, composed in O(1) from the parent's key at
-        # insertion time; keeps add_entry O(1) in depth (no root walk)
-        # and always agrees with the _by_dn keys.
+        # eid -> display DN string (original spelling), composed in O(1)
+        # from the parent's key at insertion time; keeps add_entry O(1)
+        # in depth (no root walk).
         self._dn_key: Dict[int, str] = {}
+        # eid -> normalized DN string: the entry's _by_dn key.
+        self._norm_key: Dict[int, str] = {}
         self._class_index: Dict[str, Set[int]] = {}
         self._next_eid = 0
         # Per-class mutation counters: bumped on every membership change
@@ -111,9 +117,11 @@ class DirectoryInstance:
         parent_eid = None if parent is None else self._resolve(parent)
         if parent_eid is None:
             key = str(rdn)
+            norm = str(rdn.normalized())
         else:
             key = f"{rdn},{self._dn_key[parent_eid]}"
-        if key in self._by_dn:
+            norm = f"{rdn.normalized()},{self._norm_key[parent_eid]}"
+        if norm in self._by_dn:
             raise DuplicateEntryError(f"an entry with DN {key!r} already exists")
 
         eid = self._next_eid
@@ -126,8 +134,9 @@ class DirectoryInstance:
             self._roots.append(eid)
         else:
             self._children[parent_eid].append(eid)
-        self._by_dn[key] = eid
+        self._by_dn[norm] = eid
         self._dn_key[eid] = key
+        self._norm_key[eid] = norm
         for object_class in entry.classes:
             self._class_index.setdefault(object_class, set()).add(eid)
             self._bump_class(object_class)
@@ -157,7 +166,8 @@ class DirectoryInstance:
             self._roots.remove(eid)
         else:
             self._children[parent_eid].remove(eid)
-        del self._by_dn[self._dn_key.pop(eid)]
+        del self._by_dn[self._norm_key.pop(eid)]
+        del self._dn_key[eid]
         for object_class in node.classes:
             bucket = self._class_index.get(object_class)
             if bucket is not None:
@@ -236,7 +246,8 @@ class DirectoryInstance:
         while stack:
             node_eid = stack.pop()
             node = self._entries.pop(node_eid)
-            del self._by_dn[self._dn_key.pop(node_eid)]
+            del self._by_dn[self._norm_key.pop(node_eid)]
+            del self._dn_key[node_eid]
             for object_class in node.classes:
                 bucket = self._class_index.get(object_class)
                 if bucket is not None:
@@ -293,9 +304,14 @@ class DirectoryInstance:
         return self._entries[self._resolve(entry)]
 
     def find(self, dn: DN | str) -> Optional[Entry]:
-        """Return the entry with distinguished name ``dn`` or ``None``."""
-        key = str(parse_dn(dn) if isinstance(dn, str) else dn)
-        eid = self._by_dn.get(key)
+        """Return the entry with distinguished name ``dn`` or ``None``.
+
+        Matching is case-insensitive, mirroring the normalization that
+        attribute values receive on insertion: ``find("CN=Alice,...")``
+        and ``find("cn=alice,...")`` resolve to the same entry.
+        """
+        parsed = parse_dn(dn) if isinstance(dn, str) else dn
+        eid = self._by_dn.get(str(parsed.normalized()))
         return None if eid is None else self._entries[eid]
 
     def dn_of(self, entry: Entry | int) -> DN:
@@ -466,7 +482,7 @@ class DirectoryInstance:
             eid = entry
         else:
             dn = parse_dn(entry) if isinstance(entry, str) else entry
-            found = self._by_dn.get(str(dn))
+            found = self._by_dn.get(str(dn.normalized()))
             if found is None:
                 raise UnknownEntryError(f"no entry with DN {str(dn)!r}")
             eid = found

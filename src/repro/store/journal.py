@@ -80,6 +80,27 @@ from repro.updates.operations import UpdateTransaction
 
 __all__ = ["DirectoryStore"]
 
+#: Bounded retries for reclaiming a stale advisory lock (a dead holder
+#: pid).  Each retry either acquires a fresh lock file or observes a
+#: *live* contender and raises, so a handful of attempts suffices.
+_LOCK_RECLAIM_ATTEMPTS = 4
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe).
+
+    ``PermissionError`` means the pid exists but belongs to another
+    user — treat it as alive; only a definite ``ProcessLookupError``
+    licenses reclaiming the lock.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
 
 class DirectoryStore:
     """A schema-guarded directory with WAL durability.
@@ -486,44 +507,73 @@ class DirectoryStore:
         import fcntl
 
         path = os.path.join(directory, LOCK_FILE)
-        try:
-            handle = open(path, "a+")
-        except OSError as exc:
-            # Unopenable lock file (permissions, directory vanished):
-            # surface as the typed lock error rather than a raw OSError
-            # so callers need one except clause for "could not lock".
-            raise StoreLockedError(
-                f"cannot open lock file {path!r}: {exc}"
-            ) from exc
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
-            holder_pid: Optional[int] = None
+        for _ in range(_LOCK_RECLAIM_ATTEMPTS):
+            try:
+                handle = open(path, "a+")
+            except OSError as exc:
+                # Unopenable lock file (permissions, directory
+                # vanished): surface as the typed lock error rather
+                # than a raw OSError so callers need one except clause
+                # for "could not lock".
+                raise StoreLockedError(
+                    f"cannot open lock file {path!r}: {exc}"
+                ) from exc
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                holder_pid: Optional[int] = None
+                try:
+                    handle.seek(0)
+                    holder_pid = int(handle.read().strip() or "0") or None
+                except (OSError, ValueError):
+                    pass
+                handle.close()
+                if holder_pid is not None and not _pid_alive(holder_pid):
+                    # The recorded holder crashed without unlocking (its
+                    # flock survives on an fd some other process
+                    # inherited).  Reclaim: retire this lock *inode* so
+                    # the stale flock guards nothing, then retry on a
+                    # fresh file.
+                    try:
+                        os.unlink(path)
+                    except OSError:  # pragma: no cover - lost the race
+                        pass
+                    continue
+                holder = (
+                    f"pid {holder_pid}" if holder_pid is not None
+                    else "another live store handle"
+                )
+                raise StoreLockedError(
+                    f"{directory!r} is locked by {holder} "
+                    "(close it, or wait for the owning process to exit)",
+                    holder_pid=holder_pid,
+                ) from None
+            # Two contenders can both reclaim a stale lock: each unlinks
+            # and re-creates the path, so two processes may hold flocks
+            # on *different* inodes.  Only the one whose handle still is
+            # the file at ``path`` owns the lock; the other retries.
+            try:
+                if os.stat(path).st_ino != os.fstat(handle.fileno()).st_ino:
+                    handle.close()
+                    continue
+            except OSError:
+                handle.close()
+                continue
+            # Record our pid for the next contender's error message and
+            # the staleness check.  Best effort beyond that: the flock
+            # itself is the gate.
             try:
                 handle.seek(0)
-                holder_pid = int(handle.read().strip() or "0") or None
-            except (OSError, ValueError):
+                handle.truncate()
+                handle.write(str(os.getpid()))
+                handle.flush()
+            except OSError:  # pragma: no cover - diagnostics only
                 pass
-            handle.close()
-            holder = (
-                f"pid {holder_pid}" if holder_pid is not None
-                else "another live store handle"
-            )
-            raise StoreLockedError(
-                f"{directory!r} is locked by {holder} "
-                "(close it, or wait for the owning process to exit)",
-                holder_pid=holder_pid,
-            ) from None
-        # Record our pid for the next contender's error message.  Best
-        # effort: the flock itself is the gate, the pid is diagnostics.
-        try:
-            handle.seek(0)
-            handle.truncate()
-            handle.write(str(os.getpid()))
-            handle.flush()
-        except OSError:  # pragma: no cover - diagnostics only
-            pass
-        return handle
+            return handle
+        raise StoreLockedError(  # pragma: no cover - reclaim livelock
+            f"{directory!r} lock could not be acquired after "
+            f"{_LOCK_RECLAIM_ATTEMPTS} reclaim attempts"
+        )
 
     @staticmethod
     def _release_lock(handle) -> None:

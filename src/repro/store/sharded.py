@@ -1,0 +1,873 @@
+"""Sharding the DIT across independent stores behind one view.
+
+:class:`ShardedStore` routes disjoint DIT subtrees to independent
+:class:`~repro.store.journal.DirectoryStore` directories — one WAL,
+snapshot, manifest, and advisory lock per shard — via a persisted,
+checksummed shard map (:mod:`repro.store.shardmap`).
+:class:`CompositeReader` stitches per-shard lock-free
+:class:`~repro.store.reader.StoreReader` views back into one read
+surface.  Theorem 4.1's subtree modularity is what licenses the split:
+a transaction touching one shard's subtree is checkable against that
+shard alone, *except* for the checks whose scope spans the routing cut
+— classified up front by :func:`repro.legality.scope.analyze_shard_scope`
+and enforced here on the composite view.
+
+Layout::
+
+    root/
+      shardmap            # checksummed routing table (written LAST)
+      shards/
+        <name>/           # a plain DirectoryStore per shard
+          snapshot.ldif, journal.ldif, manifest, lock, ...
+
+Enforcement split:
+
+* **content** checks and **shard-local** structure checks ride the
+  per-shard store's own incremental guard, unchanged;
+* **required classes** and (under a nested cut) **cut-spanning edges**
+  are enforced by :meth:`ShardedStore.apply` *after* the shard commit:
+  on a composite violation the shard transaction is compensated with
+  its exact inverse and the rejection reported.  The compensation is a
+  second WAL commit, so a crash inside the (commit, compensate) window
+  can leave a composite-*il*legal durable state; per-shard states stay
+  legal and ``check()``/``fsck --shards`` reports the composite
+  violation on restart.  (Single-store ``apply`` has no such window —
+  the price of multi-directory commits without a cross-shard WAL.)
+* wrong-shard routing **raises** :class:`~repro.errors.ShardRoutingError`
+  — a transaction must fall entirely inside one shard's subtree;
+  spanning or unroutable transactions are refused, never mis-committed.
+
+Semantics note: the per-shard guard checks each Theorem 4.1 subtree
+step of a transaction *stepwise*, while composite elements are checked
+once against the transaction's *final* state.  For insert-only and
+delete-only transactions the two agree; a mixed transaction whose
+intermediate step violates only a composite element is rejected by a
+union store and accepted here (and vice versa is impossible — the
+final state is what both enforce durably).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ShardRoutingError, StoreError, UpdateError
+from repro.legality.report import Kind, LegalityReport, Violation
+from repro.legality.scope import (
+    ShardScope,
+    analyze_shard_scope,
+    composite_structure_schema,
+    shard_local_schema,
+)
+from repro.legality.structure import QueryStructureChecker
+from repro.model.attributes import AttributeRegistry
+from repro.model.dn import DN, parse_dn
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+from repro.query.search import SearchScope
+from repro.query.search import search as _search
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.elements import RequiredClass
+from repro.store.journal import DirectoryStore
+from repro.store.reader import ReaderLag, RefreshResult, StoreReader
+from repro.store.shardmap import (
+    ShardMap,
+    ShardSpec,
+    read_shard_map,
+    shard_dir,
+    write_shard_map,
+)
+from repro.updates.incremental import UpdateOutcome
+from repro.updates.operations import (
+    DeleteEntry,
+    InsertEntry,
+    UpdateTransaction,
+)
+
+__all__ = [
+    "ShardedStore",
+    "CompositeReader",
+    "CompositeRefreshResult",
+    "check_shards_parallel",
+]
+
+
+# ----------------------------------------------------------------------
+# shared helpers (writer and reader sides enforce identical semantics)
+# ----------------------------------------------------------------------
+def _globalized(report: LegalityReport, spec: ShardSpec) -> LegalityReport:
+    """Re-suffix the violation DNs of a shard-local report so they name
+    entries in the composite namespace."""
+    if spec.suffix.is_empty():
+        out = LegalityReport(list(report.violations))
+        out.stats = report.stats
+        return out
+    suffix = str(spec.suffix)
+    out = LegalityReport()
+    out.stats = report.stats
+    for violation in report:
+        dn = violation.dn if violation.dn is None else f"{violation.dn},{suffix}"
+        out.add(
+            Violation(violation.kind, violation.message, dn=dn,
+                      element=violation.element)
+        )
+    return out
+
+
+def _composite_report(
+    scope: ShardScope,
+    instances: Dict[str, DirectoryInstance],
+    stitched,
+) -> LegalityReport:
+    """Evaluate the composite structure elements.
+
+    ``stitched`` is a zero-argument callable producing the composite
+    instance — only invoked when a cut-spanning edge actually needs
+    it; a flat map's composite elements are just the required-class
+    existence tests, answered from the per-shard class counts.
+    """
+    if scope.composite_edges:
+        checker = QueryStructureChecker(composite_structure_schema(scope))
+        return checker.check(stitched())
+    report = LegalityReport()
+    for name in sorted(scope.required_classes):
+        if sum(inst.class_count(name) for inst in instances.values()) == 0:
+            report.add(
+                Violation(
+                    Kind.MISSING_REQUIRED_CLASS,
+                    f"no entry belongs to required class {name!r}",
+                    element=str(RequiredClass(name)),
+                )
+            )
+    return report
+
+
+def _stitch(
+    shard_map: ShardMap,
+    instances: Dict[str, DirectoryInstance],
+    attributes: Optional[AttributeRegistry],
+) -> DirectoryInstance:
+    """Build the composite instance: graft each shard's subtree back at
+    its base, enclosing shards (shallow bases) first so every nested
+    cut finds its parent entry already present."""
+    composite = DirectoryInstance(attributes=attributes)
+    ordered = sorted(
+        shard_map.specs, key=lambda s: (s.base.depth(), s.name)
+    )
+    for spec in ordered:
+        parent = None if spec.suffix.is_empty() else str(spec.suffix)
+        composite.insert_subtree(parent, instances[spec.name])
+    return composite
+
+
+def _localized_transaction(
+    shard_map: ShardMap, transaction: UpdateTransaction, spec: ShardSpec
+) -> UpdateTransaction:
+    """The transaction with every DN rewritten into shard-local form."""
+    if spec.suffix.is_empty():
+        return transaction
+    local = UpdateTransaction()
+    for op in transaction:
+        dn = shard_map.localize(op.dn, spec)
+        if isinstance(op, InsertEntry):
+            local.operations.append(InsertEntry(dn, op.classes, op.attributes))
+        else:
+            local.operations.append(DeleteEntry(dn))
+    return local
+
+
+def _inverse_transaction(
+    local_tx: UpdateTransaction, instance: DirectoryInstance
+) -> UpdateTransaction:
+    """The exact compensation of ``local_tx`` against the pre-state
+    ``instance`` (shard-local DNs): built *before* applying, replayed
+    in reverse order so every delete finds a leaf and every re-insert
+    finds its parent."""
+    inverse = UpdateTransaction()
+    for op in reversed(local_tx.operations):
+        if isinstance(op, InsertEntry):
+            inverse.delete(op.dn)
+        else:
+            entry = instance.find(op.dn)
+            if entry is None:
+                # The forward delete will be rejected by the shard
+                # guard; the inverse is never replayed in that case.
+                continue
+            attributes = {
+                name: list(entry.values(name))
+                for name in entry.attribute_names()
+                if name != "objectClass"
+            }
+            inverse.insert(op.dn, tuple(entry.classes), attributes)
+    return inverse
+
+
+# ----------------------------------------------------------------------
+# the writer
+# ----------------------------------------------------------------------
+class ShardedStore:
+    """K independent :class:`DirectoryStore` directories behind one
+    routed write surface.
+
+    Create via :meth:`create`, reopen via :meth:`open`.  Each shard
+    holds its subtree *localized* (the base's parent suffix stripped)
+    and enforces the shard-local slice of the schema; this object owns
+    routing, composite enforcement, and the shard map.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        shard_map: ShardMap,
+        shards: Dict[str, DirectoryStore],
+        scope: ShardScope,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> None:
+        self._dir = directory
+        self.schema = schema
+        self.shard_map = shard_map
+        self._shards = shards
+        self.scope = scope
+        self._registry = registry
+        self._closed = False
+        self._composite_cache: Optional[
+            Tuple[Tuple[Tuple[str, int, int], ...], DirectoryInstance]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        shard_bases: Dict[str, Union[DN, str]],
+        initial: Optional[DirectoryInstance] = None,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> "ShardedStore":
+        """Initialize a sharded store at ``directory``.
+
+        ``initial`` is partitioned by routing every entry's DN; an
+        entry no shard owns raises :class:`ShardRoutingError` before
+        anything is written.  The shard map is written *last*: a crash
+        mid-create leaves a root that refuses to open rather than a
+        half-populated store that routes.  Not single-rename atomic
+        (unlike ``DirectoryStore.create``): the completeness marker is
+        the map, not the directory.
+
+        Raises
+        ------
+        UpdateError
+            When ``initial`` violates the schema (including composite
+            elements), or when ``schema.extras`` is set — directory-
+            wide keys are cross-shard properties this layer does not
+            yet enforce.
+        """
+        if schema.extras is not None:
+            raise UpdateError(
+                "sharded stores do not support schema extras yet "
+                "(keys/references are directory-wide properties)"
+            )
+        if os.path.exists(directory):
+            raise StoreError(f"refusing to create over existing {directory!r}")
+        shard_map = ShardMap.from_bases(shard_bases)
+        scope = analyze_shard_scope(schema, shard_map)
+        local_schema = shard_local_schema(schema, scope)
+
+        base_instance = (
+            initial
+            if initial is not None
+            else DirectoryInstance(attributes=registry)
+        )
+        # Composite elements are validated on the union up front: the
+        # per-shard guards only ever see the shard-local slice.
+        composite = _composite_report(
+            scope,
+            {"__union__": base_instance},
+            lambda: base_instance,
+        )
+        if not composite.is_legal:
+            raise UpdateError(
+                "initial instance violates composite schema elements:\n"
+                + str(composite)
+            )
+        partitions = cls._partition(shard_map, base_instance, registry)
+
+        os.makedirs(os.path.join(directory, "shards"))
+        shards: Dict[str, DirectoryStore] = {}
+        try:
+            for spec in shard_map:
+                shards[spec.name] = DirectoryStore.create(
+                    shard_dir(directory, spec.name),
+                    local_schema,
+                    partitions[spec.name],
+                    registry,
+                )
+            write_shard_map(directory, shard_map)
+        except BaseException:
+            for store in shards.values():
+                store.close()
+            shutil.rmtree(directory, ignore_errors=True)
+            raise
+        return cls(directory, schema, shard_map, shards, scope, registry)
+
+    @staticmethod
+    def _partition(
+        shard_map: ShardMap,
+        instance: DirectoryInstance,
+        registry: Optional[AttributeRegistry],
+    ) -> Dict[str, DirectoryInstance]:
+        """Split ``instance`` into per-shard (localized) instances.
+
+        Document-order traversal plus routing convexity (an entry's
+        parent routes to the same shard unless the entry *is* a shard
+        base) guarantee each parent exists in its shard before any
+        child arrives.
+        """
+        partitions = {
+            spec.name: DirectoryInstance(attributes=registry)
+            for spec in shard_map
+        }
+        for entry in instance:
+            dn = parse_dn(instance.dn_string_of(entry))
+            spec = shard_map.route(dn)  # ShardRoutingError if unowned
+            local_dn = shard_map.localize(dn, spec)
+            parent = (
+                None if local_dn.parent().is_empty() else str(local_dn.parent())
+            )
+            attributes = {
+                name: list(entry.values(name))
+                for name in entry.attribute_names()
+                if name != "objectClass"
+            }
+            partitions[spec.name].add_entry(
+                parent, entry.rdn, entry.classes, attributes
+            )
+        return partitions
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> "ShardedStore":
+        """Reopen a sharded store: read the (authoritative) shard map,
+        recover and lock every shard.
+
+        Raises
+        ------
+        ShardMapError
+            Missing or damaged shard map.
+        StoreLockedError
+            Any shard still locked by a live holder (shards already
+            opened by this call are closed again first).
+        """
+        shard_map = read_shard_map(directory)
+        scope = analyze_shard_scope(schema, shard_map)
+        local_schema = shard_local_schema(schema, scope)
+        shards: Dict[str, DirectoryStore] = {}
+        try:
+            for spec in shard_map:
+                shards[spec.name] = DirectoryStore.open(
+                    shard_dir(directory, spec.name), local_schema, registry
+                )
+        except BaseException:
+            for store in shards.values():
+                store.close()
+            raise
+        return cls(directory, schema, shard_map, shards, scope, registry)
+
+    @classmethod
+    def open_shard(
+        cls,
+        directory: str,
+        name: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> DirectoryStore:
+        """Open ONE shard as a standalone writer (its own advisory
+        lock; shard-local schema; DNs in shard-local form).
+
+        This is the per-shard write path for multi-writer topologies —
+        one writer process per shard, as in the stress harness.  The
+        caller takes on what :meth:`apply` would otherwise enforce:
+        composite elements are *not* checked here (readers surface
+        composite violations via :meth:`CompositeReader.check`).
+        """
+        shard_map = read_shard_map(directory)
+        shard_map.spec(name)  # raises ShardMapError for unknown names
+        scope = analyze_shard_scope(schema, shard_map)
+        local_schema = shard_local_schema(schema, scope)
+        return DirectoryStore.open(shard_dir(directory, name), local_schema, registry)
+
+    def close(self) -> None:
+        """Close every shard (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for store in self._shards.values():
+            store.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, dn: Union[DN, str]) -> ShardSpec:
+        """The shard owning ``dn`` (raises :class:`ShardRoutingError`)."""
+        return self.shard_map.route(dn)
+
+    def shard(self, name: str) -> DirectoryStore:
+        """The per-shard store (shard-local DNs!) for introspection."""
+        return self._shards[name]
+
+    def shard_names(self) -> Tuple[str, ...]:
+        """Shard names in shard-map order."""
+        return self.shard_map.names()
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def apply(self, transaction: UpdateTransaction) -> UpdateOutcome:
+        """Route, commit, and composite-check one transaction.
+
+        The transaction must fall entirely inside one shard's subtree
+        (:class:`ShardRoutingError` otherwise — raised, not returned,
+        because mis-routing is a caller bug, not a legality verdict).
+        The owning shard's guard enforces content + shard-local
+        structure; composite elements are then checked against the new
+        multi-shard state, and a violating transaction is compensated
+        (exact inverse, same WAL) and reported as rejected.
+        """
+        self._ensure_open()
+        transaction.validate()
+        if not transaction.operations:
+            return UpdateOutcome()
+        owners = {self.shard_map.route(op.dn).name for op in transaction}
+        if len(owners) > 1:
+            raise ShardRoutingError(
+                "transaction spans shards "
+                f"{sorted(owners)}; split it along the shard cut "
+                "(one subtree per Theorem 4.1 step already routes whole)"
+            )
+        spec = self.shard_map.spec(next(iter(owners)))
+        store = self._shards[spec.name]
+        local_tx = _localized_transaction(self.shard_map, transaction, spec)
+        inverse = _inverse_transaction(local_tx, store.instance)
+
+        outcome = store.apply(local_tx)
+        if not outcome.applied:
+            # The guard's violation DNs are Δ-relative (an inserted
+            # entry is a root of its own delta), exactly as a single
+            # store reports them — re-suffixing here would fabricate
+            # DNs no client ever named.  `_globalized` is for the
+            # check() paths, whose DNs are shard-rooted.
+            return outcome
+        self._composite_cache = None
+
+        composite = _composite_report(
+            self.scope,
+            {name: s.instance for name, s in self._shards.items()},
+            self.composite_instance,
+        )
+        if composite.is_legal:
+            return outcome
+        # Compensate: the shard state reverts to the (legal) pre-state,
+        # so the guard must accept the inverse; anything else means the
+        # store diverged and refusing loudly beats guessing.
+        undo = store.apply(inverse)
+        self._composite_cache = None
+        if not undo.applied:
+            raise StoreError(
+                f"composite rollback failed on shard {spec.name!r}: "
+                + str(undo.report)
+            )
+        rejection = UpdateOutcome(
+            report=composite,
+            cost=outcome.cost + undo.cost,
+            checks=outcome.checks
+            + [f"composite check: {self.scope.summary()}", "rolled back"],
+            stats=outcome.stats,
+        )
+        return rejection
+
+    # ------------------------------------------------------------------
+    # the read/maintenance path
+    # ------------------------------------------------------------------
+    def check(self) -> LegalityReport:
+        """Full legality of the composite state: every shard's own
+        report (DNs globalized) plus the composite elements."""
+        self._ensure_open()
+        merged = LegalityReport()
+        for spec in self.shard_map:
+            merged.extend(
+                _globalized(self._shards[spec.name].check(), spec).violations
+            )
+        merged.extend(
+            _composite_report(
+                self.scope,
+                {name: s.instance for name, s in self._shards.items()},
+                self.composite_instance,
+            ).violations
+        )
+        return merged
+
+    def search(
+        self,
+        base=None,
+        scope: Union[SearchScope, str] = SearchScope.SUB,
+        filter=None,
+        size_limit: Optional[int] = None,
+    ) -> List[Entry]:
+        """Scoped LDAP search over the stitched composite view."""
+        self._ensure_open()
+        return _search(
+            self.composite_instance(), base=base, scope=scope,
+            filter=filter, size_limit=size_limit,
+        )
+
+    def composite_instance(self) -> DirectoryInstance:
+        """The stitched union of all shard states (cached per
+        frontier; rebuilt only after a commit or compaction)."""
+        self._ensure_open()
+        frontier = self.frontier_key()
+        if self._composite_cache is not None:
+            cached_key, cached = self._composite_cache
+            if cached_key == frontier:
+                return cached
+        stitched = _stitch(
+            self.shard_map,
+            {name: s.instance for name, s in self._shards.items()},
+            self._registry,
+        )
+        self._composite_cache = (frontier, stitched)
+        return stitched
+
+    def frontier_key(self) -> Tuple[Tuple[str, int, int], ...]:
+        """``((name, generation, journal_length), ...)`` per shard —
+        the composite position."""
+        return tuple(
+            (name, self._shards[name].generation,
+             self._shards[name].journal_length)
+            for name in self.shard_map.names()
+        )
+
+    def compact(self) -> None:
+        """Compact every shard (each bumps its own generation)."""
+        self._ensure_open()
+        for store in self._shards.values():
+            store.compact()
+        self._composite_cache = None
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError("sharded store is closed")
+
+
+# ----------------------------------------------------------------------
+# parallel whole-store checking (one worker process per shard)
+# ----------------------------------------------------------------------
+def _check_one_shard(
+    path: str,
+    local_schema: DirectorySchema,
+    registry: Optional[AttributeRegistry],
+    structure: str,
+    required: Tuple[str, ...],
+):
+    """Worker body: check one shard through a lock-free reader.
+
+    Returns ``(report, {required class: count}, entries)`` — the counts
+    let the parent answer required-class existence without stitching.
+    """
+    reader = StoreReader.open(path, local_schema, registry, structure=structure)
+    try:
+        report = reader.check()
+        counts = {name: reader.instance.class_count(name) for name in required}
+        return report, counts, len(reader.instance)
+    finally:
+        reader.close()
+
+
+def check_shards_parallel(
+    directory: str,
+    schema: DirectorySchema,
+    registry: Optional[AttributeRegistry] = None,
+    jobs: Optional[int] = None,
+    structure: str = "batched",
+) -> Tuple[LegalityReport, int]:
+    """Check a sharded store with one worker *process per shard*.
+
+    This is where the routing cut pays off: shards are independent
+    store directories, so their (CPU-bound) legality checks run with
+    no shared state at all — each worker opens its own lock-free
+    reader, sidestepping the GIL entirely.  Composite elements are
+    evaluated in the parent afterwards: required classes from the
+    per-shard class counts the workers return; cut-spanning edges (only
+    under a nested map) on a stitched composite view.
+
+    Returns ``(merged report, total entries)``.  ``jobs`` caps worker
+    processes (default: one per shard).
+    """
+    import concurrent.futures
+    import multiprocessing
+
+    shard_map = read_shard_map(directory)
+    scope = analyze_shard_scope(schema, shard_map)
+    local_schema = shard_local_schema(schema, scope)
+    names = shard_map.names()
+    workers = min(jobs or len(names), len(names))
+    required = tuple(sorted(scope.required_classes))
+    merged = LegalityReport()
+    counts_total = {name: 0 for name in required}
+    entries = 0
+    ctx = multiprocessing.get_context(
+        "fork" if hasattr(os, "fork") else None
+    )
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=max(1, workers), mp_context=ctx
+    ) as pool:
+        futures = {
+            name: pool.submit(
+                _check_one_shard,
+                shard_dir(directory, name),
+                local_schema,
+                registry,
+                structure,
+                required,
+            )
+            for name in names
+        }
+        for name in names:
+            report, counts, count = futures[name].result()
+            merged.extend(_globalized(report, shard_map.spec(name)).violations)
+            for cls, n in counts.items():
+                counts_total[cls] += n
+            entries += count
+    if scope.composite_edges:
+        # Nested cut: the stitched view is unavoidable for edges that
+        # can span it (and the composite checker covers the required
+        # classes too).
+        with CompositeReader.open(directory, schema, registry) as reader:
+            checker = QueryStructureChecker(composite_structure_schema(scope))
+            merged.extend(checker.check(reader.instance).violations)
+    else:
+        for name in required:
+            if counts_total[name] == 0:
+                merged.add(
+                    Violation(
+                        Kind.MISSING_REQUIRED_CLASS,
+                        f"no entry belongs to required class {name!r}",
+                        element=str(RequiredClass(name)),
+                    )
+                )
+    return merged, entries
+
+
+# ----------------------------------------------------------------------
+# the reader
+# ----------------------------------------------------------------------
+class CompositeRefreshResult:
+    """What one :meth:`CompositeReader.refresh` did, per shard and in
+    aggregate."""
+
+    def __init__(self, per_shard: Dict[str, RefreshResult]) -> None:
+        self.per_shard = per_shard
+        self.advanced = any(r.advanced for r in per_shard.values())
+        self.stale = any(r.stale for r in per_shard.values())
+        #: A consistent frontier report: every shard's (generation,
+        #: seq) as of this refresh — the composite view's position.
+        self.frontier: Dict[str, Tuple[int, int]] = {
+            name: (r.generation, r.seq) for name, r in per_shard.items()
+        }
+        notes = [
+            f"{name}: {r.note}" for name, r in sorted(per_shard.items())
+            if r.note
+        ]
+        self.note: Optional[str] = "; ".join(notes) if notes else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompositeRefreshResult(advanced={self.advanced}, "
+            f"stale={self.stale}, frontier={self.frontier})"
+        )
+
+
+class CompositeReader:
+    """Per-shard lock-free readers stitched into one read surface.
+
+    Holds one :class:`StoreReader` per shard (no locks anywhere), a
+    composite search/check surface over the stitched instance, and
+    per-shard refresh/lag introspection.  The stitched instance is a
+    *cross-shard snapshot*: each shard's slice is an actual committed
+    state of that shard, but different shards' slices may be from
+    different instants — per-shard writers commit independently, so no
+    global total order exists to be consistent with.  ``frontier()``
+    names the exact per-shard positions backing the current view.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        shard_map: ShardMap,
+        readers: Dict[str, StoreReader],
+        scope: ShardScope,
+        registry: Optional[AttributeRegistry] = None,
+    ) -> None:
+        self._dir = directory
+        self.schema = schema
+        self.shard_map = shard_map
+        self._readers = readers
+        self.scope = scope
+        self._registry = registry
+        self._closed = False
+        self._composite_cache: Optional[
+            Tuple[Tuple[Tuple[str, int, int], ...], DirectoryInstance]
+        ] = None
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+        *,
+        parallelism: Optional[int] = None,
+        structure: str = "batched",
+    ) -> "CompositeReader":
+        """Open read-only views of every shard (no locks taken)."""
+        shard_map = read_shard_map(directory)
+        scope = analyze_shard_scope(schema, shard_map)
+        local_schema = shard_local_schema(schema, scope)
+        readers: Dict[str, StoreReader] = {}
+        try:
+            for spec in shard_map:
+                readers[spec.name] = StoreReader.open(
+                    shard_dir(directory, spec.name),
+                    local_schema,
+                    registry,
+                    parallelism=parallelism,
+                    structure=structure,
+                )
+        except BaseException:
+            for reader in readers.values():
+                reader.close()
+            raise
+        return cls(directory, schema, shard_map, readers, scope, registry)
+
+    def close(self) -> None:
+        """Close every per-shard reader (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for reader in self._readers.values():
+            reader.close()
+
+    def __enter__(self) -> "CompositeReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # read surface
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        base=None,
+        scope: Union[SearchScope, str] = SearchScope.SUB,
+        filter=None,
+        size_limit: Optional[int] = None,
+    ) -> List[Entry]:
+        """Scoped LDAP search over the stitched composite view."""
+        self._ensure_open()
+        return _search(
+            self.instance, base=base, scope=scope,
+            filter=filter, size_limit=size_limit,
+        )
+
+    def check(self) -> LegalityReport:
+        """Full legality of the composite view: per-shard reports
+        (memoized sessions, DNs globalized) plus composite elements."""
+        self._ensure_open()
+        merged = LegalityReport()
+        for spec in self.shard_map:
+            merged.extend(
+                _globalized(self._readers[spec.name].check(), spec).violations
+            )
+        merged.extend(
+            _composite_report(
+                self.scope,
+                {name: r.instance for name, r in self._readers.items()},
+                lambda: self.instance,
+            ).violations
+        )
+        return merged
+
+    def is_legal(self) -> bool:
+        """Whether the composite view satisfies the whole schema."""
+        return self.check().is_legal
+
+    @property
+    def instance(self) -> DirectoryInstance:
+        """The stitched composite instance (cached per frontier)."""
+        self._ensure_open()
+        key = tuple(
+            (name, *self._readers[name].position())
+            for name in self.shard_map.names()
+        )
+        if self._composite_cache is not None:
+            cached_key, cached = self._composite_cache
+            if cached_key == key:
+                return cached
+        stitched = _stitch(
+            self.shard_map,
+            {name: r.instance for name, r in self._readers.items()},
+            self._registry,
+        )
+        self._composite_cache = (key, stitched)
+        return stitched
+
+    def dn_string_of(self, entry: Entry) -> str:
+        """The composite (global) DN of an entry returned by
+        :meth:`search`."""
+        return self.instance.dn_string_of(entry)
+
+    # ------------------------------------------------------------------
+    # refresh / staleness
+    # ------------------------------------------------------------------
+    def refresh(self, strict: bool = False) -> CompositeRefreshResult:
+        """Refresh every shard view; per-shard results plus the
+        consistent frontier the composite now sits at."""
+        self._ensure_open()
+        results = {
+            name: reader.refresh(strict=strict)
+            for name, reader in self._readers.items()
+        }
+        return CompositeRefreshResult(results)
+
+    def lag(self) -> Dict[str, ReaderLag]:
+        """Per-shard lag behind the on-disk committed state."""
+        self._ensure_open()
+        return {name: r.lag() for name, r in self._readers.items()}
+
+    def frontier(self) -> Dict[str, Tuple[int, int]]:
+        """``{shard: (generation, seq)}`` of the current view."""
+        self._ensure_open()
+        return {name: r.position() for name, r in self._readers.items()}
+
+    def shard_reader(self, name: str) -> StoreReader:
+        """The per-shard reader (shard-local DNs!) for introspection."""
+        return self._readers[name]
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError("composite reader is closed")

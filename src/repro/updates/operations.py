@@ -121,10 +121,13 @@ class UpdateTransaction:
         """
         seen: set = set()
         for op in self.operations:
-            key = str(op.dn)
+            # DN resolution is case-insensitive, so distinctness must
+            # compare normalized forms; the message keeps the spelling
+            # the caller wrote.
+            key = str(op.dn.normalized())
             if key in seen:
                 raise UpdateError(
-                    f"transaction targets {key!r} more than once "
+                    f"transaction targets {str(op.dn)!r} more than once "
                     "(operations must be distinct, Section 4.1)"
                 )
             seen.add(key)

@@ -59,15 +59,19 @@ def _group_insertions(
     instance: DirectoryInstance,
 ) -> List[SubtreeUpdate]:
     inserts = transaction.insertions()
-    by_dn: Dict[str, InsertEntry] = {str(op.dn): op for op in inserts}
+    # Grouping keys are case-normalized, matching DN resolution: an op
+    # written `CN=X,...` is the child of one written `cn=x,...`.
+    by_dn: Dict[str, InsertEntry] = {
+        str(op.dn.normalized()): op for op in inserts
+    }
 
     # Roots of inserted subtrees: inserted entries whose parent is not
     # itself inserted.  Their parents must exist in the instance.
-    deleted_dns = {str(op.dn) for op in transaction.deletions()}
+    deleted_dns = {str(op.dn.normalized()) for op in transaction.deletions()}
     roots: List[InsertEntry] = []
     children: Dict[str, List[InsertEntry]] = {key: [] for key in by_dn}
     for op in inserts:
-        parent_key = str(op.dn.parent())
+        parent_key = str(op.dn.parent().normalized())
         if parent_key in by_dn:
             children[parent_key].append(op)
         else:
@@ -77,7 +81,7 @@ def _group_insertions(
                         f"insertion {op.dn} has no parent: {op.dn.parent()} "
                         "is neither in the instance nor inserted"
                     )
-                if str(op.dn.parent()) in deleted_dns:
+                if parent_key in deleted_dns:
                     raise UpdateError(
                         f"insertion {op.dn} attaches under {op.dn.parent()}, "
                         "which the same transaction deletes"
@@ -93,7 +97,7 @@ def _group_insertions(
             node = delta.add_entry(
                 parent_entry, op.dn.rdn, op.classes, op.attribute_dict()
             )
-            for child_op in children[str(op.dn)]:
+            for child_op in children[str(op.dn.normalized())]:
                 build(child_op, node)
 
         build(root, None)
@@ -113,18 +117,18 @@ def _group_deletions(
     instance: DirectoryInstance,
 ) -> List[SubtreeUpdate]:
     deletes = transaction.deletions()
-    targeted = {str(op.dn) for op in deletes}
+    targeted = {str(op.dn.normalized()) for op in deletes}
     updates: List[SubtreeUpdate] = []
     for op in deletes:
         if instance.find(op.dn) is None:
             raise UpdateError(f"deletion target {op.dn} is not in the instance")
-        parent_key = str(op.dn.parent())
+        parent_key = str(op.dn.parent().normalized())
         if parent_key in targeted:
             continue  # interior node of a larger deleted subtree
         # This is a subtree root; its whole subtree must be targeted.
         entry = instance.entry(str(op.dn))
         for descendant in instance.descendants_of(entry):
-            if str(instance.dn_of(descendant)) not in targeted:
+            if str(instance.dn_of(descendant).normalized()) not in targeted:
                 raise UpdateError(
                     f"transaction deletes {op.dn} but not its descendant "
                     f"{instance.dn_of(descendant)} (LDAP deletes leaves only)"

@@ -1,0 +1,254 @@
+"""CLI surface of sharded stores (``create --shard``, ``check
+--shards``, ``fsck --shards``) plus the follow-mode shutdown behavior:
+Ctrl-C is a normal exit (0, message, no traceback) and a store that
+vanishes mid-follow ends the loop with a clear message and exit 1 —
+for both the single-store and the sharded follow paths."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.ldif import dump_ldif
+from repro.schema.dsl import dump_dsl
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import figure1_instance, whitepages_schema
+
+SHARD_ARGS = ["--shard", "att=o=att", "--shard", "labs=ou=attLabs,o=att"]
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    schema_path = tmp_path / "schema.dsl"
+    data_path = tmp_path / "data.ldif"
+    dump_dsl(whitepages_schema(), str(schema_path))
+    dump_ldif(figure1_instance(), str(data_path))
+    return str(schema_path), str(data_path), tmp_path
+
+
+@pytest.fixture()
+def sharded_store(paths, capsys):
+    """A sharded store created through the CLI itself."""
+    schema, data, tmp = paths
+    path = str(tmp / "shstore")
+    assert main(["create", path, "--schema", schema, "--data", data,
+                 *SHARD_ARGS]) == 0
+    capsys.readouterr()
+    return schema, path
+
+
+def _corrupt_composite(path, schema_path):
+    """Commit a shard-locally legal but composite-illegal change: under
+    the nested cut the labs shard has no structural edges of its own,
+    so an empty orgUnit sails through its guard."""
+    from repro.schema.dsl import load_dsl
+    from repro.store.sharded import ShardedStore
+
+    writer = ShardedStore.open_shard(path, "labs", load_dsl(schema_path))
+    try:
+        tx = UpdateTransaction().insert(
+            "ou=ghost,ou=attLabs", ["orgUnit", "orgGroup", "top"],
+            {"ou": ["ghost"]},
+        )
+        assert writer.apply(tx).applied
+    finally:
+        writer.close()
+
+
+class TestCreate:
+    def test_create_plain_store(self, paths, capsys):
+        schema, data, tmp = paths
+        path = str(tmp / "plain")
+        assert main(["create", path, "--schema", schema, "--data", data]) == 0
+        out = capsys.readouterr().out
+        assert f"created store {path} (6 entries)" in out
+
+    def test_create_sharded_store_prints_partition(self, paths, capsys):
+        schema, data, tmp = paths
+        path = str(tmp / "sh")
+        assert main(["create", path, "--schema", schema, "--data", data,
+                     *SHARD_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "created sharded store" in out and "2 shard(s)" in out
+        assert "att: base o=att (2 entries)" in out
+        assert "labs: base ou=attLabs,o=att (4 entries)" in out
+
+    def test_create_rejects_unroutable_data(self, paths, capsys):
+        schema, data, tmp = paths
+        path = str(tmp / "sh")
+        assert main(["create", path, "--schema", schema, "--data", data,
+                     "--shard", "labs-only=ou=attLabs,o=att"]) == 1
+        err = capsys.readouterr().err
+        assert "create:" in err and "owns its parent" in err
+
+    def test_create_rejects_malformed_shard_flag(self, paths, capsys):
+        schema, data, tmp = paths
+        assert main(["create", str(tmp / "sh"), "--schema", schema,
+                     "--data", data, "--shard", "att"]) == 1
+        assert "NAME=BASE_DN" in capsys.readouterr().err
+
+    def test_create_refuses_existing_directory(self, sharded_store, paths,
+                                               capsys):
+        schema, data, _tmp = paths
+        _, path = sharded_store
+        assert main(["create", path, "--schema", schema, "--data", data,
+                     *SHARD_ARGS]) == 1
+        assert "refusing to create" in capsys.readouterr().err
+
+
+class TestCheckShards:
+    def test_one_shot_legal(self, sharded_store, capsys):
+        schema, path = sharded_store
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert "[att@g1.0 labs@g1.0] LEGAL: 6 entries" in out
+
+    def test_parallel_jobs_one_shot(self, sharded_store, capsys):
+        schema, path = sharded_store
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards", "--jobs", "2"]) == 0
+        assert "LEGAL: 6 entries across shards (2 jobs)" in \
+            capsys.readouterr().out
+
+    def test_composite_violation_fails(self, sharded_store, capsys):
+        schema, path = sharded_store
+        _corrupt_composite(path, schema)
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards"]) == 1
+        out = capsys.readouterr().out
+        assert "ILLEGAL" in out and "person" in out
+
+    def test_parallel_jobs_see_composite_violation(self, sharded_store,
+                                                   capsys):
+        schema, path = sharded_store
+        _corrupt_composite(path, schema)
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards", "--jobs", "2"]) == 1
+        assert "ILLEGAL" in capsys.readouterr().out
+
+    def test_follow_sees_new_commits(self, sharded_store, capsys):
+        from repro.schema.dsl import load_dsl
+        from repro.store.sharded import ShardedStore
+
+        schema, path = sharded_store
+        with ShardedStore.open(path, load_dsl(schema)) as store:
+            tx = UpdateTransaction().insert(
+                "uid=late,ou=attLabs,o=att", ["person", "top"],
+                {"uid": ["late"], "name": ["l ate"]},
+            )
+            assert store.apply(tx).applied
+            assert main(["check", "--schema", schema, "--store", path,
+                         "--shards", "--follow", "--iterations", "2",
+                         "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "[att@g1.0 labs@g1.1] LEGAL: 7 entries" in out
+
+    def test_not_a_sharded_store(self, paths, capsys):
+        schema, data, tmp = paths
+        path = str(tmp / "plain")
+        assert main(["create", path, "--schema", schema, "--data", data]) == 0
+        capsys.readouterr()
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards"]) == 1
+        assert "cannot read shard map" in capsys.readouterr().err
+
+
+class TestFsckShards:
+    def test_healthy_sharded_store(self, sharded_store, capsys):
+        schema, path = sharded_store
+        assert main(["fsck", path, "--schema", schema, "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert "shard map: 2 shard(s) [nested cut]" in out
+        assert "att: base o=att" in out
+        assert "labs: base ou=attLabs,o=att" in out
+        assert "att: generation 1, seq 0 (2 entries; current)" in out
+        assert "labs: generation 1, seq 0 (4 entries; current)" in out
+        assert "scope:" in out
+        assert "COMPOSITE VIEW CONSISTENT" in out
+
+    def test_requires_schema(self, sharded_store, capsys):
+        _, path = sharded_store
+        assert main(["fsck", path, "--shards"]) == 2
+        assert "requires --schema" in capsys.readouterr().err
+
+    def test_not_a_sharded_store(self, paths, capsys):
+        schema, _, tmp = paths
+        assert main(["fsck", str(tmp / "nope"), "--schema", schema,
+                     "--shards"]) == 1
+        assert "cannot read shard map" in capsys.readouterr().out
+
+    def test_composite_violation_reported(self, sharded_store, capsys):
+        schema, path = sharded_store
+        _corrupt_composite(path, schema)
+        assert main(["fsck", path, "--schema", schema, "--shards"]) == 1
+        out = capsys.readouterr().out
+        assert "legality: ILLEGAL" in out
+        assert "COMPOSITE VIEW CONSISTENT" not in out
+
+
+@pytest.fixture()
+def plain_store(paths, capsys):
+    schema, data, tmp = paths
+    path = str(tmp / "fstore")
+    assert main(["create", path, "--schema", schema, "--data", data]) == 0
+    capsys.readouterr()
+    return schema, path
+
+
+class TestFollowShutdown:
+    """``check --follow`` ends cleanly: Ctrl-C is exit 0 with a message
+    (never a traceback), a vanished store is a clear message + exit 1."""
+
+    def _sleep_hook(self, monkeypatch, action):
+        import time
+
+        monkeypatch.setattr(time, "sleep", lambda _seconds: action())
+
+    def test_interrupt_exits_zero(self, plain_store, capsys, monkeypatch):
+        schema, path = plain_store
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        self._sleep_hook(monkeypatch, interrupt)
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--follow"]) == 0
+        captured = capsys.readouterr()
+        assert "follow interrupted; exiting" in captured.err
+        assert "LEGAL" in captured.out
+
+    def test_store_removed_mid_follow(self, plain_store, capsys, monkeypatch):
+        schema, path = plain_store
+        self._sleep_hook(monkeypatch, lambda: shutil.rmtree(path))
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--follow"]) == 1
+        err = capsys.readouterr().err
+        assert "is gone (removed or compacted away); stopping follow" in err
+        assert "Traceback" not in err
+
+    def test_sharded_interrupt_exits_zero(self, sharded_store, capsys,
+                                          monkeypatch):
+        schema, path = sharded_store
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        self._sleep_hook(monkeypatch, interrupt)
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards", "--follow"]) == 0
+        captured = capsys.readouterr()
+        assert "follow interrupted; exiting" in captured.err
+        assert "LEGAL: 6 entries" in captured.out
+
+    def test_sharded_store_removed_mid_follow(self, sharded_store, capsys,
+                                              monkeypatch):
+        schema, path = sharded_store
+        self._sleep_hook(monkeypatch, lambda: shutil.rmtree(path))
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards", "--follow"]) == 1
+        err = capsys.readouterr().err
+        assert "is gone (removed mid-follow); stopping follow" in err
+        assert "Traceback" not in err

@@ -1,0 +1,168 @@
+"""DN resolution case consistency.
+
+Attribute *values* are case-normalized on insertion
+(``repro.model.types``), so the DN index must fold case the same way:
+``find("CN=Alice,...")`` and ``find("cn=alice,...")`` name one entry.
+Display strings keep the spelling the entry was created with.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateEntryError, UpdateError
+from repro.model.dn import DN, RDN, parse_dn
+from repro.model.instance import DirectoryInstance
+from repro.updates.incremental import IncrementalChecker
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import figure1_instance, whitepages_schema
+
+ALICE = "cn=Alice,ou=People,o=Example"
+ALICE_UPPER = "CN=ALICE,OU=PEOPLE,O=EXAMPLE"
+ALICE_MIXED = "cN=aLiCe,Ou=pEoPlE,o=example"
+
+
+def _people_instance() -> DirectoryInstance:
+    inst = DirectoryInstance()
+    inst.add_entry(None, "o=Example", ["top"])
+    inst.add_entry("o=Example", "ou=People", ["top"])
+    inst.add_entry("ou=People,o=Example", "cn=Alice", ["top"])
+    return inst
+
+
+class TestNormalizedForms:
+    def test_rdn_normalized_folds_both_halves(self):
+        assert RDN("CN", "Alice").normalized() == RDN("cn", "alice")
+
+    def test_dn_normalized_folds_every_rdn(self):
+        assert parse_dn(ALICE_UPPER).normalized() == parse_dn(ALICE).normalized()
+
+    def test_ancestor_test_is_case_insensitive(self):
+        assert parse_dn("O=EXAMPLE").is_ancestor_of(parse_dn(ALICE))
+        assert not parse_dn("o=other").is_ancestor_of(parse_dn(ALICE))
+
+
+class TestFind:
+    def test_find_resolves_any_spelling(self):
+        inst = _people_instance()
+        entry = inst.find(ALICE)
+        assert entry is not None
+        assert inst.find(ALICE_UPPER) is entry
+        assert inst.find(ALICE_MIXED) is entry
+
+    def test_find_as_parsed_dn_object(self):
+        inst = _people_instance()
+        assert inst.find(parse_dn(ALICE_UPPER)) is inst.find(ALICE)
+
+    def test_contains_is_case_insensitive(self):
+        inst = _people_instance()
+        assert ALICE_UPPER in inst
+        assert "cn=bob,ou=People,o=Example" not in inst
+
+    def test_display_string_keeps_original_spelling(self):
+        inst = _people_instance()
+        entry = inst.find(ALICE_UPPER)
+        assert inst.dn_string_of(entry) == ALICE
+        assert str(inst.dn_of(entry)) == ALICE
+
+
+class TestMutationThroughAlternateSpelling:
+    def test_add_under_upper_spelled_parent(self):
+        inst = _people_instance()
+        entry = inst.add_entry("OU=PEOPLE,O=EXAMPLE", "cn=Bob", ["top"])
+        # The child's display DN uses the *parent's* stored spelling.
+        assert inst.dn_string_of(entry) == "cn=Bob,ou=People,o=Example"
+        assert inst.find("CN=BOB,ou=people,o=example") is entry
+
+    def test_delete_through_alternate_spelling(self):
+        inst = _people_instance()
+        inst.delete_entry(ALICE_MIXED)
+        assert inst.find(ALICE) is None
+        assert len(inst) == 2
+
+    def test_delete_subtree_through_alternate_spelling(self):
+        inst = _people_instance()
+        removed = inst.delete_subtree("OU=People,o=example")
+        assert len(removed) == 2
+        assert inst.find("ou=People,o=Example") is None
+        assert inst.find(ALICE) is None
+        # Reinsert works: the index entries really are gone.
+        inst.add_entry("o=Example", "ou=People", ["top"])
+
+    def test_case_variant_duplicate_rejected(self):
+        inst = _people_instance()
+        with pytest.raises(DuplicateEntryError):
+            inst.add_entry("ou=People,o=Example", "CN=ALICE", ["top"])
+
+    def test_extract_subtree_through_alternate_spelling(self):
+        inst = _people_instance()
+        copy = inst.extract_subtree("OU=PEOPLE,O=EXAMPLE")
+        assert copy.find("cn=Alice,ou=People") is not None
+        assert len(inst) == 3  # extract does not mutate
+
+
+class TestTransactions:
+    def test_distinctness_compares_normalized(self):
+        tx = UpdateTransaction()
+        tx.insert(ALICE, ["top"])
+        tx.insert(ALICE_UPPER, ["top"])
+        with pytest.raises(UpdateError, match="more than once"):
+            tx.validate()
+
+    def test_mixed_case_insert_chain_groups_into_one_subtree(self):
+        """A parent inserted as `OU=...` and a child addressed via
+        `ou=...` must land in one grafted subtree, not raise."""
+        inst = _people_instance()
+        tx = UpdateTransaction()
+        tx.insert("OU=Eng,O=EXAMPLE", ["top"])
+        tx.insert("cn=carol,ou=eng,o=example", ["top"])
+        from repro.updates.transactions import decompose
+
+        updates = decompose(tx, inst)
+        assert len(updates) == 1
+        assert len(updates[0].subtree) == 2
+
+    def test_incremental_checker_mixed_case_parent(self):
+        schema = whitepages_schema()
+        fig1 = figure1_instance()
+        guard = IncrementalChecker(schema, fig1)
+        tx = UpdateTransaction()
+        tx.insert(
+            "UID=NEW,OU=DATABASES,OU=ATTLABS,O=ATT",
+            ["person", "top"],
+            {"uid": ["new"], "name": ["new person"]},
+        )
+        outcome = guard.apply_transaction(tx)
+        assert outcome.applied
+        assert fig1.find("uid=new,ou=databases,ou=attLabs,o=att") is not None
+
+    def test_incremental_checker_mixed_case_delete(self):
+        schema = whitepages_schema()
+        fig1 = figure1_instance()
+        guard = IncrementalChecker(schema, fig1)
+        tx = UpdateTransaction().delete("UID=LAKS,OU=DATABASES,ou=attLabs,o=att")
+        outcome = guard.apply_transaction(tx)
+        assert outcome.applied
+        assert fig1.find("uid=laks,ou=databases,ou=attLabs,o=att") is None
+
+    def test_move_through_alternate_spelling(self):
+        schema = whitepages_schema()
+        fig1 = figure1_instance()
+        guard = IncrementalChecker(schema, fig1)
+        outcome = guard.try_move(
+            "UID=LAKS,OU=DATABASES,OU=ATTLABS,O=ATT",
+            new_parent="OU=ATTLABS,o=att",
+        )
+        assert outcome.applied
+        assert fig1.find("uid=laks,ou=attLabs,o=att") is not None
+        assert fig1.find("uid=laks,ou=databases,ou=attLabs,o=att") is None
+
+
+class TestEmptyAndEscaped:
+    def test_empty_dn_normalizes_to_itself(self):
+        assert DN(()).normalized() == DN(())
+
+    def test_escaped_comma_survives_normalization(self):
+        inst = DirectoryInstance()
+        inst.add_entry(None, RDN("cn", "Smith, John"), ["top"])
+        assert inst.find("CN=smith\\, john") is not None

@@ -1,0 +1,564 @@
+"""The sharded store and its composite reader.
+
+Covers the routed write path (wrong-shard routing raises, it never
+mis-commits), per-shard + composite legality enforcement (content and
+shard-local checks inside each shard, required classes and cut-spanning
+Figure 4 edges on the composite view, with compensation on violation),
+the stitched read surface, and — the acceptance gate — a randomized
+differential: ``ShardedStore`` + ``CompositeReader`` must produce the
+same entries, search results, and legality verdicts as one
+``DirectoryStore`` holding the union instance.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.errors import (
+    ShardMapError,
+    ShardRoutingError,
+    StoreError,
+    UpdateError,
+)
+from repro.store import DirectoryStore
+from repro.store.sharded import CompositeReader, ShardedStore, check_shards_parallel
+from repro.store.shardmap import read_shard_map, shard_map_path
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    figure1_instance,
+    generate_whitepages,
+    whitepages_registry,
+    whitepages_schema,
+)
+from repro.workloads.update_streams import deletable_units, insertion_points
+
+NESTED_BASES = {"att": "o=att", "labs": "ou=attLabs,o=att"}
+
+
+@pytest.fixture()
+def schema():
+    return whitepages_schema()
+
+
+@pytest.fixture()
+def registry():
+    return whitepages_registry()
+
+
+def make_store(tmp_path, schema, registry, bases=None, instance=None, name="sharded"):
+    return ShardedStore.create(
+        str(tmp_path / name),
+        schema,
+        bases if bases is not None else NESTED_BASES,
+        instance if instance is not None else figure1_instance(),
+        registry,
+    )
+
+
+def canonical_records(instance):
+    """Order-independent canonical form of an instance: one record per
+    entry — display DN plus sorted attribute lines (case-folded DN key
+    for ordering only; the display spelling itself is compared)."""
+    records = []
+    for entry in instance:
+        dn = instance.dn_string_of(entry)
+        lines = tuple(
+            sorted(
+                f"{name}: {value}"
+                for name in entry.attribute_names()
+                for value in entry.values(name)
+            )
+        )
+        records.append((dn.casefold(), dn, lines))
+    return sorted(records)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_create_partitions_by_routing(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            att = store.shard("att").instance
+            labs = store.shard("labs").instance
+            # Shard content is localized: labs holds its base as root.
+            assert att.find("o=att") is not None
+            assert att.find("uid=armstrong,o=att") is not None
+            assert labs.find("ou=attLabs") is not None
+            assert labs.find("uid=laks,ou=databases,ou=attLabs") is not None
+            assert len(att) + len(labs) == 6
+
+    def test_reopen_preserves_composite_state(self, tmp_path, schema, registry):
+        store = make_store(tmp_path, schema, registry)
+        path = str(tmp_path / "sharded")
+        tx = UpdateTransaction().insert(
+            "uid=extra,ou=attLabs,o=att",
+            ["person", "top"],
+            {"uid": ["extra"], "name": ["e x"]},
+        )
+        assert store.apply(tx).applied
+        before = canonical_records(store.composite_instance())
+        store.close()
+        with ShardedStore.open(path, schema, registry) as reopened:
+            assert canonical_records(reopened.composite_instance()) == before
+            assert reopened.check().is_legal
+
+    def test_refuses_existing_directory(self, tmp_path, schema, registry):
+        make_store(tmp_path, schema, registry).close()
+        with pytest.raises(StoreError, match="refusing to create"):
+            make_store(tmp_path, schema, registry)
+
+    def test_unroutable_initial_entry_creates_nothing(
+        self, tmp_path, schema, registry
+    ):
+        with pytest.raises(ShardRoutingError):
+            make_store(
+                tmp_path, schema, registry,
+                bases={"att": "o=att"},
+                instance=generate_whitepages(orgs=1, seed=3),  # roots o=org0
+            )
+        assert not os.path.exists(str(tmp_path / "sharded"))
+
+    def test_missing_map_refuses_to_open(self, tmp_path, schema, registry):
+        make_store(tmp_path, schema, registry).close()
+        path = str(tmp_path / "sharded")
+        os.unlink(shard_map_path(path))
+        with pytest.raises(ShardMapError):
+            ShardedStore.open(path, schema, registry)
+        with pytest.raises(ShardMapError):
+            CompositeReader.open(path, schema, registry)
+
+    def test_initial_composite_violation_rejected(self, tmp_path, schema, registry):
+        from repro.model.instance import DirectoryInstance
+
+        lonely = DirectoryInstance(attributes=registry)
+        lonely.add_entry(
+            None, "o=att", ["organization", "orgGroup", "top"], {"o": ["att"]}
+        )
+        # No orgUnit/person anywhere: required classes are composite
+        # elements and must be enforced at create time.
+        with pytest.raises(UpdateError, match="composite"):
+            make_store(tmp_path, schema, registry, instance=lonely)
+
+    def test_schema_extras_refused(self, tmp_path, registry):
+        with pytest.raises(UpdateError, match="extras"):
+            make_store(tmp_path, whitepages_schema(extras=True), registry)
+
+    def test_closed_store_refuses(self, tmp_path, schema, registry):
+        store = make_store(tmp_path, schema, registry)
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            store.check()
+
+
+# ----------------------------------------------------------------------
+# the routed write path
+# ----------------------------------------------------------------------
+class TestApply:
+    def test_commit_routes_to_owning_shard(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            tx = UpdateTransaction().insert(
+                "uid=new,ou=databases,ou=attLabs,o=att",
+                ["person", "top"],
+                {"uid": ["new"], "name": ["n ew"]},
+            )
+            assert store.apply(tx).applied
+            assert store.shard("labs").journal_length == 1
+            assert store.shard("att").journal_length == 0
+            found = store.composite_instance().find(
+                "uid=new,ou=databases,ou=attLabs,o=att"
+            )
+            assert found is not None
+
+    def test_spanning_transaction_raises(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            tx = UpdateTransaction()
+            tx.insert("uid=a,o=att", ["person", "top"],
+                      {"uid": ["a"], "name": ["a a"]})
+            tx.insert("uid=b,ou=attLabs,o=att", ["person", "top"],
+                      {"uid": ["b"], "name": ["b b"]})
+            with pytest.raises(ShardRoutingError, match="spans shards"):
+                store.apply(tx)
+            # Nothing committed anywhere.
+            assert store.shard("att").journal_length == 0
+            assert store.shard("labs").journal_length == 0
+
+    def test_unroutable_transaction_raises(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            tx = UpdateTransaction().insert(
+                "o=other", ["organization", "orgGroup", "top"], {"o": ["other"]}
+            )
+            with pytest.raises(ShardRoutingError, match="no shard owns"):
+                store.apply(tx)
+
+    def test_shard_guard_rejection_matches_union_store(
+        self, tmp_path, schema, registry
+    ):
+        # Missing the required `name` attribute: a *content* violation,
+        # caught inside the labs shard.  The rejection report must be
+        # indistinguishable from a single store's (the guard's DNs are
+        # Δ-relative in both).
+        tx = UpdateTransaction().insert(
+            "uid=noname,ou=attLabs,o=att", ["person", "top"],
+            {"uid": ["noname"]},
+        )
+        union = DirectoryStore.create(
+            str(tmp_path / "union"), schema, figure1_instance(), registry
+        )
+        try:
+            union_outcome = union.apply(tx)
+        finally:
+            union.close()
+        with make_store(tmp_path, schema, registry) as store:
+            outcome = store.apply(tx)
+        assert not outcome.applied and not union_outcome.applied
+        assert {(v.kind, v.dn, v.element) for v in outcome.report} == {
+            (v.kind, v.dn, v.element) for v in union_outcome.report
+        }
+
+    def test_empty_transaction_is_a_noop(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            assert store.apply(UpdateTransaction()).applied
+
+
+class TestCompositeEnforcement:
+    def test_cut_spanning_violation_is_compensated(
+        self, tmp_path, schema, registry
+    ):
+        """Under the nested cut every Figure 4 edge is composite: an
+        empty orgUnit passes the (edge-free) shard guard, the composite
+        check fails, and the exact inverse rolls the shard back."""
+        with make_store(tmp_path, schema, registry) as store:
+            before = canonical_records(store.composite_instance())
+            tx = UpdateTransaction().insert(
+                "ou=ghost,ou=attLabs,o=att",
+                ["orgUnit", "orgGroup", "top"],
+                {"ou": ["ghost"]},
+            )
+            outcome = store.apply(tx)
+            assert not outcome.applied
+            assert not outcome.report.is_legal
+            elements = {v.element for v in outcome.report if v.element}
+            assert any("person" in e for e in elements), elements
+            assert canonical_records(store.composite_instance()) == before
+            # The compensation is durable: a reopen agrees.
+            path = str(tmp_path / "sharded")
+        with ShardedStore.open(path, schema, registry) as reopened:
+            assert canonical_records(reopened.composite_instance()) == before
+            assert reopened.check().is_legal
+
+    def test_legal_cut_spanning_insert_commits(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            tx = UpdateTransaction()
+            tx.insert(
+                "ou=new,ou=attLabs,o=att",
+                ["orgUnit", "orgGroup", "top"],
+                {"ou": ["new"]},
+            )
+            tx.insert(
+                "uid=p,ou=new,ou=attLabs,o=att",
+                ["person", "top"],
+                {"uid": ["p"], "name": ["p p"]},
+            )
+            assert store.apply(tx).applied
+            assert store.check().is_legal
+
+    def test_flat_map_keeps_edges_shard_local(self, tmp_path, schema, registry):
+        instance = generate_whitepages(
+            orgs=2, units_per_level=2, depth=1, persons_per_unit=2, seed=5
+        )
+        with make_store(
+            tmp_path, schema, registry,
+            bases={"a": "o=org0", "b": "o=org1"}, instance=instance,
+        ) as store:
+            assert not store.scope.nested
+            assert store.scope.local_edges and not store.scope.composite_edges
+            # An empty orgUnit is now rejected by the shard's own guard
+            # (stepwise), before any composite logic runs.
+            tx = UpdateTransaction().insert(
+                "ou=ghost,o=org0", ["orgUnit", "orgGroup", "top"],
+                {"ou": ["ghost"]},
+            )
+            outcome = store.apply(tx)
+            assert not outcome.applied
+            assert store.shard("a").journal_length == 0
+
+
+# ----------------------------------------------------------------------
+# the composite read surface
+# ----------------------------------------------------------------------
+class TestCompositeReader:
+    def test_reader_stitches_all_shards(self, tmp_path, schema, registry):
+        store = make_store(tmp_path, schema, registry)
+        path = str(tmp_path / "sharded")
+        try:
+            with CompositeReader.open(path, schema, registry) as reader:
+                assert canonical_records(reader.instance) == canonical_records(
+                    store.composite_instance()
+                )
+                assert reader.is_legal()
+                persons = reader.search(filter="(objectClass=person)")
+                assert {reader.dn_string_of(e) for e in persons} == {
+                    "uid=armstrong,o=att",
+                    "uid=laks,ou=databases,ou=attLabs,o=att",
+                    "uid=suciu,ou=databases,ou=attLabs,o=att",
+                }
+        finally:
+            store.close()
+
+    def test_refresh_follows_per_shard_writers(self, tmp_path, schema, registry):
+        store = make_store(tmp_path, schema, registry)
+        path = str(tmp_path / "sharded")
+        try:
+            with CompositeReader.open(path, schema, registry) as reader:
+                tx = UpdateTransaction().insert(
+                    "uid=late,ou=attLabs,o=att", ["person", "top"],
+                    {"uid": ["late"], "name": ["l ate"]},
+                )
+                assert store.apply(tx).applied
+                assert reader.instance.find("uid=late,ou=attLabs,o=att") is None
+                lag = reader.lag()
+                assert lag["labs"].frames == 1 and lag["att"].current
+                result = reader.refresh()
+                assert result.advanced and not result.stale
+                assert result.per_shard["labs"].frames_replayed == 1
+                assert result.per_shard["att"].frames_replayed == 0
+                assert result.frontier["labs"] == (1, 1)
+                assert reader.instance.find("uid=late,ou=attLabs,o=att") is not None
+        finally:
+            store.close()
+
+    def test_refresh_survives_per_shard_compaction(self, tmp_path, schema, registry):
+        store = make_store(tmp_path, schema, registry)
+        path = str(tmp_path / "sharded")
+        try:
+            with CompositeReader.open(path, schema, registry) as reader:
+                tx = UpdateTransaction().insert(
+                    "uid=c,ou=attLabs,o=att", ["person", "top"],
+                    {"uid": ["c"], "name": ["c c"]},
+                )
+                assert store.apply(tx).applied
+                store.compact()
+                result = reader.refresh()
+                assert result.advanced
+                assert result.per_shard["labs"].rebootstrapped
+                assert reader.frontier()["labs"] == (2, 0)
+                assert reader.instance.find("uid=c,ou=attLabs,o=att") is not None
+        finally:
+            store.close()
+
+    def test_parallel_check_matches_composite_check(
+        self, tmp_path, schema, registry
+    ):
+        store = make_store(tmp_path, schema, registry)
+        path = str(tmp_path / "sharded")
+        try:
+            serial = store.check()
+        finally:
+            store.close()
+        report, entries = check_shards_parallel(path, schema, registry, jobs=2)
+        assert report.is_legal == serial.is_legal
+        assert entries == 6
+
+    def test_shard_writers_do_not_lock_each_other(self, tmp_path, schema, registry):
+        """One writer per shard is a supported topology: the advisory
+        locks are per shard directory."""
+        make_store(tmp_path, schema, registry).close()
+        path = str(tmp_path / "sharded")
+        att = ShardedStore.open_shard(path, "att", schema, registry)
+        labs = ShardedStore.open_shard(path, "labs", schema, registry)
+        try:
+            tx = UpdateTransaction().insert(
+                "uid=w1,o=att", ["person", "top"],
+                {"uid": ["w1"], "name": ["w 1"]},
+            )
+            assert att.apply(tx).applied
+            tx = UpdateTransaction().insert(
+                "uid=w2,ou=attLabs", ["person", "top"],
+                {"uid": ["w2"], "name": ["w 2"]},
+            )
+            assert labs.apply(tx).applied
+        finally:
+            att.close()
+            labs.close()
+        with CompositeReader.open(path, schema, registry) as reader:
+            assert reader.instance.find("uid=w1,o=att") is not None
+            assert reader.instance.find("uid=w2,ou=attLabs,o=att") is not None
+
+    def test_open_shard_unknown_name(self, tmp_path, schema, registry):
+        make_store(tmp_path, schema, registry).close()
+        with pytest.raises(ShardMapError, match="no shard named"):
+            ShardedStore.open_shard(
+                str(tmp_path / "sharded"), "nope", schema, registry
+            )
+
+    def test_map_survives_roundtrip(self, tmp_path, schema, registry):
+        make_store(tmp_path, schema, registry).close()
+        shard_map = read_shard_map(str(tmp_path / "sharded"))
+        assert set(shard_map.names()) == {"att", "labs"}
+
+
+# ----------------------------------------------------------------------
+# the differential acceptance gate
+# ----------------------------------------------------------------------
+def _unit_delete_tx(instance, unit_dn):
+    tx = UpdateTransaction()
+    entry = instance.entry(unit_dn)
+    tx.delete(unit_dn)
+    for descendant in instance.descendants_of(entry):
+        tx.delete(instance.dn_string_of(descendant))
+    return tx
+
+
+def _routable(shard_map, tx):
+    try:
+        owners = {shard_map.route(op.dn).name for op in tx}
+    except ShardRoutingError:
+        return False
+    return len(owners) == 1
+
+
+def _random_step(rng, union, shard_map, counter):
+    """One randomized transaction (insert or whole-unit delete, with an
+    occasional deliberately illegal insert), constrained to route whole
+    — spanning transactions are covered separately (they must raise)."""
+    instance = union.instance
+    kind = rng.random()
+    if kind < 0.25:
+        candidates = [
+            dn for dn in deletable_units(instance)
+            if _routable(shard_map, _unit_delete_tx(instance, dn))
+        ]
+        if candidates:
+            return _unit_delete_tx(instance, rng.choice(candidates))
+    counter[0] += 1
+    tag = f"d{counter[0]}"
+    parent = rng.choice(insertion_points(instance))
+    tx = UpdateTransaction()
+    tx.insert(
+        f"ou={tag},{parent}", ["orgUnit", "orgGroup", "top"], {"ou": [tag]}
+    )
+    if kind < 0.45:
+        return tx  # an empty orgUnit: illegal, both sides must reject
+    tx.insert(
+        f"uid=p{tag},ou={tag},{parent}",
+        ["person", "top"],
+        {"uid": [f"p{tag}"], "name": [f"p {tag}"]},
+    )
+    return tx
+
+
+FILTERS = [
+    "(objectClass=person)",
+    "(objectClass=orgUnit)",
+    "(&(objectClass=orgGroup)(!(objectClass=organization)))",
+]
+
+
+def _search_view(instance):
+    from repro.query.search import search
+
+    return [
+        sorted(
+            instance.dn_string_of(e)
+            for e in search(instance, filter=filter_string)
+        )
+        for filter_string in FILTERS
+    ]
+
+
+@pytest.mark.parametrize(
+    "bases,orgs",
+    [
+        pytest.param({"a": "o=org0", "b": "o=org1", "c": "o=org2"}, 3,
+                     id="flat-3-shards"),
+        pytest.param({"root": "o=org0", "cut": "ou=u0.0,o=org0"}, 1,
+                     id="nested-cut"),
+    ],
+)
+@pytest.mark.parametrize("seed", [11, 42])
+def test_differential_against_union_store(tmp_path, seed, bases, orgs):
+    """For a randomized workload, the sharded store + composite reader
+    and a single union store produce identical entries, identical
+    search results, and identical legality verdicts — including the
+    cross-shard Figure 4 checks under the nested cut."""
+    schema = whitepages_schema()
+    registry = whitepages_registry()
+    initial = generate_whitepages(
+        orgs=orgs, units_per_level=2, depth=1, persons_per_unit=2, seed=seed
+    )
+    union = DirectoryStore.create(
+        str(tmp_path / "union"), schema, initial, registry
+    )
+    sharded = ShardedStore.create(
+        str(tmp_path / "sharded"), schema, bases, initial, registry
+    )
+    reader = CompositeReader.open(str(tmp_path / "sharded"), schema, registry)
+    rng = random.Random(seed)
+    counter = [0]
+    accepted = rejected = 0
+    try:
+        for step in range(14):
+            tx = _random_step(rng, union, sharded.shard_map, counter)
+            union_outcome = union.apply(tx)
+            sharded_outcome = sharded.apply(tx)
+            assert union_outcome.applied == sharded_outcome.applied, (
+                f"step {step}: union said {union_outcome.applied}, "
+                f"sharded said {sharded_outcome.applied}\n"
+                f"union: {union_outcome.report}\n"
+                f"sharded: {sharded_outcome.report}"
+            )
+            if union_outcome.applied:
+                accepted += 1
+            else:
+                rejected += 1
+                union_elements = {
+                    v.element for v in union_outcome.report if v.element
+                }
+                sharded_elements = {
+                    v.element for v in sharded_outcome.report if v.element
+                }
+                assert union_elements == sharded_elements, (
+                    f"step {step}: rejection cites different elements"
+                )
+            # The committed states are identical, byte for byte.
+            assert canonical_records(
+                sharded.composite_instance()
+            ) == canonical_records(union.instance), f"diverged at step {step}"
+            # ... and so is everything a client can observe: searches
+            # through the sharded store's own surface and over the
+            # union instance agree filter by filter.
+            assert _search_view(
+                sharded.composite_instance()
+            ) == _search_view(union.instance)
+            composite = sharded.composite_instance()
+            assert sorted(
+                composite.dn_string_of(e)
+                for e in sharded.search(filter=FILTERS[0])
+            ) == _search_view(union.instance)[0]
+            refreshed = reader.refresh()
+            assert not refreshed.stale
+            assert canonical_records(reader.instance) == canonical_records(
+                union.instance
+            )
+            union_report = union.check()
+            composite_report = sharded.check()
+            reader_report = reader.check()
+            assert (
+                union_report.is_legal
+                == composite_report.is_legal
+                == reader_report.is_legal
+            )
+            assert {v.element for v in union_report} == {
+                v.element for v in composite_report
+            }
+        # The stream must have exercised both verdicts to mean anything.
+        assert accepted >= 3 and rejected >= 1, (accepted, rejected)
+    finally:
+        reader.close()
+        sharded.close()
+        union.close()

@@ -1,0 +1,158 @@
+"""Advisory-lock staleness: a crashed writer must not lock out the
+world forever.
+
+``flock`` locks normally die with their holder, but the lock's file
+description can outlive the recorded holder pid — most simply when the
+crashed writer's fd was inherited by a subprocess (``pass_fds``) that
+is still running.  The pid file then names a dead process while the
+flock is still held: before the fix, every open raised
+``StoreLockedError(holder_pid=<dead pid>)`` forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+
+import pytest
+
+from repro.errors import StoreLockedError
+from repro.store import DirectoryStore
+from repro.store.journal import _pid_alive
+from repro.store.recovery import LOCK_FILE
+from repro.workloads import figure1_instance, whitepages_registry, whitepages_schema
+
+
+def _make_store(tmp_path):
+    store_dir = str(tmp_path / "store")
+    store = DirectoryStore.create(
+        store_dir, whitepages_schema(), figure1_instance(), whitepages_registry()
+    )
+    return store_dir, store
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed dead: fork a child and reap it."""
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=lambda: None)
+    proc.start()
+    proc.join()
+    assert not _pid_alive(proc.pid)
+    return proc.pid
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        assert _pid_alive(os.getpid())
+
+    def test_reaped_child_is_dead(self):
+        assert not _pid_alive(_dead_pid())
+
+
+class TestLiveLockStillConflicts:
+    def test_second_open_raises_with_holder_pid(self, tmp_path):
+        store_dir, store = _make_store(tmp_path)
+        try:
+            with pytest.raises(StoreLockedError) as excinfo:
+                DirectoryStore.open(
+                    store_dir, whitepages_schema(), whitepages_registry()
+                )
+            assert excinfo.value.holder_pid == os.getpid()
+        finally:
+            store.close()
+
+    def test_reopens_after_clean_close(self, tmp_path):
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        reopened = DirectoryStore.open(
+            store_dir, whitepages_schema(), whitepages_registry()
+        )
+        reopened.close()
+
+
+class TestStaleLockReclaim:
+    def _hold_lock_as_dead_pid(self, store_dir, dead_pid):
+        """Recreate the crashed-writer wreckage: the lock file records
+        ``dead_pid`` while the flock is held by a *surviving* file
+        description (here: a ``sleep`` subprocess that inherited the
+        fd, exactly what a crashed writer's orphaned children do)."""
+        import fcntl
+
+        path = os.path.join(store_dir, LOCK_FILE)
+        handle = open(path, "r+")
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        handle.seek(0)
+        handle.truncate()
+        handle.write(str(dead_pid))
+        handle.flush()
+        keeper = subprocess.Popen(
+            ["sleep", "60"], pass_fds=(handle.fileno(),), close_fds=True
+        )
+        handle.close()  # our fd goes away; the keeper's copy holds the flock
+        return keeper
+
+    def test_dead_holder_is_reclaimed(self, tmp_path):
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        keeper = self._hold_lock_as_dead_pid(store_dir, _dead_pid())
+        try:
+            # Sanity: the flock really is held by the keeper.
+            import fcntl
+
+            probe = open(os.path.join(store_dir, LOCK_FILE), "r")
+            with pytest.raises(OSError):
+                fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            probe.close()
+
+            reopened = DirectoryStore.open(
+                store_dir, whitepages_schema(), whitepages_registry()
+            )
+            try:
+                assert not reopened.read_only
+                assert reopened.instance.find("o=att") is not None
+                # The reclaimed lock now records the live owner.
+                with open(os.path.join(store_dir, LOCK_FILE)) as fh:
+                    assert int(fh.read().strip()) == os.getpid()
+            finally:
+                reopened.close()
+        finally:
+            keeper.kill()
+            keeper.wait()
+
+    def test_reclaimed_lock_still_excludes_next_contender(self, tmp_path):
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        keeper = self._hold_lock_as_dead_pid(store_dir, _dead_pid())
+        try:
+            reopened = DirectoryStore.open(
+                store_dir, whitepages_schema(), whitepages_registry()
+            )
+            try:
+                with pytest.raises(StoreLockedError) as excinfo:
+                    DirectoryStore.open(
+                        store_dir, whitepages_schema(), whitepages_registry()
+                    )
+                assert excinfo.value.holder_pid == os.getpid()
+            finally:
+                reopened.close()
+        finally:
+            keeper.kill()
+            keeper.wait()
+
+    def test_live_holder_in_lock_file_is_respected(self, tmp_path):
+        """A lock whose recorded pid is alive must NOT be reclaimed
+        even though the recording process isn't this one."""
+        store_dir, store = _make_store(tmp_path)
+        try:
+            # Rewrite the pid file to a live foreign pid (pid 1 always
+            # exists); the flock is held by `store` in-process.
+            with open(os.path.join(store_dir, LOCK_FILE), "w") as fh:
+                fh.write("1")
+            with pytest.raises(StoreLockedError) as excinfo:
+                DirectoryStore.open(
+                    store_dir, whitepages_schema(), whitepages_registry()
+                )
+            assert excinfo.value.holder_pid == 1
+        finally:
+            store.close()

@@ -35,6 +35,9 @@ class Kind:
     REQUIRED_RELATIONSHIP = "required-relationship"
     FORBIDDEN_RELATIONSHIP = "forbidden-relationship"
     MISSING_REQUIRED_CLASS = "missing-required-class"
+    # Routing-cut integrity (sharded stores): a nested shard whose
+    # attachment entry is missing from its enclosing shard.
+    ORPHANED_SHARD = "orphaned-shard"
     # Section 6.1 extras
     SINGLE_VALUED = "single-valued"
     DUPLICATE_KEY = "duplicate-key"

@@ -51,10 +51,11 @@ class RDN:
         """The case-normalized form used for DN matching.
 
         LDAP compares attribute names and (directory-string) RDN values
-        case-insensitively — the same normalization attribute *values*
-        receive on insertion (:mod:`repro.model.types`).  Display forms
-        keep their original spelling; only index keys and equality
-        tests use the normalized form.
+        case-insensitively, so DN index keys and equality tests fold
+        case.  Display forms keep their original spelling.  Note the
+        fold applies to DN *matching* only: stored attribute values are
+        case-preserved (:mod:`repro.model.types` normalizes their
+        representation, not their case).
         """
         return RDN(self.attribute.casefold(), self.value.casefold())
 

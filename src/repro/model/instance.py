@@ -60,10 +60,12 @@ class DirectoryInstance:
         self._parent: Dict[int, Optional[int]] = {}
         self._children: Dict[int, List[int]] = {}
         self._roots: List[int] = []
-        # DN index, keyed by the *case-normalized* DN string: attribute
-        # values are case-normalized on insertion (repro.model.types),
-        # so DN resolution must fold case too or `find("CN=Alice,...")`
-        # and `find("cn=alice,...")` name different entries.
+        # DN index, keyed by the *case-normalized* DN string: LDAP
+        # compares attribute names and directory-string RDN values
+        # case-insensitively, so without folding `find("CN=Alice,...")`
+        # and `find("cn=alice,...")` would name different entries.
+        # (Stored attribute *values* keep their case — repro.model.types
+        # normalizes representation, not case.)
         self._by_dn: Dict[str, int] = {}
         # eid -> display DN string (original spelling), composed in O(1)
         # from the parent's key at insertion time; keeps add_entry O(1)
@@ -122,7 +124,19 @@ class DirectoryInstance:
             key = f"{rdn},{self._dn_key[parent_eid]}"
             norm = f"{rdn.normalized()},{self._norm_key[parent_eid]}"
         if norm in self._by_dn:
-            raise DuplicateEntryError(f"an entry with DN {key!r} already exists")
+            existing = self._dn_key[self._by_dn[norm]]
+            if existing == key:
+                raise DuplicateEntryError(
+                    f"an entry with DN {key!r} already exists"
+                )
+            # Name both spellings: DN matching is case-insensitive, so
+            # data written under the old exact-string resolution can
+            # collide only here — the message is the migration hint.
+            raise DuplicateEntryError(
+                f"an entry with DN {key!r} already exists as {existing!r} "
+                "(DNs match case-insensitively; rename one of the two "
+                "spellings)"
+            )
 
         eid = self._next_eid
         self._next_eid += 1
@@ -306,9 +320,11 @@ class DirectoryInstance:
     def find(self, dn: DN | str) -> Optional[Entry]:
         """Return the entry with distinguished name ``dn`` or ``None``.
 
-        Matching is case-insensitive, mirroring the normalization that
-        attribute values receive on insertion: ``find("CN=Alice,...")``
+        Matching is case-insensitive, as LDAP defines for attribute
+        names and directory-string RDN values: ``find("CN=Alice,...")``
         and ``find("cn=alice,...")`` resolve to the same entry.
+        (Stored attribute *values* are case-preserved; only DN
+        resolution folds case.)
         """
         parsed = parse_dn(dn) if isinstance(dn, str) else dn
         eid = self._by_dn.get(str(parsed.normalized()))

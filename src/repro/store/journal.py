@@ -85,6 +85,12 @@ __all__ = ["DirectoryStore"]
 #: *live* contender and raises, so a handful of attempts suffices.
 _LOCK_RECLAIM_ATTEMPTS = 4
 
+#: Sibling of the lock file that serializes stale-lock reclaim.  It is
+#: *never* unlinked, so a flock on it is always on the inode every
+#: contender sees — the property the lock file itself loses the moment
+#: reclaim unlinks it.
+_LOCK_GUARD_SUFFIX = ".guard"
+
 
 def _pid_alive(pid: int) -> bool:
     """Whether ``pid`` names a live process (signal-0 probe).
@@ -527,18 +533,19 @@ class DirectoryStore:
                     holder_pid = int(handle.read().strip() or "0") or None
                 except (OSError, ValueError):
                     pass
-                handle.close()
                 if holder_pid is not None and not _pid_alive(holder_pid):
                     # The recorded holder crashed without unlocking (its
                     # flock survives on an fd some other process
                     # inherited).  Reclaim: retire this lock *inode* so
                     # the stale flock guards nothing, then retry on a
-                    # fresh file.
-                    try:
-                        os.unlink(path)
-                    except OSError:  # pragma: no cover - lost the race
-                        pass
+                    # fresh file.  The unlink is serialized through the
+                    # reclaim guard and verified against the inode we
+                    # probed — never unlink a lock file some other
+                    # contender just created and acquired.
+                    DirectoryStore._reclaim_stale_lock(path, handle)
+                    handle.close()
                     continue
+                handle.close()
                 holder = (
                     f"pid {holder_pid}" if holder_pid is not None
                     else "another live store handle"
@@ -548,20 +555,50 @@ class DirectoryStore:
                     "(close it, or wait for the owning process to exit)",
                     holder_pid=holder_pid,
                 ) from None
-            # Two contenders can both reclaim a stale lock: each unlinks
-            # and re-creates the path, so two processes may hold flocks
-            # on *different* inodes.  Only the one whose handle still is
-            # the file at ``path`` owns the lock; the other retries.
+            # The flock we now hold may be on an inode a concurrent
+            # reclaimer is about to retire (we opened the path before
+            # its unlink).  Verify path identity and record our pid
+            # *under the reclaim guard*: reclaimers unlink only under
+            # that guard after re-reading the recorded pid, so either
+            # our pid lands first (the reclaimer sees a live owner and
+            # backs off) or the unlink lands first (we observe the
+            # mismatch here and retry on the fresh file).
+            if DirectoryStore._confirm_lock_ownership(path, handle):
+                return handle
+            handle.close()
+            continue
+        raise StoreLockedError(  # pragma: no cover - reclaim livelock
+            f"{directory!r} lock could not be acquired after "
+            f"{_LOCK_RECLAIM_ATTEMPTS} reclaim attempts"
+        )
+
+    @staticmethod
+    def _confirm_lock_ownership(path: str, handle) -> bool:
+        """Under the reclaim guard: verify ``path`` still names the
+        inode ``handle`` flocked, and record our pid on it.
+
+        Returns ``False`` when a reclaimer retired our inode first —
+        the caller must retry on the file now at ``path``.
+        """
+        import fcntl
+
+        try:
+            guard = open(path + _LOCK_GUARD_SUFFIX, "a+")
+        except OSError:  # pragma: no cover - unopenable guard
+            guard = None  # degrade to the unguarded inode check
+        try:
+            if guard is not None:
+                fcntl.flock(guard.fileno(), fcntl.LOCK_EX)
             try:
                 if os.stat(path).st_ino != os.fstat(handle.fileno()).st_ino:
-                    handle.close()
-                    continue
+                    return False
             except OSError:
-                handle.close()
-                continue
+                return False
             # Record our pid for the next contender's error message and
-            # the staleness check.  Best effort beyond that: the flock
-            # itself is the gate.
+            # the staleness check.  The write must succeed while the
+            # guard is held: an empty lock file is indistinguishable
+            # from a crashed-before-recording writer, which reclaimers
+            # deliberately refuse to retire.
             try:
                 handle.seek(0)
                 handle.truncate()
@@ -569,11 +606,61 @@ class DirectoryStore:
                 handle.flush()
             except OSError:  # pragma: no cover - diagnostics only
                 pass
-            return handle
-        raise StoreLockedError(  # pragma: no cover - reclaim livelock
-            f"{directory!r} lock could not be acquired after "
-            f"{_LOCK_RECLAIM_ATTEMPTS} reclaim attempts"
-        )
+            return True
+        finally:
+            if guard is not None:
+                guard.close()
+
+    @staticmethod
+    def _reclaim_stale_lock(path: str, probed) -> None:
+        """Retire the stale lock inode that ``probed`` has open.
+
+        Unlink-by-path is only safe if ``path`` still names the inode
+        whose dead holder pid we read: two contenders that both probed
+        the same dead holder would otherwise race unlink/re-create —
+        the slower one deletes the lock file the faster one just
+        acquired, and both end up holding exclusive flocks on
+        *different* inodes (two live writers, WAL corruption).  All
+        unlinks are therefore serialized through a separate guard file
+        (``lock.guard``) that is *never* unlinked, and happen only
+        after re-verifying, under the guard, that (a) ``path`` still
+        names the probed inode and (b) the holder recorded on it is
+        still dead.  A contender that loses the verification simply
+        returns; the retry loop re-probes from scratch.
+        """
+        import fcntl
+
+        try:
+            guard = open(path + _LOCK_GUARD_SUFFIX, "a+")
+        except OSError:  # pragma: no cover - unopenable guard
+            return  # cannot serialize the unlink; let the retry re-probe
+        try:
+            # Blocking is fine: the guard is held only across the few
+            # syscalls below, and we hold no other lock while waiting.
+            fcntl.flock(guard.fileno(), fcntl.LOCK_EX)
+            try:
+                if os.stat(path).st_ino != os.fstat(probed.fileno()).st_ino:
+                    return  # someone already retired this inode
+            except OSError:
+                return  # path gone mid-reclaim: nothing left to retire
+            # Re-probe the holder under the guard: a fresh owner may
+            # have flocked this very inode and recorded its (live) pid
+            # since we read it.  Only a positively *dead* recorded pid
+            # licenses the unlink — an empty or unreadable pid file
+            # could be an owner mid-recording, so it is left alone.
+            try:
+                probed.seek(0)
+                holder_pid = int(probed.read().strip() or "0") or None
+            except (OSError, ValueError):
+                holder_pid = None
+            if holder_pid is None or _pid_alive(holder_pid):
+                return  # a live (or unconfirmed) owner; respect it
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - vanished underneath
+                pass
+        finally:
+            guard.close()  # closing drops the guard flock
 
     @staticmethod
     def _release_lock(handle) -> None:

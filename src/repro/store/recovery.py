@@ -38,7 +38,13 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import CorruptJournalError, StaleJournalError
+from repro.errors import (
+    CorruptJournalError,
+    DuplicateEntryError,
+    LdifError,
+    StaleJournalError,
+    StoreError,
+)
 from repro.ldif.changes import parse_changes
 from repro.ldif.reader import parse_ldif
 from repro.legality.checker import LegalityChecker
@@ -295,8 +301,24 @@ def recover(
             offset=scanned.tail_offset,
         )
 
-    # Parse the snapshot.
-    instance = parse_ldif(ldif_text, attributes=registry)
+    # Parse the snapshot.  A snapshot written before DN resolution
+    # became case-insensitive can hold two DNs that differ only in
+    # case — previously distinct entries that now collide.  Surface
+    # that as an explicit migration error naming both spellings (the
+    # DuplicateEntryError message carries them) instead of a generic
+    # parse failure.
+    try:
+        instance = parse_ldif(ldif_text, attributes=registry)
+    except LdifError as exc:
+        if isinstance(exc.__cause__, DuplicateEntryError):
+            raise StoreError(
+                f"snapshot of {directory!r} holds entries whose DNs "
+                f"collide under case-insensitive matching: "
+                f"{exc.__cause__}.  This store predates case-folded DN "
+                "resolution; migrate it by renaming one of the "
+                f"colliding entries in {SNAPSHOT_FILE} before reopening."
+            ) from exc
+        raise
 
     # Blind replay of the committed prefix (Theorem 4.1 modularity).
     replay_failed_at: Optional[int] = None
@@ -315,6 +337,13 @@ def recover(
                 f"record {index} failed to replay ({exc}); treating it and "
                 "everything after it as corrupt"
             )
+            if isinstance(exc, DuplicateEntryError):
+                report.notes.append(
+                    "the collision is between DN spellings that differ "
+                    "only in case: this journal predates case-folded DN "
+                    "resolution — rename one of the spellings named "
+                    "above to migrate"
+                )
             break
     if replay_failed_at is not None:
         report.tail_state = "corrupt"

@@ -36,14 +36,38 @@ Enforcement split:
 * wrong-shard routing **raises** :class:`~repro.errors.ShardRoutingError`
   — a transaction must fall entirely inside one shard's subtree;
   spanning or unroutable transactions are refused, never mis-committed.
+  Deleting a nested shard's *attachment entry* (the enclosing-shard
+  entry its base hangs under) is a spanning transaction in disguise —
+  the delete's subtree scope covers the nested shard — and raises too;
+* an **orphaned shard** (a nested shard whose attachment entry a
+  per-shard writer or crash nevertheless removed) is a *reported*
+  state, not a raising one: stitching grafts the orphan's entries as
+  detached roots and every ``check()`` surface adds an
+  ``orphaned-shard`` violation, so search/fsck keep working against
+  the damaged store.
 
 Semantics note: the per-shard guard checks each Theorem 4.1 subtree
 step of a transaction *stepwise*, while composite elements are checked
-once against the transaction's *final* state.  For insert-only and
-delete-only transactions the two agree; a mixed transaction whose
-intermediate step violates only a composite element is rejected by a
-union store and accepted here (and vice versa is impossible — the
-final state is what both enforce durably).
+once against the transaction's *final* state.  The two disciplines
+nevertheless return identical verdicts for every transaction
+:func:`~repro.updates.transactions.decompose` accepts, mixed
+insert+delete ones included, because its LDAP preconditions make an
+intermediate-only violation unrepairable by a later step of the same
+transaction: (a) structure elements relate entries only to their
+ancestors/descendants, and an inserted entry's in-transaction
+descendants are grouped into its own step, so an insert-step violation
+involves an *existing ancestor* — which no later step may delete
+(deleting it would put the insert root's parent inside a deleted
+subtree, which decompose refuses); (b) delete subtrees are whole and
+their roots disjoint, so a required relationship broken by one delete
+step cannot have its source removed by another (the source's subtree
+would contain the already-deleted entry); (c) required-class
+populations only grow during the insert phase and only shrink during
+the delete phase, and insertions run first.  Hence an illegal
+intermediate state implies an illegal final state, and checking
+composite elements once at the end loses nothing —
+``test_differential_against_union_store`` exercises this with mixed
+transactions in the stream.
 """
 
 from __future__ import annotations
@@ -52,7 +76,7 @@ import os
 import shutil
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import ShardRoutingError, StoreError, UpdateError
+from repro.errors import ModelError, ShardRoutingError, StoreError, UpdateError
 from repro.legality.report import Kind, LegalityReport, Violation
 from repro.legality.scope import (
     ShardScope,
@@ -115,8 +139,54 @@ def _globalized(report: LegalityReport, spec: ShardSpec) -> LegalityReport:
     return out
 
 
+def _orphan_report(
+    shard_map: Optional[ShardMap],
+    instances: Dict[str, DirectoryInstance],
+) -> LegalityReport:
+    """Violations for nested shards whose attachment entry is gone.
+
+    A nested shard hangs off an entry of its enclosing shard (the
+    shard's ``suffix``).  Per-shard writers (:meth:`ShardedStore.
+    open_shard`, crash windows) can delete that entry out of the
+    enclosing shard — the shard-local guard cannot see the nested
+    shard's content — leaving a durable orphaned state.  That state is
+    *reported* here as an :data:`~repro.legality.report.Kind.
+    ORPHANED_SHARD` violation; stitching (:func:`_stitch`) tolerates
+    it, so every read/check surface keeps working instead of raising.
+    """
+    report = LegalityReport()
+    if shard_map is None:
+        return report
+    for spec in shard_map:
+        if spec.suffix.is_empty() or len(instances[spec.name]) == 0:
+            continue
+        owner = shard_map.route(spec.suffix)
+        local = shard_map.localize(spec.suffix, owner)
+        if instances[owner.name].find(local) is None:
+            report.add(
+                _orphan_violation(
+                    spec.name, len(instances[spec.name]),
+                    str(spec.suffix), owner.name,
+                )
+            )
+    return report
+
+
+def _orphan_violation(
+    shard_name: str, entry_count: int, suffix: str, owner_name: str
+) -> Violation:
+    return Violation(
+        Kind.ORPHANED_SHARD,
+        f"shard {shard_name!r} ({entry_count} entries) is orphaned: "
+        f"its attachment entry {suffix!r} is missing from shard "
+        f"{owner_name!r}",
+        dn=suffix,
+    )
+
+
 def _composite_report(
     scope: ShardScope,
+    shard_map: Optional[ShardMap],
     instances: Dict[str, DirectoryInstance],
     stitched,
 ) -> LegalityReport:
@@ -126,11 +196,15 @@ def _composite_report(
     instance — only invoked when a cut-spanning edge actually needs
     it; a flat map's composite elements are just the required-class
     existence tests, answered from the per-shard class counts.
+    ``shard_map`` is ``None`` when ``instances`` is not keyed by shard
+    name (the pre-partition union at :meth:`ShardedStore.create` time,
+    where an orphaned shard cannot exist).
     """
+    report = _orphan_report(shard_map, instances)
     if scope.composite_edges:
         checker = QueryStructureChecker(composite_structure_schema(scope))
-        return checker.check(stitched())
-    report = LegalityReport()
+        report.extend(checker.check(stitched()).violations)
+        return report
     for name in sorted(scope.required_classes):
         if sum(inst.class_count(name) for inst in instances.values()) == 0:
             report.add(
@@ -150,13 +224,27 @@ def _stitch(
 ) -> DirectoryInstance:
     """Build the composite instance: graft each shard's subtree back at
     its base, enclosing shards (shallow bases) first so every nested
-    cut finds its parent entry already present."""
+    cut finds its parent entry already present.
+
+    A nested shard whose attachment entry is *missing* (an orphaned
+    shard — see :func:`_orphan_report`) is grafted as detached roots
+    instead of raising, so search/check surfaces over a damaged store
+    report the violation rather than exploding on every call."""
     composite = DirectoryInstance(attributes=attributes)
     ordered = sorted(
         shard_map.specs, key=lambda s: (s.base.depth(), s.name)
     )
     for spec in ordered:
         parent = None if spec.suffix.is_empty() else str(spec.suffix)
+        if parent is not None and composite.find(parent) is None:
+            try:
+                composite.insert_subtree(None, instances[spec.name])
+            except ModelError:  # pragma: no cover - colliding wreckage
+                # Detached roots can collide with existing entries in
+                # an already-broken state; keep what stitched — the
+                # orphan violation is reported either way.
+                pass
+            continue
         composite.insert_subtree(parent, instances[spec.name])
     return composite
 
@@ -286,6 +374,7 @@ class ShardedStore:
         # per-shard guards only ever see the shard-local slice.
         composite = _composite_report(
             scope,
+            None,
             {"__union__": base_instance},
             lambda: base_instance,
         )
@@ -459,6 +548,22 @@ class ShardedStore:
                 "(one subtree per Theorem 4.1 step already routes whole)"
             )
         spec = self.shard_map.spec(next(iter(owners)))
+        # A delete is a *subtree* scope: deleting an entry that another
+        # shard's base hangs under would prune that shard's attachment
+        # point across the cut — the enclosing shard's guard sees a
+        # leaf and cannot know.  That is a spanning transaction in
+        # disguise; refuse it like any other mis-routing.
+        for op in transaction:
+            if not isinstance(op, DeleteEntry):
+                continue
+            for other in self.shard_map:
+                if other.name != spec.name and op.dn.is_ancestor_of(other.base):
+                    raise ShardRoutingError(
+                        f"deleting {str(op.dn)!r} would orphan shard "
+                        f"{other.name!r} (its base {other.base} hangs "
+                        "under the deleted entry); the delete spans the "
+                        "routing cut"
+                    )
         store = self._shards[spec.name]
         local_tx = _localized_transaction(self.shard_map, transaction, spec)
         inverse = _inverse_transaction(local_tx, store.instance)
@@ -473,11 +578,24 @@ class ShardedStore:
             return outcome
         self._composite_cache = None
 
-        composite = _composite_report(
-            self.scope,
-            {name: s.instance for name, s in self._shards.items()},
-            self.composite_instance,
-        )
+        try:
+            composite = _composite_report(
+                self.scope,
+                self.shard_map,
+                {name: s.instance for name, s in self._shards.items()},
+                self.composite_instance,
+            )
+        except BaseException:
+            # The composite check must never leave the committed shard
+            # state behind: compensate first, then propagate.  (With
+            # tolerant stitching this path should be unreachable; it is
+            # the backstop that turns a checker bug into a rejected
+            # transaction instead of a durable mis-commit.)
+            try:
+                store.apply(inverse)
+            finally:
+                self._composite_cache = None
+            raise
         if composite.is_legal:
             return outcome
         # Compensate: the shard state reverts to the (legal) pre-state,
@@ -514,6 +632,7 @@ class ShardedStore:
         merged.extend(
             _composite_report(
                 self.scope,
+                self.shard_map,
                 {name: s.instance for name, s in self._shards.items()},
                 self.composite_instance,
             ).violations
@@ -581,17 +700,25 @@ def _check_one_shard(
     registry: Optional[AttributeRegistry],
     structure: str,
     required: Tuple[str, ...],
+    probes: Tuple[Tuple[str, str], ...],
 ):
     """Worker body: check one shard through a lock-free reader.
 
-    Returns ``(report, {required class: count}, entries)`` — the counts
-    let the parent answer required-class existence without stitching.
+    Returns ``(report, {required class: count}, entries, attachments)``
+    — the counts let the parent answer required-class existence without
+    stitching, and ``attachments`` maps each probed nested-shard name
+    to whether its attachment entry (a shard-local DN of *this* shard)
+    exists, so the parent can flag orphaned shards without stitching.
     """
     reader = StoreReader.open(path, local_schema, registry, structure=structure)
     try:
         report = reader.check()
         counts = {name: reader.instance.class_count(name) for name in required}
-        return report, counts, len(reader.instance)
+        attachments = {
+            nested: reader.instance.find(dn) is not None
+            for nested, dn in probes
+        }
+        return report, counts, len(reader.instance), attachments
     finally:
         reader.close()
 
@@ -628,6 +755,20 @@ def check_shards_parallel(
     merged = LegalityReport()
     counts_total = {name: 0 for name in required}
     entries = 0
+    # Each nested shard's attachment entry lives in its enclosing
+    # shard; that shard's worker probes for it, so orphaned shards are
+    # flagged without stitching (and even when no composite edge
+    # forces a stitched pass).
+    probes: Dict[str, List[Tuple[str, str]]] = {name: [] for name in names}
+    for spec in shard_map:
+        if spec.suffix.is_empty():
+            continue
+        owner = shard_map.route(spec.suffix)
+        probes[owner.name].append(
+            (spec.name, str(shard_map.localize(spec.suffix, owner)))
+        )
+    shard_entries: Dict[str, int] = {}
+    attachment_present: Dict[str, bool] = {}
     ctx = multiprocessing.get_context(
         "fork" if hasattr(os, "fork") else None
     )
@@ -642,19 +783,34 @@ def check_shards_parallel(
                 registry,
                 structure,
                 required,
+                tuple(probes[name]),
             )
             for name in names
         }
         for name in names:
-            report, counts, count = futures[name].result()
+            report, counts, count, attachments = futures[name].result()
             merged.extend(_globalized(report, shard_map.spec(name)).violations)
             for cls, n in counts.items():
                 counts_total[cls] += n
             entries += count
+            shard_entries[name] = count
+            attachment_present.update(attachments)
+    for spec in shard_map:
+        if spec.suffix.is_empty() or shard_entries[spec.name] == 0:
+            continue
+        if not attachment_present[spec.name]:
+            merged.add(
+                _orphan_violation(
+                    spec.name, shard_entries[spec.name],
+                    str(spec.suffix), shard_map.route(spec.suffix).name,
+                )
+            )
     if scope.composite_edges:
         # Nested cut: the stitched view is unavoidable for edges that
         # can span it (and the composite checker covers the required
-        # classes too).
+        # classes too).  Orphans were already flagged from the worker
+        # probes above; the tolerant stitch keeps this pass from
+        # raising on a damaged store.
         with CompositeReader.open(directory, schema, registry) as reader:
             checker = QueryStructureChecker(composite_structure_schema(scope))
             merged.extend(checker.check(reader.instance).violations)
@@ -806,6 +962,7 @@ class CompositeReader:
         merged.extend(
             _composite_report(
                 self.scope,
+                self.shard_map,
                 {name: r.instance for name, r in self._readers.items()},
                 lambda: self.instance,
             ).violations

@@ -1,9 +1,11 @@
 """DN resolution case consistency.
 
-Attribute *values* are case-normalized on insertion
-(``repro.model.types``), so the DN index must fold case the same way:
+LDAP compares attribute names and (directory-string) RDN values
+case-insensitively, so the DN index folds case on both halves:
 ``find("CN=Alice,...")`` and ``find("cn=alice,...")`` name one entry.
-Display strings keep the spelling the entry was created with.
+Display strings keep the spelling the entry was created with, and
+stored attribute *values* keep their case too (``repro.model.types``
+normalizes their representation, not their case).
 """
 
 from __future__ import annotations

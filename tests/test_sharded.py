@@ -23,6 +23,7 @@ from repro.errors import (
     StoreError,
     UpdateError,
 )
+from repro.legality.report import Kind
 from repro.store import DirectoryStore
 from repro.store.sharded import CompositeReader, ShardedStore, check_shards_parallel
 from repro.store.shardmap import read_shard_map, shard_map_path
@@ -288,6 +289,99 @@ class TestCompositeEnforcement:
             assert store.shard("a").journal_length == 0
 
 
+class TestCutIntegrity:
+    """The attachment entry — a nested shard's suffix entry inside its
+    enclosing shard — is part of the routing cut.  The routed write
+    path refuses to delete it (a spanning transaction in disguise: the
+    union store would prune the nested shard's whole subtree with it),
+    and when per-shard writers orphan a shard anyway, every read
+    surface *reports* the wreckage instead of raising on it."""
+
+    def test_attachment_entry_delete_raises(self, tmp_path, schema, registry):
+        with make_store(tmp_path, schema, registry) as store:
+            tx = UpdateTransaction()
+            tx.delete("o=att")
+            tx.delete("uid=armstrong,o=att")
+            with pytest.raises(ShardRoutingError, match="would orphan shard"):
+                store.apply(tx)
+            # Nothing committed anywhere; the store is untouched.
+            assert store.shard("att").journal_length == 0
+            assert store.shard("labs").journal_length == 0
+            assert store.check().is_legal
+
+    def test_orphaned_shard_is_reported_not_raised(
+        self, tmp_path, schema, registry
+    ):
+        """A per-shard writer (which bypasses routing by design) deletes
+        the attachment entry: reopening must surface an
+        ``orphaned-shard`` violation on every check surface, and the
+        stitched view must keep answering searches."""
+        make_store(tmp_path, schema, registry).close()
+        path = str(tmp_path / "sharded")
+        att = ShardedStore.open_shard(path, "att", schema, registry)
+        try:
+            tx = UpdateTransaction()
+            tx.delete("o=att")
+            tx.delete("uid=armstrong,o=att")
+            assert att.apply(tx).applied
+        finally:
+            att.close()
+        with ShardedStore.open(path, schema, registry) as store:
+            report = store.check()
+            orphans = report.of_kind(Kind.ORPHANED_SHARD)
+            assert len(orphans) == 1
+            assert "labs" in orphans[0].message
+            assert orphans[0].dn == "o=att"
+            # The orphaned shard is grafted as a detached root: its
+            # entries stay reachable, nothing raises.
+            composite = store.composite_instance()
+            persons = store.search(filter="(objectClass=person)")
+            assert {composite.dn_string_of(e) for e in persons} == {
+                "uid=laks,ou=databases,ou=attLabs",
+                "uid=suciu,ou=databases,ou=attLabs",
+            }
+        with CompositeReader.open(path, schema, registry) as reader:
+            assert not reader.is_legal()
+            assert reader.check().of_kind(Kind.ORPHANED_SHARD)
+            assert reader.search(filter="(objectClass=person)")
+        # The fsck path (worker probes, no stitching needed for the
+        # orphan itself) agrees.
+        merged, entries = check_shards_parallel(path, schema, registry, jobs=2)
+        assert merged.of_kind(Kind.ORPHANED_SHARD)
+        assert entries == 4
+
+    def test_checker_crash_is_compensated(
+        self, tmp_path, schema, registry, monkeypatch
+    ):
+        """The composite check raising (a checker bug, not a verdict)
+        must not strand the already-committed shard state: apply
+        compensates first, then propagates the exception."""
+        import repro.store.sharded as sharded_module
+
+        with make_store(tmp_path, schema, registry) as store:
+            before = canonical_records(store.composite_instance())
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("checker bug")
+
+            monkeypatch.setattr(sharded_module, "_composite_report", boom)
+            tx = UpdateTransaction().insert(
+                "uid=late,o=att", ["person", "top"],
+                {"uid": ["late"], "name": ["l ate"]},
+            )
+            with pytest.raises(RuntimeError, match="checker bug"):
+                store.apply(tx)
+            monkeypatch.undo()
+            # Commit + exact inverse are both on the WAL; the composite
+            # state is the pre-state again, durably.
+            assert store.shard("att").journal_length == 2
+            assert canonical_records(store.composite_instance()) == before
+            assert store.check().is_legal
+        path = str(tmp_path / "sharded")
+        with ShardedStore.open(path, schema, registry) as reopened:
+            assert canonical_records(reopened.composite_instance()) == before
+
+
 # ----------------------------------------------------------------------
 # the composite read surface
 # ----------------------------------------------------------------------
@@ -422,19 +516,71 @@ def _routable(shard_map, tx):
     return len(owners) == 1
 
 
+def _mixed_tx(rng, instance, shard_map, counter):
+    """One mixed insert+delete transaction routed whole: delete one
+    unit subtree and insert a fresh unit elsewhere in the *same* shard.
+    The insertion point must survive the delete (``decompose`` refuses
+    insertions under deleted entries), so candidates inside the deleted
+    subtree are skipped."""
+    from repro.model.dn import parse_dn
+
+    units = [
+        dn for dn in deletable_units(instance)
+        if _routable(shard_map, _unit_delete_tx(instance, dn))
+    ]
+    rng.shuffle(units)
+    for unit_dn in units:
+        deleted = {
+            str(op.dn.normalized()) for op in _unit_delete_tx(instance, unit_dn)
+        }
+        points = [
+            p for p in insertion_points(instance)
+            if str(parse_dn(p).normalized()) not in deleted
+        ]
+        rng.shuffle(points)
+        for parent in points:
+            counter[0] += 1
+            tag = f"d{counter[0]}"
+            tx = _unit_delete_tx(instance, unit_dn)
+            tx.insert(
+                f"ou={tag},{parent}", ["orgUnit", "orgGroup", "top"],
+                {"ou": [tag]},
+            )
+            tx.insert(
+                f"uid=p{tag},ou={tag},{parent}",
+                ["person", "top"],
+                {"uid": [f"p{tag}"], "name": [f"p {tag}"]},
+            )
+            if _routable(shard_map, tx):
+                return tx
+    return None
+
+
 def _random_step(rng, union, shard_map, counter):
-    """One randomized transaction (insert or whole-unit delete, with an
-    occasional deliberately illegal insert), constrained to route whole
-    — spanning transactions are covered separately (they must raise)."""
+    """One randomized transaction (insert, whole-unit delete, or mixed
+    insert+delete, with an occasional deliberately illegal insert),
+    constrained to route whole — spanning transactions are covered
+    separately (they must raise).
+
+    Mixed transactions are in the stream on purpose: per-shard guards
+    check every decomposed step while composite elements are checked
+    once against the final state, and the ``decompose`` preconditions
+    make those two disciplines provably agree (see the semantics note
+    in ``repro.store.sharded``).  The differential holds the union
+    store's stepwise verdict to that claim."""
     instance = union.instance
     kind = rng.random()
-    if kind < 0.25:
+    if kind < 0.15:
         candidates = [
             dn for dn in deletable_units(instance)
             if _routable(shard_map, _unit_delete_tx(instance, dn))
         ]
         if candidates:
             return _unit_delete_tx(instance, rng.choice(candidates))
+    elif kind < 0.45:
+        mixed = _mixed_tx(rng, instance, shard_map, counter)
+        if mixed is not None:
+            return mixed
     counter[0] += 1
     tag = f"d{counter[0]}"
     parent = rng.choice(insertion_points(instance))
@@ -442,7 +588,7 @@ def _random_step(rng, union, shard_map, counter):
     tx.insert(
         f"ou={tag},{parent}", ["orgUnit", "orgGroup", "top"], {"ou": [tag]}
     )
-    if kind < 0.45:
+    if kind < 0.6:
         return tx  # an empty orgUnit: illegal, both sides must reject
     tx.insert(
         f"uid=p{tag},ou={tag},{parent}",
@@ -482,10 +628,15 @@ def _search_view(instance):
 )
 @pytest.mark.parametrize("seed", [11, 42])
 def test_differential_against_union_store(tmp_path, seed, bases, orgs):
-    """For a randomized workload, the sharded store + composite reader
-    and a single union store produce identical entries, identical
-    search results, and identical legality verdicts — including the
-    cross-shard Figure 4 checks under the nested cut."""
+    """For a randomized workload — insert-only, delete-only, *and*
+    mixed insert+delete transactions — the sharded store + composite
+    reader and a single union store produce identical entries,
+    identical search results, and identical legality verdicts,
+    including the cross-shard Figure 4 checks under the nested cut.
+    Mixed transactions pin the semantics note in
+    ``repro.store.sharded``: stepwise per-shard checking plus a
+    final-state composite check equals the union store's stepwise
+    verdict for everything ``decompose`` accepts."""
     schema = whitepages_schema()
     registry = whitepages_registry()
     initial = generate_whitepages(
@@ -500,10 +651,12 @@ def test_differential_against_union_store(tmp_path, seed, bases, orgs):
     reader = CompositeReader.open(str(tmp_path / "sharded"), schema, registry)
     rng = random.Random(seed)
     counter = [0]
-    accepted = rejected = 0
+    accepted = rejected = mixed = 0
     try:
         for step in range(14):
             tx = _random_step(rng, union, sharded.shard_map, counter)
+            if tx.insertions() and tx.deletions():
+                mixed += 1
             union_outcome = union.apply(tx)
             sharded_outcome = sharded.apply(tx)
             assert union_outcome.applied == sharded_outcome.applied, (
@@ -556,9 +709,55 @@ def test_differential_against_union_store(tmp_path, seed, bases, orgs):
             assert {v.element for v in union_report} == {
                 v.element for v in composite_report
             }
-        # The stream must have exercised both verdicts to mean anything.
+        # The stream must have exercised both verdicts — and at least
+        # one mixed transaction, or the stepwise/final-state agreement
+        # claim went untested.
         assert accepted >= 3 and rejected >= 1, (accepted, rejected)
+        assert mixed >= 1, "no mixed transaction generated"
     finally:
         reader.close()
+        sharded.close()
+        union.close()
+
+
+def test_insert_under_deleted_entry_refused_identically(tmp_path):
+    """Pin the ``decompose`` precondition that makes stepwise and
+    final-state checking agree (semantics note in
+    ``repro.store.sharded``): a transaction inserting under an entry it
+    also deletes — the one shape whose intermediate state could break a
+    composite element that the final state repairs — is refused as
+    malformed by *both* stores before any verdict, with nothing
+    committed."""
+    schema = whitepages_schema()
+    registry = whitepages_registry()
+    union = DirectoryStore.create(
+        str(tmp_path / "union"), schema, figure1_instance(), registry
+    )
+    sharded = ShardedStore.create(
+        str(tmp_path / "sharded"), schema, NESTED_BASES,
+        figure1_instance(), registry,
+    )
+    # A person child under armstrong would break forbid-child(person)
+    # only while armstrong exists; deleting armstrong in the same
+    # transaction would make the final state legal — exactly the
+    # intermediate-only violation decompose's preconditions rule out.
+    tx = UpdateTransaction()
+    tx.insert(
+        "uid=ghost,uid=armstrong,o=att", ["person", "top"],
+        {"uid": ["ghost"], "name": ["g host"]},
+    )
+    tx.delete("uid=armstrong,o=att")
+    try:
+        with pytest.raises(UpdateError, match="same transaction deletes"):
+            union.apply(tx)
+        with pytest.raises(UpdateError, match="same transaction deletes"):
+            sharded.apply(tx)
+        assert union.journal_length == 0
+        assert sharded.shard("att").journal_length == 0
+        assert union.instance.find("uid=armstrong,o=att") is not None
+        assert (
+            sharded.composite_instance().find("uid=armstrong,o=att") is not None
+        )
+    finally:
         sharded.close()
         union.close()

@@ -275,6 +275,65 @@ class TestUpdatesAndRecovery:
             assert recovered.check().is_legal
 
 
+class TestCaseCollisionMigration:
+    """Stores written before DN resolution became case-insensitive can
+    hold two DNs that differ only in case.  Those must fail to load
+    with an explicit migration error naming both spellings — not an
+    uncaught duplicate-entry exception."""
+
+    COLLIDER = (
+        "\ndn: uid=ARMSTRONG,o=att\n"
+        "objectClass: person\n"
+        "objectClass: top\n"
+        "uid: armstrong\n"
+        "name: duplicate spelling\n"
+    )
+
+    def test_snapshot_collision_is_a_migration_error(self, tmp_path, wp_schema):
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        with open(
+            os.path.join(path, "snapshot.ldif"), "a", encoding="utf-8"
+        ) as fh:
+            fh.write(self.COLLIDER)
+        with pytest.raises(StoreError) as excinfo:
+            DirectoryStore.open(path, wp_schema, registry=whitepages_registry())
+        message = str(excinfo.value)
+        assert "case-insensitive" in message
+        assert "migrate" in message
+        # Both spellings are named, so the operator knows what to rename.
+        assert "uid=ARMSTRONG,o=att" in message
+        assert "uid=armstrong,o=att" in message
+
+    def test_journal_collision_degrades_with_migration_note(
+        self, tmp_path, wp_schema
+    ):
+        """A replayed journal frame colliding case-insensitively hits
+        the blind-replay failure path: the store opens read-only up to
+        the committed prefix, and the notes spell out the migration."""
+        path = str(tmp_path / "store")
+        DirectoryStore.create(path, wp_schema, figure1_instance()).close()
+        payload = (
+            "dn: uid=ARMSTRONG,o=att\n"
+            "changetype: add\n"
+            "objectClass: person\n"
+            "objectClass: top\n"
+            "uid: armstrong\n"
+            "name: duplicate spelling\n"
+        )
+        with open(os.path.join(path, "journal.ldif"), "ab") as fh:
+            fh.write(encode_record(1, 1, payload))
+        with DirectoryStore.open(
+            path, wp_schema, registry=whitepages_registry()
+        ) as reopened:
+            assert reopened.read_only
+            notes = " ".join(reopened.recovery_report.notes)
+            assert "differ only in case" in notes
+            assert "migrate" in notes
+            # The committed prefix is intact.
+            assert reopened.instance.find("uid=armstrong,o=att") is not None
+
+
 class TestCommitStats:
     def test_apply_attaches_per_transaction_stats(self, store):
         outcome = store.apply(unit_tx(1))

@@ -19,7 +19,7 @@ import pytest
 
 from repro.errors import StoreLockedError
 from repro.store import DirectoryStore
-from repro.store.journal import _pid_alive
+from repro.store.journal import _LOCK_GUARD_SUFFIX, _pid_alive
 from repro.store.recovery import LOCK_FILE
 from repro.workloads import figure1_instance, whitepages_registry, whitepages_schema
 
@@ -140,6 +140,25 @@ class TestStaleLockReclaim:
             keeper.kill()
             keeper.wait()
 
+    def test_guard_file_survives_reclaim(self, tmp_path):
+        """The reclaim guard (``lock.guard``) is never unlinked — that
+        is the property that makes serializing unlinks through it
+        sound."""
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        guard_path = os.path.join(store_dir, LOCK_FILE) + _LOCK_GUARD_SUFFIX
+        assert os.path.exists(guard_path)
+        keeper = self._hold_lock_as_dead_pid(store_dir, _dead_pid())
+        try:
+            reopened = DirectoryStore.open(
+                store_dir, whitepages_schema(), whitepages_registry()
+            )
+            reopened.close()
+            assert os.path.exists(guard_path)
+        finally:
+            keeper.kill()
+            keeper.wait()
+
     def test_live_holder_in_lock_file_is_respected(self, tmp_path):
         """A lock whose recorded pid is alive must NOT be reclaimed
         even though the recording process isn't this one."""
@@ -156,3 +175,102 @@ class TestStaleLockReclaim:
             assert excinfo.value.holder_pid == 1
         finally:
             store.close()
+
+
+class TestReclaimRace:
+    """The unlink side of reclaim must be inode-exact.  Two contenders
+    that both probed the same dead holder race unlink against
+    re-create; before the guard, the slower one deleted the lock file
+    the faster one had just created and acquired — leaving both holding
+    exclusive flocks on *different* inodes (two live writers).  These
+    tests drive ``_reclaim_stale_lock`` directly through each
+    interleaving the guard must defuse."""
+
+    def _stale_lock(self, store_dir, pid):
+        path = os.path.join(store_dir, LOCK_FILE)
+        with open(path, "w") as fh:
+            fh.write(str(pid))
+        return path
+
+    def test_reclaim_refuses_inode_it_did_not_probe(self, tmp_path):
+        """Contender A retired the probed inode and acquired a fresh
+        lock file before B's reclaim ran: B must leave A's lock
+        alone."""
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        path = self._stale_lock(store_dir, _dead_pid())
+        probed = open(path, "a+")
+        try:
+            os.unlink(path)  # A's reclaim retires the probed inode...
+            winner = DirectoryStore.open(  # ...and A acquires afresh.
+                store_dir, whitepages_schema(), whitepages_registry()
+            )
+            try:
+                DirectoryStore._reclaim_stale_lock(path, probed)
+                # B's late reclaim must not have touched A's lock.
+                assert os.path.exists(path)
+                assert (
+                    os.stat(path).st_ino != os.fstat(probed.fileno()).st_ino
+                )
+                with open(path) as fh:
+                    assert int(fh.read().strip()) == os.getpid()
+            finally:
+                winner.close()
+        finally:
+            probed.close()
+
+    def test_reclaim_respects_new_owner_on_probed_inode(self, tmp_path):
+        """A new owner flocked the very inode B probed and recorded its
+        (live) pid before B's reclaim ran: the re-probe under the guard
+        backs off instead of unlinking a held lock."""
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        path = self._stale_lock(store_dir, _dead_pid())
+        probed = open(path, "a+")
+        try:
+            owner = DirectoryStore.open(  # same inode: no unlink ran
+                store_dir, whitepages_schema(), whitepages_registry()
+            )
+            try:
+                assert (
+                    os.stat(path).st_ino == os.fstat(probed.fileno()).st_ino
+                )
+                DirectoryStore._reclaim_stale_lock(path, probed)
+                assert os.path.exists(path)
+                with open(path) as fh:
+                    assert int(fh.read().strip()) == os.getpid()
+            finally:
+                owner.close()
+        finally:
+            probed.close()
+
+    def test_reclaim_retires_unchanged_dead_inode(self, tmp_path):
+        """The positive path: same inode, recorded holder still dead —
+        the unlink goes through (and the guard file stays behind)."""
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        path = self._stale_lock(store_dir, _dead_pid())
+        probed = open(path, "a+")
+        try:
+            DirectoryStore._reclaim_stale_lock(path, probed)
+            assert not os.path.exists(path)
+            assert os.path.exists(path + _LOCK_GUARD_SUFFIX)
+        finally:
+            probed.close()
+
+    def test_reclaim_leaves_empty_pid_file_alone(self, tmp_path):
+        """An empty pid file could be an owner that crashed *before*
+        recording — or one mid-recording right now.  Reclaim must not
+        gamble: only a positively dead recorded pid licenses the
+        unlink."""
+        store_dir, store = _make_store(tmp_path)
+        store.close()
+        path = os.path.join(store_dir, LOCK_FILE)
+        with open(path, "w"):
+            pass  # truncate: no recorded holder
+        probed = open(path, "a+")
+        try:
+            DirectoryStore._reclaim_stale_lock(path, probed)
+            assert os.path.exists(path)
+        finally:
+            probed.close()

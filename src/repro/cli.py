@@ -22,6 +22,16 @@ Usage::
     bounding-schemas fsck        STORE_DIR [--schema S.dsl] [--read-only]
                                  [--shards]
     bounding-schemas recover     STORE_DIR [--schema S.dsl] [--force]
+                                 [--shards] [--wait-lock SEC]
+
+``fsck --shards`` distinguishes its exit codes: 0 the composite view is
+healthy, 1 it is degraded (journal damage, orphaned shards, composite
+violations), 3 a 2PC participant is in doubt (a prepared transaction
+awaits the coordinator log's decision — run ``recover --shards``).
+Commands that open a store for writing (``create``, ``recover``) accept
+``--wait-lock SECONDS``: instead of failing immediately on another
+process's advisory lock, retry with bounded exponential backoff and
+jitter until the lock frees or the budget runs out.
 
 ``validate``/``apply`` exit 0 when the (resulting) instance is legal and
 1 otherwise; ``consistency`` exits 0 when the schema is consistent —
@@ -246,6 +256,49 @@ def _check_sharded_store(args: argparse.Namespace, schema, jobs: int) -> int:
     return status
 
 
+def _retry_locked(fn, wait_lock: float, command: str):
+    """Run ``fn``, retrying on :class:`StoreLockedError` with bounded
+    exponential backoff plus jitter for up to ``wait_lock`` seconds.
+
+    The holder's pid (when the lock file records one) is reported on
+    every retry, so an operator can see *who* to wait for.  With
+    ``wait_lock`` 0 (the default) the first failure propagates —
+    exactly the old fail-fast behavior."""
+    import random
+    import time
+
+    from repro.errors import StoreLockedError
+
+    deadline = time.monotonic() + max(0.0, wait_lock)
+    delay = 0.05
+    while True:
+        try:
+            return fn()
+        except StoreLockedError as exc:
+            remaining = deadline - time.monotonic()
+            holder = (
+                f" (held by pid {exc.holder_pid})"
+                if exc.holder_pid is not None
+                else ""
+            )
+            if remaining <= 0:
+                if wait_lock > 0:
+                    print(
+                        f"{command}: gave up waiting after {wait_lock:g}s"
+                        f"{holder}",
+                        file=sys.stderr,
+                    )
+                raise
+            sleep_for = min(delay, remaining) * (0.5 + random.random())
+            print(
+                f"{command}: store is locked{holder}; retrying in "
+                f"{sleep_for:.2f}s",
+                file=sys.stderr,
+            )
+            time.sleep(sleep_for)
+            delay = min(delay * 2, 2.0)
+
+
 def _parse_shard_args(pairs: List[str]) -> dict:
     """``NAME=BASE_DN`` pairs from repeated ``--shard`` flags."""
     bases = {}
@@ -271,11 +324,16 @@ def _cmd_create(args: argparse.Namespace) -> int:
     instance = (
         load_ldif(args.data) if args.data else DirectoryInstance()
     )
+    wait_lock = getattr(args, "wait_lock", 0.0)
     try:
         if args.shard:
             bases = _parse_shard_args(args.shard)
-            with ShardedStore.create(
-                args.directory, schema, bases, instance
+            with _retry_locked(
+                lambda: ShardedStore.create(
+                    args.directory, schema, bases, instance
+                ),
+                wait_lock,
+                "create",
             ) as store:
                 print(
                     f"created sharded store {args.directory} "
@@ -287,7 +345,11 @@ def _cmd_create(args: argparse.Namespace) -> int:
                         f"({len(store.shard(spec.name).instance)} entries)"
                     )
         else:
-            DirectoryStore.create(args.directory, schema, instance).close()
+            _retry_locked(
+                lambda: DirectoryStore.create(args.directory, schema, instance),
+                wait_lock,
+                "create",
+            ).close()
             print(f"created store {args.directory} ({len(instance)} entries)")
         return 0
     except (StoreError, UpdateError, ValueError, OSError) as exc:
@@ -298,10 +360,16 @@ def _cmd_create(args: argparse.Namespace) -> int:
 def _fsck_shards(directory: str, schema) -> int:
     """``fsck --shards``: inspect a sharded store — print the shard
     map, each shard's committed position and lag through lock-free
-    readers, and the composite legality verdict.  Touches nothing."""
+    readers, any in-doubt 2PC participants, and the composite legality
+    verdict.  Touches nothing.
+
+    Exit codes: 0 healthy, 1 degraded (damage, orphans, composite
+    violations), 3 in-doubt 2PC state awaiting resolution."""
     from repro.errors import ShardMapError, StoreError
+    from repro.store.recovery import recover
     from repro.store.shardmap import read_shard_map
-    from repro.store.sharded import CompositeReader
+    from repro.store.sharded import CompositeReader, shard_dir
+    from repro.store.txlog import inspect_txlog
 
     if schema is None:
         print("fsck: --shards requires --schema", file=sys.stderr)
@@ -316,6 +384,26 @@ def _fsck_shards(directory: str, schema) -> int:
           + (" [nested cut]" if shard_map.has_cut() else ""))
     for spec in shard_map:
         print(f"  {spec.name}: base {spec.base}")
+    # In-doubt 2PC state: a prepared-but-undecided participant (found
+    # by a per-shard recovery dry run) or an unfinished coordinator
+    # record.  A corrupt coordinator log means the decisions themselves
+    # cannot be trusted — that is in-doubt too.
+    try:
+        txlog = inspect_txlog(directory)
+    except StoreError as exc:
+        print(f"coordinator log: {exc}")
+        print("IN-DOUBT 2PC STATE (coordinator log is corrupt)")
+        return 3
+    in_doubt = []
+    for spec in shard_map:
+        try:
+            _, shard_report = recover(
+                shard_dir(directory, spec.name), repair=False
+            )
+        except (StoreError, OSError):
+            continue  # the reader/legality pass below reports damage
+        if shard_report.in_doubt_txid is not None:
+            in_doubt.append((spec.name, shard_report.in_doubt_txid))
     try:
         reader = CompositeReader.open(directory, schema)
     except (StoreError, OSError) as exc:
@@ -336,6 +424,23 @@ def _fsck_shards(directory: str, schema) -> int:
         print(f"scope: {reader.scope.summary()}")
         report = reader.check()
         print("legality: " + ("legal" if report.is_legal else "ILLEGAL"))
+        if in_doubt or (txlog is not None and txlog.unfinished()):
+            for name, txid in in_doubt:
+                verdict = "abort" if txlog is None else txlog.verdict(txid)
+                print(
+                    f"  IN DOUBT: shard {name} holds prepared transaction "
+                    f"{txid} (coordinator verdict: {verdict})"
+                )
+            resolved_txids = {txid for _, txid in in_doubt}
+            if txlog is not None:
+                for txid, entry in sorted(txlog.unfinished().items()):
+                    if txid not in resolved_txids:
+                        print(
+                            f"  unfinished coordinator record: {txid} "
+                            f"(state: {entry.state})"
+                        )
+            print("IN-DOUBT 2PC STATE (run `recover --shards` to resolve)")
+            return 3
         if report.is_legal:
             print("COMPOSITE VIEW CONSISTENT")
             return 0
@@ -435,6 +540,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.store.recovery import recover
 
     schema = load_dsl(args.schema) if args.schema else None
+    if getattr(args, "shards", False):
+        return _recover_shards(args, schema)
     try:
         _, report = recover(
             args.directory, schema, repair=True, force=args.force
@@ -449,6 +556,56 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         print("STILL DAMAGED (re-run with --force to quarantine corruption)")
         return 1
     return 0
+
+
+def _recover_shards(args: argparse.Namespace, schema) -> int:
+    """``recover --shards``: recover every shard and resolve in-doubt
+    2PC participants from the coordinator log (presumed abort) by
+    opening — and immediately closing — the sharded store, whose open
+    path IS the recovery protocol.  ``--wait-lock`` retries when a live
+    writer still holds a shard's lock."""
+    from repro.errors import ShardMapError, StoreError
+    from repro.store.sharded import ShardedStore
+    from repro.store.txlog import inspect_txlog
+
+    if schema is None:
+        print("recover: --shards requires --schema", file=sys.stderr)
+        return 2
+    try:
+        txlog = inspect_txlog(args.directory)
+        pending = sorted(txlog.unfinished()) if txlog is not None else []
+        store = _retry_locked(
+            lambda: ShardedStore.open(args.directory, schema),
+            getattr(args, "wait_lock", 0.0),
+            "recover",
+        )
+    except (ShardMapError, StoreError, OSError) as exc:
+        print(f"recover: {exc}")
+        return 1
+    try:
+        for name in store.shard_names():
+            print(f"  {name}: {store.shard(name).recovery_report.summary()}")
+        if pending:
+            print(
+                f"resolved {len(pending)} in-doubt 2PC transaction(s): "
+                + ", ".join(pending)
+            )
+        else:
+            print("no in-doubt 2PC transactions")
+        degraded = [
+            name for name in store.shard_names() if store.shard(name).read_only
+        ]
+        if degraded:
+            print(
+                "STILL DAMAGED: shard(s) " + ", ".join(degraded)
+                + " recovered read-only (repair them with per-shard "
+                "`recover --force`)"
+            )
+            return 1
+        print("SHARDS RECOVERED")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -708,6 +865,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the subtree at BASE_DN to shard NAME (repeatable; "
         "at least one makes the store sharded; every entry must route)",
     )
+    create.add_argument(
+        "--wait-lock",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="retry for up to SECONDS (exponential backoff with jitter, "
+        "reporting the holder pid) when another process holds the "
+        "store's advisory lock (default 0: fail immediately)",
+    )
     create.set_defaults(func=_cmd_create)
 
     consistency = sub.add_parser("consistency", help="decide schema consistency")
@@ -794,6 +960,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--force",
         action="store_true",
         help="quarantine corrupt (not merely torn) journal tails too",
+    )
+    recover.add_argument(
+        "--shards",
+        action="store_true",
+        help="DIR is a sharded store root: recover every shard and "
+        "resolve in-doubt 2PC participants from the coordinator log "
+        "(presumed abort; requires --schema)",
+    )
+    recover.add_argument(
+        "--wait-lock",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="retry for up to SECONDS (exponential backoff with jitter, "
+        "reporting the holder pid) when a live writer holds a shard's "
+        "advisory lock (default 0: fail immediately)",
     )
     recover.set_defaults(func=_cmd_recover)
 

@@ -82,12 +82,21 @@ class FaultPlan:
     torn_fraction: float = 1.0
     fail_fsync_at: Optional[int] = None
     disk_budget: Optional[int] = None
+    #: Raise :class:`InjectedCrash` when the store announces this named
+    #: protocol step via :meth:`~repro.store.wal.StoreIO.fault_point`
+    #: (e.g. ``"2pc:decision"``).  Named points are also ticked as
+    #: ordinary operations, so ``crash_at_op`` can hit them too.
+    crash_at_point: Optional[str] = None
 
     # observability
     ops_executed: int = 0
     fsyncs_executed: int = 0
     bytes_written: int = 0
     trace: List[str] = field(default_factory=list)
+    #: Every named fault point crossed, in order — run a scenario once
+    #: with a passive plan to enumerate the points, then re-run it once
+    #: per name with ``crash_at_point`` set.
+    points: List[str] = field(default_factory=list)
 
     def _tick(self, kind: str, detail: str = "") -> bool:
         """Advance the counter; return True when this op must crash."""
@@ -145,6 +154,18 @@ class FaultPlan:
             raise InjectedCrash(
                 f"crash at op {self.crash_at_op} before rename -> {dst}"
             )
+
+    def on_fault_point(self, name: str) -> None:
+        """Account for one named protocol step; crash there if planned
+        (by name or by operation index)."""
+        self.points.append(name)
+        crash = self._tick("point", name)
+        if crash:
+            raise InjectedCrash(
+                f"crash at op {self.crash_at_op} at fault point {name!r}"
+            )
+        if self.crash_at_point is not None and name == self.crash_at_point:
+            raise InjectedCrash(f"crash at fault point {name!r}")
 
 
 class FaultyFile:
@@ -249,3 +270,8 @@ class FaultyIO(StoreIO):
         """Rename, charged to the plan as one op."""
         self.plan.on_rename(src, dst)
         super().rename(src, dst)
+
+    def fault_point(self, name: str) -> None:
+        """Cross a named protocol step, charged to the plan as one op;
+        crashes here when the plan names this point."""
+        self.plan.on_fault_point(name)

@@ -35,7 +35,14 @@ by crashing at every I/O boundary):
   illegal recovered instance) the store opens in degraded **read-only
   mode** instead of refusing: reads still serve, mutations raise
   :class:`~repro.errors.StoreReadOnlyError` until an explicit
-  ``recover`` run quarantines the damage.
+  ``recover`` run quarantines the damage;
+* in a **sharded** deployment each store doubles as a two-phase-commit
+  participant: :meth:`prepare` appends a durable ``#PREPARE`` frame
+  that stays invisible to readers and recovery until the matching
+  ``#DECIDE`` frame lands (:meth:`decide`).  A store reopened with an
+  undecided prepare is *in doubt*: ordinary writes refuse until
+  :meth:`resolve_pending` applies the coordinator's presumed-abort
+  verdict (:mod:`repro.store.txlog`).
 """
 
 from __future__ import annotations
@@ -51,7 +58,7 @@ from repro.errors import (
     StoreReadOnlyError,
     UpdateError,
 )
-from repro.ldif.changes import serialize_changes
+from repro.ldif.changes import parse_changes, serialize_changes
 from repro.ldif.writer import serialize_ldif
 from repro.legality.report import LegalityReport
 from repro.model.attributes import AttributeRegistry
@@ -76,9 +83,10 @@ from repro.store.recovery import (
 )
 from repro.store.wal import StoreIO
 from repro.updates.incremental import IncrementalChecker, UpdateOutcome
-from repro.updates.operations import UpdateTransaction
+from repro.updates.operations import InsertEntry, UpdateTransaction
+from repro.updates.transactions import apply_subtree_update, decompose
 
-__all__ = ["DirectoryStore"]
+__all__ = ["DirectoryStore", "inverse_transaction"]
 
 #: Bounded retries for reclaiming a stale advisory lock (a dead holder
 #: pid).  Each retry either acquires a fresh lock file or observes a
@@ -106,6 +114,35 @@ def _pid_alive(pid: int) -> bool:
     except OSError:
         return True
     return True
+
+
+def inverse_transaction(
+    transaction: UpdateTransaction, instance: DirectoryInstance
+) -> UpdateTransaction:
+    """The exact inverse of ``transaction`` against the pre-state
+    ``instance``: built *before* applying, with operations in reverse
+    order so every delete finds a leaf and every re-insert finds its
+    parent.  :meth:`DirectoryStore.prepare` captures it so an aborted
+    prepare can be rolled back in memory without touching disk (the
+    abort ``#DECIDE`` frame already makes the prepare invisible to
+    replay)."""
+    inverse = UpdateTransaction()
+    for op in reversed(transaction.operations):
+        if isinstance(op, InsertEntry):
+            inverse.delete(op.dn)
+        else:
+            entry = instance.find(op.dn)
+            if entry is None:
+                # The forward delete will be rejected by the guard; the
+                # inverse is never replayed in that case.
+                continue
+            attributes = {
+                name: list(entry.values(name))
+                for name in entry.attribute_names()
+                if name != "objectClass"
+            }
+            inverse.insert(op.dn, tuple(entry.classes), attributes)
+    return inverse
 
 
 class DirectoryStore:
@@ -142,6 +179,15 @@ class DirectoryStore:
         self.recovery_report = recovery
         self._closed = False
         self._manifest_version = 0
+        #: 2PC participant state: the prepared-but-undecided transaction
+        #: (at most one — the WAL scan discipline enforces it).
+        self._pending_txid: Optional[str] = None
+        self._pending_payload: Optional[str] = None
+        #: Whether the pending transaction is applied in memory (True on
+        #: the writer path via :meth:`prepare`; False when it was found
+        #: in the journal at open time and withheld from replay).
+        self._pending_applied = False
+        self._pending_inverse: Optional[UpdateTransaction] = None
         #: Verdicts imported from the warm-start sidecar at open time
         #: (0 when the sidecar was absent, stale, or corrupt).
         self.warm_start_verdicts = 0
@@ -261,12 +307,16 @@ class DirectoryStore:
                 instance,
                 guard,
                 generation=report.generation,
-                journal_count=report.replayed,
+                journal_count=report.last_seq,
                 io=io,
                 lock_handle=lock,
                 read_only=report.read_only,
                 recovery=report,
             )
+            if report.in_doubt_txid is not None:
+                store._pending_txid = report.in_doubt_txid
+                store._pending_payload = report.in_doubt_payload
+                store._pending_applied = False
             store._adopt_manifest()
             if report.legacy_format and not report.read_only:
                 store.compact()  # rewrites snapshot+journal in WAL format
@@ -374,6 +424,186 @@ class DirectoryStore:
             self._journal_count += 1
         return outcome
 
+    # ------------------------------------------------------------------
+    # 2PC participant surface (driven by repro.store.sharded)
+    # ------------------------------------------------------------------
+    def apply_tentative(self, transaction: UpdateTransaction) -> UpdateOutcome:
+        """Run a transaction through the incremental checker and apply
+        it *in memory only* — nothing reaches the journal.
+
+        The coordinator's single-shard fast path uses this to stage a
+        routed transaction, runs the composite check on the staged
+        state, and then either durably commits it
+        (:meth:`commit_applied`) or rolls the memory back
+        (:meth:`revert_applied`) with zero durable footprint — a
+        rejected transaction never touches disk, so there is no
+        compensation crash window.
+        """
+        self._ensure_writable()
+        baseline = self._guard.session.stats.copy()
+        outcome = self._guard.apply_transaction(transaction)
+        outcome.stats = self._guard.session.stats.since(baseline)
+        return outcome
+
+    def commit_applied(self, transaction: UpdateTransaction) -> None:
+        """Journal a transaction that :meth:`apply_tentative` already
+        applied in memory.  Same poisoning contract as :meth:`apply`:
+        an append failure leaves memory ahead of disk, so the store
+        fails stop until reopened."""
+        self._ensure_writable()
+        frame = wal.encode_record(
+            self._journal_count + 1,
+            self._generation,
+            serialize_changes(transaction),
+        )
+        try:
+            self._io.append_bytes(self._journal_path(self._dir), frame)
+        except Exception as exc:
+            self._poisoned = f"journal append failed: {exc}"
+            raise StoreError(
+                "journal append failed; the store is poisoned (the "
+                "in-memory state is ahead of disk) — close and reopen "
+                f"to recover the committed prefix: {exc}"
+            ) from exc
+        self._journal_count += 1
+
+    def revert_applied(self, inverse: UpdateTransaction) -> None:
+        """Blindly replay ``inverse`` (built by :func:`inverse_transaction`
+        against the pre-state) to undo an :meth:`apply_tentative` in
+        memory.  No guard, no journal — the forward transaction never
+        reached disk.  A replay failure poisons the store: memory would
+        diverge from the durable state."""
+        try:
+            for step in decompose(inverse, self.instance):
+                apply_subtree_update(self.instance, step)
+        except Exception as exc:
+            self._poisoned = f"tentative rollback failed: {exc}"
+            raise StoreError(
+                "tentative rollback failed; the store is poisoned — "
+                f"close and reopen to recover the committed prefix: {exc}"
+            ) from exc
+
+    def prepare(self, txid: str, transaction: UpdateTransaction) -> UpdateOutcome:
+        """Phase one: guard the transaction, apply it in memory, and
+        append a durable ``#PREPARE`` frame.
+
+        The prepare is invisible to readers, recovery, and replay until
+        the matching ``#DECIDE`` frame lands — so a crash here leaves
+        the shard in doubt, and the coordinator log's presumed-abort
+        rule resolves it at the next open.  When the guard rejects the
+        transaction nothing is written and the rejection outcome is
+        returned; the caller aborts the global transaction.
+        """
+        self._ensure_writable()
+        baseline = self._guard.session.stats.copy()
+        inverse = inverse_transaction(transaction, self.instance)
+        outcome = self._guard.apply_transaction(transaction)
+        outcome.stats = self._guard.session.stats.since(baseline)
+        if not outcome.applied:
+            return outcome
+        payload = serialize_changes(transaction)
+        frame = wal.encode_prepare(
+            txid, self._journal_count + 1, self._generation, payload
+        )
+        try:
+            self._io.append_bytes(self._journal_path(self._dir), frame)
+        except Exception as exc:
+            self._poisoned = f"prepare append failed: {exc}"
+            raise StoreError(
+                f"prepare append failed for {txid}; the store is poisoned "
+                "(the in-memory state is ahead of disk) — close and reopen "
+                f"to recover the committed prefix: {exc}"
+            ) from exc
+        self._journal_count += 1
+        self._pending_txid = txid
+        self._pending_payload = payload
+        self._pending_applied = True
+        self._pending_inverse = inverse
+        return outcome
+
+    def decide(self, txid: str, verdict: str) -> None:
+        """Phase two: append the ``#DECIDE`` frame for the prepared
+        transaction, then reconcile memory with the verdict (an abort
+        rolls back the in-memory apply via the retained inverse)."""
+        self._ensure_writable(allow_pending=True)
+        if verdict not in ("commit", "abort"):
+            raise ValueError(f"invalid 2PC verdict {verdict!r}")
+        if self._pending_txid != txid:
+            pending = (
+                f" (pending: {self._pending_txid})"
+                if self._pending_txid is not None
+                else ""
+            )
+            raise StoreError(
+                f"shard has no prepared transaction {txid!r} to decide"
+                + pending
+            )
+        self._settle_pending(verdict)
+
+    def resolve_pending(self, verdict: str) -> str:
+        """Resolve an in-doubt prepare found at open time with the
+        coordinator's verdict; returns the resolved txid.
+
+        Unlike :meth:`decide`, the prepared transaction is *not* in
+        memory (recovery withheld it), so a commit verdict blindly
+        replays the preserved payload and an abort needs no memory
+        work at all — the decide frame alone retires the prepare.
+        """
+        self._ensure_writable(allow_pending=True)
+        if verdict not in ("commit", "abort"):
+            raise ValueError(f"invalid 2PC verdict {verdict!r}")
+        if self._pending_txid is None:
+            raise StoreError("store holds no in-doubt prepared transaction")
+        txid = self._pending_txid
+        self._settle_pending(verdict)
+        return txid
+
+    def _settle_pending(self, verdict: str) -> None:
+        """Append the decide frame, clear the pending state, and bring
+        memory in line with the verdict.  Disk first, memory second: a
+        failure after the append poisons the store, and reopening
+        replays the now-decided journal correctly."""
+        txid = self._pending_txid
+        frame = wal.encode_decide(
+            txid, verdict, self._journal_count + 1, self._generation
+        )
+        try:
+            self._io.append_bytes(self._journal_path(self._dir), frame)
+        except Exception as exc:
+            self._poisoned = f"decide append failed: {exc}"
+            raise StoreError(
+                f"decide append failed for {txid}; the store is poisoned — "
+                f"close and reopen to recover: {exc}"
+            ) from exc
+        self._journal_count += 1
+        payload = self._pending_payload
+        applied = self._pending_applied
+        inverse = self._pending_inverse
+        self._pending_txid = None
+        self._pending_payload = None
+        self._pending_applied = False
+        self._pending_inverse = None
+        try:
+            if verdict == "commit" and not applied:
+                transaction = parse_changes(payload)
+                for step in decompose(transaction, self.instance):
+                    apply_subtree_update(self.instance, step)
+            elif verdict == "abort" and applied:
+                for step in decompose(inverse, self.instance):
+                    apply_subtree_update(self.instance, step)
+        except Exception as exc:
+            self._poisoned = f"post-decide reconciliation failed: {exc}"
+            raise StoreError(
+                "post-decide reconciliation failed; the store is poisoned "
+                f"(disk holds the decided journal) — close and reopen: {exc}"
+            ) from exc
+
+    @property
+    def pending_txid(self) -> Optional[str]:
+        """The id of the prepared-but-undecided 2PC transaction, or
+        ``None`` — while set, ordinary writes refuse."""
+        return self._pending_txid
+
     def check(self) -> LegalityReport:
         """A full legality report of the current contents."""
         return self._guard.full_recheck()
@@ -417,7 +647,11 @@ class DirectoryStore:
     # ------------------------------------------------------------------
     @property
     def journal_length(self) -> int:
-        """Number of committed transactions since the last compaction."""
+        """The last journal frame sequence number since the last
+        compaction.  Ordinary commits contribute one frame each; a
+        decided 2PC transaction contributes two (prepare + decide), so
+        this tracks the WAL position — the same value readers report as
+        their ``position()`` seq — not the transaction count."""
         return self._journal_count
 
     @property
@@ -487,7 +721,7 @@ class DirectoryStore:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _ensure_writable(self) -> None:
+    def _ensure_writable(self, allow_pending: bool = False) -> None:
         if self._closed:
             raise StoreError("store is closed")
         if self._poisoned is not None:
@@ -498,6 +732,13 @@ class DirectoryStore:
             raise StoreReadOnlyError(
                 "store is in degraded read-only mode (recovery found "
                 "damage); run `recover` on it to quarantine the damage"
+            )
+        if not allow_pending and self._pending_txid is not None:
+            raise StoreError(
+                f"store holds an in-doubt 2PC transaction "
+                f"{self._pending_txid}; the coordinator log decides it — "
+                "open the sharded store (or run `recover --shards` on its "
+                "root) to resolve it"
             )
 
     @staticmethod

@@ -383,15 +383,50 @@ class StoreReader:
         """Replay ``scanned.records`` onto the view, stopping silently
         at the first frame that is damaged, out of order, or fails to
         replay.  Returns ``(frames_applied, note)``; a ``"resequenced"``
-        note means the bytes do not continue our journal at all."""
+        note means the bytes do not continue our journal at all.
+
+        2PC frames: a prepare is **invisible until decided** — the view
+        stops *before* an undecided prepare, without advancing seq or
+        offset, so the next refresh rescans from the prepare and picks
+        up the coordinator's decide frame when it lands.  A decided pair
+        advances the position by two frames, replaying the prepare's
+        payload only when the verdict is commit."""
         applied = 0
-        for record in scanned.records:
+        index = 0
+        records = scanned.records
+        while index < len(records):
+            record = records[index]
             if record.generation != self._generation or record.seq != self._seq + 1:
                 if applied == 0:
                     return 0, "resequenced"
                 return applied, (
                     f"frame seq {record.seq} does not follow seq {self._seq}"
                 )
+            if record.kind == "prepare":
+                if index + 1 >= len(records):
+                    # Undecided (in-doubt): withhold it.  scan() has
+                    # already guaranteed nothing else can follow an
+                    # undecided prepare.
+                    return applied, (
+                        f"prepared transaction {record.txid} awaits its "
+                        "decide frame; stopped at the previous committed "
+                        "frame"
+                    )
+                decide = records[index + 1]
+                if decide.verdict == "commit":
+                    try:
+                        replay_record(self.instance, record)
+                    except Exception as exc:
+                        return applied, (
+                            f"frame seq {record.seq} failed to replay "
+                            f"({exc}); stopped at the previous committed "
+                            "frame"
+                        )
+                self._seq = decide.seq
+                self._offset = base_offset + decide.end
+                applied += 2
+                index += 2
+                continue
             try:
                 replay_record(self.instance, record)
             except Exception as exc:
@@ -402,6 +437,7 @@ class StoreReader:
             self._seq = record.seq
             self._offset = base_offset + record.end
             applied += 1
+            index += 1
         return applied, None
 
     def _bootstrap(self) -> bool:

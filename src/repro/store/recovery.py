@@ -84,16 +84,28 @@ class RecoveryReport:
     read_only: bool = False  # damage requires operator attention
     legal: Optional[bool] = None  # None = not verified (no schema given)
     legacy_format: bool = False  # pre-WAL marker journal
+    #: Sequence number of the last frame kept in the journal (0 when
+    #: empty).  With 2PC pairs this is *frames*, not transactions:
+    #: a decided prepare/decide pair advances it by two.
+    last_seq: int = 0
+    #: A prepared-but-undecided 2PC transaction at the journal tail —
+    #: the in-doubt state only the coordinator log can resolve.
+    in_doubt_txid: Optional[str] = None
+    #: The in-doubt prepare's payload (LDIF changes), kept so resolution
+    #: can replay it if the coordinator's decision was commit.
+    in_doubt_payload: Optional[str] = None
     notes: List[str] = field(default_factory=list)
 
     @property
     def healthy(self) -> bool:
-        """No damage found (torn/corrupt tail, stale records, illegality)."""
+        """No damage found (torn/corrupt tail, stale records, illegality,
+        in-doubt 2PC state)."""
         return (
             self.tail_state == "clean"
             and self.stale_discarded == 0
             and not self.read_only
             and self.legal is not False
+            and self.in_doubt_txid is None
         )
 
     def summary(self) -> str:
@@ -112,6 +124,8 @@ class RecoveryReport:
                else "legal" if self.legal else "ILLEGAL"),
             f"mode: {'read-only (degraded)' if self.read_only else 'read-write'}",
         ]
+        if self.in_doubt_txid is not None:
+            lines.append(f"in-doubt 2PC transaction: {self.in_doubt_txid}")
         lines.extend(f"note: {note}" for note in self.notes)
         return "\n".join(lines)
 
@@ -276,7 +290,12 @@ def recover(
         report.tail_state = "corrupt"
         report.notes.append("journal mixes generations; replaying none of it")
         replayable = []
-    report.committed = len(replayable)
+    # Fold 2PC pairs: only decided-commit prepares (and ordinary frames)
+    # are visible; an undecided prepare at the tail is *in doubt* — its
+    # bytes stay on disk and its payload is withheld until the
+    # coordinator log resolves it.
+    visible, pending = wal.resolve_decided(replayable)
+    report.committed = len(visible)
     report.stale_discarded = len(stale)
     if stale:
         if strict:
@@ -322,7 +341,7 @@ def recover(
 
     # Blind replay of the committed prefix (Theorem 4.1 modularity).
     replay_failed_at: Optional[int] = None
-    for index, record in enumerate(replayable):
+    for index, record in enumerate(visible):
         try:
             replay_record(instance, record)
         except Exception as exc:
@@ -348,14 +367,28 @@ def recover(
     if replay_failed_at is not None:
         report.tail_state = "corrupt"
         report.committed = replay_failed_at
-        report.tail_bytes = scanned.total - replayable[replay_failed_at].offset
-        replayable = replayable[:replay_failed_at]
-    report.replayed = len(replayable)
+        failed = visible[replay_failed_at]
+        report.tail_bytes = scanned.total - failed.offset
+        replayable = [r for r in replayable if r.end <= failed.offset]
+        visible = visible[:replay_failed_at]
+        pending = None  # anything undecided sits past the damage
+    report.replayed = len(visible)
 
     # The journal prefix that is safe to keep on disk: every byte up to
-    # the end of the last record that replayed (stale journals keep
-    # nothing — their content is already in the snapshot).
+    # the end of the last decodable frame — including an in-doubt
+    # prepare, whose bytes must survive for the coordinator's decision
+    # to land against (stale journals keep nothing — their content is
+    # already in the snapshot).
     keep_upto = replayable[-1].end if replayable else 0
+    report.last_seq = replayable[-1].seq if replayable else 0
+    if pending is not None:
+        report.in_doubt_txid = pending.txid
+        report.in_doubt_payload = pending.payload
+        report.notes.append(
+            f"in-doubt 2PC transaction {pending.txid}: prepared but "
+            "undecided; the coordinator log decides it (open the sharded "
+            "store, or run `recover --shards` on its root)"
+        )
     corrupt = report.tail_state == "corrupt"
 
     if repair:

@@ -25,20 +25,35 @@ Enforcement split:
 * **content** checks and **shard-local** structure checks ride the
   per-shard store's own incremental guard, unchanged;
 * **required classes** and (under a nested cut) **cut-spanning edges**
-  are enforced by :meth:`ShardedStore.apply` *after* the shard commit:
-  on a composite violation the shard transaction is compensated with
-  its exact inverse and the rejection reported.  The compensation is a
-  second WAL commit, so a crash inside the (commit, compensate) window
-  can leave a composite-*il*legal durable state; per-shard states stay
-  legal and ``check()``/``fsck --shards`` reports the composite
-  violation on restart.  (Single-store ``apply`` has no such window —
-  the price of multi-directory commits without a cross-shard WAL.)
-* wrong-shard routing **raises** :class:`~repro.errors.ShardRoutingError`
-  — a transaction must fall entirely inside one shard's subtree;
-  spanning or unroutable transactions are refused, never mis-committed.
-  Deleting a nested shard's *attachment entry* (the enclosing-shard
-  entry its base hangs under) is a spanning transaction in disguise —
-  the delete's subtree scope covers the nested shard — and raises too;
+  are enforced by :meth:`ShardedStore.apply` *before* anything becomes
+  durable: a routed (single-shard) transaction is staged in memory
+  (:meth:`~repro.store.journal.DirectoryStore.apply_tentative`),
+  composite-checked, and only then journaled — a composite violation
+  rolls the staging back with **zero durable footprint**, so there is
+  no compensation commit and no crash window in which a
+  composite-illegal state is durable;
+* a transaction **spanning shards** commits through two-phase commit:
+  each owning shard stages and journals a durable-but-invisible
+  ``#PREPARE`` frame, the composite check runs on the staged state,
+  and a ``commit`` record in the root's coordinator log
+  (:mod:`repro.store.txlog`) is the single commit point — participant
+  ``#DECIDE`` frames then make the prepares visible.  Recovery is
+  presumed abort: an in-doubt participant (prepared, undecided) is
+  resolved from the coordinator log at the next
+  :meth:`ShardedStore.open` / :meth:`ShardedStore.open_shard`, and
+  without a durable commit record the prepare aborts.  Killing the
+  coordinator or any participant at any protocol step therefore leaves
+  — after recovery — either every shard committed or every shard
+  rolled back (``tests/harness/crash2pc.py`` enumerates the steps);
+* **unroutable** DNs still raise
+  :class:`~repro.errors.ShardRoutingError` — no shard owns the entry,
+  which is a caller bug, not a legality verdict.  Deleting a nested
+  shard's *attachment entry* (the enclosing-shard entry its base hangs
+  under) is a cross-cut subtree delete: it commits (through 2PC) when
+  the same transaction also deletes every entry of the nested shard,
+  and is otherwise rejected with exactly the
+  ``LDAP deletes leaves only`` precondition a single union store would
+  raise;
 * an **orphaned shard** (a nested shard whose attachment entry a
   per-shard writer or crash nevertheless removed) is a *reported*
   state, not a raising one: stitching grafts the orphan's entries as
@@ -53,7 +68,9 @@ nevertheless return identical verdicts for every transaction
 :func:`~repro.updates.transactions.decompose` accepts, mixed
 insert+delete ones included, because its LDAP preconditions make an
 intermediate-only violation unrepairable by a later step of the same
-transaction: (a) structure elements relate entries only to their
+transaction (spanning ones included — 2PC decomposes a transaction
+per shard but the composite check still runs once, on the union of
+all staged shard states): (a) structure elements relate entries only to their
 ancestors/descendants, and an inserted entry's in-transaction
 descendants are grouped into its own step, so an insert-step violation
 involves an *existing ancestor* — which no later step may delete
@@ -76,7 +93,7 @@ import os
 import shutil
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import ModelError, ShardRoutingError, StoreError, UpdateError
+from repro.errors import ModelError, StoreError, UpdateError
 from repro.legality.report import Kind, LegalityReport, Violation
 from repro.legality.scope import (
     ShardScope,
@@ -93,8 +110,10 @@ from repro.query.search import SearchScope
 from repro.query.search import search as _search
 from repro.schema.directory_schema import DirectorySchema
 from repro.schema.elements import RequiredClass
-from repro.store.journal import DirectoryStore
+from repro.store.journal import DirectoryStore, inverse_transaction
 from repro.store.reader import ReaderLag, RefreshResult, StoreReader
+from repro.store.txlog import TxLog, inspect_txlog
+from repro.store.wal import StoreIO
 from repro.store.shardmap import (
     ShardMap,
     ShardSpec,
@@ -265,30 +284,21 @@ def _localized_transaction(
     return local
 
 
-def _inverse_transaction(
-    local_tx: UpdateTransaction, instance: DirectoryInstance
+def _shard_slice(
+    shard_map: ShardMap, transaction: UpdateTransaction, spec: ShardSpec
 ) -> UpdateTransaction:
-    """The exact compensation of ``local_tx`` against the pre-state
-    ``instance`` (shard-local DNs): built *before* applying, replayed
-    in reverse order so every delete finds a leaf and every re-insert
-    finds its parent."""
-    inverse = UpdateTransaction()
-    for op in reversed(local_tx.operations):
+    """One shard's slice of a *spanning* transaction: only the
+    operations routing to ``spec``, localized, in transaction order."""
+    local = UpdateTransaction()
+    for op in transaction:
+        if shard_map.route(op.dn).name != spec.name:
+            continue
+        dn = shard_map.localize(op.dn, spec)
         if isinstance(op, InsertEntry):
-            inverse.delete(op.dn)
+            local.operations.append(InsertEntry(dn, op.classes, op.attributes))
         else:
-            entry = instance.find(op.dn)
-            if entry is None:
-                # The forward delete will be rejected by the shard
-                # guard; the inverse is never replayed in that case.
-                continue
-            attributes = {
-                name: list(entry.values(name))
-                for name in entry.attribute_names()
-                if name != "objectClass"
-            }
-            inverse.insert(op.dn, tuple(entry.classes), attributes)
-    return inverse
+            local.operations.append(DeleteEntry(dn))
+    return local
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +322,7 @@ class ShardedStore:
         shards: Dict[str, DirectoryStore],
         scope: ShardScope,
         registry: Optional[AttributeRegistry] = None,
+        io: Optional[StoreIO] = None,
     ) -> None:
         self._dir = directory
         self.schema = schema
@@ -319,6 +330,11 @@ class ShardedStore:
         self._shards = shards
         self.scope = scope
         self._registry = registry
+        self._io = io if io is not None else StoreIO()
+        # The coordinator log needs no lock of its own: only a writer
+        # holding EVERY shard's advisory lock (this object) appends to
+        # it, and `open_shard` writers can never coexist with one.
+        self._txlog = TxLog.open(directory, io=self._io)
         self._closed = False
         self._composite_cache: Optional[
             Tuple[Tuple[Tuple[str, int, int], ...], DirectoryInstance]
@@ -335,6 +351,8 @@ class ShardedStore:
         shard_bases: Dict[str, Union[DN, str]],
         initial: Optional[DirectoryInstance] = None,
         registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
     ) -> "ShardedStore":
         """Initialize a sharded store at ``directory``.
 
@@ -394,6 +412,7 @@ class ShardedStore:
                     local_schema,
                     partitions[spec.name],
                     registry,
+                    io=io,
                 )
             write_shard_map(directory, shard_map)
         except BaseException:
@@ -401,7 +420,7 @@ class ShardedStore:
                 store.close()
             shutil.rmtree(directory, ignore_errors=True)
             raise
-        return cls(directory, schema, shard_map, shards, scope, registry)
+        return cls(directory, schema, shard_map, shards, scope, registry, io=io)
 
     @staticmethod
     def _partition(
@@ -443,9 +462,13 @@ class ShardedStore:
         directory: str,
         schema: DirectorySchema,
         registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
     ) -> "ShardedStore":
         """Reopen a sharded store: read the (authoritative) shard map,
-        recover and lock every shard.
+        recover and lock every shard, and resolve any in-doubt 2PC
+        participants against the coordinator log (presumed abort: a
+        prepare without a durable ``commit`` decision rolls back).
 
         Raises
         ------
@@ -454,6 +477,9 @@ class ShardedStore:
         StoreLockedError
             Any shard still locked by a live holder (shards already
             opened by this call are closed again first).
+        StoreError
+            A corrupt coordinator log — in-doubt decisions cannot be
+            trusted, so the open refuses rather than guessing.
         """
         shard_map = read_shard_map(directory)
         scope = analyze_shard_scope(schema, shard_map)
@@ -462,13 +488,18 @@ class ShardedStore:
         try:
             for spec in shard_map:
                 shards[spec.name] = DirectoryStore.open(
-                    shard_dir(directory, spec.name), local_schema, registry
+                    shard_dir(directory, spec.name), local_schema, registry,
+                    io=io,
                 )
+            store = cls(
+                directory, schema, shard_map, shards, scope, registry, io=io
+            )
+            store._resolve_in_doubt()
         except BaseException:
-            for store in shards.values():
-                store.close()
+            for shard in shards.values():
+                shard.close()
             raise
-        return cls(directory, schema, shard_map, shards, scope, registry)
+        return store
 
     @classmethod
     def open_shard(
@@ -477,6 +508,8 @@ class ShardedStore:
         name: str,
         schema: DirectorySchema,
         registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
     ) -> DirectoryStore:
         """Open ONE shard as a standalone writer (its own advisory
         lock; shard-local schema; DNs in shard-local form).
@@ -486,12 +519,55 @@ class ShardedStore:
         caller takes on what :meth:`apply` would otherwise enforce:
         composite elements are *not* checked here (readers surface
         composite violations via :meth:`CompositeReader.check`).
+
+        If the shard holds an in-doubt 2PC prepare (the sharded writer
+        died between prepare and decide), it is resolved here from the
+        root's coordinator log — read-only, presumed abort — so the
+        shard comes back writable.
         """
         shard_map = read_shard_map(directory)
         shard_map.spec(name)  # raises ShardMapError for unknown names
         scope = analyze_shard_scope(schema, shard_map)
         local_schema = shard_local_schema(schema, scope)
-        return DirectoryStore.open(shard_dir(directory, name), local_schema, registry)
+        store = DirectoryStore.open(
+            shard_dir(directory, name), local_schema, registry, io=io
+        )
+        try:
+            if store.pending_txid is not None and not store.read_only:
+                log = inspect_txlog(directory, io=io)
+                verdict = (
+                    "abort" if log is None else log.verdict(store.pending_txid)
+                )
+                store.resolve_pending(verdict)
+        except BaseException:
+            store.close()
+            raise
+        return store
+
+    def _resolve_in_doubt(self) -> List[Tuple[str, str, str]]:
+        """Settle every in-doubt participant from the coordinator log
+        and retire finished transactions; returns
+        ``[(shard, txid, verdict), ...]`` for what was resolved."""
+        resolved: List[Tuple[str, str, str]] = []
+        for name in self.shard_map.names():
+            shard = self._shards[name]
+            txid = shard.pending_txid
+            if txid is None or shard.read_only:
+                # A degraded (read-only) shard keeps its in-doubt state
+                # for `recover --shards` to deal with after repair.
+                continue
+            verdict = self._txlog.verdict(txid)
+            shard.resolve_pending(verdict)
+            resolved.append((name, txid, verdict))
+        for txid, entry in sorted(self._txlog.unfinished().items()):
+            if any(s.pending_txid == txid for s in self._shards.values()):
+                continue  # still held in doubt by a degraded shard
+            if entry.state == "begin":
+                self._txlog.abort(txid)
+            self._txlog.complete(txid)
+        if resolved:
+            self._composite_cache = None
+        return resolved
 
     def close(self) -> None:
         """Close every shard (idempotent)."""
@@ -526,49 +602,110 @@ class ShardedStore:
     # the write path
     # ------------------------------------------------------------------
     def apply(self, transaction: UpdateTransaction) -> UpdateOutcome:
-        """Route, commit, and composite-check one transaction.
+        """Route, stage, composite-check, and commit one transaction.
 
-        The transaction must fall entirely inside one shard's subtree
-        (:class:`ShardRoutingError` otherwise — raised, not returned,
-        because mis-routing is a caller bug, not a legality verdict).
-        The owning shard's guard enforces content + shard-local
-        structure; composite elements are then checked against the new
-        multi-shard state, and a violating transaction is compensated
-        (exact inverse, same WAL) and reported as rejected.
+        A transaction whose operations all route to one shard takes the
+        **fast path**: staged in that shard's memory
+        (:meth:`~repro.store.journal.DirectoryStore.apply_tentative`),
+        composite-checked, then journaled — or rolled back in memory
+        with zero durable footprint.  A transaction **spanning shards**
+        is decomposed per shard and committed through two-phase commit:
+        every owning shard appends a durable-but-invisible ``#PREPARE``
+        frame, the composite check runs on the union of the staged
+        states, and the coordinator log's ``commit`` record is the
+        single commit point before the per-shard ``#DECIDE`` frames
+        land.  Either way the outcome (and any rejection) is exactly
+        what a single union store's guard would have produced; only
+        unroutable DNs raise :class:`ShardRoutingError` — no shard owns
+        them, which is a caller bug, not a legality verdict.
         """
         self._ensure_open()
         transaction.validate()
         if not transaction.operations:
             return UpdateOutcome()
-        owners = {self.shard_map.route(op.dn).name for op in transaction}
-        if len(owners) > 1:
-            raise ShardRoutingError(
-                "transaction spans shards "
-                f"{sorted(owners)}; split it along the shard cut "
-                "(one subtree per Theorem 4.1 step already routes whole)"
-            )
-        spec = self.shard_map.spec(next(iter(owners)))
-        # A delete is a *subtree* scope: deleting an entry that another
-        # shard's base hangs under would prune that shard's attachment
-        # point across the cut — the enclosing shard's guard sees a
-        # leaf and cannot know.  That is a spanning transaction in
-        # disguise; refuse it like any other mis-routing.
+        order: List[str] = []
         for op in transaction:
-            if not isinstance(op, DeleteEntry):
-                continue
-            for other in self.shard_map:
-                if other.name != spec.name and op.dn.is_ancestor_of(other.base):
-                    raise ShardRoutingError(
-                        f"deleting {str(op.dn)!r} would orphan shard "
-                        f"{other.name!r} (its base {other.base} hangs "
-                        "under the deleted entry); the delete spans the "
-                        "routing cut"
-                    )
-        store = self._shards[spec.name]
-        local_tx = _localized_transaction(self.shard_map, transaction, spec)
-        inverse = _inverse_transaction(local_tx, store.instance)
+            name = self.shard_map.route(op.dn).name  # ShardRoutingError
+            if name not in order:
+                order.append(name)
+        # The decompose preconditions whose scope crosses the routing
+        # cut — a shard-local guard cannot see them, so they are
+        # checked here, up front, with the union store's exact errors.
+        self._cross_cut_preconditions(transaction)
+        if len(order) == 1:
+            return self._apply_single(order[0], transaction)
+        return self._apply_spanning(order, transaction)
 
-        outcome = store.apply(local_tx)
+    def _cross_cut_preconditions(self, transaction: UpdateTransaction) -> None:
+        """Raise the :class:`UpdateError` a union store's decompose
+        would raise for preconditions that span the cut.
+
+        Only two relationships cross it (routing convexity: a child
+        routes with its parent unless the child *is* a shard base):
+        inserting a nested shard's base attaches under an entry of the
+        enclosing shard, and deleting an entry above a nested base
+        prunes the nested shard's whole population.  Everything else is
+        validated by the owning shard's own guard.
+        """
+        if not self.shard_map.has_cut():
+            return
+        deleted = {
+            str(op.dn.normalized()) for op in transaction.deletions()
+        }
+        inserted = {
+            str(op.dn.normalized()) for op in transaction.insertions()
+        }
+        for op in transaction.insertions():
+            spec = self.shard_map.route(op.dn)
+            if spec.suffix.is_empty():
+                continue
+            if str(op.dn.normalized()) != str(spec.base.normalized()):
+                continue
+            parent = op.dn.parent()
+            if str(parent.normalized()) in inserted:
+                continue  # the enclosing shard's slice validates it
+            owner = self.shard_map.route(parent)
+            local = self.shard_map.localize(parent, owner)
+            if self._shards[owner.name].instance.find(local) is None:
+                raise UpdateError(
+                    f"insertion {op.dn} has no parent: {parent} "
+                    "is neither in the instance nor inserted"
+                )
+            if str(parent.normalized()) in deleted:
+                raise UpdateError(
+                    f"insertion {op.dn} attaches under {parent}, "
+                    "which the same transaction deletes"
+                )
+        for op in transaction.deletions():
+            if str(op.dn.parent().normalized()) in deleted:
+                continue  # interior of a larger deleted subtree
+            owner_name = self.shard_map.route(op.dn).name
+            for other in self.shard_map:
+                if other.name == owner_name:
+                    continue
+                if not op.dn.is_ancestor_of(other.base):
+                    continue
+                nested = self._shards[other.name].instance
+                for entry in nested:
+                    gdn = self.shard_map.globalize(
+                        parse_dn(nested.dn_string_of(entry)), other
+                    )
+                    if str(gdn.normalized()) not in deleted:
+                        raise UpdateError(
+                            f"transaction deletes {op.dn} but not its "
+                            f"descendant {gdn} (LDAP deletes leaves only)"
+                        )
+
+    def _apply_single(
+        self, name: str, transaction: UpdateTransaction
+    ) -> UpdateOutcome:
+        """The routed fast path: one shard, one ordinary WAL frame —
+        and nothing durable at all unless the composite check passes."""
+        spec = self.shard_map.spec(name)
+        store = self._shards[name]
+        local_tx = _localized_transaction(self.shard_map, transaction, spec)
+        inverse = inverse_transaction(local_tx, store.instance)
+        outcome = store.apply_tentative(local_tx)
         if not outcome.applied:
             # The guard's violation DNs are Δ-relative (an inserted
             # entry is a root of its own delta), exactly as a single
@@ -577,45 +714,160 @@ class ShardedStore:
             # check() paths, whose DNs are shard-rooted.
             return outcome
         self._composite_cache = None
-
         try:
             composite = _composite_report(
                 self.scope,
                 self.shard_map,
-                {name: s.instance for name, s in self._shards.items()},
+                {n: s.instance for n, s in self._shards.items()},
                 self.composite_instance,
             )
         except BaseException:
-            # The composite check must never leave the committed shard
-            # state behind: compensate first, then propagate.  (With
-            # tolerant stitching this path should be unreachable; it is
-            # the backstop that turns a checker bug into a rejected
-            # transaction instead of a durable mis-commit.)
+            # The staged state must never outlive the check: roll the
+            # memory back, then propagate.  Nothing was written, so a
+            # crash here needs no recovery work at all.
             try:
-                store.apply(inverse)
+                store.revert_applied(inverse)
             finally:
                 self._composite_cache = None
             raise
         if composite.is_legal:
+            store.commit_applied(local_tx)
             return outcome
-        # Compensate: the shard state reverts to the (legal) pre-state,
-        # so the guard must accept the inverse; anything else means the
-        # store diverged and refusing loudly beats guessing.
-        undo = store.apply(inverse)
+        store.revert_applied(inverse)
         self._composite_cache = None
-        if not undo.applied:
-            raise StoreError(
-                f"composite rollback failed on shard {spec.name!r}: "
-                + str(undo.report)
-            )
-        rejection = UpdateOutcome(
+        return UpdateOutcome(
             report=composite,
-            cost=outcome.cost + undo.cost,
+            cost=outcome.cost,
             checks=outcome.checks
-            + [f"composite check: {self.scope.summary()}", "rolled back"],
+            + [f"composite check: {self.scope.summary()}",
+               "rolled back in memory (no durable footprint)"],
             stats=outcome.stats,
         )
-        return rejection
+
+    def _apply_spanning(
+        self, order: List[str], transaction: UpdateTransaction
+    ) -> UpdateOutcome:
+        """Two-phase commit across every owning shard.
+
+        Protocol (named fault points in brackets — the crash harness
+        kills the process at each one and asserts all-or-nothing):
+
+        1. [``2pc:begin``] coordinator log records BEGIN + participants;
+        2. per shard: guard + ``#PREPARE`` frame, fsynced
+           [``2pc:prepared:<shard>``];
+        3. composite check on the staged union [``2pc:decision``];
+        4. coordinator log records COMMIT — **the commit point**
+           [``2pc:committed``];
+        5. per shard: ``#DECIDE commit`` frame [``2pc:decided:<shard>``];
+        6. [``2pc:complete``] coordinator log records COMPLETE.
+
+        A guard or composite rejection aborts instead: ABORT record,
+        per-shard ``#DECIDE abort`` (rolling the staged memory back via
+        the retained inverse), COMPLETE.  Any crash before step 4
+        resolves to abort at the next open (presumed abort); any crash
+        after it resolves to commit.
+        """
+        self._io.fault_point("2pc:begin")
+        txid = self._txlog.begin(order)
+        outcomes: List[UpdateOutcome] = []
+        prepared: List[str] = []
+        rejection: Optional[UpdateOutcome] = None
+        rejected_by: Optional[str] = None
+        try:
+            for name in order:
+                spec = self.shard_map.spec(name)
+                store = self._shards[name]
+                local_tx = _shard_slice(self.shard_map, transaction, spec)
+                outcome = store.prepare(txid, local_tx)
+                if not outcome.applied:
+                    rejection = outcome
+                    rejected_by = name
+                    break
+                outcomes.append(outcome)
+                prepared.append(name)
+                self._io.fault_point(f"2pc:prepared:{name}")
+            if rejection is None:
+                self._composite_cache = None
+                composite = _composite_report(
+                    self.scope,
+                    self.shard_map,
+                    {n: s.instance for n, s in self._shards.items()},
+                    self.composite_instance,
+                )
+                if composite.is_legal:
+                    self._io.fault_point("2pc:decision")
+                    self._txlog.commit(txid)
+                    self._io.fault_point("2pc:committed")
+                    for name in prepared:
+                        self._shards[name].decide(txid, "commit")
+                        self._io.fault_point(f"2pc:decided:{name}")
+                    self._io.fault_point("2pc:complete")
+                    self._txlog.complete(txid)
+                    self._composite_cache = None
+                    return self._merge_outcomes(
+                        outcomes,
+                        LegalityReport(),
+                        [f"2pc: committed {txid} across shards "
+                         f"{', '.join(order)}"],
+                    )
+                rejection = UpdateOutcome(
+                    report=composite,
+                    checks=[f"composite check: {self.scope.summary()}"],
+                )
+        except Exception:
+            # A non-crash failure (e.g. a decompose precondition raised
+            # by a shard's guard) aborts the prepared participants and
+            # propagates.  An InjectedCrash is a BaseException and is
+            # deliberately NOT caught: the simulated process is dead,
+            # and recovery resolves the in-doubt prepares instead.
+            self._abort(txid, prepared)
+            raise
+        why = (
+            f"shard {rejected_by!r} rejected"
+            if rejected_by is not None
+            else "composite check failed"
+        )
+        self._abort(txid, prepared)
+        return self._merge_outcomes(
+            outcomes + [rejection],
+            rejection.report,
+            [f"2pc: aborted {txid} ({why}); rolled back in memory "
+             "(prepares never became visible)"],
+        )
+
+    def _abort(self, txid: str, prepared: List[str]) -> None:
+        """Decide ``txid`` as aborted everywhere: ABORT in the
+        coordinator log (making the state explicit, though its absence
+        would mean the same under presumed abort), ``#DECIDE abort``
+        on every prepared shard (each rolls its staged memory back),
+        then COMPLETE."""
+        self._txlog.abort(txid)
+        for name in prepared:
+            self._shards[name].decide(txid, "abort")
+            self._io.fault_point(f"2pc:decided:{name}")
+        self._txlog.complete(txid)
+        self._composite_cache = None
+
+    @staticmethod
+    def _merge_outcomes(
+        outcomes: List[UpdateOutcome],
+        report: LegalityReport,
+        extra_checks: List[str],
+    ) -> UpdateOutcome:
+        """One :class:`UpdateOutcome` for the whole global transaction:
+        costs sum, check descriptions concatenate, per-shard stats fold
+        together."""
+        merged = UpdateOutcome(report=report)
+        for outcome in outcomes:
+            merged.cost += outcome.cost
+            merged.checks.extend(outcome.checks)
+            if outcome.stats is not None:
+                if merged.stats is None:
+                    merged.stats = outcome.stats.copy()
+                else:
+                    merged.stats.merge(outcome.stats)
+        merged.checks.extend(extra_checks)
+        return merged
 
     # ------------------------------------------------------------------
     # the read/maintenance path
@@ -680,10 +932,12 @@ class ShardedStore:
         )
 
     def compact(self) -> None:
-        """Compact every shard (each bumps its own generation)."""
+        """Compact every shard (each bumps its own generation) and
+        retire finished transactions from the coordinator log."""
         self._ensure_open()
         for store in self._shards.values():
             store.compact()
+        self._txlog.compact()
         self._composite_cache = None
 
     def _ensure_open(self) -> None:

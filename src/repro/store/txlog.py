@@ -1,0 +1,369 @@
+"""The cross-shard two-phase-commit coordinator log.
+
+A sharded store needs one durable place that decides the fate of a
+transaction spanning shard WALs.  ``txlog``, at the sharded store's
+root, is that place: an append-only sequence of the same checksummed,
+generation-stamped frames the per-shard journals use
+(:mod:`repro.store.wal`), each carrying a small JSON decision record::
+
+    #WAL seq=1 gen=1 len=64 crc=0x2f91c0aa
+    {"participants": ["att", "labs"], "state": "begin", "txid": "tx-1"}
+    #END
+
+States, in protocol order:
+
+* ``begin`` — the coordinator is about to send prepares; names the
+  participants.
+* ``commit`` — **the commit point**: every participant's prepare frame
+  is durable and the composite check passed.  Fsynced before any
+  participant's decide frame is written.
+* ``abort`` — an explicit abort decision (a participant's guard or the
+  composite check rejected the transaction).  Recorded best-effort:
+  its *absence* also means abort.
+* ``complete`` — every participant's decide frame landed; the
+  transaction needs no recovery work.
+
+The decision rule is **presumed abort**: a transaction is committed iff
+a durable ``commit`` record names it; anything else — a bare ``begin``,
+a torn frame, a missing log — is an abort.  That is sound because the
+coordinator orders its writes: participants' prepare frames are all
+fsynced *before* the commit record, and the commit record is fsynced
+*before* any participant's decide frame, so an in-doubt participant
+(prepared, undecided) can never belong to a transaction whose commit
+decision was lost.
+
+A torn tail is therefore safe to quarantine (the classic crash-mid-
+append artifact of a coordinator dying inside :meth:`TxLog.begin` or
+:meth:`TxLog.commit` before the fsync made the decision durable: no
+participant saw a decide).  A *corrupt* log is different — a decision
+may have existed and been damaged — so :meth:`TxLog.open` refuses with
+:class:`~repro.errors.StoreError` rather than guessing; resolution of
+in-doubt participants must not run until the operator intervenes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StoreError
+from repro.store import wal
+from repro.store.wal import StoreIO
+
+__all__ = ["TXLOG_FILE", "TXLOG_QUARANTINE_FILE", "TxState", "TxLog"]
+
+TXLOG_FILE = "txlog"
+TXLOG_QUARANTINE_FILE = "txlog.quarantine"
+
+_STATES = ("begin", "commit", "abort", "complete")
+
+
+@dataclass
+class TxState:
+    """Everything the log knows about one transaction."""
+
+    txid: str
+    state: str  # latest of "begin" | "commit" | "abort" | "complete"
+    participants: Tuple[str, ...] = ()
+    history: List[str] = field(default_factory=list)
+
+    @property
+    def decided(self) -> bool:
+        """Whether a durable decision (or retirement) record exists."""
+        return self.state in ("commit", "abort", "complete")
+
+    @property
+    def verdict(self) -> str:
+        """The participant-facing decision under presumed abort: only a
+        durable ``commit`` (or a commit that reached ``complete``)
+        commits; everything else aborts."""
+        if self.state == "commit":
+            return "commit"
+        if self.state == "complete":
+            return "commit" if "commit" in self.history else "abort"
+        return "abort"
+
+
+class TxLog:
+    """The coordinator's write handle on the decision log.
+
+    Opened (and exclusively owned) by the :class:`ShardedStore` writer —
+    the per-shard advisory locks already serialize writers on the root,
+    so the log itself needs no extra lock.  Readers never touch it:
+    prepare invisibility (:func:`repro.store.wal.resolve_decided`) keeps
+    in-doubt state out of every read surface without consulting the
+    coordinator.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        io: StoreIO,
+        generation: int,
+        seq: int,
+        states: Dict[str, TxState],
+        next_txid: int,
+    ) -> None:
+        self._root = root
+        self._io = io
+        self._generation = generation
+        self._seq = seq
+        self._states = states
+        self._next_txid = next_txid
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, root: str, io: Optional[StoreIO] = None) -> "TxLog":
+        """Load (or initialise) the coordinator log at ``root``.
+
+        A torn tail is quarantined into ``txlog.quarantine`` and
+        truncated — presumed abort makes that safe.  Corruption raises
+        :class:`~repro.errors.StoreError`: decisions may be damaged, so
+        nothing that depends on them may proceed.
+        """
+        io = io if io is not None else StoreIO()
+        path = cls._path(root)
+        if not os.path.exists(path):
+            return cls(root, io, generation=1, seq=0, states={}, next_txid=1)
+        data = io.read_bytes(path)
+        scanned = wal.scan(data)
+        if scanned.tail_state == "corrupt":
+            raise StoreError(
+                f"coordinator log {path!r} is corrupt at byte "
+                f"{scanned.tail_offset} ({scanned.tail_reason}); 2PC "
+                "decisions may be damaged — quarantine it manually before "
+                "reopening the sharded store"
+            )
+        if scanned.tail_state == "torn":
+            tail = data[scanned.tail_offset:]
+            header = (
+                f"# quarantined {len(tail)} bytes from {TXLOG_FILE} offset "
+                f"{scanned.tail_offset} (torn tail: {scanned.tail_reason})\n"
+            ).encode("utf-8")
+            io.append_bytes(
+                os.path.join(root, TXLOG_QUARANTINE_FILE), header + tail + b"\n"
+            )
+            io.write_file_atomic(path, data[:scanned.tail_offset])
+        states: Dict[str, TxState] = {}
+        max_txid = 0
+        generation = 1
+        for record in scanned.records:
+            generation = record.generation
+            txid, state, participants = cls._decode_payload(
+                record.payload, record.offset, path
+            )
+            entry = states.get(txid)
+            if entry is None:
+                entry = TxState(txid, state, tuple(participants))
+                states[txid] = entry
+            else:
+                entry.state = state
+                if participants:
+                    entry.participants = tuple(participants)
+            entry.history.append(state)
+            if txid.startswith("tx-"):
+                try:
+                    max_txid = max(max_txid, int(txid[3:]))
+                except ValueError:
+                    pass
+        seq = scanned.records[-1].seq if scanned.records else 0
+        return cls(root, io, generation, seq, states, max_txid + 1)
+
+    # ------------------------------------------------------------------
+    # the protocol surface
+    # ------------------------------------------------------------------
+    def begin(self, participants: Sequence[str]) -> str:
+        """Record the start of a spanning transaction; returns its txid."""
+        txid = f"tx-{self._next_txid}"
+        self._next_txid += 1
+        self._append(txid, "begin", participants)
+        self._states[txid] = TxState(
+            txid, "begin", tuple(participants), history=["begin"]
+        )
+        return txid
+
+    def commit(self, txid: str) -> None:
+        """THE commit point: durably decide ``txid`` as committed.
+        Returns only after the record is fsynced."""
+        self._record(txid, "commit")
+
+    def abort(self, txid: str) -> None:
+        """Record an explicit abort (redundant under presumed abort, but
+        it lets ``complete`` retire the transaction)."""
+        self._record(txid, "abort")
+
+    def complete(self, txid: str) -> None:
+        """Record that every participant's decide frame landed; the
+        transaction needs no resolution work at the next open."""
+        self._record(txid, "complete")
+
+    def _record(self, txid: str, state: str) -> None:
+        entry = self._states.get(txid)
+        if entry is None:
+            raise StoreError(f"coordinator log has no transaction {txid!r}")
+        self._append(txid, state, ())
+        entry.history.append(state)
+        entry.state = state
+
+    # ------------------------------------------------------------------
+    # resolution / introspection
+    # ------------------------------------------------------------------
+    def verdict(self, txid: str) -> str:
+        """The presumed-abort decision for ``txid``: ``"commit"`` iff a
+        durable commit record names it, else ``"abort"`` — including for
+        transactions the log has never heard of (their begin record was
+        lost with the crash, which also means no commit was decided)."""
+        entry = self._states.get(txid)
+        if entry is None:
+            return "abort"
+        return entry.verdict
+
+    def unfinished(self) -> Dict[str, TxState]:
+        """Transactions with no ``complete`` record — the ones whose
+        participants may still hold undecided prepares."""
+        return {
+            txid: entry
+            for txid, entry in self._states.items()
+            if entry.state != "complete"
+        }
+
+    def states(self) -> Dict[str, TxState]:
+        """Every transaction the log knows about (read-only snapshot)."""
+        return dict(self._states)
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only unfinished transactions, under a
+        bumped generation (the same write-new-then-replace idiom as the
+        snapshot; a crash mid-compaction leaves the old log intact)."""
+        survivors = self.unfinished()
+        generation = self._generation + 1
+        frames = []
+        seq = 0
+        for txid in sorted(survivors, key=_txid_sort_key):
+            entry = survivors[txid]
+            for state in entry.history:
+                seq += 1
+                frames.append(
+                    wal.encode_record(
+                        seq, generation,
+                        self._encode_payload(
+                            txid, state,
+                            entry.participants if state == "begin" else (),
+                        ),
+                    )
+                )
+        self._io.write_file_atomic(self._path(self._root), b"".join(frames))
+        self._generation = generation
+        self._seq = seq
+        self._states = survivors
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _path(root: str) -> str:
+        return os.path.join(root, TXLOG_FILE)
+
+    @staticmethod
+    def _encode_payload(
+        txid: str, state: str, participants: Sequence[str]
+    ) -> str:
+        body = {"txid": txid, "state": state}
+        if participants:
+            body["participants"] = list(participants)
+        return json.dumps(body, sort_keys=True)
+
+    @staticmethod
+    def _decode_payload(
+        payload: str, offset: int, path: str
+    ) -> Tuple[str, str, List[str]]:
+        try:
+            body = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"coordinator log {path!r} frame at byte {offset} is not "
+                f"valid JSON: {exc}"
+            ) from exc
+        txid = body.get("txid")
+        state = body.get("state")
+        participants = body.get("participants", [])
+        if (
+            not isinstance(txid, str)
+            or state not in _STATES
+            or not isinstance(participants, list)
+        ):
+            raise StoreError(
+                f"coordinator log {path!r} frame at byte {offset} is "
+                f"malformed: {payload[:80]!r}"
+            )
+        return txid, state, [str(p) for p in participants]
+
+    def _append(self, txid: str, state: str, participants: Sequence[str]) -> None:
+        self._seq += 1
+        frame = wal.encode_record(
+            self._seq, self._generation,
+            self._encode_payload(txid, state, participants),
+        )
+        try:
+            self._io.append_bytes(self._path(self._root), frame)
+        except Exception as exc:
+            self._seq -= 1
+            raise StoreError(
+                f"coordinator log append failed ({state} for {txid}): {exc}"
+            ) from exc
+
+
+def _txid_sort_key(txid: str):
+    if txid.startswith("tx-"):
+        try:
+            return (0, int(txid[3:]), txid)
+        except ValueError:
+            pass
+    return (1, 0, txid)
+
+
+def inspect_txlog(root: str, io: Optional[StoreIO] = None) -> Optional[TxLog]:
+    """Load the coordinator log read-only for tools (``fsck --shards``);
+    ``None`` when the root has none.  Unlike :meth:`TxLog.open` this
+    never rewrites anything: a torn tail is tolerated (its frames past
+    the committed prefix are simply not loaded) and corruption still
+    raises."""
+    io = io if io is not None else StoreIO()
+    path = os.path.join(root, TXLOG_FILE)
+    if not os.path.exists(path):
+        return None
+    data = io.read_bytes(path)
+    scanned = wal.scan(data)
+    if scanned.tail_state == "corrupt":
+        raise StoreError(
+            f"coordinator log {path!r} is corrupt at byte "
+            f"{scanned.tail_offset} ({scanned.tail_reason})"
+        )
+    states: Dict[str, TxState] = {}
+    max_txid = 0
+    generation = 1
+    for record in scanned.records:
+        generation = record.generation
+        txid, state, participants = TxLog._decode_payload(
+            record.payload, record.offset, path
+        )
+        entry = states.get(txid)
+        if entry is None:
+            entry = TxState(txid, state, tuple(participants))
+            states[txid] = entry
+        else:
+            entry.state = state
+            if participants:
+                entry.participants = tuple(participants)
+        entry.history.append(state)
+        if txid.startswith("tx-"):
+            try:
+                max_txid = max(max_txid, int(txid[3:]))
+            except ValueError:
+                pass
+    seq = scanned.records[-1].seq if scanned.records else 0
+    return TxLog(root, io, generation, seq, states, max_txid + 1)

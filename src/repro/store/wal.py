@@ -34,9 +34,33 @@ corrupted writes detectable::
   have produced (bit rot / foreign writes; recovery degrades the store
   to read-only until an explicit ``recover`` run).
 
+Two-phase commit adds two frame kinds to the same journal.  A
+``#PREPARE`` frame carries a transaction's changes durably but keeps
+them *invisible*: neither recovery nor a reader applies the payload
+until a matching ``#DECIDE`` frame records the coordinator's verdict::
+
+    #PREPARE txid=tx-7 seq=4 gen=2 len=87 crc=0x1fe2a990
+    dn: ou=ml,ou=attLabs
+    changetype: add
+    ...
+    #END
+    #DECIDE txid=tx-7 verdict=commit seq=5 gen=2 len=0 crc=0x9b2c0441
+    #END
+
+Every frame kind consumes the next sequence number, so the contiguity
+check spans all three.  The appender never starts a new frame while a
+prepare is undecided, so :func:`scan` treats a ``#PREPARE`` followed by
+anything but its own ``#DECIDE`` as corruption; at most one undecided
+prepare can exist, and only as the very last frame (the *in-doubt*
+state that :mod:`repro.store.recovery` resolves from the coordinator
+log).  :func:`resolve_decided` folds decided pairs into the replayable
+record list all consumers share.
+
 :class:`StoreIO` is the indirection point the fault-injection harness
 (:mod:`repro.store.faults`) hooks into: every filesystem touch the store
-makes goes through one of its methods.
+makes goes through one of its methods — including :meth:`~StoreIO.fault_point`,
+a no-op marker the 2PC coordinator drops at every protocol step so the
+crash harness can kill it there by name.
 """
 
 from __future__ import annotations
@@ -52,7 +76,10 @@ __all__ = [
     "ScanResult",
     "StoreIO",
     "encode_record",
+    "encode_prepare",
+    "encode_decide",
     "scan",
+    "resolve_decided",
     "encode_snapshot",
     "decode_snapshot",
     "header_generation",
@@ -61,6 +88,14 @@ __all__ = [
 
 _HEADER_RE = re.compile(
     rb"^#WAL seq=(\d+) gen=(\d+) len=(\d+) crc=0x([0-9a-f]{1,8})$"
+)
+_PREPARE_RE = re.compile(
+    rb"^#PREPARE txid=([0-9A-Za-z._-]+) seq=(\d+) gen=(\d+) len=(\d+) "
+    rb"crc=0x([0-9a-f]{1,8})$"
+)
+_DECIDE_RE = re.compile(
+    rb"^#DECIDE txid=([0-9A-Za-z._-]+) verdict=(commit|abort) seq=(\d+) "
+    rb"gen=(\d+) len=(\d+) crc=0x([0-9a-f]{1,8})$"
 )
 _TRAILER = b"#END\n"
 _SNAPSHOT_HEADER_RE = re.compile(r"^# repro-store snapshot gen=(\d+) format=1\s*$")
@@ -75,6 +110,16 @@ def _crc(seq: int, generation: int, payload: bytes) -> int:
     return zlib.crc32(f"{seq}:{generation}:".encode("ascii") + payload) & 0xFFFFFFFF
 
 
+def _crc_2pc(
+    kind: str, txid: str, verdict: str, seq: int, generation: int,
+    payload: bytes,
+) -> int:
+    """Checksum for the 2PC frame kinds: covers the protocol fields too,
+    so a flipped txid or verdict is caught like a flipped seq."""
+    prefix = f"{seq}:{generation}:{kind}:{txid}:{verdict}:"
+    return zlib.crc32(prefix.encode("ascii") + payload) & 0xFFFFFFFF
+
+
 @dataclass(frozen=True)
 class WalRecord:
     """One decoded journal frame."""
@@ -84,6 +129,9 @@ class WalRecord:
     payload: str
     offset: int  # byte offset of the frame's header line
     frame_length: int  # total frame size in bytes
+    kind: str = "commit"  # "commit" | "prepare" | "decide"
+    txid: Optional[str] = None  # 2PC transaction id (prepare/decide)
+    verdict: Optional[str] = None  # "commit" | "abort" (decide only)
 
     @property
     def end(self) -> int:
@@ -119,6 +167,31 @@ def encode_record(seq: int, generation: int, payload: str) -> bytes:
     return header + body + _TRAILER
 
 
+def encode_prepare(txid: str, seq: int, generation: int, payload: str) -> bytes:
+    """Frame one prepared (durable, not yet visible) transaction."""
+    body = payload.encode("utf-8")
+    if not body.endswith(b"\n"):
+        body += b"\n"
+    crc = _crc_2pc("prepare", txid, "", seq, generation, body)
+    header = (
+        f"#PREPARE txid={txid} seq={seq} gen={generation} len={len(body)} "
+        f"crc=0x{crc:08x}\n"
+    ).encode("ascii")
+    return header + body + _TRAILER
+
+
+def encode_decide(txid: str, verdict: str, seq: int, generation: int) -> bytes:
+    """Frame the coordinator's verdict for a prepared transaction."""
+    if verdict not in ("commit", "abort"):
+        raise ValueError(f"invalid 2PC verdict {verdict!r}")
+    crc = _crc_2pc("decide", txid, verdict, seq, generation, b"")
+    header = (
+        f"#DECIDE txid={txid} verdict={verdict} seq={seq} gen={generation} "
+        f"len=0 crc=0x{crc:08x}\n"
+    ).encode("ascii")
+    return header + _TRAILER
+
+
 def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
     """Decode frames from ``data`` until the end, a torn tail, or damage.
 
@@ -131,6 +204,7 @@ def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
     pos = 0
     expected_seq: Optional[int] = None
     current_gen: Optional[int] = None
+    pending_txid: Optional[str] = None
 
     def result(state: str, reason: Optional[str] = None) -> ScanResult:
         return ScanResult(records, pos, state, reason, total=len(data))
@@ -141,8 +215,31 @@ def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
             # No complete header line: can only be a torn header write.
             return result("torn", "incomplete frame header at end of journal")
         header = data[pos:newline]
+        kind = "commit"
+        txid: Optional[str] = None
+        verdict: Optional[str] = None
         match = _HEADER_RE.match(header)
-        if match is None:
+        if match is not None:
+            seq = int(match.group(1))
+            generation = int(match.group(2))
+            length = int(match.group(3))
+            crc = int(match.group(4), 16)
+        elif (match := _PREPARE_RE.match(header)) is not None:
+            kind = "prepare"
+            txid = match.group(1).decode("ascii")
+            seq = int(match.group(2))
+            generation = int(match.group(3))
+            length = int(match.group(4))
+            crc = int(match.group(5), 16)
+        elif (match := _DECIDE_RE.match(header)) is not None:
+            kind = "decide"
+            txid = match.group(1).decode("ascii")
+            verdict = match.group(2).decode("ascii")
+            seq = int(match.group(3))
+            generation = int(match.group(4))
+            length = int(match.group(5))
+            crc = int(match.group(6), 16)
+        else:
             # A newline-terminated line our appender never writes: if it
             # is the very last line it may still be a torn foreign
             # append, but either way it is not a frame prefix of ours.
@@ -151,10 +248,6 @@ def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
                 f"unrecognised journal header at byte {pos}: "
                 f"{header[:60]!r}",
             )
-        seq = int(match.group(1))
-        generation = int(match.group(2))
-        length = int(match.group(3))
-        crc = int(match.group(4), 16)
         body_start = newline + 1
         body_end = body_start + length
         if body_end + len(_TRAILER) > len(data):
@@ -164,7 +257,13 @@ def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
             return result(
                 "corrupt", f"frame at byte {pos} has no #END trailer"
             )
-        if _crc(seq, generation, body) != crc:
+        if kind == "commit":
+            expected_crc = _crc(seq, generation, body)
+        else:
+            expected_crc = _crc_2pc(
+                kind, txid or "", verdict or "", seq, generation, body
+            )
+        if expected_crc != crc:
             return result(
                 "corrupt", f"checksum mismatch in frame at byte {pos}"
             )
@@ -186,14 +285,69 @@ def scan(data: bytes, expect_generation: Optional[int] = None) -> ScanResult:
                 f"sequence gap at byte {pos}: expected seq={expected_seq}, "
                 f"found seq={seq}",
             )
+        # 2PC discipline: the appender never starts a new frame while a
+        # prepare is undecided, so an undecided prepare can only be the
+        # very last frame; a decide must answer the pending prepare.
+        if kind == "decide":
+            if pending_txid is None:
+                return result(
+                    "corrupt",
+                    f"decide frame at byte {pos} has no pending prepare",
+                )
+            if txid != pending_txid:
+                return result(
+                    "corrupt",
+                    f"decide frame at byte {pos} answers txid={txid}, but "
+                    f"the pending prepare is txid={pending_txid}",
+                )
+            pending_txid = None
+        else:
+            if pending_txid is not None:
+                return result(
+                    "corrupt",
+                    f"frame at byte {pos} follows an undecided prepare "
+                    f"(txid={pending_txid})",
+                )
+            if kind == "prepare":
+                pending_txid = txid
         current_gen = generation
         expected_seq = seq + 1
         frame_length = (body_end + len(_TRAILER)) - pos
         records.append(
-            WalRecord(seq, generation, body.decode("utf-8"), pos, frame_length)
+            WalRecord(
+                seq, generation, body.decode("utf-8"), pos, frame_length,
+                kind, txid, verdict,
+            )
         )
         pos = body_end + len(_TRAILER)
     return result("clean")
+
+
+def resolve_decided(
+    records: List[WalRecord],
+) -> Tuple[List[WalRecord], Optional[WalRecord]]:
+    """Fold 2PC pairs out of a scanned record list.
+
+    Returns ``(visible, pending)``: ``visible`` is the list of records
+    whose payloads a consumer should replay, in order — ordinary commit
+    frames plus every prepare whose decide frame says ``commit`` —
+    and ``pending`` is the trailing undecided prepare (``None`` when
+    every frame is decided).  An aborted prepare and both halves' decide
+    frames simply vanish from ``visible``.  :func:`scan` has already
+    enforced that prepares and decides pair up, so this never guesses.
+    """
+    visible: List[WalRecord] = []
+    pending: Optional[WalRecord] = None
+    for record in records:
+        if record.kind == "prepare":
+            pending = record
+        elif record.kind == "decide":
+            if record.verdict == "commit" and pending is not None:
+                visible.append(pending)
+            pending = None
+        else:
+            visible.append(record)
+    return visible, pending
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +408,13 @@ class StoreIO:
     def rename(self, src: str, dst: str) -> None:
         """Rename ``src`` to ``dst`` (``dst`` must not exist)."""
         os.rename(src, dst)
+
+    def fault_point(self, name: str) -> None:
+        """A named protocol step (e.g. ``2pc:decision``): a no-op here,
+        but :class:`repro.store.faults.FaultyIO` counts it as one
+        operation and can crash exactly there, so the crash harness can
+        kill the 2PC coordinator at every step *by name* instead of
+        hunting for the right raw-I/O index."""
 
     def fsync_dir(self, path: str) -> None:
         """Fsync a directory so renames within it are durable."""

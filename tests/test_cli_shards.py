@@ -1,8 +1,11 @@
 """CLI surface of sharded stores (``create --shard``, ``check
---shards``, ``fsck --shards``) plus the follow-mode shutdown behavior:
-Ctrl-C is a normal exit (0, message, no traceback) and a store that
-vanishes mid-follow ends the loop with a clear message and exit 1 —
-for both the single-store and the sharded follow paths."""
+--shards``, ``fsck --shards`` with its healthy/degraded/in-doubt exit
+codes, ``recover --shards`` resolving in-doubt 2PC participants,
+``--wait-lock`` backoff on held advisory locks) plus the follow-mode
+shutdown behavior: Ctrl-C is a normal exit (0, message, no traceback)
+and a store that vanishes mid-follow ends the loop with a clear
+message and exit 1 — for both the single-store and the sharded follow
+paths."""
 
 from __future__ import annotations
 
@@ -187,6 +190,156 @@ class TestFsckShards:
         out = capsys.readouterr().out
         assert "legality: ILLEGAL" in out
         assert "COMPOSITE VIEW CONSISTENT" not in out
+
+
+def _strand_in_doubt(path, schema_path, point):
+    """Crash a spanning transaction mid-2PC, leaving prepared-but-
+    unresolved participants on disk for fsck/recover to find."""
+    from repro.schema.dsl import load_dsl
+    from repro.store.faults import FaultPlan, FaultyIO, InjectedCrash
+    from repro.store.sharded import ShardedStore
+
+    io = FaultyIO(FaultPlan(crash_at_point=point))
+    store = ShardedStore.open(path, load_dsl(schema_path), io=io)
+    tx = (
+        UpdateTransaction()
+        .insert("uid=x,o=att", ["person", "top"],
+                {"uid": ["x"], "name": ["x att"]})
+        .insert("uid=y,ou=databases,ou=attLabs,o=att", ["person", "top"],
+                {"uid": ["y"], "name": ["y labs"]})
+    )
+    try:
+        with pytest.raises(InjectedCrash):
+            store.apply(tx)
+    finally:
+        store.close()  # a dead process drops its advisory locks
+
+
+class TestInDoubt2PC:
+    """``fsck --shards`` exit 3 on in-doubt 2PC state and
+    ``recover --shards`` resolving it with the coordinator's verdict."""
+
+    def test_fsck_reports_undecided_prepares(self, sharded_store, capsys):
+        schema, path = sharded_store
+        _strand_in_doubt(path, schema, "2pc:prepared:labs")
+        assert main(["fsck", path, "--schema", schema, "--shards"]) == 3
+        out = capsys.readouterr().out
+        assert ("IN DOUBT: shard att holds prepared transaction tx-1 "
+                "(coordinator verdict: abort)") in out
+        assert "IN DOUBT: shard labs" in out
+        assert "IN-DOUBT 2PC STATE (run `recover --shards` to resolve)" in out
+        assert "COMPOSITE VIEW CONSISTENT" not in out
+
+    def test_recover_shards_aborts_undecided(self, sharded_store, capsys):
+        schema, path = sharded_store
+        _strand_in_doubt(path, schema, "2pc:prepared:labs")
+        assert main(["recover", path, "--schema", schema, "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert "resolved 1 in-doubt 2PC transaction(s): tx-1" in out
+        assert "SHARDS RECOVERED" in out
+        # presumed abort: the store is healthy and the tx left no trace
+        assert main(["fsck", path, "--schema", schema, "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPOSITE VIEW CONSISTENT" in out
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards"]) == 0
+        assert "LEGAL: 6 entries" in capsys.readouterr().out
+
+    def test_recover_shards_commits_decided(self, sharded_store, capsys):
+        """A crash after the durable commit record but before the
+        participants heard the verdict: fsck names the commit verdict,
+        recover finishes the transaction."""
+        schema, path = sharded_store
+        _strand_in_doubt(path, schema, "2pc:decided:att")
+        assert main(["fsck", path, "--schema", schema, "--shards"]) == 3
+        out = capsys.readouterr().out
+        assert ("IN DOUBT: shard labs holds prepared transaction tx-1 "
+                "(coordinator verdict: commit)") in out
+        assert main(["recover", path, "--schema", schema, "--shards"]) == 0
+        assert "resolved 1 in-doubt" in capsys.readouterr().out
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards"]) == 0
+        assert "LEGAL: 8 entries" in capsys.readouterr().out
+
+    def test_recover_shards_requires_schema(self, sharded_store, capsys):
+        _, path = sharded_store
+        assert main(["recover", path, "--shards"]) == 2
+        assert "requires --schema" in capsys.readouterr().err
+
+    def test_recover_shards_healthy_store(self, sharded_store, capsys):
+        schema, path = sharded_store
+        assert main(["recover", path, "--schema", schema, "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert "no in-doubt 2PC transactions" in out
+        assert "SHARDS RECOVERED" in out
+
+    def test_recover_shards_not_a_sharded_store(self, plain_store, capsys):
+        schema, path = plain_store
+        assert main(["recover", path, "--schema", schema, "--shards"]) == 1
+        assert "recover:" in capsys.readouterr().out
+
+
+class TestWaitLock:
+    """``--wait-lock SECONDS``: bounded backoff on a held advisory
+    lock, reporting the holder's pid, instead of failing immediately."""
+
+    def _hold_shard_lock(self, path, schema_path):
+        from repro.schema.dsl import load_dsl
+        from repro.store.sharded import ShardedStore
+
+        return ShardedStore.open_shard(path, "att", load_dsl(schema_path))
+
+    def test_default_fails_fast(self, sharded_store, capsys):
+        schema, path = sharded_store
+        writer = self._hold_shard_lock(path, schema)
+        try:
+            assert main(["recover", path, "--schema", schema,
+                         "--shards"]) == 1
+        finally:
+            writer.close()
+        captured = capsys.readouterr()
+        assert "locked" in captured.out
+        assert "retrying" not in captured.err
+
+    def test_gives_up_after_deadline(self, sharded_store, capsys):
+        import os
+
+        schema, path = sharded_store
+        writer = self._hold_shard_lock(path, schema)
+        try:
+            assert main(["recover", path, "--schema", schema, "--shards",
+                         "--wait-lock", "0.2"]) == 1
+        finally:
+            writer.close()
+        err = capsys.readouterr().err
+        assert "recover: store is locked" in err and "retrying in" in err
+        assert f"held by pid {os.getpid()}" in err
+        assert "gave up waiting after 0.2s" in err
+
+    def test_waits_out_a_transient_holder(self, sharded_store, capsys):
+        import threading
+
+        schema, path = sharded_store
+        writer = self._hold_shard_lock(path, schema)
+        release = threading.Timer(0.25, writer.close)
+        release.start()
+        try:
+            assert main(["recover", path, "--schema", schema, "--shards",
+                         "--wait-lock", "10"]) == 0
+        finally:
+            release.cancel()
+            writer.close()
+        captured = capsys.readouterr()
+        assert "retrying in" in captured.err
+        assert "gave up" not in captured.err
+        assert "SHARDS RECOVERED" in captured.out
+
+    def test_create_accepts_wait_lock(self, paths, capsys):
+        schema, data, tmp = paths
+        path = str(tmp / "waited")
+        assert main(["create", path, "--schema", schema, "--data", data,
+                     "--wait-lock", "0.1", *SHARD_ARGS]) == 0
+        assert "created sharded store" in capsys.readouterr().out
 
 
 @pytest.fixture()

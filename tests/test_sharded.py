@@ -1,10 +1,12 @@
 """The sharded store and its composite reader.
 
-Covers the routed write path (wrong-shard routing raises, it never
+Covers the routed write path (unroutable DNs raise, it never
 mis-commits), per-shard + composite legality enforcement (content and
 shard-local checks inside each shard, required classes and cut-spanning
-Figure 4 edges on the composite view, with compensation on violation),
-the stitched read surface, and — the acceptance gate — a randomized
+Figure 4 edges on the composite view — single-shard transactions roll
+back in memory on violation, spanning ones commit or abort atomically
+through two-phase commit), the stitched read surface, and — the
+acceptance gate — a randomized
 differential: ``ShardedStore`` + ``CompositeReader`` must produce the
 same entries, search results, and legality verdicts as one
 ``DirectoryStore`` holding the union instance.
@@ -175,18 +177,60 @@ class TestApply:
             )
             assert found is not None
 
-    def test_spanning_transaction_raises(self, tmp_path, schema, registry):
+    def test_spanning_transaction_commits_via_2pc(
+        self, tmp_path, schema, registry
+    ):
+        """A transaction touching both shards commits atomically: each
+        participant journals a prepare + decide pair, the coordinator
+        log holds the commit decision, and the composite view has both
+        entries — durably."""
         with make_store(tmp_path, schema, registry) as store:
             tx = UpdateTransaction()
             tx.insert("uid=a,o=att", ["person", "top"],
                       {"uid": ["a"], "name": ["a a"]})
             tx.insert("uid=b,ou=attLabs,o=att", ["person", "top"],
                       {"uid": ["b"], "name": ["b b"]})
-            with pytest.raises(ShardRoutingError, match="spans shards"):
-                store.apply(tx)
-            # Nothing committed anywhere.
-            assert store.shard("att").journal_length == 0
-            assert store.shard("labs").journal_length == 0
+            outcome = store.apply(tx)
+            assert outcome.applied
+            assert any("2pc: committed" in c for c in outcome.checks)
+            # One prepare + one decide frame per participant.
+            assert store.shard("att").journal_length == 2
+            assert store.shard("labs").journal_length == 2
+            composite = store.composite_instance()
+            assert composite.find("uid=a,o=att") is not None
+            assert composite.find("uid=b,ou=attLabs,o=att") is not None
+            path = str(tmp_path / "sharded")
+        with ShardedStore.open(path, schema, registry) as reopened:
+            assert reopened.composite_instance().find("uid=a,o=att") is not None
+            assert (
+                reopened.composite_instance().find("uid=b,ou=attLabs,o=att")
+                is not None
+            )
+            assert reopened.check().is_legal
+
+    def test_spanning_composite_violation_aborts_everywhere(
+        self, tmp_path, schema, registry
+    ):
+        """A spanning transaction that fails the composite check aborts
+        on every participant: the prepares are decided ``abort`` and
+        never become visible, in memory or after a reopen."""
+        with make_store(tmp_path, schema, registry) as store:
+            before = canonical_records(store.composite_instance())
+            tx = UpdateTransaction()
+            tx.insert("uid=ok,o=att", ["person", "top"],
+                      {"uid": ["ok"], "name": ["o k"]})
+            tx.insert(  # empty orgUnit: composite Figure 4 violation
+                "ou=ghost,ou=attLabs,o=att",
+                ["orgUnit", "orgGroup", "top"], {"ou": ["ghost"]},
+            )
+            outcome = store.apply(tx)
+            assert not outcome.applied
+            assert any("2pc: aborted" in c for c in outcome.checks)
+            assert canonical_records(store.composite_instance()) == before
+            path = str(tmp_path / "sharded")
+        with ShardedStore.open(path, schema, registry) as reopened:
+            assert canonical_records(reopened.composite_instance()) == before
+            assert reopened.check().is_legal
 
     def test_unroutable_transaction_raises(self, tmp_path, schema, registry):
         with make_store(tmp_path, schema, registry) as store:
@@ -291,18 +335,24 @@ class TestCompositeEnforcement:
 
 class TestCutIntegrity:
     """The attachment entry — a nested shard's suffix entry inside its
-    enclosing shard — is part of the routing cut.  The routed write
-    path refuses to delete it (a spanning transaction in disguise: the
-    union store would prune the nested shard's whole subtree with it),
-    and when per-shard writers orphan a shard anyway, every read
-    surface *reports* the wreckage instead of raising on it."""
+    enclosing shard — is part of the routing cut.  Deleting it is a
+    spanning transaction: it commits through 2PC only when the same
+    transaction also deletes every entry of the nested shard (the union
+    store's leaves-only rule, mirrored across the cut), and when
+    per-shard writers orphan a shard anyway, every read surface
+    *reports* the wreckage instead of raising on it."""
 
-    def test_attachment_entry_delete_raises(self, tmp_path, schema, registry):
+    def test_attachment_entry_delete_requires_whole_subtree(
+        self, tmp_path, schema, registry
+    ):
+        """Deleting the attachment entry without the nested shard's
+        entries is exactly the union store's illegal non-leaf delete;
+        the precondition fires before anything durable happens."""
         with make_store(tmp_path, schema, registry) as store:
             tx = UpdateTransaction()
             tx.delete("o=att")
             tx.delete("uid=armstrong,o=att")
-            with pytest.raises(ShardRoutingError, match="would orphan shard"):
+            with pytest.raises(UpdateError, match="LDAP deletes leaves only"):
                 store.apply(tx)
             # Nothing committed anywhere; the store is untouched.
             assert store.shard("att").journal_length == 0
@@ -350,12 +400,17 @@ class TestCutIntegrity:
         assert merged.of_kind(Kind.ORPHANED_SHARD)
         assert entries == 4
 
-    def test_checker_crash_is_compensated(
+    def test_checker_crash_leaves_no_durable_footprint(
         self, tmp_path, schema, registry, monkeypatch
     ):
         """The composite check raising (a checker bug, not a verdict)
-        must not strand the already-committed shard state: apply
-        compensates first, then propagates the exception."""
+        must not strand tentative shard state: the single-shard fast
+        path stages the transaction in memory only, so the rollback
+        writes nothing — the journal stays empty and the pre-state
+        survives the exception and a reopen.  (The old path committed
+        first and compensated with an inverse transaction, leaving a
+        crash window between the two frames; 2PC-era apply has no such
+        window to close.)"""
         import repro.store.sharded as sharded_module
 
         with make_store(tmp_path, schema, registry) as store:
@@ -372,9 +427,9 @@ class TestCutIntegrity:
             with pytest.raises(RuntimeError, match="checker bug"):
                 store.apply(tx)
             monkeypatch.undo()
-            # Commit + exact inverse are both on the WAL; the composite
-            # state is the pre-state again, durably.
-            assert store.shard("att").journal_length == 2
+            # The tentative apply was memory-only: no frames hit the
+            # WAL, and the in-memory state is the pre-state again.
+            assert store.shard("att").journal_length == 0
             assert canonical_records(store.composite_instance()) == before
             assert store.check().is_legal
         path = str(tmp_path / "sharded")
@@ -559,8 +614,9 @@ def _mixed_tx(rng, instance, shard_map, counter):
 def _random_step(rng, union, shard_map, counter):
     """One randomized transaction (insert, whole-unit delete, or mixed
     insert+delete, with an occasional deliberately illegal insert),
-    constrained to route whole — spanning transactions are covered
-    separately (they must raise).
+    constrained to route whole — spanning transactions (which now
+    commit through 2PC) have their own differential,
+    :func:`test_spanning_differential_against_union_store`.
 
     Mixed transactions are in the stream on purpose: per-shard guards
     check every decomposed step while composite elements are checked
@@ -718,6 +774,185 @@ def test_differential_against_union_store(tmp_path, seed, bases, orgs):
         reader.close()
         sharded.close()
         union.close()
+
+
+def _spanning_step(rng, union, shard_map, counter, illegal=False):
+    """One randomized transaction built to *span* shards: either a
+    two-shard insert (a fresh unit+person pair in each of two shards)
+    or a mixed spanning step (a whole-unit delete in one shard plus a
+    fresh insert in another).  With ``illegal=True`` the second shard's
+    slice is an empty orgUnit, so the union store rejects and the
+    sharded store must abort the 2PC round with the same verdict."""
+    instance = union.instance
+    by_shard = {}
+    for p in insertion_points(instance):
+        try:
+            name = shard_map.route(p).name
+        except ShardRoutingError:
+            continue
+        by_shard.setdefault(name, []).append(p)
+    names = sorted(by_shard)
+    kind = rng.random()
+    if not illegal and kind < 0.35 and len(names) >= 2:
+        # Mixed spanning: delete a whole unit in one shard, insert a
+        # fresh unit+person in a different one — 2PC must hold the
+        # delete and the insert to one atomic verdict.
+        units = [
+            dn for dn in deletable_units(instance)
+            if _routable(shard_map, _unit_delete_tx(instance, dn))
+        ]
+        rng.shuffle(units)
+        for unit_dn in units:
+            owner = shard_map.route(unit_dn).name
+            others = [n for n in names if n != owner]
+            if not others:
+                continue
+            counter[0] += 1
+            tag = f"s{counter[0]}"
+            parent = rng.choice(by_shard[rng.choice(others)])
+            tx = _unit_delete_tx(instance, unit_dn)
+            tx.insert(
+                f"ou={tag},{parent}", ["orgUnit", "orgGroup", "top"],
+                {"ou": [tag]},
+            )
+            tx.insert(
+                f"uid=p{tag},ou={tag},{parent}", ["person", "top"],
+                {"uid": [f"p{tag}"], "name": [f"p {tag}"]},
+            )
+            return tx
+    chosen = (
+        rng.sample(names, 2) if len(names) >= 2 else list(names)
+    )
+    tx = UpdateTransaction()
+    for i, name in enumerate(chosen):
+        counter[0] += 1
+        tag = f"s{counter[0]}"
+        parent = rng.choice(by_shard[name])
+        tx.insert(
+            f"ou={tag},{parent}", ["orgUnit", "orgGroup", "top"],
+            {"ou": [tag]},
+        )
+        if illegal and i == 1:
+            continue  # the second slice stays an empty orgUnit
+        tx.insert(
+            f"uid=p{tag},ou={tag},{parent}", ["person", "top"],
+            {"uid": [f"p{tag}"], "name": [f"p {tag}"]},
+        )
+    return tx
+
+
+@pytest.mark.parametrize(
+    "bases,orgs",
+    [
+        pytest.param({"a": "o=org0", "b": "o=org1", "c": "o=org2"}, 3,
+                     id="flat-3-shards"),
+        # ``None`` marks a nested cut at the first generated unit (unit
+        # names depend on the seed, so the base is derived below).
+        pytest.param({"root": "o=org0", "cut": None}, 1, id="nested-cut"),
+    ],
+)
+@pytest.mark.parametrize("seed", [7, 23])
+def test_spanning_differential_against_union_store(tmp_path, seed, bases, orgs):
+    """The 2PC acceptance gate: randomized *spanning* insert+delete
+    transactions, committed (or aborted) through two-phase commit, must
+    produce byte-identical entries and identical verdicts vs a single
+    union ``DirectoryStore`` applying the same stream — including after
+    a reopen, so the durable prepare/decide frames replay to the same
+    state the union's ordinary frames do."""
+    schema = whitepages_schema()
+    registry = whitepages_registry()
+    initial = generate_whitepages(
+        orgs=orgs, units_per_level=2, depth=1, persons_per_unit=2, seed=seed
+    )
+    if None in bases.values():
+        first_unit = next(
+            initial.dn_string_of(e)
+            for e in initial
+            if initial.dn_string_of(e).startswith("ou=")
+            and initial.dn_string_of(e).count(",") == 1
+        )
+        bases = {
+            name: base if base is not None else first_unit
+            for name, base in bases.items()
+        }
+    union = DirectoryStore.create(
+        str(tmp_path / "union"), schema, initial, registry
+    )
+    sharded = ShardedStore.create(
+        str(tmp_path / "sharded"), schema, bases, initial, registry
+    )
+    reader = CompositeReader.open(str(tmp_path / "sharded"), schema, registry)
+    rng = random.Random(seed)
+    counter = [0]
+    accepted = rejected = spanning = 0
+    try:
+        for step in range(12):
+            tx = _spanning_step(
+                rng, union, sharded.shard_map, counter,
+                illegal=step in (4, 9),
+            )
+            owners = {sharded.shard_map.route(op.dn).name for op in tx}
+            if len(owners) > 1:
+                spanning += 1
+            union_outcome = union.apply(tx)
+            sharded_outcome = sharded.apply(tx)
+            assert union_outcome.applied == sharded_outcome.applied, (
+                f"step {step}: union said {union_outcome.applied}, "
+                f"sharded said {sharded_outcome.applied}\n"
+                f"union: {union_outcome.report}\n"
+                f"sharded: {sharded_outcome.report}"
+            )
+            if union_outcome.applied:
+                accepted += 1
+                if len(owners) > 1:
+                    assert any(
+                        "2pc: committed" in c for c in sharded_outcome.checks
+                    ), sharded_outcome.checks
+            else:
+                rejected += 1
+                if len(owners) > 1:
+                    assert any(
+                        "2pc: aborted" in c for c in sharded_outcome.checks
+                    ), sharded_outcome.checks
+                union_elements = {
+                    v.element for v in union_outcome.report if v.element
+                }
+                sharded_elements = {
+                    v.element for v in sharded_outcome.report if v.element
+                }
+                assert union_elements == sharded_elements, (
+                    f"step {step}: rejection cites different elements"
+                )
+            assert canonical_records(
+                sharded.composite_instance()
+            ) == canonical_records(union.instance), f"diverged at step {step}"
+            assert _search_view(
+                sharded.composite_instance()
+            ) == _search_view(union.instance)
+            refreshed = reader.refresh()
+            assert not refreshed.stale
+            assert canonical_records(reader.instance) == canonical_records(
+                union.instance
+            )
+            assert union.check().is_legal == sharded.check().is_legal
+        assert spanning >= 4 and accepted >= 3 and rejected >= 2, (
+            spanning, accepted, rejected,
+        )
+    finally:
+        reader.close()
+        sharded.close()
+        union.close()
+    # Durability: both journals replay to the same state — the sharded
+    # side through its prepare/decide pairs, the union through ordinary
+    # frames.
+    with DirectoryStore.open(str(tmp_path / "union"), schema, registry) as u:
+        with ShardedStore.open(
+            str(tmp_path / "sharded"), schema, registry
+        ) as s:
+            assert canonical_records(s.composite_instance()) == (
+                canonical_records(u.instance)
+            )
+            assert s.check().is_legal == u.check().is_legal
 
 
 def test_insert_under_deleted_entry_refused_identically(tmp_path):

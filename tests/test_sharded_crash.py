@@ -1,0 +1,135 @@
+"""The 2PC crash matrix: kill the coordinator/participant process at
+every named protocol step and at every I/O boundary, and assert the
+sharded store recovers to an all-or-nothing state.
+
+The default lane runs the named-point matrix (every protocol step of
+the commit and abort paths) plus a strided slice of the full I/O-op
+matrix; the nightly slow lane runs every op index at three torn-write
+fractions.  See ``tests/harness/crash2pc.py`` for the scenario and the
+recovery properties.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness.crash2pc import (
+    abort_tx,
+    allowed_2pc_states,
+    assert_atomic_recovery,
+    commit_tx,
+    dry_run_2pc,
+    make_sharded,
+    run_2pc_scenario,
+)
+from repro.store.faults import FaultPlan, FaultyIO, InjectedCrash
+
+COMMIT_PATH_POINTS = (
+    "2pc:begin",
+    "2pc:prepared:att",
+    "2pc:prepared:labs",
+    "2pc:decision",
+    "2pc:committed",
+    "2pc:decided:att",
+    "2pc:decided:labs",
+    "2pc:complete",
+)
+# Every point at or before "2pc:decision" precedes the coordinator
+# log's durable commit record — the single commit point — so a crash
+# there must recover to the pre-transaction state; every point after it
+# must recover to the committed state.
+PRE_DECISION = COMMIT_PATH_POINTS[:4]
+POST_DECISION = COMMIT_PATH_POINTS[4:]
+
+
+class TestNamedFaultPoints:
+    def test_commit_path_covers_every_protocol_step(self, tmp_path):
+        _, plan = dry_run_2pc(tmp_path, transactions=[commit_tx(1)])
+        assert tuple(plan.points) == COMMIT_PATH_POINTS
+
+    @pytest.mark.parametrize("point", COMMIT_PATH_POINTS)
+    def test_kill_at_point_on_commit_path(self, tmp_path, point):
+        """Crashing at each named step of a committing 2PC round leaves
+        — after recovery — exactly the state the commit point dictates:
+        pre-transaction before the durable commit record, committed
+        after it.  Never a mix."""
+        states, _ = dry_run_2pc(tmp_path, transactions=[commit_tx(1)])
+        path = str(tmp_path / "crash")
+        make_sharded(path)
+        io = FaultyIO(FaultPlan(crash_at_point=point))
+        with pytest.raises(InjectedCrash):
+            run_2pc_scenario(path, io, transactions=[commit_tx(1)])
+        got = assert_atomic_recovery(path, states, io.plan.ops_executed - 1)
+        expected = states[0][1] if point in PRE_DECISION else states[1][1]
+        assert got == expected, (
+            f"crash at {point}: recovered to the wrong side of the "
+            "commit point"
+        )
+
+    def test_abort_path_points_and_recovery(self, tmp_path):
+        """The abort path (composite rejection after the prepares)
+        crosses begin/prepare/decide points but never the commit-side
+        ones — and a crash at any of them recovers to the pre state."""
+        states, plan = dry_run_2pc(tmp_path, transactions=[abort_tx()])
+        points = tuple(plan.points)
+        assert "2pc:begin" in points and "2pc:decided:att" in points
+        assert "2pc:committed" not in points and "2pc:complete" not in points
+        for point in dict.fromkeys(points):
+            path = str(tmp_path / f"crash-{point.replace(':', '_')}")
+            make_sharded(path)
+            io = FaultyIO(FaultPlan(crash_at_point=point))
+            with pytest.raises(InjectedCrash):
+                run_2pc_scenario(path, io, transactions=[abort_tx()])
+            got = assert_atomic_recovery(
+                path, states, io.plan.ops_executed - 1
+            )
+            assert got == states[0][1], (
+                f"crash at {point}: an aborting transaction must never "
+                "surface its prepares"
+            )
+
+
+class TestOpMatrix:
+    def test_strided_io_crash_matrix(self, tmp_path):
+        """Default-lane smoke slice: every 5th I/O boundary of the full
+        scenario (commit → abort → commit), full-frame writes."""
+        self._run_matrix(tmp_path, stride=5, fractions=(1.0,))
+
+    @pytest.mark.slow
+    def test_every_io_boundary_and_torn_fraction(self, tmp_path):
+        """Nightly lane: the full matrix — every I/O boundary of the
+        scenario at three torn-write fractions."""
+        self._run_matrix(tmp_path, stride=1, fractions=(0.0, 0.5, 1.0))
+
+    @staticmethod
+    def _run_matrix(tmp_path, stride, fractions):
+        states, plan = dry_run_2pc(tmp_path)
+        total_ops = plan.ops_executed
+        assert total_ops >= 30, f"scenario too small: {plan.trace}"
+        checked = 0
+        for crash_op in range(0, total_ops, stride):
+            for fraction in fractions:
+                path = str(
+                    tmp_path / f"crash-{crash_op}-{int(fraction * 10)}"
+                )
+                make_sharded(path)
+                io = FaultyIO(
+                    FaultPlan(crash_at_op=crash_op, torn_fraction=fraction)
+                )
+                try:
+                    run_2pc_scenario(path, io)
+                except InjectedCrash:
+                    pass
+                else:
+                    pytest.fail(f"op {crash_op} never executed")
+                assert_atomic_recovery(path, states, crash_op)
+                checked += 1
+        assert checked == len(fractions) * len(range(0, total_ops, stride))
+
+
+def test_in_flight_states_match_dry_run(tmp_path):
+    """The committed-prefix rule's sanity check: the undisturbed run's
+    own decided states are each allowed at their recorded op index."""
+    states, _ = dry_run_2pc(tmp_path)
+    for ops, state in states:
+        assert state in allowed_2pc_states(states, ops)

@@ -1,0 +1,135 @@
+"""Unit tests for the 2PC coordinator log: the presumed-abort decision
+rule, torn-tail quarantine, corruption refusal, and compaction."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.txlog import (
+    TXLOG_FILE,
+    TXLOG_QUARANTINE_FILE,
+    TxLog,
+    inspect_txlog,
+)
+
+
+def log_path(tmp_path) -> str:
+    return os.path.join(str(tmp_path), TXLOG_FILE)
+
+
+class TestProtocol:
+    def test_begin_commit_complete_roundtrip(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        txid = log.begin(["att", "labs"])
+        assert txid == "tx-1"
+        assert log.verdict(txid) == "abort"  # no commit record yet
+        log.commit(txid)
+        assert log.verdict(txid) == "commit"
+        log.complete(txid)
+        assert log.verdict(txid) == "commit"
+        assert not log.unfinished()
+        # the decisions are durable: a fresh open agrees
+        reopened = TxLog.open(str(tmp_path))
+        assert reopened.verdict(txid) == "commit"
+        assert not reopened.unfinished()
+        assert reopened.states()[txid].participants == ("att", "labs")
+
+    def test_abort_roundtrip(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        txid = log.begin(["att", "labs"])
+        log.abort(txid)
+        log.complete(txid)
+        assert TxLog.open(str(tmp_path)).verdict(txid) == "abort"
+
+    def test_presumed_abort_for_unknown_and_undecided(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        # a txid the log never heard of (its begin died with the crash)
+        assert log.verdict("tx-404") == "abort"
+        # a begin with no durable decision
+        txid = log.begin(["att"])
+        assert TxLog.open(str(tmp_path)).verdict(txid) == "abort"
+        assert txid in TxLog.open(str(tmp_path)).unfinished()
+
+    def test_txids_are_monotonic_across_reopens(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        assert log.begin(["att"]) == "tx-1"
+        assert log.begin(["labs"]) == "tx-2"
+        assert TxLog.open(str(tmp_path)).begin(["att"]) == "tx-3"
+
+    def test_recording_unknown_txid_raises(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        with pytest.raises(StoreError, match="no transaction"):
+            log.commit("tx-99")
+
+
+class TestDamage:
+    def test_torn_tail_quarantined_and_truncated(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        txid = log.begin(["att", "labs"])
+        log.commit(txid)
+        log.complete(txid)
+        with open(log_path(tmp_path), "ab") as fh:
+            fh.write(b"#WAL seq=4 gen=1 le")  # torn mid-header
+        reopened = TxLog.open(str(tmp_path))
+        assert reopened.verdict(txid) == "commit"
+        quarantine = os.path.join(str(tmp_path), TXLOG_QUARANTINE_FILE)
+        assert os.path.exists(quarantine)
+        with open(quarantine, "rb") as fh:
+            assert b"torn tail" in fh.read()
+        # the truncation is durable: the next open sees a clean log
+        assert TxLog.open(str(tmp_path)).verdict(txid) == "commit"
+
+    def test_corrupt_log_refuses_to_open(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        log.begin(["att"])
+        with open(log_path(tmp_path), "r+b") as fh:
+            data = fh.read()
+            fh.seek(data.find(b"crc=") + 6)
+            fh.write(b"00")
+        with pytest.raises(StoreError, match="corrupt"):
+            TxLog.open(str(tmp_path))
+        with pytest.raises(StoreError, match="corrupt"):
+            inspect_txlog(str(tmp_path))
+
+    def test_non_json_payload_is_typed_error(self, tmp_path):
+        from repro.store import wal
+
+        with open(log_path(tmp_path), "wb") as fh:
+            fh.write(wal.encode_record(1, 1, "not json"))
+        with pytest.raises(StoreError, match="not\\s+valid JSON"):
+            TxLog.open(str(tmp_path))
+
+
+class TestInspectAndCompact:
+    def test_inspect_missing_log_is_none(self, tmp_path):
+        assert inspect_txlog(str(tmp_path)) is None
+
+    def test_inspect_tolerates_torn_tail_without_rewriting(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        txid = log.begin(["att"])
+        log.commit(txid)
+        with open(log_path(tmp_path), "ab") as fh:
+            fh.write(b"#WAL seq=9 gen=1 le")
+        before = open(log_path(tmp_path), "rb").read()
+        loaded = inspect_txlog(str(tmp_path))
+        assert loaded is not None and loaded.verdict(txid) == "commit"
+        assert open(log_path(tmp_path), "rb").read() == before
+        assert not os.path.exists(
+            os.path.join(str(tmp_path), TXLOG_QUARANTINE_FILE)
+        )
+
+    def test_compact_drops_finished_keeps_unfinished(self, tmp_path):
+        log = TxLog.open(str(tmp_path))
+        done = log.begin(["att", "labs"])
+        log.commit(done)
+        log.complete(done)
+        pending = log.begin(["att"])
+        log.compact()
+        survivors = TxLog.open(str(tmp_path)).states()
+        assert done not in survivors
+        assert pending in survivors
+        assert survivors[pending].state == "begin"
+        assert survivors[pending].verdict == "abort"

@@ -12,8 +12,11 @@ from repro.store.recovery import recover, scan_store
 from repro.store.wal import (
     LEGACY_GENERATION,
     decode_snapshot,
+    encode_decide,
+    encode_prepare,
     encode_record,
     encode_snapshot,
+    resolve_decided,
     scan,
 )
 from repro.updates.operations import UpdateTransaction
@@ -93,6 +96,85 @@ class TestFrameFormat:
         result = scan(data)
         assert result.tail_state == "corrupt"
         assert len(result.records) == 1
+
+
+class Test2PCFrames:
+    """The ``#PREPARE``/``#DECIDE`` frame pair and the scan discipline
+    that keeps in-doubt state out of every reader."""
+
+    def test_prepare_decide_roundtrip(self):
+        data = (
+            encode_prepare("tx-1", 1, 3, PAYLOAD)
+            + encode_decide("tx-1", "commit", 2, 3)
+        )
+        result = scan(data)
+        assert result.tail_state == "clean"
+        prepare, decide = result.records
+        assert (prepare.kind, prepare.txid, prepare.seq) == ("prepare", "tx-1", 1)
+        assert prepare.payload == PAYLOAD
+        assert (decide.kind, decide.txid, decide.verdict) == (
+            "decide", "tx-1", "commit",
+        )
+
+    def test_undecided_prepare_is_clean_only_as_last_frame(self):
+        data = encode_record(1, 1, PAYLOAD) + encode_prepare("tx-9", 2, 1, PAYLOAD)
+        result = scan(data)
+        assert result.tail_state == "clean"
+        assert result.records[-1].kind == "prepare"
+        # ... but any frame AFTER an undecided prepare is corruption:
+        # the appender never starts a new frame while one is pending.
+        overrun = data + encode_record(3, 1, PAYLOAD)
+        result = scan(overrun)
+        assert result.tail_state == "corrupt"
+        assert "undecided prepare" in result.tail_reason
+
+    def test_decide_without_pending_prepare_is_corrupt(self):
+        data = encode_record(1, 1, PAYLOAD) + encode_decide("tx-1", "commit", 2, 1)
+        result = scan(data)
+        assert result.tail_state == "corrupt"
+        assert "no pending prepare" in result.tail_reason
+
+    def test_decide_for_wrong_txid_is_corrupt(self):
+        data = (
+            encode_prepare("tx-1", 1, 1, PAYLOAD)
+            + encode_decide("tx-2", "commit", 2, 1)
+        )
+        result = scan(data)
+        assert result.tail_state == "corrupt"
+        assert "tx-2" in result.tail_reason and "tx-1" in result.tail_reason
+
+    def test_torn_prepare_is_torn_not_corrupt(self):
+        frame = encode_prepare("tx-1", 1, 1, PAYLOAD)
+        for cut in range(1, len(frame)):
+            result = scan(frame[:cut])
+            assert result.tail_state == "torn", f"cut at {cut}"
+            assert result.records == []
+
+    def test_prepare_checksum_covers_txid(self):
+        frame = bytearray(encode_prepare("tx-1", 1, 1, PAYLOAD))
+        frame[frame.find(b"tx-1") + 3] = ord("7")  # tx-1 -> tx-7
+        assert scan(bytes(frame)).tail_state == "corrupt"
+
+    def test_resolve_decided_folds_pairs(self):
+        data = (
+            encode_record(1, 1, PAYLOAD)
+            + encode_prepare("tx-1", 2, 1, PAYLOAD + "# committed tx\n")
+            + encode_decide("tx-1", "commit", 3, 1)
+            + encode_prepare("tx-2", 4, 1, PAYLOAD + "# aborted tx\n")
+            + encode_decide("tx-2", "abort", 5, 1)
+            + encode_prepare("tx-3", 6, 1, PAYLOAD + "# in doubt\n")
+        )
+        result = scan(data)
+        assert result.tail_state == "clean"
+        visible, pending = resolve_decided(result.records)
+        # ordinary frame + the committed prepare; the aborted pair and
+        # both decide frames vanish; the trailing prepare is in doubt.
+        assert [r.seq for r in visible] == [1, 2]
+        assert pending is not None and pending.txid == "tx-3"
+
+    def test_invalid_verdict_rejected_at_encode_time(self):
+        with pytest.raises(ValueError, match="verdict"):
+            encode_decide("tx-1", "maybe", 1, 1)
 
 
 class TestSnapshotHeader:

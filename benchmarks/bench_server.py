@@ -1,0 +1,236 @@
+"""Extension benchmark — the asyncio network front-end.
+
+Claims under test: (1) **saturation** — connections × throughput is
+recorded at escalating client counts up to ~1k concurrent connections
+at ``BENCH_SERVER_SCALE=1.0``, with p50/p95/p99 search latency; and
+(2) **reads never block on the writer** — every connection owns a
+lock-free WAL-following reader, and mutations funnel through a single
+writer thread, so p99 search latency under a sustained write storm
+must stay within 2x of the idle-writer p99.
+
+The 2x gate arms at ``BENCH_SERVER_SCALE >= 1.0`` on a multi-core
+machine; smoke runs (CI default lane) exercise both phases and record
+the ratio only — at tiny client counts per-commit fsync noise
+dominates the percentiles.
+"""
+
+import asyncio
+import os
+import statistics
+import time
+
+from repro.server.client import DirectoryClient
+from repro.server.server import DirectoryServer
+from repro.store.sharded import ShardedStore
+from repro.workloads import (
+    figure1_instance,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+from _helpers import print_series
+
+SCALE = float(os.environ.get("BENCH_SERVER_SCALE", "1.0"))
+CLIENTS = max(8, int(1000 * SCALE))
+SEARCHES_PER_CLIENT = 5
+CONNECT_WAVE = 64  # simultaneous connects (the listen backlog is finite)
+NESTED_BASES = {"att": "o=att", "labs": "ou=attLabs,o=att"}
+try:
+    CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux
+    CPUS = os.cpu_count() or 1
+GATE_ARMED = SCALE >= 1.0 and CPUS >= 2
+
+
+def _raise_fd_limit() -> None:
+    """1k clients need ~2k descriptors on each side; lift the soft
+    limit toward the hard one (best effort — the ladder still runs at
+    whatever the OS grants)."""
+    try:
+        import resource
+
+        need = CLIENTS * 2 + 512
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < need:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE, (min(need, hard), hard)
+            )
+    except Exception:  # pragma: no cover - platform quirks
+        pass
+
+
+def _make_store(tmp_path, name: str) -> str:
+    path = str(tmp_path / name)
+    ShardedStore.create(
+        path,
+        whitepages_schema(),
+        NESTED_BASES,
+        figure1_instance(),
+        whitepages_registry(),
+    ).close()
+    return path
+
+
+def _percentiles(samples):
+    s = sorted(samples)
+
+    def pct(q):
+        return s[min(len(s) - 1, int(q * len(s)))]
+
+    return pct(0.50), pct(0.95), pct(0.99)
+
+
+async def _run_clients(port: int, n_clients: int, latencies: list) -> float:
+    """Connect ``n_clients`` (in waves), then fire every client's
+    search loop concurrently; returns the search-phase wall time and
+    appends one latency sample per search."""
+    gate = asyncio.Semaphore(CONNECT_WAVE)
+
+    async def connect():
+        async with gate:
+            client = await DirectoryClient.connect("127.0.0.1", port)
+            await client.bind("cn=bench")
+            return client
+
+    clients = await asyncio.gather(*(connect() for _ in range(n_clients)))
+
+    async def search_loop(client):
+        for _ in range(SEARCHES_PER_CLIENT):
+            start = time.perf_counter()
+            response = await client.search(filter="(objectClass=person)")
+            latencies.append(time.perf_counter() - start)
+            assert response["entries"]
+
+    try:
+        start = time.perf_counter()
+        await asyncio.gather(*(search_loop(c) for c in clients))
+        return time.perf_counter() - start
+    finally:
+        await asyncio.gather(
+            *(c.close() for c in clients), return_exceptions=True
+        )
+
+
+async def _write_storm(port: int, stop: asyncio.Event) -> int:
+    """A dedicated connection committing add+delete pairs flat out
+    until told to stop; returns the number of committed writes."""
+    client = await DirectoryClient.connect("127.0.0.1", port)
+    writes = 0
+    try:
+        await client.bind("cn=writer")
+        while not stop.is_set():
+            dn = f"uid=storm{writes},o=att"
+            added = await client.add(
+                dn, ["person", "top"],
+                {"uid": [f"storm{writes}"], "name": [f"storm {writes}"]},
+            )
+            assert added["applied"]
+            removed = await client.delete(dn)
+            assert removed["applied"]
+            writes += 2
+    finally:
+        await client.close()
+    return writes
+
+
+async def _serve(path: str):
+    server = DirectoryServer(
+        path, whitepages_schema(), whitepages_registry(),
+        shards=True, port=0,
+    )
+    await server.start()
+    return server
+
+
+def test_connection_throughput_ladder(benchmark, tmp_path):
+    """Connections x throughput: the saturation curve at escalating
+    client counts (recorded — the shape, not an absolute gate)."""
+    _raise_fd_limit()
+    path = _make_store(tmp_path, "ladder")
+    ladder = sorted({max(2, CLIENTS // 16), max(4, CLIENTS // 4), CLIENTS})
+
+    async def run():
+        server = await _serve(path)
+        rows = []
+        try:
+            for n in ladder:
+                latencies = []
+                wall = await _run_clients(server.port, n, latencies)
+                p50, p95, p99 = _percentiles(latencies)
+                rows.append((n, len(latencies) / wall, p50, p95, p99))
+        finally:
+            await server.stop(drain=False)
+        return rows
+
+    rows = asyncio.run(run())
+    print_series(
+        "server: connections x throughput (searches/s, p50/p95/p99 ms)",
+        [
+            (f"{n} clients",
+             f"{rate:,.0f}/s",
+             f"{p50 * 1e3:.2f}/{p95 * 1e3:.2f}/{p99 * 1e3:.2f}ms")
+            for n, rate, p50, p95, p99 in rows
+        ],
+    )
+    top = rows[-1]
+    benchmark.extra_info["clients"] = top[0]
+    benchmark.extra_info["searches_per_second"] = round(top[1], 1)
+    benchmark.extra_info["p99_ms"] = round(top[4] * 1e3, 3)
+    benchmark(lambda: None)
+
+
+def test_write_storm_read_latency_gate(benchmark, tmp_path):
+    """The reads-never-block-writes gate: p99 search latency at full
+    client count with a sustained writer committing must stay within
+    2x of the idle-writer p99 (armed at SCALE >= 1.0, multi-core)."""
+    _raise_fd_limit()
+    path = _make_store(tmp_path, "storm")
+
+    async def run():
+        server = await _serve(path)
+        try:
+            idle = []
+            await _run_clients(server.port, CLIENTS, idle)
+            stop = asyncio.Event()
+            storm_task = asyncio.create_task(
+                _write_storm(server.port, stop)
+            )
+            stormy = []
+            try:
+                await _run_clients(server.port, CLIENTS, stormy)
+            finally:
+                stop.set()
+                writes = await storm_task
+            return idle, stormy, writes
+        finally:
+            await server.stop(drain=False)
+
+    idle, stormy, writes = asyncio.run(run())
+    assert writes > 0, "the write storm never committed — no contention"
+    idle_p = _percentiles(idle)
+    storm_p = _percentiles(stormy)
+    ratio = storm_p[2] / max(idle_p[2], 1e-9)
+    print_series(
+        "server: search latency, idle writer vs write storm",
+        [
+            ("idle p50/p95/p99",
+             "/".join(f"{v * 1e3:.2f}" for v in idle_p) + "ms"),
+            ("storm p50/p95/p99",
+             "/".join(f"{v * 1e3:.2f}" for v in storm_p) + "ms"),
+            (f"{writes} writes committed during the storm phase",),
+            (f"p99 ratio={ratio:.2f}x ({CLIENTS} clients, {CPUS} cpus, "
+             f"gate {'armed' if GATE_ARMED else 'recorded only'})",),
+        ],
+    )
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["idle_p99_ms"] = round(idle_p[2] * 1e3, 3)
+    benchmark.extra_info["storm_p99_ms"] = round(storm_p[2] * 1e3, 3)
+    benchmark.extra_info["p99_ratio"] = round(ratio, 3)
+    benchmark.extra_info["storm_writes"] = writes
+    if GATE_ARMED:
+        assert ratio <= 2.0, (
+            "p99 search latency under a write storm must stay within "
+            f"2x of the idle-writer p99: {ratio:.2f}x "
+            f"(idle {idle_p[2] * 1e3:.2f}ms, storm {storm_p[2] * 1e3:.2f}ms)"
+        )
+    benchmark(lambda: None)

@@ -122,6 +122,15 @@ def _check_store(args: argparse.Namespace) -> int:
     from repro.store.reader import StoreReader
     from repro.store.recovery import SNAPSHOT_FILE
 
+    if args.follow and args.interval <= 0:
+        # A zero or negative interval would busy-spin the CPU between
+        # refreshes; refuse it up front (covers --shards follow too).
+        print(
+            f"check: --interval must be positive with --follow "
+            f"(got {args.interval:g})",
+            file=sys.stderr,
+        )
+        return 2
     schema = load_dsl(args.schema)
     jobs = args.jobs if args.jobs > 0 else default_parallelism()
     if getattr(args, "shards", False):
@@ -767,6 +776,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve STORE --schema S.dsl [--shards] [--port N]``: run the
+    asyncio network front-end (:mod:`repro.server`) over the store.
+    SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+    requests finish, then the store's writer lock is released."""
+    import asyncio
+    import signal
+
+    from repro.errors import ShardMapError, StoreError
+    from repro.server import DirectoryServer
+
+    schema = load_dsl(args.schema)
+
+    async def run() -> int:
+        server = DirectoryServer(
+            args.store,
+            schema,
+            shards=args.shards,
+            jobs=args.jobs,
+            host=args.host,
+            port=args.port,
+            structure=args.structure,
+        )
+        try:
+            await server.start()
+        except (StoreError, ShardMapError, OSError) as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"serving {args.store} on {args.host}:{server.port}"
+            + (" (sharded)" if args.shards else ""),
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("draining connections and shutting down", file=sys.stderr)
+        await server.stop(drain=True)
+        return 0
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -978,6 +1035,41 @@ def build_parser() -> argparse.ArgumentParser:
         "advisory lock (default 0: fail immediately)",
     )
     recover.set_defaults(func=_cmd_recover)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a store over the network (asyncio, LDAP-ish wire "
+        "protocol; see repro.server)",
+    )
+    serve.add_argument("store", help="store directory to serve")
+    serve.add_argument("--schema", required=True)
+    serve.add_argument(
+        "--shards",
+        action="store_true",
+        help="STORE is a sharded store root: serve the composite view",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="per-connection legality-check parallelism (default 0: "
+        "engine default)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=3890,
+        help="bind port (0: ephemeral; the bound port is printed either "
+        "way)",
+    )
+    serve.add_argument(
+        "--structure",
+        choices=["batched", "query", "naive"],
+        default="batched",
+        help="structure-checking strategy for the check extended op",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="structural summary of an LDIF instance")
     stats.add_argument("--data", required=True)

@@ -39,7 +39,11 @@ __all__ = [
     "ModifyRecord",
     "RenameRecord",
     "parse_modifications",
+    "serialize_modification",
     "apply_modification",
+    "apply_modify_blind",
+    "inverse_modification",
+    "resolve_modification",
 ]
 
 
@@ -143,26 +147,34 @@ def parse_modifications(text: str) -> List:
     return records
 
 
-def apply_modification(
-    guard: IncrementalChecker, record
-) -> UpdateOutcome:
-    """Apply one modify or modrdn record through the incremental checker.
+def serialize_modification(record: ModifyRecord) -> str:
+    """Render one modify record as RFC 2849 LDIF —
+    :func:`parse_modifications` is its inverse.  This is the journal
+    payload format for in-place modifications
+    (:meth:`repro.store.journal.DirectoryStore.modify`)."""
+    from repro.ldif.writer import _attribute_line, _fold
 
-    For modify records, RFC semantics are resolved against the current
-    entry: ``add`` merges values, ``delete`` removes the named values
-    (or all values when the clause has none), ``replace`` substitutes
-    the value set; ``objectClass`` clauses become class
-    additions/removals.  Modrdn records become guarded
-    :meth:`~repro.updates.incremental.IncrementalChecker.try_move`
-    calls.
+    lines: List[str] = []
+    lines.extend(_fold(_attribute_line("dn", str(record.dn))))
+    lines.append("changetype: modify")
+    for op in record.ops:
+        lines.extend(_fold(_attribute_line(op.op, op.attribute)))
+        for value in op.values:
+            lines.extend(_fold(_attribute_line(op.attribute, value)))
+        lines.append("-")
+    return "\n".join(lines) + "\n"
+
+
+def resolve_modification(instance, record: ModifyRecord):
+    """Resolve a modify record's clauses against the current entry into
+    ``(add_classes, remove_classes, replace_attributes)``.
+
+    RFC semantics: ``add`` merges values, ``delete`` removes the named
+    values (or all values when the clause has none), ``replace``
+    substitutes the value set; ``objectClass`` clauses become class
+    additions/removals (``replace`` on ``objectClass`` is rejected).
     """
-    if isinstance(record, RenameRecord):
-        return guard.try_move(
-            record.dn,
-            new_parent=record.new_superior,
-            new_rdn=record.new_rdn,
-        )
-    entry = guard.instance.entry(str(record.dn))
+    entry = instance.entry(str(record.dn))
     add_classes: List[str] = []
     remove_classes: List[str] = []
     replace_attributes = {}
@@ -194,9 +206,83 @@ def apply_modification(
         else:  # replace
             replace_attributes[op.attribute] = list(op.values)
 
+    return add_classes, remove_classes, replace_attributes
+
+
+def apply_modification(
+    guard: IncrementalChecker, record
+) -> UpdateOutcome:
+    """Apply one modify or modrdn record through the incremental checker.
+
+    Modify clauses are resolved by :func:`resolve_modification` and run
+    through
+    :meth:`~repro.updates.incremental.IncrementalChecker.try_modify`
+    (rolled back on violation); modrdn records become guarded
+    :meth:`~repro.updates.incremental.IncrementalChecker.try_move`
+    calls.
+    """
+    if isinstance(record, RenameRecord):
+        return guard.try_move(
+            record.dn,
+            new_parent=record.new_superior,
+            new_rdn=record.new_rdn,
+        )
+    add_classes, remove_classes, replace_attributes = resolve_modification(
+        guard.instance, record
+    )
     return guard.try_modify(
         record.dn,
         add_classes=add_classes,
         remove_classes=remove_classes,
         replace_attributes=replace_attributes,
     )
+
+
+def apply_modify_blind(instance, record: ModifyRecord) -> None:
+    """Re-apply a committed modify record onto ``instance`` with no
+    legality guard — the journal-replay analogue of
+    :func:`repro.updates.transactions.apply_subtree_update` for
+    insert/delete frames.  Only :class:`ModifyRecord` is journaled;
+    modrdn stays a memory-only extension.
+    """
+    if not isinstance(record, ModifyRecord):
+        raise LdifError(
+            "only changetype: modify records are journaled; "
+            f"cannot blind-apply {type(record).__name__}"
+        )
+    add_classes, remove_classes, replace_attributes = resolve_modification(
+        instance, record
+    )
+    entry = instance.entry(str(record.dn))
+    for cls in add_classes:
+        entry.add_class(cls)
+    for cls in remove_classes:
+        entry.remove_class(cls)
+    for name, values in replace_attributes.items():
+        entry.replace_values(name, values)
+
+
+def inverse_modification(instance, record: ModifyRecord) -> ModifyRecord:
+    """The modify record that undoes ``record`` — computed against the
+    *pre*-state, so it must be built before the forward record is
+    applied.  Blind-applying the result restores every touched
+    attribute to its prior value set and reverts class changes.
+
+    The returned record may have zero clauses (a no-op forward modify);
+    it is for :func:`apply_modify_blind` only, not for re-parsing.
+    """
+    entry = instance.entry(str(record.dn))
+    add_classes, remove_classes, replace_attributes = resolve_modification(
+        instance, record
+    )
+    ops: List[ModifyOp] = []
+    added = [c for c in add_classes if c not in entry.classes]
+    removed = [c for c in remove_classes if c in entry.classes]
+    if added:
+        ops.append(ModifyOp("delete", OBJECT_CLASS, tuple(added)))
+    if removed:
+        ops.append(ModifyOp("add", OBJECT_CLASS, tuple(removed)))
+    for name in replace_attributes:
+        prior = tuple(entry.values(name))
+        ops.append(ModifyOp("replace", name, prior))
+    return ModifyRecord(record.dn, tuple(ops))

@@ -1,13 +1,23 @@
-"""Recursive-descent parser for RFC 2254 LDAP search filters.
+"""Recursive-descent parser for RFC 2254/4515 LDAP search filters.
 
 Supports the full grammar used by LDAP clients: ``&``, ``|``, ``!``
 combinators, equality, presence (``=*``), substrings
 (``=initial*any*final``), ordering (``>=``, ``<=``), and approximate
 matching (``~=``), with ``\\XX`` hex escapes in values.
 
-The parser is the inverse of ``str()`` on the filter AST:
-``parse_filter(str(f))`` is structurally equal to ``f`` for every filter
-``f`` this library produces.
+Escaping follows RFC 4515 in *every* comparator: ``\\2a`` ``\\28``
+``\\29`` ``\\5c`` are the escaped forms of ``*`` ``(`` ``)`` ``\\``, and
+an escaped ``*`` inside an equality or substring value is a literal
+asterisk, never a wildcard — only *raw* ``*`` characters delimit
+substring components.
+
+:func:`render_filter` is the inverse: ``parse_filter(render_filter(f))``
+is structurally equal to ``f`` for every canonical filter ``f`` (see the
+function's docstring for what canonical rules out), and
+``render_filter(parse_filter(s))`` round-trips for every valid filter
+string ``s`` up to canonicalization of degenerate substring patterns
+(``(cn=**)`` and ``(cn=*)`` both mean presence and both parse to
+:class:`~repro.query.filters.Present`).
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from repro.query.filters import (
     Substring,
 )
 
-__all__ = ["parse_filter"]
+__all__ = ["parse_filter", "render_filter"]
 
 
 class _Parser:
@@ -117,10 +127,19 @@ class _Parser:
         return self.text[start:self.pos]
 
     def _substring(self, attribute: str, raw: str) -> Filter:
+        # Split on RAW asterisks only: escaped ones (\2a) are still the
+        # three-character escape sequence here, so they survive the
+        # split and become literal '*' characters after unescaping.
         parts = raw.split("*")
         initial = self._unescape(parts[0])
         final = self._unescape(parts[-1])
         middle = tuple(self._unescape(p) for p in parts[1:-1] if p != "")
+        if not initial and not middle and not final:
+            # Degenerate patterns of nothing but wildcards ('**', '***',
+            # ...) assert only that the attribute has a value — exactly
+            # the presence test, which is also how they render, so the
+            # parse->render->parse round trip stays the identity.
+            return Present(attribute)
         return Substring(attribute, initial, middle, final)
 
     def _unescape(self, raw: str) -> str:
@@ -152,3 +171,20 @@ def parse_filter(text: str) -> Filter:
         On any syntax error; the message includes the failing position.
     """
     return _Parser(text.strip()).parse()
+
+
+def render_filter(node: Filter) -> str:
+    """Render a filter AST as its RFC 2254/4515 string.
+
+    The exact inverse of :func:`parse_filter` on canonical filters:
+    ``parse_filter(render_filter(f)) == f`` whenever every
+    :class:`~repro.query.filters.Substring` in ``f`` has no empty
+    ``any_parts`` entry and at least one non-empty component (the RFC
+    4515 grammar cannot express empty ``any`` components, and an
+    all-empty substring pattern is the presence test
+    :class:`~repro.query.filters.Present` — degenerate shapes render to
+    their canonical equivalent instead).  Literal ``* ( ) \\`` and NUL
+    characters in values are escaped as ``\\2a \\28 \\29 \\5c \\00``, so
+    a literal asterisk never comes back as a wildcard.
+    """
+    return str(node)

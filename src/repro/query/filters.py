@@ -25,6 +25,7 @@ from repro.model.entry import Entry
 
 __all__ = [
     "Filter",
+    "escape_filter_value",
     "Equals",
     "Present",
     "Substring",

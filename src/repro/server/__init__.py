@@ -1,0 +1,37 @@
+"""Asyncio network front-end: the directory as a service.
+
+The paper's algorithms run in-process; this package puts them behind a
+socket.  :mod:`repro.server.protocol` defines a small LDAP-ish wire
+subset (bind, search, add/delete/modify as transactions, unbind, plus a
+``check`` extended operation) over length-prefixed JSON framing;
+:mod:`repro.server.server` serves it with one lock-free
+:class:`~repro.store.reader.StoreReader` /
+:class:`~repro.store.sharded.CompositeReader` per connection (refreshed
+O(|Δ|) before each read, so reads never block the writer) and a single
+write path through the owning :class:`~repro.store.journal.DirectoryStore`
+or :class:`~repro.store.sharded.ShardedStore`;
+:mod:`repro.server.client` is the asyncio client used by the tests and
+``benchmarks/bench_server.py``.
+"""
+
+from repro.server.client import DirectoryClient
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import DirectoryServer
+
+__all__ = [
+    "DirectoryClient",
+    "DirectoryServer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

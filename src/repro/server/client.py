@@ -1,0 +1,186 @@
+"""Asyncio client for the directory server.
+
+Used by the test suite and ``benchmarks/bench_server.py``; also the
+reference implementation of the wire protocol's client side.  Requests
+are matched to responses by ``id``; server-pushed ``notify`` frames
+(which carry no ``id``) land in a queue consumed by
+:meth:`DirectoryClient.next_notify` — so a follower ``await``\\ s a
+commit instead of polling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.server.protocol import read_frame, write_frame
+
+__all__ = ["DirectoryClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """A response with ``ok: false``; carries the machine-readable code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class DirectoryClient:
+    """One protocol connection.  All methods are coroutine-safe to call
+    sequentially; pipelining is possible by issuing requests from
+    separate tasks (responses are matched by id)."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._notifies: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self._receiver = asyncio.ensure_future(self._receive_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "DirectoryClient":
+        """Open a TCP connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _receive_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                if frame.get("op") == "notify":
+                    self._notifies.put_nowait(frame)
+                    continue
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except Exception as exc:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"connection lost: {exc}")
+                    )
+            self._pending.clear()
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("connection closed"))
+            self._pending.clear()
+
+    async def request(self, op: str, **fields) -> dict:
+        """Send one request and await its response; raises
+        :class:`ServerError` on ``ok: false``."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = next(self._ids)
+        message = {"op": op, "id": request_id}
+        message.update(fields)
+        future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        await write_frame(self._writer, message)
+        response = await future
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown"),
+                response.get("message", ""),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict:
+        """Liveness probe (allowed before bind)."""
+        return await self.request("ping")
+
+    async def bind(self, dn: str = "") -> dict:
+        """Establish the session identity (``""`` = anonymous);
+        required before any other operation."""
+        return await self.request("bind", dn=dn)
+
+    async def search(
+        self,
+        base: Optional[str] = None,
+        scope: str = "sub",
+        filter: Optional[str] = None,
+        size_limit: Optional[int] = None,
+    ) -> dict:
+        """Search the server's committed view; returns ``entries``
+        in canonical global document order plus ``position``."""
+        fields: dict = {"scope": scope}
+        if base is not None:
+            fields["base"] = base
+        if filter is not None:
+            fields["filter"] = filter
+        if size_limit is not None:
+            fields["size_limit"] = size_limit
+        return await self.request("search", **fields)
+
+    async def add(self, dn: str, classes, attributes=None) -> dict:
+        """Insert one entry as a single-operation transaction."""
+        return await self.request(
+            "add", dn=dn, classes=list(classes),
+            attributes=dict(attributes or {}),
+        )
+
+    async def delete(self, dn: str) -> dict:
+        """Delete one leaf entry as a single-operation transaction."""
+        return await self.request("delete", dn=dn)
+
+    async def txn(self, changes: str) -> dict:
+        """Apply an LDIF changes document as one atomic transaction."""
+        return await self.request("txn", changes=changes)
+
+    async def modify(self, changes: str) -> dict:
+        """Apply an LDIF document of ``changetype: modify`` records."""
+        return await self.request("modify", changes=changes)
+
+    async def check(self) -> dict:
+        """Run the full legality check (the extended operation) on
+        the connection's freshly refreshed view."""
+        return await self.request("check")
+
+    async def watch(self) -> dict:
+        """Subscribe to commit notifications on this connection."""
+        return await self.request("watch")
+
+    async def next_notify(self, timeout: Optional[float] = None) -> dict:
+        """Await the next server-pushed commit notification."""
+        if timeout is None:
+            return await self._notifies.get()
+        return await asyncio.wait_for(self._notifies.get(), timeout)
+
+    async def unbind(self) -> None:
+        """End the session and close the connection."""
+        try:
+            await self.request("unbind")
+        except ConnectionError:
+            pass
+        await self.close()
+
+    async def close(self) -> None:
+        """Tear the connection down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._receiver.cancel()
+        try:
+            await self._receiver
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "DirectoryClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,157 @@
+"""Wire protocol: length-prefixed JSON frames, LDAP-ish operations.
+
+Framing
+-------
+Every message — request, response, or server-pushed notification — is
+one *frame*: a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  Frames larger than
+:data:`MAX_FRAME_BYTES` are refused on both ends (a malformed or
+malicious length prefix must not buffer gigabytes).
+
+Requests and responses
+----------------------
+A request object carries ``op`` (the operation name), ``id`` (an
+integer the response echoes, so a client can pipeline), and
+operation-specific fields.  A response carries the echoed ``id``,
+``ok`` (boolean), and either result fields or ``error``/``message``.
+Server-pushed commit notifications have ``op: "notify"`` and *no*
+``id`` — they are not responses to anything.
+
+Operations
+----------
+``bind``
+    ``dn`` (may be ``""`` for anonymous).  Every other operation
+    requires a prior bind on the connection — the LDAP model, minus
+    authentication (there are no credentials to check yet; the bind
+    establishes *who* the connection claims to be and gates the rest
+    of the protocol).
+``unbind``
+    Ends the session; the server closes the connection after replying.
+``ping``
+    Liveness probe; allowed before bind.
+``search``
+    ``base`` (optional DN string), ``scope`` (``base``/``one``/``sub``/
+    ``children``), ``filter`` (RFC 4515 string, optional),
+    ``size_limit`` (optional int).  Returns ``entries`` — a list of
+    ``{"dn": ..., "attributes": {name: [values...]}}`` in canonical
+    global document order — and the ``position`` the serving reader's
+    view sat at (always a committed frontier).
+``add`` / ``delete`` / ``txn``
+    Mutations as update transactions.  ``add`` carries ``dn``,
+    ``classes``, ``attributes``; ``delete`` carries ``dn``; ``txn``
+    carries ``changes`` — an LDIF changes document (multiple
+    add/delete records, one transaction, atomic; a document spanning
+    shards rides the two-phase commit path unchanged).  The response
+    carries ``applied`` and, on rejection, ``violations``.
+``modify``
+    ``changes`` — an LDIF document of ``changetype: modify`` records,
+    each applied (and journaled) individually.
+``check``
+    The extended operation: run the full Figure 4 legality check on
+    the connection's freshly refreshed view.  Returns ``legal``,
+    ``violations``, ``entries`` (count), and ``position``.
+``watch``
+    Subscribe this connection to commit notifications: after each
+    committed write the server pushes ``{"op": "notify", "seq": N}``
+    frames — the push replacement for ``check --follow`` polling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "error_response",
+    "ok_response",
+]
+
+#: Refuse frames above this size on both ends (16 MiB — far above any
+#: legitimate request, far below what a hostile length prefix could ask
+#: the peer to buffer).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed frame or message (framing layer, not business logic)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: big-endian length prefix + UTF-8 JSON body."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    """Decode a frame *body* (the bytes after the length prefix)."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must encode an object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Raises
+    ------
+    ProtocolError
+        On an oversized length prefix, a truncated frame, or an
+        undecodable body.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-length-prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {MAX_FRAME_BYTES}); refusing to buffer it"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Encode and send one frame, honouring flow control."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def ok_response(request_id, **fields) -> dict:
+    """A success response echoing the request's ``id``."""
+    response = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """A failure response: ``error`` is a stable machine-readable code
+    (e.g. ``"filter_syntax"``, ``"not_bound"``), ``message`` the human
+    explanation."""
+    return {"id": request_id, "ok": False, "error": code, "message": message}

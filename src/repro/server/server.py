@@ -1,0 +1,454 @@
+"""The asyncio directory server.
+
+Concurrency model
+-----------------
+*Reads never block the writer, and the writer never blocks reads.*
+
+Each connection owns its own lock-free view — a
+:class:`~repro.store.reader.StoreReader` (or
+:class:`~repro.store.sharded.CompositeReader` over a sharded store) —
+bootstrapped once at connect time and refreshed O(|Δ|) before every
+read operation, so every response reflects a *committed* frontier
+(readers withhold in-doubt 2PC prepares by construction).  Read
+operations (refresh + search/check) run on the shared default executor:
+each connection handles its frames sequentially, so its reader is only
+ever touched by one thread at a time.
+
+All mutations funnel through the single owning
+:class:`~repro.store.journal.DirectoryStore` /
+:class:`~repro.store.sharded.ShardedStore` writer, serialized by an
+:class:`asyncio.Lock` and executed on a dedicated one-thread executor —
+the fsync of a commit happens off the event loop, so in-flight searches
+on other connections keep being served while the writer is on disk.
+Spanning transactions ride the two-phase commit path unchanged.
+
+After every committed write the server bumps a commit sequence under an
+:class:`asyncio.Condition` and notifies; connections that sent ``watch``
+have a fanout task blocked on that condition which pushes one
+``{"op": "notify", "seq": N}`` frame per wakeup — the push replacement
+for ``check --follow``'s sleep loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Dict, Optional
+
+from repro.errors import (
+    FilterSyntaxError,
+    LdifError,
+    ModelError,
+    ShardRoutingError,
+    StoreError,
+    UpdateError,
+)
+from repro.server.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["DirectoryServer"]
+
+_SCOPES = ("base", "one", "sub", "children")
+
+
+def _entry_payload(instance, entry) -> dict:
+    return {
+        "dn": instance.dn_string_of(entry),
+        "attributes": {
+            name: list(entry.values(name))
+            for name in entry.attribute_names()
+        },
+    }
+
+
+def _violations_payload(report) -> list:
+    return [str(v) for v in report]
+
+
+class _Connection:
+    """Per-connection state: the bound identity, the serving reader, and
+    the watch task (when subscribed)."""
+
+    def __init__(self, server: "DirectoryServer", reader_view) -> None:
+        self.server = server
+        self.view = reader_view
+        self.bound_dn: Optional[str] = None
+        self.watch_task: Optional[asyncio.Task] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.bound_dn is not None
+
+    def position_payload(self) -> dict:
+        if self.server.shards:
+            return {
+                name: list(pos) for name, pos in self.view.frontier().items()
+            }
+        generation, seq = self.view.position()
+        return {"generation": generation, "seq": seq}
+
+
+class DirectoryServer:
+    """Serve a directory store (plain or sharded) over the wire protocol.
+
+    Parameters
+    ----------
+    store_path:
+        The store directory; the server takes the writer lock for its
+        whole lifetime.
+    shards:
+        ``True`` to open a sharded store (``create --shard``) and serve
+        its composite view.
+    jobs:
+        Parallelism handed to each connection's legality engine (the
+        ``check`` extended op); ``0`` means the engine default.
+    host / port:
+        Bind address.  Port ``0`` binds an ephemeral port; read the
+        bound one from :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        schema,
+        registry=None,
+        *,
+        shards: bool = False,
+        jobs: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        structure: str = "batched",
+    ) -> None:
+        self.store_path = store_path
+        self.schema = schema
+        self.registry = registry
+        self.shards = shards
+        self.jobs = jobs
+        self.host = host
+        self._requested_port = port
+        self.structure = structure
+        self.store = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._write_lock = asyncio.Lock()
+        self._writer_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="store-writer"
+        )
+        self._commit_cond = asyncio.Condition()
+        self._commit_seq = 0
+        self._connections: set = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (ephemeral ports resolved at start)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Open the store (writer lock held from here on) and bind."""
+        loop = asyncio.get_running_loop()
+        self.store = await loop.run_in_executor(None, self._open_store)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    def _open_store(self):
+        if self.shards:
+            from repro.store.sharded import ShardedStore
+
+            return ShardedStore.open(
+                self.store_path, self.schema, self.registry
+            )
+        from repro.store import DirectoryStore
+
+        return DirectoryStore.open(
+            self.store_path, self.schema, self.registry
+        )
+
+    def _open_view(self):
+        kwargs = {"structure": self.structure}
+        if self.jobs > 0:
+            kwargs["parallelism"] = self.jobs
+        if self.shards:
+            from repro.store.sharded import CompositeReader
+
+            return CompositeReader.open(
+                self.store_path, self.schema, self.registry, **kwargs
+            )
+        from repro.store.reader import StoreReader
+
+        return StoreReader.open(
+            self.store_path, self.schema, self.registry, **kwargs
+        )
+
+    async def stop(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting, optionally drain in-flight connections, close
+        the store.  ``drain=True`` is the graceful SIGTERM path: every
+        connection finishes (or is cancelled after ``timeout``) before
+        the writer lock is released."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Wake watch tasks so draining connections can notice and exit.
+        async with self._commit_cond:
+            self._commit_cond.notify_all()
+        pending = {t for t in self._connections if not t.done()}
+        if pending and drain:
+            _, pending = await asyncio.wait(pending, timeout=timeout)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self.store is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.store.close)
+            self.store = None
+        self._writer_pool.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled or stopped."""
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        loop = asyncio.get_running_loop()
+        connection: Optional[_Connection] = None
+        try:
+            view = await loop.run_in_executor(None, self._open_view)
+            connection = _Connection(self, view)
+            while not self._draining:
+                request = await read_frame(reader)
+                if request is None:
+                    break
+                response = await self._dispatch(connection, writer, request)
+                if response is None:  # unbind: reply already sent
+                    break
+                await write_frame(writer, response)
+        except (ProtocolError, ConnectionError, asyncio.IncompleteReadError):
+            pass  # a broken client is its own problem; drop the connection
+        finally:
+            self._connections.discard(task)
+            if connection is not None:
+                if connection.watch_task is not None:
+                    connection.watch_task.cancel()
+                    try:
+                        await connection.watch_task
+                    except asyncio.CancelledError:
+                        pass
+                await loop.run_in_executor(None, connection.view.close)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, connection: _Connection, writer, request: dict
+    ) -> Optional[dict]:
+        op = request.get("op")
+        request_id = request.get("id")
+        try:
+            if op == "ping":
+                return ok_response(request_id)
+            if op == "bind":
+                dn = request.get("dn", "")
+                if not isinstance(dn, str):
+                    return error_response(
+                        request_id, "bad_request", "bind dn must be a string"
+                    )
+                connection.bound_dn = dn
+                return ok_response(request_id, dn=dn)
+            if op == "unbind":
+                await write_frame(writer, ok_response(request_id))
+                return None
+            if not connection.bound:
+                return error_response(
+                    request_id, "not_bound",
+                    f"operation {op!r} requires a prior bind",
+                )
+            if op == "search":
+                return await self._op_search(connection, request)
+            if op == "check":
+                return await self._op_check(connection, request)
+            if op in ("add", "delete", "txn"):
+                return await self._op_write(connection, request)
+            if op == "modify":
+                return await self._op_modify(connection, request)
+            if op == "watch":
+                return self._op_watch(connection, writer, request)
+            return error_response(
+                request_id, "unknown_op", f"unknown operation {op!r}"
+            )
+        except FilterSyntaxError as exc:
+            return error_response(request_id, "filter_syntax", str(exc))
+        except ShardRoutingError as exc:
+            return error_response(request_id, "unroutable", str(exc))
+        except (LdifError, ModelError, UpdateError) as exc:
+            return error_response(request_id, "invalid", str(exc))
+        except StoreError as exc:
+            return error_response(request_id, "store_error", str(exc))
+
+    # ------------------------------------------------------------------
+    # reads: refresh the connection's view, serve from it
+    # ------------------------------------------------------------------
+    async def _op_search(self, connection: _Connection, request: dict) -> dict:
+        scope = request.get("scope", "sub")
+        if scope not in _SCOPES:
+            return error_response(
+                request.get("id"), "bad_request",
+                f"scope must be one of {_SCOPES}, got {scope!r}",
+            )
+        filter_text = request.get("filter")
+        size_limit = request.get("size_limit")
+        base = request.get("base")
+
+        def run():
+            from repro.query.filter_parser import parse_filter
+
+            connection.view.refresh()
+            parsed = parse_filter(filter_text) if filter_text else None
+            entries = connection.view.search(
+                base=base, scope=scope, filter=parsed, size_limit=size_limit
+            )
+            instance = connection.view.instance
+            return [_entry_payload(instance, e) for e in entries]
+
+        loop = asyncio.get_running_loop()
+        entries = await loop.run_in_executor(None, run)
+        return ok_response(
+            request.get("id"),
+            entries=entries,
+            position=connection.position_payload(),
+        )
+
+    async def _op_check(self, connection: _Connection, request: dict) -> dict:
+        def run():
+            connection.view.refresh()
+            report = connection.view.check()
+            return report, len(connection.view.instance)
+
+        loop = asyncio.get_running_loop()
+        report, entries = await loop.run_in_executor(None, run)
+        return ok_response(
+            request.get("id"),
+            legal=report.is_legal,
+            violations=_violations_payload(report),
+            entries=entries,
+            position=connection.position_payload(),
+        )
+
+    # ------------------------------------------------------------------
+    # writes: the single funnel
+    # ------------------------------------------------------------------
+    async def _op_write(self, connection: _Connection, request: dict) -> dict:
+        from repro.ldif.changes import parse_changes
+        from repro.updates.operations import UpdateTransaction
+
+        op = request["op"]
+        if op == "add":
+            transaction = UpdateTransaction().insert(
+                request["dn"],
+                request.get("classes", []),
+                request.get("attributes", {}),
+            )
+        elif op == "delete":
+            transaction = UpdateTransaction().delete(request["dn"])
+        else:  # txn
+            transaction = parse_changes(request.get("changes", ""))
+        outcome = await self._run_write(
+            lambda: self.store.apply(transaction)
+        )
+        response = ok_response(
+            request.get("id"),
+            applied=outcome.applied,
+            violations=_violations_payload(outcome.report),
+        )
+        if outcome.applied:
+            await self._commit_happened()
+        return response
+
+    async def _op_modify(self, connection: _Connection, request: dict) -> dict:
+        from repro.ldif.modify import parse_modifications
+
+        records = parse_modifications(request.get("changes", ""))
+        results = []
+        committed = False
+        for record in records:
+            outcome = await self._run_write(
+                lambda record=record: self.store.modify(record)
+            )
+            results.append(
+                {
+                    "dn": str(record.dn),
+                    "applied": outcome.applied,
+                    "violations": _violations_payload(outcome.report),
+                }
+            )
+            committed = committed or outcome.applied
+        if committed:
+            await self._commit_happened()
+        return ok_response(
+            request.get("id"),
+            applied=all(r["applied"] for r in results),
+            results=results,
+        )
+
+    async def _run_write(self, fn):
+        """Serialize ``fn`` onto the dedicated writer thread: the store
+        object is single-writer, and the journal fsync must not stall
+        the event loop."""
+        async with self._write_lock:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._writer_pool, fn)
+
+    async def _commit_happened(self) -> None:
+        async with self._commit_cond:
+            self._commit_seq += 1
+            self._commit_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # commit-notify fanout
+    # ------------------------------------------------------------------
+    def _op_watch(
+        self, connection: _Connection, writer, request: dict
+    ) -> dict:
+        if connection.watch_task is None:
+            connection.watch_task = asyncio.ensure_future(
+                self._watch_loop(writer)
+            )
+        return ok_response(request.get("id"), seq=self._commit_seq)
+
+    async def _watch_loop(self, writer) -> None:
+        """Push one ``notify`` frame per commit-sequence advance.  A
+        burst of commits between wakeups coalesces into a single frame
+        carrying the latest ``seq`` — followers re-read anyway."""
+        seen = self._commit_seq
+        try:
+            while True:
+                async with self._commit_cond:
+                    await self._commit_cond.wait_for(
+                        lambda: self._commit_seq > seen or self._draining
+                    )
+                    if self._draining and self._commit_seq <= seen:
+                        return
+                    seen = self._commit_seq
+                await write_frame(writer, {"op": "notify", "seq": seen})
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:
+            return  # the connection is going away; its handler cleans up

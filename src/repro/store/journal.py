@@ -425,6 +425,107 @@ class DirectoryStore:
         return outcome
 
     # ------------------------------------------------------------------
+    # in-place modification (journaled extension — see ldif/modify.py)
+    # ------------------------------------------------------------------
+    def modify(self, record) -> "UpdateOutcome":
+        """Run one RFC 2849 ``changetype: modify`` record through the
+        incremental checker; journal it when (and only when) it commits.
+
+        The journal frame's payload is the modify record itself
+        (:func:`repro.ldif.modify.serialize_modification`), which
+        recovery and the WAL-following readers blind-replay through
+        :func:`repro.ldif.modify.apply_modify_blind` — same poisoning
+        contract as :meth:`apply`.  ``modrdn`` records are rejected:
+        renames remain a memory-only extension with no replay form.
+        """
+        from repro.ldif.modify import (
+            ModifyRecord,
+            apply_modification,
+            serialize_modification,
+        )
+
+        self._ensure_writable()
+        if not isinstance(record, ModifyRecord):
+            raise UpdateError(
+                "only changetype: modify records are journaled; "
+                f"got {type(record).__name__}"
+            )
+        baseline = self._guard.session.stats.copy()
+        outcome = apply_modification(self._guard, record)
+        outcome.stats = self._guard.session.stats.since(baseline)
+        if outcome.applied:
+            self._append_journal_payload(serialize_modification(record))
+        return outcome
+
+    def modify_tentative(self, record):
+        """Guard and apply a modify record *in memory only*; returns
+        ``(outcome, inverse_record)`` where the inverse — computed
+        against the pre-state — undoes the modification via
+        :meth:`revert_modified`.  The sharded coordinator's modify fast
+        path stages with this, checks the composite, then either
+        :meth:`commit_modified` or :meth:`revert_modified` — the same
+        zero-durable-footprint discipline as :meth:`apply_tentative`.
+        """
+        from repro.ldif.modify import (
+            ModifyRecord,
+            apply_modification,
+            inverse_modification,
+        )
+
+        self._ensure_writable()
+        if not isinstance(record, ModifyRecord):
+            raise UpdateError(
+                "only changetype: modify records are journaled; "
+                f"got {type(record).__name__}"
+            )
+        inverse = inverse_modification(self.instance, record)
+        baseline = self._guard.session.stats.copy()
+        outcome = apply_modification(self._guard, record)
+        outcome.stats = self._guard.session.stats.since(baseline)
+        return outcome, inverse
+
+    def commit_modified(self, record) -> None:
+        """Journal a modify record that :meth:`modify_tentative` already
+        applied in memory (poisoning contract of :meth:`apply`)."""
+        from repro.ldif.modify import serialize_modification
+
+        self._ensure_writable()
+        self._append_journal_payload(serialize_modification(record))
+
+    def revert_modified(self, inverse) -> None:
+        """Blindly apply the inverse record from :meth:`modify_tentative`
+        to undo a staged modify in memory.  No guard, no journal; a
+        failure poisons the store (memory would diverge from disk)."""
+        from repro.ldif.modify import apply_modify_blind
+
+        try:
+            apply_modify_blind(self.instance, inverse)
+        except Exception as exc:
+            self._poisoned = f"tentative modify rollback failed: {exc}"
+            raise StoreError(
+                "tentative modify rollback failed; the store is poisoned — "
+                f"close and reopen to recover the committed prefix: {exc}"
+            ) from exc
+
+    def _append_journal_payload(self, payload: str) -> None:
+        """Append one ordinary WAL frame carrying ``payload``, with the
+        shared poisoning contract: a failed append leaves memory ahead
+        of disk, so the store fails stop until reopened."""
+        frame = wal.encode_record(
+            self._journal_count + 1, self._generation, payload
+        )
+        try:
+            self._io.append_bytes(self._journal_path(self._dir), frame)
+        except Exception as exc:
+            self._poisoned = f"journal append failed: {exc}"
+            raise StoreError(
+                "journal append failed; the store is poisoned (the "
+                "in-memory state is ahead of disk) — close and reopen "
+                f"to recover the committed prefix: {exc}"
+            ) from exc
+        self._journal_count += 1
+
+    # ------------------------------------------------------------------
     # 2PC participant surface (driven by repro.store.sharded)
     # ------------------------------------------------------------------
     def apply_tentative(self, transaction: UpdateTransaction) -> UpdateOutcome:

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.errors import StaleReadError, StoreError
 from repro.ldif.reader import parse_ldif
@@ -133,6 +133,20 @@ class StoreReader:
         self._snapshot_name = SNAPSHOT_FILE
         self._journal_name = JOURNAL_FILE
         self._closed = False
+        self._pending_txid: Optional[str] = None
+        self._resolved_txid: Optional[str] = None
+        #: Optional hook answering for the coordinator's decision log:
+        #: ``txid -> "commit" | "abort" | None``.  Injected by the
+        #: sharded store's composite reader, which captures the log's
+        #: decision set *once per composite refresh* (a coordinator
+        #: cut), so every shard's scan in that refresh agrees on which
+        #: spanning transactions are committed.  With a resolver set,
+        #: the view shows a spanning transaction iff it is committed at
+        #: the cut — an undecided prepare whose transaction the cut
+        #: commits is applied early, and a decided pair whose commit
+        #: postdates the cut is withheld until the next refresh.
+        #: ``None`` answers keep the prepare withheld.
+        self.txn_resolver: Optional[Callable[[str], Optional[str]]] = None
         #: Verdicts imported (read-only) from the writer's warm-start
         #: sidecar at open time; 0 when absent, stale, or corrupt.
         self.warm_start_verdicts = 0
@@ -243,6 +257,23 @@ class StoreReader:
     def position(self) -> "tuple[int, int]":
         """``(generation, seq)`` — a total order over committed states."""
         return (self._generation, self._seq)
+
+    @property
+    def pending_txid(self) -> Optional[str]:
+        """The txid of a prepared-but-undecided 2PC transaction the last
+        scan stopped in front of (withheld from the view), or ``None``.
+        A non-``None`` value means the transaction had no durable
+        coordinator decision when the view was refreshed — genuinely
+        in doubt, invisible here and on every sibling shard."""
+        return self._pending_txid
+
+    @property
+    def resolved_txid(self) -> Optional[str]:
+        """The txid of a prepared transaction applied *early* via the
+        coordinator log (committed at the refresh's cut, decide frame
+        still in flight), or ``None``.  While set, the view's content
+        is ahead of :meth:`position` by exactly this transaction."""
+        return self._resolved_txid
 
     def lag(self) -> ReaderLag:
         """How far the view trails the committed state on disk *right
@@ -377,6 +408,16 @@ class StoreReader:
             note=note,
         )
 
+    def _resolve_in_doubt(self, txid: str) -> Optional[str]:
+        """Ask the injected resolver (if any) for the coordinator's
+        durable decision on ``txid``; a failing resolver means in-doubt."""
+        if self.txn_resolver is None:
+            return None
+        try:
+            return self.txn_resolver(txid)
+        except Exception:
+            return None
+
     def _apply_scanned(
         self, scanned: wal.ScanResult, base_offset: int
     ) -> "tuple[int, Optional[str]]":
@@ -394,6 +435,7 @@ class StoreReader:
         applied = 0
         index = 0
         records = scanned.records
+        self._pending_txid = None
         while index < len(records):
             record = records[index]
             if record.generation != self._generation or record.seq != self._seq + 1:
@@ -404,16 +446,79 @@ class StoreReader:
                 )
             if record.kind == "prepare":
                 if index + 1 >= len(records):
-                    # Undecided (in-doubt): withhold it.  scan() has
-                    # already guaranteed nothing else can follow an
-                    # undecided prepare.
+                    # Undecided tail.  scan() has already guaranteed
+                    # nothing else can follow an undecided prepare, so
+                    # this ends the replay either way; the question is
+                    # whether the prepare's payload is visible.
+                    if record.txid == self._resolved_txid:
+                        # Already applied via the coordinator log on an
+                        # earlier pass; keep waiting for the decide
+                        # frame to consume the pair positionally.
+                        return applied, (
+                            f"resolved transaction {record.txid} awaits "
+                            "its decide frame"
+                        )
+                    verdict = self._resolve_in_doubt(record.txid)
+                    if verdict == "commit":
+                        # The coordinator durably committed this
+                        # transaction; its decide frame is a formality
+                        # still in flight.  Apply the payload now —
+                        # withholding it while a sibling shard already
+                        # shows its decided half would tear the
+                        # cross-shard view — but leave seq/offset at the
+                        # prepare so the pair is consumed normally once
+                        # the decide lands.
+                        try:
+                            replay_record(self.instance, record)
+                        except Exception as exc:
+                            return applied, (
+                                f"frame seq {record.seq} failed to "
+                                f"replay ({exc}); stopped at the "
+                                "previous committed frame"
+                            )
+                        self._resolved_txid = record.txid
+                        return applied, (
+                            f"transaction {record.txid} resolved as "
+                            "committed via the coordinator log; its "
+                            "decide frame is still in flight"
+                        )
+                    if verdict == "abort":
+                        # Durably aborted: invisible on every shard, no
+                        # tear possible — just wait for the decide.
+                        return applied, (
+                            f"prepared transaction {record.txid} "
+                            "resolved as aborted via the coordinator "
+                            "log; awaiting its decide frame"
+                        )
+                    # Genuinely in doubt (no durable decision, or no
+                    # resolver): withhold it.
+                    self._pending_txid = record.txid
                     return applied, (
                         f"prepared transaction {record.txid} awaits its "
                         "decide frame; stopped at the previous committed "
                         "frame"
                     )
                 decide = records[index + 1]
-                if decide.verdict == "commit":
+                if record.txid == self._resolved_txid:
+                    # Payload already applied when the coordinator log
+                    # resolved it; just consume the pair's position.
+                    self._resolved_txid = None
+                elif decide.verdict == "commit":
+                    if (
+                        self.txn_resolver is not None
+                        and self._resolve_in_doubt(record.txid) != "commit"
+                    ):
+                        # Decided after the coordinator cut this refresh
+                        # is pinned to.  Applying it now could show this
+                        # shard's half of a transaction a sibling shard's
+                        # earlier scan could not have seen; stop before
+                        # the pair — the next refresh's fresh cut picks
+                        # it up.
+                        return applied, (
+                            f"transaction {record.txid} committed beyond "
+                            "this refresh's coordinator cut; stopped "
+                            "before its prepare frame"
+                        )
                     try:
                         replay_record(self.instance, record)
                     except Exception as exc:
@@ -487,6 +592,7 @@ class StoreReader:
             self._snapshot_name = snapshot_name
             self._journal_name = journal_name
             self.instance = instance
+            self._resolved_txid = None
             self._generation = generation
             self._seq = 0
             self._offset = 0

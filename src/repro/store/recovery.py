@@ -35,6 +35,7 @@ untouched until an explicit :func:`recover` run with ``force=True``
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -138,15 +139,32 @@ def _paths(directory: str) -> Tuple[str, str, str]:
     )
 
 
+#: A journal payload is either an LDIF *changes* document (add/delete
+#: frames) or an RFC 2849 *modify* document; the changetype line — which
+#: the payload serializers always emit unfolded — tells them apart.
+_MODIFY_PAYLOAD = re.compile(r"^changetype:\s*modify\s*$", re.MULTILINE)
+
+
 def replay_record(instance: DirectoryInstance, record: wal.WalRecord) -> None:
     """Re-apply one committed journal record onto ``instance`` — blind
     replay, no legality guard (Theorem 4.1 modularity: the record was
     checked against exactly this state when it committed).  Shared by
     crash recovery and the incremental WAL-following reader
     (:mod:`repro.store.reader`), so both stop at the same frame on the
-    same damage."""
+    same damage.
+
+    Two payload forms exist: insert/delete transactions (the paper's
+    update model, decomposed per Theorem 4.1) and in-place ``modify``
+    records (this library's journaled extension, re-applied through
+    :func:`repro.ldif.modify.apply_modify_blind`)."""
     from repro.updates.transactions import apply_subtree_update, decompose
 
+    if _MODIFY_PAYLOAD.search(record.payload):
+        from repro.ldif.modify import apply_modify_blind, parse_modifications
+
+        for modify in parse_modifications(record.payload):
+            apply_modify_blind(instance, modify)
+        return
     transaction = parse_changes(record.payload)
     for step in decompose(transaction, instance):
         apply_subtree_update(instance, step)

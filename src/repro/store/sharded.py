@@ -112,7 +112,7 @@ from repro.schema.directory_schema import DirectorySchema
 from repro.schema.elements import RequiredClass
 from repro.store.journal import DirectoryStore, inverse_transaction
 from repro.store.reader import ReaderLag, RefreshResult, StoreReader
-from repro.store.txlog import TxLog, inspect_txlog
+from repro.store.txlog import TXLOG_FILE, TxLog, inspect_txlog
 from repro.store.wal import StoreIO
 from repro.store.shardmap import (
     ShardMap,
@@ -266,6 +266,35 @@ def _stitch(
             continue
         composite.insert_subtree(parent, instances[spec.name])
     return composite
+
+
+def _global_document_key(instance: DirectoryInstance, entry: Entry):
+    """Sort key giving the canonical global document order of a
+    composite view: the root-first tuple of normalized RDN strings.
+
+    Tuple comparison makes a parent sort before every descendant (its
+    path is a strict prefix) and orders siblings by normalized RDN, so
+    the order depends only on the *content* of the directory — not on
+    shard layout, stitch order, or per-shard insertion history."""
+    dn = instance.dn_of(entry)
+    return tuple(str(rdn) for rdn in reversed(dn.normalized().rdns))
+
+
+def _canonical_search(
+    instance: DirectoryInstance,
+    base,
+    scope,
+    filter,
+    size_limit: Optional[int],
+) -> List[Entry]:
+    """Scoped search over a stitched composite, results in canonical
+    global document order; ``size_limit`` truncates *after* ordering so
+    the first N results are deterministic too."""
+    results = _search(instance, base=base, scope=scope, filter=filter)
+    results.sort(key=lambda entry: _global_document_key(instance, entry))
+    if size_limit is not None and size_limit >= 0:
+        del results[size_limit:]
+    return results
 
 
 def _localized_transaction(
@@ -696,6 +725,60 @@ class ShardedStore:
                             f"descendant {gdn} (LDAP deletes leaves only)"
                         )
 
+    def modify(self, record) -> UpdateOutcome:
+        """Route and apply one ``changetype: modify`` record.
+
+        A modify targets exactly one entry, so it always takes the
+        single-shard fast path: staged in the owning shard's memory
+        (:meth:`~repro.store.journal.DirectoryStore.modify_tentative`),
+        composite-checked, then journaled as one ordinary WAL frame —
+        or blind-reverted with zero durable footprint, the same
+        discipline as :meth:`_apply_single`.
+        """
+        from repro.ldif.modify import ModifyRecord
+
+        self._ensure_open()
+        if not isinstance(record, ModifyRecord):
+            raise UpdateError(
+                "only changetype: modify records are journaled; "
+                f"got {type(record).__name__}"
+            )
+        spec = self.shard_map.route(record.dn)  # ShardRoutingError
+        local = ModifyRecord(
+            self.shard_map.localize(record.dn, spec), record.ops
+        )
+        store = self._shards[spec.name]
+        outcome, inverse = store.modify_tentative(local)
+        if not outcome.applied:
+            return outcome
+        self._composite_cache = None
+        try:
+            composite = _composite_report(
+                self.scope,
+                self.shard_map,
+                {n: s.instance for n, s in self._shards.items()},
+                self.composite_instance,
+            )
+        except BaseException:
+            try:
+                store.revert_modified(inverse)
+            finally:
+                self._composite_cache = None
+            raise
+        if composite.is_legal:
+            store.commit_modified(local)
+            return outcome
+        store.revert_modified(inverse)
+        self._composite_cache = None
+        return UpdateOutcome(
+            report=composite,
+            cost=outcome.cost,
+            checks=outcome.checks
+            + [f"composite check: {self.scope.summary()}",
+               "rolled back in memory (no durable footprint)"],
+            stats=outcome.stats,
+        )
+
     def _apply_single(
         self, name: str, transaction: UpdateTransaction
     ) -> UpdateOutcome:
@@ -898,11 +981,11 @@ class ShardedStore:
         filter=None,
         size_limit: Optional[int] = None,
     ) -> List[Entry]:
-        """Scoped LDAP search over the stitched composite view."""
+        """Scoped LDAP search over the stitched composite view, in
+        canonical global document order (layout-independent)."""
         self._ensure_open()
-        return _search(
-            self.composite_instance(), base=base, scope=scope,
-            filter=filter, size_limit=size_limit,
+        return _canonical_search(
+            self.composite_instance(), base, scope, filter, size_limit
         )
 
     def composite_instance(self) -> DirectoryInstance:
@@ -1140,8 +1223,12 @@ class CompositeReader:
         self._registry = registry
         self._closed = False
         self._composite_cache: Optional[
-            Tuple[Tuple[Tuple[str, int, int], ...], DirectoryInstance]
+            Tuple[Tuple, DirectoryInstance]
         ] = None
+        self._txn_cut: Dict[str, str] = {}
+        self._txn_cut_stamp: Optional[Tuple[int, int, int]] = None
+        for reader in readers.values():
+            reader.txn_resolver = self._txn_verdict
 
     @classmethod
     def open(
@@ -1197,11 +1284,11 @@ class CompositeReader:
         filter=None,
         size_limit: Optional[int] = None,
     ) -> List[Entry]:
-        """Scoped LDAP search over the stitched composite view."""
+        """Scoped LDAP search over the stitched composite view, in
+        canonical global document order (layout-independent)."""
         self._ensure_open()
-        return _search(
-            self.instance, base=base, scope=scope,
-            filter=filter, size_limit=size_limit,
+        return _canonical_search(
+            self.instance, base, scope, filter, size_limit
         )
 
     def check(self) -> LegalityReport:
@@ -1229,10 +1316,14 @@ class CompositeReader:
 
     @property
     def instance(self) -> DirectoryInstance:
-        """The stitched composite instance (cached per frontier)."""
+        """The stitched composite instance (cached per frontier).  The
+        cache key includes each shard's early-resolved transaction —
+        a resolved prepare changes the shard's *content* without moving
+        its position, and must not be masked by a stale stitch."""
         self._ensure_open()
         key = tuple(
-            (name, *self._readers[name].position())
+            (name, *self._readers[name].position(),
+             self._readers[name].resolved_txid)
             for name in self.shard_map.names()
         )
         if self._composite_cache is not None:
@@ -1256,14 +1347,74 @@ class CompositeReader:
     # refresh / staleness
     # ------------------------------------------------------------------
     def refresh(self, strict: bool = False) -> CompositeRefreshResult:
-        """Refresh every shard view; per-shard results plus the
-        consistent frontier the composite now sits at."""
+        """Refresh every shard view to a *cross-shard-atomic* committed
+        frontier; per-shard results plus the frontier the composite now
+        sits at.
+
+        Shard journals advance independently, so sweeping them one
+        after another could catch shard A after a spanning
+        transaction's ``#DECIDE`` frame and shard B before its — a torn
+        view showing half an atomically committed transaction.  The
+        sweep is made atomic by a **coordinator cut**: the decision set
+        of the coordinator log is captured once, before any shard is
+        scanned, and every shard then shows a spanning transaction iff
+        the cut commits it.  A shard whose decide frame is still in
+        flight applies its prepared payload early (the cut proves the
+        commit); a shard whose decide landed *after* the cut withholds
+        the pair until the next refresh.  Soundness rests on the 2PC
+        write order: every participant's prepare frame is durable
+        before the coordinator's commit record, so a transaction the
+        cut commits is visible to every shard's (later) scan.  A
+        transaction with no durable decision at the cut is withheld on
+        every shard — no decide frame can exist yet — matching the
+        presumed-abort rule for writer crashes."""
         self._ensure_open()
+        self._capture_txn_cut()
         results = {
             name: reader.refresh(strict=strict)
             for name, reader in self._readers.items()
         }
         return CompositeRefreshResult(results)
+
+    def _capture_txn_cut(self) -> None:
+        """Pin this refresh to the coordinator log's current decision
+        set.  Re-parsed only when the log file changed (cheap stat
+        probe); an unreadable or absent log yields an empty cut, which
+        keeps every in-flight spanning transaction withheld."""
+        path = os.path.join(self._dir, TXLOG_FILE)
+        try:
+            probe = os.stat(path)
+            stamp = (probe.st_size, probe.st_mtime_ns, probe.st_ino)
+        except OSError:
+            self._txn_cut = {}
+            self._txn_cut_stamp = None
+            return
+        if stamp == self._txn_cut_stamp:
+            return
+        try:
+            log = inspect_txlog(self._dir, io=StoreIO())
+        except StoreError:
+            self._txn_cut = {}
+            self._txn_cut_stamp = None
+            return
+        states = log.states() if log is not None else {}
+        self._txn_cut = {
+            txid: entry.verdict
+            for txid, entry in states.items()
+            if entry.decided
+        }
+        self._txn_cut_stamp = stamp
+
+    def _txn_verdict(self, txid: str) -> Optional[str]:
+        """Answer a shard reader's 2PC lookup from the captured cut.
+        Only a decision durable at the cut is actionable: ``"commit"``
+        / ``"abort"`` when the cut holds one, ``None`` for everything
+        else — unknown txid, a bare ``begin`` — which keeps the
+        transaction withheld on this shard.  The conservative ``None``
+        matters twice over: a transaction with no durable commit may
+        still abort, and one that committed *after* the cut was
+        invisible to sibling shards scanned earlier in this pass."""
+        return self._txn_cut.get(txid)
 
     def lag(self) -> Dict[str, ReaderLag]:
         """Per-shard lag behind the on-disk committed state."""

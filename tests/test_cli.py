@@ -374,6 +374,27 @@ class TestCheckStore:
                      "--profile"]) == 0
         assert "entries content-checked" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("interval", ["0", "-1", "-0.5"])
+    def test_follow_rejects_non_positive_interval(
+        self, live_store, capsys, interval
+    ):
+        # interval <= 0 would busy-spin the CPU between refreshes; the
+        # command must refuse it before touching the store.
+        schema, path, _store = live_store
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--follow", "--interval", interval,
+                     "--iterations", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "--interval must be positive" in err
+
+    def test_non_positive_interval_ok_without_follow(self, live_store, capsys):
+        # Without --follow the interval is never used, so a bogus value
+        # must not break a one-shot check.
+        schema, path, _store = live_store
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--interval", "0"]) == 0
+        assert "LEGAL" in capsys.readouterr().out
+
     def test_data_and_store_mutually_exclusive(self, live_store, paths):
         schema, data, _ = paths
         _, path, _store = live_store

@@ -149,6 +149,18 @@ class TestCheckShards:
         out = capsys.readouterr().out
         assert "[att@g1.0 labs@g1.1] LEGAL: 7 entries" in out
 
+    @pytest.mark.parametrize("interval", ["0", "-2"])
+    def test_follow_rejects_non_positive_interval(
+        self, sharded_store, capsys, interval
+    ):
+        # The busy-spin guard covers the --shards follow path too, and
+        # fires before the composite reader is even opened.
+        schema, path = sharded_store
+        assert main(["check", "--schema", schema, "--store", path,
+                     "--shards", "--follow", "--interval", interval,
+                     "--iterations", "1"]) == 2
+        assert "--interval must be positive" in capsys.readouterr().err
+
     def test_not_a_sharded_store(self, paths, capsys):
         schema, data, tmp = paths
         path = str(tmp / "plain")

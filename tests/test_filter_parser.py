@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import FilterSyntaxError
-from repro.query.filter_parser import parse_filter
+from repro.query.filter_parser import parse_filter, render_filter
 from repro.query.filters import (
     And,
     Approx,
@@ -50,6 +50,27 @@ class TestAtoms:
 
     def test_escaped_parens(self):
         assert parse_filter("(cn=\\28x\\29)") == Equals("cn", "(x)")
+
+    def test_escaped_star_inside_substring_component(self):
+        """RFC 4515: \\2a inside a substring component is a literal
+        asterisk, never an extra wildcard boundary."""
+        parsed = parse_filter("(cn=a\\2ab*mid\\2a*\\2az)")
+        assert parsed == Substring("cn", "a*b", ("mid*",), "*z")
+
+    def test_escaped_backslash_before_raw_star(self):
+        # \5c*x: the backslash is literal, the raw star is a wildcard.
+        assert parse_filter("(cn=a\\5c*x)") == Substring("cn", "a\\", (), "x")
+
+    def test_all_wildcard_substring_is_presence(self):
+        """'**' (and longer wildcard-only runs) assert only presence and
+        parse to Present, so they round-trip through the renderer."""
+        for degenerate in ("(cn=**)", "(cn=***)", "(cn=****)"):
+            assert parse_filter(degenerate) == Present("cn")
+
+    def test_escapes_in_ordering_and_approx(self):
+        assert parse_filter("(age>=\\2a)") == GreaterOrEqual("age", "*")
+        assert parse_filter("(age<=a\\28b)") == LessOrEqual("age", "a(b")
+        assert parse_filter("(cn~=x\\5c\\29)") == Approx("cn", "x\\)")
 
 
 class TestCombinators:
@@ -104,12 +125,28 @@ _value = st.text(
     min_size=1,
     max_size=10,
 )
+# Substring components may be empty at the ends (initial/final) but the
+# grammar cannot express an empty *any* part, and at least one component
+# must be non-empty or the pattern degenerates to a presence test: that
+# is exactly the canonical shape render_filter round-trips.
+_part = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", blacklist_categories=("Cs",)),
+    max_size=10,
+)
+_substrings = st.builds(
+    Substring,
+    _attr,
+    initial=_part,
+    any_parts=st.lists(_value, max_size=3).map(tuple),
+    final=_part,
+).filter(lambda s: s.initial or s.any_parts or s.final)
 
 
 def _filters(depth: int) -> st.SearchStrategy[Filter]:
     atom = st.one_of(
         st.builds(Equals, _attr, _value),
         st.builds(Present, _attr),
+        _substrings,
         st.builds(Approx, _attr, _value),
         st.builds(GreaterOrEqual, _attr, _value),
         st.builds(LessOrEqual, _attr, _value),
@@ -129,3 +166,27 @@ class TestRoundTrip:
     @given(_filters(2))
     def test_parse_inverts_str(self, node):
         assert parse_filter(str(node)) == node
+
+    @given(_filters(2))
+    def test_parse_render_parse_is_identity(self, node):
+        """parse(render(f)) == f: literal '*', '(', ')', '\\' in values
+        survive the trip — an escaped star never becomes a wildcard."""
+        rendered = render_filter(node)
+        assert parse_filter(rendered) == node
+
+    @given(_filters(2))
+    def test_render_is_fixed_point(self, node):
+        """Rendered strings are canonical: rendering what they parse to
+        reproduces them byte for byte."""
+        rendered = render_filter(node)
+        assert render_filter(parse_filter(rendered)) == rendered
+
+    @given(_substrings)
+    def test_substring_component_boundaries_preserved(self, node):
+        """Component boundaries are exactly the raw wildcards: values
+        containing '*' re-parse into the same components, not more."""
+        parsed = parse_filter(render_filter(node))
+        assert isinstance(parsed, Substring)
+        assert parsed.initial == node.initial
+        assert parsed.any_parts == node.any_parts
+        assert parsed.final == node.final

@@ -1,0 +1,565 @@
+"""The asyncio network front-end (:mod:`repro.server`).
+
+Covers the framing layer, the LDAP-ish operation surface (bind model,
+search/check reads over per-connection readers, add/delete/txn/modify
+writes through the single store writer), the commit-notify channel, the
+sharded composite surface (spanning transactions through 2PC), graceful
+drain — and the concurrency acceptance gate: N clients searching while
+a writer commits must each observe only committed frontiers, never a
+torn spanning transaction (in-doubt 2PC state).
+
+No pytest-asyncio here: each test drives its own loop via
+``asyncio.run`` so the suite stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server import DirectoryClient, DirectoryServer
+from repro.server.client import ServerError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.store import DirectoryStore
+from repro.store.sharded import ShardedStore
+from repro.workloads import (
+    figure1_instance,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+PARENT = "ou=databases,ou=attLabs,o=att"
+NESTED_BASES = {"att": "o=att", "labs": "ou=attLabs,o=att"}
+
+
+@pytest.fixture()
+def plain_store(tmp_path):
+    schema, registry = whitepages_schema(), whitepages_registry()
+    path = str(tmp_path / "store")
+    DirectoryStore.create(path, schema, figure1_instance(), registry).close()
+    return path, schema, registry
+
+
+@pytest.fixture()
+def sharded_store(tmp_path):
+    schema, registry = whitepages_schema(), whitepages_registry()
+    path = str(tmp_path / "sharded")
+    ShardedStore.create(
+        path, schema, NESTED_BASES, figure1_instance(), registry
+    ).close()
+    return path, schema, registry
+
+
+async def _serve(store, *, shards=False, jobs=0):
+    path, schema, registry = store
+    server = DirectoryServer(
+        path, schema, registry, shards=shards, jobs=jobs, port=0
+    )
+    await server.start()
+    return server
+
+
+async def _client(server, dn="cn=test") -> DirectoryClient:
+    client = await DirectoryClient.connect("127.0.0.1", server.port)
+    if dn is not None:
+        await client.bind(dn)
+    return client
+
+
+def _person(index: int) -> dict:
+    return {
+        "dn": f"uid=w{index},{PARENT}",
+        "classes": ["person", "top"],
+        "attributes": {"uid": [f"w{index}"], "name": [f"w {index}"]},
+    }
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "search", "id": 7, "filter": "(cn=\\2a)"}
+        frame = encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_frame(frame[4:]) == message
+
+    def test_oversized_frame_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1,2,3]")
+
+    def test_garbage_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe not json")
+
+
+class TestBindModel:
+    def test_ping_allowed_before_bind(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server, dn=None)
+                assert (await client.ping())["ok"]
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_operations_require_bind(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server, dn=None)
+                with pytest.raises(ServerError) as excinfo:
+                    await client.search()
+                assert excinfo.value.code == "not_bound"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_anonymous_bind(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server, dn="")
+                response = await client.search(filter="(objectClass=person)")
+                assert len(response["entries"]) == 3
+                await client.unbind()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_unknown_op_is_an_error(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                with pytest.raises(ServerError) as excinfo:
+                    await client.request("frobnicate")
+                assert excinfo.value.code == "unknown_op"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestReads:
+    def test_search_entries_and_position(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                response = await client.search(filter="(uid=laks)")
+                assert len(response["entries"]) == 1
+                entry = response["entries"][0]
+                assert entry["dn"] == "uid=laks,ou=databases,ou=attLabs,o=att"
+                assert entry["attributes"]["uid"] == ["laks"]
+                assert response["position"] == {"generation": 1, "seq": 0}
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_scoped_search(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                response = await client.search(base=PARENT, scope="base")
+                assert [e["dn"] for e in response["entries"]] == [PARENT]
+                with pytest.raises(ServerError) as excinfo:
+                    await client.search(scope="everything")
+                assert excinfo.value.code == "bad_request"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_filter_syntax_error_code(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                with pytest.raises(ServerError) as excinfo:
+                    await client.search(filter="(((")
+                assert excinfo.value.code == "filter_syntax"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_check_extended_op(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                response = await client.check()
+                assert response["legal"] is True
+                assert response["violations"] == []
+                assert response["entries"] == 6
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestWrites:
+    def test_add_then_visible_to_fresh_search(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                spec = _person(0)
+                response = await client.add(
+                    spec["dn"], spec["classes"], spec["attributes"]
+                )
+                assert response["applied"] is True
+                found = await client.search(filter="(uid=w0)")
+                assert len(found["entries"]) == 1
+                assert found["position"]["seq"] == 1
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_illegal_add_rejected_with_violations(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                # A person carrying mail is bounding-schema-illegal:
+                # the guard rejects it and the response carries the
+                # violations instead of raising.
+                response = await client.add(
+                    f"uid=bad0,{PARENT}", ["person", "top"],
+                    {"uid": ["bad0"], "name": ["b zero"],
+                     "mail": ["bad@example.com"]},
+                )
+                assert response["applied"] is False
+                assert response["violations"]
+                # A structurally impossible add (no parent entry) is a
+                # request error, not a guard rejection.
+                with pytest.raises(ServerError) as excinfo:
+                    await client.add(
+                        "uid=orphan,ou=nowhere,o=att", ["person", "top"],
+                        {"uid": ["orphan"], "name": ["or phan"]},
+                    )
+                assert excinfo.value.code == "invalid"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_txn_and_delete(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                changes = (
+                    f"dn: uid=t1,{PARENT}\n"
+                    "changetype: add\n"
+                    "objectClass: person\nobjectClass: top\n"
+                    "uid: t1\nname: t one\n\n"
+                    f"dn: uid=t2,{PARENT}\n"
+                    "changetype: add\n"
+                    "objectClass: person\nobjectClass: top\n"
+                    "uid: t2\nname: t two\n"
+                )
+                response = await client.txn(changes)
+                assert response["applied"] is True
+                assert (await client.delete(f"uid=t2,{PARENT}"))["applied"]
+                found = await client.search(filter="(uid=t*)")
+                assert [e["dn"] for e in found["entries"]] == [
+                    f"uid=t1,{PARENT}"
+                ]
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_modify_journaled_and_visible(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                changes = (
+                    "dn: uid=laks,ou=databases,ou=attLabs,o=att\n"
+                    "changetype: modify\n"
+                    "replace: mail\n"
+                    "mail: laks@example.edu\n"
+                    "-\n"
+                )
+                response = await client.modify(changes)
+                assert response["applied"] is True
+                found = await client.search(filter="(mail=laks@example.edu)")
+                assert len(found["entries"]) == 1
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestNotifyChannel:
+    def test_watcher_wakes_on_commit(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                watcher = await _client(server, dn="cn=watcher")
+                await watcher.watch()
+                writer = await _client(server, dn="cn=writer")
+                spec = _person(1)
+                await writer.add(
+                    spec["dn"], spec["classes"], spec["attributes"]
+                )
+                notify = await watcher.next_notify(timeout=5)
+                assert notify["op"] == "notify"
+                assert notify["seq"] == 1
+                # The wakeup is the re-check trigger: the follower's
+                # next read sees the commit.
+                found = await watcher.search(filter="(uid=w1)")
+                assert len(found["entries"]) == 1
+                await watcher.close()
+                await writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_rejected_write_does_not_notify(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                watcher = await _client(server, dn="cn=watcher")
+                await watcher.watch()
+                writer = await _client(server, dn="cn=writer")
+                response = await writer.add(
+                    f"uid=bad1,{PARENT}", ["person", "top"],
+                    {"uid": ["bad1"], "name": ["b one"],
+                     "mail": ["bad@example.com"]},
+                )
+                assert response["applied"] is False
+                with pytest.raises(asyncio.TimeoutError):
+                    await watcher.next_notify(timeout=0.3)
+                await watcher.close()
+                await writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestShardedServing:
+    def test_search_and_spanning_txn(self, sharded_store):
+        async def run():
+            server = await _serve(sharded_store, shards=True)
+            try:
+                client = await _client(server)
+                response = await client.search(filter="(objectClass=person)")
+                assert len(response["entries"]) == 3
+                assert set(response["position"]) == {"att", "labs"}
+                # One transaction spanning both shards rides 2PC.
+                changes = (
+                    "dn: uid=root1,o=att\n"
+                    "changetype: add\n"
+                    "objectClass: person\nobjectClass: top\n"
+                    "uid: root1\nname: r one\n\n"
+                    f"dn: uid=leaf1,{PARENT}\n"
+                    "changetype: add\n"
+                    "objectClass: person\nobjectClass: top\n"
+                    "uid: leaf1\nname: l one\n"
+                )
+                applied = await client.txn(changes)
+                assert applied["applied"] is True
+                found = await client.search(filter="(objectClass=person)")
+                assert len(found["entries"]) == 5
+                verdict = await client.check()
+                assert verdict["legal"] is True
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_sharded_search_is_canonically_ordered(self, sharded_store):
+        async def run():
+            server = await _serve(sharded_store, shards=True)
+            try:
+                client = await _client(server)
+                response = await client.search()
+                dns = [e["dn"] for e in response["entries"]]
+                from repro.model.dn import parse_dn
+
+                def key(dn):
+                    return tuple(
+                        str(r)
+                        for r in reversed(parse_dn(dn).normalized().rdns)
+                    )
+
+                assert dns == sorted(dns, key=key)
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestGracefulDrain:
+    def test_stop_drains_inflight_connections(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            client = await _client(server)
+            response = await client.search()
+            assert response["ok"]
+            # stop() with live connections: in-flight work finishes,
+            # the socket closes, the store lock is released.
+            await server.stop(drain=True, timeout=5)
+            path, schema, registry = plain_store
+            store = DirectoryStore.open(path, schema, registry)
+            store.close()
+            await client.close()
+
+        asyncio.run(run())
+
+
+class TestConcurrentClients:
+    """The acceptance gate: N async clients searching while one writer
+    commits — every response reflects a committed frontier and no
+    client ever observes in-doubt 2PC state."""
+
+    CLIENTS = 8
+    WRITES = 12
+
+    def test_readers_see_only_committed_prefixes(self, plain_store):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                writer = await _client(server, dn="cn=writer")
+                done = asyncio.Event()
+
+                async def write_stream():
+                    for index in range(self.WRITES):
+                        spec = _person(index)
+                        response = await writer.add(
+                            spec["dn"], spec["classes"], spec["attributes"]
+                        )
+                        assert response["applied"] is True
+                    done.set()
+
+                observations = []
+
+                async def read_stream(n):
+                    client = await _client(server, dn=f"cn=reader{n}")
+                    while not done.is_set():
+                        response = await client.search(filter="(uid=w*)")
+                        observations.append(
+                            (
+                                response["position"]["seq"],
+                                sorted(
+                                    e["attributes"]["uid"][0]
+                                    for e in response["entries"]
+                                ),
+                            )
+                        )
+                        await asyncio.sleep(0)
+                    await client.close()
+
+                await asyncio.gather(
+                    write_stream(),
+                    *(read_stream(n) for n in range(self.CLIENTS)),
+                )
+                await writer.close()
+            finally:
+                await server.stop()
+
+            assert observations
+            for seq, uids in observations:
+                # The writer inserts w0, w1, ... one commit each: a
+                # committed frontier at seq k shows exactly the first
+                # k inserts — anything else is a torn or uncommitted
+                # view leaking out.
+                assert uids == [f"w{i}" for i in sorted(range(seq), key=str)]
+
+        asyncio.run(run())
+
+    def test_no_client_observes_in_doubt_2pc_state(self, sharded_store):
+        async def run():
+            server = await _serve(sharded_store, shards=True)
+            try:
+                writer = await _client(server, dn="cn=writer")
+                done = asyncio.Event()
+
+                async def write_stream():
+                    # Every transaction spans both shards: one entry at
+                    # the root shard, one below the nested cut — the
+                    # 2PC path, every time.
+                    for index in range(self.WRITES):
+                        changes = (
+                            f"dn: uid=a{index},o=att\n"
+                            "changetype: add\n"
+                            "objectClass: person\nobjectClass: top\n"
+                            f"uid: a{index}\nname: a {index}\n\n"
+                            f"dn: uid=b{index},{PARENT}\n"
+                            "changetype: add\n"
+                            "objectClass: person\nobjectClass: top\n"
+                            f"uid: b{index}\nname: b {index}\n"
+                        )
+                        response = await writer.txn(changes)
+                        assert response["applied"] is True
+                    done.set()
+
+                torn = []
+
+                async def read_stream(n):
+                    client = await _client(server, dn=f"cn=reader{n}")
+                    while not done.is_set():
+                        response = await client.search(
+                            filter="(objectClass=person)"
+                        )
+                        uids = {
+                            e["attributes"]["uid"][0]
+                            for e in response["entries"]
+                        }
+                        for index in range(self.WRITES):
+                            a, b = f"a{index}", f"b{index}"
+                            if (a in uids) != (b in uids):
+                                torn.append((n, index, a in uids,
+                                             response['position'],
+                                             sorted(uids)))
+                        await asyncio.sleep(0)
+                    await client.close()
+
+                await asyncio.gather(
+                    write_stream(),
+                    *(read_stream(n) for n in range(self.CLIENTS)),
+                )
+                await writer.close()
+            finally:
+                await server.stop()
+
+            # A spanning transaction is atomic: no reader may ever see
+            # one half of a prepared-but-undecided pair.
+            assert torn == []
+
+        asyncio.run(run())

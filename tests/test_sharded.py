@@ -673,6 +673,110 @@ def _search_view(instance):
     ]
 
 
+def _canonical_key(dn_string):
+    """Root-first tuple of normalized RDN strings — the canonical
+    global document order the composite search surface promises."""
+    from repro.model.dn import parse_dn
+
+    return tuple(str(r) for r in reversed(parse_dn(dn_string).normalized().rdns))
+
+
+class TestDeterministicSearchOrder:
+    """``CompositeReader.search``/``ShardedStore.search`` order must not
+    depend on shard iteration or stitch order: every layout of the same
+    directory returns the same sequence, equal to the union store's
+    results sorted into canonical global document order."""
+
+    LAYOUTS = [
+        {"att": "o=att", "labs": "ou=attLabs,o=att"},
+        {"labs": "ou=attLabs,o=att", "att": "o=att"},
+        {"only": "o=att"},
+    ]
+
+    def _expected(self, union, filter=None, scope="sub"):
+        from repro.query.search import search
+
+        dns = [
+            union.instance.dn_string_of(e)
+            for e in search(union.instance, scope=scope, filter=filter)
+        ]
+        return sorted(dns, key=_canonical_key)
+
+    @pytest.mark.parametrize("filter_string", [None] + FILTERS)
+    def test_order_matches_union_store_across_layouts(
+        self, tmp_path, schema, registry, filter_string
+    ):
+        union = DirectoryStore.create(
+            str(tmp_path / "union"), schema, figure1_instance(), registry
+        )
+        try:
+            expected = self._expected(union, filter=filter_string)
+        finally:
+            union.close()
+        assert expected == sorted(expected, key=_canonical_key)
+        for index, bases in enumerate(self.LAYOUTS):
+            path = str(tmp_path / f"layout{index}")
+            store = ShardedStore.create(
+                path, schema, bases, figure1_instance(), registry
+            )
+            try:
+                composite = store.composite_instance()
+                got = [
+                    composite.dn_string_of(e)
+                    for e in store.search(filter=filter_string)
+                ]
+                assert got == expected, f"layout {bases} diverged"
+            finally:
+                store.close()
+            reader = CompositeReader.open(path, schema, registry)
+            try:
+                got = [
+                    reader.dn_string_of(e)
+                    for e in reader.search(filter=filter_string)
+                ]
+                assert got == expected, f"reader over {bases} diverged"
+            finally:
+                reader.close()
+
+    def test_size_limit_is_prefix_of_canonical_order(
+        self, tmp_path, schema, registry
+    ):
+        store = ShardedStore.create(
+            str(tmp_path / "sharded"), schema, NESTED_BASES,
+            figure1_instance(), registry,
+        )
+        try:
+            composite = store.composite_instance()
+            full = [
+                composite.dn_string_of(e) for e in store.search()
+            ]
+            for limit in (0, 1, 3, len(full), len(full) + 5):
+                got = [
+                    composite.dn_string_of(e)
+                    for e in store.search(size_limit=limit)
+                ]
+                assert got == full[:limit]
+        finally:
+            store.close()
+
+    def test_parent_sorts_before_children(self, tmp_path, schema, registry):
+        store = ShardedStore.create(
+            str(tmp_path / "sharded"), schema, NESTED_BASES,
+            figure1_instance(), registry,
+        )
+        try:
+            composite = store.composite_instance()
+            dns = [composite.dn_string_of(e) for e in store.search()]
+            seen = set()
+            for dn in dns:
+                key = _canonical_key(dn)
+                if len(key) > 1:
+                    assert key[:-1] in seen, f"{dn} appeared before its parent"
+                seen.add(key)
+        finally:
+            store.close()
+
+
 @pytest.mark.parametrize(
     "bases,orgs",
     [
@@ -996,3 +1100,98 @@ def test_insert_under_deleted_entry_refused_identically(tmp_path):
     finally:
         sharded.close()
         union.close()
+
+
+# ----------------------------------------------------------------------
+# coordinator-cut reads: a reader landing mid-2PC
+# ----------------------------------------------------------------------
+class TestCoordinatorCutReads:
+    """A ``CompositeReader`` refreshing while a spanning transaction's
+    decide frames are still in flight must show the transaction on every
+    shard or on none — decided by the coordinator log's durable commit
+    record, captured once per refresh (the coordinator cut).
+
+    Each case crashes a writer at a named 2PC protocol point and opens a
+    reader on the crashed directory *before* recovery runs, freezing the
+    exact intermediate journal states the concurrent-server test only
+    hits probabilistically."""
+
+    ATT_DN = "uid=c1att,o=att"
+    LABS_DN = "uid=c1labs,ou=databases,ou=attLabs,o=att"
+
+    def _crash_at(self, tmp_path, point):
+        from harness.crash2pc import commit_tx, make_sharded, run_2pc_scenario
+        from repro.store.faults import FaultPlan, FaultyIO, InjectedCrash
+
+        path = str(tmp_path / "crash")
+        make_sharded(path)
+        io = FaultyIO(FaultPlan(crash_at_point=point))
+        with pytest.raises(InjectedCrash):
+            run_2pc_scenario(path, io, transactions=[commit_tx(1)])
+        return path
+
+    @pytest.mark.parametrize("point", ["2pc:committed", "2pc:decided:att"])
+    def test_cut_committed_transaction_visible_on_every_shard(
+        self, tmp_path, schema, registry, point
+    ):
+        """Once the coordinator's commit record is durable, the refresh
+        cut proves the outcome: shards whose decide frame never landed
+        apply the prepared payload early instead of withholding it."""
+        path = self._crash_at(tmp_path, point)
+        with CompositeReader.open(path, schema, registry) as reader:
+            reader.refresh()
+            instance = reader.instance
+            assert instance.find(self.ATT_DN) is not None
+            assert instance.find(self.LABS_DN) is not None
+            labs = reader._readers["labs"]
+            att = reader._readers["att"]
+            # labs never saw its decide frame: applied early via the
+            # cut, flagged as ahead of its durable position.
+            assert labs.resolved_txid is not None
+            assert labs.pending_txid is None
+            if point == "2pc:committed":
+                assert att.resolved_txid == labs.resolved_txid
+            else:
+                # att's decide landed before the crash and was consumed
+                # normally — only labs needed resolution.
+                assert att.resolved_txid is None
+            before = canonical_records(instance)
+
+            # Recovery appends the missing decide frames; the next
+            # refresh consumes them positionally without re-replaying
+            # the already-applied payload.
+            ShardedStore.open(path, schema, registry).close()
+            reader.refresh()
+            assert reader._readers["labs"].resolved_txid is None
+            assert reader._readers["att"].resolved_txid is None
+            assert canonical_records(reader.instance) == before
+
+    @pytest.mark.parametrize("point", ["2pc:prepared:labs", "2pc:decision"])
+    def test_in_doubt_transaction_withheld_on_every_shard(
+        self, tmp_path, schema, registry, point
+    ):
+        """With no durable coordinator decision the prepares are
+        genuinely in doubt: invisible on every shard (presumed abort),
+        never applied by one shard and withheld by another."""
+        path = self._crash_at(tmp_path, point)
+        with CompositeReader.open(path, schema, registry) as reader:
+            reader.refresh()
+            instance = reader.instance
+            assert instance.find(self.ATT_DN) is None
+            assert instance.find(self.LABS_DN) is None
+            assert reader._readers["att"].pending_txid is not None
+            if point == "2pc:prepared:labs":
+                assert reader._readers["labs"].pending_txid is not None
+            for shard_reader in reader._readers.values():
+                assert shard_reader.resolved_txid is None
+
+            # Recovery resolves the in-doubt prepares as aborted; the
+            # reader follows the abort decides and the entries stay out.
+            ShardedStore.open(path, schema, registry).close()
+            result = reader.refresh()
+            assert result.advanced
+            for shard_reader in reader._readers.values():
+                assert shard_reader.pending_txid is None
+                assert shard_reader.resolved_txid is None
+            assert reader.instance.find(self.ATT_DN) is None
+            assert reader.instance.find(self.LABS_DN) is None

@@ -1,0 +1,216 @@
+"""Extension benchmark — attribute-level secondary indexes.
+
+Claims under test:
+
+1. **Sublinearity.**  An index-planned equality or substring search
+   does work bounded by its candidate set, not by |D|: across a 10x
+   instance ladder the index work-unit (candidate ids surfaced by the
+   planner's probes) must grow with an exponent **< 1** in |D|, while
+   the naive scan's work-unit (entries visited) grows linearly.  The
+   gate is asserted on the machine-independent counters, so a slow CI
+   box cannot mask a complexity regression; it is armed only at
+   ``BENCH_INDEX_SCALE >= 1.0`` (smoke fractions sit in noise).
+
+2. **Differential soundness.**  Planner output is byte-identical to
+   the naive scan — same entries, same document order — for every
+   filter shape on every rung.  This gate is always armed: indexes
+   that answer fast but wrong are worse than no indexes.
+
+3. **O(|Delta|) key enforcement.**  With Section 6.1 extras declared,
+   a committed (or rejected-duplicate) write pays index probes
+   proportional to the *transaction*, not the directory: the probe
+   work-unit must also stay sublinear in |D| across the ladder.
+
+``BENCH_INDEX_SCALE`` scales the ladder (1.0 -> ~15k entries at the
+top rung; CI smoke uses a small fraction).
+"""
+
+import os
+
+from repro.query.filter_parser import parse_filter
+from repro.query.search import search
+from repro.store import DirectoryStore
+from repro.store.index import AttributeIndexes
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import generate_whitepages, whitepages_schema
+
+from _helpers import fit_growth, print_series
+
+SCALE = float(os.environ.get("BENCH_INDEX_SCALE", "1.0"))
+GATE_ARMED = SCALE >= 1.0
+
+#: Relative rungs of the instance ladder — a 10x span in |D|.
+RUNGS = (1, 2, 4, 10)
+
+
+#: The needle entry every rung carries: its uid shares no trigram with
+#: the generator's dense ``u<number>`` uids, so the probe's candidate
+#: set measures selectivity, not directory size.
+PROBE_UID = "zqxprobe"
+
+
+def ladder_instance(rung: int):
+    """A white-pages instance whose size scales linearly with ``rung``
+    (persons dominate the entry count), carrying one tagged needle
+    entry, with indexes attached."""
+    persons = max(2, int(120 * rung * SCALE))
+    instance = generate_whitepages(
+        orgs=1, units_per_level=3, depth=2, persons_per_unit=persons, seed=7
+    )
+    org = instance.find("o=org0")
+    instance.add_entry(
+        org, f"uid={PROBE_UID}", ["person", "top"],
+        {"uid": [PROBE_UID], "name": ["probe person"]},
+    )
+    AttributeIndexes.attach(instance, frozenset(), frozenset(), None)
+    return instance
+
+
+def probe_filters(instance):
+    """Filters exercised at every rung.  The ``equality`` and
+    ``substring`` entries gate sublinearity (they target the needle, so
+    their true-match count is constant); the rest only feed the
+    differential check with wider shapes, including a mid-directory uid
+    whose trigrams *do* collide with neighbours."""
+    eids = sorted(instance.entry_ids())
+    uid = None
+    for eid in eids[len(eids) // 2:]:
+        values = instance.entry(eid).values("uid")
+        if values:
+            uid = str(values[0])
+            break
+    assert uid is not None and len(uid) >= 3
+    return {
+        "equality": f"(uid={PROBE_UID})",
+        "substring": f"(uid=*{PROBE_UID[1:-1]}*)",
+        "colliding-substring": f"(uid=*{uid[-3:]}*)",
+        "and": f"(&(objectClass=person)(uid={uid}))",
+        "or": f"(|(uid={uid})(uid={PROBE_UID}))",
+    }
+
+
+def indexed_work(instance, filter_text):
+    """Run one indexed search; returns (results, candidate work-unit)."""
+    before = instance.indexes.counters()
+    results = search(instance, filter=parse_filter(filter_text))
+    probes, _, candidates = (
+        n - b for n, b in zip(instance.indexes.counters(), before)
+    )
+    return results, probes + candidates
+
+
+def naive_results(instance, filter_text):
+    """The scan oracle: the same search with the indexes detached."""
+    indexes = instance.indexes
+    instance.indexes = None
+    try:
+        return search(instance, filter=parse_filter(filter_text))
+    finally:
+        instance.indexes = indexes
+
+
+def test_search_work_sublinear_and_differential(benchmark):
+    """Gates 1 and 2: candidate work grows sublinearly while results
+    stay byte-identical to the naive scan on every rung."""
+    sizes = []
+    work = {"equality": [], "substring": []}
+    top_instance = None
+    top_filter = None
+    for rung in RUNGS:
+        instance = ladder_instance(rung)
+        sizes.append(len(instance))
+        filters = probe_filters(instance)
+        for label, filter_text in filters.items():
+            results, units = indexed_work(instance, filter_text)
+            oracle = naive_results(instance, filter_text)
+            # Differential gate: identical entries, identical order.
+            assert [e.dn for e in results] == [e.dn for e in oracle], (
+                f"planner diverged from scan for {filter_text!r} "
+                f"at |D|={len(instance)}"
+            )
+            if label in work:
+                work[label].append(max(1, units))
+        top_instance, top_filter = instance, filters["equality"]
+
+    rows = [
+        (size, eq, sub)
+        for size, eq, sub in zip(sizes, work["equality"], work["substring"])
+    ]
+    print_series("index work-units (|D|, equality, substring)", rows)
+    for label, series in work.items():
+        exponent = fit_growth(sizes, series)
+        if GATE_ARMED:
+            assert exponent < 1.0, (
+                f"{label} search work grew with exponent {exponent:.2f} "
+                f"across |D|={sizes} (work={series}); expected sublinear"
+            )
+
+    benchmark(lambda: search(top_instance, filter=parse_filter(top_filter)))
+
+
+def test_extras_delta_probe_work_sublinear(benchmark, tmp_path):
+    """Gate 3: with ``uid`` a Section 6.1 key, accepting a fresh
+    insert and rejecting a duplicate both cost index probes bounded by
+    the transaction, not the directory."""
+    schema = whitepages_schema(extras=True)
+    sizes = []
+    work = []
+    store = None
+    for rung in RUNGS:
+        persons = max(2, int(120 * rung * SCALE))
+        instance = generate_whitepages(
+            orgs=1, units_per_level=3, depth=2,
+            persons_per_unit=persons, seed=7,
+        )
+        if store is not None:
+            store.close()
+        store = DirectoryStore.create(
+            str(tmp_path / f"rung{rung}"), schema, instance
+        )
+        sizes.append(len(store.instance))
+        taken = str(store.instance.entry(
+            sorted(store.instance.entry_ids())[-1]
+        ).values("uid")[0])
+
+        fresh = UpdateTransaction().insert(
+            "uid=bench0,o=org0", ["person", "top"],
+            {"uid": ["bench0"], "name": ["bench zero"]},
+        )
+        accepted = store.apply(fresh)
+        assert accepted.applied
+        duplicate = UpdateTransaction().insert(
+            "uid=bench1,o=org0", ["person", "top"],
+            {"uid": [taken], "name": ["bench one"]},
+        )
+        rejected = store.apply(duplicate)
+        assert not rejected.applied
+        units = (
+            accepted.stats.index_probes + accepted.stats.index_candidates
+            + rejected.stats.index_probes + rejected.stats.index_candidates
+        )
+        work.append(max(1, units))
+
+    print_series("extras delta work-units (|D|, probes)", list(zip(sizes, work)))
+    exponent = fit_growth(sizes, work)
+    if GATE_ARMED:
+        assert exponent < 1.0, (
+            f"extras delta work grew with exponent {exponent:.2f} "
+            f"across |D|={sizes} (work={work}); expected O(|Delta|)"
+        )
+
+    counter = [1]
+
+    def guarded_insert():
+        counter[0] += 1
+        outcome = store.apply(
+            UpdateTransaction().insert(
+                f"uid=bench{counter[0]},o=org0", ["person", "top"],
+                {"uid": [f"bench{counter[0]}"], "name": ["bench n"]},
+            )
+        )
+        assert outcome.applied
+
+    try:
+        benchmark(guarded_insert)
+    finally:
+        store.close()

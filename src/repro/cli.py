@@ -419,6 +419,10 @@ def _fsck_shards(directory: str, schema) -> int:
         print(f"fsck: {exc}")
         return 1
     try:
+        from repro.legality.scope import shard_local_schema
+        from repro.store.index import index_sidecar_status
+
+        local_schema = shard_local_schema(schema, reader.scope)
         for name, (generation, seq) in sorted(reader.frontier().items()):
             shard = reader.shard_reader(name)
             lag = shard.lag()
@@ -426,9 +430,15 @@ def _fsck_shards(directory: str, schema) -> int:
                 "current" if lag.current
                 else f"{lag.generations} generation(s), {lag.frames} frame(s) behind"
             )
+            # Index sidecar health is informational: any non-"present"
+            # state just means the next open rebuilds.
+            status = index_sidecar_status(
+                shard_dir(directory, name), local_schema, generation, seq
+            )
             print(
                 f"  {name}: generation {generation}, seq {seq} "
-                f"({len(shard.instance)} entries; {lag_note})"
+                f"({len(shard.instance)} entries; {lag_note}; "
+                f"index sidecar {status})"
             )
         print(f"scope: {reader.scope.summary()}")
         report = reader.check()
@@ -498,6 +508,17 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     except (StoreError, OSError) as exc:
         print(f"fsck: {exc}")
         return 1
+    if schema is not None:
+        from repro.store.index import index_sidecar_status
+
+        # Informational only: a missing/stale/corrupt sidecar just
+        # means the next open rebuilds the indexes — never an error.
+        print(
+            "index sidecar: "
+            + index_sidecar_status(
+                args.directory, schema, report.generation, report.last_seq
+            )
+        )
     print(report.summary())
     if report.healthy:
         print("HEALTHY")

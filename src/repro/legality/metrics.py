@@ -55,6 +55,13 @@ class CheckStats:
         many elements share them).
     violations:
         Violations reported.
+    index_probes / index_hits / index_candidates:
+        Secondary-index activity (:mod:`repro.store.index`): posting-list
+        probes issued, probes that found a non-empty posting list, and
+        total candidate entries those postings named.  Populated by the
+        index-backed extras delta checks and by index-planned searches;
+        ``candidates`` is the work-unit the bench gates compare against
+        ``|D|`` to certify sublinearity.
     workers / chunks:
         Layout of the parallel content phase (``workers == 0`` means the
         sequential path ran).
@@ -72,6 +79,9 @@ class CheckStats:
     structure_batched: int = 0
     flag_passes: int = 0
     violations: int = 0
+    index_probes: int = 0
+    index_hits: int = 0
+    index_candidates: int = 0
     workers: int = 0
     chunks: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -100,6 +110,9 @@ class CheckStats:
         self.structure_batched += other.structure_batched
         self.flag_passes += other.flag_passes
         self.violations += other.violations
+        self.index_probes += other.index_probes
+        self.index_hits += other.index_hits
+        self.index_candidates += other.index_candidates
         self.workers = max(self.workers, other.workers)
         self.chunks += other.chunks
         for phase, seconds in other.phase_seconds.items():
@@ -128,6 +141,9 @@ class CheckStats:
             structure_batched=self.structure_batched - baseline.structure_batched,
             flag_passes=self.flag_passes - baseline.flag_passes,
             violations=self.violations - baseline.violations,
+            index_probes=self.index_probes - baseline.index_probes,
+            index_hits=self.index_hits - baseline.index_hits,
+            index_candidates=self.index_candidates - baseline.index_candidates,
             workers=self.workers,
             chunks=self.chunks - baseline.chunks,
         )
@@ -164,6 +180,9 @@ class CheckStats:
             ("structure checks batched", str(self.structure_batched)),
             ("flag passes", str(self.flag_passes)),
             ("violations", str(self.violations)),
+            ("index probes", str(self.index_probes)),
+            ("index probe hits", str(self.index_hits)),
+            ("index candidates", str(self.index_candidates)),
             ("workers", str(self.workers) if self.workers else "sequential"),
             ("chunks", str(self.chunks)),
         ]

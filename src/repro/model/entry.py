@@ -158,6 +158,8 @@ class Entry:
         if value not in bucket:
             bucket.append(value)
             self._fingerprint = None
+            if self._owner is not None:
+                self._owner._notify_entry_changed(self.eid)
 
     def remove_value(self, attribute: str, value: Any) -> None:
         """Remove a pair from ``val(r)``.
@@ -177,6 +179,8 @@ class Entry:
         self._fingerprint = None
         if not bucket:
             del self._attributes[attribute]
+        if self._owner is not None:
+            self._owner._notify_entry_changed(self.eid)
 
     def replace_values(self, attribute: str, values: Iterable[Any]) -> None:
         """Replace all values of ``attribute`` with ``values``."""

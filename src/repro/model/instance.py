@@ -84,6 +84,11 @@ class DirectoryInstance:
         # classes' member sets).
         self._class_version: Dict[str, int] = {}
         self.instance_token = next(_INSTANCE_TOKENS)
+        # Optional secondary indexes (repro.store.index.AttributeIndexes).
+        # When attached, every mutation notifies them so their postings
+        # can be patched lazily in O(|Δ|); the model layer only knows
+        # the two-method observer protocol, not the index structure.
+        self.indexes: Optional[Any] = None
         # Structural-mutation counter (any shape change bumps it).
         self._shape_generation = 0
         # Lazy interval numbering; None means stale.
@@ -158,6 +163,7 @@ class DirectoryInstance:
             for name, values in attributes.items():
                 for value in values:
                     entry.add_value(name, value)
+        self._notify_entry_changed(eid)
         self._invalidate_order()
         return entry
 
@@ -175,6 +181,9 @@ class DirectoryInstance:
                 "only leaf entries can be deleted; delete descendants first"
             )
         node = self._entries[eid]
+        # Notify before the DN index entry disappears: the observer
+        # captures the normalized DN for reverse-reference probes.
+        self._notify_entry_removed(eid)
         parent_eid = self._parent[eid]
         if parent_eid is None:
             self._roots.remove(eid)
@@ -259,6 +268,7 @@ class DirectoryInstance:
         stack: List[int] = [eid]
         while stack:
             node_eid = stack.pop()
+            self._notify_entry_removed(node_eid)
             node = self._entries.pop(node_eid)
             del self._by_dn[self._norm_key.pop(node_eid)]
             del self._dn_key[node_eid]
@@ -516,6 +526,7 @@ class DirectoryInstance:
     def _on_class_added(self, eid: int, object_class: str) -> None:
         self._class_index.setdefault(object_class, set()).add(eid)
         self._bump_class(object_class)
+        self._notify_entry_changed(eid)
 
     def _on_class_removed(self, eid: int, object_class: str) -> None:
         bucket = self._class_index.get(object_class)
@@ -524,6 +535,17 @@ class DirectoryInstance:
             if not bucket:
                 del self._class_index[object_class]
             self._bump_class(object_class)
+        self._notify_entry_changed(eid)
+
+    def _notify_entry_changed(self, eid: int) -> None:
+        indexes = self.indexes
+        if indexes is not None:
+            indexes.entry_changed(eid)
+
+    def _notify_entry_removed(self, eid: int) -> None:
+        indexes = self.indexes
+        if indexes is not None:
+            indexes.entry_removed(eid)
 
     def _bump_class(self, object_class: str) -> None:
         self._class_version[object_class] = (

@@ -32,10 +32,19 @@ from repro.errors import QueryError
 from repro.model.attributes import OBJECT_CLASS
 from repro.model.instance import DirectoryInstance
 from repro.query.ast import HSelect, Minus, Query, Select
-from repro.query.filters import FALSE_FILTER, Equals, Filter
+from repro.query.filters import (
+    FALSE_FILTER,
+    And,
+    Equals,
+    Filter,
+    Or,
+    Present,
+    Substring,
+)
 
 __all__ = [
     "QueryEvaluator",
+    "FilterPlanner",
     "evaluate",
     "SEMIJOIN_FACTOR",
     "prefers_semi_join",
@@ -407,3 +416,75 @@ def evaluate(
 ) -> Set[int]:
     """Convenience wrapper: evaluate ``query`` on ``instance``."""
     return QueryEvaluator(instance, scopes).evaluate(query)
+
+
+class FilterPlanner:
+    """Rewrites filter trees into candidate sets over secondary indexes.
+
+    :meth:`plan` returns a **sound superset** of the entries a filter
+    can match, as a set of entry ids — or ``None`` when the filter (or
+    the relevant index) cannot bound the result, in which case the
+    caller scans.  The residual ``matches`` pass always runs over the
+    candidates, so planning affects cost, never results:
+
+    * ``Equals`` with a *string* operand probes the equality index —
+      for string operands the index's text form covers the matcher's
+      ``stored == value or str(stored) == value`` exactly.  Non-string
+      operands do not plan: ``(x=5)`` matches a stored ``5.0`` whose
+      text form ``"5.0"`` the probe would miss.
+    * ``Present`` probes the presence index (vacuous for
+      ``objectClass``, which every entry has — no plan).
+    * ``Substring`` intersects the gram postings of the pattern's
+      literal chunks, falling back to the presence set when every chunk
+      is shorter than a gram.
+    * ``And`` intersects whichever conjuncts plan (one suffices — the
+      residual pass enforces the rest); ``Or`` needs *every* disjunct
+      to plan (a single unplannable branch could match anything).
+      The empty ``Or`` — the parser's FALSE filter — plans as the
+      empty set; the empty ``And`` (TRUE) does not plan.
+    * ``Not``, ``Approx``, and the ordering filters fall through to the
+      residual scan: the indexes order nothing and store no normalized
+      text.
+    """
+
+    def __init__(self, indexes) -> None:
+        self.indexes = indexes
+
+    def plan(self, filt: Filter) -> Optional[Set[int]]:
+        """A candidate-id superset for ``filt``, or ``None`` when the
+        indexes cannot bound it (caller falls back to scanning)."""
+        indexes = self.indexes
+        if isinstance(filt, Equals):
+            if isinstance(filt.value, str):
+                return indexes.equality_candidates(filt.attribute, filt.value)
+            return None
+        if isinstance(filt, Present):
+            if filt.attribute == OBJECT_CLASS:
+                return None
+            return indexes.presence_candidates(filt.attribute)
+        if isinstance(filt, Substring):
+            parts = [
+                part
+                for part in (filt.initial, *filt.any_parts, filt.final)
+                if part
+            ]
+            return indexes.substring_candidates(filt.attribute, parts)
+        if isinstance(filt, And):
+            result: Optional[Set[int]] = None
+            for operand in filt.operands:
+                planned = self.plan(operand)
+                if planned is None:
+                    continue
+                result = planned if result is None else result & planned
+                if not result:
+                    break
+            return result
+        if isinstance(filt, Or):
+            union: Set[int] = set()
+            for operand in filt.operands:
+                planned = self.plan(operand)
+                if planned is None:
+                    return None
+                union |= planned
+            return union
+        return None

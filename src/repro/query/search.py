@@ -22,6 +22,7 @@ from repro.errors import QueryError
 from repro.model.dn import DN
 from repro.model.entry import Entry
 from repro.model.instance import DirectoryInstance
+from repro.query.evaluator import FilterPlanner
 from repro.query.filter_parser import parse_filter
 from repro.query.filters import TRUE_FILTER, Filter
 
@@ -39,6 +40,29 @@ class SearchScope(str, Enum):
     SUB = "sub"
     #: The subtree *excluding* the base (LDAP ``subordinateSubtree``).
     CHILDREN = "children"
+
+
+def _in_scope(
+    instance: DirectoryInstance,
+    base: Optional[Entry],
+    scope: SearchScope,
+    entry: Entry,
+) -> bool:
+    """O(1) scope-membership test (interval numbering for subtree
+    scopes) — lets index-planned searches visit only their candidates."""
+    if base is None:
+        if scope is SearchScope.BASE:
+            return False
+        if scope is SearchScope.ONE:
+            return instance.parent_id(entry.eid) is None
+        return True
+    if scope is SearchScope.BASE:
+        return entry.eid == base.eid
+    if scope is SearchScope.ONE:
+        return instance.parent_id(entry.eid) == base.eid
+    if scope is SearchScope.SUB:
+        return entry.eid == base.eid or instance.is_ancestor(base, entry)
+    return instance.is_ancestor(base, entry)
 
 
 def _candidates(
@@ -110,7 +134,30 @@ def search(
         if base_entry is None:
             raise QueryError(f"search base {base!s} does not exist")
 
+    # Index-aware planning: when the instance carries secondary indexes,
+    # bound the scan by a candidate superset first.  The residual
+    # ``matches`` pass below still judges every candidate, so planner
+    # output is byte-identical to the naive scan — only cheaper.
+    planned: Optional[set] = None
+    indexes = getattr(instance, "indexes", None)
+    if indexes is not None and predicate is not TRUE_FILTER:
+        planned = FilterPlanner(indexes).plan(predicate)
+
     results: List[Entry] = []
+    if planned is not None:
+        # Visit only the candidates, in document order — O(|C| log |C|)
+        # plus one O(1) scope test each, not a pass over |D|.
+        for eid in sorted(
+            planned, key=lambda eid: instance.interval_of(eid)[0]
+        ):
+            entry = instance.entry(eid)
+            if not _in_scope(instance, base_entry, scope, entry):
+                continue
+            if predicate.matches(entry):
+                results.append(entry)
+                if size_limit is not None and len(results) >= size_limit:
+                    break
+        return results
     for entry in _candidates(instance, base_entry, scope):
         if predicate.matches(entry):
             results.append(entry)

@@ -110,8 +110,9 @@ class DirectoryClient:
         filter: Optional[str] = None,
         size_limit: Optional[int] = None,
     ) -> dict:
-        """Search the server's committed view; returns ``entries``
-        in canonical global document order plus ``position``."""
+        """Search the server's committed view; returns ``entries`` in
+        canonical global document order, a ``truncated`` flag (true
+        when ``size_limit`` cut the result), plus ``position``."""
         fields: dict = {"scope": scope}
         if base is not None:
             fields["base"] = base

@@ -32,10 +32,12 @@ Operations
 ``search``
     ``base`` (optional DN string), ``scope`` (``base``/``one``/``sub``/
     ``children``), ``filter`` (RFC 4515 string, optional),
-    ``size_limit`` (optional int).  Returns ``entries`` — a list of
-    ``{"dn": ..., "attributes": {name: [values...]}}`` in canonical
-    global document order — and the ``position`` the serving reader's
-    view sat at (always a committed frontier).
+    ``size_limit`` (optional positive int).  Returns ``entries`` — a
+    list of ``{"dn": ..., "attributes": {name: [values...]}}`` in
+    canonical global document order — a ``truncated`` flag (true when
+    ``size_limit`` cut the result after canonical ordering, i.e. at
+    least one further match exists), and the ``position`` the serving
+    reader's view sat at (always a committed frontier).
 ``add`` / ``delete`` / ``txn``
     Mutations as update transactions.  ``add`` carries ``dn``,
     ``classes``, ``attributes``; ``delete`` carries ``dn``; ``txn``

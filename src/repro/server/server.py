@@ -315,6 +315,15 @@ class DirectoryServer:
             )
         filter_text = request.get("filter")
         size_limit = request.get("size_limit")
+        if size_limit is not None and (
+            not isinstance(size_limit, int)
+            or isinstance(size_limit, bool)
+            or size_limit < 1
+        ):
+            return error_response(
+                request.get("id"), "bad_request",
+                f"size_limit must be a positive integer, got {size_limit!r}",
+            )
         base = request.get("base")
 
         def run():
@@ -322,17 +331,25 @@ class DirectoryServer:
 
             connection.view.refresh()
             parsed = parse_filter(filter_text) if filter_text else None
+            # Over-fetch by one so the cut happens *after* canonical
+            # ordering and the client learns whether results were
+            # dropped, without ever scanning past limit + 1 matches.
+            fetch = None if size_limit is None else size_limit + 1
             entries = connection.view.search(
-                base=base, scope=scope, filter=parsed, size_limit=size_limit
+                base=base, scope=scope, filter=parsed, size_limit=fetch
             )
+            truncated = size_limit is not None and len(entries) > size_limit
+            if truncated:
+                entries = entries[:size_limit]
             instance = connection.view.instance
-            return [_entry_payload(instance, e) for e in entries]
+            return [_entry_payload(instance, e) for e in entries], truncated
 
         loop = asyncio.get_running_loop()
-        entries = await loop.run_in_executor(None, run)
+        entries, truncated = await loop.run_in_executor(None, run)
         return ok_response(
             request.get("id"),
             entries=entries,
+            truncated=truncated,
             position=connection.position_payload(),
         )
 

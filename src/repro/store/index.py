@@ -1,0 +1,660 @@
+"""Attribute-level secondary indexes over a directory instance.
+
+The paper's Figure 4 reductions turn bounding-schema checks into
+queries, so making queries sublinear makes the whole system faster.
+This module is the access-structure half of that move (slapd's
+``index`` directive is the production precedent): an
+:class:`AttributeIndexes` object rides on a
+:class:`~repro.model.instance.DirectoryInstance` and maintains
+
+* an **equality** index ``attribute -> text -> {eid}`` over the text
+  form of every value (exactly the form
+  :class:`~repro.query.filters.Equals` compares against for string
+  operands),
+* a **presence** index ``attribute -> {eid}``,
+* a **substring** index of character 3-grams
+  ``attribute -> gram -> {eid}`` (candidates for
+  :class:`~repro.query.filters.Substring` come from intersecting the
+  postings of the pattern's grams),
+* a **key** index ``attribute -> value -> {eid}`` over the Section 6.1
+  key attributes, keyed by the *raw* value with plain ``dict`` equality
+  — the same equality :class:`~repro.legality.extras.ExtrasChecker`
+  uses, so ``1`` and ``True`` collide while ``30`` and ``"30"`` stay
+  distinct, and
+* a **referential** index ``attribute -> normalized target DN -> {eid}``
+  over the Section 6.1 referential attributes, supporting the reverse
+  probe "who references the entry being deleted?".
+
+Maintenance is incremental and *lazy*: instance mutations only mark the
+touched entry id dirty (O(1) per mutation, via the observer hooks in
+:mod:`repro.model.instance` / :mod:`repro.model.entry`); the postings
+are patched in O(|dirty|) at the next probe.  Every index answer is a
+**sound superset** of the matching entries — the query layer always
+runs the real ``matches`` predicate over the candidates — so a bug here
+can cost time, never correctness.
+
+Persistence follows the ``verdicts.cache`` discipline exactly
+(:mod:`repro.store.sidecar`): a checksummed, schema- and
+generation-stamped sidecar (``indexes.cache``) that is best-effort on
+save and paranoid on load — corrupt, stale, or missing means a
+transparent rebuild, never a wrong answer.  Postings are persisted
+keyed by normalized DN (entry ids are assigned at parse time and do not
+survive a reopen), and additionally stamped with the journal *position*
+so a sidecar exported mid-generation only warm-starts a view at exactly
+that frame.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.legality.report import Kind, Violation
+from repro.model.dn import parse_dn
+from repro.model.entry import Entry
+from repro.model.instance import DirectoryInstance
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.extras import SchemaExtras
+from repro.store.recovery import INDEX_SIDECAR_FILE
+from repro.store.sidecar import schema_digest, verdict_crc
+
+__all__ = [
+    "AttributeIndexes",
+    "delta_extras_violations",
+    "extras_index_attributes",
+    "index_sidecar_path",
+    "index_sidecar_status",
+    "load_index_sidecar",
+    "save_index_sidecar",
+]
+
+#: Substring-index gram width.  Three is the classic slapd choice:
+#: wide enough to prune, narrow enough that most patterns contain one.
+GRAM = 3
+
+INDEX_SIDECAR_FORMAT = 1
+
+
+def _normalize_dn(text: str) -> Optional[str]:
+    """The case-folded DN string of ``text``, or ``None`` when it does
+    not parse as a DN (such a value can never resolve to an entry)."""
+    try:
+        return str(parse_dn(text).normalized())
+    except Exception:
+        return None
+
+
+def extras_index_attributes(
+    extras: Optional[SchemaExtras],
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """The ``(key, referential)`` attribute sets an index should
+    maintain for ``extras`` (both empty when there are none)."""
+    if extras is None:
+        return frozenset(), frozenset()
+    return frozenset(extras.key_attributes), frozenset(extras.referential_attributes)
+
+
+class AttributeIndexes:
+    """Incrementally-maintained secondary indexes over one instance.
+
+    Attach with :meth:`attach` (which also wires the instance's
+    observer hooks); afterwards every mutation of the instance keeps
+    the indexes current automatically.
+
+    The ``probes``/``hits``/``candidates`` counters are cumulative and
+    machine-independent; callers snapshot them around an operation to
+    report what the planner did (``--profile``, bench gates).
+    """
+
+    def __init__(
+        self,
+        instance: DirectoryInstance,
+        key_attributes: Iterable[str] = (),
+        referential_attributes: Iterable[str] = (),
+    ) -> None:
+        self.instance = instance
+        self.key_attributes = frozenset(key_attributes)
+        self.referential_attributes = frozenset(referential_attributes)
+        self._eq: Dict[str, Dict[str, Set[int]]] = {}
+        self._present: Dict[str, Set[int]] = {}
+        self._grams: Dict[str, Dict[str, Set[int]]] = {}
+        self._keys: Dict[str, Dict[Any, Set[int]]] = {}
+        self._refs: Dict[str, Dict[str, Set[int]]] = {}
+        #: eid -> the attribute/value snapshot currently folded into the
+        #: postings.  Mandatory for unindexing: by the time a deletion
+        #: is flushed the entry (and its values) are gone.
+        self._snapshots: Dict[int, Dict[str, Tuple[Any, ...]]] = {}
+        self._dirty: Set[int] = set()
+        #: Normalized DNs captured at deletion time (the DN index entry
+        #: is gone before the lazy flush runs).
+        self._removed_dns: Dict[int, str] = {}
+        self.probes = 0
+        self.hits = 0
+        self.candidates = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        instance: DirectoryInstance,
+        key_attributes: Iterable[str] = (),
+        referential_attributes: Iterable[str] = (),
+        postings: Optional[dict] = None,
+    ) -> "AttributeIndexes":
+        """Create indexes for ``instance``, adopt ``postings`` when they
+        line up with it (else rebuild from scratch), and install the
+        result as ``instance.indexes``."""
+        indexes = cls(instance, key_attributes, referential_attributes)
+        if postings is None or not indexes._adopt(postings):
+            indexes.rebuild()
+        instance.indexes = indexes
+        return indexes
+
+    def rebuild(self) -> None:
+        """Discard everything and re-derive the postings from the live
+        instance — the cold-start path a bad sidecar falls back to."""
+        self._eq = {}
+        self._present = {}
+        self._grams = {}
+        self._keys = {}
+        self._refs = {}
+        self._snapshots = {}
+        self._dirty.clear()
+        self._removed_dns.clear()
+        for eid, entry in self.instance._entries.items():
+            snapshot = self._snapshot(entry)
+            self._snapshots[eid] = snapshot
+            self._index_entry(eid, snapshot)
+
+    # ------------------------------------------------------------------
+    # observer hooks (called by the owning instance)
+    # ------------------------------------------------------------------
+    def entry_changed(self, eid: int) -> None:
+        """Mark ``eid`` dirty (value or class mutation, or insertion);
+        O(1) — the postings are patched lazily at the next probe."""
+        self._dirty.add(eid)
+
+    def entry_removed(self, eid: int) -> None:
+        """Mark ``eid`` dirty for removal, capturing its normalized DN
+        now — the instance's DN tables forget it before the lazy flush
+        (or a reverse referential probe) runs."""
+        self._dirty.add(eid)
+        norm = self.instance._norm_key.get(eid)
+        if norm is not None:
+            self._removed_dns[eid] = norm
+
+    # ------------------------------------------------------------------
+    # probes (each one flushes pending maintenance first)
+    # ------------------------------------------------------------------
+    def equality_candidates(self, attribute: str, text: str) -> Set[int]:
+        """Ids of entries holding a value whose text form is ``text`` —
+        a sound superset of ``Equals(attribute, text)`` matches."""
+        self._refresh()
+        return self._count(set(self._eq.get(attribute, {}).get(text, ())))
+
+    def presence_candidates(self, attribute: str) -> Set[int]:
+        """Ids of entries with at least one value for ``attribute``."""
+        self._refresh()
+        return self._count(set(self._present.get(attribute, ())))
+
+    def substring_candidates(
+        self, attribute: str, parts: Sequence[str]
+    ) -> Set[int]:
+        """A sound candidate superset for a substring pattern whose
+        literal chunks are ``parts``: the intersection of the gram
+        postings, falling back to the presence set when no chunk is
+        long enough to contribute a gram."""
+        self._refresh()
+        grams: Set[str] = set()
+        for part in parts:
+            for i in range(len(part) - GRAM + 1):
+                grams.add(part[i : i + GRAM])
+        if not grams:
+            return self._count(set(self._present.get(attribute, ())))
+        bucket = self._grams.get(attribute, {})
+        postings = sorted((bucket.get(gram, set()) for gram in grams), key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return self._count(result)
+
+    def key_holders(self, attribute: str, value: Any) -> Set[int]:
+        """Ids of entries holding ``value`` under the key ``attribute``
+        (raw-value equality, matching the Section 6.1 checker)."""
+        self._refresh()
+        try:
+            posting = self._keys.get(attribute, {}).get(value, ())
+        except TypeError:  # unhashable key value was never indexed
+            posting = ()
+        return self._count(set(posting))
+
+    def referrers(self, attribute: str, norm_target: str) -> Set[int]:
+        """Ids of entries whose referential ``attribute`` points at the
+        entry with normalized DN ``norm_target``."""
+        self._refresh()
+        return self._count(set(self._refs.get(attribute, {}).get(norm_target, ())))
+
+    def counters(self) -> Tuple[int, int, int]:
+        """The cumulative ``(probes, hits, candidates)`` counters."""
+        return (self.probes, self.hits, self.candidates)
+
+    # ------------------------------------------------------------------
+    # update deltas (the store layers' Section 6.1 apply-time check)
+    # ------------------------------------------------------------------
+    def delta_checkpoint(self) -> None:
+        """Flush pending maintenance so the dirty set afterwards tracks
+        exactly the *next* update's footprint."""
+        self._refresh()
+
+    def delta_collect(self) -> Tuple[List[int], List[str]]:
+        """Fold pending maintenance in and report what it covered:
+        ``(live touched eids, normalized DNs of removed entries)``."""
+        touched: List[int] = []
+        removed: List[str] = []
+        entries = self.instance._entries
+        for eid in sorted(self._dirty):
+            if eid in entries:
+                touched.append(eid)
+            else:
+                norm = self._removed_dns.get(eid)
+                if norm is not None:
+                    removed.append(norm)
+        self._refresh()
+        return touched, removed
+
+    # ------------------------------------------------------------------
+    # persistence (DN-keyed: entry ids do not survive a reopen)
+    # ------------------------------------------------------------------
+    def export_postings(self) -> dict:
+        """The eq/presence/gram postings in sidecar form.  The key and
+        referential indexes are not persisted — re-deriving them needs
+        no gram work, and raw values do not round-trip through JSON."""
+        self._refresh()
+        norm_key = self.instance._norm_key
+        eids = sorted(self._snapshots)
+        position = {eid: i for i, eid in enumerate(eids)}
+        return {
+            "dns": [norm_key[eid] for eid in eids],
+            "eq": {
+                attribute: {
+                    text: sorted(position[eid] for eid in posting)
+                    for text, posting in buckets.items()
+                }
+                for attribute, buckets in self._eq.items()
+            },
+            "present": {
+                attribute: sorted(position[eid] for eid in posting)
+                for attribute, posting in self._present.items()
+            },
+            "grams": {
+                attribute: {
+                    gram: sorted(position[eid] for eid in posting)
+                    for gram, posting in buckets.items()
+                }
+                for attribute, buckets in self._grams.items()
+            },
+        }
+
+    def _adopt(self, postings: dict) -> bool:
+        """Fold persisted postings in, mapping DNs back to the live
+        instance's entry ids.  Any mismatch — a DN that does not
+        resolve, a count that disagrees, a malformed shape — rejects
+        the whole sidecar (the caller rebuilds)."""
+        instance = self.instance
+        dns = postings.get("dns")
+        if not isinstance(dns, list) or len(dns) != len(instance):
+            return False
+        by_dn = instance._by_dn
+        eids: List[int] = []
+        for dn in dns:
+            eid = by_dn.get(dn)
+            if eid is None:
+                return False
+            eids.append(eid)
+        try:
+            eq = {
+                attribute: {
+                    text: {eids[i] for i in posting}
+                    for text, posting in buckets.items()
+                }
+                for attribute, buckets in postings["eq"].items()
+            }
+            present = {
+                attribute: {eids[i] for i in posting}
+                for attribute, posting in postings["present"].items()
+            }
+            grams = {
+                attribute: {
+                    gram: {eids[i] for i in posting}
+                    for gram, posting in buckets.items()
+                }
+                for attribute, buckets in postings["grams"].items()
+            }
+        except (AttributeError, IndexError, KeyError, TypeError):
+            return False
+        self._eq = eq
+        self._present = present
+        self._grams = grams
+        # Keys, referential postings, and unindex snapshots come from
+        # the live entries — one cheap pass, no gram derivation.
+        self._keys = {}
+        self._refs = {}
+        self._snapshots = {}
+        self._dirty.clear()
+        self._removed_dns.clear()
+        for eid, entry in instance._entries.items():
+            snapshot = self._snapshot(entry)
+            self._snapshots[eid] = snapshot
+            self._index_extras(eid, snapshot)
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _count(self, result: Set[int]) -> Set[int]:
+        self.probes += 1
+        if result:
+            self.hits += 1
+        self.candidates += len(result)
+        return result
+
+    def _snapshot(self, entry: Entry) -> Dict[str, Tuple[Any, ...]]:
+        return {name: entry.values(name) for name in entry.attribute_names()}
+
+    def _refresh(self) -> None:
+        if not self._dirty:
+            return
+        entries = self.instance._entries
+        for eid in self._dirty:
+            old = self._snapshots.pop(eid, None)
+            if old is not None:
+                self._unindex_entry(eid, old)
+            entry = entries.get(eid)
+            if entry is not None:
+                snapshot = self._snapshot(entry)
+                self._snapshots[eid] = snapshot
+                self._index_entry(eid, snapshot)
+        self._dirty.clear()
+        self._removed_dns.clear()
+
+    def _index_entry(self, eid: int, snapshot: Dict[str, Tuple[Any, ...]]) -> None:
+        for attribute, values in snapshot.items():
+            self._present.setdefault(attribute, set()).add(eid)
+            eq_bucket = self._eq.setdefault(attribute, {})
+            gram_bucket = self._grams.setdefault(attribute, {})
+            for value in values:
+                text = value if isinstance(value, str) else str(value)
+                eq_bucket.setdefault(text, set()).add(eid)
+                for i in range(len(text) - GRAM + 1):
+                    gram_bucket.setdefault(text[i : i + GRAM], set()).add(eid)
+        self._index_extras(eid, snapshot)
+
+    def _index_extras(self, eid: int, snapshot: Dict[str, Tuple[Any, ...]]) -> None:
+        for attribute in self.key_attributes:
+            for value in snapshot.get(attribute, ()):
+                try:
+                    self._keys.setdefault(attribute, {}).setdefault(
+                        value, set()
+                    ).add(eid)
+                except TypeError:
+                    pass  # unhashable values cannot be probed either
+        for attribute in self.referential_attributes:
+            for value in snapshot.get(attribute, ()):
+                norm = _normalize_dn(value if isinstance(value, str) else str(value))
+                if norm is not None:
+                    self._refs.setdefault(attribute, {}).setdefault(
+                        norm, set()
+                    ).add(eid)
+
+    def _unindex_entry(self, eid: int, snapshot: Dict[str, Tuple[Any, ...]]) -> None:
+        for attribute, values in snapshot.items():
+            present = self._present.get(attribute)
+            if present is not None:
+                present.discard(eid)
+                if not present:
+                    del self._present[attribute]
+            eq_bucket = self._eq.get(attribute)
+            gram_bucket = self._grams.get(attribute)
+            for value in values:
+                text = value if isinstance(value, str) else str(value)
+                if eq_bucket is not None:
+                    self._discard(eq_bucket, text, eid)
+                if gram_bucket is not None:
+                    for i in range(len(text) - GRAM + 1):
+                        self._discard(gram_bucket, text[i : i + GRAM], eid)
+            if eq_bucket is not None and not eq_bucket:
+                del self._eq[attribute]
+            if gram_bucket is not None and not gram_bucket:
+                del self._grams[attribute]
+        for attribute in self.key_attributes:
+            bucket = self._keys.get(attribute)
+            if bucket is None:
+                continue
+            for value in snapshot.get(attribute, ()):
+                try:
+                    self._discard(bucket, value, eid)
+                except TypeError:
+                    pass
+            if not bucket:
+                del self._keys[attribute]
+        for attribute in self.referential_attributes:
+            bucket = self._refs.get(attribute)
+            if bucket is None:
+                continue
+            for value in snapshot.get(attribute, ()):
+                norm = _normalize_dn(value if isinstance(value, str) else str(value))
+                if norm is not None:
+                    self._discard(bucket, norm, eid)
+            if not bucket:
+                del self._refs[attribute]
+
+    @staticmethod
+    def _discard(bucket: Dict[Any, Set[int]], key: Any, eid: int) -> None:
+        posting = bucket.get(key)
+        if posting is not None:
+            posting.discard(eid)
+            if not posting:
+                del bucket[key]
+
+
+# ----------------------------------------------------------------------
+# the Section 6.1 apply-time delta check
+# ----------------------------------------------------------------------
+def delta_extras_violations(
+    extras: SchemaExtras,
+    touched: Sequence[Tuple[Entry, str]],
+    removed_dns: Iterable[str],
+    key_holders: Callable[[str, Any], Iterable[str]],
+    resolve: Callable[[str], bool],
+    referrers: Callable[[str, str], Iterable[Tuple[Entry, str]]],
+) -> List[Violation]:
+    """Extras violations an update introduced, via index probes.
+
+    This is the O(|Δ|) replacement for re-running
+    :class:`~repro.legality.extras.ExtrasChecker` over the whole
+    instance after every update: assuming the pre-update state was
+    clean, a new violation must involve a touched entry — a key value
+    it holds (probed through ``key_holders``, which merges per-shard
+    key indexes in the sharded store), a reference it makes
+    (``resolve``), a single-valued attribute it overfills, or a
+    reference *to* one of the ``removed_dns`` from a surviving entry
+    (``referrers``).  All DNs are global display strings so the union
+    and sharded stores emit byte-identical verdicts.
+    """
+    violations: List[Violation] = []
+    single_valued = sorted(extras.effective_single_valued())
+    keys = sorted(extras.key_attributes)
+    referential = sorted(extras.referential_attributes)
+
+    def check_referential(entry: Entry, dn: str) -> None:
+        for attribute in referential:
+            for value in entry.values(attribute):
+                target = value if isinstance(value, str) else str(value)
+                if not resolve(target):
+                    violations.append(
+                        Violation(
+                            Kind.DANGLING_REFERENCE,
+                            f"attribute {attribute!r} references "
+                            f"{target!r}, which names no entry",
+                            dn=dn,
+                        )
+                    )
+
+    seen: Set[str] = set()
+    for entry, dn in touched:
+        if dn in seen:
+            continue
+        seen.add(dn)
+        check_referential(entry, dn)
+        for attribute in single_valued:
+            values = entry.values(attribute)
+            if len(values) > 1:
+                violations.append(
+                    Violation(
+                        Kind.SINGLE_VALUED,
+                        f"attribute {attribute!r} is single-valued but "
+                        f"holds {len(values)} values",
+                        dn=dn,
+                    )
+                )
+        for attribute in keys:
+            for value in entry.values(attribute):
+                others = sorted(set(key_holders(attribute, value)) - {dn})
+                if others:
+                    violations.append(
+                        Violation(
+                            Kind.DUPLICATE_KEY,
+                            f"key {attribute!r} value {value!r} already "
+                            f"used by entry {others[0]}",
+                            dn=dn,
+                        )
+                    )
+    if referential:
+        # Deleting an entry can dangle references *to* it: re-validate
+        # every surviving referrer of a removed DN.
+        for norm_dn in removed_dns:
+            for attribute in referential:
+                for entry, dn in referrers(attribute, norm_dn):
+                    if dn in seen:
+                        continue
+                    seen.add(dn)
+                    check_referential(entry, dn)
+    violations.sort(key=lambda violation: (str(violation.dn), violation.message))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# sidecar persistence (``indexes.cache``)
+# ----------------------------------------------------------------------
+def index_sidecar_path(directory: str) -> str:
+    """Where the index sidecar lives inside a store ``directory``."""
+    return os.path.join(directory, INDEX_SIDECAR_FILE)
+
+
+def save_index_sidecar(
+    directory: str,
+    schema: DirectorySchema,
+    generation: int,
+    position: int,
+    indexes: AttributeIndexes,
+) -> None:
+    """Persist the postings atomically, best-effort (writer only).
+    ``position`` is the journal frame count the export reflects."""
+    try:
+        postings = indexes.export_postings()
+        payload = {
+            "format": INDEX_SIDECAR_FORMAT,
+            "schema": schema_digest(schema),
+            "generation": generation,
+            "position": position,
+            "crc": verdict_crc(postings),
+            "postings": postings,
+        }
+        path = index_sidecar_path(directory)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except Exception:  # pragma: no cover - persistence is best-effort
+        pass
+
+
+def load_index_sidecar(
+    directory: str,
+    schema: DirectorySchema,
+    generation: int,
+    position: int,
+) -> Optional[dict]:
+    """The persisted postings when the sidecar is intact, bound to
+    ``schema``, and stamped exactly ``(generation, position)``;
+    ``None`` (rebuild) for anything else."""
+    try:
+        with open(index_sidecar_path(directory), "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != INDEX_SIDECAR_FORMAT:
+            return None
+        if payload.get("schema") != schema_digest(schema):
+            return None
+        if payload.get("generation") != generation:
+            return None
+        if payload.get("position") != position:
+            return None
+        postings = payload.get("postings")
+        if payload.get("crc") != verdict_crc(postings):
+            return None
+        if not isinstance(postings, dict):
+            return None
+        return postings
+    except Exception:
+        return None
+
+
+def index_sidecar_status(
+    directory: str,
+    schema: DirectorySchema,
+    generation: int,
+    position: int,
+) -> str:
+    """Health of the index sidecar relative to the store state
+    ``(generation, position)``: ``"present"``, ``"missing"``,
+    ``"stale"`` (well-formed but for another schema/generation/
+    position), or ``"corrupt"`` (unreadable or checksum-failed).
+
+    Informational only — ``fsck`` prints it but never changes its exit
+    code for it, because every non-``present`` state just means the
+    next open rebuilds.
+    """
+    path = index_sidecar_path(directory)
+    if not os.path.exists(path):
+        return "missing"
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except Exception:
+        return "corrupt"
+    if not isinstance(payload, dict) or payload.get("format") != INDEX_SIDECAR_FORMAT:
+        return "corrupt"
+    postings = payload.get("postings")
+    if payload.get("crc") != verdict_crc(postings) or not isinstance(postings, dict):
+        return "corrupt"
+    if payload.get("schema") != schema_digest(schema):
+        return "stale"
+    if payload.get("generation") != generation or payload.get("position") != position:
+        return "stale"
+    return "present"

@@ -50,7 +50,7 @@ from __future__ import annotations
 import glob
 import os
 import shutil
-from typing import Optional
+from typing import Callable, Iterable, Optional, Tuple
 
 from repro.errors import (
     StoreError,
@@ -60,10 +60,12 @@ from repro.errors import (
 )
 from repro.ldif.changes import parse_changes, serialize_changes
 from repro.ldif.writer import serialize_ldif
-from repro.legality.report import LegalityReport
+from repro.legality.extras import ExtrasChecker
+from repro.legality.report import LegalityReport, Violation
 from repro.model.attributes import AttributeRegistry
 from repro.model.instance import DirectoryInstance
 from repro.schema.directory_schema import DirectorySchema
+from repro.store import index as _index
 from repro.store import recovery as _recovery
 from repro.store import sidecar as _sidecar
 from repro.store import wal
@@ -165,6 +167,8 @@ class DirectoryStore:
         lock_handle=None,
         read_only: bool = False,
         recovery: Optional[RecoveryReport] = None,
+        index_key_attributes: Optional[Iterable[str]] = None,
+        index_referential_attributes: Optional[Iterable[str]] = None,
     ) -> None:
         self._dir = directory
         self.schema = schema
@@ -191,6 +195,21 @@ class DirectoryStore:
         #: Verdicts imported from the warm-start sidecar at open time
         #: (0 when the sidecar was absent, stale, or corrupt).
         self.warm_start_verdicts = 0
+        #: Secondary indexes (:mod:`repro.store.index`): adopt the index
+        #: sidecar when it is stamped with exactly this (generation,
+        #: journal position), else rebuild from the recovered instance.
+        #: The sharded coordinator widens the key/referential sets so
+        #: per-shard stores (whose local schema has no extras) still
+        #: maintain the postings its global Section 6.1 probes need.
+        keys, refs = _index.extras_index_attributes(schema.extras)
+        if index_key_attributes is not None:
+            keys = keys | frozenset(index_key_attributes)
+        if index_referential_attributes is not None:
+            refs = refs | frozenset(index_referential_attributes)
+        postings = _index.load_index_sidecar(
+            directory, schema, generation, journal_count
+        )
+        _index.AttributeIndexes.attach(instance, keys, refs, postings)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,6 +223,8 @@ class DirectoryStore:
         registry: Optional[AttributeRegistry] = None,
         *,
         io: Optional[StoreIO] = None,
+        index_key_attributes: Optional[Iterable[str]] = None,
+        index_referential_attributes: Optional[Iterable[str]] = None,
     ) -> "DirectoryStore":
         """Initialize a store directory atomically.
 
@@ -238,6 +259,16 @@ class DirectoryStore:
             else DirectoryInstance(attributes=registry)
         )
         guard = IncrementalChecker(schema, instance)  # validates baseline
+        if schema.extras is not None:
+            # The incremental guard's baseline covers content and
+            # structure; the Section 6.1 delta checks assume a clean
+            # pre-state, so the extras pass must hold at creation too.
+            extras_report = ExtrasChecker(schema.extras).check(instance)
+            if not extras_report.is_legal:
+                raise UpdateError(
+                    "instance is not legal to begin with:\n"
+                    + str(extras_report)
+                )
 
         temp = f"{target}.tmp-{os.getpid()}"
         os.makedirs(temp)
@@ -266,6 +297,8 @@ class DirectoryStore:
             journal_count=0,
             io=io,
             lock_handle=lock,
+            index_key_attributes=index_key_attributes,
+            index_referential_attributes=index_referential_attributes,
         )
         store._manifest_version = 1
         return store
@@ -279,6 +312,8 @@ class DirectoryStore:
         *,
         io: Optional[StoreIO] = None,
         strict: bool = False,
+        index_key_attributes: Optional[Iterable[str]] = None,
+        index_referential_attributes: Optional[Iterable[str]] = None,
     ) -> "DirectoryStore":
         """Recover the store and take its lock.
 
@@ -312,6 +347,8 @@ class DirectoryStore:
                 lock_handle=lock,
                 read_only=report.read_only,
                 recovery=report,
+                index_key_attributes=index_key_attributes,
+                index_referential_attributes=index_referential_attributes,
             )
             if report.in_doubt_txid is not None:
                 store._pending_txid = report.in_doubt_txid
@@ -370,6 +407,7 @@ class DirectoryStore:
         self._closed = True
         if self._poisoned is None and not self._read_only:
             self._save_sidecar()
+            self._save_index_sidecar()
         self._release_lock(self._lock_handle)
         self._lock_handle = None
 
@@ -401,11 +439,28 @@ class DirectoryStore:
         work this transaction cost (content checks, cache hits, query
         work — the ``check --profile`` counters), as the delta of the
         guard session's cumulative :class:`CheckStats`.
+
+        When the schema declares Section 6.1 extras, a guard-approved
+        transaction additionally passes the index-backed extras delta
+        check (:func:`repro.store.index.delta_extras_violations`) — an
+        O(|Δ|) probe of the key/referential postings replacing the old
+        full-instance :class:`ExtrasChecker` pass.  A violating
+        transaction is rolled back in memory and never journaled.
         """
         self._ensure_writable()
+        extras_guarded = self._extras_enforced()
+        if extras_guarded:
+            extras_inverse = inverse_transaction(transaction, self.instance)
+            extras_before = self._extras_checkpoint()
         baseline = self._guard.session.stats.copy()
         outcome = self._guard.apply_transaction(transaction)
         outcome.stats = self._guard.session.stats.since(baseline)
+        if outcome.applied and extras_guarded:
+            self._extras_settle(
+                outcome,
+                extras_before,
+                lambda: self.revert_applied(extras_inverse),
+            )
         if outcome.applied:
             frame = wal.encode_record(
                 self._journal_count + 1,
@@ -441,6 +496,7 @@ class DirectoryStore:
         from repro.ldif.modify import (
             ModifyRecord,
             apply_modification,
+            inverse_modification,
             serialize_modification,
         )
 
@@ -450,9 +506,19 @@ class DirectoryStore:
                 "only changetype: modify records are journaled; "
                 f"got {type(record).__name__}"
             )
+        extras_guarded = self._extras_enforced()
+        if extras_guarded:
+            extras_inverse = inverse_modification(self.instance, record)
+            extras_before = self._extras_checkpoint()
         baseline = self._guard.session.stats.copy()
         outcome = apply_modification(self._guard, record)
         outcome.stats = self._guard.session.stats.since(baseline)
+        if outcome.applied and extras_guarded:
+            self._extras_settle(
+                outcome,
+                extras_before,
+                lambda: self.revert_modified(extras_inverse),
+            )
         if outcome.applied:
             self._append_journal_payload(serialize_modification(record))
         return outcome
@@ -479,9 +545,18 @@ class DirectoryStore:
                 f"got {type(record).__name__}"
             )
         inverse = inverse_modification(self.instance, record)
+        extras_guarded = self._extras_enforced()
+        if extras_guarded:
+            extras_before = self._extras_checkpoint()
         baseline = self._guard.session.stats.copy()
         outcome = apply_modification(self._guard, record)
         outcome.stats = self._guard.session.stats.since(baseline)
+        if outcome.applied and extras_guarded:
+            self._extras_settle(
+                outcome,
+                extras_before,
+                lambda: self.revert_modified(inverse),
+            )
         return outcome, inverse
 
     def commit_modified(self, record) -> None:
@@ -541,9 +616,19 @@ class DirectoryStore:
         compensation crash window.
         """
         self._ensure_writable()
+        extras_guarded = self._extras_enforced()
+        if extras_guarded:
+            extras_inverse = inverse_transaction(transaction, self.instance)
+            extras_before = self._extras_checkpoint()
         baseline = self._guard.session.stats.copy()
         outcome = self._guard.apply_transaction(transaction)
         outcome.stats = self._guard.session.stats.since(baseline)
+        if outcome.applied and extras_guarded:
+            self._extras_settle(
+                outcome,
+                extras_before,
+                lambda: self.revert_applied(extras_inverse),
+            )
         return outcome
 
     def commit_applied(self, transaction: UpdateTransaction) -> None:
@@ -598,10 +683,24 @@ class DirectoryStore:
         self._ensure_writable()
         baseline = self._guard.session.stats.copy()
         inverse = inverse_transaction(transaction, self.instance)
+        extras_guarded = self._extras_enforced()
+        if extras_guarded:
+            extras_before = self._extras_checkpoint()
         outcome = self._guard.apply_transaction(transaction)
         outcome.stats = self._guard.session.stats.since(baseline)
         if not outcome.applied:
             return outcome
+        if extras_guarded:
+            # Vet the delta *before* the durable #PREPARE frame: a
+            # violating transaction must leave no trace for recovery
+            # (or the coordinator) to resolve.
+            self._extras_settle(
+                outcome,
+                extras_before,
+                lambda: self.revert_applied(inverse),
+            )
+            if not outcome.applied:
+                return outcome
         payload = serialize_changes(transaction)
         frame = wal.encode_prepare(
             txid, self._journal_count + 1, self._generation, payload
@@ -706,8 +805,104 @@ class DirectoryStore:
         return self._pending_txid
 
     def check(self) -> LegalityReport:
-        """A full legality report of the current contents."""
-        return self._guard.full_recheck()
+        """A full legality report of the current contents (including
+        the Section 6.1 extras pass when the schema declares one)."""
+        report = self._guard.full_recheck()
+        if self.schema.extras is not None:
+            report.extend(
+                ExtrasChecker(self.schema.extras).check(self.instance).violations
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Section 6.1 extras enforcement (index-probe delta checks)
+    # ------------------------------------------------------------------
+    @property
+    def indexes(self) -> Optional[_index.AttributeIndexes]:
+        """The secondary indexes riding on this store's instance."""
+        return self.instance.indexes
+
+    def _extras_enforced(self) -> bool:
+        """Whether updates must pass the extras delta check: the schema
+        declares Section 6.1 extras and the instance carries indexes to
+        probe them with."""
+        return (
+            self.schema.extras is not None
+            and self.instance.indexes is not None
+        )
+
+    def _extras_checkpoint(self) -> Tuple[int, int, int]:
+        """Before applying: flush pending index maintenance so the dirty
+        set afterwards tracks exactly this update's footprint, and
+        snapshot the probe counters."""
+        indexes = self.instance.indexes
+        indexes.delta_checkpoint()
+        return indexes.counters()
+
+    def _extras_delta_violations(self) -> "list[Violation]":
+        """The Section 6.1 violations the just-applied update introduced,
+        found by probing the key/referential postings instead of
+        re-running :class:`ExtrasChecker` over the whole instance."""
+        instance = self.instance
+        indexes = instance.indexes
+        touched, removed_dns = indexes.delta_collect()
+        entries = [
+            (instance._entries[eid], instance.dn_string_of(eid))
+            for eid in touched
+        ]
+
+        def key_holders(attribute: str, value) -> "list[str]":
+            return [
+                instance.dn_string_of(eid)
+                for eid in indexes.key_holders(attribute, value)
+            ]
+
+        def resolve(target: str) -> bool:
+            try:
+                return instance.find(target) is not None
+            except Exception:
+                return False
+
+        def referrers(attribute: str, norm_target: str):
+            return [
+                (instance._entries[eid], instance.dn_string_of(eid))
+                for eid in indexes.referrers(attribute, norm_target)
+            ]
+
+        return _index.delta_extras_violations(
+            self.schema.extras,
+            entries,
+            removed_dns,
+            key_holders,
+            resolve,
+            referrers,
+        )
+
+    def _extras_settle(
+        self,
+        outcome: UpdateOutcome,
+        before: Tuple[int, int, int],
+        revert: Callable[[], None],
+    ) -> None:
+        """After a guard-approved in-memory apply: run the delta check;
+        on violation run ``revert`` and fold the violations into the
+        outcome's report (flipping ``applied`` off).  Also attributes
+        the index work to ``outcome.stats``."""
+        violations = self._extras_delta_violations()
+        after = self.instance.indexes.counters()
+        if outcome.stats is not None:
+            outcome.stats.index_probes += after[0] - before[0]
+            outcome.stats.index_hits += after[1] - before[1]
+            outcome.stats.index_candidates += after[2] - before[2]
+        if violations:
+            revert()
+            outcome.report.extend(violations)
+            outcome.checks.append(
+                "extras delta check (index probes): rejected, rolled "
+                "back in memory"
+            )
+        else:
+            outcome.checks.append("extras delta check (index probes): clean")
 
     def compact(self) -> None:
         """Fold the journal into a fresh snapshot.
@@ -742,6 +937,7 @@ class DirectoryStore:
         self._journal_count = 0
         self._publish_manifest()
         self._save_sidecar()
+        self._save_index_sidecar()
 
     # ------------------------------------------------------------------
     # introspection
@@ -775,6 +971,19 @@ class DirectoryStore:
         except Exception:  # pragma: no cover - persistence is best-effort
             return
         _sidecar.save_sidecar(self._dir, self.schema, self._generation, verdicts)
+
+    def _save_index_sidecar(self) -> None:
+        """Persist the secondary-index postings, stamped with the exact
+        (generation, journal position) they reflect.  Skipped while a
+        prepared-but-undecided 2PC transaction is applied in memory:
+        recovery withholds that prepare from replay, so the stamp would
+        claim a state the next open does not reconstruct."""
+        indexes = self.instance.indexes
+        if indexes is None or self._pending_txid is not None:
+            return
+        _index.save_index_sidecar(
+            self._dir, self.schema, self._generation, self._journal_count, indexes
+        )
 
     def _load_sidecar(self) -> None:
         verdicts = _sidecar.load_sidecar(self._dir, self.schema)

@@ -55,6 +55,7 @@ from repro.model.instance import DirectoryInstance
 from repro.query.search import SearchScope
 from repro.query.search import search as _search
 from repro.schema.directory_schema import DirectorySchema
+from repro.store import index as _index
 from repro.store import sidecar as _sidecar
 from repro.store import wal
 from repro.store.manifest import read_manifest
@@ -596,6 +597,16 @@ class StoreReader:
             self._generation = generation
             self._seq = 0
             self._offset = 0
+            # Attach secondary indexes *before* replaying the journal
+            # tail, so the replay flows through the observer hooks and
+            # the postings stay exact.  The sidecar only warm-starts a
+            # view pinned at exactly (generation, position 0) — the
+            # writer's compact() export; any other stamp rebuilds.
+            keys, refs = _index.extras_index_attributes(self.schema.extras)
+            postings = _index.load_index_sidecar(
+                self._dir, self.schema, generation, 0
+            )
+            _index.AttributeIndexes.attach(instance, keys, refs, postings)
             replayable = wal.ScanResult(
                 [r for r in scanned.records if r.generation == generation],
                 scanned.tail_offset,

@@ -67,6 +67,11 @@ LOCK_FILE = "lock"
 #: a reopened store seeds its legality session's fingerprint cache from
 #: it; a missing/stale/corrupt sidecar simply means a cold start.
 SIDECAR_FILE = "verdicts.cache"
+#: Secondary-index sidecar (same best-effort discipline): the persisted
+#: attribute-level postings of :mod:`repro.store.index`.  Stamped with
+#: the generation *and* journal position it was exported at; anything
+#: else means a transparent rebuild, never a wrong answer.
+INDEX_SIDECAR_FILE = "indexes.cache"
 
 
 @dataclass

@@ -94,6 +94,8 @@ import shutil
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ModelError, StoreError, UpdateError
+from repro.legality.extras import ExtrasChecker
+from repro.legality.metrics import CheckStats
 from repro.legality.report import Kind, LegalityReport, Violation
 from repro.legality.scope import (
     ShardScope,
@@ -110,6 +112,7 @@ from repro.query.search import SearchScope
 from repro.query.search import search as _search
 from repro.schema.directory_schema import DirectorySchema
 from repro.schema.elements import RequiredClass
+from repro.store import index as _index
 from repro.store.journal import DirectoryStore, inverse_transaction
 from repro.store.reader import ReaderLag, RefreshResult, StoreReader
 from repro.store.txlog import TXLOG_FILE, TxLog, inspect_txlog
@@ -368,6 +371,7 @@ class ShardedStore:
         self._composite_cache: Optional[
             Tuple[Tuple[Tuple[str, int, int], ...], DirectoryInstance]
         ] = None
+        self._extras_stats_delta: Optional[CheckStats] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -393,19 +397,20 @@ class ShardedStore:
         (unlike ``DirectoryStore.create``): the completeness marker is
         the map, not the directory.
 
+        Section 6.1 extras are supported: keys and references are
+        directory-wide properties, so each per-shard store maintains
+        key/referential postings (:mod:`repro.store.index`) for the
+        *global* extras attributes even though its local schema carries
+        none, and :meth:`apply` merges the per-shard postings at the
+        composite check step — global key uniqueness costs a handful of
+        index probes per transaction instead of a pass over the union.
+
         Raises
         ------
         UpdateError
-            When ``initial`` violates the schema (including composite
-            elements), or when ``schema.extras`` is set — directory-
-            wide keys are cross-shard properties this layer does not
-            yet enforce.
+            When ``initial`` violates the schema (composite elements
+            and Section 6.1 extras included).
         """
-        if schema.extras is not None:
-            raise UpdateError(
-                "sharded stores do not support schema extras yet "
-                "(keys/references are directory-wide properties)"
-            )
         if os.path.exists(directory):
             raise StoreError(f"refusing to create over existing {directory!r}")
         shard_map = ShardMap.from_bases(shard_bases)
@@ -430,7 +435,18 @@ class ShardedStore:
                 "initial instance violates composite schema elements:\n"
                 + str(composite)
             )
+        if schema.extras is not None:
+            # Like composite elements, extras are directory-wide:
+            # validated on the union up front (the apply-time delta
+            # checks assume a clean pre-state).
+            extras_report = ExtrasChecker(schema.extras).check(base_instance)
+            if not extras_report.is_legal:
+                raise UpdateError(
+                    "instance is not legal to begin with:\n"
+                    + str(extras_report)
+                )
         partitions = cls._partition(shard_map, base_instance, registry)
+        index_keys, index_refs = _index.extras_index_attributes(schema.extras)
 
         os.makedirs(os.path.join(directory, "shards"))
         shards: Dict[str, DirectoryStore] = {}
@@ -442,6 +458,8 @@ class ShardedStore:
                     partitions[spec.name],
                     registry,
                     io=io,
+                    index_key_attributes=index_keys,
+                    index_referential_attributes=index_refs,
                 )
             write_shard_map(directory, shard_map)
         except BaseException:
@@ -513,12 +531,15 @@ class ShardedStore:
         shard_map = read_shard_map(directory)
         scope = analyze_shard_scope(schema, shard_map)
         local_schema = shard_local_schema(schema, scope)
+        index_keys, index_refs = _index.extras_index_attributes(schema.extras)
         shards: Dict[str, DirectoryStore] = {}
         try:
             for spec in shard_map:
                 shards[spec.name] = DirectoryStore.open(
                     shard_dir(directory, spec.name), local_schema, registry,
                     io=io,
+                    index_key_attributes=index_keys,
+                    index_referential_attributes=index_refs,
                 )
             store = cls(
                 directory, schema, shard_map, shards, scope, registry, io=io
@@ -558,8 +579,11 @@ class ShardedStore:
         shard_map.spec(name)  # raises ShardMapError for unknown names
         scope = analyze_shard_scope(schema, shard_map)
         local_schema = shard_local_schema(schema, scope)
+        index_keys, index_refs = _index.extras_index_attributes(schema.extras)
         store = DirectoryStore.open(
-            shard_dir(directory, name), local_schema, registry, io=io
+            shard_dir(directory, name), local_schema, registry, io=io,
+            index_key_attributes=index_keys,
+            index_referential_attributes=index_refs,
         )
         try:
             if store.pending_txid is not None and not store.read_only:
@@ -748,6 +772,8 @@ class ShardedStore:
             self.shard_map.localize(record.dn, spec), record.ops
         )
         store = self._shards[spec.name]
+        if self.schema.extras is not None:
+            self._extras_checkpoint()
         outcome, inverse = store.modify_tentative(local)
         if not outcome.applied:
             return outcome
@@ -759,6 +785,8 @@ class ShardedStore:
                 {n: s.instance for n, s in self._shards.items()},
                 self.composite_instance,
             )
+            if composite.is_legal and self.schema.extras is not None:
+                composite.extend(self._extras_delta_violations())
         except BaseException:
             try:
                 store.revert_modified(inverse)
@@ -767,17 +795,17 @@ class ShardedStore:
             raise
         if composite.is_legal:
             store.commit_modified(local)
-            return outcome
+            return self._fold_extras_stats(outcome)
         store.revert_modified(inverse)
         self._composite_cache = None
-        return UpdateOutcome(
+        return self._fold_extras_stats(UpdateOutcome(
             report=composite,
             cost=outcome.cost,
             checks=outcome.checks
             + [f"composite check: {self.scope.summary()}",
                "rolled back in memory (no durable footprint)"],
             stats=outcome.stats,
-        )
+        ))
 
     def _apply_single(
         self, name: str, transaction: UpdateTransaction
@@ -788,6 +816,8 @@ class ShardedStore:
         store = self._shards[name]
         local_tx = _localized_transaction(self.shard_map, transaction, spec)
         inverse = inverse_transaction(local_tx, store.instance)
+        if self.schema.extras is not None:
+            self._extras_checkpoint()
         outcome = store.apply_tentative(local_tx)
         if not outcome.applied:
             # The guard's violation DNs are Δ-relative (an inserted
@@ -804,6 +834,8 @@ class ShardedStore:
                 {n: s.instance for n, s in self._shards.items()},
                 self.composite_instance,
             )
+            if composite.is_legal and self.schema.extras is not None:
+                composite.extend(self._extras_delta_violations())
         except BaseException:
             # The staged state must never outlive the check: roll the
             # memory back, then propagate.  Nothing was written, so a
@@ -815,17 +847,17 @@ class ShardedStore:
             raise
         if composite.is_legal:
             store.commit_applied(local_tx)
-            return outcome
+            return self._fold_extras_stats(outcome)
         store.revert_applied(inverse)
         self._composite_cache = None
-        return UpdateOutcome(
+        return self._fold_extras_stats(UpdateOutcome(
             report=composite,
             cost=outcome.cost,
             checks=outcome.checks
             + [f"composite check: {self.scope.summary()}",
                "rolled back in memory (no durable footprint)"],
             stats=outcome.stats,
-        )
+        ))
 
     def _apply_spanning(
         self, order: List[str], transaction: UpdateTransaction
@@ -850,6 +882,8 @@ class ShardedStore:
         resolves to abort at the next open (presumed abort); any crash
         after it resolves to commit.
         """
+        if self.schema.extras is not None:
+            self._extras_checkpoint()
         self._io.fault_point("2pc:begin")
         txid = self._txlog.begin(order)
         outcomes: List[UpdateOutcome] = []
@@ -877,6 +911,8 @@ class ShardedStore:
                     {n: s.instance for n, s in self._shards.items()},
                     self.composite_instance,
                 )
+                if composite.is_legal and self.schema.extras is not None:
+                    composite.extend(self._extras_delta_violations())
                 if composite.is_legal:
                     self._io.fault_point("2pc:decision")
                     self._txlog.commit(txid)
@@ -887,12 +923,12 @@ class ShardedStore:
                     self._io.fault_point("2pc:complete")
                     self._txlog.complete(txid)
                     self._composite_cache = None
-                    return self._merge_outcomes(
+                    return self._fold_extras_stats(self._merge_outcomes(
                         outcomes,
                         LegalityReport(),
                         [f"2pc: committed {txid} across shards "
                          f"{', '.join(order)}"],
-                    )
+                    ))
                 rejection = UpdateOutcome(
                     report=composite,
                     checks=[f"composite check: {self.scope.summary()}"],
@@ -911,12 +947,12 @@ class ShardedStore:
             else "composite check failed"
         )
         self._abort(txid, prepared)
-        return self._merge_outcomes(
+        return self._fold_extras_stats(self._merge_outcomes(
             outcomes + [rejection],
             rejection.report,
             [f"2pc: aborted {txid} ({why}); rolled back in memory "
              "(prepares never became visible)"],
-        )
+        ))
 
     def _abort(self, txid: str, prepared: List[str]) -> None:
         """Decide ``txid`` as aborted everywhere: ABORT in the
@@ -953,11 +989,131 @@ class ShardedStore:
         return merged
 
     # ------------------------------------------------------------------
+    # Section 6.1 extras (global key/referential checks via per-shard
+    # index probes, merged at the composite step)
+    # ------------------------------------------------------------------
+    def _extras_checkpoint(self) -> None:
+        """Before staging: flush every shard's pending index maintenance
+        so the per-shard dirty sets afterwards track exactly this
+        transaction's footprint."""
+        self._extras_stats_delta = None
+        for name in self.shard_map.names():
+            indexes = self._shards[name].instance.indexes
+            if indexes is not None:
+                indexes.delta_checkpoint()
+
+    def _counters_total(self) -> Tuple[int, int, int]:
+        """Sum of the ``(probes, hits, candidates)`` counters across
+        every shard's indexes."""
+        probes = hits = candidates = 0
+        for name in self.shard_map.names():
+            indexes = self._shards[name].instance.indexes
+            if indexes is not None:
+                p, h, c = indexes.counters()
+                probes += p
+                hits += h
+                candidates += c
+        return probes, hits, candidates
+
+    def _fold_extras_stats(self, outcome: UpdateOutcome) -> UpdateOutcome:
+        """Fold the composite-step extras probe counters into the
+        outcome's stats, so ``--profile`` shows the O(|Δ|) key-check
+        work on the sharded path exactly as the union store does."""
+        delta = self._extras_stats_delta
+        self._extras_stats_delta = None
+        if delta is not None:
+            if outcome.stats is None:
+                outcome.stats = delta
+            else:
+                folded = outcome.stats.copy()
+                folded.merge(delta)
+                outcome.stats = folded
+        return outcome
+
+    def _extras_delta_violations(self) -> List[Violation]:
+        """The Section 6.1 violations the staged update introduced.
+
+        Runs at the composite check step, like the cut-spanning
+        structure elements: keys and references are directory-wide, so
+        each probe merges the per-shard key/referential postings
+        (maintained for the *global* extras attributes — the local
+        schemas carry none) and every DN is globalized, making the
+        verdicts identical to a single union store's.  Cost is a
+        handful of index probes per touched entry — O(|Δ|), not a pass
+        over the union."""
+        extras = self.schema.extras
+        shard_map = self.shard_map
+        counters_before = self._counters_total()
+        views: List[Tuple[ShardSpec, DirectoryInstance, object]] = []
+        touched: List[Tuple[Entry, str]] = []
+        removed: List[str] = []
+        for spec in shard_map:
+            instance = self._shards[spec.name].instance
+            indexes = instance.indexes
+            if indexes is None:
+                continue
+            views.append((spec, instance, indexes))
+            eids, local_removed = indexes.delta_collect()
+            for eid in eids:
+                local = parse_dn(instance.dn_string_of(eid))
+                touched.append(
+                    (instance._entries[eid],
+                     str(shard_map.globalize(local, spec)))
+                )
+            for norm in local_removed:
+                removed.append(
+                    str(shard_map.globalize(parse_dn(norm), spec).normalized())
+                )
+
+        def key_holders(attribute: str, value) -> List[str]:
+            holders: List[str] = []
+            for spec, instance, indexes in views:
+                for eid in indexes.key_holders(attribute, value):
+                    local = parse_dn(instance.dn_string_of(eid))
+                    holders.append(str(shard_map.globalize(local, spec)))
+            return holders
+
+        def resolve(target: str) -> bool:
+            try:
+                dn = parse_dn(target)
+                spec = shard_map.route(dn)
+                local = shard_map.localize(dn, spec)
+            except Exception:
+                return False  # unparseable or unrouted: names no entry
+            return self._shards[spec.name].instance.find(local) is not None
+
+        def referrers(attribute: str, norm_target: str):
+            found: List[Tuple[Entry, str]] = []
+            for spec, instance, indexes in views:
+                for eid in indexes.referrers(attribute, norm_target):
+                    local = parse_dn(instance.dn_string_of(eid))
+                    found.append(
+                        (instance._entries[eid],
+                         str(shard_map.globalize(local, spec)))
+                    )
+            return found
+
+        violations = _index.delta_extras_violations(
+            extras, touched, removed, key_holders, resolve, referrers
+        )
+        probes, hits, candidates = (
+            after - before
+            for after, before in zip(self._counters_total(), counters_before)
+        )
+        self._extras_stats_delta = CheckStats(
+            index_probes=probes, index_hits=hits, index_candidates=candidates
+        )
+        return violations
+
+    # ------------------------------------------------------------------
     # the read/maintenance path
     # ------------------------------------------------------------------
     def check(self) -> LegalityReport:
         """Full legality of the composite state: every shard's own
-        report (DNs globalized) plus the composite elements."""
+        report (DNs globalized) plus the composite elements and — when
+        the schema declares Section 6.1 extras — a full extras pass
+        over the stitched union (keys and references are directory-wide
+        properties no shard-local check can settle)."""
         self._ensure_open()
         merged = LegalityReport()
         for spec in self.shard_map:
@@ -972,6 +1128,12 @@ class ShardedStore:
                 self.composite_instance,
             ).violations
         )
+        if self.schema.extras is not None:
+            merged.extend(
+                ExtrasChecker(self.schema.extras)
+                .check(self.composite_instance())
+                .violations
+            )
         return merged
 
     def search(
@@ -1142,16 +1304,24 @@ def check_shards_parallel(
                     str(spec.suffix), shard_map.route(spec.suffix).name,
                 )
             )
-    if scope.composite_edges:
-        # Nested cut: the stitched view is unavoidable for edges that
-        # can span it (and the composite checker covers the required
-        # classes too).  Orphans were already flagged from the worker
-        # probes above; the tolerant stitch keeps this pass from
-        # raising on a damaged store.
+    if scope.composite_edges or schema.extras is not None:
+        # Nested cut (or Section 6.1 extras): the stitched view is
+        # unavoidable for checks that can span it.  Orphans were
+        # already flagged from the worker probes above; the tolerant
+        # stitch keeps this pass from raising on a damaged store.
         with CompositeReader.open(directory, schema, registry) as reader:
-            checker = QueryStructureChecker(composite_structure_schema(scope))
-            merged.extend(checker.check(reader.instance).violations)
-    else:
+            if scope.composite_edges:
+                checker = QueryStructureChecker(
+                    composite_structure_schema(scope)
+                )
+                merged.extend(checker.check(reader.instance).violations)
+            if schema.extras is not None:
+                merged.extend(
+                    ExtrasChecker(schema.extras)
+                    .check(reader.instance)
+                    .violations
+                )
+    if not scope.composite_edges:
         for name in required:
             if counts_total[name] == 0:
                 merged.add(
@@ -1308,6 +1478,12 @@ class CompositeReader:
                 lambda: self.instance,
             ).violations
         )
+        if self.schema.extras is not None:
+            merged.extend(
+                ExtrasChecker(self.schema.extras)
+                .check(self.instance)
+                .violations
+            )
         return merged
 
     def is_legal(self) -> bool:

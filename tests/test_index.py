@@ -1,0 +1,342 @@
+"""Secondary indexes (:mod:`repro.store.index`).
+
+Two properties matter and both are tested differentially against the
+naive scan:
+
+* **Planner soundness.**  The index-aware planner must never change
+  what a search returns — only what it costs.  Unplannable shapes
+  (``Not``, ``Approx``, the ordering filters, non-string equality)
+  fall back cleanly, and randomized filter trees over an instance with
+  deliberately mixed-typed values (the ``_comparable`` edges) produce
+  byte-identical results with and without indexes.
+
+* **Sidecar lifecycle.**  The persisted postings are a pure cache: a
+  missing, stale (wrong generation after compaction), or corrupt
+  (byte-flipped anywhere) sidecar must trigger a transparent rebuild —
+  never a wrong answer — and a lock-free reader following the WAL
+  across a compaction keeps its indexes in agreement with the scan
+  oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.model.types import INTEGER
+from repro.query.filters import (
+    And,
+    Approx,
+    Equals,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+from repro.query.evaluator import FilterPlanner
+from repro.query.filter_parser import parse_filter
+from repro.query.search import search
+from repro.store import DirectoryStore
+from repro.store.index import (
+    AttributeIndexes,
+    index_sidecar_path,
+    index_sidecar_status,
+)
+from repro.store.reader import StoreReader
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    generate_whitepages,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+
+def naive(instance, filt):
+    """The scan oracle: the same search with indexes detached."""
+    indexes = instance.indexes
+    instance.indexes = None
+    try:
+        return [str(e.dn) for e in search(instance, filter=filt)]
+    finally:
+        instance.indexes = indexes
+
+
+def indexed(instance, filt):
+    """The planned search, as DN strings for comparison."""
+    return [str(e.dn) for e in search(instance, filter=filt)]
+
+
+@pytest.fixture()
+def instance():
+    """A generated instance with indexes attached plus a handful of
+    entries holding *integer* values, so comparisons between stored
+    values and string operands exercise every ``_comparable`` branch."""
+    registry = whitepages_registry()
+    registry.declare("score", INTEGER)
+    built = generate_whitepages(
+        orgs=1, units_per_level=2, depth=1, persons_per_unit=3,
+        seed=11, registry=registry,
+    )
+    org = built.find("o=org0")
+    for i, score in enumerate((5, 17, 200)):
+        built.add_entry(
+            org, f"uid=scored{i}", ["person", "top"],
+            {"uid": [f"scored{i}"], "name": [f"scored {i}"], "score": [score]},
+        )
+    AttributeIndexes.attach(built, frozenset({"uid"}), frozenset(), None)
+    return built
+
+
+class TestPlannerFallback:
+    def test_unplannable_shapes_return_none(self, instance):
+        planner = FilterPlanner(instance.indexes)
+        for filt in (
+            Approx("name", "scored"),
+            GreaterOrEqual("score", 5),
+            LessOrEqual("score", "17"),
+            Not(Equals("uid", "scored0")),
+            Equals("score", 5),  # non-string operand: text probe unsound
+            And(()),  # TRUE: everything matches, nothing bounds it
+            Present("objectClass"),  # vacuous: every entry has it
+        ):
+            assert planner.plan(filt) is None, f"expected no plan for {filt}"
+
+    def test_false_filter_plans_empty(self, instance):
+        assert FilterPlanner(instance.indexes).plan(Or(())) == set()
+
+    def test_equality_and_substring_plans_bound_the_scan(self, instance):
+        planner = FilterPlanner(instance.indexes)
+        plan = planner.plan(Equals("uid", "scored1"))
+        assert plan is not None and len(plan) == 1
+        plan = planner.plan(Substring("uid", initial="scored"))
+        assert plan is not None and len(plan) == 3
+        # And needs one plannable conjunct; Or needs every disjunct.
+        assert planner.plan(
+            And((GreaterOrEqual("score", 5), Equals("uid", "scored1")))
+        ) is not None
+        assert planner.plan(
+            Or((GreaterOrEqual("score", 5), Equals("uid", "scored1")))
+        ) is None
+
+    def test_fallback_shapes_still_answer_correctly(self, instance):
+        for filt, expected in (
+            (GreaterOrEqual("score", 17), {"uid=scored1,o=org0", "uid=scored2,o=org0"}),
+            (LessOrEqual("score", "17"), {"uid=scored0,o=org0", "uid=scored1,o=org0"}),
+            (Approx("name", "SCORED 0"), {"uid=scored0,o=org0"}),
+            # A string operand that cannot coerce to int matches nothing.
+            (GreaterOrEqual("score", "banana"), set()),
+            # A string equality still matches the text form of an int.
+            (Equals("score", "200"), {"uid=scored2,o=org0"}),
+        ):
+            assert set(indexed(instance, filt)) == expected
+            assert indexed(instance, filt) == naive(instance, filt)
+
+
+def _random_filter(rng: random.Random, vocabulary, depth: int):
+    """A random filter tree mixing plannable and unplannable shapes."""
+    attribute = rng.choice(
+        ["uid", "name", "objectClass", "telephoneNumber", "mail", "score"]
+    )
+    value = rng.choice(vocabulary)
+    if depth > 0 and rng.random() < 0.45:
+        width = rng.randint(0, 3)
+        children = tuple(
+            _random_filter(rng, vocabulary, depth - 1) for _ in range(width)
+        )
+        return rng.choice(
+            [And(children), Or(children), Not(_random_filter(rng, vocabulary, 0))]
+        )
+    kind = rng.randrange(6)
+    if kind == 0:
+        return Equals(attribute, value)
+    if kind == 1:
+        return Present(attribute)
+    if kind == 2:
+        text = value if isinstance(value, str) else str(value)
+        middle = len(text) // 2
+        return rng.choice(
+            [
+                Substring(attribute, initial=text[:middle]),
+                Substring(attribute, final=text[middle:]),
+                Substring(attribute, any_parts=(text[1:-1],) if len(text) > 2 else (text,)),
+            ]
+        )
+    if kind == 3:
+        return GreaterOrEqual(attribute, value)
+    if kind == 4:
+        return LessOrEqual(attribute, value)
+    return Approx(attribute, value if isinstance(value, str) else str(value))
+
+
+class TestPlannerDifferential:
+    def test_randomized_trees_match_the_naive_scan(self, instance):
+        vocabulary = ["u1", "u2", "scored1", "200", "banana", "", "or", 5, 17, 0]
+        for eid in sorted(instance.entry_ids())[:10]:
+            vocabulary.extend(
+                str(v) for v in instance.entry(eid).values("uid")
+            )
+        for seed in range(150):
+            rng = random.Random(seed)
+            filt = _random_filter(rng, vocabulary, depth=3)
+            assert indexed(instance, filt) == naive(instance, filt), (
+                f"planner diverged from scan for {filt} (seed {seed})"
+            )
+
+
+SIDECAR_FILTERS = (
+    "(uid=u1)",
+    "(uid=*1*)",
+    "(&(objectClass=person)(name=*a*))",
+    "(|(uid=u1)(uid=u2))",
+    "(telephoneNumber=*)",
+)
+
+
+def _agrees_with_oracle(instance):
+    """Every sample filter answers identically with and without
+    indexes on ``instance``."""
+    for text in SIDECAR_FILTERS:
+        filt = parse_filter(text)
+        if indexed(instance, filt) != naive(instance, filt):
+            return False
+    return True
+
+
+class TestSidecarLifecycle:
+    @pytest.fixture()
+    def closed_store(self, tmp_path):
+        """A store created with Section 6.1 extras (so key postings are
+        live), two committed transactions, cleanly closed — its index
+        sidecar sits at (generation 1, position 2)."""
+        schema = whitepages_schema(extras=True)
+        path = str(tmp_path / "store")
+        store = DirectoryStore.create(
+            path, schema,
+            generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                persons_per_unit=3, seed=11),
+        )
+        for i in range(2):
+            assert store.apply(
+                UpdateTransaction().insert(
+                    f"uid=extra{i},o=org0", ["person", "top"],
+                    {"uid": [f"extra{i}"], "name": [f"extra {i}"]},
+                )
+            ).applied
+        store.close()
+        return path, schema
+
+    @pytest.fixture()
+    def rebuild_counter(self, monkeypatch):
+        """Counts :meth:`AttributeIndexes.rebuild` calls."""
+        calls = []
+        original = AttributeIndexes.rebuild
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(AttributeIndexes, "rebuild", counting)
+        return calls
+
+    def test_clean_reopen_adopts_the_sidecar(
+        self, closed_store, rebuild_counter
+    ):
+        path, schema = closed_store
+        assert index_sidecar_status(path, schema, 1, 2) == "present"
+        with DirectoryStore.open(path, schema) as store:
+            assert not rebuild_counter, "clean sidecar must adopt, not rebuild"
+            assert _agrees_with_oracle(store.instance)
+
+    def test_missing_sidecar_rebuilds(self, closed_store, rebuild_counter):
+        path, schema = closed_store
+        os.unlink(index_sidecar_path(path))
+        assert index_sidecar_status(path, schema, 1, 2) == "missing"
+        with DirectoryStore.open(path, schema) as store:
+            assert rebuild_counter
+            assert _agrees_with_oracle(store.instance)
+
+    def test_corrupt_byte_sweep_rebuilds(self, closed_store):
+        path, schema = closed_store
+        sidecar = index_sidecar_path(path)
+        with open(sidecar, "rb") as fh:
+            pristine = fh.read()
+        positions = range(0, len(pristine), max(1, len(pristine) // 24))
+        for position in positions:
+            flipped = bytearray(pristine)
+            flipped[position] ^= 0xFF
+            with open(sidecar, "wb") as fh:
+                fh.write(bytes(flipped))
+            status = index_sidecar_status(path, schema, 1, 2)
+            assert status in ("corrupt", "stale"), (
+                f"flip at byte {position} went undetected ({status})"
+            )
+            with DirectoryStore.open(path, schema) as store:
+                assert _agrees_with_oracle(store.instance)
+            # Reopening rewrote the sidecar at close; restore the flip
+            # target for the next sweep position.
+            with open(sidecar, "wb") as fh:
+                fh.write(pristine)
+
+    def test_stale_after_compaction_rebuilds(
+        self, closed_store, rebuild_counter
+    ):
+        path, schema = closed_store
+        sidecar = index_sidecar_path(path)
+        with open(sidecar, "rb") as fh:
+            old = fh.read()
+        with DirectoryStore.open(path, schema) as store:
+            store.compact()
+        del rebuild_counter[:]
+        # Resurrect the pre-compaction sidecar: well-formed, wrong
+        # generation — the reopen must notice and rebuild.
+        with open(sidecar, "wb") as fh:
+            fh.write(old)
+        with DirectoryStore.open(path, schema) as store:
+            assert index_sidecar_status(
+                path, schema, store.generation, 0
+            ) == "stale"
+            assert rebuild_counter
+            assert _agrees_with_oracle(store.instance)
+
+    def test_reader_follows_wal_across_compaction(self, tmp_path):
+        schema = whitepages_schema(extras=True)
+        path = str(tmp_path / "followed")
+        store = DirectoryStore.create(
+            path, schema,
+            generate_whitepages(orgs=1, units_per_level=2, depth=1,
+                                persons_per_unit=3, seed=11),
+        )
+        reader = StoreReader.open(path, schema)
+        try:
+            for i in range(3):
+                assert store.apply(
+                    UpdateTransaction().insert(
+                        f"uid=live{i},o=org0", ["person", "top"],
+                        {"uid": [f"live{i}"], "name": [f"live {i}"]},
+                    )
+                ).applied
+            reader.refresh()
+            assert indexed(reader.instance, None) != []
+            assert _agrees_with_oracle(reader.instance)
+            assert indexed(
+                reader.instance, parse_filter("(uid=live2)")
+            ) == ["uid=live2,o=org0"]
+            # Compact (new generation, fresh snapshot), delete one
+            # entry, add another: the reader re-bootstraps and its
+            # indexes must still agree with the oracle.
+            store.compact()
+            assert store.apply(
+                UpdateTransaction().delete("uid=live0,o=org0")
+            ).applied
+            reader.refresh()
+            assert _agrees_with_oracle(reader.instance)
+            filt = Equals("uid", "live0")
+            assert indexed(reader.instance, filt) == []
+            assert naive(reader.instance, filt) == []
+        finally:
+            reader.close()
+            store.close()

@@ -191,6 +191,38 @@ class TestReads:
 
         asyncio.run(run())
 
+    def test_size_limit_cuts_after_ordering_and_flags_truncation(
+        self, plain_store
+    ):
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                full = await client.search(filter="(objectClass=person)")
+                assert full["truncated"] is False
+                dns = [e["dn"] for e in full["entries"]]
+                assert len(dns) > 2
+                cut = await client.search(
+                    filter="(objectClass=person)", size_limit=2
+                )
+                # The cut is a prefix of the canonical ordering, and
+                # the client is told results were dropped.
+                assert [e["dn"] for e in cut["entries"]] == dns[:2]
+                assert cut["truncated"] is True
+                exact = await client.search(
+                    filter="(objectClass=person)", size_limit=len(dns)
+                )
+                assert exact["truncated"] is False
+                assert len(exact["entries"]) == len(dns)
+                with pytest.raises(ServerError) as excinfo:
+                    await client.search(size_limit=0)
+                assert excinfo.value.code == "bad_request"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
     def test_filter_syntax_error_code(self, plain_store):
         async def run():
             server = await _serve(plain_store)

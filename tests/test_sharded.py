@@ -146,9 +146,12 @@ class TestLifecycle:
         with pytest.raises(UpdateError, match="composite"):
             make_store(tmp_path, schema, registry, instance=lonely)
 
-    def test_schema_extras_refused(self, tmp_path, registry):
-        with pytest.raises(UpdateError, match="extras"):
-            make_store(tmp_path, whitepages_schema(extras=True), registry)
+    def test_schema_extras_accepted(self, tmp_path, registry):
+        # The historical refusal is lifted: extras are enforced at the
+        # composite check step via the per-shard key/referential
+        # indexes, so an extras-bearing schema shards fine.
+        with make_store(tmp_path, whitepages_schema(extras=True), registry) as store:
+            assert store.check().is_legal
 
     def test_closed_store_refuses(self, tmp_path, schema, registry):
         store = make_store(tmp_path, schema, registry)

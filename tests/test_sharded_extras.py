@@ -1,0 +1,312 @@
+"""Section 6.1 extras over the sharded store.
+
+PR 8 lifts the historical refusal: a schema declaring directory-wide
+keys now shards, with global key uniqueness enforced at the composite
+check step by merging per-shard index probes (O(|Delta|), riding the
+same transaction machinery as the Figure 4 composite elements).
+
+The acceptance gate is differential: a ``ShardedStore`` and a single
+union ``DirectoryStore`` applying the same randomized stream — fresh
+inserts, same-shard duplicates, *cross-shard* duplicates, spanning
+transactions through 2PC, and modifies — must produce identical
+verdicts violation for violation, identical committed states, and
+identical full-check reports, including after a reopen.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.ldif.modify import parse_modifications
+from repro.store import DirectoryStore
+from repro.store.sharded import CompositeReader, ShardedStore
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    generate_whitepages,
+    whitepages_registry,
+    whitepages_schema,
+)
+from repro.workloads.update_streams import insertion_points
+
+FLAT_BASES = {"a": "o=org0", "b": "o=org1", "c": "o=org2"}
+
+
+@pytest.fixture()
+def schema():
+    return whitepages_schema(extras=True)
+
+
+@pytest.fixture()
+def registry():
+    return whitepages_registry()
+
+
+def canonical_records(instance):
+    """Order-independent canonical form of an instance (same shape as
+    the PR 5 differential uses)."""
+    records = []
+    for entry in instance:
+        dn = instance.dn_string_of(entry)
+        lines = tuple(
+            sorted(
+                f"{name}: {value}"
+                for name in entry.attribute_names()
+                for value in entry.values(name)
+            )
+        )
+        records.append((dn.casefold(), dn, lines))
+    return sorted(records)
+
+
+def verdict_tuples(report):
+    """The comparable face of a rejection: (kind, dn, message) per
+    violation — extras violations carry no element, so the PR 5
+    element-set comparison would be vacuous here."""
+    return sorted((v.kind, str(v.dn), v.message) for v in report)
+
+
+def all_uids(instance):
+    """Every uid value in the instance, with its entry's DN."""
+    pairs = []
+    for entry in instance:
+        for value in entry.values("uid"):
+            pairs.append((str(value), instance.dn_string_of(entry)))
+    return sorted(pairs)
+
+
+def person_tx(dn, uid):
+    return UpdateTransaction().insert(
+        dn, ["person", "top"], {"uid": [uid], "name": [f"n {uid}"]}
+    )
+
+
+class TestLifecycle:
+    def test_create_accepts_extras_and_enforces_baseline(
+        self, tmp_path, schema, registry
+    ):
+        initial = generate_whitepages(orgs=3, units_per_level=2, depth=1,
+                                      persons_per_unit=2, seed=5)
+        with ShardedStore.create(
+            str(tmp_path / "ok"), schema, FLAT_BASES, initial, registry
+        ) as store:
+            assert store.check().is_legal
+
+    def test_create_rejects_duplicate_keys_like_the_union_store(
+        self, tmp_path, schema, registry
+    ):
+        tainted = generate_whitepages(orgs=3, units_per_level=2, depth=1,
+                                      persons_per_unit=2, seed=5)
+        # Two persons in *different* orgs (hence different shards)
+        # sharing one uid: only a global key check can see it.
+        for org in ("o=org0", "o=org2"):
+            tainted.add_entry(
+                tainted.find(org), "uid=dup", ["person", "top"],
+                {"uid": ["dupkey"], "name": ["d up"]},
+            )
+        with pytest.raises(UpdateError, match="not legal to begin with"):
+            DirectoryStore.create(
+                str(tmp_path / "union"), schema, tainted, registry
+            )
+        with pytest.raises(UpdateError, match="not legal to begin with"):
+            ShardedStore.create(
+                str(tmp_path / "sharded"), schema, FLAT_BASES, tainted,
+                registry,
+            )
+
+
+@pytest.mark.parametrize("seed", [3, 19])
+def test_key_verdict_differential_against_union_store(
+    tmp_path, schema, registry, seed
+):
+    """Randomized single-shard stream: fresh uids commit, reused uids —
+    whether their holder lives in the same shard or another one — are
+    rejected with the union store's exact violations."""
+    initial = generate_whitepages(orgs=3, units_per_level=2, depth=1,
+                                  persons_per_unit=2, seed=seed)
+    union = DirectoryStore.create(
+        str(tmp_path / "union"), schema, initial, registry
+    )
+    sharded = ShardedStore.create(
+        str(tmp_path / "sharded"), schema, FLAT_BASES, initial, registry
+    )
+    rng = random.Random(seed)
+    accepted = rejected = cross_shard = 0
+    try:
+        for step in range(16):
+            parent = rng.choice(insertion_points(union.instance))
+            if rng.random() < 0.5:
+                uid = f"fresh{step}"
+            else:
+                uid, holder_dn = rng.choice(all_uids(union.instance))
+                target = sharded.shard_map.route(f"uid=x,{parent}").name
+                holder = sharded.shard_map.route(holder_dn).name
+                if target != holder:
+                    cross_shard += 1
+            tx = person_tx(f"uid=new{step},{parent}", uid)
+            union_outcome = union.apply(tx)
+            sharded_outcome = sharded.apply(tx)
+            assert union_outcome.applied == sharded_outcome.applied, (
+                f"step {step}: union said {union_outcome.applied}, "
+                f"sharded said {sharded_outcome.applied}\n"
+                f"union: {union_outcome.report}\n"
+                f"sharded: {sharded_outcome.report}"
+            )
+            if union_outcome.applied:
+                accepted += 1
+            else:
+                rejected += 1
+                assert verdict_tuples(union_outcome.report) == verdict_tuples(
+                    sharded_outcome.report
+                ), f"step {step}: verdicts differ"
+            assert canonical_records(
+                sharded.composite_instance()
+            ) == canonical_records(union.instance), f"diverged at step {step}"
+            assert union.check().is_legal == sharded.check().is_legal is True
+        assert accepted >= 3 and rejected >= 3, (accepted, rejected)
+        assert cross_shard >= 1, "stream never reused a uid across shards"
+    finally:
+        union.close()
+        sharded.close()
+    # Reopen both: the durable states (and their extras verdicts)
+    # survived the restart identically.
+    with DirectoryStore.open(
+        str(tmp_path / "union"), schema, registry=registry
+    ) as union, ShardedStore.open(
+        str(tmp_path / "sharded"), schema, registry
+    ) as sharded:
+        assert canonical_records(
+            sharded.composite_instance()
+        ) == canonical_records(union.instance)
+        assert union.check().is_legal and sharded.check().is_legal
+        with CompositeReader.open(
+            str(tmp_path / "sharded"), schema, registry
+        ) as reader:
+            assert reader.check().is_legal
+
+
+class TestSpanningTransactions:
+    @pytest.fixture()
+    def pair(self, tmp_path, schema, registry):
+        initial = generate_whitepages(orgs=3, units_per_level=2, depth=1,
+                                      persons_per_unit=2, seed=9)
+        union = DirectoryStore.create(
+            str(tmp_path / "union"), schema, initial, registry
+        )
+        sharded = ShardedStore.create(
+            str(tmp_path / "sharded"), schema, FLAT_BASES, initial, registry
+        )
+        yield union, sharded
+        union.close()
+        sharded.close()
+
+    def test_duplicate_inside_one_spanning_transaction_aborts(self, pair):
+        union, sharded = pair
+        tx = UpdateTransaction()
+        for org in ("o=org0", "o=org1"):
+            tx.insert(
+                f"uid=twin,{org}", ["person", "top"],
+                {"uid": ["twinkey"], "name": ["t win"]},
+            )
+        union_outcome = union.apply(tx)
+        sharded_outcome = sharded.apply(tx)
+        assert not union_outcome.applied and not sharded_outcome.applied
+        assert verdict_tuples(union_outcome.report) == verdict_tuples(
+            sharded_outcome.report
+        )
+        assert any("2pc: aborted" in c for c in sharded_outcome.checks), (
+            sharded_outcome.checks
+        )
+
+    def test_spanning_duplicate_of_a_third_shard_key_aborts(self, pair):
+        union, sharded = pair
+        taken, _ = next(
+            (uid, dn) for uid, dn in all_uids(union.instance)
+            if sharded.shard_map.route(dn).name == "c"
+        )
+        tx = (
+            person_tx("uid=s0,o=org0", "spankey")
+            .insert(
+                "uid=s1,o=org1", ["person", "top"],
+                {"uid": [taken], "name": ["s one"]},
+            )
+        )
+        union_outcome = union.apply(tx)
+        sharded_outcome = sharded.apply(tx)
+        assert not union_outcome.applied and not sharded_outcome.applied
+        assert verdict_tuples(union_outcome.report) == verdict_tuples(
+            sharded_outcome.report
+        )
+        assert canonical_records(
+            sharded.composite_instance()
+        ) == canonical_records(union.instance)
+
+    def test_legal_spanning_transaction_commits_via_2pc(self, pair):
+        union, sharded = pair
+        tx = UpdateTransaction()
+        for i, org in enumerate(("o=org0", "o=org1", "o=org2")):
+            tx.insert(
+                f"uid=span{i},{org}", ["person", "top"],
+                {"uid": [f"spankey{i}"], "name": [f"s pan{i}"]},
+            )
+        union_outcome = union.apply(tx)
+        sharded_outcome = sharded.apply(tx)
+        assert union_outcome.applied and sharded_outcome.applied
+        assert any("2pc: committed" in c for c in sharded_outcome.checks), (
+            sharded_outcome.checks
+        )
+        assert canonical_records(
+            sharded.composite_instance()
+        ) == canonical_records(union.instance)
+        assert union.check().is_legal and sharded.check().is_legal
+
+
+def test_modify_duplicating_a_key_is_rejected_identically(
+    tmp_path, schema, registry
+):
+    initial = generate_whitepages(orgs=3, units_per_level=2, depth=1,
+                                  persons_per_unit=2, seed=13)
+    union = DirectoryStore.create(
+        str(tmp_path / "union"), schema, initial, registry
+    )
+    sharded = ShardedStore.create(
+        str(tmp_path / "sharded"), schema, FLAT_BASES, initial, registry
+    )
+    try:
+        uids = all_uids(union.instance)
+        victim_uid, victim_dn = uids[0]
+        taken_uid, _ = next(
+            (uid, dn) for uid, dn in uids
+            if sharded.shard_map.route(dn).name
+            != sharded.shard_map.route(victim_dn).name
+        )
+        record = parse_modifications(
+            f"dn: {victim_dn}\nchangetype: modify\n"
+            f"replace: uid\nuid: {taken_uid}\n-\n"
+        )[0]
+        union_outcome = union.modify(record)
+        sharded_outcome = sharded.modify(record)
+        assert not union_outcome.applied and not sharded_outcome.applied
+        assert verdict_tuples(union_outcome.report) == verdict_tuples(
+            sharded_outcome.report
+        )
+        # The blind revert left both stores untouched and still legal.
+        assert canonical_records(
+            sharded.composite_instance()
+        ) == canonical_records(union.instance)
+        assert union.check().is_legal and sharded.check().is_legal
+        # A rename to a fresh uid goes through on both.
+        fresh = parse_modifications(
+            f"dn: {victim_dn}\nchangetype: modify\n"
+            "replace: uid\nuid: renamed0\n-\n"
+        )[0]
+        assert union.modify(fresh).applied
+        assert sharded.modify(fresh).applied
+        assert canonical_records(
+            sharded.composite_instance()
+        ) == canonical_records(union.instance)
+    finally:
+        union.close()
+        sharded.close()

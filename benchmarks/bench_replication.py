@@ -1,0 +1,161 @@
+"""Extension benchmark — WAL-shipping replication lag.
+
+Claim under test: a follower's catch-up costs O(|Δ|) — the frames the
+primary committed since the replica's last position — independent of
+the snapshot it bootstrapped from.  The shipper reads only the journal
+suffix past its offset and the applier replays only the shipped
+frames through its embedded reader, so doubling Δ doubles the shipped
+bytes (exponent ~1) while the snapshot is read exactly once, at
+bootstrap (``reader.bootstraps == 1``, asserted at every scale).
+
+``BENCH_REPLICATION_SCALE`` scales the primary (1.0 -> ~40k entries;
+CI smoke uses a small fraction).  The wall-clock exponent gate arms at
+full scale only; the machine-independent counters (frames shipped,
+bytes shipped, bootstraps) are asserted always.
+"""
+
+import os
+import time
+from functools import lru_cache
+
+from repro.store import DirectoryStore
+from repro.store.recovery import SNAPSHOT_FILE
+from repro.store.replicate import FrameSource, ReplicaApplier, pump
+from repro.workloads import (
+    generate_whitepages,
+    random_transaction,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+from _helpers import fit_growth, print_series
+
+SCALE = float(os.environ.get("BENCH_REPLICATION_SCALE", "1.0"))
+
+
+@lru_cache(maxsize=None)
+def _primary_instance():
+    """A ~40k-entry legal instance at SCALE=1.0 (cached per process)."""
+    orgs = max(1, int(120 * SCALE))
+    return generate_whitepages(
+        orgs=orgs, units_per_level=5, depth=2, persons_per_unit=10, seed=42,
+    )
+
+
+def _commit(store, seed):
+    outcome = store.apply(
+        random_transaction(store.instance, inserts=1, seed=seed)
+    )
+    assert outcome.applied
+
+
+def test_replica_lag_scales_with_delta(benchmark, tmp_path):
+    """Catch-up after Δ primary commits ships exactly Δ frames, with
+    bytes growing ~linearly in Δ and zero snapshot re-reads."""
+    schema, registry = whitepages_schema(), whitepages_registry()
+    primary_dir = str(tmp_path / "primary")
+    replica_dir = str(tmp_path / "replica")
+    store = DirectoryStore.create(
+        primary_dir, schema, _primary_instance(), registry
+    )
+    source = FrameSource(primary_dir, schema)
+    applier = ReplicaApplier(replica_dir, schema, registry)
+    try:
+        pump(source, applier)  # snapshot bootstrap
+        assert applier.snapshots_installed == 1
+        assert applier.reader is not None
+        snapshot_bytes = os.path.getsize(
+            os.path.join(primary_dir, SNAPSHOT_FILE)
+        )
+
+        deltas = [1, 2, 4, 8, 16]
+        shipped_bytes, wall_times = [], []
+        seed = 0
+        for delta in deltas:
+            for _ in range(delta):
+                seed += 1
+                _commit(store, seed)
+            frames_before = applier.frames_applied
+            bytes_before = applier.bytes_applied
+            start = time.perf_counter()
+            pump(source, applier)
+            wall_times.append(time.perf_counter() - start)
+            assert applier.frames_applied - frames_before == delta, (
+                f"Δ={delta} commits shipped "
+                f"{applier.frames_applied - frames_before} frames"
+            )
+            shipped_bytes.append(applier.bytes_applied - bytes_before)
+            # The catch-up never re-reads the snapshot: one bootstrap,
+            # ever, and the shipped slice is a sliver of the snapshot.
+            assert applier.reader.bootstraps == 1, (
+                f"catch-up re-bootstrapped the replica view "
+                f"({applier.reader.bootstraps} bootstraps)"
+            )
+            assert applier.snapshots_installed == 1
+            assert shipped_bytes[-1] * 20 < snapshot_bytes, (
+                f"Δ={delta} shipped {shipped_bytes[-1]}B against a "
+                f"{snapshot_bytes}B snapshot — not O(|Δ|)"
+            )
+        assert applier.position() == (store.generation, store.journal_length)
+
+        bytes_exponent = fit_growth(deltas, shipped_bytes)
+        time_exponent = fit_growth(
+            deltas, [int(t * 1e9) for t in wall_times]
+        )
+
+        # The benchmark table times one one-frame catch-up cycle.
+        def one_frame_catchup():
+            _commit(store, 10_000 + applier.frames_applied)
+            pump(source, applier)
+
+        benchmark(one_frame_catchup)
+
+        print_series(
+            f"REPLICATION: catch-up vs Δ ({len(store.instance)} entries)",
+            [(f"Δ={d}", f"{b}B shipped")
+             for d, b in zip(deltas, shipped_bytes)]
+            + [(f"bytes exponent={bytes_exponent:.2f}",),
+               (f"time exponent={time_exponent:.2f}",)],
+        )
+        benchmark.extra_info["bytes_exponent"] = round(bytes_exponent, 3)
+        benchmark.extra_info["time_exponent"] = round(time_exponent, 3)
+        assert 0.5 < bytes_exponent < 1.5, (
+            f"shipped bytes should grow ~linearly with Δ: "
+            f"{bytes_exponent:.2f}"
+        )
+        if SCALE >= 1.0:
+            assert time_exponent < 1.5, (
+                f"catch-up wall time grows superlinearly in Δ: "
+                f"{time_exponent:.2f} — the shipper is re-reading "
+                "history it already shipped"
+            )
+    finally:
+        applier.close()
+        store.close()
+
+
+def test_bootstrap_cost(benchmark, tmp_path):
+    """Snapshot bootstrap of a fresh follower (the one-time price the
+    incremental path amortises away)."""
+    schema, registry = whitepages_schema(), whitepages_registry()
+    primary_dir = str(tmp_path / "primary")
+    store = DirectoryStore.create(
+        primary_dir, schema, _primary_instance(), registry
+    )
+    counter = [0]
+
+    def bootstrap():
+        counter[0] += 1
+        source = FrameSource(primary_dir, schema)
+        replica_dir = str(tmp_path / f"replica{counter[0]}")
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            assert applier.snapshots_installed == 1
+            assert applier.position() == (
+                store.generation, store.journal_length
+            )
+
+    try:
+        benchmark(bootstrap)
+    finally:
+        store.close()

@@ -520,11 +520,27 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
             )
         )
     print(report.summary())
+    _print_replica_state(args.directory)
     if report.healthy:
         print("HEALTHY")
         return 0
     print("DAMAGED (run `recover` to repair)")
     return 1
+
+
+def _print_replica_state(directory: str) -> None:
+    """Report the replication-follower sidecar, when one is present."""
+    from repro.store.replicate import read_replica_state
+
+    state = read_replica_state(directory)
+    if state is None:
+        return
+    print(
+        "replica state: following "
+        f"{state.get('upstream') or '<unknown upstream>'} — synced to "
+        f"generation {state.get('generation')}, seq {state.get('seq')} "
+        "(promote before writing locally)"
+    )
 
 
 def _fsck_read_only(directory: str, schema) -> int:
@@ -845,6 +861,113 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    """``replicate DIR --schema S.dsl --from HOST:PORT [--oneshot]``:
+    follow a primary server as a WAL-shipping replica.  Bootstraps (or
+    resumes from DIR's durable position), catches up to the primary's
+    committed frontier, then — unless ``--oneshot`` — keeps applying
+    pushed frames until SIGTERM/SIGINT."""
+    import asyncio
+    import signal
+
+    from repro.errors import StoreError
+    from repro.server.client import DirectoryClient, ServerError, sync_replica
+    from repro.store.replicate import ReplicaApplier
+
+    schema = load_dsl(args.schema)
+    host, _, port_text = args.upstream.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"replicate: --from must be HOST:PORT, got {args.upstream!r}",
+              file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        try:
+            client = await DirectoryClient.connect(host, int(port_text))
+        except (ConnectionError, OSError) as exc:
+            print(f"replicate: cannot reach {args.upstream}: {exc}",
+                  file=sys.stderr)
+            return 1
+        applier = None
+        try:
+            await client.bind("cn=replica")
+            applier = ReplicaApplier(
+                args.directory, schema, upstream=args.upstream
+            )
+            generation, seq = await sync_replica(client, applier)
+            print(
+                f"replica {args.directory}: synced to generation "
+                f"{generation}, seq {seq} from {args.upstream}",
+                flush=True,
+            )
+            if args.oneshot:
+                return 0
+            stop = asyncio.Event()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+            stopping = asyncio.ensure_future(stop.wait())
+            while not stop.is_set():
+                incoming = asyncio.ensure_future(
+                    client.next_stream_message()
+                )
+                await asyncio.wait(
+                    {stopping, incoming},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not incoming.done():
+                    incoming.cancel()
+                    break
+                await loop.run_in_executor(
+                    None, applier.apply_message, incoming.result()
+                )
+            stopping.cancel()
+            generation, seq = applier.position()
+            print(
+                f"replica stopped at generation {generation}, seq {seq} "
+                "(run `promote` to make it writable, or `replicate` again "
+                "to keep following)",
+                file=sys.stderr,
+            )
+            return 0
+        except (StoreError, ServerError, ConnectionError, OSError) as exc:
+            print(f"replicate: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if applier is not None:
+                applier.close()
+            await client.close()
+
+    return asyncio.run(run())
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    """``promote DIR --schema S.dsl``: promote a replica store to
+    writer.  Refuses when in-doubt 2PC state is visible at the
+    replication frontier (only the old primary's coordinator log can
+    decide it)."""
+    from repro.errors import StoreError
+    from repro.store.replicate import promote
+
+    schema = load_dsl(args.schema)
+    try:
+        store = promote(args.directory, schema)
+    except (StoreError, OSError) as exc:
+        print(f"promote: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(
+            f"promoted {args.directory}: writable at generation "
+            f"{store.generation} ({len(store.instance)} entries)"
+        )
+    finally:
+        store.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -1091,6 +1214,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="structure-checking strategy for the check extended op",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    replicate = sub.add_parser(
+        "replicate",
+        help="follow a primary server as a WAL-shipping replica "
+        "(bootstrap or resume, then apply pushed frames)",
+    )
+    replicate.add_argument(
+        "directory", help="local replica store directory (created if fresh)"
+    )
+    replicate.add_argument("--schema", required=True)
+    replicate.add_argument(
+        "--from",
+        dest="upstream",
+        required=True,
+        metavar="HOST:PORT",
+        help="primary server address (a `serve` process on a plain store)",
+    )
+    replicate.add_argument(
+        "--oneshot",
+        action="store_true",
+        help="catch up to the primary's committed frontier and exit "
+        "instead of following live",
+    )
+    replicate.set_defaults(func=_cmd_replicate)
+
+    promote = sub.add_parser(
+        "promote",
+        help="promote a replica store to writer (epoch bump; refuses "
+        "visible in-doubt 2PC state)",
+    )
+    promote.add_argument("directory", help="replica store directory")
+    promote.add_argument("--schema", required=True)
+    promote.set_defaults(func=_cmd_promote)
 
     stats = sub.add_parser("stats", help="structural summary of an LDIF instance")
     stats.add_argument("--data", required=True)

@@ -141,6 +141,20 @@ class StaleReadError(StoreError):
     the newest one."""
 
 
+class ReplicationError(StoreError):
+    """The replication stream contract was violated: a frames batch that
+    is not a clean committed slice, data frames for a generation no
+    schema frame announced, a schema fingerprint mismatch between
+    primary and replica, or a follower position the primary can no
+    longer serve incrementally."""
+
+
+class ReplicaDivergedError(ReplicationError):
+    """The follower's durable position cannot be aligned with the
+    stream (the primary compacted past it, or the local copy belongs to
+    a different history).  Recoverable: resync from a fresh snapshot."""
+
+
 class LdifError(BoundingSchemaError):
     """An LDIF document could not be parsed or serialized."""
 

@@ -5,7 +5,12 @@ reference implementation of the wire protocol's client side.  Requests
 are matched to responses by ``id``; server-pushed ``notify`` frames
 (which carry no ``id``) land in a queue consumed by
 :meth:`DirectoryClient.next_notify` — so a follower ``await``\\ s a
-commit instead of polling.
+commit instead of polling.  Replication stream messages (``op:
+"repl"``, pushed after a :meth:`DirectoryClient.replicate` subscribe)
+land in their own queue consumed by
+:meth:`DirectoryClient.next_stream_message`;
+:func:`sync_replica` drives a
+:class:`~repro.store.replicate.ReplicaApplier` from it.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from typing import Dict, Optional
 
 from repro.server.protocol import read_frame, write_frame
 
-__all__ = ["DirectoryClient", "ServerError"]
+__all__ = ["DirectoryClient", "ServerError", "sync_replica"]
 
 
 class ServerError(Exception):
@@ -38,6 +43,7 @@ class DirectoryClient:
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._notifies: asyncio.Queue = asyncio.Queue()
+        self._stream: asyncio.Queue = asyncio.Queue()
         self._closed = False
         self._receiver = asyncio.ensure_future(self._receive_loop())
 
@@ -55,6 +61,9 @@ class DirectoryClient:
                     break
                 if frame.get("op") == "notify":
                     self._notifies.put_nowait(frame)
+                    continue
+                if frame.get("op") == "repl":
+                    self._stream.put_nowait(frame)
                     continue
                 future = self._pending.pop(frame.get("id"), None)
                 if future is not None and not future.done():
@@ -156,6 +165,22 @@ class DirectoryClient:
             return await self._notifies.get()
         return await asyncio.wait_for(self._notifies.get(), timeout)
 
+    async def replicate(self, generation: int = 0, seq: int = 0) -> dict:
+        """Subscribe this connection as a replication follower at the
+        given durable position (``(0, 0)`` = fresh: the primary ships a
+        snapshot first).  The response acknowledges with the primary's
+        committed frontier; stream messages then arrive via
+        :meth:`next_stream_message`."""
+        return await self.request("replicate", generation=generation, seq=seq)
+
+    async def next_stream_message(
+        self, timeout: Optional[float] = None
+    ) -> dict:
+        """Await the next server-pushed replication stream message."""
+        if timeout is None:
+            return await self._stream.get()
+        return await asyncio.wait_for(self._stream.get(), timeout)
+
     async def unbind(self) -> None:
         """End the session and close the connection."""
         try:
@@ -185,3 +210,34 @@ class DirectoryClient:
 
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
+
+
+async def sync_replica(
+    client: DirectoryClient,
+    applier,
+    *,
+    until: Optional[tuple] = None,
+    timeout: Optional[float] = 30.0,
+) -> tuple:
+    """Drive a :class:`~repro.store.replicate.ReplicaApplier` from a
+    server's replication stream until it reaches ``until`` (default:
+    the committed frontier the server acknowledged at subscribe time).
+
+    Subscribes at the applier's durable position, then applies each
+    pushed stream message on the shared executor (the applier fsyncs).
+    Positions compare lexicographically, so a compaction fold that
+    bumps the generation past the target still terminates.  Returns
+    the applier's final position; keep calling
+    :meth:`DirectoryClient.next_stream_message` /
+    ``applier.apply_message`` afterwards to follow live.
+    """
+    ack = await client.replicate(*applier.position())
+    target = tuple(until) if until is not None else (
+        ack["generation"], ack["seq"],
+    )
+    applier.frontier = target
+    loop = asyncio.get_running_loop()
+    while applier.position() < target:
+        message = await client.next_stream_message(timeout)
+        await loop.run_in_executor(None, applier.apply_message, message)
+    return applier.position()

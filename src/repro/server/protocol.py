@@ -56,6 +56,31 @@ Operations
     Subscribe this connection to commit notifications: after each
     committed write the server pushes ``{"op": "notify", "seq": N}``
     frames — the push replacement for ``check --follow`` polling.
+    Notifications to a stalled subscriber coalesce in a bounded
+    per-subscriber cell (the server never buffers per-commit frames);
+    when the subscriber catches up, the next frame carries
+    ``"dropped": k`` — k notifications were folded away, so re-read
+    rather than trust the gap.
+``replicate``
+    Subscribe this connection as a WAL-shipping replication follower
+    (plain stores only; sharded stores refuse).  The request carries
+    the follower's durable ``generation``/``seq``; the response
+    acknowledges with the primary's committed frontier.  The server
+    then pushes stream messages with ``op: "repl"`` and no ``id``:
+
+    * ``kind: "snapshot"`` — the snapshot file verbatim (sent when the
+      position cannot be served incrementally; a snapshot bigger than
+      :data:`MAX_FRAME_BYTES` cannot be shipped — seed such a replica
+      from a file copy and subscribe at its position instead);
+    * ``kind: "schema"`` — announces a generation (schema fingerprint,
+      resume seq, optional compaction ``folds`` frontier) and MUST
+      precede that generation's data frames — the schema-before-data
+      ordering replication promises;
+    * ``kind: "frames"`` — a raw committed byte slice of the journal
+      (``generation``, ``start_seq``, ``data``, ``crc``).  In-doubt
+      2PC prepares never ship; decided pairs ship whole.
+
+    See :mod:`repro.store.replicate` for the exact stream contract.
 """
 
 from __future__ import annotations

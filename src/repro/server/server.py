@@ -22,18 +22,26 @@ the fsync of a commit happens off the event loop, so in-flight searches
 on other connections keep being served while the writer is on disk.
 Spanning transactions ride the two-phase commit path unchanged.
 
-After every committed write the server bumps a commit sequence under an
-:class:`asyncio.Condition` and notifies; connections that sent ``watch``
-have a fanout task blocked on that condition which pushes one
-``{"op": "notify", "seq": N}`` frame per wakeup — the push replacement
-for ``check --follow``'s sleep loop.
+After every committed write the server publishes the new commit
+sequence to a set of per-subscriber :class:`_CommitFeed` cells — bounded,
+capacity-one, coalescing cells, *not* queues.  A ``watch`` connection's
+fanout task blocks on its feed and pushes one ``{"op": "notify",
+"seq": N}`` frame per wakeup (the push replacement for ``check
+--follow``'s sleep loop); a subscriber that stalls mid-write costs the
+server O(1) memory — commits landing while it is stalled coalesce into
+the cell and are *counted*, and the next frame it does receive carries
+``"dropped": k`` so the client knows k notifications were folded away
+and it should re-read rather than trust the gap.  The ``replicate``
+frame-shipping loop rides the same feeds: a slow replica simply lags
+(the shipper is pull-based over the journal, nothing is buffered per
+follower), it never bloats the primary.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.errors import (
     FilterSyntaxError,
@@ -70,15 +78,50 @@ def _violations_payload(report) -> list:
     return [str(v) for v in report]
 
 
+class _CommitFeed:
+    """A bounded (capacity-one, coalescing) commit subscription.
+
+    ``publish`` overwrites the cell with the newest commit seq; if the
+    subscriber had not consumed the previous wakeup, the overwritten
+    notification is *counted*, not queued — that count is the
+    drop-and-resync signal a stalled consumer receives when it catches
+    up.  Memory per subscriber is O(1) no matter how far it stalls.
+    """
+
+    def __init__(self, seq: int) -> None:
+        self.latest = seq
+        self.dropped = 0
+        self._event = asyncio.Event()
+
+    def publish(self, seq: int) -> None:
+        if self._event.is_set():
+            self.dropped += 1
+        self.latest = seq
+        self._event.set()
+
+    def wake(self) -> None:
+        """Wake the subscriber without a commit (drain/shutdown)."""
+        self._event.set()
+
+    async def next(self) -> "tuple[int, int]":
+        """Block until published (or woken); returns ``(seq, dropped)``
+        and resets the drop counter."""
+        await self._event.wait()
+        self._event.clear()
+        dropped, self.dropped = self.dropped, 0
+        return self.latest, dropped
+
+
 class _Connection:
     """Per-connection state: the bound identity, the serving reader, and
-    the watch task (when subscribed)."""
+    the watch/replicate fanout tasks (when subscribed)."""
 
     def __init__(self, server: "DirectoryServer", reader_view) -> None:
         self.server = server
         self.view = reader_view
         self.bound_dn: Optional[str] = None
         self.watch_task: Optional[asyncio.Task] = None
+        self.replicate_task: Optional[asyncio.Task] = None
 
     @property
     def bound(self) -> bool:
@@ -138,8 +181,8 @@ class DirectoryServer:
         self._writer_pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="store-writer"
         )
-        self._commit_cond = asyncio.Condition()
         self._commit_seq = 0
+        self._feeds: set = set()
         self._connections: set = set()
         self._draining = False
 
@@ -199,9 +242,9 @@ class DirectoryServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Wake watch tasks so draining connections can notice and exit.
-        async with self._commit_cond:
-            self._commit_cond.notify_all()
+        # Wake watch/replicate tasks so draining connections can exit.
+        for feed in list(self._feeds):
+            feed.wake()
         pending = {t for t in self._connections if not t.done()}
         if pending and drain:
             _, pending = await asyncio.wait(pending, timeout=timeout)
@@ -244,12 +287,13 @@ class DirectoryServer:
         finally:
             self._connections.discard(task)
             if connection is not None:
-                if connection.watch_task is not None:
-                    connection.watch_task.cancel()
-                    try:
-                        await connection.watch_task
-                    except asyncio.CancelledError:
-                        pass
+                for task in (connection.watch_task, connection.replicate_task):
+                    if task is not None:
+                        task.cancel()
+                        try:
+                            await task
+                        except asyncio.CancelledError:
+                            pass
                 await loop.run_in_executor(None, connection.view.close)
             writer.close()
             try:
@@ -291,6 +335,8 @@ class DirectoryServer:
                 return await self._op_modify(connection, request)
             if op == "watch":
                 return self._op_watch(connection, writer, request)
+            if op == "replicate":
+                return self._op_replicate(connection, writer, request)
             return error_response(
                 request_id, "unknown_op", f"unknown operation {op!r}"
             )
@@ -434,9 +480,17 @@ class DirectoryServer:
             return await loop.run_in_executor(self._writer_pool, fn)
 
     async def _commit_happened(self) -> None:
-        async with self._commit_cond:
-            self._commit_seq += 1
-            self._commit_cond.notify_all()
+        self._commit_seq += 1
+        for feed in self._feeds:
+            feed.publish(self._commit_seq)
+
+    def _subscribe(self) -> _CommitFeed:
+        feed = _CommitFeed(self._commit_seq)
+        self._feeds.add(feed)
+        return feed
+
+    def _unsubscribe(self, feed: _CommitFeed) -> None:
+        self._feeds.discard(feed)
 
     # ------------------------------------------------------------------
     # commit-notify fanout
@@ -451,21 +505,108 @@ class DirectoryServer:
         return ok_response(request.get("id"), seq=self._commit_seq)
 
     async def _watch_loop(self, writer) -> None:
-        """Push one ``notify`` frame per commit-sequence advance.  A
-        burst of commits between wakeups coalesces into a single frame
-        carrying the latest ``seq`` — followers re-read anyway."""
+        """Push one ``notify`` frame per feed wakeup.
+
+        Commits that land while the subscriber's socket is stalled
+        coalesce in the bounded feed; the frame that finally gets
+        through carries the latest ``seq`` plus ``dropped`` — the
+        number of notifications folded away — so a slow consumer knows
+        to resync instead of trusting the gap.
+        """
         seen = self._commit_seq
+        feed = self._subscribe()
         try:
             while True:
-                async with self._commit_cond:
-                    await self._commit_cond.wait_for(
-                        lambda: self._commit_seq > seen or self._draining
-                    )
-                    if self._draining and self._commit_seq <= seen:
+                seq, dropped = await feed.next()
+                if seq <= seen:
+                    if self._draining:
                         return
-                    seen = self._commit_seq
-                await write_frame(writer, {"op": "notify", "seq": seen})
+                    continue  # spurious wake (drain probe on a live server)
+                seen = seq
+                frame = {"op": "notify", "seq": seq}
+                if dropped:
+                    frame["dropped"] = dropped
+                await write_frame(writer, frame)
         except (ConnectionError, asyncio.CancelledError):
             raise
         except Exception:
             return  # the connection is going away; its handler cleans up
+        finally:
+            self._unsubscribe(feed)
+
+    # ------------------------------------------------------------------
+    # replication: frame shipping over the same bounded feeds
+    # ------------------------------------------------------------------
+    def _op_replicate(
+        self, connection: _Connection, writer, request: dict
+    ) -> dict:
+        """Subscribe this connection as a replication follower.
+
+        The request carries the follower's durable ``(generation,
+        seq)`` position; the reply acknowledges with the primary's
+        committed frontier, then stream messages (``op: "repl"``) are
+        pushed: schema frames strictly before the data frames of their
+        generation, a snapshot first when the position cannot be served
+        incrementally.  Sharded stores refuse: replication follows one
+        WAL — point followers at the member stores.
+        """
+        request_id = request.get("id")
+        if self.shards:
+            return error_response(
+                request_id, "bad_request",
+                "replicate requires a plain (unsharded) store; replicate "
+                "each shard's member store individually",
+            )
+        if connection.replicate_task is not None:
+            return error_response(
+                request_id, "bad_request",
+                "this connection is already replicating",
+            )
+        generation = request.get("generation", 0)
+        seq = request.get("seq", 0)
+        if not isinstance(generation, int) or not isinstance(seq, int) \
+                or generation < 0 or seq < 0:
+            return error_response(
+                request_id, "bad_request",
+                "replicate position must be non-negative integers",
+            )
+        from repro.store.replicate import FrameSource
+
+        source = FrameSource(self.store_path, self.schema)
+        source.attach(generation, seq)
+        connection.replicate_task = asyncio.ensure_future(
+            self._replicate_loop(writer, source)
+        )
+        return ok_response(
+            request_id,
+            mode="stream",
+            generation=self.store.generation,
+            seq=self.store.journal_length,
+        )
+
+    async def _replicate_loop(self, writer, source) -> None:
+        """Ship stream messages until the follower disconnects.
+
+        Pull-based: each wakeup polls the journal tail for exactly the
+        committed delta past the follower's position, so a slow
+        follower costs O(1) server memory — it lags on disk, not in
+        RAM.  The poll's file I/O runs on the shared executor, never on
+        the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        feed = self._subscribe()
+        try:
+            while True:
+                batch = await loop.run_in_executor(None, source.poll)
+                for message in batch:
+                    await write_frame(writer, message)
+                if not batch:
+                    if self._draining:
+                        return
+                    await feed.next()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:
+            return  # the connection is going away; its handler cleans up
+        finally:
+            self._unsubscribe(feed)

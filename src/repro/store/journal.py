@@ -933,9 +933,10 @@ class DirectoryStore:
                 "compaction failed; the store is poisoned — close and "
                 f"reopen to recover: {exc}"
             ) from exc
+        folded = self._journal_count
         self._generation = new_generation
         self._journal_count = 0
-        self._publish_manifest()
+        self._publish_manifest(folded_seq=folded)
         self._save_sidecar()
         self._save_index_sidecar()
 
@@ -1010,17 +1011,21 @@ class DirectoryStore:
         if existing is None or existing.generation != self._generation:
             self._publish_manifest()
 
-    def _publish_manifest(self) -> None:
+    def _publish_manifest(self, folded_seq: Optional[int] = None) -> None:
         """Atomically publish the current generation for readers.
 
         Best-effort on I/O *errors* — the snapshot header is the
         authoritative generation, so a stale manifest only costs
         readers a fallback probe — but an injected crash
         (``BaseException``) propagates so the fault matrix exercises
-        every publish window.
+        every publish window.  Compaction passes ``folded_seq`` — the
+        previous generation's journal frontier its snapshot folds — so
+        a replication shipper can recognise caught-up followers.
         """
         manifest = Manifest(
-            version=self._manifest_version + 1, generation=self._generation
+            version=self._manifest_version + 1,
+            generation=self._generation,
+            folded_seq=folded_seq,
         )
         try:
             write_manifest(self._dir, manifest, self._io)

@@ -45,12 +45,29 @@ _MANIFEST_FORMAT = 1
 
 @dataclass(frozen=True)
 class Manifest:
-    """One published manifest state."""
+    """One published manifest state.
+
+    ``role`` distinguishes a replication follower's local copy
+    (``"replica"``) from a writable store (``None``, the default — a
+    plain store never writes the field, so pre-replication manifests
+    decode unchanged).  Like everything else here it is advisory: the
+    lock file decides who may write, the role merely lets ``fsck`` and
+    ``promote`` report what a directory *is*.
+    """
 
     version: int
     generation: int
     snapshot: str = SNAPSHOT_FILE
     journal: str = JOURNAL_FILE
+    role: Optional[str] = None
+    #: Journal frontier (frame seq of the *previous* generation) folded
+    #: into this generation's snapshot by the compaction that published
+    #: it.  Lets a replication shipper prove that a follower standing at
+    #: ``(generation - 1, folded_seq)`` already holds exactly this
+    #: snapshot's state and can fold locally instead of re-downloading.
+    #: ``None`` on non-compaction publishes (create, repair) — advisory
+    #: like everything else here: absent means "resync via snapshot".
+    folded_seq: Optional[int] = None
 
     def bump(self, generation: Optional[int] = None) -> "Manifest":
         """The next publication: version+1, optionally a new generation."""
@@ -59,17 +76,23 @@ class Manifest:
             generation=self.generation if generation is None else generation,
             snapshot=self.snapshot,
             journal=self.journal,
+            role=self.role,
         )
 
 
 def _body(manifest: Manifest) -> dict:
-    return {
+    body = {
         "format": _MANIFEST_FORMAT,
         "version": manifest.version,
         "generation": manifest.generation,
         "snapshot": manifest.snapshot,
         "journal": manifest.journal,
     }
+    if manifest.role is not None:
+        body["role"] = manifest.role
+    if manifest.folded_seq is not None:
+        body["folded_seq"] = manifest.folded_seq
+    return body
 
 
 def _crc(body: dict) -> int:
@@ -93,17 +116,29 @@ def decode_manifest(data: bytes) -> Manifest:
         raise ValueError(f"unknown manifest format {payload.get('format')!r}")
     body = {key: payload.get(key) for key in
             ("format", "version", "generation", "snapshot", "journal")}
+    if "role" in payload:
+        body["role"] = payload["role"]
+    if "folded_seq" in payload:
+        body["folded_seq"] = payload["folded_seq"]
     if payload.get("crc") != _crc(body):
         raise ValueError("manifest checksum mismatch")
     if not isinstance(body["version"], int) or not isinstance(body["generation"], int):
         raise ValueError("manifest version/generation must be integers")
     if not isinstance(body["snapshot"], str) or not isinstance(body["journal"], str):
         raise ValueError("manifest file names must be strings")
+    role = body.get("role")
+    if role is not None and role not in ("primary", "replica"):
+        raise ValueError(f"unknown manifest role {role!r}")
+    folded_seq = body.get("folded_seq")
+    if folded_seq is not None and not isinstance(folded_seq, int):
+        raise ValueError("manifest folded_seq must be an integer")
     return Manifest(
         version=body["version"],
         generation=body["generation"],
         snapshot=body["snapshot"],
         journal=body["journal"],
+        role=role,
+        folded_seq=folded_seq,
     )
 
 

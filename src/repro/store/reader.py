@@ -131,6 +131,11 @@ class StoreReader:
         self._generation = 0
         self._seq = 0
         self._offset = 0  # byte offset just past the last applied frame
+        #: Successful snapshot bootstraps since open.  Stays at 1 while
+        #: refreshes ride the journal tail in O(|Δ|); every increment
+        #: beyond that is a full snapshot re-read (generation change,
+        #: journal shrink) — the counter the replication lag bench pins.
+        self.bootstraps = 0
         self._snapshot_name = SNAPSHOT_FILE
         self._journal_name = JOURNAL_FILE
         self._closed = False
@@ -258,6 +263,12 @@ class StoreReader:
     def position(self) -> "tuple[int, int]":
         """``(generation, seq)`` — a total order over committed states."""
         return (self._generation, self._seq)
+
+    def offset(self) -> int:
+        """Byte offset just past the last journal frame applied to the
+        view — the resume point a replication applier persists so a
+        restarted follower tails from its durable position."""
+        return self._offset
 
     @property
     def pending_txid(self) -> Optional[str]:
@@ -615,6 +626,7 @@ class StoreReader:
                 total=scanned.total,
             )
             self._apply_scanned(replayable, base_offset=0)
+            self.bootstraps += 1
             return True
         return False
 

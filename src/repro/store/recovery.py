@@ -72,6 +72,12 @@ SIDECAR_FILE = "verdicts.cache"
 #: the generation *and* journal position it was exported at; anything
 #: else means a transparent rebuild, never a wrong answer.
 INDEX_SIDECAR_FILE = "indexes.cache"
+#: Replication-follower state (:mod:`repro.store.replicate`): upstream
+#: address plus the last durably applied stream position.  Advisory like
+#: the manifest — the snapshot/journal stay the single source of truth,
+#: the state file only tells ``fsck`` and a restarted applier where the
+#: copy came from.  ``promote`` removes it.
+REPLICA_STATE_FILE = "replica.state"
 
 
 @dataclass
@@ -455,5 +461,12 @@ def recover(
     quarantine_path = _paths(directory)[2]
     if os.path.exists(quarantine_path):
         report.quarantined_bytes = os.path.getsize(quarantine_path)
+
+    if os.path.exists(os.path.join(directory, REPLICA_STATE_FILE)):
+        report.notes.append(
+            "replica state present: this store is a replication follower "
+            "(promote it before writing, or resume `replicate` to keep "
+            "following)"
+        )
 
     return instance, report

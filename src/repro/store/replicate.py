@@ -1,0 +1,902 @@
+"""WAL-shipping replication: log shipper, replica applier, promotion.
+
+The primary streams its committed journal frames to followers in the
+listener/notifier style UCS documents for OpenLDAP domains: a follower
+receives the *same bytes* the primary's WAL holds, appends them to its
+own local journal (fsynced), and replays them through the ordinary
+:class:`~repro.store.reader.StoreReader` machinery — so a replica is a
+``StoreReader``-grade follower whose view is, at every instant, a
+committed prefix of the primary's history, byte for byte.
+
+Three message kinds travel the stream (JSON objects, carried over the
+PR 7 server protocol or fed directly in-process):
+
+``snapshot``
+    The primary's snapshot file, verbatim (generation header included).
+    Installs a full base state; sent when a follower's position cannot
+    be served incrementally (fresh replica, or the primary compacted
+    past it).
+
+``schema``
+    Announces a generation: its schema fingerprint plus the sequence
+    number the stream resumes at.  **Data frames are only legal after a
+    schema frame announced their generation** — the schema-before-data
+    ordering UCS mandates, and the discipline that keeps blind replay
+    sound: Theorem 4.1 modularity licenses replaying a frame without
+    re-checking only under the schema context it was checked against,
+    so the context must land on the replica first.  A ``folds`` field
+    marks a compaction fold: a follower standing exactly at the folded
+    frontier compacts locally instead of re-downloading the snapshot.
+
+``frames``
+    A raw byte slice of the primary's journal: committed frames and
+    *decided* 2PC pairs only.  An in-doubt ``#PREPARE`` never leaves
+    the primary — only its coordinator log can decide it, so shipping
+    it would manufacture in-doubt state on machines that cannot resolve
+    it.  :func:`repro.store.wal.verify_stream` enforces the contract on
+    both ends.
+
+Promotion (:func:`promote`) turns a follower's local copy into a
+writable primary: refuse if in-doubt 2PC state is visible, acquire the
+advisory lock, recover the committed prefix, and compact — a genuine
+generation bump that starts a new epoch, so frames from the old
+primary's history are recognisably stale ever after.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReplicaDivergedError, ReplicationError, StoreError
+from repro.ldif.writer import serialize_ldif
+from repro.model.attributes import AttributeRegistry
+from repro.schema.directory_schema import DirectorySchema
+from repro.schema.dsl import serialize_dsl
+from repro.store import wal
+from repro.store.journal import DirectoryStore
+from repro.store.manifest import Manifest, read_manifest, write_manifest
+from repro.store.reader import StoreReader
+from repro.store.recovery import (
+    JOURNAL_FILE,
+    REPLICA_STATE_FILE,
+    SNAPSHOT_FILE,
+    recover,
+)
+from repro.store.wal import StoreIO
+
+__all__ = [
+    "FrameSource",
+    "ReplicaApplier",
+    "StreamMessage",
+    "decode_stream_message",
+    "encode_frames_message",
+    "encode_schema_message",
+    "encode_snapshot_message",
+    "promote",
+    "pump",
+    "read_replica_state",
+    "schema_fingerprint",
+]
+
+#: Target byte size of one ``frames`` message.  Batches split at frame
+#: boundaries (never between a prepare and its decide) and may exceed
+#: this by one frame; it keeps every message far under the protocol's
+#: ``MAX_FRAME_BYTES``.
+STREAM_BATCH_BYTES = 1 << 20
+
+_SNAPSHOT_RETRIES = 3  # compaction-race retries, same as reader bootstrap
+
+
+def schema_fingerprint(schema: DirectorySchema) -> int:
+    """CRC32 over the schema's canonical DSL serialization.
+
+    The replication stream carries it on every ``snapshot`` and
+    ``schema`` message; a follower refuses frames checked under a
+    schema it does not hold — the re-validation discipline that keeps
+    a replica's legality verdicts trustworthy after catch-up.
+    """
+    return zlib.crc32(serialize_dsl(schema).encode("utf-8")) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# stream envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamMessage:
+    """One decoded replication-stream message."""
+
+    kind: str  # "snapshot" | "schema" | "frames"
+    generation: int
+    schema_crc: Optional[int] = None
+    snapshot: Optional[str] = None  # snapshot: full file text
+    base_seq: Optional[int] = None  # schema: seq the stream resumes at
+    folds: Optional[int] = None  # schema: folded frontier (compaction)
+    start_seq: Optional[int] = None  # frames: first frame's seq
+    data: Optional[bytes] = None  # frames: raw journal byte slice
+    records: Optional[List[wal.WalRecord]] = None  # frames: verified
+
+
+def _batch_crc(generation: int, start_seq: int, data: bytes) -> int:
+    return zlib.crc32(f"{generation}:{start_seq}:".encode() + data) & 0xFFFFFFFF
+
+
+def encode_snapshot_message(
+    generation: int, schema_crc: int, snapshot_text: str
+) -> dict:
+    """A ``snapshot`` message: the primary's snapshot file, verbatim."""
+    return {
+        "op": "repl",
+        "kind": "snapshot",
+        "generation": generation,
+        "schema_crc": schema_crc,
+        "snapshot": snapshot_text,
+    }
+
+
+def encode_schema_message(
+    generation: int,
+    schema_crc: int,
+    base_seq: int,
+    folds: Optional[int] = None,
+) -> dict:
+    """A ``schema`` message announcing ``generation``: stream continues
+    with data frames after ``base_seq``; ``folds`` marks a compaction
+    fold of the previous generation's frontier."""
+    message = {
+        "op": "repl",
+        "kind": "schema",
+        "generation": generation,
+        "schema_crc": schema_crc,
+        "base_seq": base_seq,
+    }
+    if folds is not None:
+        message["folds"] = folds
+    return message
+
+
+def encode_frames_message(generation: int, start_seq: int, data: bytes) -> dict:
+    """A ``frames`` message: a raw committed slice of the journal."""
+    return {
+        "op": "repl",
+        "kind": "frames",
+        "generation": generation,
+        "start_seq": start_seq,
+        "data": data.decode("utf-8"),
+        "crc": _batch_crc(generation, start_seq, data),
+    }
+
+
+def decode_stream_message(message: dict) -> StreamMessage:
+    """Validate and decode a stream message.
+
+    Raises :class:`ReplicationError` on structural damage, checksum
+    mismatch, or a ``frames`` payload violating the committed-slice
+    contract (:func:`repro.store.wal.verify_stream`).
+    """
+    if not isinstance(message, dict) or message.get("op") != "repl":
+        raise ReplicationError(f"not a replication stream message: {message!r}")
+    kind = message.get("kind")
+    generation = message.get("generation")
+    if not isinstance(generation, int) or generation < 1:
+        raise ReplicationError(
+            f"stream message carries bad generation {generation!r}"
+        )
+    if kind == "snapshot":
+        text = message.get("snapshot")
+        crc = message.get("schema_crc")
+        if not isinstance(text, str) or not isinstance(crc, int):
+            raise ReplicationError("malformed snapshot message")
+        snap_generation, _ = wal.decode_snapshot(text)
+        if snap_generation != generation:
+            raise ReplicationError(
+                f"snapshot header says generation {snap_generation}, "
+                f"message says {generation}"
+            )
+        return StreamMessage(
+            kind="snapshot", generation=generation, schema_crc=crc,
+            snapshot=text,
+        )
+    if kind == "schema":
+        base_seq = message.get("base_seq")
+        crc = message.get("schema_crc")
+        folds = message.get("folds")
+        if not isinstance(base_seq, int) or base_seq < 0 \
+                or not isinstance(crc, int) \
+                or (folds is not None and not isinstance(folds, int)):
+            raise ReplicationError("malformed schema message")
+        return StreamMessage(
+            kind="schema", generation=generation, schema_crc=crc,
+            base_seq=base_seq, folds=folds,
+        )
+    if kind == "frames":
+        start_seq = message.get("start_seq")
+        text = message.get("data")
+        crc = message.get("crc")
+        if not isinstance(start_seq, int) or start_seq < 1 \
+                or not isinstance(text, str) or not isinstance(crc, int):
+            raise ReplicationError("malformed frames message")
+        data = text.encode("utf-8")
+        if crc != _batch_crc(generation, start_seq, data):
+            raise ReplicationError("frames message checksum mismatch")
+        try:
+            records = wal.verify_stream(data, generation, start_seq)
+        except ValueError as exc:
+            raise ReplicationError(str(exc)) from exc
+        return StreamMessage(
+            kind="frames", generation=generation, start_seq=start_seq,
+            data=data, records=records,
+        )
+    raise ReplicationError(f"unknown stream message kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# primary side: the log shipper
+# ----------------------------------------------------------------------
+class FrameSource:
+    """Stateful per-follower journal follower on the primary.
+
+    Lock-free like :class:`StoreReader`: it reads the snapshot header
+    (O(1)) and the journal tail past its own offset (O(|Δ|)) while the
+    writer appends.  ``poll()`` returns the next stream messages — an
+    empty list means the follower is caught up right now.
+
+    It only ever ships the *committed* prefix: the cut stops in front
+    of an undecided prepare exactly where a reader's view would, and a
+    decided pair ships as one indivisible prepare+decide byte slice.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        *,
+        io: Optional[StoreIO] = None,
+        batch_bytes: int = STREAM_BATCH_BYTES,
+    ) -> None:
+        self._dir = directory
+        self._schema_crc = schema_fingerprint(schema)
+        self._io = io if io is not None else StoreIO()
+        self._batch_bytes = batch_bytes
+        self._generation: Optional[int] = None  # None → ship a snapshot
+        self._seq = 0
+        self._offset = 0
+        self._pending_announce = False
+
+    # -- public surface ------------------------------------------------
+    @property
+    def position(self) -> Tuple[int, int]:
+        """``(generation, seq)`` of the last shipped frame (0, 0) while
+        unattached."""
+        return (self._generation or 0, self._seq)
+
+    def attach(self, generation: int, seq: int) -> bool:
+        """Position the stream at a follower's durable position.
+
+        Returns ``True`` when the stream can continue incrementally (a
+        ``schema`` resume announcement will precede data); ``False``
+        when the follower needs a snapshot, which the next ``poll()``
+        ships.  ``(0, 0)`` — a fresh follower — always snapshots.
+        """
+        self._generation = None
+        self._pending_announce = False
+        if generation < 1 or seq < 0:
+            return False
+        if self._head_generation() != generation:
+            return False
+        try:
+            data = self._io.read_bytes(self._journal_path())
+        except OSError:
+            data = b""
+        scanned = wal.scan(data, expect_generation=generation)
+        records = scanned.records
+        if seq == 0:
+            offset = 0
+        else:
+            if not records or records[0].seq != 1:
+                return False
+            match = next((r for r in records if r.seq == seq), None)
+            if match is None or match.kind == "prepare":
+                return False
+            offset = match.end
+        # Close the compaction race: the journal we just scanned must
+        # still belong to the generation we are attaching to.
+        if self._head_generation() != generation:
+            return False
+        self._generation, self._seq, self._offset = generation, seq, offset
+        self._pending_announce = True
+        return True
+
+    def poll(self) -> List[dict]:
+        """The next stream messages (empty list = caught up)."""
+        if self._generation is None:
+            return self._snapshot_messages()
+        head = self._head_generation()
+        if head is None:
+            return []  # snapshot mid-publish; retry next poll
+        if head != self._generation:
+            return self._resolve_generation_change(head)
+        messages = []
+        if self._pending_announce:
+            messages.append(
+                encode_schema_message(
+                    self._generation, self._schema_crc, self._seq
+                )
+            )
+            self._pending_announce = False
+        try:
+            data = self._io.read_bytes_from(self._journal_path(), self._offset)
+        except OSError:
+            return messages  # journal mid-swap; retry next poll
+        if not data:
+            return messages
+        scanned = wal.scan(data, expect_generation=self._generation)
+        cut_bytes, cut_seq = self._committed_cut(scanned)
+        if cut_bytes < 0:
+            # The bytes at our offset no longer continue our position:
+            # the journal was swapped underneath us.  A compaction shows
+            # up in the header; anything else forces a snapshot resync.
+            head = self._head_generation()
+            if head is not None and head != self._generation:
+                return messages + self._resolve_generation_change(head)
+            self._generation = None
+            return messages + self._snapshot_messages()
+        if cut_bytes == 0:
+            return messages
+        messages.extend(self._frame_messages(data[:cut_bytes], self._seq + 1))
+        self._seq = cut_seq
+        self._offset += cut_bytes
+        return messages
+
+    # -- internals -----------------------------------------------------
+    def _snapshot_path(self) -> str:
+        return os.path.join(self._dir, SNAPSHOT_FILE)
+
+    def _journal_path(self) -> str:
+        return os.path.join(self._dir, JOURNAL_FILE)
+
+    def _head_generation(self) -> Optional[int]:
+        try:
+            return wal.header_generation(
+                self._io.read_head(self._snapshot_path())
+            )
+        except OSError:
+            return None
+
+    def _snapshot_messages(self) -> List[dict]:
+        for _ in range(_SNAPSHOT_RETRIES):
+            try:
+                text = self._io.read_text(self._snapshot_path())
+            except OSError:
+                continue
+            generation, _ = wal.decode_snapshot(text)
+            if generation == wal.LEGACY_GENERATION:
+                raise ReplicationError(
+                    f"{self._dir} is a legacy (pre-WAL) store; open it "
+                    "once with a writer to upgrade before replicating"
+                )
+            self._generation, self._seq, self._offset = generation, 0, 0
+            self._pending_announce = False
+            return [
+                encode_snapshot_message(generation, self._schema_crc, text),
+                encode_schema_message(generation, self._schema_crc, 0),
+            ]
+        return []
+
+    def _committed_cut(self, scanned: wal.ScanResult) -> Tuple[int, int]:
+        """Bytes/seq of the shippable prefix of a tail scan.
+
+        Returns ``(-1, 0)`` when the tail does not continue this
+        source's position (journal swapped), ``(0, seq)`` when nothing
+        new is committed yet, else the byte length up to — and the seq
+        of — the last frame whose 2PC fate is decided.
+        """
+        records = scanned.records
+        if not records:
+            # A torn tail is the writer mid-append: wait.  A corrupt
+            # first byte means we are reading a different file.
+            if scanned.tail_state == "corrupt":
+                return -1, 0
+            return 0, self._seq
+        if records[0].seq != self._seq + 1 \
+                or records[0].generation != self._generation:
+            return -1, 0
+        _, pending = wal.resolve_decided(records)
+        if pending is not None:
+            if pending is records[0]:
+                return 0, self._seq
+            return pending.offset, pending.seq - 1
+        return records[-1].end, records[-1].seq
+
+    def _frame_messages(self, raw: bytes, start_seq: int) -> List[dict]:
+        """Split a committed slice into batches at decided boundaries."""
+        assert self._generation is not None
+        scanned = wal.scan(raw, expect_generation=self._generation)
+        messages = []
+        begin, first_seq = 0, start_seq
+        pending = False
+        for record in scanned.records:
+            if record.kind == "prepare":
+                pending = True
+            elif record.kind == "decide":
+                pending = False
+            if pending:
+                continue  # never cut between a prepare and its decide
+            if record.end - begin >= self._batch_bytes:
+                messages.append(
+                    encode_frames_message(
+                        self._generation, first_seq, raw[begin:record.end]
+                    )
+                )
+                begin, first_seq = record.end, record.seq + 1
+        if begin < len(raw):
+            messages.append(
+                encode_frames_message(self._generation, first_seq, raw[begin:])
+            )
+        return messages
+
+    def _resolve_generation_change(self, head: int) -> List[dict]:
+        """The primary compacted.  Fold if provable, else resync.
+
+        A fold is provable when the new manifest records the folded
+        frontier and it equals everything we shipped, or when the old
+        journal still sits on disk (the crash window between snapshot
+        publish and journal reset) and scans as a complete decided
+        history we can finish shipping.
+        """
+        self._pending_announce = False
+        if head == self._generation + 1:
+            manifest = read_manifest(self._dir, self._io)
+            if (
+                manifest is not None
+                and manifest.generation == head
+                and manifest.folded_seq == self._seq
+            ):
+                self._generation, self._seq, self._offset = head, 0, 0
+                return [
+                    encode_schema_message(
+                        head, self._schema_crc, 0, folds=manifest.folded_seq
+                    )
+                ]
+            messages = self._finish_old_generation(head)
+            if messages is not None:
+                return messages
+        self._generation = None
+        return self._snapshot_messages()
+
+    def _finish_old_generation(self, head: int) -> Optional[List[dict]]:
+        try:
+            data = self._io.read_bytes(self._journal_path())
+        except OSError:
+            return None
+        if not data or self._offset > len(data):
+            return None
+        scanned = wal.scan(data, expect_generation=self._generation)
+        records = scanned.records
+        if (
+            scanned.tail_state != "clean"
+            or not records
+            or records[0].seq != 1
+            or any(r.generation != self._generation for r in records)
+        ):
+            return None
+        _, pending = wal.resolve_decided(records)
+        if pending is not None or records[-1].seq < self._seq:
+            return None
+        boundary = 0 if self._seq == 0 else next(
+            (r.end for r in records if r.seq == self._seq), None
+        )
+        if boundary != self._offset:
+            return None
+        remainder = data[self._offset:]
+        messages = []
+        if remainder:
+            messages.extend(self._frame_messages(remainder, self._seq + 1))
+        fold_seq = records[-1].seq
+        messages.append(
+            encode_schema_message(head, self._schema_crc, 0, folds=fold_seq)
+        )
+        self._generation, self._seq, self._offset = head, 0, 0
+        return messages
+
+
+# ----------------------------------------------------------------------
+# replica side: the applier
+# ----------------------------------------------------------------------
+class ReplicaApplier:
+    """A follower's local copy: its own WAL, fed by the stream.
+
+    Owns the store directory (advisory lock held while open — two
+    appliers scribbling one journal would corrupt it), appends shipped
+    frames to the local journal with fsync, and replays them through an
+    embedded :class:`StoreReader` — the identical bootstrap/replay path
+    every reader uses, so the replica's view *is* a reader's view.  A
+    restarted applier recovers its durable position (torn tail
+    truncated exactly like any crashed store) and resumes from there.
+
+    The full read surface is the embedded reader: ``instance`` for
+    search/check, ``position()``/``lag()``/``status()`` for
+    introspection.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
+        upstream: Optional[str] = None,
+    ) -> None:
+        self.directory = directory
+        self._schema = schema
+        self._registry = registry
+        self._io = io if io is not None else StoreIO()
+        self.schema_crc = schema_fingerprint(schema)
+        self.upstream = upstream
+        self.reader: Optional[StoreReader] = None
+        self._announced: Optional[int] = None
+        self._closed = False
+        #: Last known primary frontier ``(generation, seq)`` — updated
+        #: by whoever drives the stream; lag introspection only.
+        self.frontier: Optional[Tuple[int, int]] = None
+        self.frames_applied = 0
+        self.bytes_applied = 0
+        self.snapshots_installed = 0
+        os.makedirs(directory, exist_ok=True)
+        self._lock = DirectoryStore._acquire_lock(directory)
+        try:
+            if os.path.exists(os.path.join(directory, SNAPSHOT_FILE)):
+                # Truncate a torn tail from a crashed append before
+                # tailing again: appending past torn bytes would turn a
+                # benign crash into a corrupt journal.
+                recover(directory, io=self._io, repair=True)
+                self.reader = StoreReader.open(
+                    directory, schema, registry, io=self._io
+                )
+            state = read_replica_state(directory)
+            if state is not None and self.upstream is None:
+                self.upstream = state.get("upstream")
+        except BaseException:
+            DirectoryStore._release_lock(self._lock)
+            raise
+
+    # -- read surface --------------------------------------------------
+    @property
+    def instance(self):
+        """The replica's current directory instance (read surface)."""
+        self._ensure_open()
+        if self.reader is None:
+            raise StoreError(
+                f"replica {self.directory} holds no state yet; it needs "
+                "a snapshot from its primary"
+            )
+        return self.reader.instance
+
+    def position(self) -> Tuple[int, int]:
+        """``(generation, seq)`` durably applied — ``(0, 0)`` before
+        the first snapshot lands."""
+        if self.reader is None:
+            return (0, 0)
+        return self.reader.position()
+
+    def lag_frames(self) -> Optional[int]:
+        """Frames behind the last known primary frontier (``None``
+        until a frontier was observed or across a generation switch)."""
+        if self.frontier is None:
+            return None
+        generation, seq = self.position()
+        if generation != self.frontier[0]:
+            return None
+        return max(0, self.frontier[1] - seq)
+
+    def status(self) -> dict:
+        """Introspection snapshot for CLI/fsck reporting."""
+        generation, seq = self.position()
+        return {
+            "directory": self.directory,
+            "upstream": self.upstream,
+            "generation": generation,
+            "seq": seq,
+            "frontier": self.frontier,
+            "lag_frames": self.lag_frames(),
+            "frames_applied": self.frames_applied,
+            "bytes_applied": self.bytes_applied,
+            "snapshots_installed": self.snapshots_installed,
+        }
+
+    # -- stream application --------------------------------------------
+    def apply_message(self, message) -> StreamMessage:
+        """Apply one stream message durably; returns the decoded form.
+
+        Raises :class:`ReplicationError` on contract violations —
+        notably data frames whose generation no schema frame announced
+        (the schema-before-data ordering is *enforced*, not assumed) —
+        and :class:`ReplicaDivergedError` when the local position
+        cannot align with the stream (resync from a snapshot).
+        """
+        self._ensure_open()
+        decoded = (
+            message
+            if isinstance(message, StreamMessage)
+            else decode_stream_message(message)
+        )
+        if decoded.kind == "snapshot":
+            self._install_snapshot(decoded)
+        elif decoded.kind == "schema":
+            self._handle_schema(decoded)
+        else:
+            self._apply_frames(decoded)
+        self._save_state()
+        return decoded
+
+    def close(self) -> None:
+        """Release the reader and the advisory lock (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.reader is not None:
+            self.reader.close()
+            self.reader = None
+        DirectoryStore._release_lock(self._lock)
+
+    def __enter__(self) -> "ReplicaApplier":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError(f"replica applier for {self.directory} is closed")
+
+    def _check_schema(self, decoded: StreamMessage) -> None:
+        if decoded.schema_crc != self.schema_crc:
+            raise ReplicationError(
+                f"schema fingerprint mismatch: primary streams under "
+                f"0x{decoded.schema_crc:08x}, replica holds "
+                f"0x{self.schema_crc:08x}; frames checked under a "
+                "different schema cannot be blindly replayed"
+            )
+
+    def _install_snapshot(self, decoded: StreamMessage) -> None:
+        self._check_schema(decoded)
+        assert decoded.snapshot is not None
+        self._io.fault_point("repl:snapshot-install")
+        self._io.write_file_atomic(
+            os.path.join(self.directory, SNAPSHOT_FILE),
+            decoded.snapshot.encode("utf-8"),
+        )
+        self._io.fault_point("repl:journal-reset")
+        self._io.write_file_atomic(
+            os.path.join(self.directory, JOURNAL_FILE), b""
+        )
+        self._publish_manifest(decoded.generation)
+        # A snapshot installs state but does not license data frames:
+        # the stream must still announce the generation (schema first).
+        self._announced = None
+        if self.reader is not None:
+            self.reader.close()
+        self.reader = StoreReader.open(
+            self.directory, self._schema, self._registry, io=self._io
+        )
+        if self.reader.position() != (decoded.generation, 0):
+            raise ReplicationError(
+                f"installed snapshot generation {decoded.generation} but "
+                f"the local view bootstrapped at {self.reader.position()}"
+            )
+        self.snapshots_installed += 1
+
+    def _handle_schema(self, decoded: StreamMessage) -> None:
+        self._check_schema(decoded)
+        assert decoded.base_seq is not None
+        pos = self.position()
+        if pos == (decoded.generation, decoded.base_seq):
+            self._announced = decoded.generation
+            return
+        if (
+            decoded.folds is not None
+            and decoded.base_seq == 0
+            and pos == (decoded.generation - 1, decoded.folds)
+        ):
+            self._fold(decoded.generation, decoded.folds)
+            self._announced = decoded.generation
+            return
+        raise ReplicaDivergedError(
+            f"replica at {pos} cannot align with announced generation "
+            f"{decoded.generation} (base seq {decoded.base_seq}, folds "
+            f"{decoded.folds}); resync from a snapshot"
+        )
+
+    def _fold(self, generation: int, folded_seq: int) -> None:
+        """Compact locally: our state at the folded frontier *is* the
+        new generation's snapshot, so write it from our own instance
+        instead of re-downloading — same serialization the primary's
+        ``compact()`` used, hence byte-identical."""
+        assert self.reader is not None
+        text = wal.encode_snapshot(
+            generation, serialize_ldif(self.reader.instance)
+        )
+        self._io.fault_point("repl:fold-snapshot")
+        self._io.write_file_atomic(
+            os.path.join(self.directory, SNAPSHOT_FILE), text.encode("utf-8")
+        )
+        self._io.fault_point("repl:fold-journal")
+        self._io.write_file_atomic(
+            os.path.join(self.directory, JOURNAL_FILE), b""
+        )
+        self._publish_manifest(generation, folded_seq=folded_seq)
+        result = self.reader.refresh()
+        if self.reader.position() != (generation, 0):
+            raise ReplicationError(
+                f"local fold to generation {generation} left the view at "
+                f"{self.reader.position()} ({result.note or 'no note'})"
+            )
+
+    def _apply_frames(self, decoded: StreamMessage) -> None:
+        assert decoded.records is not None and decoded.data is not None
+        if self._announced != decoded.generation:
+            raise ReplicationError(
+                f"data frames for generation {decoded.generation} arrived "
+                f"before a schema frame announced it (announced: "
+                f"{self._announced}); schema frames must precede data"
+            )
+        assert self.reader is not None
+        generation, seq = self.position()
+        if generation != decoded.generation:
+            raise ReplicaDivergedError(
+                f"replica at generation {generation} received frames for "
+                f"generation {decoded.generation}"
+            )
+        last_seq = decoded.records[-1].seq
+        if last_seq <= seq:
+            return  # duplicate delivery (reconnect overlap): idempotent
+        if decoded.start_seq != seq + 1:
+            raise ReplicaDivergedError(
+                f"replica at seq {seq} received frames starting at "
+                f"{decoded.start_seq}; the stream has a gap"
+            )
+        self._io.fault_point("repl:frames-append")
+        self._io.append_bytes(
+            os.path.join(self.directory, JOURNAL_FILE), decoded.data
+        )
+        result = self.reader.refresh()
+        if self.reader.position() != (generation, last_seq):
+            raise ReplicationError(
+                f"appended frames through seq {last_seq} but the view "
+                f"stands at {self.reader.position()} "
+                f"({result.note or 'no note'})"
+            )
+        self.frames_applied += len(decoded.records)
+        self.bytes_applied += len(decoded.data)
+
+    def _publish_manifest(
+        self, generation: int, folded_seq: Optional[int] = None
+    ) -> None:
+        current = read_manifest(self.directory, self._io)
+        if current is None:
+            manifest = Manifest(
+                version=1, generation=generation, role="replica",
+                folded_seq=folded_seq,
+            )
+        else:
+            manifest = dataclasses.replace(
+                current.bump(generation=generation),
+                role="replica", folded_seq=folded_seq,
+            )
+        self._io.fault_point("repl:manifest")
+        write_manifest(self.directory, manifest, self._io)
+
+    def _save_state(self) -> None:
+        generation, seq = self.position()
+        payload = {
+            "upstream": self.upstream,
+            "generation": generation,
+            "seq": seq,
+            "schema_crc": self.schema_crc,
+        }
+        self._io.fault_point("repl:state")
+        self._io.write_file_atomic(
+            os.path.join(self.directory, REPLICA_STATE_FILE),
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+
+def read_replica_state(directory: str) -> Optional[dict]:
+    """The advisory ``replica.state`` file, or ``None`` when absent or
+    damaged (it never gates anything; the WAL is the truth)."""
+    path = os.path.join(directory, REPLICA_STATE_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def pump(source: FrameSource, applier: ReplicaApplier, limit: int = 1000) -> int:
+    """Drain ``source`` into ``applier`` until a poll comes back empty.
+
+    The in-process transport: the crash matrix and the lag bench drive
+    replication through the identical message objects the server ships
+    over its sockets.  Returns the number of messages applied.
+    """
+    applied = 0
+    for _ in range(limit):
+        batch = source.poll()
+        if not batch:
+            return applied
+        for message in batch:
+            applier.apply_message(message)
+            applied += 1
+    raise ReplicationError(
+        f"pump did not converge within {limit} polls; the source keeps "
+        "producing messages"
+    )
+
+
+# ----------------------------------------------------------------------
+# promotion
+# ----------------------------------------------------------------------
+def promote(
+    directory: str,
+    schema: DirectorySchema,
+    registry: Optional[AttributeRegistry] = None,
+    *,
+    io: Optional[StoreIO] = None,
+) -> DirectoryStore:
+    """Promote a follower's local copy to a writable primary.
+
+    Steps, each behind a named fault point so the failover crash
+    matrix can kill between any two:
+
+    1. ``promote:inspect`` — a read-only recovery pass; refuse with a
+       clear error if an in-doubt 2PC prepare is visible (only the old
+       primary's coordinator log can decide it) or the copy is
+       corrupt beyond its committed prefix.
+    2. ``promote:open`` — open as a writer: acquires the advisory
+       lock, recovers the committed prefix, truncates a torn tail.
+    3. ``promote:compact`` — compact: a genuine generation bump that
+       starts a new epoch, so any frame the old primary might still
+       ship is recognisably stale.
+    4. ``promote:state`` — drop the advisory ``replica.state`` marker.
+
+    Returns the open, writable store; the caller owns closing it.
+    A crash at any point leaves a copy that recovers to the same
+    committed prefix and can be promoted again.
+    """
+    io = io if io is not None else StoreIO()
+    io.fault_point("promote:inspect")
+    _, report = recover(directory, schema, registry, io=io, repair=False)
+    if report.in_doubt_txid is not None:
+        raise StoreError(
+            f"refusing to promote {directory}: in-doubt 2PC transaction "
+            f"{report.in_doubt_txid} is visible at the replication "
+            "frontier; only the old primary's coordinator log can decide "
+            "it — resolve it there (recover --shards) or discard the "
+            "prepare explicitly before promoting"
+        )
+    if report.read_only:
+        raise StoreError(
+            f"refusing to promote {directory}: recovery found damage "
+            "beyond the committed prefix (corrupt tail); run `recover "
+            "--force` and inspect the quarantine first"
+        )
+    io.fault_point("promote:open")
+    store = DirectoryStore.open(directory, schema, registry, io=io)
+    try:
+        io.fault_point("promote:compact")
+        store.compact()
+        io.fault_point("promote:state")
+        state_path = os.path.join(directory, REPLICA_STATE_FILE)
+        if os.path.exists(state_path):
+            os.unlink(state_path)
+    except BaseException:
+        store.close()
+        raise
+    return store

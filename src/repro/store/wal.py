@@ -350,6 +350,46 @@ def resolve_decided(
     return visible, pending
 
 
+def verify_stream(data: bytes, generation: int, start_seq: int) -> List[WalRecord]:
+    """Validate raw frame bytes against the replication-stream contract.
+
+    A frames batch shipped to a replica must be an exact byte slice of
+    the primary's journal: a clean scan (no torn or corrupt tail, no
+    trailing bytes), every frame stamped ``generation``, sequence
+    numbers contiguous from ``start_seq``, and no undecided prepare —
+    in-doubt 2PC state never leaves the primary, so a decided pair
+    arrives as adjacent ``#PREPARE``/``#DECIDE`` frames or not at all.
+    Returns the scanned records; raises :class:`ValueError` with the
+    violated rule otherwise.
+    """
+    scanned = scan(data, expect_generation=generation)
+    if scanned.tail_state != "clean":
+        raise ValueError(
+            f"stream batch is not a clean frame slice: {scanned.tail_state}"
+            f" ({scanned.tail_reason})"
+        )
+    if not scanned.records:
+        raise ValueError("stream batch carries no frames")
+    first = scanned.records[0]
+    if first.seq != start_seq:
+        raise ValueError(
+            f"stream batch starts at seq {first.seq}, expected {start_seq}"
+        )
+    for record in scanned.records:
+        if record.generation != generation:
+            raise ValueError(
+                f"stream batch frame seq {record.seq} is generation"
+                f" {record.generation}, expected {generation}"
+            )
+    _, pending = resolve_decided(scanned.records)
+    if pending is not None:
+        raise ValueError(
+            f"stream batch ends in undecided prepare {pending.txid!r};"
+            " in-doubt 2PC frames must stay on the primary"
+        )
+    return scanned.records
+
+
 # ----------------------------------------------------------------------
 # snapshot header
 # ----------------------------------------------------------------------

@@ -1,0 +1,291 @@
+"""Failover crash-consistency harness for WAL-shipping replication.
+
+The scenario drives one deterministic replication lifecycle with the
+replica's I/O fault-injected (the primary's own crash safety is already
+pinned by ``tests/test_store_faults.py``): bootstrap from a shipped
+snapshot, follow incrementally, fold a primary compaction locally,
+follow again, then promote the replica to writer.  The primary side
+runs clean I/O, so every run commits the identical history and records
+a *differential oracle*: the digest of the primary's instance at every
+committed position, plus the exact journal/snapshot bytes of each
+generation.
+
+The property checked after killing the replica at any I/O boundary —
+or at any named protocol step (``repl:snapshot-install`` …
+``promote:state``) — and recovering:
+
+1. **committed prefix**: the recovered replica sits at a position the
+   primary really committed, with the digest the primary had there —
+   never a state the primary did not pass through, and never short of
+   a frame the replica had durably applied;
+2. **byte identity**: the recovered journal is byte-for-byte a prefix
+   of the primary's journal for that generation, and the snapshot is
+   byte-identical to the primary's for that generation;
+3. **no loss on resume**: reattaching a fresh applier catches the
+   replica up to the primary's frontier;
+4. **promotability**: a clean ``promote`` then succeeds, the promoted
+   store holds exactly the frontier state, and it accepts new writes.
+
+A separate scenario pins the refusal: promotion of a copy holding a
+visible in-doubt ``#PREPARE`` fails with a clear error, while the
+replication cut itself never ships the in-doubt frame in the first
+place.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from harness.stress import state_digest
+from repro.store import DirectoryStore
+from repro.store.faults import FaultPlan, FaultyIO, InjectedCrash
+from repro.store.recovery import JOURNAL_FILE, SNAPSHOT_FILE, recover
+from repro.store.replicate import FrameSource, ReplicaApplier, promote, pump
+from repro.workloads import (
+    figure1_instance,
+    random_transaction,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+#: The primary's final committed position in the scenario (generation 2
+#: after one compaction, one commit past the fold).
+FRONTIER = (2, 1)
+
+
+def _read(directory: str, name: str) -> bytes:
+    """File bytes; a missing journal reads as empty (a crash between
+    snapshot install and journal creation leaves exactly that, and
+    recovery treats it as an empty journal)."""
+    try:
+        with open(os.path.join(directory, name), "rb") as fh:
+            return fh.read()
+    except FileNotFoundError:
+        if name == JOURNAL_FILE:
+            return b""
+        raise
+
+
+def scenario_tx(i: int):
+    """A deterministic insert transaction (one unit + its person).
+
+    ``random_transaction`` draws entry names from a process-global
+    counter, so it is not reproducible across scenarios in one process;
+    the crash matrix rebuilds the primary per crash point and needs the
+    histories byte-identical, hence fixed transactions like the 2PC
+    harness uses."""
+    from repro.updates.operations import UpdateTransaction
+
+    unit_dn = f"ou=repl{i},ou=databases,ou=attLabs,o=att"
+    return (
+        UpdateTransaction()
+        .insert(unit_dn, ["orgUnit", "orgGroup", "top"], {"ou": [f"repl{i}"]})
+        .insert(
+            f"uid=repl{i},{unit_dn}",
+            ["person", "top"],
+            {"uid": [f"repl{i}"], "name": [f"repl {i}"]},
+        )
+    )
+
+
+def _commit(store: DirectoryStore, i: int) -> None:
+    outcome = store.apply(scenario_tx(i))
+    assert outcome.applied, f"scenario transaction {i} rejected: {outcome}"
+
+
+def run_replication_scenario(primary_dir: str, replica_dir: str, io):
+    """Drive the full lifecycle with the replica side under ``io``.
+
+    Returns ``(oracle, journals, snapshots)``: digests by committed
+    position, and the primary's journal/snapshot bytes per generation.
+    Raises whatever fault ``io`` injects; the primary store and the
+    applier's advisory lock are released either way (a killed process
+    would drop the flock)."""
+    schema, registry = whitepages_schema(), whitepages_registry()
+    store = DirectoryStore.create(
+        primary_dir, schema, figure1_instance(), registry
+    )
+    oracle, journals, snapshots = {}, {}, {}
+    applier = None
+    try:
+        oracle[(1, 0)] = state_digest(store.instance)
+        snapshots[1] = _read(primary_dir, SNAPSHOT_FILE)
+        for i in range(2):
+            _commit(store, i)
+            oracle[(1, store.journal_length)] = state_digest(store.instance)
+
+        source = FrameSource(primary_dir, schema)
+        applier = ReplicaApplier(
+            replica_dir, schema, registry, io=io, upstream="crash-harness"
+        )
+        pump(source, applier)  # snapshot bootstrap + first frames
+
+        for i in range(2, 4):
+            _commit(store, i)
+            oracle[(1, store.journal_length)] = state_digest(store.instance)
+        journals[1] = _read(primary_dir, JOURNAL_FILE)
+        pump(source, applier)  # incremental follow
+
+        store.compact()
+        oracle[(2, 0)] = state_digest(store.instance)
+        snapshots[2] = _read(primary_dir, SNAPSHOT_FILE)
+        pump(source, applier)  # local fold (no snapshot re-download)
+
+        _commit(store, 4)
+        oracle[(2, 1)] = state_digest(store.instance)
+        journals[2] = _read(primary_dir, JOURNAL_FILE)
+        pump(source, applier)  # follow past the fold
+
+        applier.close()
+        applier = None
+        promoted = promote(replica_dir, schema, registry, io=io)
+        promoted.close()
+        # Promotion compacts: a new epoch holding exactly the frontier.
+        oracle[(3, 0)] = oracle[FRONTIER]
+    finally:
+        if applier is not None:
+            applier.close()
+        store.close()
+    return oracle, journals, snapshots
+
+
+def dry_run(tmp_path):
+    """Undisturbed run: the oracle, the op count, and the named fault
+    points crossed (in order)."""
+    io = FaultyIO(FaultPlan())
+    oracle, journals, snapshots = run_replication_scenario(
+        str(tmp_path / "dry-primary"), str(tmp_path / "dry-replica"), io
+    )
+    return oracle, journals, snapshots, io.plan
+
+
+def assert_replica_recovers(
+    primary_dir: str,
+    replica_dir: str,
+    oracle,
+    journals,
+    snapshots,
+    label: str,
+) -> None:
+    """Properties 1–4 above for one crashed replica directory.
+
+    The resume/promotion targets are *this run's* primary frontier —
+    a crash early in the scenario stops the primary's clean-I/O side
+    wherever the injected fault aborted the driver, so the dry run's
+    final frontier may not exist yet in this directory pair."""
+    schema, registry = whitepages_schema(), whitepages_registry()
+    _, primary_report = recover(primary_dir, schema, registry, repair=False)
+    frontier = (primary_report.generation, primary_report.last_seq)
+    assert frontier in oracle, (
+        f"{label}: the crashed run's primary stopped at {frontier}, "
+        "which the dry run never recorded"
+    )
+    position = None
+    if os.path.exists(os.path.join(replica_dir, SNAPSHOT_FILE)):
+        instance, report = recover(replica_dir, schema, registry, repair=True)
+        assert report.in_doubt_txid is None, (
+            f"{label}: replication manufactured in-doubt 2PC state "
+            f"({report.in_doubt_txid})"
+        )
+        assert not report.read_only, (
+            f"{label}: crash left damage beyond a torn tail: "
+            f"{report.summary()}"
+        )
+        position = (report.generation, report.last_seq)
+        assert position in oracle, (
+            f"{label}: recovered position {position} is not a committed "
+            "primary state"
+        )
+        assert state_digest(instance) == oracle[position], (
+            f"{label}: recovered state at {position} differs from the "
+            "primary's committed state there"
+        )
+        if position[0] in journals:
+            local = _read(replica_dir, JOURNAL_FILE)
+            assert journals[position[0]].startswith(local), (
+                f"{label}: recovered journal is not a byte prefix of the "
+                f"primary's generation-{position[0]} journal"
+            )
+        if position[0] in snapshots:
+            assert _read(replica_dir, SNAPSHOT_FILE) == snapshots[position[0]], (
+                f"{label}: recovered snapshot is not byte-identical to "
+                f"the primary's generation-{position[0]} snapshot"
+            )
+
+    if position is None or position[0] <= frontier[0]:
+        # Still a follower: resuming must reach the frontier losslessly.
+        applier = ReplicaApplier(replica_dir, schema, registry)
+        try:
+            source = FrameSource(primary_dir, schema)
+            source.attach(*applier.position())
+            pump(source, applier)
+            assert applier.position() == frontier, (
+                f"{label}: resumed replica stuck at {applier.position()}, "
+                f"primary's frontier is {frontier}"
+            )
+            assert state_digest(applier.reader.instance) == oracle[frontier], (
+                f"{label}: resumed replica diverged at the frontier"
+            )
+        finally:
+            applier.close()
+
+    # Promotion from any committed prefix succeeds and keeps exactly
+    # the frontier state (the replica above was resumed to it).
+    promoted = promote(replica_dir, schema, registry)
+    try:
+        assert state_digest(promoted.instance) == oracle[frontier], (
+            f"{label}: promoted store does not hold the frontier state"
+        )
+        outcome = promoted.apply(
+            random_transaction(promoted.instance, inserts=1, seed=999)
+        )
+        assert outcome.applied, (
+            f"{label}: promoted store rejected a fresh write: {outcome}"
+        )
+    finally:
+        promoted.close()
+
+
+def run_point_matrix(tmp_path, oracle, journals, snapshots, points) -> int:
+    """Kill the replica at every named protocol step; returns how many
+    crashes actually fired (a point after the promote handoff may sit
+    past the plan's reach on some runs — never silently zero)."""
+    fired = 0
+    for index, name in enumerate(points):
+        primary_dir = str(tmp_path / f"pt{index}-primary")
+        replica_dir = str(tmp_path / f"pt{index}-replica")
+        io = FaultyIO(FaultPlan(crash_at_point=name))
+        with pytest.raises(InjectedCrash):
+            run_replication_scenario(primary_dir, replica_dir, io)
+        fired += 1
+        assert_replica_recovers(
+            primary_dir, replica_dir, oracle, journals, snapshots,
+            label=f"crash at point {name!r}",
+        )
+    return fired
+
+
+def run_op_matrix(
+    tmp_path, oracle, journals, snapshots, total_ops: int,
+    stride: int = 5, fractions=(1.0,),
+) -> int:
+    """Kill the replica at every ``stride``-th I/O operation × torn
+    fraction; returns the number of crash runs performed."""
+    runs = 0
+    for crash_op in range(0, total_ops, stride):
+        for fraction in fractions:
+            primary_dir = str(tmp_path / f"op{crash_op}-f{fraction}-primary")
+            replica_dir = str(tmp_path / f"op{crash_op}-f{fraction}-replica")
+            io = FaultyIO(
+                FaultPlan(crash_at_op=crash_op, torn_fraction=fraction)
+            )
+            with pytest.raises(InjectedCrash):
+                run_replication_scenario(primary_dir, replica_dir, io)
+            runs += 1
+            assert_replica_recovers(
+                primary_dir, replica_dir, oracle, journals, snapshots,
+                label=f"crash at op {crash_op} torn={fraction}",
+            )
+    return runs

@@ -1,0 +1,263 @@
+"""Unit tests for the WAL-shipping replication layer.
+
+The crash matrix (``tests/test_replication_crash.py``) and the
+multi-process stress harness pin the end-to-end properties; this file
+pins the individual contracts of :mod:`repro.store.replicate`: the
+stream envelope's validation, the shipper's attach/poll state machine,
+the applier's enforced schema-before-data ordering, duplicate and gap
+handling, durable resume, the local compaction fold, and promotion's
+generation bump.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from harness.stress import state_digest
+from repro.errors import (
+    ReplicaDivergedError,
+    ReplicationError,
+    StoreError,
+    StoreLockedError,
+)
+from repro.store import DirectoryStore
+from repro.store.manifest import read_manifest
+from repro.store.recovery import REPLICA_STATE_FILE
+from repro.store.replicate import (
+    FrameSource,
+    ReplicaApplier,
+    decode_stream_message,
+    encode_schema_message,
+    promote,
+    pump,
+    read_replica_state,
+    schema_fingerprint,
+)
+from repro.workloads import (
+    figure1_instance,
+    random_transaction,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+
+@pytest.fixture
+def primary(tmp_path):
+    schema, registry = whitepages_schema(), whitepages_registry()
+    primary_dir = str(tmp_path / "primary")
+    store = DirectoryStore.create(
+        primary_dir, schema, figure1_instance(), registry
+    )
+    yield store, primary_dir, schema, registry, str(tmp_path / "replica")
+    store.close()
+
+
+def _commit(store, count=1):
+    for i in range(count):
+        outcome = store.apply(
+            random_transaction(store.instance, inserts=1, seed=i)
+        )
+        assert outcome.applied
+
+
+class TestEnvelope:
+    def test_rejects_non_replication_message(self):
+        with pytest.raises(ReplicationError, match="not a replication"):
+            decode_stream_message({"op": "search", "filter": "(uid=*)"})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ReplicationError, match="unknown stream message"):
+            decode_stream_message(
+                {"op": "repl", "kind": "gossip", "generation": 1}
+            )
+
+    def test_rejects_malformed_frames_message(self):
+        with pytest.raises(ReplicationError, match="malformed frames"):
+            decode_stream_message(
+                {"op": "repl", "kind": "frames", "generation": 1}
+            )
+
+    def test_fingerprint_is_deterministic(self):
+        crc = schema_fingerprint(whitepages_schema())
+        assert crc == schema_fingerprint(whitepages_schema())
+        assert 0 <= crc <= 0xFFFFFFFF
+
+
+class TestFrameSource:
+    def test_fresh_follower_gets_snapshot_then_schema(self, primary):
+        store, primary_dir, schema, _, _ = primary
+        source = FrameSource(primary_dir, schema)
+        assert source.attach(0, 0) is False
+        kinds = [m["kind"] for m in source.poll()]
+        assert kinds == ["snapshot", "schema"]
+        assert source.poll() == []  # caught up
+
+    def test_incremental_follow_ships_only_new_frames(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            _commit(store, 2)
+            batch = source.poll()
+            assert [m["kind"] for m in batch] == ["frames"]
+            assert batch[0]["start_seq"] == 1  # starts right after the snapshot
+            decoded = decode_stream_message(batch[0])
+            assert decoded.records[-1].seq == store.journal_length
+
+    def test_attach_at_durable_position_resumes(self, primary):
+        store, primary_dir, schema, _, _ = primary
+        _commit(store, 2)
+        source = FrameSource(primary_dir, schema)
+        assert source.attach(store.generation, store.journal_length) is True
+        # a resume announcement precedes any data, nothing to ship yet
+        assert [m["kind"] for m in source.poll()] == ["schema"]
+        _commit(store)
+        batch = source.poll()
+        assert [m["kind"] for m in batch] == ["frames"]
+        assert batch[0]["start_seq"] == store.journal_length
+
+    def test_attach_rejects_unknown_generation(self, primary):
+        store, primary_dir, schema, _, _ = primary
+        source = FrameSource(primary_dir, schema)
+        assert source.attach(store.generation + 5, 0) is False
+
+
+class TestSchemaBeforeData:
+    def test_frames_before_announce_are_refused(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        _commit(store)
+        source = FrameSource(primary_dir, schema)
+        snapshot_msg, schema_msg = source.poll()
+        (frames_msg,) = source.poll()
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            applier.apply_message(snapshot_msg)
+            # a snapshot installs state but does not license data frames
+            with pytest.raises(ReplicationError, match="must precede data"):
+                applier.apply_message(frames_msg)
+            applier.apply_message(schema_msg)
+            applier.apply_message(frames_msg)
+            assert applier.position() == (store.generation, 1)
+
+    def test_schema_fingerprint_mismatch_is_refused(self, primary):
+        _, _, schema, registry, replica_dir = primary
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            alien = encode_schema_message(1, applier.schema_crc ^ 0xDEAD, 0)
+            with pytest.raises(ReplicationError, match="fingerprint mismatch"):
+                applier.apply_message(alien)
+
+
+class TestReplicaApplier:
+    def test_empty_replica_has_no_read_surface_yet(self, primary):
+        _, _, schema, registry, replica_dir = primary
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            assert applier.position() == (0, 0)
+            with pytest.raises(StoreError, match="no state yet"):
+                applier.instance
+
+    def test_duplicate_delivery_is_idempotent(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            _commit(store)
+            (frames_msg,) = source.poll()
+            applier.apply_message(frames_msg)
+            applied = applier.frames_applied
+            applier.apply_message(frames_msg)  # reconnect overlap
+            assert applier.frames_applied == applied
+            assert applier.position() == (store.generation, store.journal_length)
+
+    def test_gap_in_stream_is_refused(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            _commit(store)
+            source.poll()  # lose this batch
+            _commit(store)
+            (late,) = source.poll()
+            with pytest.raises(ReplicaDivergedError, match="gap"):
+                applier.apply_message(late)
+
+    def test_resume_from_durable_position(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        _commit(store)
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(
+            replica_dir, schema, registry, upstream="primary:1389"
+        ) as applier:
+            pump(source, applier)
+            position = applier.position()
+        _commit(store, 2)
+        # a restarted applier recovers its position and its upstream
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            assert applier.position() == position
+            assert applier.upstream == "primary:1389"
+            source = FrameSource(primary_dir, schema)
+            assert source.attach(*position) is True
+            pump(source, applier)
+            assert applier.position() == (store.generation, store.journal_length)
+            assert state_digest(applier.instance) == state_digest(store.instance)
+
+    def test_fold_follows_compaction_without_snapshot(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            _commit(store, 2)
+            pump(source, applier)
+            store.compact()
+            _commit(store)
+            pump(source, applier)
+            assert applier.snapshots_installed == 1  # the bootstrap only
+            assert applier.position() == (store.generation, 1)
+            assert state_digest(applier.instance) == state_digest(store.instance)
+            manifest = read_manifest(replica_dir)
+            assert manifest is not None and manifest.role == "replica"
+
+    def test_directory_lock_excludes_second_applier(self, primary):
+        _, _, schema, registry, replica_dir = primary
+        with ReplicaApplier(replica_dir, schema, registry):
+            with pytest.raises(StoreLockedError):
+                ReplicaApplier(replica_dir, schema, registry)
+
+    def test_status_and_lag(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            assert applier.lag_frames() is None  # no frontier observed
+            pump(source, applier)
+            _commit(store, 3)
+            applier.frontier = (store.generation, store.journal_length)
+            assert applier.lag_frames() == 3
+            pump(source, applier)
+            status = applier.status()
+            assert status["lag_frames"] == 0
+            assert status["generation"] == store.generation
+            assert status["frames_applied"] >= 3
+
+
+class TestPromotion:
+    def test_promote_starts_a_new_epoch(self, primary):
+        store, primary_dir, schema, registry, replica_dir = primary
+        _commit(store, 2)
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            digest = state_digest(applier.instance)
+        promoted = promote(replica_dir, schema, registry)
+        try:
+            # generation bump: frames from the old primary are stale now
+            assert promoted.generation == store.generation + 1
+            assert state_digest(promoted.instance) == digest
+            _commit(promoted)
+            assert read_replica_state(replica_dir) is None
+            assert not os.path.exists(
+                os.path.join(replica_dir, REPLICA_STATE_FILE)
+            )
+            manifest = read_manifest(replica_dir)
+            assert manifest is not None and manifest.role != "replica"
+        finally:
+            promoted.close()

@@ -401,6 +401,64 @@ class TestNotifyChannel:
 
         asyncio.run(run())
 
+    def test_slow_watcher_coalesces_with_drop_signal(
+        self, plain_store, monkeypatch
+    ):
+        """A subscriber that cannot keep up must not make the server
+        buffer per-commit frames: notifications coalesce in the bounded
+        per-subscriber cell and the catch-up frame says how many were
+        folded away (``dropped``), so the client knows to re-read
+        rather than trust the gap.  The artificially slow client here
+        is simulated by stalling every notify write server-side — the
+        commits all land while the first frame is still in flight."""
+        import repro.server.server as server_module
+
+        real_write_frame = server_module.write_frame
+
+        async def stalled_write_frame(writer, message):
+            if message.get("op") == "notify":
+                await asyncio.sleep(0.4)
+            await real_write_frame(writer, message)
+
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                watcher = await _client(server, dn="cn=watcher")
+                await watcher.watch()
+                writer = await _client(server, dn="cn=writer")
+                monkeypatch.setattr(
+                    server_module, "write_frame", stalled_write_frame
+                )
+                commits = 5
+                for index in range(1, commits + 1):
+                    spec = _person(index)
+                    response = await writer.add(
+                        spec["dn"], spec["classes"], spec["attributes"]
+                    )
+                    assert response["applied"]
+                frames = []
+                while sum(
+                    1 + frame.get("dropped", 0) for frame in frames
+                ) < commits:
+                    frames.append(await watcher.next_notify(timeout=5))
+                # far fewer frames than commits: no unbounded buffering
+                assert len(frames) < commits
+                # nothing lost silently: every folded-away notification
+                # is accounted for in a dropped counter
+                assert any(frame.get("dropped", 0) > 0 for frame in frames)
+                # the catch-up frame points at the true latest commit
+                assert frames[-1]["seq"] == commits
+                # and the drop is a *resync* signal: re-reading shows
+                # every commit the folded frames covered
+                found = await watcher.search(filter="(uid=w*)")
+                assert len(found["entries"]) == commits
+                await watcher.close()
+                await writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
 
 class TestShardedServing:
     def test_search_and_spanning_txn(self, sharded_store):

@@ -1,14 +1,22 @@
 """Unit tests for the WAL frame format, snapshot header, legacy journal
 scanning, and the typed recovery errors."""
 
+import json
 import os
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.errors import CorruptJournalError, StaleJournalError
+from repro.errors import CorruptJournalError, ReplicationError, StaleJournalError
 from repro.ldif import serialize_ldif
 from repro.store import DirectoryStore
 from repro.store.recovery import recover, scan_store
+from repro.store.replicate import (
+    decode_stream_message,
+    encode_frames_message,
+    encode_schema_message,
+    encode_snapshot_message,
+)
 from repro.store.wal import (
     LEGACY_GENERATION,
     decode_snapshot,
@@ -18,6 +26,7 @@ from repro.store.wal import (
     encode_snapshot,
     resolve_decided,
     scan,
+    verify_stream,
 )
 from repro.updates.operations import UpdateTransaction
 from repro.workloads import figure1_instance, whitepages_registry, whitepages_schema
@@ -314,3 +323,136 @@ class TestStrictErrors:
         path.mkdir()
         with pytest.raises(FileNotFoundError, match="snapshot"):
             recover(str(path), whitepages_schema())
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trip properties: frames and the replication envelope
+# ----------------------------------------------------------------------
+_payloads = st.text(max_size=120)
+_generations = st.integers(min_value=1, max_value=999)
+_verdicts = st.sampled_from(["commit", "abort"])
+
+#: One journal step: a plain commit frame, or an adjacent decided
+#: ``#PREPARE``/``#DECIDE`` pair (the only shapes a committed journal
+#: prefix — and therefore a replication frames batch — may contain).
+_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("commit"), _payloads),
+        st.tuples(st.just("pair"), _payloads, _verdicts),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _build_journal(generation, steps):
+    """Deterministic journal bytes from a step list; returns the raw
+    bytes, the last seq, and the payloads replay must surface."""
+    data, seq, visible = b"", 0, []
+    for index, step in enumerate(steps):
+        expected = step[1] if step[1].endswith("\n") else step[1] + "\n"
+        if step[0] == "commit":
+            seq += 1
+            data += encode_record(seq, generation, step[1])
+            visible.append(expected)
+        else:
+            txid = f"tx-{index}"
+            seq += 1
+            data += encode_prepare(txid, seq, generation, step[1])
+            seq += 1
+            data += encode_decide(txid, step[2], seq, generation)
+            if step[2] == "commit":
+                visible.append(expected)
+    return data, seq, visible
+
+
+class TestFrameRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(generation=_generations, steps=_steps)
+    def test_scan_round_trips_any_committed_journal(self, generation, steps):
+        """encode → scan is lossless for every mix of commit frames and
+        decided 2PC pairs: clean tail, contiguous seqs, exact payloads,
+        and ``resolve_decided`` surfaces precisely the committed ones."""
+        data, last_seq, visible = _build_journal(generation, steps)
+        result = scan(data, expect_generation=generation)
+        assert result.tail_state == "clean"
+        assert [r.seq for r in result.records] == list(range(1, last_seq + 1))
+        assert all(r.generation == generation for r in result.records)
+        replay, pending = resolve_decided(result.records)
+        assert pending is None
+        assert [r.payload for r in replay] == visible
+
+    @settings(max_examples=60, deadline=None)
+    @given(generation=_generations, steps=_steps)
+    def test_frames_envelope_round_trips_through_json(self, generation, steps):
+        """The ``frames`` stream message survives the wire's JSON hop
+        byte-for-byte, and its payload passes ``verify_stream`` — the
+        exact validation a replica applies before appending."""
+        data, last_seq, _ = _build_journal(generation, steps)
+        message = json.loads(
+            json.dumps(encode_frames_message(generation, 1, data))
+        )
+        decoded = decode_stream_message(message)
+        assert decoded.kind == "frames"
+        assert decoded.data == data
+        assert [r.seq for r in decoded.records] == list(range(1, last_seq + 1))
+        assert [r.seq for r in verify_stream(data, generation, 1)] == \
+            [r.seq for r in decoded.records]
+
+    @settings(max_examples=60, deadline=None)
+    @given(generation=_generations, steps=_steps, payload=_payloads)
+    def test_in_doubt_prepare_never_decodes(self, generation, steps, payload):
+        """A batch ending in an undecided ``#PREPARE`` violates the
+        stream contract on *both* ends: ``verify_stream`` and the
+        envelope decoder refuse it — in-doubt 2PC state cannot reach a
+        replica even through a buggy or malicious shipper."""
+        data, last_seq, _ = _build_journal(generation, steps)
+        data += encode_prepare("tx-hung", last_seq + 1, generation, payload)
+        with pytest.raises(ValueError, match="in-doubt"):
+            verify_stream(data, generation, 1)
+        with pytest.raises(ReplicationError):
+            decode_stream_message(encode_frames_message(generation, 1, data))
+
+    @settings(max_examples=60, deadline=None)
+    @given(generation=_generations, steps=_steps)
+    def test_tampered_frames_message_is_refused(self, generation, steps):
+        """Any single-character corruption of the ``data`` field trips
+        the envelope checksum."""
+        data, _, _ = _build_journal(generation, steps)
+        message = encode_frames_message(generation, 1, data)
+        text = message["data"]
+        flipped = ("#" if text[0] != "#" else "%") + text[1:]
+        with pytest.raises(ReplicationError):
+            decode_stream_message({**message, "data": flipped})
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        generation=_generations,
+        crc=st.integers(min_value=0, max_value=2**32 - 1),
+        base_seq=st.integers(min_value=0, max_value=10**6),
+        folds=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    )
+    def test_schema_envelope_round_trips(self, generation, crc, base_seq, folds):
+        message = json.loads(
+            json.dumps(encode_schema_message(generation, crc, base_seq, folds))
+        )
+        decoded = decode_stream_message(message)
+        assert decoded.kind == "schema"
+        assert (decoded.generation, decoded.schema_crc) == (generation, crc)
+        assert (decoded.base_seq, decoded.folds) == (base_seq, folds)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        generation=_generations,
+        crc=st.integers(min_value=0, max_value=2**32 - 1),
+        ldif=st.text(max_size=200),
+    )
+    def test_snapshot_envelope_round_trips(self, generation, crc, ldif):
+        text = encode_snapshot(generation, ldif)
+        message = json.loads(
+            json.dumps(encode_snapshot_message(generation, crc, text))
+        )
+        decoded = decode_stream_message(message)
+        assert decoded.kind == "snapshot"
+        assert decoded.snapshot == text
+        assert decode_snapshot(decoded.snapshot) == (generation, ldif)

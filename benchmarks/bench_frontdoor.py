@@ -1,0 +1,342 @@
+"""Extension benchmark — the read-balancing front door.
+
+Claims under test: (1) **read scale-out** — ``check`` verdicts (the
+Theorem 4.1 modular re-verification, the priciest read the protocol
+offers) routed through the front door over two follower server
+*processes* must reach >= 1.5x the primary-only throughput at matched
+p99.  Primary-only is the same door asked ``max_lag=0`` (every read
+pinned to the write route), so the two phases differ only in where
+the verdicts are computed.  The throughput gate arms at
+``BENCH_FRONTDOOR_SCALE >= 1.0`` on a >= 3-core machine — the three
+server processes must actually have cores to spread over; smoke runs
+exercise both phases and record the ratio only.
+
+\\(2) **sharded replication differential** (always asserted) — a
+follower cohort fed by the per-shard multiplexed streams stitches to
+byte-for-byte the primary's composite instance on a coordinator cut
+after every pump, across a run of spanning 2PC commits; no cut is
+ever torn and the follower frontier tracks the source's.
+"""
+
+import asyncio
+import hashlib
+import os
+import subprocess
+import sys
+import time
+
+import repro
+from repro.ldif.writer import serialize_ldif
+from repro.schema.dsl import dump_dsl
+from repro.server import DirectoryClient, FrontDoor
+from repro.server.frontdoor import position_geq
+from repro.store import DirectoryStore
+from repro.store.replicate import ShardedFrameSource, ShardedReplicaApplier
+from repro.store.sharded import ShardedStore
+from repro.updates.operations import UpdateTransaction
+from repro.workloads import (
+    figure1_instance,
+    generate_whitepages,
+    whitepages_registry,
+    whitepages_schema,
+)
+
+from _helpers import print_series
+
+SCALE = float(os.environ.get("BENCH_FRONTDOOR_SCALE", "1.0"))
+CLIENTS = max(4, int(48 * SCALE))
+CHECKS_PER_CLIENT = 6
+NESTED_BASES = {"att": "o=att", "labs": "ou=attLabs,o=att"}
+try:
+    CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux
+    CPUS = os.cpu_count() or 1
+# primary + 2 followers need three cores before spreading can pay
+GATE_ARMED = SCALE >= 1.0 and CPUS >= 3
+
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _digest(instance) -> str:
+    return hashlib.blake2b(
+        serialize_ldif(instance).encode("utf-8")
+    ).hexdigest()
+
+
+def _percentiles(samples):
+    s = sorted(samples)
+
+    def pct(q):
+        return s[min(len(s) - 1, int(q * len(s)))]
+
+    return pct(0.50), pct(0.95), pct(0.99)
+
+
+# ----------------------------------------------------------------------
+# member server processes (spawned via the CLI: the reads genuinely
+# compute on separate cores, not behind this process's GIL)
+# ----------------------------------------------------------------------
+
+def _spawn_server(store_path, schema_path, *extra):
+    """``repro.cli serve`` in a child process; returns (proc, port)
+    parsed from the "serving ... on host:port" banner."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(store_path),
+         "--schema", str(schema_path), "--port", "0", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"member server exited before serving (rc={proc.poll()})"
+            )
+        if line.startswith("serving "):
+            address = line.split(" on ", 1)[1].split()[0].strip()
+            return proc, int(address.rsplit(":", 1)[1])
+
+
+def _stop_server(proc):
+    proc.terminate()
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:  # pragma: no cover - drain stall
+        proc.kill()
+        proc.wait()
+
+
+async def _wait_bootstrapped(port, position, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    client = await DirectoryClient.connect("127.0.0.1", port)
+    try:
+        while True:
+            reply = await client.position()
+            if position_geq(reply.get("position"), position):
+                return
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"follower never reached {position}: {reply}"
+                )
+            await asyncio.sleep(0.1)
+    finally:
+        await client.close()
+
+
+async def _check_phase(door_port, max_lag):
+    """CLIENTS concurrent connections each running CHECKS_PER_CLIENT
+    full-instance ``check`` verdicts; returns (wall, latencies)."""
+    clients = []
+    for _ in range(CLIENTS):
+        client = await DirectoryClient.connect("127.0.0.1", door_port)
+        await client.bind("cn=bench")
+        clients.append(client)
+    latencies = []
+
+    async def loop(client):
+        for _ in range(CHECKS_PER_CLIENT):
+            start = time.perf_counter()
+            reply = await client.check(max_lag=max_lag)
+            latencies.append(time.perf_counter() - start)
+            assert reply["legal"] and reply["entries"] > 0
+
+    try:
+        start = time.perf_counter()
+        await asyncio.gather(*(loop(c) for c in clients))
+        return time.perf_counter() - start, latencies
+    finally:
+        await asyncio.gather(
+            *(c.close() for c in clients), return_exceptions=True
+        )
+
+
+def test_check_throughput_scales_over_followers(benchmark, tmp_path):
+    """Two follower processes behind the door must serve >= 1.5x the
+    primary-only ``check`` throughput at matched p99 (armed at full
+    scale on >= 3 cores; the ratio is recorded always)."""
+    schema, registry = whitepages_schema(), whitepages_registry()
+    instance = generate_whitepages(
+        orgs=max(1, int(12 * SCALE)), units_per_level=5, depth=2,
+        persons_per_unit=10, seed=42,
+    )
+    primary_path = tmp_path / "primary"
+    DirectoryStore.create(
+        str(primary_path), schema, instance, registry
+    ).close()
+    schema_path = tmp_path / "schema.dsl"
+    dump_dsl(schema, str(schema_path))
+
+    primary_proc, primary_port = _spawn_server(primary_path, schema_path)
+    follower_procs = []
+    try:
+        upstream = f"127.0.0.1:{primary_port}"
+        follower_ports = []
+        for index in range(2):
+            proc, port = _spawn_server(
+                tmp_path / f"replica{index}", schema_path,
+                "--replica-of", upstream,
+            )
+            follower_procs.append(proc)
+            follower_ports.append(port)
+
+        async def run():
+            bootstrap = {"generation": 1, "seq": 0}
+            for port in follower_ports:
+                await _wait_bootstrapped(port, bootstrap)
+            door = FrontDoor(
+                upstream,
+                [f"127.0.0.1:{port}" for port in follower_ports],
+            )
+            await door.start()
+            try:
+                # warm both routes (executor views open lazily)
+                await _check_phase(door.port, None)
+                primary_wall, primary_lat = await _check_phase(
+                    door.port, 0
+                )
+                spread_wall, spread_lat = await _check_phase(
+                    door.port, None
+                )
+                probe = await DirectoryClient.connect(
+                    "127.0.0.1", door.port
+                )
+                await probe.bind("cn=bench")
+                topology = await probe.request("topology")
+                await probe.close()
+            finally:
+                await door.stop(drain=True, timeout=10)
+            return primary_wall, primary_lat, spread_wall, spread_lat, \
+                topology
+
+        primary_wall, primary_lat, spread_wall, spread_lat, topology = (
+            asyncio.run(run())
+        )
+    finally:
+        for proc in follower_procs:
+            _stop_server(proc)
+        _stop_server(primary_proc)
+
+    # the spread phase really had two live followers the whole time
+    assert topology["failovers"] == 0
+    assert [r["alive"] for r in topology["replicas"]] == [True, True]
+
+    total = CLIENTS * CHECKS_PER_CLIENT
+    primary_rate = total / primary_wall
+    spread_rate = total / spread_wall
+    ratio = spread_rate / primary_rate
+    primary_p = _percentiles(primary_lat)
+    spread_p = _percentiles(spread_lat)
+    print_series(
+        f"FRONTDOOR: check throughput, primary-only vs 2 followers "
+        f"({len(instance)} entries, {CLIENTS} clients, {CPUS} cpus)",
+        [
+            ("primary-only", f"{primary_rate:,.1f}/s",
+             "p50/p95/p99 "
+             + "/".join(f"{v * 1e3:.1f}" for v in primary_p) + "ms"),
+            ("2 followers", f"{spread_rate:,.1f}/s",
+             "p50/p95/p99 "
+             + "/".join(f"{v * 1e3:.1f}" for v in spread_p) + "ms"),
+            (f"ratio={ratio:.2f}x "
+             f"(gate {'armed' if GATE_ARMED else 'recorded only'})",),
+        ],
+    )
+    benchmark.extra_info["entries"] = len(instance)
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["primary_checks_per_second"] = round(
+        primary_rate, 2
+    )
+    benchmark.extra_info["spread_checks_per_second"] = round(
+        spread_rate, 2
+    )
+    benchmark.extra_info["throughput_ratio"] = round(ratio, 3)
+    benchmark.extra_info["primary_p99_ms"] = round(primary_p[2] * 1e3, 2)
+    benchmark.extra_info["spread_p99_ms"] = round(spread_p[2] * 1e3, 2)
+    benchmark.extra_info["gate_armed"] = GATE_ARMED
+    if GATE_ARMED:
+        assert ratio >= 1.5, (
+            f"2 followers served only {ratio:.2f}x the primary-only "
+            f"check throughput ({spread_rate:.1f}/s vs "
+            f"{primary_rate:.1f}/s)"
+        )
+        # "matched p99": the spread must not buy throughput by letting
+        # tail latency blow out
+        assert spread_p[2] <= primary_p[2] * 1.5, (
+            f"spread p99 {spread_p[2] * 1e3:.1f}ms vs primary-only "
+            f"{primary_p[2] * 1e3:.1f}ms — not a matched-latency win"
+        )
+    benchmark(lambda: None)
+
+
+# ----------------------------------------------------------------------
+# sharded replication differential (always asserted)
+# ----------------------------------------------------------------------
+
+def _spanning_commit(store, index):
+    tx = UpdateTransaction()
+    tx.insert(f"uid=r{index},o=att", ["person", "top"],
+              {"uid": [f"r{index}"], "name": [f"r {index}"]})
+    tx.insert(f"uid=l{index},ou=attLabs,o=att", ["person", "top"],
+              {"uid": [f"l{index}"], "name": [f"l {index}"]})
+    outcome = store.apply(tx)
+    assert outcome.applied
+
+
+def _pump_sharded(source, applier):
+    while True:
+        batch = source.poll()
+        if not batch:
+            return
+        for message in batch:
+            applier.apply_message(message)
+
+
+def test_sharded_replication_differential(benchmark, tmp_path):
+    """Every pump lands the follower cohort exactly on the primary's
+    composite state at a coordinator cut — digest equality after each
+    spanning 2PC commit, at every scale (machine-independent)."""
+    schema, registry = whitepages_schema(), whitepages_registry()
+    primary_dir = str(tmp_path / "sharded-primary")
+    cohort_dir = str(tmp_path / "cohort")
+    store = ShardedStore.create(
+        primary_dir, schema, NESTED_BASES, figure1_instance(), registry
+    )
+    source = ShardedFrameSource(primary_dir, schema)
+    rounds = max(4, int(24 * SCALE))
+    try:
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            _pump_sharded(source, applier)  # cohort bootstrap
+            assert applier.consistent()
+            for index in range(rounds):
+                _spanning_commit(store, index)
+                _pump_sharded(source, applier)
+                assert applier.consistent(), (
+                    f"round {index}: the shipped cut tore a spanning "
+                    "commit across the cohort"
+                )
+                assert applier.position() == source.position
+                assert _digest(applier.instance) == _digest(
+                    store.composite_instance()
+                ), f"round {index}: follower diverged from the primary"
+
+            state = {"seq": rounds}
+
+            def one_spanning_cycle():
+                state["seq"] += 1
+                _spanning_commit(store, state["seq"])
+                _pump_sharded(source, applier)
+                assert applier.consistent()
+
+            benchmark(one_spanning_cycle)
+            assert _digest(applier.instance) == _digest(
+                store.composite_instance()
+            )
+        print_series(
+            "FRONTDOOR: sharded replication differential",
+            [(f"{rounds} spanning commits verified",
+              "cohort == composite at every cut")],
+        )
+        benchmark.extra_info["spanning_commits"] = rounds
+    finally:
+        store.close()

@@ -393,6 +393,7 @@ def _fsck_shards(directory: str, schema) -> int:
           + (" [nested cut]" if shard_map.has_cut() else ""))
     for spec in shard_map:
         print(f"  {spec.name}: base {spec.base}")
+    _print_replica_state(directory)
     # In-doubt 2PC state: a prepared-but-undecided participant (found
     # by a per-shard recovery dry run) or an unfinished coordinator
     # record.  A corrupt coordinator log means the decisions themselves
@@ -498,6 +499,12 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.errors import StoreError
     from repro.store.recovery import recover
 
+    if getattr(args, "frontdoor", None):
+        return _fsck_frontdoor(args.frontdoor)
+    if args.directory is None:
+        print("fsck: a store directory is required (or --frontdoor)",
+              file=sys.stderr)
+        return 2
     schema = load_dsl(args.schema) if args.schema else None
     if getattr(args, "shards", False):
         return _fsck_shards(args.directory, schema)
@@ -529,18 +536,83 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def _print_replica_state(directory: str) -> None:
-    """Report the replication-follower sidecar, when one is present."""
-    from repro.store.replicate import read_replica_state
+    """Report the replication-follower sidecars, when present."""
+    from repro.store.replicate import read_cut_state, read_replica_state
 
     state = read_replica_state(directory)
-    if state is None:
-        return
-    print(
-        "replica state: following "
-        f"{state.get('upstream') or '<unknown upstream>'} — synced to "
-        f"generation {state.get('generation')}, seq {state.get('seq')} "
-        "(promote before writing locally)"
-    )
+    if state is not None:
+        print(
+            "replica state: following "
+            f"{state.get('upstream') or '<unknown upstream>'} — synced to "
+            f"generation {state.get('generation')}, seq {state.get('seq')} "
+            "(promote before writing locally)"
+        )
+    cut = read_cut_state(directory)
+    if cut is not None:
+        frontier = ", ".join(
+            f"{name}: ({pos[0]}, {pos[1]})" for name, pos in sorted(cut.items())
+        )
+        print(
+            f"replicated cut: {frontier} (the cohort is promotable only "
+            "on this frontier)"
+        )
+
+
+def _fsck_frontdoor(address: str) -> int:
+    """``fsck --frontdoor HOST:PORT``: report a running front door's
+    topology — every member's address, liveness, and cached frontier,
+    plus recorded lost floors.  Exit 0 when the primary is alive."""
+    import asyncio
+
+    from repro.server.client import DirectoryClient, ServerError
+
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"fsck: --frontdoor must be HOST:PORT, got {address!r}",
+              file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        try:
+            client = await DirectoryClient.connect(host, int(port_text))
+        except (ConnectionError, OSError) as exc:
+            print(f"fsck: cannot reach front door {address}: {exc}")
+            return 1
+        try:
+            topology = await client.request("topology")
+        except (ServerError, ConnectionError, OSError) as exc:
+            print(f"fsck: {exc}")
+            return 1
+        finally:
+            await client.close()
+
+        def line(member: dict, role: str) -> None:
+            position = member.get("position")
+            frontier = "unknown frontier" if position is None else (
+                _position_text(
+                    (position["generation"], position["seq"])
+                    if "generation" in position
+                    else {n: tuple(p) for n, p in position.items()}
+                )
+            )
+            liveness = "alive" if member.get("alive") else "DOWN"
+            print(f"  {role} {member['address']}: {liveness}, {frontier}")
+
+        print(f"front door: {address} "
+              f"({topology.get('failovers', 0)} failover(s))")
+        line(topology["primary"], "primary")
+        for member in topology.get("replicas", []):
+            line(member, "replica")
+        for floor in topology.get("lost_floors", []):
+            print(f"  lost floor: {floor} (positions past this in that "
+                  "generation died with a demoted primary)")
+        if not topology["primary"].get("alive"):
+            print("PRIMARY DOWN (failover pending or no candidate)")
+            return 1
+        print("TOPOLOGY SERVING")
+        return 0
+
+    return asyncio.run(run())
 
 
 def _fsck_read_only(directory: str, schema) -> int:
@@ -835,6 +907,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             structure=args.structure,
+            replica_of=args.replica_of,
         )
         try:
             await server.start()
@@ -843,7 +916,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 1
         print(
             f"serving {args.store} on {args.host}:{server.port}"
-            + (" (sharded)" if args.shards else ""),
+            + (" (sharded)" if args.shards else "")
+            + (f" (replica of {args.replica_of})" if args.replica_of else ""),
             flush=True,
         )
         stop = asyncio.Event()
@@ -861,6 +935,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def _position_text(position) -> str:
+    """Human form of a replication position — a ``(generation, seq)``
+    pair for a plain store, a per-shard map for a sharded cohort."""
+    if isinstance(position, dict):
+        if not position:
+            return "no shard map yet"
+        return ", ".join(
+            f"{name}: generation {pos[0]}, seq {pos[1]}"
+            for name, pos in sorted(position.items())
+        )
+    generation, seq = position
+    return f"generation {generation}, seq {seq}"
+
+
 def _cmd_replicate(args: argparse.Namespace) -> int:
     """``replicate DIR --schema S.dsl --from HOST:PORT [--oneshot]``:
     follow a primary server as a WAL-shipping replica.  Bootstraps (or
@@ -872,7 +960,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 
     from repro.errors import StoreError
     from repro.server.client import DirectoryClient, ServerError, sync_replica
-    from repro.store.replicate import ReplicaApplier
+    from repro.store.replicate import ReplicaApplier, ShardedReplicaApplier
 
     schema = load_dsl(args.schema)
     host, _, port_text = args.upstream.rpartition(":")
@@ -892,13 +980,18 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         applier = None
         try:
             await client.bind("cn=replica")
-            applier = ReplicaApplier(
-                args.directory, schema, upstream=args.upstream
-            )
-            generation, seq = await sync_replica(client, applier)
+            if getattr(args, "shards", False):
+                applier = ShardedReplicaApplier(
+                    args.directory, schema, upstream=args.upstream
+                )
+            else:
+                applier = ReplicaApplier(
+                    args.directory, schema, upstream=args.upstream
+                )
+            position = await sync_replica(client, applier)
             print(
-                f"replica {args.directory}: synced to generation "
-                f"{generation}, seq {seq} from {args.upstream}",
+                f"replica {args.directory}: synced to "
+                f"{_position_text(position)} from {args.upstream}",
                 flush=True,
             )
             if args.oneshot:
@@ -925,9 +1018,8 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
                     None, applier.apply_message, incoming.result()
                 )
             stopping.cancel()
-            generation, seq = applier.position()
             print(
-                f"replica stopped at generation {generation}, seq {seq} "
+                f"replica stopped at {_position_text(applier.position())} "
                 "(run `promote` to make it writable, or `replicate` again "
                 "to keep following)",
                 file=sys.stderr,
@@ -945,27 +1037,96 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
 
 
 def _cmd_promote(args: argparse.Namespace) -> int:
-    """``promote DIR --schema S.dsl``: promote a replica store to
-    writer.  Refuses when in-doubt 2PC state is visible at the
+    """``promote DIR --schema S.dsl [--shards]``: promote a replica
+    store to writer.  Refuses when in-doubt 2PC state is visible at the
     replication frontier (only the old primary's coordinator log can
-    decide it)."""
+    decide it); ``--shards`` promotes a replicated sharded cohort as a
+    unit — every member on the last replicated cut, or nothing."""
     from repro.errors import StoreError
-    from repro.store.replicate import promote
+    from repro.store.replicate import promote, promote_shards
 
     schema = load_dsl(args.schema)
     try:
-        store = promote(args.directory, schema)
+        if getattr(args, "shards", False):
+            store = promote_shards(args.directory, schema)
+        else:
+            store = promote(args.directory, schema)
     except (StoreError, OSError) as exc:
         print(f"promote: {exc}", file=sys.stderr)
         return 1
     try:
-        print(
-            f"promoted {args.directory}: writable at generation "
-            f"{store.generation} ({len(store.instance)} entries)"
-        )
+        if getattr(args, "shards", False):
+            frontier = ", ".join(
+                f"{name}: generation {generation}"
+                for name, generation, _ in store.frontier_key()
+            )
+            print(
+                f"promoted {args.directory}: sharded cohort writable "
+                f"({frontier}; {len(store.composite_instance())} entries)"
+            )
+        else:
+            print(
+                f"promoted {args.directory}: writable at generation "
+                f"{store.generation} ({len(store.instance)} entries)"
+            )
     finally:
         store.close()
     return 0
+
+
+def _cmd_frontdoor(args: argparse.Namespace) -> int:
+    """``frontdoor --primary HOST:PORT --replica HOST:PORT ...``: run
+    the read-balancing proxy (:mod:`repro.server.frontdoor`) over a
+    running primary and its replica servers.  Writes route to the
+    primary, reads spread across replicas under the bounded-staleness
+    contract, and the health loop auto-promotes the most advanced
+    replica when the primary dies.  SIGTERM/SIGINT drain gracefully."""
+    import asyncio
+    import signal
+
+    from repro.server.frontdoor import FrontDoor
+
+    for address in [args.primary] + list(args.replica or []):
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(
+                f"frontdoor: member must be HOST:PORT, got {address!r}",
+                file=sys.stderr,
+            )
+            return 2
+
+    async def run() -> int:
+        door = FrontDoor(
+            args.primary,
+            list(args.replica or []),
+            host=args.host,
+            port=args.port,
+            probe_interval=args.probe_interval,
+            fail_after=args.fail_after,
+        )
+        try:
+            await door.start()
+        except OSError as exc:
+            print(f"frontdoor: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"front door on {args.host}:{door.port} — primary "
+            f"{args.primary}, {len(args.replica or [])} replica(s)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("draining connections and shutting down", file=sys.stderr)
+        await door.stop(drain=True)
+        return 0
+
+    return asyncio.run(run())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1130,7 +1291,10 @@ def build_parser() -> argparse.ArgumentParser:
         "fsck",
         help="scan a store directory for journal damage (dry run)",
     )
-    fsck.add_argument("directory", help="store directory (snapshot + journal)")
+    fsck.add_argument(
+        "directory", nargs="?", default=None,
+        help="store directory (snapshot + journal); omit with --frontdoor",
+    )
     fsck.add_argument(
         "--schema", help="also verify the recovered instance against this DSL"
     )
@@ -1146,6 +1310,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="DIR is a sharded store root: print the shard map, "
         "per-shard positions/lag, and the composite legality verdict "
         "(requires --schema; lock-free, touches nothing)",
+    )
+    fsck.add_argument(
+        "--frontdoor", metavar="HOST:PORT",
+        help="report a running front door's topology (member liveness, "
+        "frontiers, lost floors) instead of scanning a directory",
     )
     fsck.set_defaults(func=_cmd_fsck)
 
@@ -1213,6 +1382,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="structure-checking strategy for the check extended op",
     )
+    serve.add_argument(
+        "--replica-of",
+        dest="replica_of",
+        metavar="HOST:PORT",
+        help="run as a replica of this primary server: serve reads from "
+        "the replicated copy, answer writes with not_writable, and "
+        "accept promote/reattach (the front door's failover surface)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     replicate = sub.add_parser(
@@ -1229,13 +1406,20 @@ def build_parser() -> argparse.ArgumentParser:
         dest="upstream",
         required=True,
         metavar="HOST:PORT",
-        help="primary server address (a `serve` process on a plain store)",
+        help="primary server address (a `serve` process; pass --shards "
+        "when it serves a sharded store)",
     )
     replicate.add_argument(
         "--oneshot",
         action="store_true",
         help="catch up to the primary's committed frontier and exit "
         "instead of following live",
+    )
+    replicate.add_argument(
+        "--shards",
+        action="store_true",
+        help="the upstream serves a sharded store: replicate the whole "
+        "cohort under coordinator-consistent cuts",
     )
     replicate.set_defaults(func=_cmd_replicate)
 
@@ -1246,7 +1430,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     promote.add_argument("directory", help="replica store directory")
     promote.add_argument("--schema", required=True)
+    promote.add_argument(
+        "--shards",
+        action="store_true",
+        help="DIR is a replicated sharded cohort: promote every shard "
+        "on the recorded cut, or refuse atomically",
+    )
     promote.set_defaults(func=_cmd_promote)
+
+    frontdoor = sub.add_parser(
+        "frontdoor",
+        help="read-balancing proxy over a primary and its replicas "
+        "(bounded-staleness routing, automatic failover)",
+    )
+    frontdoor.add_argument(
+        "--primary", required=True, metavar="HOST:PORT",
+        help="the writable member server",
+    )
+    frontdoor.add_argument(
+        "--replica", action="append", default=[], metavar="HOST:PORT",
+        help="a replica member server (repeat per replica)",
+    )
+    frontdoor.add_argument("--host", default="127.0.0.1")
+    frontdoor.add_argument(
+        "--port", type=int, default=3891,
+        help="bind port (0: ephemeral; the bound port is printed either "
+        "way)",
+    )
+    frontdoor.add_argument(
+        "--probe-interval", type=float, default=0.5,
+        help="seconds between health probes of every member",
+    )
+    frontdoor.add_argument(
+        "--fail-after", type=int, default=2,
+        help="consecutive failed probes before a member is declared "
+        "dead (the primary's death triggers failover)",
+    )
+    frontdoor.set_defaults(func=_cmd_frontdoor)
 
     stats = sub.add_parser("stats", help="structural summary of an LDIF instance")
     stats.add_argument("--data", required=True)

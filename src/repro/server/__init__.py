@@ -11,10 +11,14 @@ O(|Δ|) before each read, so reads never block the writer) and a single
 write path through the owning :class:`~repro.store.journal.DirectoryStore`
 or :class:`~repro.store.sharded.ShardedStore`;
 :mod:`repro.server.client` is the asyncio client used by the tests and
-``benchmarks/bench_server.py``.
+``benchmarks/bench_server.py``; :mod:`repro.server.frontdoor` is the
+read-balancing proxy that routes writes to a primary and spreads
+``search``/``check`` across replica servers under a bounded-staleness
+contract, with automatic failover.
 """
 
 from repro.server.client import DirectoryClient
+from repro.server.frontdoor import FrontDoor
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -28,6 +32,7 @@ from repro.server.server import DirectoryServer
 __all__ = [
     "DirectoryClient",
     "DirectoryServer",
+    "FrontDoor",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "decode_frame",

@@ -30,6 +30,7 @@ class ServerError(Exception):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
+        self.message = message
 
 
 class DirectoryClient:
@@ -86,6 +87,10 @@ class DirectoryClient:
         :class:`ServerError` on ``ok: false``."""
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._receiver.done():
+            # The receive loop has already unwound (peer died): a future
+            # registered now would never be resolved by it.
+            raise ConnectionError("connection lost")
         request_id = next(self._ids)
         message = {"op": op, "id": request_id}
         message.update(fields)
@@ -118,10 +123,20 @@ class DirectoryClient:
         scope: str = "sub",
         filter: Optional[str] = None,
         size_limit: Optional[int] = None,
+        require_seq=None,
+        max_lag: Optional[int] = None,
     ) -> dict:
         """Search the server's committed view; returns ``entries`` in
         canonical global document order, a ``truncated`` flag (true
-        when ``size_limit`` cut the result), plus ``position``."""
+        when ``size_limit`` cut the result), plus ``position``.
+
+        ``require_seq`` / ``max_lag`` express the bounded-staleness
+        contract to a front door (see
+        :class:`~repro.server.frontdoor.FrontDoor`): ``require_seq`` is
+        a ``position`` payload from an earlier response this read must
+        not precede (read-your-writes); ``max_lag=0`` forces primary
+        reads.  A plain server ignores both (its view is the primary's).
+        """
         fields: dict = {"scope": scope}
         if base is not None:
             fields["base"] = base
@@ -129,6 +144,10 @@ class DirectoryClient:
             fields["filter"] = filter
         if size_limit is not None:
             fields["size_limit"] = size_limit
+        if require_seq is not None:
+            fields["require_seq"] = require_seq
+        if max_lag is not None:
+            fields["max_lag"] = max_lag
         return await self.request("search", **fields)
 
     async def add(self, dn: str, classes, attributes=None) -> dict:
@@ -150,10 +169,30 @@ class DirectoryClient:
         """Apply an LDIF document of ``changetype: modify`` records."""
         return await self.request("modify", changes=changes)
 
-    async def check(self) -> dict:
+    async def check(self, require_seq=None, max_lag: Optional[int] = None) -> dict:
         """Run the full legality check (the extended operation) on
-        the connection's freshly refreshed view."""
-        return await self.request("check")
+        the connection's freshly refreshed view.  ``require_seq`` /
+        ``max_lag`` carry the staleness contract through a front door,
+        exactly as on :meth:`search`."""
+        fields: dict = {}
+        if require_seq is not None:
+            fields["require_seq"] = require_seq
+        if max_lag is not None:
+            fields["max_lag"] = max_lag
+        return await self.request("check", **fields)
+
+    async def position(self) -> dict:
+        """The server's role and committed frontier (allowed before
+        bind; the front door's health-probe surface)."""
+        return await self.request("position")
+
+    async def promote(self) -> dict:
+        """Ask a replica server to promote itself to a primary."""
+        return await self.request("promote")
+
+    async def reattach(self, upstream: str) -> dict:
+        """Repoint a replica server's sync loop at a new upstream."""
+        return await self.request("reattach", upstream=upstream)
 
     async def watch(self) -> dict:
         """Subscribe to commit notifications on this connection."""
@@ -165,12 +204,23 @@ class DirectoryClient:
             return await self._notifies.get()
         return await asyncio.wait_for(self._notifies.get(), timeout)
 
-    async def replicate(self, generation: int = 0, seq: int = 0) -> dict:
+    async def replicate(
+        self,
+        generation: int = 0,
+        seq: int = 0,
+        shards: Optional[dict] = None,
+    ) -> dict:
         """Subscribe this connection as a replication follower at the
         given durable position (``(0, 0)`` = fresh: the primary ships a
-        snapshot first).  The response acknowledges with the primary's
-        committed frontier; stream messages then arrive via
-        :meth:`next_stream_message`."""
+        snapshot first).  A sharded primary takes ``shards`` — a map of
+        per-shard ``(generation, seq)`` pairs — instead.  The response
+        acknowledges with the primary's committed frontier; stream
+        messages then arrive via :meth:`next_stream_message`."""
+        if shards is not None:
+            return await self.request(
+                "replicate",
+                shards={name: list(pos) for name, pos in shards.items()},
+            )
         return await self.request("replicate", generation=generation, seq=seq)
 
     async def next_stream_message(
@@ -230,14 +280,37 @@ async def sync_replica(
     the applier's final position; keep calling
     :meth:`DirectoryClient.next_stream_message` /
     ``applier.apply_message`` afterwards to follow live.
+
+    A :class:`~repro.store.replicate.ShardedReplicaApplier` (its
+    ``position()`` is a per-shard map) syncs the same way against a
+    sharded primary's ``shards`` acknowledgement, per-shard positions
+    each compared lexicographically.
     """
-    ack = await client.replicate(*applier.position())
-    target = tuple(until) if until is not None else (
-        ack["generation"], ack["seq"],
-    )
-    applier.frontier = target
+    position = applier.position()
     loop = asyncio.get_running_loop()
-    while applier.position() < target:
+    if isinstance(position, dict):
+        ack = await client.replicate(shards=position)
+        target = dict(until) if until is not None else {
+            name: tuple(pos) for name, pos in ack["shards"].items()
+        }
+
+        def behind() -> bool:
+            current = applier.position()
+            return any(
+                tuple(current.get(name, (0, 0))) < tuple(pos)
+                for name, pos in target.items()
+            )
+    else:
+        ack = await client.replicate(*position)
+        target = tuple(until) if until is not None else (
+            ack["generation"], ack["seq"],
+        )
+        applier.frontier = target
+
+        def behind() -> bool:
+            return applier.position() < target
+
+    while behind():
         message = await client.next_stream_message(timeout)
         await loop.run_in_executor(None, applier.apply_message, message)
     return applier.position()

@@ -1,0 +1,630 @@
+"""The read-balancing front door: one write route, N read routes.
+
+A :class:`FrontDoor` is an asyncio proxy that owns a client's view of
+a replicated topology — one primary :class:`DirectoryServer` and N
+followers running with ``replica_of`` — and gives wire-protocol
+clients a single address that scales reads with hardware:
+
+* ``add`` / ``delete`` / ``txn`` / ``modify`` go to the primary, and
+  the reply's ``position`` payload (committed atomically with the
+  write) feeds the staleness contract below;
+* ``search`` / ``check`` spread across the followers under a
+  **bounded-staleness contract**: the client may pass ``require_seq``
+  (a ``position`` payload an earlier response carried — the router
+  serves the read from a replica whose applied frontier is at least
+  that position, falling through to the primary when every follower
+  lags) or ``max_lag`` (frames of acceptable lag; ``0`` means primary
+  reads).  Every reply still carries ``position``, so requests chain.
+
+Per connection the front door additionally enforces **monotonic
+reads**: the largest position any response on that connection carried
+becomes an implicit ``require_seq`` floor for every later read — a
+client never observes its own history running backwards, not even
+across a failover.
+
+Failover is automatic: a health-probe loop pings every backend and
+polls its frontier; when the primary stops answering, the most
+advanced follower is elected and driven through the server's
+``promote`` operation (PR 9's promotion path — it refuses while a 2PC
+prepare is in doubt or a sharded cohort sits off its replicated cut,
+in which case the next candidate is tried), the write route is
+repointed, and the surviving followers are re-attached to the new
+primary's stream behind the generation bump.  The elected follower's
+pre-promotion frontier is recorded as a **lost floor**: a later
+``require_seq`` pointing past it — a position only the dead primary
+ever acknowledged — answers a typed ``position_lost`` error instead of
+silently serving older state.
+
+Why reads scale this way at all is Theorem 4.1: legality under a
+bounding schema decomposes into per-entry (modular) verdicts over a
+committed instance, so any replica holding a committed prefix answers
+``search``/``check`` exactly as the primary would have at that
+position — the front door only has to pick a replica whose position
+satisfies the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.server.client import DirectoryClient, ServerError
+from repro.server.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["FrontDoor", "position_geq", "position_max"]
+
+_READ_OPS = ("search", "check")
+_WRITE_OPS = ("add", "delete", "txn", "modify")
+
+
+def _is_plain(position: dict) -> bool:
+    """Plain positions are ``{"generation": g, "seq": s}``; sharded
+    ones map shard names to ``[g, s]`` pairs."""
+    return "generation" in position and not isinstance(
+        position.get("generation"), dict
+    )
+
+
+def _plain_tuple(position: dict) -> tuple:
+    return (position.get("generation", 0), position.get("seq", 0))
+
+
+def position_geq(position: Optional[dict], require: Optional[dict]) -> bool:
+    """Whether ``position`` satisfies ``require`` (both ``position``
+    payloads).  Positions compare lexicographically per WAL — a
+    generation bump dominates any sequence — and a sharded requirement
+    must be met on every shard it mentions."""
+    if require is None:
+        return True
+    if position is None:
+        return False
+    if _is_plain(require):
+        if not _is_plain(position):
+            return False
+        return _plain_tuple(position) >= _plain_tuple(require)
+    if _is_plain(position):
+        return False
+    return all(
+        tuple(position.get(name, (0, 0))) >= tuple(pos)
+        for name, pos in require.items()
+    )
+
+
+def position_max(a: Optional[dict], b: Optional[dict]) -> Optional[dict]:
+    """The pointwise-larger of two ``position`` payloads (the monotonic
+    floor a connection accumulates)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if _is_plain(a) and _is_plain(b):
+        return a if _plain_tuple(a) >= _plain_tuple(b) else b
+    if _is_plain(a) or _is_plain(b):
+        return b  # shape change (topology swap): trust the newer payload
+    merged = dict(a)
+    for name, pos in b.items():
+        if tuple(pos) > tuple(merged.get(name, (0, 0))):
+            merged[name] = pos
+    return merged
+
+
+def _valid_position_payload(payload) -> bool:
+    def ok_int(value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) \
+            and value >= 0
+
+    if not isinstance(payload, dict) or not payload:
+        return False
+    if _is_plain(payload):
+        return set(payload) <= {"generation", "seq"} and all(
+            ok_int(payload.get(key, 0)) for key in ("generation", "seq")
+        )
+    return all(
+        isinstance(name, str)
+        and isinstance(pos, (list, tuple))
+        and len(pos) == 2
+        and all(ok_int(p) for p in pos)
+        for name, pos in payload.items()
+    )
+
+
+class _Backend:
+    """One member server as the front door sees it."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.client: Optional[DirectoryClient] = None
+        self.alive = True
+        self.fails = 0
+        self.position: Optional[dict] = None
+
+    def payload(self) -> dict:
+        return {
+            "address": self.address,
+            "alive": self.alive,
+            "position": self.position,
+        }
+
+
+class _FrontConnection:
+    """Per-client state: identity plus the monotonic read floor."""
+
+    def __init__(self, writer) -> None:
+        self.writer = writer
+        self.bound_dn: Optional[str] = None
+        self.busy = False
+        self.floor: Optional[dict] = None
+
+
+class FrontDoor:
+    """Proxy one primary and N follower endpoints behind one address.
+
+    Parameters
+    ----------
+    primary:
+        ``"host:port"`` of the writable member server.
+    replicas:
+        ``"host:port"`` addresses of the follower servers.
+    probe_interval / probe_timeout / fail_after:
+        Health loop tuning: probe every ``probe_interval`` seconds with
+        ``probe_timeout`` per probe; ``fail_after`` consecutive failed
+        probes of the primary trigger failover.
+    """
+
+    def __init__(
+        self,
+        primary: str,
+        replicas: List[str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        probe_interval: float = 0.5,
+        probe_timeout: float = 2.0,
+        fail_after: int = 2,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.fail_after = fail_after
+        self._primary = _Backend(primary)
+        self._replicas = [_Backend(address) for address in replicas]
+        self._lost_floors: List[dict] = []
+        self.failovers = 0
+        self._rotation = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: "dict[asyncio.Task, _FrontConnection]" = {}
+        self._health_task: Optional[asyncio.Task] = None
+        self._probe_now = asyncio.Event()
+        self._failover_lock = asyncio.Lock()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound listen port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("front door is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the health-probe loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def stop(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Graceful SIGTERM path: stop accepting, nudge idle clients,
+        let in-flight requests finish, drop the backend pool."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            await asyncio.gather(self._health_task, return_exceptions=True)
+            self._health_task = None
+        for connection in list(self._connections.values()):
+            if not connection.busy:
+                try:
+                    connection.writer.close()
+                except Exception:
+                    pass
+        pending = {t for t in self._connections if not t.done()}
+        if pending and drain:
+            _, pending = await asyncio.wait(pending, timeout=timeout)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for backend in self._backends():
+            await self._drop_client(backend)
+
+    def _backends(self) -> List[_Backend]:
+        return [self._primary] + list(self._replicas)
+
+    # ------------------------------------------------------------------
+    # backend pool
+    # ------------------------------------------------------------------
+    async def _ensure_client(self, backend: _Backend) -> DirectoryClient:
+        if backend.client is None:
+            host, _, port = backend.address.rpartition(":")
+            client = await asyncio.wait_for(
+                DirectoryClient.connect(host, int(port)), self.probe_timeout
+            )
+            try:
+                await client.bind("cn=frontdoor")
+            except BaseException:
+                await client.close()
+                raise
+            backend.client = client
+        return backend.client
+
+    async def _drop_client(self, backend: _Backend) -> None:
+        client, backend.client = backend.client, None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+    async def _mark_dead(self, backend: _Backend) -> None:
+        backend.alive = False
+        backend.fails = self.fail_after
+        await self._drop_client(backend)
+
+    # ------------------------------------------------------------------
+    # client-facing protocol
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        connection = _FrontConnection(writer)
+        self._connections[task] = connection
+        try:
+            while not self._draining:
+                request = await read_frame(reader)
+                if request is None:
+                    break
+                connection.busy = True
+                try:
+                    response = await self._dispatch(connection, request)
+                    if response is None:  # unbind
+                        break
+                    await write_frame(writer, response)
+                finally:
+                    connection.busy = False
+        except (ProtocolError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, connection: _FrontConnection, request: dict
+    ) -> Optional[dict]:
+        op = request.get("op")
+        request_id = request.get("id")
+        if op == "ping":
+            return ok_response(request_id)
+        if op == "topology":
+            return self._op_topology(request_id)
+        if op == "bind":
+            dn = request.get("dn", "")
+            if not isinstance(dn, str):
+                return error_response(
+                    request_id, "bad_request", "bind dn must be a string"
+                )
+            connection.bound_dn = dn
+            return ok_response(request_id, dn=dn)
+        if op == "unbind":
+            await write_frame(connection.writer, ok_response(request_id))
+            return None
+        if connection.bound_dn is None:
+            return error_response(
+                request_id, "not_bound",
+                f"operation {op!r} requires a prior bind",
+            )
+        if op in _WRITE_OPS:
+            return await self._forward_write(connection, request)
+        if op in _READ_OPS:
+            return await self._forward_read(connection, request)
+        if op in ("watch", "replicate", "promote", "reattach"):
+            return error_response(
+                request_id, "bad_request",
+                f"{op} is not served through the front door; connect to "
+                "a member server directly",
+            )
+        return error_response(
+            request_id, "unknown_op", f"unknown operation {op!r}"
+        )
+
+    def _op_topology(self, request_id) -> dict:
+        """The routing table: who serves writes, who serves reads, at
+        which frontiers — ``fsck --frontdoor`` and the harness's
+        oracle both read it here."""
+        return ok_response(
+            request_id,
+            primary=self._primary.payload(),
+            replicas=[backend.payload() for backend in self._replicas],
+            lost_floors=list(self._lost_floors),
+            failovers=self.failovers,
+        )
+
+    # ------------------------------------------------------------------
+    # write route
+    # ------------------------------------------------------------------
+    async def _forward_write(
+        self, connection: _FrontConnection, request: dict
+    ) -> dict:
+        request_id = request.get("id")
+        fields = {
+            key: value
+            for key, value in request.items()
+            if key not in ("op", "id")
+        }
+        backend = self._primary
+        if not backend.alive:
+            return error_response(
+                request_id, "unavailable",
+                "the primary is down; failover in progress — retry",
+            )
+        try:
+            client = await self._ensure_client(backend)
+            response = await client.request(request["op"], **fields)
+        except ServerError as exc:
+            return error_response(request_id, exc.code, exc.message)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            # A write that died in flight is ambiguous — it may or may
+            # not have committed — so it is NOT retried elsewhere; the
+            # client decides, with idempotence it can reason about.
+            await self._mark_dead(backend)
+            self._probe_now.set()
+            return error_response(
+                request_id, "unavailable",
+                "lost the primary mid-write; the write may or may not "
+                "have committed — verify and retry after failover",
+            )
+        position = response.get("position")
+        backend.position = position_max(backend.position, position)
+        connection.floor = position_max(connection.floor, position)
+        response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # read route
+    # ------------------------------------------------------------------
+    async def _forward_read(
+        self, connection: _FrontConnection, request: dict
+    ) -> dict:
+        request_id = request.get("id")
+        require = request.get("require_seq")
+        max_lag = request.get("max_lag")
+        if require is not None and not _valid_position_payload(require):
+            return error_response(
+                request_id, "bad_request",
+                "require_seq must be a position payload (non-negative "
+                "integers, booleans excluded)",
+            )
+        if max_lag is not None and (
+            not isinstance(max_lag, int)
+            or isinstance(max_lag, bool)
+            or max_lag < 0
+        ):
+            return error_response(
+                request_id, "bad_request",
+                f"max_lag must be a non-negative integer, got {max_lag!r}",
+            )
+        # The lost-floor check runs on the caller's *explicit*
+        # requirement: a connection floor raised by post-failover
+        # responses would otherwise dominate the (older-generation)
+        # lost position in the merge and silently mask the loss.
+        if self._require_lost(require):
+            return error_response(
+                request_id, "position_lost",
+                f"required position {require} exceeds what survived "
+                "failover; the acknowledging primary died before any "
+                "follower replicated it",
+            )
+        # The connection's floor rides along: reads are monotonic even
+        # when the caller never asks for read-your-writes explicitly.
+        require = position_max(connection.floor, require)
+        fields = {
+            key: value
+            for key, value in request.items()
+            if key not in ("op", "id", "require_seq", "max_lag")
+        }
+        for backend in self._read_candidates(require, max_lag):
+            try:
+                client = await self._ensure_client(backend)
+                response = await client.request(request["op"], **fields)
+            except ServerError as exc:
+                if exc.code == "store_error" and backend is not self._primary:
+                    continue  # replica not serving yet; next candidate
+                return error_response(request_id, exc.code, exc.message)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                # Reads are side-effect-free: a follower dying
+                # mid-search retries transparently on the next route.
+                if backend is not self._primary:
+                    await self._mark_dead(backend)
+                    continue
+                await self._mark_dead(backend)
+                self._probe_now.set()
+                break
+            position = response.get("position")
+            backend.position = position_max(backend.position, position)
+            if not position_geq(position, require):
+                continue  # served, but staler than the contract allows
+            connection.floor = position_max(connection.floor, position)
+            response["id"] = request_id
+            return response
+        return error_response(
+            request_id, "unavailable",
+            "no backend can serve this read at the required position "
+            "right now; retry",
+        )
+
+    def _read_candidates(
+        self, require: Optional[dict], max_lag: Optional[int]
+    ) -> List[_Backend]:
+        """Follower rotation, staleness-filtered, primary always last.
+
+        ``max_lag=0`` short-circuits to the primary.  A follower whose
+        cached frontier already satisfies ``require`` is preferred;
+        ones that might have caught up since their last probe still get
+        a try (the response's position is verified either way) before
+        the read falls through to the primary."""
+        if max_lag == 0:
+            return [self._primary]
+        followers = [b for b in self._replicas if b.alive]
+        if not followers:
+            return [self._primary]
+        self._rotation += 1
+        offset = self._rotation % len(followers)
+        followers = followers[offset:] + followers[:offset]
+        if max_lag is not None and self._primary.position is not None \
+                and _is_plain(self._primary.position):
+            head = _plain_tuple(self._primary.position)
+            followers = [
+                b for b in followers
+                if b.position is not None
+                and _is_plain(b.position)
+                and _plain_tuple(b.position)[0] == head[0]
+                and head[1] - _plain_tuple(b.position)[1] <= max_lag
+            ]
+        if require is not None:
+            satisfied = [
+                b for b in followers if position_geq(b.position, require)
+            ]
+            lagging = [b for b in followers if b not in satisfied]
+            followers = satisfied + lagging
+        return followers + [self._primary]
+
+    def _require_lost(self, require: Optional[dict]) -> bool:
+        """Whether ``require`` points past a recorded lost floor — a
+        position only the dead primary ever held.  Same-generation
+        comparison only: positions in the new generation are the new
+        primary's own history and always servable."""
+        if require is None:
+            return False
+        for floor in self._lost_floors:
+            if _is_plain(floor) and _is_plain(require):
+                if require.get("generation") == floor.get("generation") \
+                        and require.get("seq", 0) > floor.get("seq", 0):
+                    return True
+            elif not _is_plain(floor) and not _is_plain(require):
+                for name, pos in require.items():
+                    held = floor.get(name)
+                    if held is not None and pos[0] == held[0] \
+                            and pos[1] > held[1]:
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    # health and failover
+    # ------------------------------------------------------------------
+    async def _health_loop(self) -> None:
+        while not self._draining:
+            try:
+                await asyncio.wait_for(
+                    self._probe_now.wait(), self.probe_interval
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._probe_now.clear()
+            if self._draining:
+                return
+            for backend in self._backends():
+                await self._probe(backend)
+            if not self._primary.alive:
+                async with self._failover_lock:
+                    if not self._primary.alive:
+                        await self._failover()
+
+    async def _probe(self, backend: _Backend) -> None:
+        try:
+            client = await self._ensure_client(backend)
+            response = await asyncio.wait_for(
+                client.position(), self.probe_timeout
+            )
+        except Exception:
+            backend.fails += 1
+            await self._drop_client(backend)
+            if backend.fails >= self.fail_after:
+                backend.alive = False
+            return
+        backend.fails = 0
+        backend.alive = True
+        backend.position = position_max(
+            backend.position, response.get("position") or None
+        )
+
+    async def _failover(self) -> None:
+        """Elect the most advanced live follower and promote it.
+
+        A candidate that refuses (in-doubt 2PC state, an inconsistent
+        sharded cut) or dies mid-promotion is skipped and the next most
+        advanced follower is tried.  On success the write route is
+        repointed, the elected follower's pre-promotion frontier is
+        recorded as a lost floor, and every surviving follower is
+        re-attached to the new primary's stream."""
+
+        def key(backend: _Backend):
+            position = backend.position
+            if position is None:
+                return ()
+            if _is_plain(position):
+                return _plain_tuple(position)
+            return tuple(sorted(
+                (name, pos[0], pos[1]) for name, pos in position.items()
+            ))
+
+        candidates = sorted(
+            (b for b in self._replicas if b.alive), key=key, reverse=True
+        )
+        for backend in candidates:
+            try:
+                client = await self._ensure_client(backend)
+                probe = await asyncio.wait_for(
+                    client.position(), self.probe_timeout
+                )
+                elected_floor = probe.get("position")
+                promoted = await client.promote()
+            except ServerError:
+                continue  # refused (in doubt / off-cut): next candidate
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                await self._mark_dead(backend)
+                continue
+            if elected_floor:
+                self._lost_floors.append(elected_floor)
+            self._replicas = [b for b in self._replicas if b is not backend]
+            backend.position = promoted.get("position")
+            backend.alive = True
+            backend.fails = 0
+            self._primary = backend
+            self.failovers += 1
+            for survivor in self._replicas:
+                try:
+                    surviving = await self._ensure_client(survivor)
+                    await asyncio.wait_for(
+                        surviving.reattach(self._primary.address),
+                        self.probe_timeout,
+                    )
+                except Exception:
+                    await self._mark_dead(survivor)
+            return

@@ -37,7 +37,11 @@ Operations
     canonical global document order — a ``truncated`` flag (true when
     ``size_limit`` cut the result after canonical ordering, i.e. at
     least one further match exists), and the ``position`` the serving
-    reader's view sat at (always a committed frontier).
+    reader's view sat at (always a committed frontier).  Two optional
+    fields address a front door (a plain server ignores them):
+    ``require_seq`` — a ``position`` payload the serving replica's
+    frontier must have reached (read-your-writes) — and ``max_lag``
+    (``0`` forces primary reads).
 ``add`` / ``delete`` / ``txn``
     Mutations as update transactions.  ``add`` carries ``dn``,
     ``classes``, ``attributes``; ``delete`` carries ``dn``; ``txn``
@@ -61,12 +65,33 @@ Operations
     when the subscriber catches up, the next frame carries
     ``"dropped": k`` — k notifications were folded away, so re-read
     rather than trust the gap.
+``position``
+    The server's role (``primary``/``replica``) and committed frontier
+    as a ``position`` payload — ``{"generation": g, "seq": s}`` for a
+    plain store, ``{shard: [g, s], ...}`` for a sharded one.  Allowed
+    before bind: it is the front door's health-probe surface.  Replica
+    servers add ``upstream`` and (sharded) ``consistent`` — whether
+    the cohort sits exactly on its last replicated cut.
+``promote``
+    Ask a replica server to promote its local replica tree to a
+    primary in place (PR 9's ``promote``/``promote_shards`` paths,
+    including their refusals: an in-doubt 2PC prepare, or a sharded
+    cohort off its cut).  On success the server starts serving writes
+    and returns ``role: "primary"`` plus its new ``position``.
+``reattach``
+    Repoint a replica server's sync loop at a new ``upstream``
+    (``"host:port"``) — how a front door re-homes survivors behind the
+    generation bump after failover.
 ``replicate``
-    Subscribe this connection as a WAL-shipping replication follower
-    (plain stores only; sharded stores refuse).  The request carries
-    the follower's durable ``generation``/``seq``; the response
-    acknowledges with the primary's committed frontier.  The server
-    then pushes stream messages with ``op: "repl"`` and no ``id``:
+    Subscribe this connection as a WAL-shipping replication follower.
+    Against a plain store the request carries the follower's durable
+    ``generation``/``seq``; against a sharded store it carries
+    ``shards`` — a map of per-shard ``[generation, seq]`` pairs — and
+    the stream multiplexes every shard's frames tagged with ``shard``,
+    punctuated by ``kind: "cut"`` messages marking coordinator-
+    consistent frontiers (see below).  The response acknowledges with
+    the primary's committed frontier.  The server then pushes stream
+    messages with ``op: "repl"`` and no ``id``:
 
     * ``kind: "snapshot"`` — the snapshot file verbatim (sent when the
       position cannot be served incrementally; a snapshot bigger than
@@ -79,8 +104,19 @@ Operations
     * ``kind: "frames"`` — a raw committed byte slice of the journal
       (``generation``, ``start_seq``, ``data``, ``crc``).  In-doubt
       2PC prepares never ship; decided pairs ship whole.
+    * ``kind: "shardmap"`` / ``kind: "cut"`` — sharded streams only:
+      the shard layout file, and the per-shard frontier the batch just
+      shipped lands on (a coordinator-consistent cut — the follower
+      applies everything since the last cut atomically, so it never
+      observes half a spanning transaction).
 
     See :mod:`repro.store.replicate` for the exact stream contract.
+
+The front door (:mod:`repro.server.frontdoor`) additionally serves a
+``topology`` operation — the routing table with every member's
+address, liveness, cached frontier, and the recorded lost floors —
+and answers reads whose required position died with a failed primary
+with a typed ``position_lost`` error.
 """
 
 from __future__ import annotations

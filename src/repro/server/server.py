@@ -113,13 +113,16 @@ class _CommitFeed:
 
 
 class _Connection:
-    """Per-connection state: the bound identity, the serving reader, and
-    the watch/replicate fanout tasks (when subscribed)."""
+    """Per-connection state: the bound identity, the serving reader
+    (opened lazily on the first read), the socket writer (so a drain
+    can nudge an idle peer), and the watch/replicate fanout tasks."""
 
-    def __init__(self, server: "DirectoryServer", reader_view) -> None:
+    def __init__(self, server: "DirectoryServer", writer) -> None:
         self.server = server
-        self.view = reader_view
+        self.writer = writer
+        self.view = None  # opened lazily by the first read operation
         self.bound_dn: Optional[str] = None
+        self.busy = False  # a frame is being dispatched right now
         self.watch_task: Optional[asyncio.Task] = None
         self.replicate_task: Optional[asyncio.Task] = None
 
@@ -134,6 +137,16 @@ class _Connection:
             }
         generation, seq = self.view.position()
         return {"generation": generation, "seq": seq}
+
+    def nudge(self) -> None:
+        """Close the transport under an idle reader so its blocked
+        ``read_frame`` wakes with EOF instead of sitting out a drain
+        timeout.  A busy connection is left alone: it finishes its
+        in-flight frame and exits at the loop's drain check."""
+        try:
+            self.writer.close()
+        except Exception:
+            pass
 
 
 class DirectoryServer:
@@ -153,6 +166,16 @@ class DirectoryServer:
     host / port:
         Bind address.  Port ``0`` binds an ephemeral port; read the
         bound one from :attr:`port` after :meth:`start`.
+    replica_of:
+        ``"host:port"`` of an upstream primary.  The server then runs
+        as a **replica**: instead of opening the store as a writer it
+        attaches a :class:`~repro.store.replicate.ReplicaApplier` (or
+        the sharded cohort applier) fed by a background sync loop, and
+        serves reads from the replicated copy.  Writes answer
+        ``not_writable``; the ``promote`` operation turns the replica
+        into a full primary in place, and ``reattach`` repoints the
+        sync loop at a new upstream (the failover choreography the
+        front door drives).
     """
 
     def __init__(
@@ -166,6 +189,7 @@ class DirectoryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         structure: str = "batched",
+        replica_of: Optional[str] = None,
     ) -> None:
         self.store_path = store_path
         self.schema = schema
@@ -175,7 +199,12 @@ class DirectoryServer:
         self.host = host
         self._requested_port = port
         self.structure = structure
+        self.replica_of = replica_of
         self.store = None
+        self._applier = None
+        self._sync_task: Optional[asyncio.Task] = None
+        self._sync_client = None
+        self._sync_stopped = False
         self._server: Optional[asyncio.base_events.Server] = None
         self._write_lock = asyncio.Lock()
         self._writer_pool = concurrent.futures.ThreadPoolExecutor(
@@ -183,7 +212,7 @@ class DirectoryServer:
         )
         self._commit_seq = 0
         self._feeds: set = set()
-        self._connections: set = set()
+        self._connections: "dict[asyncio.Task, _Connection]" = {}
         self._draining = False
 
     # ------------------------------------------------------------------
@@ -196,10 +225,26 @@ class DirectoryServer:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def role(self) -> str:
+        """``"replica"`` while following an upstream, else ``"primary"``."""
+        return "replica" if self._applier is not None else "primary"
+
     async def start(self) -> None:
-        """Open the store (writer lock held from here on) and bind."""
+        """Open the store (writer lock held from here on) and bind.
+
+        A replica (``replica_of``) opens an applier instead of a writer
+        and starts the background sync loop; it accepts connections
+        immediately, even before its first snapshot lands (reads answer
+        ``store_error`` until then)."""
         loop = asyncio.get_running_loop()
-        self.store = await loop.run_in_executor(None, self._open_store)
+        if self.replica_of is not None:
+            self._applier = await loop.run_in_executor(
+                None, self._open_applier
+            )
+            self._sync_task = asyncio.ensure_future(self._sync_loop())
+        else:
+            self.store = await loop.run_in_executor(None, self._open_store)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
@@ -217,21 +262,62 @@ class DirectoryServer:
             self.store_path, self.schema, self.registry
         )
 
+    def _open_applier(self):
+        if self.shards:
+            from repro.store.replicate import ShardedReplicaApplier
+
+            return ShardedReplicaApplier(
+                self.store_path, self.schema, self.registry,
+                upstream=self.replica_of,
+            )
+        from repro.store.replicate import ReplicaApplier
+
+        return ReplicaApplier(
+            self.store_path, self.schema, self.registry,
+            upstream=self.replica_of,
+        )
+
     def _open_view(self):
         kwargs = {"structure": self.structure}
         if self.jobs > 0:
             kwargs["parallelism"] = self.jobs
-        if self.shards:
-            from repro.store.sharded import CompositeReader
+        try:
+            if self.shards:
+                from repro.store.sharded import CompositeReader
 
-            return CompositeReader.open(
+                return CompositeReader.open(
+                    self.store_path, self.schema, self.registry, **kwargs
+                )
+            from repro.store.reader import StoreReader
+
+            return StoreReader.open(
                 self.store_path, self.schema, self.registry, **kwargs
             )
-        from repro.store.reader import StoreReader
+        except OSError as exc:
+            # A replica before its bootstrap snapshot has nothing to
+            # read yet; surface that as a store error, not a dead socket.
+            raise StoreError(
+                f"{self.store_path} holds no readable state yet ({exc})"
+            ) from exc
 
-        return StoreReader.open(
-            self.store_path, self.schema, self.registry, **kwargs
-        )
+    def _refresh_view(self, view) -> None:
+        """Refresh a connection's view to the current committed state.
+
+        On a sharded replica the refresh must hold the applier's batch
+        lock and only land on a replicated cut — anything between cuts
+        could show half a spanning transaction."""
+        applier = self._applier
+        if applier is not None and self.shards:
+            with applier.lock:
+                if not applier.consistent():
+                    raise StoreError(
+                        f"replica {self.store_path} has not reached a "
+                        "consistent replicated cut yet; retry after the "
+                        "next sync batch"
+                    )
+                view.refresh()
+        else:
+            view.refresh()
 
     async def stop(self, *, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop accepting, optionally drain in-flight connections, close
@@ -245,6 +331,13 @@ class DirectoryServer:
         # Wake watch/replicate tasks so draining connections can exit.
         for feed in list(self._feeds):
             feed.wake()
+        # Nudge connections sitting idle in read_frame: _draining is
+        # only checked between frames, so without the EOF they would
+        # ride out the whole drain timeout.  Busy connections finish
+        # their in-flight frame and exit at the loop's drain check.
+        for connection in list(self._connections.values()):
+            if not connection.busy:
+                connection.nudge()
         pending = {t for t in self._connections if not t.done()}
         if pending and drain:
             _, pending = await asyncio.wait(pending, timeout=timeout)
@@ -252,8 +345,48 @@ class DirectoryServer:
             task.cancel()
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
+        await self._stop_sync()
+        loop = asyncio.get_running_loop()
+        if self._applier is not None:
+            applier, self._applier = self._applier, None
+            await loop.run_in_executor(None, applier.close)
         if self.store is not None:
-            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.store.close)
+            self.store = None
+        self._writer_pool.shutdown(wait=True)
+
+    async def kill(self) -> None:
+        """Die abruptly — the crash-harness stand-in for ``kill -9``.
+
+        Aborts the listener and every connection's transport without
+        drain or replies; the store is closed only to release file
+        handles (a killed process drops its advisory lock the same
+        way).  Clients observe a reset connection mid-operation."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for feed in list(self._feeds):
+            feed.wake()
+        for task, connection in list(self._connections.items()):
+            transport = getattr(connection.writer, "transport", None)
+            try:
+                if transport is not None:
+                    transport.abort()
+                else:
+                    connection.writer.close()
+            except Exception:
+                pass
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        await self._stop_sync()
+        loop = asyncio.get_running_loop()
+        if self._applier is not None:
+            applier, self._applier = self._applier, None
+            await loop.run_in_executor(None, applier.close)
+        if self.store is not None:
             await loop.run_in_executor(None, self.store.close)
             self.store = None
         self._writer_pool.shutdown(wait=True)
@@ -264,42 +397,123 @@ class DirectoryServer:
         await self._server.serve_forever()
 
     # ------------------------------------------------------------------
+    # replica sync: pull the upstream's stream into the local applier
+    # ------------------------------------------------------------------
+    async def _stop_sync(self) -> None:
+        self._sync_stopped = True
+        client, self._sync_client = self._sync_client, None
+        task, self._sync_task = self._sync_task, None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+        if task is not None:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+
+    async def _sync_loop(self) -> None:
+        """Follow the upstream primary, applying every stream message
+        durably on the writer thread; reconnects with backoff on any
+        break (including a ``reattach`` repointing the upstream)."""
+        from repro.server.client import DirectoryClient
+
+        loop = asyncio.get_running_loop()
+        while not self._draining and not self._sync_stopped:
+            upstream = self.replica_of
+            client = None
+            try:
+                host, _, port = str(upstream).rpartition(":")
+                client = await DirectoryClient.connect(host, int(port))
+                self._sync_client = client
+                await client.bind("cn=replica")
+                applier = self._applier
+                if applier is None:
+                    return
+                if self.shards:
+                    ack = await client.replicate(shards=applier.position())
+                else:
+                    generation, seq = applier.position()
+                    ack = await client.replicate(generation, seq)
+                if not self.shards and "generation" in ack:
+                    applier.frontier = (ack["generation"], ack["seq"])
+                while not self._draining and not self._sync_stopped:
+                    message = await client.next_stream_message()
+                    await loop.run_in_executor(
+                        self._writer_pool,
+                        lambda m=message: self._applier.apply_message(m),
+                    )
+                    await self._commit_happened()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass  # connection break or upstream death: retry below
+            finally:
+                if client is not None:
+                    self._sync_client = None
+                    try:
+                        await client.close()
+                    except Exception:
+                        pass
+            if self._draining or self._sync_stopped:
+                return
+            await asyncio.sleep(0.2)
+
+    # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
-        self._connections.add(task)
+        connection = _Connection(self, writer)
+        self._connections[task] = connection
         loop = asyncio.get_running_loop()
-        connection: Optional[_Connection] = None
         try:
-            view = await loop.run_in_executor(None, self._open_view)
-            connection = _Connection(self, view)
             while not self._draining:
                 request = await read_frame(reader)
                 if request is None:
                     break
-                response = await self._dispatch(connection, writer, request)
-                if response is None:  # unbind: reply already sent
-                    break
-                await write_frame(writer, response)
+                connection.busy = True
+                try:
+                    response = await self._dispatch(
+                        connection, writer, request
+                    )
+                    if response is None:  # unbind: reply already sent
+                        break
+                    await write_frame(writer, response)
+                finally:
+                    connection.busy = False
         except (ProtocolError, ConnectionError, asyncio.IncompleteReadError):
             pass  # a broken client is its own problem; drop the connection
+        except asyncio.CancelledError:
+            # kill() cancels connection tasks; swallowing here keeps
+            # asyncio's stream callback from logging the retrieval.
+            pass
         finally:
-            self._connections.discard(task)
-            if connection is not None:
-                for task in (connection.watch_task, connection.replicate_task):
-                    if task is not None:
-                        task.cancel()
-                        try:
-                            await task
-                        except asyncio.CancelledError:
-                            pass
+            self._connections.pop(task, None)
+            for fanout in (connection.watch_task, connection.replicate_task):
+                if fanout is not None:
+                    fanout.cancel()
+                    try:
+                        await fanout
+                    except asyncio.CancelledError:
+                        pass
+            if connection.view is not None:
                 await loop.run_in_executor(None, connection.view.close)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _ensure_view(self, connection: _Connection) -> None:
+        """Open the connection's serving view on first use.  Lazy so a
+        replica accepts connections (ping, position, watch) before its
+        bootstrap snapshot has landed."""
+        if connection.view is None:
+            loop = asyncio.get_running_loop()
+            connection.view = await loop.run_in_executor(
+                None, self._open_view
+            )
 
     async def _dispatch(
         self, connection: _Connection, writer, request: dict
@@ -309,6 +523,8 @@ class DirectoryServer:
         try:
             if op == "ping":
                 return ok_response(request_id)
+            if op == "position":
+                return self._op_position(request)
             if op == "bind":
                 dn = request.get("dn", "")
                 if not isinstance(dn, str):
@@ -337,6 +553,10 @@ class DirectoryServer:
                 return self._op_watch(connection, writer, request)
             if op == "replicate":
                 return self._op_replicate(connection, writer, request)
+            if op == "promote":
+                return await self._op_promote(request)
+            if op == "reattach":
+                return await self._op_reattach(request)
             return error_response(
                 request_id, "unknown_op", f"unknown operation {op!r}"
             )
@@ -371,11 +591,12 @@ class DirectoryServer:
                 f"size_limit must be a positive integer, got {size_limit!r}",
             )
         base = request.get("base")
+        await self._ensure_view(connection)
 
         def run():
             from repro.query.filter_parser import parse_filter
 
-            connection.view.refresh()
+            self._refresh_view(connection.view)
             parsed = parse_filter(filter_text) if filter_text else None
             # Over-fetch by one so the cut happens *after* canonical
             # ordering and the client learns whether results were
@@ -400,8 +621,10 @@ class DirectoryServer:
         )
 
     async def _op_check(self, connection: _Connection, request: dict) -> dict:
+        await self._ensure_view(connection)
+
         def run():
-            connection.view.refresh()
+            self._refresh_view(connection.view)
             report = connection.view.check()
             return report, len(connection.view.instance)
 
@@ -418,10 +641,32 @@ class DirectoryServer:
     # ------------------------------------------------------------------
     # writes: the single funnel
     # ------------------------------------------------------------------
+    def _not_writable(self, request_id) -> dict:
+        return error_response(
+            request_id, "not_writable",
+            f"this server is a replica of {self.replica_of}; "
+            "send writes to the primary",
+        )
+
+    def _store_position(self) -> dict:
+        """The committed frontier, read on the writer thread so a write
+        response's position is atomic with its commit."""
+        if self.shards:
+            return {
+                name: [generation, seq]
+                for name, generation, seq in self.store.frontier_key()
+            }
+        return {
+            "generation": self.store.generation,
+            "seq": self.store.journal_length,
+        }
+
     async def _op_write(self, connection: _Connection, request: dict) -> dict:
         from repro.ldif.changes import parse_changes
         from repro.updates.operations import UpdateTransaction
 
+        if self.store is None:
+            return self._not_writable(request.get("id"))
         op = request["op"]
         if op == "add":
             transaction = UpdateTransaction().insert(
@@ -433,13 +678,24 @@ class DirectoryServer:
             transaction = UpdateTransaction().delete(request["dn"])
         else:  # txn
             transaction = parse_changes(request.get("changes", ""))
-        outcome = await self._run_write(
-            lambda: self.store.apply(transaction)
-        )
+            if not transaction.operations:
+                # an empty changes document would "apply" vacuously —
+                # the same trap as a zero-record modify batch
+                return error_response(
+                    request.get("id"), "bad_request",
+                    "txn requires at least one change record",
+                )
+
+        def run():
+            outcome = self.store.apply(transaction)
+            return outcome, self._store_position()
+
+        outcome, position = await self._run_write(run)
         response = ok_response(
             request.get("id"),
             applied=outcome.applied,
             violations=_violations_payload(outcome.report),
+            position=position,
         )
         if outcome.applied:
             await self._commit_happened()
@@ -448,13 +704,25 @@ class DirectoryServer:
     async def _op_modify(self, connection: _Connection, request: dict) -> dict:
         from repro.ldif.modify import parse_modifications
 
+        if self.store is None:
+            return self._not_writable(request.get("id"))
         records = parse_modifications(request.get("changes", ""))
+        if not records:
+            # all() over zero records would report a vacuous success.
+            return error_response(
+                request.get("id"), "bad_request",
+                "modify requires at least one modification record",
+            )
         results = []
         committed = False
+        position = None
         for record in records:
-            outcome = await self._run_write(
-                lambda record=record: self.store.modify(record)
-            )
+
+            def run(record=record):
+                outcome = self.store.modify(record)
+                return outcome, self._store_position()
+
+            outcome, position = await self._run_write(run)
             results.append(
                 {
                     "dn": str(record.dn),
@@ -469,6 +737,7 @@ class DirectoryServer:
             request.get("id"),
             applied=all(r["applied"] for r in results),
             results=results,
+            position=position,
         )
 
     async def _run_write(self, fn):
@@ -542,47 +811,84 @@ class DirectoryServer:
     ) -> dict:
         """Subscribe this connection as a replication follower.
 
-        The request carries the follower's durable ``(generation,
-        seq)`` position; the reply acknowledges with the primary's
-        committed frontier, then stream messages (``op: "repl"``) are
-        pushed: schema frames strictly before the data frames of their
-        generation, a snapshot first when the position cannot be served
-        incrementally.  Sharded stores refuse: replication follows one
-        WAL — point followers at the member stores.
+        The request carries the follower's durable position — plain
+        stores a ``(generation, seq)`` pair, sharded stores a
+        ``shards`` map of per-shard pairs; the reply acknowledges with
+        the primary's committed frontier, then stream messages (``op:
+        "repl"``) are pushed: schema frames strictly before the data
+        frames of their generation, a snapshot first when the position
+        cannot be served incrementally.  A sharded primary multiplexes
+        per-shard streams under one coordinator cut, so a follower set
+        never observes half a spanning transaction.
         """
         request_id = request.get("id")
-        if self.shards:
+        if self._applier is not None:
             return error_response(
                 request_id, "bad_request",
-                "replicate requires a plain (unsharded) store; replicate "
-                "each shard's member store individually",
+                f"this server is a replica of {self.replica_of}; "
+                "replicate from the primary",
             )
         if connection.replicate_task is not None:
             return error_response(
                 request_id, "bad_request",
                 "this connection is already replicating",
             )
-        generation = request.get("generation", 0)
-        seq = request.get("seq", 0)
-        if not isinstance(generation, int) or not isinstance(seq, int) \
-                or generation < 0 or seq < 0:
-            return error_response(
-                request_id, "bad_request",
-                "replicate position must be non-negative integers",
-            )
-        from repro.store.replicate import FrameSource
+        if self.shards:
+            from repro.store.replicate import ShardedFrameSource
 
-        source = FrameSource(self.store_path, self.schema)
-        source.attach(generation, seq)
+            shards = request.get("shards", {})
+            if not isinstance(shards, dict) or not all(
+                isinstance(name, str)
+                and isinstance(pos, (list, tuple))
+                and len(pos) == 2
+                and all(
+                    isinstance(p, int)
+                    and not isinstance(p, bool)
+                    and p >= 0
+                    for p in pos
+                )
+                for name, pos in shards.items()
+            ):
+                return error_response(
+                    request_id, "bad_request",
+                    "sharded replicate position must map shard names to "
+                    "non-negative integer pairs",
+                )
+            source = ShardedFrameSource(self.store_path, self.schema)
+            source.attach(
+                {name: (pos[0], pos[1]) for name, pos in shards.items()}
+            )
+            ack = {
+                "shards": {
+                    name: [generation, seq]
+                    for name, generation, seq in self.store.frontier_key()
+                }
+            }
+        else:
+            from repro.store.replicate import FrameSource
+
+            generation = request.get("generation", 0)
+            seq = request.get("seq", 0)
+            if any(
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 0
+                for value in (generation, seq)
+            ):
+                return error_response(
+                    request_id, "bad_request",
+                    "replicate position must be non-negative integers",
+                )
+            source = FrameSource(self.store_path, self.schema)
+            source.attach(generation, seq)
+            ack = {
+                "generation": self.store.generation,
+                "seq": self.store.journal_length,
+            }
         connection.replicate_task = asyncio.ensure_future(
             self._replicate_loop(writer, source)
         )
-        return ok_response(
-            request_id,
-            mode="stream",
-            generation=self.store.generation,
-            seq=self.store.journal_length,
-        )
+        return ok_response(request_id, mode="stream", **ack)
 
     async def _replicate_loop(self, writer, source) -> None:
         """Ship stream messages until the follower disconnects.
@@ -610,3 +916,108 @@ class DirectoryServer:
             return  # the connection is going away; its handler cleans up
         finally:
             self._unsubscribe(feed)
+
+    # ------------------------------------------------------------------
+    # topology: role introspection, in-place promotion, re-attachment
+    # ------------------------------------------------------------------
+    def _topology_position(self) -> dict:
+        if self._applier is not None:
+            if self.shards:
+                return {
+                    name: list(pos)
+                    for name, pos in self._applier.position().items()
+                }
+            generation, seq = self._applier.position()
+            return {"generation": generation, "seq": seq}
+        if self.store is None:
+            return {}
+        return self._store_position()
+
+    def _op_position(self, request: dict) -> dict:
+        """Role and committed frontier — the health-probe surface the
+        front door polls; answered without a bind or a serving view so
+        a bootstrapping replica is still observable."""
+        payload = {
+            "role": self.role,
+            "position": self._topology_position(),
+        }
+        if self._applier is not None:
+            payload["upstream"] = self.replica_of
+            if self.shards:
+                payload["consistent"] = self._applier.consistent()
+            lag = self._applier.lag_frames() if not self.shards else None
+            if lag is not None:
+                payload["lag_frames"] = lag
+        return ok_response(request.get("id"), **payload)
+
+    async def _op_promote(self, request: dict) -> dict:
+        """Promote this replica to a writable primary, in place.
+
+        Runs under the write lock on the writer thread: the sync loop
+        is stopped, the applier closed, and PR 9's ``promote`` path
+        (or the sharded cohort promotion) drives the generation bump —
+        refusing while any 2PC prepare is in doubt or, sharded, while
+        the cohort is off its replicated cut.  On refusal the applier
+        and sync loop are restarted, so a failed candidate keeps
+        following its upstream."""
+        request_id = request.get("id")
+        if self._applier is None:
+            return error_response(
+                request_id, "bad_request",
+                "this server is already a primary; only a replica can "
+                "be promoted",
+            )
+        loop = asyncio.get_running_loop()
+        async with self._write_lock:
+            await self._stop_sync()
+            applier, self._applier = self._applier, None
+
+            def run():
+                applier.close()
+                from repro.store.replicate import promote, promote_shards
+
+                if self.shards:
+                    return promote_shards(
+                        self.store_path, self.schema, self.registry
+                    )
+                return promote(self.store_path, self.schema, self.registry)
+
+            try:
+                self.store = await loop.run_in_executor(
+                    self._writer_pool, run
+                )
+            except StoreError as exc:
+                # Refused: go back to being a follower of the same
+                # upstream so the elector can try another candidate.
+                self._applier = await loop.run_in_executor(
+                    None, self._open_applier
+                )
+                self._sync_stopped = False
+                self._sync_task = asyncio.ensure_future(self._sync_loop())
+                return error_response(request_id, "store_error", str(exc))
+        self.replica_of = None
+        await self._commit_happened()  # wake feeds: the world changed
+        return ok_response(
+            request_id, role="primary", position=self._store_position()
+        )
+
+    async def _op_reattach(self, request: dict) -> dict:
+        """Repoint the sync loop at a new upstream (post-failover)."""
+        request_id = request.get("id")
+        upstream = request.get("upstream")
+        if not isinstance(upstream, str) or ":" not in upstream:
+            return error_response(
+                request_id, "bad_request",
+                "reattach requires an upstream of the form host:port",
+            )
+        if self._applier is None:
+            return error_response(
+                request_id, "bad_request",
+                "this server is a primary; only a replica can reattach",
+            )
+        await self._stop_sync()
+        self.replica_of = upstream
+        self._applier.upstream = upstream
+        self._sync_stopped = False
+        self._sync_task = asyncio.ensure_future(self._sync_loop())
+        return ok_response(request_id, upstream=upstream)

@@ -41,6 +41,20 @@ writable primary: refuse if in-doubt 2PC state is visible, acquire the
 advisory lock, recover the committed prefix, and compact — a genuine
 generation bump that starts a new epoch, so frames from the old
 primary's history are recognisably stale ever after.
+
+Sharded stores replicate too (:class:`ShardedFrameSource` /
+:class:`ShardedReplicaApplier`): one per-shard ``FrameSource`` each,
+multiplexed under a single **coordinator cut**.  Every poll captures
+the coordinator log's transaction states once, and each shard's stream
+is gated to stop in front of any decided 2PC pair whose transaction is
+not yet *complete* (all participants' decides durable) — the same
+discipline ``CompositeReader._capture_txn_cut`` uses for local reads —
+so a follower set never holds half a spanning transaction.  Two extra
+message kinds carry the topology: ``shardmap`` ships the shard layout
+once, and ``cut`` closes every batch with the frontier the follower
+must reach before its composite view may be served.  Promotion of a
+cohort (:func:`promote_shards`) inspects every shard against the last
+replicated cut first and promotes all of them or none.
 """
 
 from __future__ import annotations
@@ -48,9 +62,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReplicaDivergedError, ReplicationError, StoreError
 from repro.ldif.writer import serialize_ldif
@@ -67,18 +82,27 @@ from repro.store.recovery import (
     SNAPSHOT_FILE,
     recover,
 )
+from repro.store.shardmap import read_shard_map, shard_dir, shard_map_path
+from repro.store.txlog import inspect_txlog
 from repro.store.wal import StoreIO
 
 __all__ = [
+    "CUT_STATE_FILE",
     "FrameSource",
     "ReplicaApplier",
+    "ShardedFrameSource",
+    "ShardedReplicaApplier",
     "StreamMessage",
     "decode_stream_message",
+    "encode_cut_message",
     "encode_frames_message",
     "encode_schema_message",
+    "encode_shard_map_message",
     "encode_snapshot_message",
     "promote",
+    "promote_shards",
     "pump",
+    "read_cut_state",
     "read_replica_state",
     "schema_fingerprint",
 ]
@@ -90,6 +114,12 @@ __all__ = [
 STREAM_BATCH_BYTES = 1 << 20
 
 _SNAPSHOT_RETRIES = 3  # compaction-race retries, same as reader bootstrap
+
+#: A sharded follower's record of the last fully-applied coordinator
+#: cut: ``{shard: [generation, seq]}``.  The composite view may only be
+#: served (and the cohort only promoted) at a recorded cut — anything
+#: between cuts could show half a spanning transaction.
+CUT_STATE_FILE = "cut.state"
 
 
 def schema_fingerprint(schema: DirectorySchema) -> int:
@@ -110,7 +140,7 @@ def schema_fingerprint(schema: DirectorySchema) -> int:
 class StreamMessage:
     """One decoded replication-stream message."""
 
-    kind: str  # "snapshot" | "schema" | "frames"
+    kind: str  # "snapshot" | "schema" | "frames" | "shardmap" | "cut"
     generation: int
     schema_crc: Optional[int] = None
     snapshot: Optional[str] = None  # snapshot: full file text
@@ -119,6 +149,9 @@ class StreamMessage:
     start_seq: Optional[int] = None  # frames: first frame's seq
     data: Optional[bytes] = None  # frames: raw journal byte slice
     records: Optional[List[wal.WalRecord]] = None  # frames: verified
+    shard: Optional[str] = None  # sharded stream: the member shard
+    shard_map: Optional[str] = None  # shardmap: the layout file, verbatim
+    frontier: Optional[Dict[str, Tuple[int, int]]] = None  # cut
 
 
 def _batch_crc(generation: int, start_seq: int, data: bytes) -> int:
@@ -171,6 +204,27 @@ def encode_frames_message(generation: int, start_seq: int, data: bytes) -> dict:
     }
 
 
+def encode_shard_map_message(shard_map_text: str) -> dict:
+    """A ``shardmap`` message: the sharded primary's layout file,
+    verbatim, so a fresh follower can lay out its own shard cohort."""
+    return {
+        "op": "repl",
+        "kind": "shardmap",
+        "shard_map": shard_map_text,
+        "crc": zlib.crc32(shard_map_text.encode("utf-8")) & 0xFFFFFFFF,
+    }
+
+
+def encode_cut_message(frontier: Dict[str, Tuple[int, int]]) -> dict:
+    """A ``cut`` message closing one sharded batch: the coordinator-cut
+    frontier every shard of the batch lands on."""
+    return {
+        "op": "repl",
+        "kind": "cut",
+        "frontier": {name: list(pos) for name, pos in frontier.items()},
+    }
+
+
 def decode_stream_message(message: dict) -> StreamMessage:
     """Validate and decode a stream message.
 
@@ -181,6 +235,33 @@ def decode_stream_message(message: dict) -> StreamMessage:
     if not isinstance(message, dict) or message.get("op") != "repl":
         raise ReplicationError(f"not a replication stream message: {message!r}")
     kind = message.get("kind")
+    shard = message.get("shard")
+    if shard is not None and not isinstance(shard, str):
+        raise ReplicationError(f"stream message carries bad shard {shard!r}")
+    if kind == "shardmap":
+        text = message.get("shard_map")
+        crc = message.get("crc")
+        if not isinstance(text, str) or not isinstance(crc, int) \
+                or crc != zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF:
+            raise ReplicationError("malformed shardmap message")
+        return StreamMessage(kind="shardmap", generation=0, shard_map=text)
+    if kind == "cut":
+        frontier = message.get("frontier")
+        if not isinstance(frontier, dict) or not all(
+            isinstance(name, str)
+            and isinstance(pos, (list, tuple))
+            and len(pos) == 2
+            and all(
+                isinstance(p, int) and not isinstance(p, bool) and p >= 0
+                for p in pos
+            )
+            for name, pos in frontier.items()
+        ):
+            raise ReplicationError("malformed cut message")
+        return StreamMessage(
+            kind="cut", generation=0,
+            frontier={name: (pos[0], pos[1]) for name, pos in frontier.items()},
+        )
     generation = message.get("generation")
     if not isinstance(generation, int) or generation < 1:
         raise ReplicationError(
@@ -199,7 +280,7 @@ def decode_stream_message(message: dict) -> StreamMessage:
             )
         return StreamMessage(
             kind="snapshot", generation=generation, schema_crc=crc,
-            snapshot=text,
+            snapshot=text, shard=shard,
         )
     if kind == "schema":
         base_seq = message.get("base_seq")
@@ -211,7 +292,7 @@ def decode_stream_message(message: dict) -> StreamMessage:
             raise ReplicationError("malformed schema message")
         return StreamMessage(
             kind="schema", generation=generation, schema_crc=crc,
-            base_seq=base_seq, folds=folds,
+            base_seq=base_seq, folds=folds, shard=shard,
         )
     if kind == "frames":
         start_seq = message.get("start_seq")
@@ -229,7 +310,7 @@ def decode_stream_message(message: dict) -> StreamMessage:
             raise ReplicationError(str(exc)) from exc
         return StreamMessage(
             kind="frames", generation=generation, start_seq=start_seq,
-            data=data, records=records,
+            data=data, records=records, shard=shard,
         )
     raise ReplicationError(f"unknown stream message kind {kind!r}")
 
@@ -257,11 +338,15 @@ class FrameSource:
         *,
         io: Optional[StoreIO] = None,
         batch_bytes: int = STREAM_BATCH_BYTES,
+        pair_gate: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self._dir = directory
         self._schema_crc = schema_fingerprint(schema)
         self._io = io if io is not None else StoreIO()
         self._batch_bytes = batch_bytes
+        #: When set, a decided 2PC pair only ships once the gate passes
+        #: its txid — the sharded multiplexer's coordinator-cut hook.
+        self._pair_gate = pair_gate
         self._generation: Optional[int] = None  # None → ship a snapshot
         self._seq = 0
         self._offset = 0
@@ -286,7 +371,23 @@ class FrameSource:
         self._pending_announce = False
         if generation < 1 or seq < 0:
             return False
-        if self._head_generation() != generation:
+        head = self._head_generation()
+        if head != generation:
+            # A follower standing exactly at a frontier the primary has
+            # since folded (the survivor of a promotion) re-attaches
+            # through the fold: the next poll announces it and the
+            # follower compacts locally — no snapshot re-download.
+            if head == generation + 1:
+                manifest = read_manifest(self._dir, self._io)
+                if (
+                    manifest is not None
+                    and manifest.generation == head
+                    and manifest.folded_seq == seq
+                ):
+                    self._generation, self._seq, self._offset = (
+                        generation, seq, 0
+                    )
+                    return True
             return False
         try:
             data = self._io.read_bytes(self._journal_path())
@@ -405,6 +506,16 @@ class FrameSource:
         if records[0].seq != self._seq + 1 \
                 or records[0].generation != self._generation:
             return -1, 0
+        if self._pair_gate is not None:
+            # Stop in front of the first 2PC pair the gate withholds —
+            # a decided pair whose spanning transaction is not complete
+            # on every sibling shard yet ships with a later cut.
+            for record in records:
+                if record.kind == "prepare" \
+                        and not self._pair_gate(record.txid):
+                    if record is records[0]:
+                        return 0, self._seq
+                    return record.offset, record.seq - 1
         _, pending = wal.resolve_decided(records)
         if pending is not None:
             if pending is records[0]:
@@ -502,6 +613,111 @@ class FrameSource:
         )
         self._generation, self._seq, self._offset = head, 0, 0
         return messages
+
+
+# ----------------------------------------------------------------------
+# primary side, sharded: per-shard sources under one coordinator cut
+# ----------------------------------------------------------------------
+class ShardedFrameSource:
+    """Multiplex per-shard :class:`FrameSource` streams under one
+    coordinator cut.
+
+    Every ``poll()`` first captures the coordinator log's transaction
+    states (PR 7's ``_capture_txn_cut`` discipline, applied to
+    shipping): each shard's stream is then gated to stop in front of
+    any decided 2PC pair whose transaction the captured cut does not
+    show *complete* — all participants' decides durable.  Because every
+    decide is durable before the coordinator's ``complete`` record, a
+    transaction the cut completes is shippable from **every** shard in
+    the same batch, so the batch — closed by a ``cut`` message carrying
+    the landing frontier — is atomic across the follower set: no
+    follower ever holds half a spanning transaction.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        *,
+        io: Optional[StoreIO] = None,
+        batch_bytes: int = STREAM_BATCH_BYTES,
+    ) -> None:
+        from repro.legality.scope import analyze_shard_scope, shard_local_schema
+
+        self._dir = directory
+        self._io = io if io is not None else StoreIO()
+        shard_map = read_shard_map(directory)
+        local_schema = shard_local_schema(
+            schema, analyze_shard_scope(schema, shard_map)
+        )
+        self._sources: Dict[str, FrameSource] = {
+            spec.name: FrameSource(
+                shard_dir(directory, spec.name),
+                local_schema,
+                io=self._io,
+                batch_bytes=batch_bytes,
+                pair_gate=self._gate,
+            )
+            for spec in shard_map
+        }
+        self._shard_map_text = self._io.read_text(shard_map_path(directory))
+        self._sent_shard_map = False
+        self._txn_states: Dict[str, object] = {}
+
+    @property
+    def position(self) -> Dict[str, Tuple[int, int]]:
+        """``{shard: (generation, seq)}`` of the last shipped frames."""
+        return {name: source.position for name, source in self._sources.items()}
+
+    def attach(self, positions: Optional[Dict[str, Tuple[int, int]]]) -> bool:
+        """Position every shard stream at the follower's durable cut;
+        a shard that cannot resume incrementally snapshots on the next
+        poll.  Returns ``True`` iff every shard resumes incrementally."""
+        positions = positions or {}
+        resumed = True
+        for name, source in self._sources.items():
+            pos = positions.get(name, (0, 0))
+            resumed = source.attach(pos[0], pos[1]) and resumed
+        return resumed
+
+    def poll(self) -> List[dict]:
+        """The next batch: shard-tagged stream messages closed by one
+        ``cut`` message (empty list = every shard caught up)."""
+        try:
+            log = inspect_txlog(self._dir, io=self._io)
+        except StoreError:
+            return []  # coordinator log mid-write; retry next poll
+        self._txn_states = dict(log.states()) if log is not None else {}
+        body: List[dict] = []
+        for name, source in self._sources.items():
+            for message in source.poll():
+                tagged = dict(message)
+                tagged["shard"] = name
+                body.append(tagged)
+        if not body:
+            return []
+        messages: List[dict] = []
+        if not self._sent_shard_map:
+            messages.append(encode_shard_map_message(self._shard_map_text))
+            self._sent_shard_map = True
+        messages.extend(body)
+        messages.append(
+            encode_cut_message(
+                {name: source.position
+                 for name, source in self._sources.items()}
+            )
+        )
+        return messages
+
+    def _gate(self, txid: Optional[str]) -> bool:
+        """Ship a decided pair iff its transaction is *complete* at the
+        captured cut.  An absent txid means the coordinator already
+        retired it (``complete`` precedes retirement), which is equally
+        proof every participant's decide is durable."""
+        if txid is None:
+            return True
+        state = self._txn_states.get(txid)
+        return state is None or state.state == "complete"
 
 
 # ----------------------------------------------------------------------
@@ -819,6 +1035,274 @@ def read_replica_state(directory: str) -> Optional[dict]:
     return payload if isinstance(payload, dict) else None
 
 
+# ----------------------------------------------------------------------
+# replica side, sharded: the cohort applier
+# ----------------------------------------------------------------------
+class ShardedReplicaApplier:
+    """A follower *set*: one :class:`ReplicaApplier` per shard, batches
+    applied atomically at ``cut`` boundaries.
+
+    Shard-tagged messages buffer until the batch's ``cut`` message
+    arrives; the whole batch then applies under :attr:`lock` — the same
+    lock a composite read surface must hold while refreshing — so no
+    reader ever observes one shard past a spanning transaction and a
+    sibling short of it.  After each batch the landing frontier is
+    checked against the cut and recorded durably (``cut.state``); a
+    restarted cohort is :meth:`consistent` only when every shard
+    recovers to exactly the recorded cut, and must not serve (or be
+    promoted) until a new cut lands otherwise.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        schema: DirectorySchema,
+        registry: Optional[AttributeRegistry] = None,
+        *,
+        io: Optional[StoreIO] = None,
+        upstream: Optional[str] = None,
+    ) -> None:
+        self.directory = directory
+        self._schema = schema
+        self._registry = registry
+        self._io = io if io is not None else StoreIO()
+        self.upstream = upstream
+        self.lock = threading.Lock()
+        self._appliers: Dict[str, ReplicaApplier] = {}
+        self._pending: List[StreamMessage] = []
+        self._cut: Optional[Dict[str, Tuple[int, int]]] = None
+        self._closed = False
+        os.makedirs(directory, exist_ok=True)
+        try:
+            if os.path.exists(shard_map_path(directory)):
+                self._open_shards()
+            if self._appliers:
+                state = read_cut_state(directory)
+                if state is not None:
+                    self._cut = state
+            persisted = read_replica_state(directory)
+            if persisted is not None and self.upstream is None:
+                self.upstream = persisted.get("upstream")
+        except BaseException:
+            self.close()
+            raise
+
+    # -- introspection -------------------------------------------------
+    @property
+    def frames_applied(self) -> int:
+        """Total frames applied across the cohort's shard appliers."""
+        return sum(a.frames_applied for a in self._appliers.values())
+
+    @property
+    def bytes_applied(self) -> int:
+        """Total frame bytes applied across the cohort."""
+        return sum(a.bytes_applied for a in self._appliers.values())
+
+    @property
+    def snapshots_installed(self) -> int:
+        """Total bootstrap snapshots installed across the cohort."""
+        return sum(a.snapshots_installed for a in self._appliers.values())
+
+    @property
+    def instance(self):
+        """A stitched composite instance of the cohort (read surface).
+
+        Opens a fresh lock-free composite reader per call, under
+        :attr:`lock` so the stitch never straddles a batch apply."""
+        from repro.store.sharded import CompositeReader
+
+        self._ensure_open()
+        if not self._appliers:
+            raise StoreError(
+                f"sharded replica {self.directory} holds no state yet; "
+                "it needs a shard map and snapshots from its primary"
+            )
+        with self.lock:
+            reader = CompositeReader.open(
+                self.directory, self._schema, self._registry
+            )
+            try:
+                return reader.instance
+            finally:
+                reader.close()
+
+    def position(self) -> Dict[str, Tuple[int, int]]:
+        """``{shard: (generation, seq)}`` durably applied — ``{}``
+        before the shard map lands."""
+        return {name: a.position() for name, a in self._appliers.items()}
+
+    def consistent(self) -> bool:
+        """Whether every shard stands exactly at the last replicated
+        cut — the only states in which the composite view is whole."""
+        return self._cut is not None and self.position() == self._cut
+
+    def status(self) -> dict:
+        """Per-shard applier status plus the last replicated cut."""
+        return {
+            "directory": self.directory,
+            "upstream": self.upstream,
+            "shards": {
+                name: a.status() for name, a in self._appliers.items()
+            },
+            "cut": None if self._cut is None else {
+                name: list(pos) for name, pos in self._cut.items()
+            },
+            "consistent": self.consistent(),
+            "frames_applied": self.frames_applied,
+            "bytes_applied": self.bytes_applied,
+            "snapshots_installed": self.snapshots_installed,
+        }
+
+    # -- stream application --------------------------------------------
+    def apply_message(self, message) -> StreamMessage:
+        """Buffer shard-tagged messages; a ``cut`` applies the whole
+        batch atomically under :attr:`lock` and records the frontier."""
+        self._ensure_open()
+        decoded = (
+            message
+            if isinstance(message, StreamMessage)
+            else decode_stream_message(message)
+        )
+        if decoded.kind == "shardmap":
+            self._install_shard_map(decoded)
+            return decoded
+        if decoded.kind == "cut":
+            self._apply_cut(decoded)
+            return decoded
+        if decoded.shard is None:
+            raise ReplicationError(
+                f"sharded stream message of kind {decoded.kind!r} "
+                "carries no shard tag"
+            )
+        if decoded.shard not in self._appliers:
+            raise ReplicationError(
+                f"stream message for unknown shard {decoded.shard!r} "
+                "(shard map not installed, or layouts diverge)"
+            )
+        self._pending.append(decoded)
+        return decoded
+
+    def close(self) -> None:
+        """Close every shard applier (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for applier in self._appliers.values():
+            applier.close()
+
+    def __enter__(self) -> "ShardedReplicaApplier":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError(
+                f"sharded replica applier for {self.directory} is closed"
+            )
+
+    def _open_shards(self) -> None:
+        from repro.legality.scope import analyze_shard_scope, shard_local_schema
+
+        shard_map = read_shard_map(self.directory)
+        local_schema = shard_local_schema(
+            self._schema, analyze_shard_scope(self._schema, shard_map)
+        )
+        for spec in shard_map:
+            self._appliers[spec.name] = ReplicaApplier(
+                shard_dir(self.directory, spec.name),
+                local_schema,
+                self._registry,
+                io=self._io,
+            )
+
+    def _install_shard_map(self, decoded: StreamMessage) -> None:
+        assert decoded.shard_map is not None
+        path = shard_map_path(self.directory)
+        if self._appliers:
+            try:
+                current = self._io.read_text(path)
+            except OSError:
+                current = None
+            if current != decoded.shard_map:
+                raise ReplicationError(
+                    "primary ships a different shard layout than this "
+                    "follower holds; a re-sharded primary needs a fresh "
+                    "follower directory"
+                )
+            return
+        self._io.write_file_atomic(
+            path, decoded.shard_map.encode("utf-8")
+        )
+        self._open_shards()
+
+    def _apply_cut(self, decoded: StreamMessage) -> None:
+        assert decoded.frontier is not None
+        with self.lock:
+            for message in self._pending:
+                self._appliers[message.shard].apply_message(message)
+            self._pending = []
+            landed = self.position()
+            if landed != decoded.frontier:
+                raise ReplicationError(
+                    f"batch landed the cohort at {landed}, but the cut "
+                    f"says {decoded.frontier}; the stream and the "
+                    "follower set diverge"
+                )
+            self._cut = dict(decoded.frontier)
+            self._save_cut_state()
+            self._save_state()
+
+    def _save_cut_state(self) -> None:
+        assert self._cut is not None
+        payload = {name: list(pos) for name, pos in self._cut.items()}
+        self._io.fault_point("repl:cut-state")
+        self._io.write_file_atomic(
+            os.path.join(self.directory, CUT_STATE_FILE),
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    def _save_state(self) -> None:
+        payload = {
+            "upstream": self.upstream,
+            "shards": {
+                name: list(pos) for name, pos in self.position().items()
+            },
+            "schema_crc": schema_fingerprint(self._schema),
+        }
+        self._io.write_file_atomic(
+            os.path.join(self.directory, REPLICA_STATE_FILE),
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+
+def read_cut_state(directory: str) -> Optional[Dict[str, Tuple[int, int]]]:
+    """The follower set's last recorded cut, or ``None`` when absent or
+    damaged (the per-shard WALs are the truth; the cut only gates
+    serving and promotion)."""
+    path = os.path.join(directory, CUT_STATE_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    cut: Dict[str, Tuple[int, int]] = {}
+    for name, pos in payload.items():
+        if not (
+            isinstance(name, str)
+            and isinstance(pos, list)
+            and len(pos) == 2
+            and all(isinstance(p, int) and not isinstance(p, bool) for p in pos)
+        ):
+            return None
+        cut[name] = (pos[0], pos[1])
+    return cut
+
+
 def pump(source: FrameSource, applier: ReplicaApplier, limit: int = 1000) -> int:
     """Drain ``source`` into ``applier`` until a poll comes back empty.
 
@@ -900,3 +1384,94 @@ def promote(
         store.close()
         raise
     return store
+
+
+def promote_shards(
+    directory: str,
+    schema: DirectorySchema,
+    registry: Optional[AttributeRegistry] = None,
+    *,
+    io: Optional[StoreIO] = None,
+):
+    """Promote a sharded follower set to a writable sharded primary —
+    the whole cohort, or none of it.
+
+    The inspection pass runs over **every** shard before anything is
+    promoted: each must recover cleanly (no in-doubt 2PC prepare, no
+    damage beyond the committed prefix) *and* stand exactly at the last
+    replicated cut — a shard ahead of or behind the cut means the
+    follower set holds a torn composite (a crash mid-batch), which
+    promotion must never freeze into a primary.  Only then is each
+    shard promoted (generation bump per member), the cut marker
+    dropped, and the cohort reopened as a
+    :class:`~repro.store.sharded.ShardedStore`.
+    """
+    from repro.legality.scope import analyze_shard_scope, shard_local_schema
+    from repro.store.sharded import ShardedStore
+
+    io = io if io is not None else StoreIO()
+    cut = read_cut_state(directory)
+    if cut is None:
+        raise StoreError(
+            f"refusing to promote {directory}: no replicated cut is "
+            "recorded — the follower set never reached a coordinator-cut "
+            "boundary it could be served (or promoted) at"
+        )
+    shard_map = read_shard_map(directory)
+    local_schema = shard_local_schema(
+        schema, analyze_shard_scope(schema, shard_map)
+    )
+    io.fault_point("promote-shards:inspect")
+    already_promoted = set()
+    for spec in shard_map:
+        member = shard_dir(directory, spec.name)
+        _, report = recover(member, local_schema, registry, io=io, repair=False)
+        if report.in_doubt_txid is not None:
+            raise StoreError(
+                f"refusing to promote {directory}: shard {spec.name!r} "
+                f"holds in-doubt 2PC transaction {report.in_doubt_txid}; "
+                "only the old primary's coordinator log can decide it"
+            )
+        if report.read_only:
+            raise StoreError(
+                f"refusing to promote {directory}: shard {spec.name!r} "
+                "has damage beyond its committed prefix "
+                f"({report.summary()})"
+            )
+        position = (report.generation, report.last_seq)
+        if spec.name in cut and position == cut[spec.name]:
+            continue
+        # A member a crashed promote_shards already bumped sits one
+        # generation past its cut entry with an empty journal and a
+        # non-replica manifest; re-running must finish the cohort, not
+        # refuse it.
+        manifest = read_manifest(member, io)
+        if (
+            spec.name in cut
+            and position == (cut[spec.name][0] + 1, 0)
+            and manifest is not None
+            and manifest.role != "replica"
+        ):
+            already_promoted.add(spec.name)
+            continue
+        raise StoreError(
+            f"refusing to promote {directory}: shard {spec.name!r} "
+            f"stands at {position} but the last replicated cut "
+            f"records {cut.get(spec.name)}; the cohort promotes "
+            "atomically or not at all"
+        )
+    for spec in shard_map:
+        if spec.name in already_promoted:
+            continue
+        io.fault_point("promote-shards:member")
+        promote(
+            shard_dir(directory, spec.name), local_schema, registry, io=io
+        ).close()
+    io.fault_point("promote-shards:cut-state")
+    cut_path = os.path.join(directory, CUT_STATE_FILE)
+    if os.path.exists(cut_path):
+        os.unlink(cut_path)
+    state_path = os.path.join(directory, REPLICA_STATE_FILE)
+    if os.path.exists(state_path):
+        os.unlink(state_path)
+    return ShardedStore.open(directory, schema, registry)

@@ -483,3 +483,79 @@ class TestFsckReadOnly:
             if os.path.isfile(os.path.join(path, name))
         }
         assert after == before
+
+
+class TestFrontdoorCli:
+    """The read-balancing proxy's CLI surface: argument validation and
+    ``fsck --frontdoor`` topology reporting (the running-daemon drain
+    path is exercised end to end in ``tests/test_frontdoor.py``)."""
+
+    def test_member_addresses_validated(self, capsys):
+        assert main(["frontdoor", "--primary", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert main(["frontdoor", "--primary", "127.0.0.1:3890",
+                     "--replica", "badport:x"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_fsck_requires_directory_or_frontdoor(self, capsys):
+        assert main(["fsck"]) == 2
+        assert "store directory" in capsys.readouterr().err
+
+    def test_fsck_frontdoor_address_validated(self, capsys):
+        assert main(["fsck", "--frontdoor", "nope"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_fsck_frontdoor_unreachable(self, capsys):
+        # port 1 is privileged and never bound in the test environment
+        assert main(["fsck", "--frontdoor", "127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().out
+
+    def test_fsck_frontdoor_reports_topology(self, tmp_path, capsys):
+        import asyncio
+        import threading
+
+        from repro.server import DirectoryServer, FrontDoor
+        from repro.store import DirectoryStore
+        from repro.workloads import whitepages_registry
+
+        path = str(tmp_path / "store")
+        DirectoryStore.create(
+            path, whitepages_schema(), figure1_instance(),
+            whitepages_registry(),
+        ).close()
+        ready = threading.Event()
+        done = threading.Event()
+        holder = {}
+
+        def serve():
+            async def run():
+                server = DirectoryServer(
+                    path, whitepages_schema(), whitepages_registry(),
+                    port=0,
+                )
+                await server.start()
+                door = FrontDoor(f"127.0.0.1:{server.port}", [])
+                await door.start()
+                holder["port"] = door.port
+                ready.set()
+                while not done.is_set():
+                    await asyncio.sleep(0.05)
+                await door.stop(drain=False)
+                await server.stop(drain=False)
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            assert ready.wait(30), "topology thread never came up"
+            code = main(
+                ["fsck", "--frontdoor", f"127.0.0.1:{holder['port']}"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0, out
+            assert "TOPOLOGY SERVING" in out
+            assert "primary" in out and "alive" in out
+        finally:
+            done.set()
+            thread.join(30)

@@ -419,3 +419,43 @@ class TestFollowShutdown:
         err = capsys.readouterr().err
         assert "is gone (removed mid-follow); stopping follow" in err
         assert "Traceback" not in err
+
+
+class TestShardedReplicationCli:
+    """``promote --shards`` on a replicated cohort (the follower side
+    is built through the library; the CLI is what promotes)."""
+
+    def test_promote_shards_reports_cohort(
+        self, sharded_store, tmp_path, capsys
+    ):
+        from repro.schema.dsl import load_dsl
+        from repro.store.replicate import (
+            ShardedFrameSource,
+            ShardedReplicaApplier,
+        )
+
+        schema_path, path = sharded_store
+        schema = load_dsl(schema_path)
+        cohort = str(tmp_path / "cohort")
+        source = ShardedFrameSource(path, schema)
+        with ShardedReplicaApplier(cohort, schema) as applier:
+            while True:
+                batch = source.poll()
+                if not batch:
+                    break
+                for message in batch:
+                    applier.apply_message(message)
+        assert main(["promote", cohort, "--schema", schema_path,
+                     "--shards"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded cohort writable" in out
+        assert "6 entries" in out
+
+    def test_promote_shards_refuses_bare_directory(
+        self, paths, tmp_path, capsys
+    ):
+        schema_path, _, _ = paths
+        bare = str(tmp_path / "bare")
+        assert main(["promote", bare, "--schema", schema_path,
+                     "--shards"]) == 1
+        assert "cut" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""The failover acceptance gate: kill the primary mid-storm.
+
+Drives ``tests/harness/failover.py``: a write storm through the front
+door with the primary killed at a chosen write index, a concurrent
+reader holding ``require_seq`` at the latest acknowledged write.  The
+front door must promote the most advanced follower and repoint the
+write route without ever serving a torn or regressing frontier — and a
+``require_seq`` holder never reads older state, before, during, or
+after promotion (it gets the typed ``position_lost`` refusal exactly
+when its position died with the old primary).
+
+The default lane samples the kill matrix at a stride; ``-m slow`` runs
+the kill point at every write index of the storm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness.failover import (
+    STORM_WRITES,
+    run_failover_scenario,
+    run_kill_matrix,
+)
+
+
+class TestFailoverStorm:
+    def test_kill_before_first_write(self, tmp_path):
+        """The storm opens on a dead primary: every write rides the
+        failover window, nothing was ever acknowledged by generation 1
+        beyond the bootstrap, so nothing can be lost."""
+        results = run_failover_scenario(tmp_path, kill_at=0)
+        assert len(results["acked"]) == STORM_WRITES
+        assert results["survivors"] >= {
+            f"w{i}" for i in range(STORM_WRITES)
+        }
+
+    def test_kill_mid_storm(self, tmp_path):
+        results = run_failover_scenario(tmp_path, kill_at=STORM_WRITES // 2)
+        assert len(results["acked"]) == STORM_WRITES
+        # generation bumped exactly once across the storm
+        generations = {pos["generation"] for pos in results["acked"]}
+        assert generations == {1, 2}
+
+    def test_kill_on_last_write(self, tmp_path):
+        results = run_failover_scenario(tmp_path, kill_at=STORM_WRITES - 1)
+        assert len(results["acked"]) == STORM_WRITES
+
+    def test_kill_matrix_sampled(self, tmp_path):
+        """Default-lane sweep: a stride over the kill matrix (the full
+        every-index matrix runs under ``-m slow``)."""
+        outcomes = run_kill_matrix(tmp_path, stride=5)
+        assert set(outcomes) == set(range(0, STORM_WRITES, 5))
+        for results in outcomes.values():
+            assert len(results["acked"]) == STORM_WRITES
+
+
+@pytest.mark.slow
+class TestFailoverStormFullMatrix:
+    def test_kill_at_every_write_index(self, tmp_path):
+        outcomes = run_kill_matrix(tmp_path, stride=1)
+        assert set(outcomes) == set(range(STORM_WRITES))

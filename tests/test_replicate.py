@@ -261,3 +261,252 @@ class TestPromotion:
             assert manifest is not None and manifest.role != "replica"
         finally:
             promoted.close()
+
+
+NESTED_BASES = {"att": "o=att", "labs": "ou=attLabs,o=att"}
+
+
+@pytest.fixture
+def sharded_primary(tmp_path):
+    from repro.store.sharded import ShardedStore
+
+    schema, registry = whitepages_schema(), whitepages_registry()
+    primary_dir = str(tmp_path / "sharded-primary")
+    store = ShardedStore.create(
+        primary_dir, schema, NESTED_BASES, figure1_instance(), registry
+    )
+    yield store, primary_dir, schema, registry, str(tmp_path / "cohort")
+    store.close()
+
+
+def _spanning_commit(store, index):
+    from repro.updates.operations import UpdateTransaction
+
+    tx = UpdateTransaction()
+    tx.insert(f"uid=r{index},o=att", ["person", "top"],
+              {"uid": [f"r{index}"], "name": [f"r {index}"]})
+    tx.insert(f"uid=l{index},ou=attLabs,o=att", ["person", "top"],
+              {"uid": [f"l{index}"], "name": [f"l {index}"]})
+    outcome = store.apply(tx)
+    assert outcome.applied
+    return outcome
+
+
+def _pump_sharded(source, applier):
+    """Drain the multiplexed stream: poll until a cycle ships nothing.
+    (Bootstrap takes two polls — snapshots first, then frames.)"""
+    while True:
+        batch = source.poll()
+        if not batch:
+            return
+        for message in batch:
+            applier.apply_message(message)
+
+
+def _composite_digest(directory, schema, registry):
+    from repro.store.sharded import CompositeReader
+
+    reader = CompositeReader.open(directory, schema, registry)
+    try:
+        return state_digest(reader.instance)
+    finally:
+        reader.close()
+
+
+class TestShardedReplication:
+    """The sharded multiplexer: per-shard streams under one
+    coordinator-consistent cut — a follower set never observes half a
+    spanning transaction, and promotes as a cohort or not at all."""
+
+    def test_cohort_bootstrap_and_cut_consistency(self, sharded_primary):
+        from repro.store.replicate import (
+            ShardedFrameSource,
+            ShardedReplicaApplier,
+            read_cut_state,
+        )
+
+        store, primary_dir, schema, registry, cohort_dir = sharded_primary
+        _spanning_commit(store, 1)
+        _spanning_commit(store, 2)
+        source = ShardedFrameSource(primary_dir, schema)
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            assert applier.position() == {}  # fresh: no shard map yet
+            _pump_sharded(source, applier)
+            # the stream landed the cohort exactly on the shipped cut
+            assert applier.consistent()
+            assert applier.position() == source.position
+            assert read_cut_state(cohort_dir) == applier.position()
+            assert state_digest(applier.instance) == state_digest(
+                store.composite_instance()
+            )
+
+    def test_spanning_transactions_never_ship_torn(self, sharded_primary):
+        """Each poll batch closes on a coordinator cut: a spanning
+        2PC commit lands on the follower either whole or not at all,
+        no matter how polls interleave with commits."""
+        from repro.store.replicate import (
+            ShardedFrameSource,
+            ShardedReplicaApplier,
+        )
+
+        store, primary_dir, schema, registry, cohort_dir = sharded_primary
+        source = ShardedFrameSource(primary_dir, schema)
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            _pump_sharded(source, applier)
+            for index in range(1, 5):
+                _spanning_commit(store, index)
+                _pump_sharded(source, applier)
+                assert applier.consistent()
+                # both halves present, or neither — never one
+                instance = applier.instance
+                for j in range(1, index + 1):
+                    att = instance.find(f"uid=r{j},o=att")
+                    labs = instance.find(f"uid=l{j},ou=attLabs,o=att")
+                    assert (att is None) == (labs is None)
+                    assert att is not None
+            assert state_digest(applier.instance) == state_digest(
+                store.composite_instance()
+            )
+
+    def test_resume_from_durable_cut(self, sharded_primary):
+        from repro.store.replicate import (
+            ShardedFrameSource,
+            ShardedReplicaApplier,
+        )
+
+        store, primary_dir, schema, registry, cohort_dir = sharded_primary
+        _spanning_commit(store, 1)
+        source = ShardedFrameSource(primary_dir, schema)
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            _pump_sharded(source, applier)
+            resumed_at = applier.position()
+        _spanning_commit(store, 2)
+        # a new source attaches incrementally at the durable cut
+        fresh = ShardedFrameSource(primary_dir, schema)
+        assert fresh.attach(resumed_at)
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            assert applier.position() == resumed_at
+            while True:
+                batch = fresh.poll()
+                if not batch:
+                    break
+                assert all(m.get("kind") != "snapshot" for m in batch)
+                for message in batch:
+                    applier.apply_message(message)
+            assert applier.consistent()
+            assert state_digest(applier.instance) == state_digest(
+                store.composite_instance()
+            )
+
+    def test_promote_shards_promotes_the_cohort(self, sharded_primary):
+        from repro.store.recovery import REPLICA_STATE_FILE
+        from repro.store.replicate import (
+            CUT_STATE_FILE,
+            ShardedFrameSource,
+            ShardedReplicaApplier,
+            promote_shards,
+            read_cut_state,
+        )
+
+        store, primary_dir, schema, registry, cohort_dir = sharded_primary
+        _spanning_commit(store, 1)
+        source = ShardedFrameSource(primary_dir, schema)
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            _pump_sharded(source, applier)
+            digest = state_digest(applier.instance)
+        promoted = promote_shards(cohort_dir, schema, registry)
+        try:
+            assert state_digest(promoted.composite_instance()) == digest
+            # every member bumped its generation; cohort is writable
+            for _, generation, _ in promoted.frontier_key():
+                assert generation == 2
+            _spanning_commit(promoted, 9)
+        finally:
+            promoted.close()
+        assert read_cut_state(cohort_dir) is None
+        assert not os.path.exists(os.path.join(cohort_dir, CUT_STATE_FILE))
+        assert not os.path.exists(
+            os.path.join(cohort_dir, REPLICA_STATE_FILE)
+        )
+
+    def test_promote_shards_refuses_without_a_cut(self, tmp_path, sharded_primary):
+        from repro.store.replicate import promote_shards
+
+        _, _, schema, registry, _ = sharded_primary
+        bare = str(tmp_path / "bare")
+        os.makedirs(bare)
+        with pytest.raises(StoreError, match="cut"):
+            promote_shards(bare, schema, registry)
+
+    def test_promote_shards_refuses_off_cut_member(self, sharded_primary):
+        """Atomicity of cohort promotion: if any member sits off the
+        recorded cut (here: the cut file claims a frontier one ahead of
+        what actually landed), the whole promotion refuses and no
+        member is bumped."""
+        import json
+
+        from repro.store.manifest import read_manifest
+        from repro.store.replicate import (
+            CUT_STATE_FILE,
+            ShardedFrameSource,
+            ShardedReplicaApplier,
+            promote_shards,
+            read_cut_state,
+        )
+        from repro.store.shardmap import shard_dir
+
+        store, primary_dir, schema, registry, cohort_dir = sharded_primary
+        _spanning_commit(store, 1)
+        source = ShardedFrameSource(primary_dir, schema)
+        with ShardedReplicaApplier(cohort_dir, schema, registry) as applier:
+            _pump_sharded(source, applier)
+        cut = read_cut_state(cohort_dir)
+        cut["att"] = (cut["att"][0], cut["att"][1] + 1)
+        with open(os.path.join(cohort_dir, CUT_STATE_FILE), "w") as handle:
+            json.dump({name: list(pos) for name, pos in cut.items()}, handle)
+        with pytest.raises(StoreError, match="replicated cut"):
+            promote_shards(cohort_dir, schema, registry)
+        for name in ("att", "labs"):
+            manifest = read_manifest(shard_dir(cohort_dir, name))
+            assert manifest.role == "replica"  # nobody was bumped
+
+
+class TestFoldAwareAttach:
+    def test_survivor_attaches_at_promoted_fold_frontier(self, primary):
+        """After a failover the new primary's journal starts at
+        ``(generation + 1, 0)`` with ``folded_seq`` pointing at the old
+        frontier.  A survivor synced exactly to that frontier must
+        re-attach *incrementally* — fold announce, no snapshot."""
+        store, primary_dir, schema, registry, replica_dir = primary
+        _commit(store, 2)
+        frontier = (store.generation, store.journal_length)
+        source = FrameSource(primary_dir, schema)
+        with ReplicaApplier(replica_dir, schema, registry) as applier:
+            pump(source, applier)
+            assert applier.position() == frontier
+        promoted = promote(replica_dir, schema, registry)
+        promoted_dir = replica_dir
+        try:
+            _commit(promoted, 1)
+            # a second follower that was synced to the *old* frontier
+            # attaches to the promoted store without a snapshot
+            survivor = FrameSource(promoted_dir, schema)
+            assert survivor.attach(*frontier)
+            batch = survivor.poll()
+            kinds = [decode_stream_message(m).kind for m in batch]
+            assert "snapshot" not in kinds
+            assert kinds[0] == "schema"  # the fold announce
+            announce = decode_stream_message(batch[0])
+            assert announce.generation == frontier[0] + 1
+            assert announce.folds == frontier[1]  # the folded seq
+        finally:
+            promoted.close()
+
+    def test_attach_still_refuses_a_diverged_position(self, primary):
+        store, primary_dir, schema, registry, _ = primary
+        _commit(store, 1)
+        source = FrameSource(primary_dir, schema)
+        # two generations ahead of the head: not a fold resume
+        assert not source.attach(store.generation + 2, 0)
+        # future seq within the head generation: refused as before
+        assert not source.attach(store.generation, store.journal_length + 5)

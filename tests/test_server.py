@@ -533,6 +533,159 @@ class TestGracefulDrain:
         asyncio.run(run())
 
 
+class TestDrainLatency:
+    def test_stop_returns_promptly_with_idle_connections(self, plain_store):
+        """Regression: ``stop(drain=True)`` used to stall for the full
+        timeout whenever any connection sat idle in ``read_frame`` —
+        ``_draining`` is only checked between frames and closing the
+        listener does not touch accepted sockets.  The drain now nudges
+        idle connections (closes their transports), so a graceful
+        SIGTERM on an idle server returns promptly."""
+
+        async def run():
+            server = await _serve(plain_store)
+            idlers = [await _client(server, dn=f"cn=idle{i}") for i in range(3)]
+            for client in idlers:
+                assert (await client.search())["ok"]  # now parked idle
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            await server.stop(drain=True, timeout=30)
+            elapsed = loop.time() - started
+            assert elapsed < 5, f"idle drain took {elapsed:.1f}s"
+            for client in idlers:
+                await client.close()
+
+        asyncio.run(run())
+
+
+class TestModifyValidation:
+    def test_empty_modify_batch_rejected(self, plain_store):
+        """Regression: an empty changes document used to come back
+        ``applied: true`` — ``all()`` over zero per-record results is
+        vacuously true.  An empty batch is a client bug; reject it."""
+
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                for empty in ("", "\n\n"):
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.modify(empty)
+                    assert excinfo.value.code == "bad_request"
+                # and nothing was journaled by the refusals
+                position = await client.position()
+                assert position["position"] == {"generation": 1, "seq": 0}
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_empty_txn_document_rejected(self, plain_store):
+        """The same vacuous-success trap on the ``txn`` path: an empty
+        changes document parses to a zero-operation transaction that
+        ``apply`` accepts without committing anything — the server must
+        refuse it instead of answering ``applied: true``."""
+
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server)
+                for empty in ("", "\n\n"):
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.txn(empty)
+                    assert excinfo.value.code == "bad_request"
+                position = await client.position()
+                assert position["position"] == {"generation": 1, "seq": 0}
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestReplicatePositionValidation:
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"generation": True, "seq": 0},
+            {"generation": 0, "seq": True},
+            {"generation": False, "seq": False},
+            {"generation": -1, "seq": 0},
+            {"generation": 0, "seq": "7"},
+        ],
+    )
+    def test_bool_and_junk_positions_refused(self, plain_store, fields):
+        """Regression: ``isinstance(True, int)`` holds, so a boolean
+        ``generation``/``seq`` used to attach a follower at position
+        1/0 instead of being refused like every other non-integer."""
+
+        async def run():
+            server = await _serve(plain_store)
+            try:
+                client = await _client(server, dn="cn=replica")
+                with pytest.raises(ServerError) as excinfo:
+                    await client.request("replicate", **fields)
+                assert excinfo.value.code == "bad_request"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_sharded_subscribe_validates_shard_positions(self, sharded_store):
+        async def run():
+            server = await _serve(sharded_store, shards=True)
+            try:
+                client = await _client(server, dn="cn=replica")
+                for shards in (
+                    {"att": [True, 0], "labs": [0, 0]},
+                    {"att": [0], "labs": [0, 0]},
+                    {"att": [0, -2], "labs": [0, 0]},
+                    "not-a-map",
+                ):
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.request("replicate", shards=shards)
+                    assert excinfo.value.code == "bad_request"
+                await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+
+class TestCommitFeedDropCounter:
+    def test_publishes_coalesce_and_count(self):
+        """The bounded notify cell: unconsumed publishes overwrite the
+        cell and are *counted*; the next consume reports the fold."""
+        from repro.server.server import _CommitFeed
+
+        async def run():
+            feed = _CommitFeed(0)
+            feed.publish(1)
+            feed.publish(2)
+            feed.publish(3)
+            seq, dropped = await feed.next()
+            assert (seq, dropped) == (3, 2)
+            # counter resets once consumed
+            feed.publish(4)
+            seq, dropped = await feed.next()
+            assert (seq, dropped) == (4, 0)
+
+        asyncio.run(run())
+
+    def test_wake_without_commit_drops_nothing(self):
+        from repro.server.server import _CommitFeed
+
+        async def run():
+            feed = _CommitFeed(7)
+            feed.wake()
+            seq, dropped = await feed.next()
+            assert (seq, dropped) == (7, 0)
+
+        asyncio.run(run())
+
+
 class TestConcurrentClients:
     """The acceptance gate: N async clients searching while one writer
     commits — every response reflects a committed frontier and no
